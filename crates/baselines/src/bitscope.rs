@@ -1,0 +1,214 @@
+//! BitScope \[84\] baseline (Table IV): address classification through
+//! multi-resolution clustering. The original is closed-source; we implement
+//! its published recipe — common-input-ownership clustering to estimate the
+//! controlling entity, entity-level (cluster) features layered on top of
+//! address-level features, and a tree-ensemble back-end. The clustering is
+//! computed from each record's own transaction neighbourhood, so training
+//! and test stay strictly separated (see DESIGN.md, substitution table).
+
+use crate::common::Classifier;
+use crate::ensemble::RandomForest;
+use crate::features::flat_features;
+use baclassifier::construction::sfe::sfe;
+use baclassifier::features::signed_log1p;
+use btcsim::{Address, AddressRecord};
+use std::collections::{HashMap, HashSet};
+
+/// Cluster-level feature width appended to the flat address features.
+pub const CLUSTER_DIM: usize = 6 + 15;
+
+/// Union-find over addresses.
+#[derive(Default)]
+struct Dsu {
+    parent: HashMap<Address, Address>,
+}
+
+impl Dsu {
+    fn find(&mut self, a: Address) -> Address {
+        let p = *self.parent.entry(a).or_insert(a);
+        if p == a {
+            return a;
+        }
+        let root = self.find(p);
+        self.parent.insert(a, root);
+        root
+    }
+
+    fn union(&mut self, a: Address, b: Address) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Entity-level features of one record: cluster the record's transaction
+/// neighbourhood with the common-input-ownership heuristic, then summarise
+/// the cluster containing the focus address.
+pub fn cluster_features(record: &AddressRecord) -> Vec<f64> {
+    let mut dsu = Dsu::default();
+    // Heuristic 1: all inputs of a transaction share an owner.
+    for tx in &record.txs {
+        for w in tx.inputs.windows(2) {
+            dsu.union(w[0].0, w[1].0);
+        }
+    }
+    let root = dsu.find(record.address);
+    // Members of the focus entity and the entity's observable flows.
+    let mut members: HashSet<Address> = HashSet::new();
+    members.insert(record.address);
+    let mut entity_in = Vec::new(); // values received by the entity
+    let mut entity_out = Vec::new(); // values spent by the entity
+    let mut entity_txs = 0usize;
+    let mut counterparties: HashSet<Address> = HashSet::new();
+    for tx in &record.txs {
+        let mut touches = false;
+        for &(a, v) in &tx.inputs {
+            if dsu.find(a) == root {
+                members.insert(a);
+                entity_out.push(v.btc());
+                touches = true;
+            }
+        }
+        for &(a, v) in &tx.outputs {
+            if dsu.find(a) == root {
+                members.insert(a);
+                entity_in.push(v.btc());
+                touches = true;
+            } else {
+                counterparties.insert(a);
+            }
+        }
+        if touches {
+            entity_txs += 1;
+        }
+    }
+    let mut row = Vec::with_capacity(CLUSTER_DIM);
+    row.push((members.len() as f64).ln_1p());
+    row.push((entity_txs as f64).ln_1p());
+    row.push((counterparties.len() as f64).ln_1p());
+    row.push(signed_log1p(entity_in.iter().sum::<f64>()) as f64);
+    row.push(signed_log1p(entity_out.iter().sum::<f64>()) as f64);
+    // Entity fan-out ratio: counterparties per entity transaction.
+    let fanout = counterparties.len() as f64 / entity_txs.max(1) as f64;
+    row.push(fanout.ln_1p());
+    let mut all_flows = entity_in;
+    all_flows.extend(entity_out);
+    for &v in sfe(&all_flows).as_array() {
+        row.push(signed_log1p(v) as f64);
+    }
+    debug_assert_eq!(row.len(), CLUSTER_DIM);
+    row
+}
+
+fn bitscope_features(record: &AddressRecord) -> Vec<f64> {
+    let mut row = flat_features(record);
+    row.extend(cluster_features(record));
+    row
+}
+
+/// The BitScope classifier: layered cluster + address features with a
+/// random-forest back-end.
+pub struct BitScope {
+    forest: RandomForest,
+}
+
+impl BitScope {
+    pub fn new(seed: u64) -> Self {
+        Self { forest: RandomForest::new(40, seed) }
+    }
+
+    pub fn name(&self) -> &'static str {
+        "BitScope"
+    }
+
+    pub fn fit_records(&mut self, records: &[AddressRecord]) {
+        let x: Vec<Vec<f64>> = records.iter().map(bitscope_features).collect();
+        let y: Vec<usize> = records.iter().map(|r| r.label.index()).collect();
+        self.forest.fit(&x, &y);
+    }
+
+    pub fn predict_record(&self, record: &AddressRecord) -> usize {
+        self.forest.predict(&bitscope_features(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcsim::{Amount, Label, TxView, Txid};
+
+    fn tx(ts: u64, inputs: &[(u64, f64)], outputs: &[(u64, f64)]) -> TxView {
+        TxView {
+            txid: Txid(ts + 1000 * inputs.len() as u64),
+            timestamp: ts,
+            inputs: inputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+            outputs: outputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+        }
+    }
+
+    #[test]
+    fn co_spending_addresses_form_one_entity() {
+        // Focus (1) co-spends with 2 and 3: entity of 3 members.
+        let record = AddressRecord {
+            address: Address(1),
+            label: Label::Exchange,
+            txs: vec![
+                tx(0, &[(1, 1.0), (2, 2.0)], &[(50, 2.9)]),
+                tx(600, &[(2, 1.0), (3, 1.0)], &[(51, 1.9)]),
+            ],
+        };
+        let f = cluster_features(&record);
+        // members = {1, 2, 3}
+        assert!((f[0] - (3.0f64).ln_1p()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lone_address_is_singleton_entity() {
+        let record = AddressRecord {
+            address: Address(1),
+            label: Label::Service,
+            txs: vec![tx(0, &[(9, 1.0)], &[(1, 0.9)])],
+        };
+        let f = cluster_features(&record);
+        assert!((f[0] - (1.0f64).ln_1p()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn features_are_finite_for_empty_history() {
+        let record =
+            AddressRecord { address: Address(1), label: Label::Service, txs: vec![] };
+        assert!(cluster_features(&record).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bitscope_learns_entity_size_signal() {
+        // Exchanges: big co-spending entities; gamblers: singletons.
+        let mut records = Vec::new();
+        for i in 0..10u64 {
+            let base = i * 100;
+            records.push(AddressRecord {
+                address: Address(base + 1),
+                label: Label::Exchange,
+                txs: vec![
+                    tx(i, &[(base + 1, 1.0), (base + 2, 1.0), (base + 3, 1.0)], &[(base + 50, 2.9)]),
+                    tx(600 + i, &[(base + 3, 1.0), (base + 4, 1.0)], &[(base + 51, 1.9)]),
+                ],
+            });
+            records.push(AddressRecord {
+                address: Address(base + 60),
+                label: Label::Gambling,
+                txs: vec![
+                    tx(i, &[(base + 70, 0.2)], &[(base + 60, 0.19)]),
+                    tx(600 + i, &[(base + 60, 0.19)], &[(base + 71, 0.18)]),
+                ],
+            });
+        }
+        let mut bs = BitScope::new(5);
+        bs.fit_records(&records);
+        let correct =
+            records.iter().filter(|r| bs.predict_record(r) == r.label.index()).count();
+        assert!(correct as f64 / records.len() as f64 > 0.9);
+    }
+}

@@ -1,0 +1,144 @@
+//! The classifier interface shared by every baseline, plus feature scaling.
+
+use baclassifier::metrics::{ClassificationReport, ConfusionMatrix};
+
+/// Number of behavior classes.
+pub const NUM_CLASSES: usize = 4;
+
+/// A trainable flat-feature multiclass classifier.
+pub trait Classifier {
+    fn name(&self) -> &'static str;
+
+    /// Fit on row-features `x` with class indices `y`.
+    ///
+    /// # Panics
+    /// Implementations panic on empty input or ragged feature rows.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]);
+
+    /// Predict the class of one feature row.
+    fn predict(&self, row: &[f64]) -> usize;
+
+    /// Predict a batch.
+    fn predict_batch(&self, x: &[Vec<f64>]) -> Vec<usize> {
+        x.iter().map(|r| self.predict(r)).collect()
+    }
+}
+
+/// Evaluate any classifier against labeled rows.
+pub fn evaluate(clf: &dyn Classifier, x: &[Vec<f64>], y: &[usize]) -> ClassificationReport {
+    let pred = clf.predict_batch(x);
+    ConfusionMatrix::from_predictions(NUM_CLASSES, y, &pred).report()
+}
+
+/// Z-score feature scaler (fit on train, apply to both splits).
+#[derive(Clone, Debug)]
+pub struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    /// Fit means and standard deviations per feature column.
+    ///
+    /// # Panics
+    /// Panics on empty input.
+    pub fn fit(x: &[Vec<f64>]) -> Self {
+        assert!(!x.is_empty(), "Scaler::fit on empty data");
+        let d = x[0].len();
+        let n = x.len() as f64;
+        let mut mean = vec![0.0; d];
+        for row in x {
+            assert_eq!(row.len(), d, "ragged feature rows");
+            for (m, v) in mean.iter_mut().zip(row) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= n);
+        let mut std = vec![0.0; d];
+        for row in x {
+            for ((s, v), m) in std.iter_mut().zip(row).zip(&mean) {
+                *s += (v - m) * (v - m);
+            }
+        }
+        for s in std.iter_mut() {
+            *s = (*s / n).sqrt();
+            if *s < 1e-12 {
+                *s = 1.0; // constant column: leave centred at zero
+            }
+        }
+        Self { mean, std }
+    }
+
+    pub fn transform_row(&self, row: &[f64]) -> Vec<f64> {
+        row.iter()
+            .zip(self.mean.iter().zip(&self.std))
+            .map(|(v, (m, s))| (v - m) / s)
+            .collect()
+    }
+
+    pub fn transform(&self, x: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        x.iter().map(|r| self.transform_row(r)).collect()
+    }
+}
+
+/// Row-major argmax helper for score vectors.
+pub fn argmax(scores: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s > scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Numerically-stable softmax in place.
+pub fn softmax_inplace(scores: &mut [f64]) {
+    let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for s in scores.iter_mut() {
+        *s = (*s - max).exp();
+        sum += *s;
+    }
+    if sum > 0.0 {
+        for s in scores.iter_mut() {
+            *s /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaler_zero_means_unit_std() {
+        let x = vec![vec![1.0, 10.0], vec![3.0, 10.0], vec![5.0, 10.0]];
+        let s = Scaler::fit(&x);
+        let t = s.transform(&x);
+        let mean0: f64 = t.iter().map(|r| r[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        // constant column untouched apart from centring
+        assert!(t.iter().all(|r| r[1].abs() < 1e-12));
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.3]), 1);
+        assert_eq!(argmax(&[-5.0, -1.0, -3.0]), 1);
+    }
+
+    #[test]
+    fn softmax_sums_to_one() {
+        let mut s = vec![1.0, 2.0, 3.0];
+        softmax_inplace(&mut s);
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn scaler_empty_panics() {
+        let _ = Scaler::fit(&[]);
+    }
+}

@@ -1,0 +1,318 @@
+//! Tree ensembles: CART decision tree, random forest, GBDT, and an
+//! XGBoost-style second-order boosted learner (the \[31\]/\[32\] baselines of
+//! Table II and the Lee et al. random-forest back-end of Table IV).
+
+use crate::common::{argmax, softmax_inplace, Classifier, NUM_CLASSES};
+use crate::tree::{build_gini_tree, build_grad_tree, Tree, TreeParams};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Single CART decision tree.
+pub struct DecisionTree {
+    pub params: TreeParams,
+    tree: Option<Tree<[f64; NUM_CLASSES]>>,
+}
+
+impl Default for DecisionTree {
+    fn default() -> Self {
+        Self { params: TreeParams::default(), tree: None }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "Decision Tree"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        self.tree = Some(build_gini_tree(x, y, self.params, None));
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        argmax(self.tree.as_ref().expect("predict before fit").predict(row))
+    }
+}
+
+/// Random forest: bootstrap-sampled Gini trees with per-split feature
+/// subsampling (√d), majority-vote by summed leaf distributions.
+pub struct RandomForest {
+    pub num_trees: usize,
+    pub params: TreeParams,
+    pub seed: u64,
+    trees: Vec<Tree<[f64; NUM_CLASSES]>>,
+}
+
+impl RandomForest {
+    pub fn new(num_trees: usize, seed: u64) -> Self {
+        Self { num_trees, params: TreeParams { max_depth: 10, min_leaf: 1 }, seed, trees: Vec::new() }
+    }
+}
+
+impl Default for RandomForest {
+    fn default() -> Self {
+        Self::new(40, 17)
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "Random Forest"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty() && x.len() == y.len(), "bad training data");
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let d = x[0].len();
+        let subset = (d as f64).sqrt().ceil() as usize;
+        self.trees = (0..self.num_trees)
+            .map(|_| {
+                // Bootstrap sample.
+                let bx_idx: Vec<usize> =
+                    (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                let bx: Vec<Vec<f64>> = bx_idx.iter().map(|&i| x[i].clone()).collect();
+                let by: Vec<usize> = bx_idx.iter().map(|&i| y[i]).collect();
+                build_gini_tree(&bx, &by, self.params, Some((subset, &mut rng)))
+            })
+            .collect();
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.trees.is_empty(), "predict before fit");
+        let mut votes = [0.0; NUM_CLASSES];
+        for tree in &self.trees {
+            let dist = tree.predict(row);
+            let total: f64 = dist.iter().sum();
+            if total > 0.0 {
+                for c in 0..NUM_CLASSES {
+                    votes[c] += dist[c] / total;
+                }
+            }
+        }
+        argmax(&votes)
+    }
+}
+
+/// Configuration shared by both boosted learners.
+#[derive(Clone, Copy, Debug)]
+pub struct BoostParams {
+    pub rounds: usize,
+    pub learning_rate: f64,
+    pub tree: TreeParams,
+    /// L2 leaf regularisation λ (XGBoost only; GBDT uses 0).
+    pub lambda: f64,
+    /// Split penalty γ (XGBoost only; GBDT uses 0).
+    pub gamma: f64,
+}
+
+impl Default for BoostParams {
+    fn default() -> Self {
+        Self {
+            rounds: 30,
+            learning_rate: 0.2,
+            tree: TreeParams { max_depth: 4, min_leaf: 2 },
+            lambda: 1.0,
+            gamma: 0.0,
+        }
+    }
+}
+
+/// Shared multiclass boosting machinery: per round, per class, fit a tree to
+/// the softmax gradient. `second_order` switches between unit hessians
+/// (classic GBDT on negative gradients) and true p(1−p) hessians with λ/γ
+/// regularisation (XGBoost).
+struct Booster {
+    params: BoostParams,
+    second_order: bool,
+    trees: Vec<[Tree<f64>; NUM_CLASSES]>,
+}
+
+impl Booster {
+    fn new(params: BoostParams, second_order: bool) -> Self {
+        Self { params, second_order, trees: Vec::new() }
+    }
+
+    fn raw_scores(&self, row: &[f64]) -> [f64; NUM_CLASSES] {
+        let mut f = [0.0; NUM_CLASSES];
+        for round in &self.trees {
+            for (c, tree) in round.iter().enumerate() {
+                f[c] += self.params.learning_rate * tree.predict(row);
+            }
+        }
+        f
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty() && x.len() == y.len(), "bad training data");
+        self.trees.clear();
+        let n = x.len();
+        let mut f = vec![[0.0f64; NUM_CLASSES]; n];
+        for _ in 0..self.params.rounds {
+            // Softmax probabilities of the current ensemble.
+            let mut probs = f.clone();
+            for p in probs.iter_mut() {
+                softmax_inplace(p);
+            }
+            let round: [Tree<f64>; NUM_CLASSES] = std::array::from_fn(|c| {
+                let grad: Vec<f64> = (0..n)
+                    .map(|i| probs[i][c] - f64::from(u8::from(y[i] == c)))
+                    .collect();
+                let (hess, lambda, gamma): (Vec<f64>, f64, f64) = if self.second_order {
+                    (
+                        (0..n).map(|i| (probs[i][c] * (1.0 - probs[i][c])).max(1e-6)).collect(),
+                        self.params.lambda,
+                        self.params.gamma,
+                    )
+                } else {
+                    (vec![1.0; n], 0.0, 0.0)
+                };
+                build_grad_tree(x, &grad, &hess, self.params.tree, lambda, gamma)
+            });
+            for (i, fi) in f.iter_mut().enumerate() {
+                for (c, tree) in round.iter().enumerate() {
+                    fi[c] += self.params.learning_rate * tree.predict(&x[i]);
+                }
+            }
+            self.trees.push(round);
+        }
+    }
+}
+
+/// Gradient-boosted decision trees (Friedman 2001): first-order multiclass
+/// boosting with softmax loss.
+pub struct Gbdt {
+    booster: Booster,
+}
+
+impl Gbdt {
+    pub fn new(params: BoostParams) -> Self {
+        Self { booster: Booster::new(params, false) }
+    }
+}
+
+impl Default for Gbdt {
+    fn default() -> Self {
+        Self::new(BoostParams::default())
+    }
+}
+
+impl Classifier for Gbdt {
+    fn name(&self) -> &'static str {
+        "GBDT"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        self.booster.fit(x, y);
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.booster.trees.is_empty(), "predict before fit");
+        argmax(&self.booster.raw_scores(row))
+    }
+}
+
+/// XGBoost-style learner (Chen & Guestrin 2016): second-order boosting with
+/// L2 leaf regularisation and split penalty.
+pub struct XgBoost {
+    booster: Booster,
+}
+
+impl XgBoost {
+    pub fn new(params: BoostParams) -> Self {
+        Self { booster: Booster::new(params, true) }
+    }
+}
+
+impl Default for XgBoost {
+    fn default() -> Self {
+        Self::new(BoostParams::default())
+    }
+}
+
+impl Classifier for XgBoost {
+    fn name(&self) -> &'static str {
+        "XGBoost"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        self.booster.fit(x, y);
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.booster.trees.is_empty(), "predict before fit");
+        argmax(&self.booster.raw_scores(row))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::tests::blobs;
+
+    fn accuracy(clf: &dyn Classifier, x: &[Vec<f64>], y: &[usize]) -> f64 {
+        x.iter().zip(y).filter(|(r, &t)| clf.predict(r) == t).count() as f64 / x.len() as f64
+    }
+
+    #[test]
+    fn decision_tree_fits_blobs() {
+        let (x, y) = blobs(15);
+        let mut dt = DecisionTree::default();
+        dt.fit(&x, &y);
+        assert!(accuracy(&dt, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn random_forest_fits_blobs_and_is_deterministic() {
+        let (x, y) = blobs(15);
+        let mut rf1 = RandomForest::new(15, 3);
+        rf1.fit(&x, &y);
+        assert!(accuracy(&rf1, &x, &y) > 0.95);
+        let mut rf2 = RandomForest::new(15, 3);
+        rf2.fit(&x, &y);
+        let p1: Vec<usize> = x.iter().map(|r| rf1.predict(r)).collect();
+        let p2: Vec<usize> = x.iter().map(|r| rf2.predict(r)).collect();
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn gbdt_fits_blobs() {
+        let (x, y) = blobs(15);
+        let mut g = Gbdt::new(BoostParams { rounds: 15, ..Default::default() });
+        g.fit(&x, &y);
+        assert!(accuracy(&g, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn xgboost_fits_blobs() {
+        let (x, y) = blobs(15);
+        let mut g = XgBoost::new(BoostParams { rounds: 15, ..Default::default() });
+        g.fit(&x, &y);
+        assert!(accuracy(&g, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn boosting_fits_nonlinear_xor() {
+        // XOR: linearly inseparable, trees handle it.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..40 {
+            let a = if i % 2 == 0 { -1.0 } else { 1.0 } + (i as f64) * 1e-3;
+            let b = if (i / 2) % 2 == 0 { -1.0 } else { 1.0 } - (i as f64) * 1e-3;
+            x.push(vec![a, b]);
+            y.push(usize::from((a > 0.0) ^ (b > 0.0)));
+        }
+        let mut g = Gbdt::new(BoostParams { rounds: 20, ..Default::default() });
+        g.fit(&x, &y);
+        assert!(accuracy(&g, &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn more_boosting_rounds_do_not_hurt_train_fit() {
+        let (x, y) = blobs(10);
+        let mut short = Gbdt::new(BoostParams { rounds: 2, ..Default::default() });
+        short.fit(&x, &y);
+        let mut long = Gbdt::new(BoostParams { rounds: 25, ..Default::default() });
+        long.fit(&x, &y);
+        assert!(accuracy(&long, &x, &y) >= accuracy(&short, &x, &y));
+    }
+}

@@ -1,0 +1,148 @@
+//! Flat feature extraction for the classical-ML baselines.
+//!
+//! The paper (§IV-C1) feeds traditional models "the aggregated feature
+//! vector of input nodes, the feature vector of the target node, and the
+//! aggregated feature vector of output nodes" concatenated. We mirror that:
+//! SFE statistics of counterparty-funded values, of the target's own
+//! transfers, and of paid-out values, plus basic activity counts.
+
+use baclassifier::construction::sfe::{sfe, SFE_DIM};
+use baclassifier::features::signed_log1p;
+use btcsim::AddressRecord;
+
+/// Width of [`flat_features`] rows: 3 SFE blocks + 5 activity counters.
+pub const FLAT_DIM: usize = 3 * SFE_DIM + 5;
+
+/// The paper-style flattened representation of one address.
+pub fn flat_features(record: &AddressRecord) -> Vec<f64> {
+    let mut incoming = Vec::new(); // values flowing toward the target
+    let mut own = Vec::new(); // the target's own transfer amounts
+    let mut outgoing = Vec::new(); // values flowing away from the target
+    let mut in_degree = 0usize;
+    let mut out_degree = 0usize;
+
+    for tx in &record.txs {
+        let target_in = tx.inputs.iter().any(|&(a, _)| a == record.address);
+        let target_out = tx.outputs.iter().any(|&(a, _)| a == record.address);
+        for &(a, v) in &tx.inputs {
+            if a == record.address {
+                own.push(v.btc());
+                out_degree += 1;
+            } else if target_out {
+                incoming.push(v.btc());
+            }
+        }
+        for &(a, v) in &tx.outputs {
+            if a == record.address {
+                own.push(v.btc());
+                in_degree += 1;
+            } else if target_in {
+                outgoing.push(v.btc());
+            }
+        }
+    }
+
+    let mut row = Vec::with_capacity(FLAT_DIM);
+    for block in [&incoming, &own, &outgoing] {
+        for &v in sfe(block).as_array() {
+            row.push(signed_log1p(v) as f64);
+        }
+    }
+    let span = record
+        .txs
+        .last()
+        .map(|t| t.timestamp)
+        .unwrap_or(0)
+        .saturating_sub(record.txs.first().map(|t| t.timestamp).unwrap_or(0));
+    row.push((record.txs.len() as f64).ln_1p());
+    row.push((in_degree as f64).ln_1p());
+    row.push((out_degree as f64).ln_1p());
+    row.push((span as f64).ln_1p());
+    // mean inter-transaction gap
+    let gap = if record.txs.len() > 1 { span as f64 / (record.txs.len() - 1) as f64 } else { 0.0 };
+    row.push(gap.ln_1p());
+    debug_assert_eq!(row.len(), FLAT_DIM);
+    row
+}
+
+/// Extract flat features and labels for a whole dataset.
+pub fn flat_dataset(records: &[AddressRecord]) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let x = records.iter().map(flat_features).collect();
+    let y = records.iter().map(|r| r.label.index()).collect();
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcsim::{Address, Amount, Label, TxView, Txid};
+
+    fn record_with(txs: Vec<TxView>) -> AddressRecord {
+        AddressRecord { address: Address(1), label: Label::Gambling, txs }
+    }
+
+    fn tx(ts: u64, inputs: &[(u64, f64)], outputs: &[(u64, f64)]) -> TxView {
+        TxView {
+            txid: Txid(ts),
+            timestamp: ts,
+            inputs: inputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+            outputs: outputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+        }
+    }
+
+    #[test]
+    fn width_is_fixed() {
+        let r = record_with(vec![tx(0, &[(1, 2.0)], &[(9, 1.9)])]);
+        assert_eq!(flat_features(&r).len(), FLAT_DIM);
+        let empty = record_with(vec![]);
+        assert_eq!(flat_features(&empty).len(), FLAT_DIM);
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let r = record_with(vec![
+            tx(0, &[(1, 2.0)], &[(9, 1.9)]),
+            tx(600, &[(8, 0.5), (7, 0.1)], &[(1, 0.55)]),
+        ]);
+        assert!(flat_features(&r).iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn sides_are_separated() {
+        // Target only receives: incoming block populated, outgoing zero.
+        let recv = record_with(vec![tx(0, &[(5, 3.0)], &[(1, 2.9)])]);
+        let f = flat_features(&recv);
+        let incoming_count = f[4]; // SFE count slot of block 0 (log1p'd)
+        let outgoing_count = f[2 * SFE_DIM + 4];
+        assert!(incoming_count > 0.0);
+        assert_eq!(outgoing_count, 0.0);
+    }
+
+    #[test]
+    fn activity_counters_reflect_history() {
+        let r = record_with(vec![
+            tx(0, &[(1, 1.0)], &[(9, 0.9)]),
+            tx(1200, &[(1, 1.0)], &[(9, 0.9)]),
+        ]);
+        let f = flat_features(&r);
+        // tx count slot
+        assert!((f[3 * SFE_DIM] - (2.0f64).ln_1p()).abs() < 1e-12);
+        // span slot
+        assert!((f[3 * SFE_DIM + 3] - (1200.0f64).ln_1p()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_extraction_aligns_labels() {
+        let records = vec![
+            record_with(vec![tx(0, &[(1, 1.0)], &[(9, 0.9)])]),
+            AddressRecord {
+                address: Address(2),
+                label: Label::Mining,
+                txs: vec![tx(0, &[(2, 1.0)], &[(9, 0.9)])],
+            },
+        ];
+        let (x, y) = flat_dataset(&records);
+        assert_eq!(x.len(), 2);
+        assert_eq!(y, vec![Label::Gambling.index(), Label::Mining.index()]);
+    }
+}

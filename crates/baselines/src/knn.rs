@@ -1,0 +1,103 @@
+//! K-nearest-neighbours baseline (Euclidean, majority vote).
+
+use crate::common::{Classifier, NUM_CLASSES};
+
+/// KNN classifier storing the training set.
+pub struct Knn {
+    pub k: usize,
+    x: Vec<Vec<f64>>,
+    y: Vec<usize>,
+}
+
+impl Knn {
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        Self { k, x: Vec::new(), y: Vec::new() }
+    }
+}
+
+impl Default for Knn {
+    fn default() -> Self {
+        Self::new(5)
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+impl Classifier for Knn {
+    fn name(&self) -> &'static str {
+        "KNN"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty() && x.len() == y.len(), "bad training data");
+        self.x = x.to_vec();
+        self.y = y.to_vec();
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        assert!(!self.x.is_empty(), "predict before fit");
+        // Partial selection of the k nearest (k is small; a full sort would
+        // be O(n log n) per query).
+        let mut dists: Vec<(f64, usize)> =
+            self.x.iter().zip(&self.y).map(|(xi, &yi)| (sq_dist(row, xi), yi)).collect();
+        let k = self.k.min(dists.len());
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let mut votes = [0usize; NUM_CLASSES];
+        for &(_, c) in &dists[..k] {
+            votes[c] += 1;
+        }
+        // Majority vote; ties break toward the lower class index (stable).
+        let mut best = 0;
+        for c in 1..NUM_CLASSES {
+            if votes[c] > votes[best] {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::tests::blobs;
+
+    #[test]
+    fn knn_classifies_blobs() {
+        let (x, y) = blobs(15);
+        let mut knn = Knn::default();
+        knn.fit(&x, &y);
+        let correct = x.iter().zip(&y).filter(|(r, &t)| knn.predict(r) == t).count();
+        assert_eq!(correct, x.len(), "training points are their own neighbours");
+        assert_eq!(knn.predict(&[4.1, 3.9]), 3);
+    }
+
+    #[test]
+    fn k_one_memorises() {
+        let x = vec![vec![0.0], vec![10.0]];
+        let y = vec![0, 1];
+        let mut knn = Knn::new(1);
+        knn.fit(&x, &y);
+        assert_eq!(knn.predict(&[1.0]), 0);
+        assert_eq!(knn.predict(&[9.0]), 1);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_uses_all() {
+        let x = vec![vec![0.0], vec![0.1], vec![10.0]];
+        let y = vec![0, 0, 1];
+        let mut knn = Knn::new(50);
+        knn.fit(&x, &y);
+        // Majority of all 3 points is class 0 regardless of query.
+        assert_eq!(knn.predict(&[10.0]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        let _ = Knn::new(0);
+    }
+}

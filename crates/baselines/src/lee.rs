@@ -1,0 +1,180 @@
+//! Lee et al. \[20\] baseline: an 80-dimensional transaction-history
+//! summarisation fed to Random Forest or ANN back-ends (the two Table IV
+//! comparator rows).
+
+use crate::ann::AnnClassifier;
+use crate::common::Classifier;
+use crate::ensemble::RandomForest;
+use baclassifier::construction::sfe::sfe;
+use baclassifier::features::signed_log1p;
+use btcsim::AddressRecord;
+
+/// Width of the Lee et al. feature vector.
+pub const LEE_DIM: usize = 80;
+
+/// The 80 transaction-history features: 4 activity counts, five SFE blocks
+/// (received values, sent values, inter-tx intervals, tx input-address
+/// counts, tx output-address counts), and the signed net flow.
+pub fn lee_features(record: &AddressRecord) -> Vec<f64> {
+    let mut received = Vec::new();
+    let mut sent = Vec::new();
+    let mut in_counts = Vec::new();
+    let mut out_counts = Vec::new();
+    let mut as_sender = 0usize;
+    let mut as_receiver = 0usize;
+    let mut coinbase = 0usize;
+
+    for tx in &record.txs {
+        let mut sends = false;
+        let mut receives = false;
+        for &(a, v) in &tx.inputs {
+            if a == record.address {
+                sent.push(v.btc());
+                sends = true;
+            }
+        }
+        for &(a, v) in &tx.outputs {
+            if a == record.address {
+                received.push(v.btc());
+                receives = true;
+            }
+        }
+        if sends {
+            as_sender += 1;
+        }
+        if receives {
+            as_receiver += 1;
+        }
+        if tx.inputs.is_empty() {
+            coinbase += 1;
+        }
+        in_counts.push(tx.inputs.len() as f64);
+        out_counts.push(tx.outputs.len() as f64);
+    }
+    let intervals: Vec<f64> = record
+        .txs
+        .windows(2)
+        .map(|w| (w[1].timestamp - w[0].timestamp) as f64)
+        .collect();
+
+    let mut row = Vec::with_capacity(LEE_DIM);
+    row.push((record.txs.len() as f64).ln_1p());
+    row.push((as_sender as f64).ln_1p());
+    row.push((as_receiver as f64).ln_1p());
+    row.push((coinbase as f64).ln_1p());
+    for block in [&received, &sent, &intervals, &in_counts, &out_counts] {
+        for &v in sfe(block).as_array() {
+            row.push(signed_log1p(v) as f64);
+        }
+    }
+    let net = received.iter().sum::<f64>() - sent.iter().sum::<f64>();
+    row.push(signed_log1p(net) as f64);
+    debug_assert_eq!(row.len(), LEE_DIM);
+    row
+}
+
+/// Which back-end model the Lee et al. classifier uses.
+pub enum LeeBackend {
+    RandomForest(RandomForest),
+    Ann(AnnClassifier),
+}
+
+/// Lee et al. classifier: 80 features + a selectable back-end.
+pub struct LeeClassifier {
+    backend: LeeBackend,
+}
+
+impl LeeClassifier {
+    pub fn random_forest(seed: u64) -> Self {
+        Self { backend: LeeBackend::RandomForest(RandomForest::new(40, seed)) }
+    }
+
+    pub fn ann(seed: u64) -> Self {
+        Self { backend: LeeBackend::Ann(AnnClassifier::new(vec![64, 32], 30, seed)) }
+    }
+
+    fn inner_mut(&mut self) -> &mut dyn Classifier {
+        match &mut self.backend {
+            LeeBackend::RandomForest(m) => m,
+            LeeBackend::Ann(m) => m,
+        }
+    }
+
+    fn inner(&self) -> &dyn Classifier {
+        match &self.backend {
+            LeeBackend::RandomForest(m) => m,
+            LeeBackend::Ann(m) => m,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match &self.backend {
+            LeeBackend::RandomForest(_) => "Lee et al. (Random Forest)",
+            LeeBackend::Ann(_) => "Lee et al. (ANN)",
+        }
+    }
+
+    /// Fit on address records (feature extraction included).
+    pub fn fit_records(&mut self, records: &[AddressRecord]) {
+        let x: Vec<Vec<f64>> = records.iter().map(lee_features).collect();
+        let y: Vec<usize> = records.iter().map(|r| r.label.index()).collect();
+        self.inner_mut().fit(&x, &y);
+    }
+
+    /// Predict one address record.
+    pub fn predict_record(&self, record: &AddressRecord) -> usize {
+        self.inner().predict(&lee_features(record))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcsim::{Address, Amount, Label, TxView, Txid};
+
+    fn record(label: Label, n_txs: u64, value: f64) -> AddressRecord {
+        let txs: Vec<TxView> = (0..n_txs)
+            .map(|i| TxView {
+                txid: Txid(i),
+                timestamp: i * 600,
+                inputs: vec![(Address(99), Amount::from_btc(value))],
+                outputs: vec![(Address(1), Amount::from_btc(value * 0.99))],
+            })
+            .collect();
+        AddressRecord { address: Address(1), label, txs }
+    }
+
+    #[test]
+    fn feature_width_is_80() {
+        assert_eq!(lee_features(&record(Label::Mining, 5, 1.0)).len(), LEE_DIM);
+        assert_eq!(lee_features(&record(Label::Mining, 0, 1.0)).len(), LEE_DIM);
+    }
+
+    #[test]
+    fn features_are_finite() {
+        let f = lee_features(&record(Label::Exchange, 30, 2.5));
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn backends_learn_simple_separation() {
+        // Mining records: many small receipts; Gambling: few large ones.
+        let mut records = Vec::new();
+        for i in 0..12 {
+            records.push(record(Label::Mining, 20 + i % 3, 0.1));
+            records.push(record(Label::Gambling, 2, 5.0 + i as f64));
+        }
+        for mut clf in [LeeClassifier::random_forest(3), LeeClassifier::ann(3)] {
+            clf.fit_records(&records);
+            let correct = records
+                .iter()
+                .filter(|r| clf.predict_record(r) == r.label.index())
+                .count();
+            assert!(
+                correct as f64 / records.len() as f64 > 0.9,
+                "{} underfits",
+                clf.name()
+            );
+        }
+    }
+}

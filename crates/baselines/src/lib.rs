@@ -1,0 +1,33 @@
+//! # baselines — classical-ML and prior-work comparators
+//!
+//! From-scratch implementations of every non-GNN model the paper compares
+//! against:
+//!
+//! * **Table II ML rows**: [`linear::LogisticRegression`], [`ann::AnnClassifier`]
+//!   (MLP), [`linear::LinearSvm`], [`nb::BernoulliNb`], [`nb::GaussianNb`],
+//!   [`knn::Knn`], [`ensemble::DecisionTree`], [`ensemble::Gbdt`],
+//!   [`ensemble::XgBoost`] — all behind the [`common::Classifier`] trait over
+//!   the paper-style flattened features of [`features::flat_features`].
+//! * **Table IV tools**: [`bitscope::BitScope`] (multi-resolution clustering)
+//!   and [`lee::LeeClassifier`] (80 tx-history features + RF/ANN).
+
+pub mod ann;
+pub mod bitscope;
+pub mod common;
+pub mod ensemble;
+pub mod features;
+pub mod knn;
+pub mod lee;
+pub mod linear;
+pub mod nb;
+pub mod tree;
+
+pub use ann::AnnClassifier;
+pub use bitscope::BitScope;
+pub use common::{evaluate, Classifier, Scaler};
+pub use ensemble::{BoostParams, DecisionTree, Gbdt, RandomForest, XgBoost};
+pub use features::{flat_dataset, flat_features, FLAT_DIM};
+pub use knn::Knn;
+pub use lee::{lee_features, LeeClassifier, LEE_DIM};
+pub use linear::{LinearSvm, LogisticRegression};
+pub use nb::{BernoulliNb, GaussianNb};

@@ -1,0 +1,189 @@
+//! Linear baselines: multinomial logistic regression and a linear SVM
+//! (one-vs-rest hinge loss), both trained with mini-batch SGD.
+
+use crate::common::{argmax, softmax_inplace, Classifier, NUM_CLASSES};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Shared linear scorer: `scores = W·x + b` with `W: classes x features`.
+#[derive(Clone, Debug)]
+struct LinearScores {
+    w: Vec<Vec<f64>>,
+    b: Vec<f64>,
+}
+
+impl LinearScores {
+    fn new(classes: usize, dim: usize) -> Self {
+        Self { w: vec![vec![0.0; dim]; classes], b: vec![0.0; classes] }
+    }
+
+    fn scores(&self, row: &[f64]) -> Vec<f64> {
+        self.w
+            .iter()
+            .zip(&self.b)
+            .map(|(w, b)| b + w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>())
+            .collect()
+    }
+}
+
+/// Multinomial logistic regression.
+pub struct LogisticRegression {
+    model: Option<LinearScores>,
+    pub epochs: usize,
+    pub learning_rate: f64,
+    pub l2: f64,
+    pub seed: u64,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self { model: None, epochs: 60, learning_rate: 0.1, l2: 1e-4, seed: 0 }
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "LR"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty() && x.len() == y.len(), "bad training data");
+        let dim = x[0].len();
+        let mut m = LinearScores::new(NUM_CLASSES, dim);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let mut p = m.scores(&x[i]);
+                softmax_inplace(&mut p);
+                for c in 0..NUM_CLASSES {
+                    let grad = p[c] - f64::from(u8::from(c == y[i]));
+                    let wc = &mut m.w[c];
+                    for (w, &xi) in wc.iter_mut().zip(&x[i]) {
+                        *w -= self.learning_rate * (grad * xi + self.l2 * *w);
+                    }
+                    m.b[c] -= self.learning_rate * grad;
+                }
+            }
+        }
+        self.model = Some(m);
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        let m = self.model.as_ref().expect("predict before fit");
+        argmax(&m.scores(row))
+    }
+}
+
+/// Linear SVM: one-vs-rest hinge loss with SGD and L2 regularisation.
+pub struct LinearSvm {
+    model: Option<LinearScores>,
+    pub epochs: usize,
+    pub learning_rate: f64,
+    pub l2: f64,
+    pub seed: u64,
+}
+
+impl Default for LinearSvm {
+    fn default() -> Self {
+        Self { model: None, epochs: 60, learning_rate: 0.05, l2: 1e-3, seed: 0 }
+    }
+}
+
+impl Classifier for LinearSvm {
+    fn name(&self) -> &'static str {
+        "SVM"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty() && x.len() == y.len(), "bad training data");
+        let dim = x[0].len();
+        let mut m = LinearScores::new(NUM_CLASSES, dim);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..x.len()).collect();
+        for _ in 0..self.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let s = m.scores(&x[i]);
+                for c in 0..NUM_CLASSES {
+                    let t = if c == y[i] { 1.0 } else { -1.0 };
+                    // hinge subgradient: active when t·s < 1
+                    let active = t * s[c] < 1.0;
+                    let wc = &mut m.w[c];
+                    for (w, &xi) in wc.iter_mut().zip(&x[i]) {
+                        let g = if active { -t * xi } else { 0.0 };
+                        *w -= self.learning_rate * (g + self.l2 * *w);
+                    }
+                    if active {
+                        m.b[c] += self.learning_rate * t;
+                    }
+                }
+            }
+        }
+        self.model = Some(m);
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        let m = self.model.as_ref().expect("predict before fit");
+        argmax(&m.scores(row))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    /// Four linearly-separable blobs, one per class.
+    pub(crate) fn blobs(n_per_class: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let centers = [[0.0, 0.0], [4.0, 0.0], [0.0, 4.0], [4.0, 4.0]];
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for (c, center) in centers.iter().enumerate() {
+            for i in 0..n_per_class {
+                let jitter = ((i * 7 + c) as f64 * 0.61).sin() * 0.3;
+                x.push(vec![center[0] + jitter, center[1] - jitter]);
+                y.push(c);
+            }
+        }
+        (x, y)
+    }
+
+    #[test]
+    fn lr_separates_blobs() {
+        let (x, y) = blobs(20);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        let correct = x.iter().zip(&y).filter(|(r, &t)| lr.predict(r) == t).count();
+        assert!(correct as f64 / x.len() as f64 > 0.95);
+    }
+
+    #[test]
+    fn svm_separates_blobs() {
+        let (x, y) = blobs(20);
+        let mut svm = LinearSvm::default();
+        svm.fit(&x, &y);
+        let correct = x.iter().zip(&y).filter(|(r, &t)| svm.predict(r) == t).count();
+        assert!(correct as f64 / x.len() as f64 > 0.95);
+    }
+
+    #[test]
+    #[should_panic(expected = "predict before fit")]
+    fn predict_before_fit_panics() {
+        let lr = LogisticRegression::default();
+        let _ = lr.predict(&[0.0]);
+    }
+
+    #[test]
+    fn refit_replaces_model() {
+        let (x, y) = blobs(10);
+        let mut lr = LogisticRegression::default();
+        lr.fit(&x, &y);
+        // Refit with permuted labels: predictions must change accordingly.
+        let y_swapped: Vec<usize> = y.iter().map(|&c| (c + 1) % 4).collect();
+        lr.fit(&x, &y_swapped);
+        let correct = x.iter().zip(&y_swapped).filter(|(r, &t)| lr.predict(r) == t).count();
+        assert!(correct as f64 / x.len() as f64 > 0.9);
+    }
+}

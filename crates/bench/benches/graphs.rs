@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the graph-algorithm substrate: SFE,
+//! centralities, normalised adjacency, and the UTXO simulator itself.
+
+use btcsim::{SimConfig, Simulator};
+use baclassifier::construction::sfe::sfe;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphalgo::{all_centralities, normalized_adjacency, propagate_features, Graph};
+use std::hint::black_box;
+
+/// A random-ish sparse graph of `n` nodes with ~3n edges.
+fn sparse_graph(n: usize) -> Graph {
+    let mut g = Graph::new(n);
+    for i in 0..n {
+        g.add_edge(i, (i * 7 + 1) % n, 1.0);
+        g.add_edge(i, (i * 13 + 5) % n, 1.0);
+        g.add_edge(i, (i / 2 + 3) % n, 1.0);
+    }
+    g
+}
+
+fn bench_sfe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sfe");
+    for n in [10usize, 100, 1000] {
+        let values: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64 * 0.37 + 0.01).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
+            b.iter(|| black_box(sfe(v)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_centralities(c: &mut Criterion) {
+    let mut group = c.benchmark_group("centralities");
+    for n in [50usize, 150, 400] {
+        let g = sparse_graph(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
+            b.iter(|| black_box(all_centralities(g)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_propagation(c: &mut Criterion) {
+    let g = sparse_graph(200);
+    let adj = normalized_adjacency(&g);
+    let x: Vec<f32> = (0..200 * 24).map(|i| (i as f32 * 0.01).sin()).collect();
+    c.bench_function("propagate_k3_200x24", |b| {
+        b.iter(|| black_box(propagate_features(&adj, &x, 24, 3)))
+    });
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    c.bench_function("simulate_60_blocks", |b| {
+        b.iter(|| {
+            let sim = Simulator::run_to_completion(SimConfig::tiny(5));
+            black_box(sim.chain().num_transactions())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sfe, bench_centralities, bench_propagation, bench_simulator
+}
+criterion_main!(benches);

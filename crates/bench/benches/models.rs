@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the learning stack: GFN/GCN/DiffPool
+//! forward+backward per graph (the per-epoch cost behind Fig. 5) and the
+//! sequence heads per address (behind Fig. 6).
+
+use baclassifier::classify::{all_heads, SequenceHead};
+use baclassifier::config::ConstructionConfig;
+use baclassifier::construction::construct_address_graphs;
+use baclassifier::features::{graph_tensors, NODE_FEAT_DIM};
+use baclassifier::models::{DiffPool, Gcn, Gfn, GraphModel};
+use btcsim::{Dataset, SimConfig, Simulator};
+use criterion::{criterion_group, criterion_main, Criterion};
+use numnet::{Matrix, Tape};
+use std::hint::black_box;
+
+fn sample_tensors() -> baclassifier::features::GraphTensors {
+    let sim = Simulator::run_to_completion(SimConfig::tiny(99));
+    let ds = Dataset::from_simulator(&sim, 3);
+    let record = ds.records.iter().max_by_key(|r| r.num_txs()).expect("non-empty").clone();
+    let (graphs, _) = construct_address_graphs(&record, &ConstructionConfig::default());
+    graph_tensors(&graphs[0])
+}
+
+fn bench_gnn_forward_backward(c: &mut Criterion) {
+    let tensors = sample_tensors();
+    let models: Vec<Box<dyn GraphModel>> = vec![
+        Box::new(Gfn::new(NODE_FEAT_DIM, 2, 64, 32, 0)),
+        Box::new(Gcn::new(NODE_FEAT_DIM, 64, 32, 0)),
+        Box::new(DiffPool::new(NODE_FEAT_DIM, 64, 8, 32, 0)),
+    ];
+    let mut group = c.benchmark_group("gnn_step");
+    for model in &models {
+        let prep = model.prepare(&tensors);
+        group.bench_function(format!("{}_fwd_bwd", model.name()), |b| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let loss = model.logits(&tape, black_box(&prep)).softmax_cross_entropy(&[1]);
+                loss.backward();
+                for p in model.params() {
+                    p.zero_grad();
+                }
+            })
+        });
+        group.bench_function(format!("{}_prepare", model.name()), |b| {
+            b.iter(|| black_box(model.prepare(&tensors)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_heads(c: &mut Criterion) {
+    let seq: Vec<Matrix> =
+        (0..8).map(|t| Matrix::from_fn(1, 32, |_, c| ((t * 13 + c) as f32 * 0.17).sin())).collect();
+    let mut group = c.benchmark_group("head_step");
+    for head in all_heads(32, 32, 0) {
+        let head: Box<dyn SequenceHead> = head;
+        group.bench_function(format!("{}_fwd_bwd", head.name()), |b| {
+            b.iter(|| {
+                let tape = Tape::new();
+                let loss = head.logits(&tape, black_box(&seq)).softmax_cross_entropy(&[2]);
+                loss.backward();
+                for p in head.params() {
+                    p.zero_grad();
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gnn_forward_backward, bench_heads
+}
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Table I — dataset statistics: labeled addresses per behavior class.
+//!
+//! Regenerates the paper's dataset-statistics table from the simulated
+//! economy, alongside the paper's published counts for shape comparison.
+
+use bac_bench::{build_full_dataset, f4, print_rows, ExpScale};
+use btcsim::Label;
+
+fn main() {
+    let scale = ExpScale::from_args();
+    println!("# Table I — dataset statistics (scale: {} blocks)", scale.blocks);
+    let (sim, ds) = build_full_dataset(&scale);
+    let counts = ds.class_counts();
+    let total: usize = counts.iter().sum();
+
+    // Paper's published counts (2,138,657 addresses total).
+    let paper = [912_322usize, 133_119, 377_559, 715_657];
+    let paper_total: usize = paper.iter().sum();
+
+    let mut rows = Vec::new();
+    for label in Label::ALL {
+        let i = label.index();
+        rows.push(vec![
+            label.name().to_string(),
+            counts[i].to_string(),
+            f4(counts[i] as f64 / total.max(1) as f64),
+            paper[i].to_string(),
+            f4(paper[i] as f64 / paper_total as f64),
+        ]);
+    }
+    rows.push(vec![
+        "Total".into(),
+        total.to_string(),
+        f4(1.0),
+        paper_total.to_string(),
+        f4(1.0),
+    ]);
+    print_rows(
+        "Table I: labeled addresses per class (ours vs paper)",
+        &["Address Label", "Ours", "Ours %", "Paper", "Paper %"],
+        &rows,
+    );
+
+    println!("\nchain: {} blocks, {} transactions, {} distinct addresses",
+        sim.chain().height(),
+        sim.chain().num_transactions(),
+        sim.chain().num_addresses(),
+    );
+    println!(
+        "labeled (≥{} txs): {} of {} labeled addresses",
+        scale.min_txs,
+        total,
+        sim.labels().len()
+    );
+}

@@ -1,0 +1,309 @@
+//! Exchange behavior: hot/cold wallets, single-use deposit addresses,
+//! periodic sweeps (many-to-one consolidation), batched withdrawals
+//! (one-to-many payouts), and hot/cold rebalancing.
+
+use super::{Actor, Shared, StepCtx, DEFAULT_FEE};
+use crate::address::{Address, Label};
+use crate::amount::Amount;
+use crate::tx::{Transaction, TxOut};
+use crate::wallet::{ChangePolicy, Wallet};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Tunables for one exchange.
+#[derive(Clone, Debug)]
+pub struct ExchangeConfig {
+    /// This exchange's index in `Directory::exchange_deposits` /
+    /// `Mailbox::withdrawals`.
+    pub id: usize,
+    /// Deposit addresses kept available in the directory.
+    pub deposit_pool_target: usize,
+    /// Sweep deposit funds into the hot wallet every this many blocks.
+    pub sweep_interval: u64,
+    /// Max deposit UTXOs consolidated per sweep transaction.
+    pub sweep_batch: usize,
+    /// Move funds to cold storage when the hot wallet exceeds this.
+    pub hot_ceiling: Amount,
+    /// Refill hot from cold when the hot wallet drops below this.
+    pub hot_floor: Amount,
+    /// Max withdrawal payouts batched into one transaction.
+    pub withdrawal_batch: usize,
+}
+
+impl Default for ExchangeConfig {
+    fn default() -> Self {
+        Self {
+            id: 0,
+            deposit_pool_target: 24,
+            sweep_interval: 6,
+            sweep_batch: 32,
+            hot_ceiling: Amount::from_btc(500.0),
+            hot_floor: Amount::from_btc(10.0),
+            withdrawal_batch: 16,
+        }
+    }
+}
+
+/// An exchange: deposit wallet (single-use intake addresses), hot wallet
+/// (operational), cold wallet (reserve).
+pub struct ExchangeActor {
+    cfg: ExchangeConfig,
+    deposit_wallet: Wallet,
+    hot: Wallet,
+    cold: Wallet,
+    hot_main: Address,
+    cold_main: Address,
+    /// Deposit addresses ever issued (all labeled Exchange).
+    issued: Vec<Address>,
+}
+
+impl ExchangeActor {
+    pub fn new(cfg: ExchangeConfig, shared: &mut Shared) -> Self {
+        let mut hot = Wallet::new(ChangePolicy::FreshAddress);
+        let mut cold = Wallet::new(ChangePolicy::ReuseInput);
+        let hot_main = hot.new_address(&mut shared.alloc);
+        let cold_main = cold.new_address(&mut shared.alloc);
+        if shared.dir.exchange_deposits.len() <= cfg.id {
+            shared.dir.exchange_deposits.resize(cfg.id + 1, Vec::new());
+        }
+        Self {
+            cfg,
+            deposit_wallet: Wallet::new(ChangePolicy::FreshAddress),
+            hot,
+            cold,
+            hot_main,
+            cold_main,
+            issued: Vec::new(),
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.cfg.id
+    }
+
+    /// Total funds under management.
+    pub fn assets(&self) -> Amount {
+        self.deposit_wallet.balance() + self.hot.balance() + self.cold.balance()
+    }
+
+    fn refill_deposit_pool(&mut self, shared: &mut Shared) {
+        let pool = &mut shared.dir.exchange_deposits[self.cfg.id];
+        while pool.len() < self.cfg.deposit_pool_target {
+            let a = self.deposit_wallet.new_address(&mut shared.alloc);
+            self.issued.push(a);
+            pool.push(a);
+        }
+    }
+
+    fn sweep_deposits(&mut self, ctx: &mut StepCtx<'_>) {
+        // Consolidate confirmed deposits into the hot wallet: the classic
+        // many-inputs-one-output exchange pattern.
+        while self.deposit_wallet.num_utxos() >= 2 {
+            let nonce = ctx.next_nonce();
+            let Some(tx) = self.deposit_wallet.consolidate(
+                self.hot_main,
+                self.cfg.sweep_batch,
+                DEFAULT_FEE,
+                ctx.timestamp,
+                nonce,
+            ) else {
+                break;
+            };
+            ctx.submit(tx);
+        }
+    }
+
+    fn process_withdrawals(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
+        let mine: Vec<(Address, Amount)> = {
+            let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut shared.mail.withdrawals)
+                .into_iter()
+                .partition(|&(id, _, _)| id == self.cfg.id);
+            shared.mail.withdrawals = rest;
+            mine.into_iter().map(|(_, a, v)| (a, v)).collect()
+        };
+        for batch in mine.chunks(self.cfg.withdrawal_batch) {
+            let outs: Vec<TxOut> =
+                batch.iter().map(|&(address, value)| TxOut { address, value }).collect();
+            let nonce = ctx.next_nonce();
+            match self.hot.create_payment(outs, DEFAULT_FEE, &mut shared.alloc, ctx.timestamp, nonce)
+            {
+                Some(tx) => ctx.submit(tx),
+                None => {
+                    // Hot balance short (e.g. change still unconfirmed):
+                    // re-queue the batch for the next block.
+                    shared
+                        .mail
+                        .withdrawals
+                        .extend(batch.iter().map(|&(a, v)| (self.cfg.id, a, v)));
+                }
+            }
+        }
+    }
+
+    fn rebalance(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
+        if self.hot.balance() > self.cfg.hot_ceiling {
+            let excess = self.hot.balance() - self.cfg.hot_floor.mul_f64(4.0).min(self.hot.balance());
+            if excess > DEFAULT_FEE {
+                let nonce = ctx.next_nonce();
+                if let Some(tx) = self.hot.create_payment(
+                    vec![TxOut { address: self.cold_main, value: excess - DEFAULT_FEE }],
+                    DEFAULT_FEE,
+                    &mut shared.alloc,
+                    ctx.timestamp,
+                    nonce,
+                ) {
+                    ctx.submit(tx);
+                }
+            }
+        } else if self.hot.balance() < self.cfg.hot_floor && self.cold.balance() > self.cfg.hot_floor.mul_f64(2.0) {
+            let refill = self.cold.balance().div_n(4);
+            let nonce = ctx.next_nonce();
+            if let Some(tx) = self.cold.create_payment(
+                vec![TxOut { address: self.hot_main, value: refill }],
+                DEFAULT_FEE,
+                &mut shared.alloc,
+                ctx.timestamp,
+                nonce,
+            ) {
+                ctx.submit(tx);
+            }
+        }
+    }
+}
+
+impl Actor for ExchangeActor {
+    fn kind(&self) -> &'static str {
+        "exchange"
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
+        self.refill_deposit_pool(shared);
+        self.process_withdrawals(ctx, shared);
+        if ctx.height % self.cfg.sweep_interval == self.cfg.id as u64 % self.cfg.sweep_interval {
+            self.sweep_deposits(ctx);
+        }
+        // Occasional rebalance check with jitter so exchanges don't sync up.
+        if ctx.rng.gen_bool(0.2) {
+            self.rebalance(ctx, shared);
+        }
+    }
+
+    fn on_confirmed(&mut self, tx: &Transaction) {
+        self.deposit_wallet.observe(tx);
+        self.hot.observe(tx);
+        self.cold.observe(tx);
+    }
+
+    fn collect_labels(&self, out: &mut BTreeMap<Address, Label>) {
+        for w in [&self.deposit_wallet, &self.hot, &self.cold] {
+            for a in w.addresses() {
+                out.insert(a, Label::Exchange);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run_step(actor: &mut ExchangeActor, shared: &mut Shared, height: u64) -> Vec<Transaction> {
+        let mut rng = StdRng::seed_from_u64(height);
+        let mut nonce = height * 1000;
+        let mut out = Vec::new();
+        let mut ctx = StepCtx::new(&mut rng, height * 600, height, &mut nonce, &mut out);
+        actor.step(&mut ctx, shared);
+        out
+    }
+
+    #[test]
+    fn deposit_pool_is_refilled() {
+        let mut shared = Shared::default();
+        let mut ex = ExchangeActor::new(ExchangeConfig::default(), &mut shared);
+        run_step(&mut ex, &mut shared, 0);
+        assert_eq!(shared.dir.exchange_deposits[0].len(), 24);
+    }
+
+    #[test]
+    fn deposits_get_swept_to_hot() {
+        let mut shared = Shared::default();
+        let mut ex = ExchangeActor::new(ExchangeConfig::default(), &mut shared);
+        run_step(&mut ex, &mut shared, 0);
+        // Simulate three user deposits into published addresses.
+        for i in 0..3 {
+            let dep = shared.dir.exchange_deposits[0].pop().unwrap();
+            let tx = Transaction::new(
+                vec![],
+                vec![TxOut { address: dep, value: Amount::from_btc(1.0) }],
+                0,
+                900 + i,
+            );
+            ex.on_confirmed(&tx);
+        }
+        assert_eq!(ex.deposit_wallet.num_utxos(), 3);
+        // Sweep happens on the block where height % interval == id.
+        let txs = run_step(&mut ex, &mut shared, 6);
+        assert_eq!(txs.len(), 1, "one consolidation tx");
+        assert!(txs[0].inputs.len() == 3);
+        assert_eq!(txs[0].outputs[0].address, ex.hot_main);
+        for tx in &txs {
+            ex.on_confirmed(tx);
+        }
+        assert!(ex.hot.balance() > Amount::from_btc(2.9));
+    }
+
+    #[test]
+    fn withdrawals_are_batched() {
+        let mut shared = Shared::default();
+        let mut ex = ExchangeActor::new(ExchangeConfig::default(), &mut shared);
+        // Fund hot wallet directly.
+        let fund = Transaction::new(
+            vec![],
+            vec![TxOut { address: ex.hot_main, value: Amount::from_btc(100.0) }],
+            0,
+            1,
+        );
+        ex.on_confirmed(&fund);
+        for i in 0..20u64 {
+            shared.mail.withdrawals.push((0, Address(100_000 + i), Amount::from_btc(0.1)));
+        }
+        let txs = run_step(&mut ex, &mut shared, 1);
+        // 20 withdrawals, batch size 16: the first batch pays out; the second
+        // cannot spend the unconfirmed change and is re-queued.
+        let payouts: Vec<_> = txs.iter().filter(|t| !t.inputs.is_empty()).collect();
+        assert_eq!(payouts.len(), 1);
+        assert!(payouts[0].outputs.len() >= 16);
+        assert_eq!(shared.mail.withdrawals.len(), 4);
+        // After confirmation the re-queued batch is served.
+        for tx in &txs {
+            ex.on_confirmed(tx);
+        }
+        let txs2 = run_step(&mut ex, &mut shared, 2);
+        let payouts2: Vec<_> = txs2.iter().filter(|t| !t.inputs.is_empty()).collect();
+        assert_eq!(payouts2.len(), 1);
+        assert_eq!(payouts2[0].outputs.len(), 5); // 4 payouts + change
+        assert!(shared.mail.withdrawals.is_empty());
+    }
+
+    #[test]
+    fn labels_cover_all_owned_addresses() {
+        let mut shared = Shared::default();
+        let mut ex = ExchangeActor::new(ExchangeConfig::default(), &mut shared);
+        run_step(&mut ex, &mut shared, 0);
+        let mut labels = BTreeMap::new();
+        ex.collect_labels(&mut labels);
+        assert!(labels.len() >= 26); // 24 deposits + hot + cold
+        assert!(labels.values().all(|&l| l == Label::Exchange));
+    }
+
+    #[test]
+    fn foreign_withdrawals_left_in_mailbox() {
+        let mut shared = Shared::default();
+        let mut ex = ExchangeActor::new(ExchangeConfig::default(), &mut shared);
+        shared.mail.withdrawals.push((3, Address(1), Amount::from_btc(1.0)));
+        run_step(&mut ex, &mut shared, 1);
+        assert_eq!(shared.mail.withdrawals.len(), 1);
+    }
+}

@@ -1,0 +1,247 @@
+//! Gambling behavior: many small, frequent, roughly symmetric flows between
+//! gambler addresses and the house — high transaction counts, low values,
+//! tight time cadence.
+
+use super::{Actor, Shared, StepCtx, DEFAULT_FEE};
+use crate::address::{Address, Label};
+use crate::amount::Amount;
+use crate::dist;
+use crate::tx::{Transaction, TxOut};
+use crate::wallet::{ChangePolicy, Wallet};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Tunables for one gambling site.
+#[derive(Clone, Debug)]
+pub struct GamblingConfig {
+    /// This house's index in `Directory::house_addresses`.
+    pub id: usize,
+    /// Number of gambler wallets playing at this house.
+    pub num_gamblers: usize,
+    /// Expected bets placed per block across all gamblers.
+    pub bets_per_block: f64,
+    /// House edge: win probability for a 2x payout.
+    pub win_prob: f64,
+    /// Typical bet size (log-normal median), in BTC.
+    pub median_bet_btc: f64,
+}
+
+impl Default for GamblingConfig {
+    fn default() -> Self {
+        Self { id: 0, num_gamblers: 40, bets_per_block: 4.0, win_prob: 0.474, median_bet_btc: 0.02 }
+    }
+}
+
+/// A gambling site (house wallet) and its gamblers.
+pub struct GamblingActor {
+    cfg: GamblingConfig,
+    house: Wallet,
+    house_addr: Address,
+    gamblers: Vec<Wallet>,
+    /// Wins owed: (gambler wallet index, payout) settled next step.
+    pending_payouts: Vec<(usize, Amount)>,
+}
+
+impl GamblingActor {
+    pub fn new(cfg: GamblingConfig, shared: &mut Shared) -> Self {
+        let mut house = Wallet::new(ChangePolicy::ReuseInput);
+        let house_addr = house.new_address(&mut shared.alloc);
+        if shared.dir.house_addresses.len() <= cfg.id {
+            shared.dir.house_addresses.resize(cfg.id + 1, Address(u64::MAX));
+        }
+        shared.dir.house_addresses[cfg.id] = house_addr;
+        let gamblers = (0..cfg.num_gamblers)
+            .map(|_| {
+                let mut w = Wallet::new(ChangePolicy::FreshAddress);
+                w.new_address(&mut shared.alloc);
+                w
+            })
+            .collect();
+        Self { cfg, house, house_addr, gamblers, pending_payouts: Vec::new() }
+    }
+
+    pub fn house_address(&self) -> Address {
+        self.house_addr
+    }
+
+    /// Primary receiving address of each gambler (for external funding).
+    pub fn gambler_addresses(&self) -> Vec<Address> {
+        self.gamblers.iter().filter_map(|w| w.addresses().next()).collect()
+    }
+
+    pub fn house_balance(&self) -> Amount {
+        self.house.balance()
+    }
+
+    fn settle_payouts(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
+        let pending = std::mem::take(&mut self.pending_payouts);
+        for (gi, amount) in pending {
+            let Some(dest) = self.gamblers[gi].addresses().next() else { continue };
+            let nonce = ctx.next_nonce();
+            if let Some(tx) = self.house.create_payment(
+                vec![TxOut { address: dest, value: amount }],
+                DEFAULT_FEE,
+                &mut shared.alloc,
+                ctx.timestamp,
+                nonce,
+            ) {
+                ctx.submit(tx);
+            }
+        }
+    }
+
+    fn place_bets(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
+        let n_bets = dist::poisson(ctx.rng, self.cfg.bets_per_block) as usize;
+        let mu = self.cfg.median_bet_btc.ln();
+        for _ in 0..n_bets {
+            let gi = ctx.rng.gen_range(0..self.gamblers.len());
+            let bet = Amount::from_btc(dist::log_normal(ctx.rng, mu, 0.8).min(5.0));
+            if bet.is_zero() {
+                continue;
+            }
+            let house_addr = self.house_addr;
+            let nonce = ctx.next_nonce();
+            let Some(tx) = self.gamblers[gi].create_payment(
+                vec![TxOut { address: house_addr, value: bet }],
+                DEFAULT_FEE,
+                &mut shared.alloc,
+                ctx.timestamp,
+                nonce,
+            ) else {
+                continue; // broke gambler
+            };
+            ctx.submit(tx);
+            if ctx.rng.gen_bool(self.cfg.win_prob) {
+                self.pending_payouts.push((gi, bet.mul_f64(2.0)));
+            }
+        }
+    }
+}
+
+impl Actor for GamblingActor {
+    fn kind(&self) -> &'static str {
+        "gambling"
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
+        self.settle_payouts(ctx, shared);
+        self.place_bets(ctx, shared);
+    }
+
+    fn on_confirmed(&mut self, tx: &Transaction) {
+        self.house.observe(tx);
+        for g in &mut self.gamblers {
+            g.observe(tx);
+        }
+    }
+
+    fn collect_labels(&self, out: &mut BTreeMap<Address, Label>) {
+        for a in self.house.addresses() {
+            out.insert(a, Label::Gambling);
+        }
+        for g in &self.gamblers {
+            for a in g.addresses() {
+                out.insert(a, Label::Gambling);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn step_at(actor: &mut GamblingActor, shared: &mut Shared, height: u64) -> Vec<Transaction> {
+        let mut rng = StdRng::seed_from_u64(height + 77);
+        let mut nonce = height * 1000;
+        let mut out = Vec::new();
+        let mut ctx = StepCtx::new(&mut rng, height * 600, height, &mut nonce, &mut out);
+        actor.step(&mut ctx, shared);
+        out
+    }
+
+    fn fund_gamblers(actor: &mut GamblingActor, btc: f64) {
+        for (i, addr) in actor.gambler_addresses().into_iter().enumerate() {
+            let tx = Transaction::new(
+                vec![],
+                vec![TxOut { address: addr, value: Amount::from_btc(btc) }],
+                0,
+                500_000 + i as u64,
+            );
+            actor.on_confirmed(&tx);
+        }
+    }
+
+    #[test]
+    fn funded_gamblers_place_bets() {
+        let mut shared = Shared::default();
+        let mut g = GamblingActor::new(GamblingConfig::default(), &mut shared);
+        fund_gamblers(&mut g, 2.0);
+        let mut total_bets = 0;
+        for h in 1..10 {
+            let txs = step_at(&mut g, &mut shared, h);
+            total_bets += txs
+                .iter()
+                .filter(|t| t.outputs.iter().any(|o| o.address == g.house_address()))
+                .count();
+            for tx in &txs {
+                g.on_confirmed(tx);
+            }
+        }
+        assert!(total_bets > 10, "expected steady betting, saw {total_bets}");
+    }
+
+    #[test]
+    fn broke_gamblers_cannot_bet() {
+        let mut shared = Shared::default();
+        let mut g = GamblingActor::new(GamblingConfig::default(), &mut shared);
+        let txs = step_at(&mut g, &mut shared, 1);
+        assert!(txs.is_empty());
+    }
+
+    #[test]
+    fn wins_are_paid_next_step() {
+        let mut shared = Shared::default();
+        let cfg = GamblingConfig { win_prob: 1.0, bets_per_block: 10.0, ..Default::default() };
+        let mut g = GamblingActor::new(cfg, &mut shared);
+        fund_gamblers(&mut g, 2.0);
+        // House needs float to pay winners.
+        let float = Transaction::new(
+            vec![],
+            vec![TxOut { address: g.house_address(), value: Amount::from_btc(100.0) }],
+            0,
+            999_999,
+        );
+        g.on_confirmed(&float);
+        let bets = step_at(&mut g, &mut shared, 1);
+        for tx in &bets {
+            g.on_confirmed(tx);
+        }
+        assert!(!g.pending_payouts.is_empty());
+        let payouts = step_at(&mut g, &mut shared, 2);
+        let from_house: Vec<_> = payouts
+            .iter()
+            .filter(|t| t.inputs.iter().any(|i| i.address == g.house_address()))
+            .collect();
+        assert!(!from_house.is_empty(), "house should pay winners");
+    }
+
+    #[test]
+    fn house_registered_in_directory() {
+        let mut shared = Shared::default();
+        let g = GamblingActor::new(GamblingConfig::default(), &mut shared);
+        assert_eq!(shared.dir.house_addresses[0], g.house_address());
+    }
+
+    #[test]
+    fn labels_cover_house_and_gamblers() {
+        let mut shared = Shared::default();
+        let g = GamblingActor::new(GamblingConfig::default(), &mut shared);
+        let mut labels = BTreeMap::new();
+        g.collect_labels(&mut labels);
+        assert_eq!(labels.len(), 41);
+        assert!(labels.values().all(|&l| l == Label::Gambling));
+    }
+}

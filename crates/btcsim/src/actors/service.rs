@@ -1,0 +1,279 @@
+//! Service behavior (paper's fourth category): coin mixers / underground
+//! banks. Intake addresses receive client funds; the mixer then runs peel
+//! chains — a sequence of transactions each paying a small slice to a
+//! destination and passing the remainder to a fresh internal address —
+//! producing long chains of single-use Service-labeled addresses.
+
+use super::{Actor, Shared, StepCtx, DEFAULT_FEE};
+use crate::address::{Address, Label};
+use crate::amount::Amount;
+use crate::tx::{Transaction, TxOut};
+use crate::wallet::{ChangePolicy, Wallet};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Tunables for one mixing service.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// This mixer's index in `Directory::mixer_intakes` / `Mailbox::mix_jobs`.
+    pub id: usize,
+    /// Number of peel hops per mixing job.
+    pub peel_hops: usize,
+    /// Fee the service keeps, as a fraction of the mixed amount.
+    pub service_fee: f64,
+    /// Max jobs processed per block.
+    pub jobs_per_block: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self { id: 0, peel_hops: 5, service_fee: 0.03, jobs_per_block: 4 }
+    }
+}
+
+/// In-flight peel chain.
+#[derive(Debug)]
+struct PeelJob {
+    /// Remaining value travelling down the chain.
+    remaining: Amount,
+    /// Final client destination.
+    dest: Address,
+    /// Hops still to perform.
+    hops_left: usize,
+    /// Per-hop payout to the destination.
+    slice: Amount,
+}
+
+/// A coin-mixing service.
+pub struct ServiceActor {
+    cfg: ServiceConfig,
+    wallet: Wallet,
+    intake: Address,
+    profit_addr: Address,
+    jobs: Vec<PeelJob>,
+}
+
+impl ServiceActor {
+    pub fn new(cfg: ServiceConfig, shared: &mut Shared) -> Self {
+        let mut wallet = Wallet::new(ChangePolicy::FreshAddress);
+        let intake = wallet.new_address(&mut shared.alloc);
+        let profit_addr = wallet.new_address(&mut shared.alloc);
+        if shared.dir.mixer_intakes.len() <= cfg.id {
+            shared.dir.mixer_intakes.resize(cfg.id + 1, Address(u64::MAX));
+        }
+        shared.dir.mixer_intakes[cfg.id] = intake;
+        Self { cfg, wallet, intake, profit_addr, jobs: Vec::new() }
+    }
+
+    pub fn intake_address(&self) -> Address {
+        self.intake
+    }
+
+    pub fn balance(&self) -> Amount {
+        self.wallet.balance()
+    }
+
+    pub fn active_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    fn accept_jobs(&mut self, shared: &mut Shared) {
+        let (mine, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut shared.mail.mix_jobs)
+            .into_iter()
+            .partition(|&(id, _, _)| id == self.cfg.id);
+        shared.mail.mix_jobs = rest;
+        for (_, dest, amount) in mine {
+            let after_fee = amount.mul_f64(1.0 - self.cfg.service_fee);
+            if after_fee.is_zero() || self.cfg.peel_hops == 0 {
+                continue;
+            }
+            self.jobs.push(PeelJob {
+                remaining: after_fee,
+                dest,
+                hops_left: self.cfg.peel_hops,
+                slice: after_fee.div_n(self.cfg.peel_hops as u64),
+            });
+        }
+    }
+
+    fn run_peel_hops(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
+        let mut processed = 0;
+        let mut i = 0;
+        while i < self.jobs.len() && processed < self.cfg.jobs_per_block {
+            let job = &mut self.jobs[i];
+            if self.wallet.balance() < job.slice + DEFAULT_FEE {
+                i += 1;
+                continue;
+            }
+            let last_hop = job.hops_left <= 1;
+            let pay = if last_hop { job.remaining } else { job.slice.min(job.remaining) };
+            if pay.is_zero() {
+                self.jobs.swap_remove(i);
+                continue;
+            }
+            let dest = job.dest;
+            let nonce = ctx.next_nonce();
+            // FreshAddress change policy makes every hop leave the remainder
+            // on a brand-new service address: the peel chain.
+            let tx = self.wallet.create_payment(
+                vec![TxOut { address: dest, value: pay }],
+                DEFAULT_FEE,
+                &mut shared.alloc,
+                ctx.timestamp,
+                nonce,
+            );
+            match tx {
+                Some(tx) => {
+                    ctx.submit(tx);
+                    let job = &mut self.jobs[i];
+                    job.remaining = job.remaining.saturating_sub(pay);
+                    job.hops_left -= 1;
+                    processed += 1;
+                    if job.hops_left == 0 || job.remaining.is_zero() {
+                        self.jobs.swap_remove(i);
+                    } else {
+                        i += 1;
+                    }
+                }
+                None => {
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    fn skim_profit(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
+        // Occasionally consolidate accumulated fees.
+        if ctx.rng.gen_bool(0.05) && self.wallet.num_utxos() > 8 {
+            let nonce = ctx.next_nonce();
+            if let Some(tx) =
+                self.wallet.consolidate(self.profit_addr, 8, DEFAULT_FEE, ctx.timestamp, nonce)
+            {
+                ctx.submit(tx);
+            }
+        }
+        let _ = shared;
+    }
+}
+
+impl Actor for ServiceActor {
+    fn kind(&self) -> &'static str {
+        "service-mixer"
+    }
+
+    fn step(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
+        self.accept_jobs(shared);
+        self.run_peel_hops(ctx, shared);
+        self.skim_profit(ctx, shared);
+    }
+
+    fn on_confirmed(&mut self, tx: &Transaction) {
+        self.wallet.observe(tx);
+    }
+
+    fn collect_labels(&self, out: &mut BTreeMap<Address, Label>) {
+        for a in self.wallet.addresses() {
+            out.insert(a, Label::Service);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn step_at(actor: &mut ServiceActor, shared: &mut Shared, height: u64) -> Vec<Transaction> {
+        let mut rng = StdRng::seed_from_u64(height + 31);
+        let mut nonce = height * 1000;
+        let mut out = Vec::new();
+        let mut ctx = StepCtx::new(&mut rng, height * 600, height, &mut nonce, &mut out);
+        actor.step(&mut ctx, shared);
+        out
+    }
+
+    fn fund_intake(actor: &mut ServiceActor, btc: f64, nonce: u64) {
+        let tx = Transaction::new(
+            vec![],
+            vec![TxOut { address: actor.intake_address(), value: Amount::from_btc(btc) }],
+            0,
+            nonce,
+        );
+        actor.on_confirmed(&tx);
+    }
+
+    #[test]
+    fn mix_job_runs_full_peel_chain() {
+        let mut shared = Shared::default();
+        let mut mixer = ServiceActor::new(ServiceConfig::default(), &mut shared);
+        fund_intake(&mut mixer, 10.0, 1);
+        let dest = Address(777_777);
+        shared.mail.mix_jobs.push((0, dest, Amount::from_btc(10.0)));
+
+        let mut payouts = Vec::new();
+        for h in 1..12 {
+            let txs = step_at(&mut mixer, &mut shared, h);
+            for tx in &txs {
+                mixer.on_confirmed(tx);
+                for o in &tx.outputs {
+                    if o.address == dest {
+                        payouts.push(o.value);
+                    }
+                }
+            }
+        }
+        // Five hops, each paying a slice to the destination.
+        assert_eq!(payouts.len(), 5, "saw {} payout hops", payouts.len());
+        let total: Amount = payouts.iter().copied().sum();
+        // ~97% of the deposit (3% service fee), minus nothing else.
+        assert!(total >= Amount::from_btc(9.6) && total <= Amount::from_btc(9.71), "{total}");
+        assert_eq!(mixer.active_jobs(), 0);
+    }
+
+    #[test]
+    fn peel_chain_creates_fresh_service_addresses() {
+        let mut shared = Shared::default();
+        let mut mixer = ServiceActor::new(ServiceConfig::default(), &mut shared);
+        fund_intake(&mut mixer, 10.0, 1);
+        shared.mail.mix_jobs.push((0, Address(777), Amount::from_btc(10.0)));
+        let before = mixer.wallet.num_addresses();
+        for h in 1..12 {
+            let txs = step_at(&mut mixer, &mut shared, h);
+            for tx in &txs {
+                mixer.on_confirmed(tx);
+            }
+        }
+        // Each hop with change mints a fresh address.
+        assert!(mixer.wallet.num_addresses() >= before + 4);
+    }
+
+    #[test]
+    fn foreign_jobs_left_in_mailbox() {
+        let mut shared = Shared::default();
+        let mut mixer = ServiceActor::new(ServiceConfig::default(), &mut shared);
+        shared.mail.mix_jobs.push((9, Address(1), Amount::from_btc(1.0)));
+        step_at(&mut mixer, &mut shared, 1);
+        assert_eq!(shared.mail.mix_jobs.len(), 1);
+    }
+
+    #[test]
+    fn unfunded_job_waits() {
+        let mut shared = Shared::default();
+        let mut mixer = ServiceActor::new(ServiceConfig::default(), &mut shared);
+        shared.mail.mix_jobs.push((0, Address(1), Amount::from_btc(5.0)));
+        let txs = step_at(&mut mixer, &mut shared, 1);
+        assert!(txs.is_empty());
+        assert_eq!(mixer.active_jobs(), 1, "job stays queued until funds arrive");
+    }
+
+    #[test]
+    fn labels_are_service() {
+        let mut shared = Shared::default();
+        let mixer = ServiceActor::new(ServiceConfig::default(), &mut shared);
+        let mut labels = BTreeMap::new();
+        mixer.collect_labels(&mut labels);
+        assert!(labels.values().all(|&l| l == Label::Service));
+        assert!(labels.len() >= 2);
+    }
+}

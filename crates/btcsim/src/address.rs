@@ -1,0 +1,133 @@
+//! Bitcoin addresses and behavior labels.
+//!
+//! Real addresses are hashes of public keys; BAClassifier never inspects the
+//! key material, only which address participates in which transaction. The
+//! simulator therefore uses opaque `u64` identities with a base58-check-style
+//! display encoding (see DESIGN.md, substitution table).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An opaque bitcoin address identity.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Address(pub u64);
+
+const BASE58: &[u8] = b"123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+impl Address {
+    /// Base58-style rendering with the classic `1` prefix, e.g. `1Ab3…`.
+    pub fn encoded(&self) -> String {
+        let mut s = Vec::with_capacity(12);
+        // Mix the id so consecutive ids don't share prefixes.
+        let mut x = self.0.wrapping_mul(0x9E37_79B9_7F4A_7C15).rotate_left(17) | 1;
+        for _ in 0..11 {
+            s.push(BASE58[(x % 58) as usize]);
+            x /= 58;
+            if x == 0 {
+                break;
+            }
+        }
+        let mut out = String::from("1");
+        out.extend(s.iter().rev().map(|&b| b as char));
+        out
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encoded())
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "addr#{}", self.0)
+    }
+}
+
+/// The four address-behavior categories of the paper's dataset (Table I),
+/// plus the unlabeled background population.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Label {
+    /// Exchange-held: cold/hot wallets, deposit and withdrawal service.
+    Exchange,
+    /// Mining-pool-held: reward collection and payout distribution.
+    Mining,
+    /// Gambling sites and gamblers: bet and win flows.
+    Gambling,
+    /// Other services: wallets, coin mixers, dark-web, lending.
+    Service,
+}
+
+impl Label {
+    /// All labels in canonical (paper Table I) order.
+    pub const ALL: [Label; 4] = [Label::Exchange, Label::Mining, Label::Gambling, Label::Service];
+
+    /// Dense class index used by every classifier in the workspace.
+    pub fn index(self) -> usize {
+        match self {
+            Label::Exchange => 0,
+            Label::Mining => 1,
+            Label::Gambling => 2,
+            Label::Service => 3,
+        }
+    }
+
+    /// Inverse of [`Label::index`].
+    pub fn from_index(i: usize) -> Option<Label> {
+        Label::ALL.get(i).copied()
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Label::Exchange => "Exchange",
+            Label::Mining => "Mining",
+            Label::Gambling => "Gambling",
+            Label::Service => "Service",
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoding_starts_with_one_and_is_base58() {
+        let s = Address(12345).encoded();
+        assert!(s.starts_with('1'));
+        assert!(s.len() >= 2 && s.len() <= 13);
+        assert!(s.bytes().all(|b| BASE58.contains(&b) || b == b'1'));
+        // no ambiguous characters
+        for banned in ['0', 'O', 'I', 'l'] {
+            assert!(!s.contains(banned), "{s} contains {banned}");
+        }
+    }
+
+    #[test]
+    fn encoding_is_injective_on_sample() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(Address(i).encoded()), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn label_index_roundtrip() {
+        for l in Label::ALL {
+            assert_eq!(Label::from_index(l.index()), Some(l));
+        }
+        assert_eq!(Label::from_index(4), None);
+    }
+
+    #[test]
+    fn label_order_matches_table1() {
+        assert_eq!(Label::ALL.map(|l| l.name()), ["Exchange", "Mining", "Gambling", "Service"]);
+    }
+}

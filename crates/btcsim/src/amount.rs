@@ -1,0 +1,175 @@
+//! Bitcoin amounts in satoshis with checked arithmetic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Satoshis per bitcoin.
+pub const SATS_PER_BTC: u64 = 100_000_000;
+
+/// A non-negative bitcoin amount in satoshis.
+///
+/// Arithmetic panics on overflow/underflow in debug and release alike — an
+/// amount that wraps is always a simulator bug, never valid data.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct Amount(u64);
+
+impl Amount {
+    pub const ZERO: Amount = Amount(0);
+
+    /// From raw satoshis.
+    pub const fn from_sats(sats: u64) -> Self {
+        Amount(sats)
+    }
+
+    /// From a BTC value (rounds to the nearest satoshi).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input.
+    pub fn from_btc(btc: f64) -> Self {
+        assert!(btc.is_finite() && btc >= 0.0, "invalid BTC amount {btc}");
+        Amount((btc * SATS_PER_BTC as f64).round() as u64)
+    }
+
+    pub const fn sats(self) -> u64 {
+        self.0
+    }
+
+    pub fn btc(self) -> f64 {
+        self.0 as f64 / SATS_PER_BTC as f64
+    }
+
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked subtraction; `None` on underflow.
+    pub fn checked_sub(self, rhs: Amount) -> Option<Amount> {
+        self.0.checked_sub(rhs.0).map(Amount)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Amount) -> Amount {
+        Amount(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Multiply by a non-negative factor (e.g. a payout multiplier).
+    pub fn mul_f64(self, factor: f64) -> Amount {
+        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        Amount((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// Integer division into `n` equal shares (remainder dropped).
+    pub fn div_n(self, n: u64) -> Amount {
+        assert!(n > 0, "division by zero shares");
+        Amount(self.0 / n)
+    }
+
+    pub fn min(self, rhs: Amount) -> Amount {
+        Amount(self.0.min(rhs.0))
+    }
+
+    pub fn max(self, rhs: Amount) -> Amount {
+        Amount(self.0.max(rhs.0))
+    }
+}
+
+impl Add for Amount {
+    type Output = Amount;
+    fn add(self, rhs: Amount) -> Amount {
+        Amount(self.0.checked_add(rhs.0).expect("Amount overflow"))
+    }
+}
+
+impl AddAssign for Amount {
+    fn add_assign(&mut self, rhs: Amount) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Amount {
+    type Output = Amount;
+    fn sub(self, rhs: Amount) -> Amount {
+        Amount(self.0.checked_sub(rhs.0).expect("Amount underflow"))
+    }
+}
+
+impl SubAssign for Amount {
+    fn sub_assign(&mut self, rhs: Amount) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Amount {
+    fn sum<I: Iterator<Item = Amount>>(iter: I) -> Amount {
+        iter.fold(Amount::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.8} BTC", self.btc())
+    }
+}
+
+impl fmt::Debug for Amount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} sat", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn btc_roundtrip() {
+        let a = Amount::from_btc(1.5);
+        assert_eq!(a.sats(), 150_000_000);
+        assert!((a.btc() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Amount::from_sats(100) + Amount::from_sats(50);
+        assert_eq!(a.sats(), 150);
+        assert_eq!((a - Amount::from_sats(30)).sats(), 120);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let _ = Amount::from_sats(1) - Amount::from_sats(2);
+    }
+
+    #[test]
+    fn checked_and_saturating_sub() {
+        assert_eq!(Amount::from_sats(1).checked_sub(Amount::from_sats(2)), None);
+        assert_eq!(
+            Amount::from_sats(1).saturating_sub(Amount::from_sats(2)),
+            Amount::ZERO
+        );
+    }
+
+    #[test]
+    fn div_n_drops_remainder() {
+        assert_eq!(Amount::from_sats(10).div_n(3).sats(), 3);
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Amount = (1..=4).map(Amount::from_sats).sum();
+        assert_eq!(total.sats(), 10);
+    }
+
+    #[test]
+    fn display_formats_btc() {
+        assert_eq!(Amount::from_sats(150_000_000).to_string(), "1.50000000 BTC");
+    }
+
+    #[test]
+    fn mul_f64_rounds() {
+        assert_eq!(Amount::from_sats(100).mul_f64(0.333).sats(), 33);
+    }
+}

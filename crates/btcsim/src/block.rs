@@ -1,0 +1,240 @@
+//! Blocks and the linear chain.
+
+use crate::tx::{Transaction, Txid};
+use crate::utxo::{UtxoError, UtxoSet};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+/// Average spacing between blocks (the Bitcoin 10-minute target).
+pub const BLOCK_INTERVAL_SECS: u64 = 600;
+
+/// A block: height, timestamp, and its transactions (coinbase first, if any).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Block {
+    pub height: u64,
+    pub timestamp: u64,
+    pub txs: Vec<Transaction>,
+}
+
+/// Chain-level validation failures.
+#[derive(Debug)]
+pub enum ChainError {
+    /// Block height must be exactly `tip + 1`.
+    BadHeight { expected: u64, got: u64 },
+    /// Block timestamps must not decrease.
+    TimestampRegression { tip: u64, got: u64 },
+    /// A transaction failed UTXO validation.
+    Tx(Txid, UtxoError),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::BadHeight { expected, got } => {
+                write!(f, "bad height: expected {expected}, got {got}")
+            }
+            ChainError::TimestampRegression { tip, got } => {
+                write!(f, "timestamp regression: tip {tip}, got {got}")
+            }
+            ChainError::Tx(txid, e) => write!(f, "tx {txid}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
+/// A validated linear blockchain with UTXO tracking and per-address indexes.
+#[derive(Clone, Debug, Default)]
+pub struct Chain {
+    blocks: Vec<Block>,
+    utxo: UtxoSet,
+    tx_index: HashMap<Txid, (u64, usize)>,
+    /// Chronological list of transactions each address participates in.
+    /// BTreeMap so iteration order is deterministic across runs.
+    addr_index: BTreeMap<crate::address::Address, Vec<Txid>>,
+}
+
+impl Chain {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn height(&self) -> u64 {
+        self.blocks.len() as u64
+    }
+
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    pub fn utxo(&self) -> &UtxoSet {
+        &self.utxo
+    }
+
+    pub fn num_transactions(&self) -> usize {
+        self.tx_index.len()
+    }
+
+    pub fn num_addresses(&self) -> usize {
+        self.addr_index.len()
+    }
+
+    /// Timestamp of the tip block (0 for an empty chain).
+    pub fn tip_timestamp(&self) -> u64 {
+        self.blocks.last().map_or(0, |b| b.timestamp)
+    }
+
+    /// Validate and append a block; all-or-nothing per transaction list.
+    pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
+        if block.height != self.height() {
+            return Err(ChainError::BadHeight { expected: self.height(), got: block.height });
+        }
+        if block.timestamp < self.tip_timestamp() {
+            return Err(ChainError::TimestampRegression {
+                tip: self.tip_timestamp(),
+                got: block.timestamp,
+            });
+        }
+        // Validate against a scratch copy first so a bad mid-block tx cannot
+        // leave the set half-applied.
+        let mut scratch = self.utxo.clone();
+        for tx in &block.txs {
+            scratch.apply(tx).map_err(|e| ChainError::Tx(tx.txid, e))?;
+        }
+        self.utxo = scratch;
+        let h = block.height;
+        for (i, tx) in block.txs.iter().enumerate() {
+            self.tx_index.insert(tx.txid, (h, i));
+            let mut seen = std::collections::HashSet::new();
+            for addr in tx.input_addresses().chain(tx.output_addresses()) {
+                if seen.insert(addr) {
+                    self.addr_index.entry(addr).or_default().push(tx.txid);
+                }
+            }
+        }
+        self.blocks.push(block);
+        Ok(())
+    }
+
+    /// Look up a transaction by id.
+    pub fn transaction(&self, txid: Txid) -> Option<&Transaction> {
+        let &(h, i) = self.tx_index.get(&txid)?;
+        Some(&self.blocks[h as usize].txs[i])
+    }
+
+    /// Chronological transactions an address participates in.
+    pub fn address_history(&self, addr: crate::address::Address) -> &[Txid] {
+        self.addr_index.get(&addr).map_or(&[], |v| v.as_slice())
+    }
+
+    /// Iterate `(address, txids)` over every address seen on-chain.
+    pub fn addresses(&self) -> impl Iterator<Item = (crate::address::Address, &[Txid])> {
+        self.addr_index.iter().map(|(&a, v)| (a, v.as_slice()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::address::Address;
+    use crate::amount::Amount;
+    use crate::tx::{OutPoint, TxIn, TxOut};
+
+    fn coinbase(addr: u64, sats: u64, ts: u64, nonce: u64) -> Transaction {
+        Transaction::new(
+            vec![],
+            vec![TxOut { address: Address(addr), value: Amount::from_sats(sats) }],
+            ts,
+            nonce,
+        )
+    }
+
+    #[test]
+    fn append_and_lookup() {
+        let mut chain = Chain::new();
+        let cb = coinbase(1, 50, 100, 0);
+        let txid = cb.txid;
+        chain.append(Block { height: 0, timestamp: 100, txs: vec![cb] }).unwrap();
+        assert_eq!(chain.height(), 1);
+        assert!(chain.transaction(txid).is_some());
+        assert_eq!(chain.address_history(Address(1)), &[txid]);
+    }
+
+    #[test]
+    fn height_must_be_sequential() {
+        let mut chain = Chain::new();
+        let res = chain.append(Block { height: 5, timestamp: 0, txs: vec![] });
+        assert!(matches!(res, Err(ChainError::BadHeight { expected: 0, got: 5 })));
+    }
+
+    #[test]
+    fn timestamp_cannot_regress() {
+        let mut chain = Chain::new();
+        chain.append(Block { height: 0, timestamp: 100, txs: vec![] }).unwrap();
+        let res = chain.append(Block { height: 1, timestamp: 50, txs: vec![] });
+        assert!(matches!(res, Err(ChainError::TimestampRegression { .. })));
+    }
+
+    #[test]
+    fn bad_tx_rolls_back_whole_block() {
+        let mut chain = Chain::new();
+        let cb = coinbase(1, 50, 0, 0);
+        let cb_txid = cb.txid;
+        chain.append(Block { height: 0, timestamp: 0, txs: vec![cb] }).unwrap();
+        // Second block: one valid spend then an invalid overspend.
+        let good = Transaction::new(
+            vec![TxIn {
+                prevout: OutPoint { txid: cb_txid, vout: 0 },
+                address: Address(1),
+                value: Amount::from_sats(50),
+            }],
+            vec![TxOut { address: Address(2), value: Amount::from_sats(49) }],
+            600,
+            1,
+        );
+        let bad = Transaction::new(
+            vec![TxIn {
+                prevout: OutPoint { txid: good.txid, vout: 0 },
+                address: Address(2),
+                value: Amount::from_sats(49),
+            }],
+            vec![TxOut { address: Address(3), value: Amount::from_sats(99) }],
+            600,
+            2,
+        );
+        let res = chain.append(Block { height: 1, timestamp: 600, txs: vec![good, bad] });
+        assert!(res.is_err());
+        assert_eq!(chain.height(), 1);
+        // Original UTXO untouched.
+        assert!(chain.utxo().contains(&OutPoint { txid: cb_txid, vout: 0 }));
+    }
+
+    #[test]
+    fn address_history_is_chronological_and_deduped() {
+        let mut chain = Chain::new();
+        let cb = coinbase(1, 100, 0, 0);
+        let cb_txid = cb.txid;
+        chain.append(Block { height: 0, timestamp: 0, txs: vec![cb] }).unwrap();
+        // Address 1 pays itself (appears on both sides — history should list
+        // the tx once).
+        let self_pay = Transaction::new(
+            vec![TxIn {
+                prevout: OutPoint { txid: cb_txid, vout: 0 },
+                address: Address(1),
+                value: Amount::from_sats(100),
+            }],
+            vec![TxOut { address: Address(1), value: Amount::from_sats(99) }],
+            600,
+            1,
+        );
+        let self_txid = self_pay.txid;
+        chain.append(Block { height: 1, timestamp: 600, txs: vec![self_pay] }).unwrap();
+        assert_eq!(chain.address_history(Address(1)), &[cb_txid, self_txid]);
+    }
+
+    #[test]
+    fn unknown_address_has_empty_history() {
+        let chain = Chain::new();
+        assert!(chain.address_history(Address(42)).is_empty());
+    }
+}

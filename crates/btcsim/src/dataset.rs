@@ -1,0 +1,452 @@
+//! Labeled dataset extraction: per-address chronological transaction
+//! histories with ground-truth behavior labels, plus the stratified
+//! sampling/splitting used throughout the paper's evaluation (§IV-B).
+
+use crate::address::{Address, Label};
+use crate::amount::Amount;
+use crate::block::Chain;
+use crate::sim::Simulator;
+use crate::tx::Txid;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// A transaction as seen by the classifier: resolved input/output address
+/// and value pairs plus the timestamp. This is everything BAClassifier's
+/// graph construction consumes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxView {
+    pub txid: Txid,
+    pub timestamp: u64,
+    pub inputs: Vec<(Address, Amount)>,
+    pub outputs: Vec<(Address, Amount)>,
+}
+
+/// One labeled address with its chronological transaction history.
+#[derive(Clone, Debug)]
+pub struct AddressRecord {
+    pub address: Address,
+    pub label: Label,
+    /// Chronological (block order) transactions involving this address.
+    pub txs: Vec<TxView>,
+}
+
+impl AddressRecord {
+    pub fn num_txs(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+/// The extracted dataset.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    pub records: Vec<AddressRecord>,
+}
+
+impl Dataset {
+    /// Extract every labeled address with at least `min_txs` transactions.
+    pub fn from_simulator(sim: &Simulator, min_txs: usize) -> Self {
+        Self::from_chain(sim.chain(), &sim.labels(), min_txs)
+    }
+
+    /// Extract from a chain with an explicit label map.
+    pub fn from_chain(chain: &Chain, labels: &BTreeMap<Address, Label>, min_txs: usize) -> Self {
+        let mut records = Vec::new();
+        for (&address, &label) in labels {
+            let history = chain.address_history(address);
+            if history.len() < min_txs {
+                continue;
+            }
+            let txs: Vec<TxView> = history
+                .iter()
+                .filter_map(|&txid| chain.transaction(txid))
+                .map(|tx| TxView {
+                    txid: tx.txid,
+                    timestamp: tx.timestamp,
+                    inputs: tx.inputs.iter().map(|i| (i.address, i.value)).collect(),
+                    outputs: tx.outputs.iter().map(|o| (o.address, o.value)).collect(),
+                })
+                .collect();
+            records.push(AddressRecord { address, label, txs });
+        }
+        Dataset { records }
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Address count per class, in [`Label::ALL`] order (paper Table I).
+    pub fn class_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for r in &self.records {
+            counts[r.label.index()] += 1;
+        }
+        counts
+    }
+
+    /// Random stratified sample of about `total` addresses, preserving the
+    /// class proportions (paper §IV-B: "random stratified sampling based on
+    /// label types"). Classes with fewer members than their share contribute
+    /// everything they have.
+    pub fn stratified_sample(&self, total: usize, seed: u64) -> Dataset {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = self.class_counts();
+        let n = self.len().max(1);
+        let mut records = Vec::new();
+        for label in Label::ALL {
+            let class: Vec<&AddressRecord> =
+                self.records.iter().filter(|r| r.label == label).collect();
+            let want =
+                ((counts[label.index()] as f64 / n as f64) * total as f64).round() as usize;
+            let take = want.min(class.len());
+            let mut idx: Vec<usize> = (0..class.len()).collect();
+            idx.shuffle(&mut rng);
+            for &i in idx.iter().take(take) {
+                records.push(class[i].clone());
+            }
+        }
+        Dataset { records }
+    }
+
+    /// Stratified train/test split: `test_frac` of each class goes to the
+    /// test set (paper: 80/20).
+    pub fn stratified_split(&self, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+        assert!((0.0..=1.0).contains(&test_frac), "test_frac out of range");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for label in Label::ALL {
+            let mut class: Vec<AddressRecord> =
+                self.records.iter().filter(|r| r.label == label).cloned().collect();
+            class.shuffle(&mut rng);
+            let n_test = (class.len() as f64 * test_frac).round() as usize;
+            for (i, r) in class.into_iter().enumerate() {
+                if i < n_test {
+                    test.push(r);
+                } else {
+                    train.push(r);
+                }
+            }
+        }
+        // Shuffle across classes so training batches are mixed.
+        train.shuffle(&mut rng);
+        test.shuffle(&mut rng);
+        (Dataset { records: train }, Dataset { records: test })
+    }
+
+    /// Labels in record order (classifier targets).
+    pub fn labels(&self) -> Vec<usize> {
+        self.records.iter().map(|r| r.label.index()).collect()
+    }
+
+    /// Export the dataset as two CSV files next to `stem`:
+    /// `<stem>.addresses.csv` (address, label, tx count, first/last
+    /// timestamps) and `<stem>.transactions.csv` (one row per address/tx
+    /// side/counterparty edge — the exact relation graph construction
+    /// consumes). Mirrors the release format of the paper's dataset.
+    pub fn write_csv(&self, stem: &std::path::Path) -> std::io::Result<()> {
+        use std::io::Write;
+        let addr_path = stem.with_extension("addresses.csv");
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&addr_path)?);
+        writeln!(w, "address,label,num_txs,first_timestamp,last_timestamp")?;
+        for r in &self.records {
+            writeln!(
+                w,
+                "{},{},{},{},{}",
+                r.address.0,
+                r.label,
+                r.num_txs(),
+                r.txs.first().map_or(0, |t| t.timestamp),
+                r.txs.last().map_or(0, |t| t.timestamp),
+            )?;
+        }
+        w.flush()?;
+
+        let tx_path = stem.with_extension("transactions.csv");
+        let mut w = std::io::BufWriter::new(std::fs::File::create(&tx_path)?);
+        writeln!(w, "address,txid,timestamp,side,counterparty,value_sats")?;
+        for r in &self.records {
+            for tx in &r.txs {
+                for &(a, v) in &tx.inputs {
+                    writeln!(
+                        w,
+                        "{},{},{},in,{},{}",
+                        r.address.0,
+                        tx.txid,
+                        tx.timestamp,
+                        a.0,
+                        v.sats()
+                    )?;
+                }
+                for &(a, v) in &tx.outputs {
+                    writeln!(
+                        w,
+                        "{},{},{},out,{},{}",
+                        r.address.0,
+                        tx.txid,
+                        tx.timestamp,
+                        a.0,
+                        v.sats()
+                    )?;
+                }
+            }
+        }
+        w.flush()
+    }
+
+    /// Load a dataset exported by [`Dataset::write_csv`] (both files must be
+    /// present next to `stem`). Inverse of `write_csv`; round-trips exactly.
+    pub fn read_csv(stem: &std::path::Path) -> Result<Self, CsvError> {
+        use std::collections::BTreeMap;
+        // Pass 1: addresses + labels.
+        let addr_text = std::fs::read_to_string(stem.with_extension("addresses.csv"))?;
+        let mut labels: BTreeMap<u64, Label> = BTreeMap::new();
+        for (lineno, line) in addr_text.lines().enumerate().skip(1) {
+            let mut f = line.split(',');
+            let addr = parse_address_field(f.next(), lineno)?;
+            let label_name = f.next().ok_or(CsvError::Malformed(lineno))?;
+            let label = Label::ALL
+                .into_iter()
+                .find(|l| l.name() == label_name)
+                .ok_or(CsvError::Malformed(lineno))?;
+            labels.insert(addr, label);
+        }
+        // Pass 2: transaction edges, regrouped into TxViews per address.
+        let tx_text = std::fs::read_to_string(stem.with_extension("transactions.csv"))?;
+        // (address -> ordered txids) and (address, txid) -> TxView.
+        let mut order: BTreeMap<u64, Vec<Txid>> = BTreeMap::new();
+        let mut views: BTreeMap<(u64, Txid), TxView> = BTreeMap::new();
+        for (lineno, line) in tx_text.lines().enumerate().skip(1) {
+            let mut f = line.split(',');
+            let addr = parse_address_field(f.next(), lineno)?;
+            let txid = Txid(
+                u64::from_str_radix(f.next().ok_or(CsvError::Malformed(lineno))?, 16)
+                    .map_err(|_| CsvError::Malformed(lineno))?,
+            );
+            let timestamp: u64 = f
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(CsvError::Malformed(lineno))?;
+            let side = f.next().ok_or(CsvError::Malformed(lineno))?;
+            let counterparty = parse_address_field(f.next(), lineno)?;
+            let sats: u64 = f
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or(CsvError::Malformed(lineno))?;
+            let view = views.entry((addr, txid)).or_insert_with(|| {
+                order.entry(addr).or_default().push(txid);
+                TxView { txid, timestamp, inputs: Vec::new(), outputs: Vec::new() }
+            });
+            let entry = (Address(counterparty), Amount::from_sats(sats));
+            match side {
+                "in" => view.inputs.push(entry),
+                "out" => view.outputs.push(entry),
+                _ => return Err(CsvError::Malformed(lineno)),
+            }
+        }
+        let records = labels
+            .into_iter()
+            .map(|(addr, label)| {
+                let txs = order
+                    .remove(&addr)
+                    .unwrap_or_default()
+                    .into_iter()
+                    .filter_map(|txid| views.remove(&(addr, txid)))
+                    .collect();
+                AddressRecord { address: Address(addr), label, txs }
+            })
+            .collect();
+        Ok(Dataset { records })
+    }
+}
+
+fn parse_address_field(field: Option<&str>, lineno: usize) -> Result<u64, CsvError> {
+    field.and_then(|s| s.parse().ok()).ok_or(CsvError::Malformed(lineno))
+}
+
+/// Errors from [`Dataset::read_csv`].
+#[derive(Debug)]
+pub enum CsvError {
+    Io(std::io::Error),
+    /// Unparseable row at this 0-based line number.
+    Malformed(usize),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "io error: {e}"),
+            CsvError::Malformed(line) => write!(f, "malformed CSV at line {line}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimConfig;
+
+    fn small_dataset() -> Dataset {
+        let sim = Simulator::run_to_completion(SimConfig::tiny(3));
+        Dataset::from_simulator(&sim, 2)
+    }
+
+    #[test]
+    fn extraction_yields_all_classes() {
+        let ds = small_dataset();
+        assert!(!ds.is_empty());
+        let counts = ds.class_counts();
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(c > 0, "class {i} empty: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn histories_are_chronological() {
+        let ds = small_dataset();
+        for r in &ds.records {
+            let ts: Vec<u64> = r.txs.iter().map(|t| t.timestamp).collect();
+            assert!(ts.windows(2).all(|w| w[0] <= w[1]), "history out of order");
+        }
+    }
+
+    #[test]
+    fn every_tx_involves_its_address() {
+        let ds = small_dataset();
+        for r in &ds.records {
+            for tx in &r.txs {
+                let involved = tx.inputs.iter().any(|&(a, _)| a == r.address)
+                    || tx.outputs.iter().any(|&(a, _)| a == r.address);
+                assert!(involved, "tx {:?} does not involve {:?}", tx.txid, r.address);
+            }
+        }
+    }
+
+    #[test]
+    fn min_txs_filter_applies() {
+        let sim = Simulator::run_to_completion(SimConfig::tiny(3));
+        let ds5 = Dataset::from_chain(sim.chain(), &sim.labels(), 5);
+        assert!(ds5.records.iter().all(|r| r.num_txs() >= 5));
+        let ds1 = Dataset::from_chain(sim.chain(), &sim.labels(), 1);
+        assert!(ds1.len() >= ds5.len());
+    }
+
+    #[test]
+    fn stratified_sample_preserves_proportions_roughly() {
+        let ds = small_dataset();
+        let sample = ds.stratified_sample(ds.len() / 2, 11);
+        let full = ds.class_counts();
+        let got = sample.class_counts();
+        for i in 0..4 {
+            if full[i] >= 4 {
+                let full_frac = full[i] as f64 / ds.len() as f64;
+                let got_frac = got[i] as f64 / sample.len() as f64;
+                assert!(
+                    (full_frac - got_frac).abs() < 0.15,
+                    "class {i}: {full_frac} vs {got_frac}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let ds = small_dataset();
+        let (train, test) = ds.stratified_split(0.2, 5);
+        assert_eq!(train.len() + test.len(), ds.len());
+        let train_addrs: std::collections::HashSet<_> =
+            train.records.iter().map(|r| r.address).collect();
+        assert!(test.records.iter().all(|r| !train_addrs.contains(&r.address)));
+        // Roughly 20% test.
+        let frac = test.len() as f64 / ds.len() as f64;
+        assert!((frac - 0.2).abs() < 0.1, "test fraction {frac}");
+    }
+
+    #[test]
+    fn csv_export_roundtrips_row_counts() {
+        let ds = small_dataset();
+        let stem = std::env::temp_dir().join(format!("btcsim_csv_{}", std::process::id()));
+        ds.write_csv(&stem).unwrap();
+        let addr_csv =
+            std::fs::read_to_string(stem.with_extension("addresses.csv")).unwrap();
+        // header + one line per record
+        assert_eq!(addr_csv.lines().count(), ds.len() + 1);
+        assert!(addr_csv.starts_with("address,label,"));
+        let tx_csv =
+            std::fs::read_to_string(stem.with_extension("transactions.csv")).unwrap();
+        let expected_rows: usize = ds
+            .records
+            .iter()
+            .flat_map(|r| r.txs.iter())
+            .map(|t| t.inputs.len() + t.outputs.len())
+            .sum();
+        assert_eq!(tx_csv.lines().count(), expected_rows + 1);
+        std::fs::remove_file(stem.with_extension("addresses.csv")).ok();
+        std::fs::remove_file(stem.with_extension("transactions.csv")).ok();
+    }
+
+    #[test]
+    fn csv_roundtrip_is_lossless() {
+        let ds = small_dataset();
+        let stem =
+            std::env::temp_dir().join(format!("btcsim_rt_{}", std::process::id()));
+        ds.write_csv(&stem).unwrap();
+        let loaded = Dataset::read_csv(&stem).unwrap();
+        assert_eq!(loaded.len(), ds.len());
+        assert_eq!(loaded.class_counts(), ds.class_counts());
+        // Records are keyed by address in both; compare a sample fully.
+        let by_addr: std::collections::BTreeMap<_, _> =
+            ds.records.iter().map(|r| (r.address, r)).collect();
+        for r in loaded.records.iter().take(40) {
+            let orig = by_addr[&r.address];
+            assert_eq!(r.label, orig.label);
+            assert_eq!(r.txs.len(), orig.txs.len());
+            for (a, b) in r.txs.iter().zip(&orig.txs) {
+                assert_eq!(a.txid, b.txid);
+                assert_eq!(a.timestamp, b.timestamp);
+                assert_eq!(a.inputs, b.inputs);
+                assert_eq!(a.outputs, b.outputs);
+            }
+        }
+        std::fs::remove_file(stem.with_extension("addresses.csv")).ok();
+        std::fs::remove_file(stem.with_extension("transactions.csv")).ok();
+    }
+
+    #[test]
+    fn read_csv_rejects_garbage() {
+        let stem =
+            std::env::temp_dir().join(format!("btcsim_bad_{}", std::process::id()));
+        std::fs::write(stem.with_extension("addresses.csv"), "header
+not,a,row
+").unwrap();
+        std::fs::write(stem.with_extension("transactions.csv"), "header
+").unwrap();
+        assert!(matches!(Dataset::read_csv(&stem), Err(CsvError::Malformed(_))));
+        std::fs::remove_file(stem.with_extension("addresses.csv")).ok();
+        std::fs::remove_file(stem.with_extension("transactions.csv")).ok();
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let ds = small_dataset();
+        let (a_train, _) = ds.stratified_split(0.2, 5);
+        let (b_train, _) = ds.stratified_split(0.2, 5);
+        let a: Vec<_> = a_train.records.iter().map(|r| r.address).collect();
+        let b: Vec<_> = b_train.records.iter().map(|r| r.address).collect();
+        assert_eq!(a, b);
+    }
+}

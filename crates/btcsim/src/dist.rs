@@ -1,0 +1,178 @@
+//! Self-implemented sampling distributions (kept in-tree to avoid a
+//! `rand_distr` dependency — see DESIGN.md dependency policy).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Standard normal via Box–Muller.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    // u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal with the given parameters of the underlying normal.
+/// Heavy-tailed — matches empirical bitcoin transfer-value distributions.
+pub fn log_normal(rng: &mut StdRng, mu: f64, sigma: f64) -> f64 {
+    (mu + sigma * standard_normal(rng)).exp()
+}
+
+/// Exponential with rate `lambda` (mean `1/lambda`).
+pub fn exponential(rng: &mut StdRng, lambda: f64) -> f64 {
+    assert!(lambda > 0.0, "exponential rate must be positive");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / lambda
+}
+
+/// Pareto with scale `x_min` and shape `alpha` (tail exponent).
+pub fn pareto(rng: &mut StdRng, x_min: f64, alpha: f64) -> f64 {
+    assert!(x_min > 0.0 && alpha > 0.0, "invalid pareto parameters");
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    x_min / u.powf(1.0 / alpha)
+}
+
+/// Zipf-like rank sampler over `0..n`: probability of rank `k` proportional
+/// to `1/(k+1)^s`. Uses an O(n) precomputed CDF via [`ZipfSampler`] for hot
+/// paths; this function is the one-shot variant.
+pub fn zipf(rng: &mut StdRng, n: usize, s: f64) -> usize {
+    ZipfSampler::new(n, s).sample(rng)
+}
+
+/// Precomputed Zipf CDF for repeated sampling.
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler over empty domain");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in cdf.iter_mut() {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    pub fn sample(&self, rng: &mut StdRng) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Poisson via inversion (valid for the small means the simulator uses).
+pub fn poisson(rng: &mut StdRng, mean: f64) -> u64 {
+    assert!(mean >= 0.0, "poisson mean must be non-negative");
+    if mean == 0.0 {
+        return 0;
+    }
+    if mean > 30.0 {
+        // Normal approximation for large means.
+        let v = mean + mean.sqrt() * standard_normal(rng);
+        return v.max(0.0).round() as u64;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn normal_mean_and_var_are_plausible() {
+        let mut r = rng();
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn exponential_mean_matches_rate() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| exponential(&mut r, 2.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn pareto_respects_minimum() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(pareto(&mut r, 3.0, 1.5) >= 3.0);
+        }
+    }
+
+    #[test]
+    fn log_normal_is_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(log_normal(&mut r, 0.0, 2.0) > 0.0);
+        }
+    }
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let mut r = rng();
+        let sampler = ZipfSampler::new(100, 1.2);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[sampler.sample(&mut r)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[0] > counts[50] * 3);
+    }
+
+    #[test]
+    fn zipf_stays_in_range() {
+        let mut r = rng();
+        let sampler = ZipfSampler::new(5, 1.0);
+        for _ in 0..1000 {
+            assert!(sampler.sample(&mut r) < 5);
+        }
+    }
+
+    #[test]
+    fn poisson_mean_is_plausible() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(&mut r, 3.5)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero_mean_is_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn poisson_large_mean_uses_normal_approx() {
+        let mut r = rng();
+        let n = 5_000;
+        let mean = (0..n).map(|_| poisson(&mut r, 100.0)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 100.0).abs() < 2.0, "mean {mean}");
+    }
+}

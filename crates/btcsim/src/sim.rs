@@ -1,0 +1,462 @@
+//! The block-stepped simulator: wires actors, mines blocks, tracks activity.
+
+use crate::actors::{
+    Actor, ExchangeActor, GamblingActor, MiningPoolActor, RetailActor, ServiceActor, Shared,
+    StepCtx,
+};
+use crate::actors::exchange::ExchangeConfig;
+use crate::actors::gambling::GamblingConfig;
+use crate::actors::mining::MiningConfig;
+use crate::actors::retail::RetailConfig;
+use crate::actors::service::ServiceConfig;
+use crate::address::{Address, Label};
+use crate::amount::Amount;
+use crate::block::{Block, Chain, BLOCK_INTERVAL_SECS};
+use crate::dist;
+use crate::mempool::Mempool;
+use crate::tx::{Transaction, TxOut};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Simulation parameters. The defaults produce a small but fully-featured
+/// economy; scale `blocks` and the actor counts up for larger datasets.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    pub seed: u64,
+    /// Number of blocks to mine after genesis.
+    pub blocks: u64,
+    pub num_exchanges: usize,
+    pub num_pools: usize,
+    pub num_gambling: usize,
+    pub num_mixers: usize,
+    pub retail: RetailConfig,
+    /// Initial funds premined to each retail user (BTC).
+    pub user_initial_btc: f64,
+    /// Initial funds premined to each gambler (BTC).
+    pub gambler_initial_btc: f64,
+    /// Float premined to each gambling house (BTC).
+    pub house_float_btc: f64,
+    /// Block subsidy (BTC).
+    pub block_reward_btc: f64,
+    /// Miner reward addresses per pool (paper Table I: the Mining class).
+    pub miners_per_pool: usize,
+    /// Blocks between reward halvings (0 disables halving). Bitcoin uses
+    /// 210,000; simulations can compress the schedule to see the effect.
+    pub halving_interval: u64,
+    /// Max transactions per block (0 = unbounded). A bound creates fee-rate
+    /// congestion: cheap transactions wait in the mempool.
+    pub max_txs_per_block: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            blocks: 400,
+            num_exchanges: 2,
+            num_pools: 2,
+            num_gambling: 2,
+            num_mixers: 2,
+            retail: RetailConfig::default(),
+            user_initial_btc: 8.0,
+            gambler_initial_btc: 3.0,
+            house_float_btc: 200.0,
+            block_reward_btc: 6.25,
+            miners_per_pool: 120,
+            halving_interval: 0,
+            max_txs_per_block: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A tiny configuration for fast unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            blocks: 60,
+            num_exchanges: 1,
+            num_pools: 1,
+            num_gambling: 1,
+            num_mixers: 1,
+            retail: RetailConfig { num_users: 40, ..Default::default() },
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-block activity counters (drives the paper's Fig. 1).
+#[derive(Clone, Debug)]
+pub struct ActivityPoint {
+    pub height: u64,
+    pub timestamp: u64,
+    /// Unique addresses appearing in this block's transactions.
+    pub active_addresses: usize,
+    /// Transactions in this block.
+    pub transactions: usize,
+    /// Distinct addresses ever seen up to and including this block.
+    pub cumulative_addresses: usize,
+}
+
+/// The assembled simulation.
+pub struct Simulator {
+    cfg: SimConfig,
+    rng: StdRng,
+    chain: Chain,
+    shared: Shared,
+    exchanges: Vec<ExchangeActor>,
+    pools: Vec<MiningPoolActor>,
+    gambling: Vec<GamblingActor>,
+    mixers: Vec<ServiceActor>,
+    retail: RetailActor,
+    nonce: u64,
+    activity: Vec<ActivityPoint>,
+    pool_weights: dist::ZipfSampler,
+    mempool: Mempool,
+}
+
+impl Simulator {
+    /// Build actors and mine the genesis premine block.
+    pub fn new(cfg: SimConfig) -> Self {
+        assert!(cfg.num_pools > 0, "at least one mining pool required");
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let mut shared = Shared::default();
+        let exchanges: Vec<ExchangeActor> = (0..cfg.num_exchanges)
+            .map(|id| ExchangeActor::new(ExchangeConfig { id, ..Default::default() }, &mut shared))
+            .collect();
+        let pools: Vec<MiningPoolActor> = (0..cfg.num_pools)
+            .map(|_| {
+                let mc = MiningConfig { num_miners: cfg.miners_per_pool, ..Default::default() };
+                MiningPoolActor::new(mc, &mut shared)
+            })
+            .collect();
+        let gambling: Vec<GamblingActor> = (0..cfg.num_gambling)
+            .map(|id| GamblingActor::new(GamblingConfig { id, ..Default::default() }, &mut shared))
+            .collect();
+        let mixers: Vec<ServiceActor> = (0..cfg.num_mixers)
+            .map(|id| ServiceActor::new(ServiceConfig { id, ..Default::default() }, &mut shared))
+            .collect();
+        let retail = RetailActor::new(cfg.retail.clone(), &mut shared);
+
+        let pool_weights = dist::ZipfSampler::new(cfg.num_pools, 1.1);
+        let mut sim = Self {
+            cfg,
+            rng,
+            chain: Chain::new(),
+            shared,
+            exchanges,
+            pools,
+            gambling,
+            mixers,
+            retail,
+            nonce: 0,
+            activity: Vec::new(),
+            pool_weights,
+            mempool: Mempool::new(),
+        };
+        sim.mine_genesis();
+        sim
+    }
+
+    fn mine_genesis(&mut self) {
+        // Premine: fund retail users, gamblers, and house floats so the
+        // economy starts liquid.
+        let mut outputs = Vec::new();
+        for addr in self.retail.funding_addresses() {
+            outputs.push(TxOut { address: addr, value: Amount::from_btc(self.cfg.user_initial_btc) });
+        }
+        for g in &self.gambling {
+            for addr in g.gambler_addresses() {
+                outputs
+                    .push(TxOut { address: addr, value: Amount::from_btc(self.cfg.gambler_initial_btc) });
+            }
+            outputs.push(TxOut {
+                address: g.house_address(),
+                value: Amount::from_btc(self.cfg.house_float_btc),
+            });
+        }
+        let premine = Transaction::new(vec![], outputs, 0, self.next_nonce());
+        self.confirm_all(&premine);
+        let block = Block { height: 0, timestamp: 0, txs: vec![premine] };
+        self.record_activity(&block);
+        self.chain.append(block).expect("genesis must validate");
+    }
+
+    fn next_nonce(&mut self) -> u64 {
+        let n = self.nonce;
+        self.nonce += 1;
+        n
+    }
+
+    fn confirm_all(&mut self, tx: &Transaction) {
+        for e in &mut self.exchanges {
+            e.on_confirmed(tx);
+        }
+        for p in &mut self.pools {
+            p.on_confirmed(tx);
+        }
+        for g in &mut self.gambling {
+            g.on_confirmed(tx);
+        }
+        for m in &mut self.mixers {
+            m.on_confirmed(tx);
+        }
+        self.retail.on_confirmed(tx);
+    }
+
+    fn record_activity(&mut self, block: &Block) {
+        let mut active = std::collections::HashSet::new();
+        for tx in &block.txs {
+            for a in tx.input_addresses().chain(tx.output_addresses()) {
+                active.insert(a);
+            }
+        }
+        self.activity.push(ActivityPoint {
+            height: block.height,
+            timestamp: block.timestamp,
+            active_addresses: active.len(),
+            transactions: block.txs.len(),
+            cumulative_addresses: 0, // filled after append
+        });
+    }
+
+    /// Mine one block: coinbase to a weighted-random pool, step every actor,
+    /// validate and append.
+    pub fn step_block(&mut self) {
+        let height = self.chain.height();
+        let jitter = self.rng.gen_range(0..BLOCK_INTERVAL_SECS / 3);
+        let timestamp = self.chain.tip_timestamp() + BLOCK_INTERVAL_SECS + jitter;
+
+        let mut txs = Vec::new();
+        // Coinbase: block reward (after halvings) to the winning pool.
+        let winner = self.pool_weights.sample(&mut self.rng);
+        let coinbase = Transaction::new(
+            vec![],
+            vec![TxOut {
+                address: self.pools[winner].reward_address(),
+                value: self.block_reward_at(height),
+            }],
+            timestamp,
+            self.next_nonce(),
+        );
+        txs.push(coinbase);
+
+        // Step actors. Exchanges first so fresh deposit addresses are
+        // published before retail spends; retail last so its requests are
+        // served next block (confirmation delay).
+        {
+            let mut nonce = self.nonce;
+            let mut ctx = StepCtx::new(&mut self.rng, timestamp, height, &mut nonce, &mut txs);
+            for e in &mut self.exchanges {
+                e.step(&mut ctx, &mut self.shared);
+            }
+            for m in &mut self.mixers {
+                m.step(&mut ctx, &mut self.shared);
+            }
+            for p in &mut self.pools {
+                p.step(&mut ctx, &mut self.shared);
+            }
+            for g in &mut self.gambling {
+                g.step(&mut ctx, &mut self.shared);
+            }
+            self.retail.step(&mut ctx, &mut self.shared);
+            self.nonce = nonce;
+        }
+
+        // Route through the mempool: bounded blocks leave low-fee
+        // transactions pending for later blocks.
+        for tx in txs {
+            self.mempool.submit(tx);
+        }
+        let limit = if self.cfg.max_txs_per_block == 0 {
+            usize::MAX
+        } else {
+            self.cfg.max_txs_per_block
+        };
+        let txs = self.mempool.take_block(limit);
+        for tx in &txs {
+            self.confirm_all(tx);
+        }
+        let block = Block { height, timestamp, txs };
+        self.record_activity(&block);
+        self.chain.append(block).expect("simulated block must validate");
+        if let Some(last) = self.activity.last_mut() {
+            last.cumulative_addresses = self.chain.num_addresses();
+        }
+    }
+
+    /// Block subsidy at a given height, applying the halving schedule.
+    pub fn block_reward_at(&self, height: u64) -> Amount {
+        let halvings = if self.cfg.halving_interval == 0 {
+            0
+        } else {
+            (height / self.cfg.halving_interval).min(63)
+        };
+        Amount::from_sats(Amount::from_btc(self.cfg.block_reward_btc).sats() >> halvings)
+    }
+
+    /// Run the configured number of blocks.
+    pub fn run(&mut self) {
+        for _ in 0..self.cfg.blocks {
+            self.step_block();
+        }
+    }
+
+    /// Convenience: build, run, return.
+    pub fn run_to_completion(cfg: SimConfig) -> Simulator {
+        let mut sim = Simulator::new(cfg);
+        sim.run();
+        sim
+    }
+
+    pub fn chain(&self) -> &Chain {
+        &self.chain
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Per-block activity series (Fig. 1 input).
+    pub fn activity(&self) -> &[ActivityPoint] {
+        &self.activity
+    }
+
+    /// Transactions still waiting in the mempool.
+    pub fn mempool_depth(&self) -> usize {
+        self.mempool.len()
+    }
+
+    /// Ground-truth labels for every actor-controlled address.
+    pub fn labels(&self) -> BTreeMap<Address, Label> {
+        let mut out = BTreeMap::new();
+        for e in &self.exchanges {
+            e.collect_labels(&mut out);
+        }
+        for p in &self.pools {
+            p.collect_labels(&mut out);
+        }
+        for g in &self.gambling {
+            g.collect_labels(&mut out);
+        }
+        for m in &self.mixers {
+            m.collect_labels(&mut out);
+        }
+        self.retail.collect_labels(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sim_runs_and_validates() {
+        let sim = Simulator::run_to_completion(SimConfig::tiny(7));
+        assert_eq!(sim.chain().height(), 61); // genesis + 60
+        assert!(sim.chain().num_transactions() > 100, "economy should be active");
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let a = Simulator::run_to_completion(SimConfig::tiny(9));
+        let b = Simulator::run_to_completion(SimConfig::tiny(9));
+        assert_eq!(a.chain().num_transactions(), b.chain().num_transactions());
+        assert_eq!(a.chain().num_addresses(), b.chain().num_addresses());
+        let ta: Vec<_> = a.chain().blocks().iter().flat_map(|b| &b.txs).map(|t| t.txid).collect();
+        let tb: Vec<_> = b.chain().blocks().iter().flat_map(|b| &b.txs).map(|t| t.txid).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Simulator::run_to_completion(SimConfig::tiny(1));
+        let b = Simulator::run_to_completion(SimConfig::tiny(2));
+        let ta: Vec<_> = a.chain().blocks().iter().flat_map(|b| &b.txs).map(|t| t.txid).collect();
+        let tb: Vec<_> = b.chain().blocks().iter().flat_map(|b| &b.txs).map(|t| t.txid).collect();
+        assert_ne!(ta, tb);
+    }
+
+    #[test]
+    fn all_four_labels_present() {
+        let sim = Simulator::run_to_completion(SimConfig::tiny(7));
+        let labels = sim.labels();
+        for l in Label::ALL {
+            assert!(
+                labels.values().any(|&v| v == l),
+                "missing label {l} in simulated economy"
+            );
+        }
+    }
+
+    #[test]
+    fn activity_series_covers_every_block() {
+        let sim = Simulator::run_to_completion(SimConfig::tiny(7));
+        assert_eq!(sim.activity().len(), 61);
+        assert!(sim.activity().iter().all(|p| p.transactions >= 1));
+        // Cumulative address count never decreases.
+        let cums: Vec<_> = sim.activity().iter().skip(1).map(|p| p.cumulative_addresses).collect();
+        assert!(cums.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn value_is_conserved_modulo_rewards() {
+        // Total UTXO value == premine + block rewards − fees; fees are burned
+        // in this model, so UTXO total <= premine + rewards and close to it.
+        let sim = Simulator::run_to_completion(SimConfig::tiny(7));
+        let cfg = sim.config();
+        let premine_users = cfg.retail.num_users as f64 * cfg.user_initial_btc;
+        let premine_gamblers = cfg.num_gambling as f64
+            * (40.0 * cfg.gambler_initial_btc + cfg.house_float_btc);
+        let rewards = cfg.blocks as f64 * cfg.block_reward_btc;
+        let ceiling = Amount::from_btc(premine_users + premine_gamblers + rewards);
+        let total = sim.chain().utxo().total_value();
+        assert!(total <= ceiling, "{total} > {ceiling}");
+        // Fees are tiny: at least 99% of issued value should remain.
+        assert!(total >= ceiling.mul_f64(0.99), "{total} too far below {ceiling}");
+    }
+
+    #[test]
+    fn bounded_blocks_create_backlog_but_stay_valid() {
+        let mut cfg = SimConfig::tiny(7);
+        cfg.max_txs_per_block = 5;
+        let bounded = Simulator::run_to_completion(cfg);
+        let unbounded = Simulator::run_to_completion(SimConfig::tiny(7));
+        // Congestion: fewer confirmed transactions, pending backlog exists.
+        assert!(bounded.chain().num_transactions() < unbounded.chain().num_transactions());
+        assert!(bounded.mempool_depth() > 0, "expected a backlog under congestion");
+        // Every confirmed block respected the bound.
+        assert!(bounded.chain().blocks().iter().all(|b| b.txs.len() <= 5));
+    }
+
+    #[test]
+    fn halving_schedule_halves_rewards() {
+        let mut cfg = SimConfig::tiny(7);
+        cfg.halving_interval = 20;
+        let sim = Simulator::new(cfg);
+        assert_eq!(sim.block_reward_at(0), Amount::from_btc(6.25));
+        assert_eq!(sim.block_reward_at(19), Amount::from_btc(6.25));
+        assert_eq!(sim.block_reward_at(20), Amount::from_btc(3.125));
+        assert_eq!(sim.block_reward_at(40), Amount::from_btc(1.5625));
+        // Deep halvings floor at zero rather than wrapping.
+        assert_eq!(sim.block_reward_at(20 * 64).sats(), 0);
+    }
+
+    #[test]
+    fn halved_economy_issues_less_than_constant_reward() {
+        let mut halved_cfg = SimConfig::tiny(7);
+        halved_cfg.halving_interval = 15;
+        let halved = Simulator::run_to_completion(halved_cfg);
+        let flat = Simulator::run_to_completion(SimConfig::tiny(7));
+        assert!(halved.chain().utxo().total_value() < flat.chain().utxo().total_value());
+    }
+
+    #[test]
+    fn timestamps_strictly_increase() {
+        let sim = Simulator::run_to_completion(SimConfig::tiny(7));
+        let ts: Vec<_> = sim.chain().blocks().iter().map(|b| b.timestamp).collect();
+        assert!(ts.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,377 @@
+//! Wallets: address management, coin selection, and the change mechanism.
+//!
+//! Models the behavior described in the paper's §II-A: when a wallet spends,
+//! it zeroes out the consumed UTXOs and sends any leftover funds to a freshly
+//! generated change address, which preserves privacy but makes address
+//! behavior hard to analyse — exactly the difficulty BAClassifier targets.
+
+use crate::address::Address;
+use crate::amount::Amount;
+use crate::tx::{OutPoint, Transaction, TxIn, TxOut};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Allocates globally-unique addresses.
+#[derive(Clone, Debug, Default)]
+pub struct AddressAlloc {
+    next: u64,
+}
+
+impl AddressAlloc {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn next(&mut self) -> Address {
+        let a = Address(self.next);
+        self.next += 1;
+        a
+    }
+
+    /// Number of addresses allocated so far.
+    pub fn count(&self) -> u64 {
+        self.next
+    }
+}
+
+/// How a wallet handles change outputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChangePolicy {
+    /// Always generate a fresh address (modern wallet default, §II-A).
+    FreshAddress,
+    /// Return change to the first input's address (legacy behavior; used by
+    /// some services — makes clustering heuristics work, which BitScope
+    /// exploits).
+    ReuseInput,
+}
+
+/// A simulated wallet: a set of owned addresses and their unspent outputs.
+///
+/// UTXOs are kept in a `BTreeMap` so coin selection is deterministic.
+#[derive(Clone, Debug)]
+pub struct Wallet {
+    addresses: BTreeSet<Address>,
+    utxos: BTreeMap<OutPoint, TxOut>,
+    change_policy: ChangePolicy,
+}
+
+impl Wallet {
+    pub fn new(change_policy: ChangePolicy) -> Self {
+        Self { addresses: BTreeSet::new(), utxos: BTreeMap::new(), change_policy }
+    }
+
+    /// Mint and own a new address.
+    pub fn new_address(&mut self, alloc: &mut AddressAlloc) -> Address {
+        let a = alloc.next();
+        self.addresses.insert(a);
+        a
+    }
+
+    /// Adopt an externally created address.
+    pub fn adopt(&mut self, a: Address) {
+        self.addresses.insert(a);
+    }
+
+    pub fn owns(&self, a: Address) -> bool {
+        self.addresses.contains(&a)
+    }
+
+    pub fn addresses(&self) -> impl Iterator<Item = Address> + '_ {
+        self.addresses.iter().copied()
+    }
+
+    pub fn num_addresses(&self) -> usize {
+        self.addresses.len()
+    }
+
+    /// Spendable balance.
+    pub fn balance(&self) -> Amount {
+        self.utxos.values().map(|o| o.value).sum()
+    }
+
+    pub fn num_utxos(&self) -> usize {
+        self.utxos.len()
+    }
+
+    /// Update the UTXO view from a confirmed transaction: drop spent inputs,
+    /// pick up outputs paying owned addresses.
+    pub fn observe(&mut self, tx: &Transaction) {
+        for input in &tx.inputs {
+            self.utxos.remove(&input.prevout);
+        }
+        for (vout, output) in tx.outputs.iter().enumerate() {
+            if !output.value.is_zero() && self.addresses.contains(&output.address) {
+                self.utxos.insert(OutPoint { txid: tx.txid, vout: vout as u32 }, *output);
+            }
+        }
+    }
+
+    /// Build a payment covering `payments` plus `fee`, using largest-first
+    /// coin selection; leftover goes to a change output per the wallet's
+    /// [`ChangePolicy`]. Returns `None` when the balance is insufficient.
+    ///
+    /// The created transaction is not yet confirmed: the caller must route it
+    /// through a block and then [`Wallet::observe`] it (the simulator does
+    /// both).
+    pub fn create_payment(
+        &mut self,
+        payments: Vec<TxOut>,
+        fee: Amount,
+        alloc: &mut AddressAlloc,
+        timestamp: u64,
+        nonce: u64,
+    ) -> Option<Transaction> {
+        assert!(!payments.is_empty(), "payment with no outputs");
+        let target = payments.iter().map(|o| o.value).sum::<Amount>() + fee;
+        if self.balance() < target {
+            return None;
+        }
+        // Largest-first selection: deterministic and keeps input counts low.
+        let mut candidates: Vec<(OutPoint, TxOut)> =
+            self.utxos.iter().map(|(&op, &o)| (op, o)).collect();
+        candidates.sort_by(|a, b| b.1.value.cmp(&a.1.value).then(a.0.txid.0.cmp(&b.0.txid.0)));
+        let mut inputs = Vec::new();
+        let mut gathered = Amount::ZERO;
+        for (op, o) in candidates {
+            inputs.push(TxIn { prevout: op, address: o.address, value: o.value });
+            gathered += o.value;
+            if gathered >= target {
+                break;
+            }
+        }
+        debug_assert!(gathered >= target);
+        let change = gathered - target;
+        let mut outputs = payments;
+        if !change.is_zero() {
+            let change_addr = match self.change_policy {
+                ChangePolicy::FreshAddress => self.new_address(alloc),
+                ChangePolicy::ReuseInput => inputs[0].address,
+            };
+            outputs.push(TxOut { address: change_addr, value: change });
+        }
+        let tx = Transaction::new(inputs, outputs, timestamp, nonce);
+        // Optimistically mark inputs spent so back-to-back payments within a
+        // block do not double-spend; confirmation re-observes harmlessly.
+        for input in &tx.inputs {
+            self.utxos.remove(&input.prevout);
+        }
+        Some(tx)
+    }
+
+    /// Consolidate up to `max_inputs` UTXOs into a single output at `dest`
+    /// (exchange sweep / mixer merge pattern). `None` if fewer than 2 UTXOs
+    /// or the swept value does not cover the fee.
+    pub fn consolidate(
+        &mut self,
+        dest: Address,
+        max_inputs: usize,
+        fee: Amount,
+        timestamp: u64,
+        nonce: u64,
+    ) -> Option<Transaction> {
+        if self.utxos.len() < 2 {
+            return None;
+        }
+        let take: Vec<(OutPoint, TxOut)> =
+            self.utxos.iter().take(max_inputs.max(2)).map(|(&op, &o)| (op, o)).collect();
+        let total: Amount = take.iter().map(|(_, o)| o.value).sum();
+        let swept = total.checked_sub(fee)?;
+        if swept.is_zero() {
+            return None;
+        }
+        let inputs: Vec<TxIn> = take
+            .iter()
+            .map(|&(op, o)| TxIn { prevout: op, address: o.address, value: o.value })
+            .collect();
+        let tx = Transaction::new(
+            inputs,
+            vec![TxOut { address: dest, value: swept }],
+            timestamp,
+            nonce,
+        );
+        for input in &tx.inputs {
+            self.utxos.remove(&input.prevout);
+        }
+        Some(tx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fund(wallet: &mut Wallet, alloc: &mut AddressAlloc, sats: u64, nonce: u64) -> Transaction {
+        let addr = wallet.new_address(alloc);
+        let tx = Transaction::new(
+            vec![],
+            vec![TxOut { address: addr, value: Amount::from_sats(sats) }],
+            0,
+            nonce,
+        );
+        wallet.observe(&tx);
+        tx
+    }
+
+    #[test]
+    fn observe_tracks_balance() {
+        let mut alloc = AddressAlloc::new();
+        let mut w = Wallet::new(ChangePolicy::FreshAddress);
+        fund(&mut w, &mut alloc, 100, 0);
+        fund(&mut w, &mut alloc, 50, 1);
+        assert_eq!(w.balance(), Amount::from_sats(150));
+        assert_eq!(w.num_utxos(), 2);
+    }
+
+    #[test]
+    fn payment_with_fresh_change() {
+        let mut alloc = AddressAlloc::new();
+        let mut w = Wallet::new(ChangePolicy::FreshAddress);
+        fund(&mut w, &mut alloc, 100, 0);
+        let before = w.num_addresses();
+        let tx = w
+            .create_payment(
+                vec![TxOut { address: Address(999), value: Amount::from_sats(60) }],
+                Amount::from_sats(5),
+                &mut alloc,
+                10,
+                1,
+            )
+            .unwrap();
+        // 100 - 60 - 5 = 35 change to a fresh owned address.
+        assert_eq!(tx.outputs.len(), 2);
+        assert_eq!(tx.outputs[1].value, Amount::from_sats(35));
+        assert!(w.owns(tx.outputs[1].address));
+        assert_eq!(w.num_addresses(), before + 1);
+        assert_eq!(tx.fee(), Amount::from_sats(5));
+    }
+
+    #[test]
+    fn reuse_input_change_policy() {
+        let mut alloc = AddressAlloc::new();
+        let mut w = Wallet::new(ChangePolicy::ReuseInput);
+        let funding = fund(&mut w, &mut alloc, 100, 0);
+        let src = funding.outputs[0].address;
+        let tx = w
+            .create_payment(
+                vec![TxOut { address: Address(999), value: Amount::from_sats(40) }],
+                Amount::ZERO,
+                &mut alloc,
+                10,
+                1,
+            )
+            .unwrap();
+        assert_eq!(tx.outputs[1].address, src);
+    }
+
+    #[test]
+    fn insufficient_balance_returns_none() {
+        let mut alloc = AddressAlloc::new();
+        let mut w = Wallet::new(ChangePolicy::FreshAddress);
+        fund(&mut w, &mut alloc, 10, 0);
+        let res = w.create_payment(
+            vec![TxOut { address: Address(999), value: Amount::from_sats(60) }],
+            Amount::ZERO,
+            &mut alloc,
+            10,
+            1,
+        );
+        assert!(res.is_none());
+        // Balance untouched by the failed attempt.
+        assert_eq!(w.balance(), Amount::from_sats(10));
+    }
+
+    #[test]
+    fn sequential_payments_do_not_double_spend() {
+        let mut alloc = AddressAlloc::new();
+        let mut w = Wallet::new(ChangePolicy::FreshAddress);
+        fund(&mut w, &mut alloc, 100, 0);
+        let tx1 = w
+            .create_payment(
+                vec![TxOut { address: Address(999), value: Amount::from_sats(30) }],
+                Amount::ZERO,
+                &mut alloc,
+                10,
+                1,
+            )
+            .unwrap();
+        // Before confirmation the wallet already marked inputs spent: a second
+        // payment cannot reuse them.
+        let tx2 = w.create_payment(
+            vec![TxOut { address: Address(998), value: Amount::from_sats(30) }],
+            Amount::ZERO,
+            &mut alloc,
+            10,
+            2,
+        );
+        assert!(tx2.is_none());
+        // After confirming tx1 the change becomes spendable again.
+        w.observe(&tx1);
+        let tx3 = w.create_payment(
+            vec![TxOut { address: Address(998), value: Amount::from_sats(30) }],
+            Amount::ZERO,
+            &mut alloc,
+            11,
+            3,
+        );
+        assert!(tx3.is_some());
+    }
+
+    #[test]
+    fn exact_spend_has_no_change_output() {
+        let mut alloc = AddressAlloc::new();
+        let mut w = Wallet::new(ChangePolicy::FreshAddress);
+        fund(&mut w, &mut alloc, 100, 0);
+        let tx = w
+            .create_payment(
+                vec![TxOut { address: Address(999), value: Amount::from_sats(95) }],
+                Amount::from_sats(5),
+                &mut alloc,
+                10,
+                1,
+            )
+            .unwrap();
+        assert_eq!(tx.outputs.len(), 1);
+    }
+
+    #[test]
+    fn consolidate_sweeps_many_utxos() {
+        let mut alloc = AddressAlloc::new();
+        let mut w = Wallet::new(ChangePolicy::FreshAddress);
+        for i in 0..5 {
+            fund(&mut w, &mut alloc, 10, i);
+        }
+        let dest = Address(12345);
+        let tx = w.consolidate(dest, 10, Amount::from_sats(2), 100, 99).unwrap();
+        assert_eq!(tx.inputs.len(), 5);
+        assert_eq!(tx.outputs.len(), 1);
+        assert_eq!(tx.outputs[0].value, Amount::from_sats(48));
+        assert_eq!(tx.outputs[0].address, dest);
+    }
+
+    #[test]
+    fn consolidate_needs_at_least_two_utxos() {
+        let mut alloc = AddressAlloc::new();
+        let mut w = Wallet::new(ChangePolicy::FreshAddress);
+        fund(&mut w, &mut alloc, 10, 0);
+        assert!(w.consolidate(Address(1), 10, Amount::ZERO, 0, 1).is_none());
+    }
+
+    #[test]
+    fn multi_utxo_payment_gathers_enough_inputs() {
+        let mut alloc = AddressAlloc::new();
+        let mut w = Wallet::new(ChangePolicy::FreshAddress);
+        for i in 0..4 {
+            fund(&mut w, &mut alloc, 25, i);
+        }
+        let tx = w
+            .create_payment(
+                vec![TxOut { address: Address(999), value: Amount::from_sats(70) }],
+                Amount::ZERO,
+                &mut alloc,
+                10,
+                9,
+            )
+            .unwrap();
+        assert!(tx.inputs.len() >= 3);
+        assert_eq!(tx.input_value(), tx.output_value());
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based tests of the UTXO model: value conservation, double-spend
+//! safety, and chain validity under arbitrary randomized transaction flows.
+
+use btcsim::{Address, Amount, Block, Chain, OutPoint, Transaction, TxIn, TxOut, UtxoSet};
+use proptest::prelude::*;
+
+/// Apply a scripted sequence of (coinbase | spend-fraction) operations and
+/// check conservation at every step.
+fn run_session(ops: &[(bool, u8, u8)]) -> Result<(), TestCaseError> {
+    let mut set = UtxoSet::new();
+    let mut live: Vec<(OutPoint, Address, Amount)> = Vec::new();
+    let mut issued = Amount::ZERO;
+    let mut burned = Amount::ZERO;
+    let mut nonce = 0u64;
+
+    for &(coinbase, sel, frac) in ops {
+        nonce += 1;
+        if coinbase || live.is_empty() {
+            let value = Amount::from_sats(1_000 + sel as u64 * 13);
+            let tx = Transaction::new(
+                vec![],
+                vec![TxOut { address: Address(nonce), value }],
+                nonce,
+                nonce,
+            );
+            set.apply(&tx).expect("coinbase always valid");
+            live.push((OutPoint { txid: tx.txid, vout: 0 }, Address(nonce), value));
+            issued += value;
+        } else {
+            let idx = sel as usize % live.len();
+            let (op, addr, value) = live.swap_remove(idx);
+            let fee = value.mul_f64(frac as f64 / 512.0); // ≤ ~50% fee
+            let out_value = value - fee;
+            let dest = Address(1_000_000 + nonce);
+            let tx = Transaction::new(
+                vec![TxIn { prevout: op, address: addr, value }],
+                vec![TxOut { address: dest, value: out_value }],
+                nonce,
+                nonce,
+            );
+            set.apply(&tx).expect("spend of live utxo is valid");
+            burned += fee;
+            if !out_value.is_zero() {
+                live.push((OutPoint { txid: tx.txid, vout: 0 }, dest, out_value));
+            }
+            // Spending the same outpoint again must fail.
+            let double = Transaction::new(
+                vec![TxIn { prevout: op, address: addr, value }],
+                vec![TxOut { address: dest, value: out_value }],
+                nonce,
+                nonce + 1_000_000,
+            );
+            prop_assert!(set.apply(&double).is_err(), "double spend accepted");
+        }
+        // Conservation: tracked value == issued − burned.
+        prop_assert_eq!(set.total_value() + burned, issued);
+        prop_assert_eq!(set.len(), live.len());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn utxo_value_is_conserved_under_random_flows(
+        ops in proptest::collection::vec((any::<bool>(), any::<u8>(), any::<u8>()), 1..80)
+    ) {
+        run_session(&ops)?;
+    }
+
+    #[test]
+    fn chain_accepts_only_monotone_heights_and_times(
+        heights in proptest::collection::vec(0u64..5, 1..20),
+    ) {
+        let mut chain = Chain::new();
+        let mut expected = 0u64;
+        for (i, &h_offset) in heights.iter().enumerate() {
+            let height = expected + h_offset;
+            let block = Block { height, timestamp: i as u64 * 600, txs: vec![] };
+            let ok = chain.append(block).is_ok();
+            prop_assert_eq!(ok, h_offset == 0, "height {} expected {}", height, expected);
+            if ok {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(chain.height(), expected);
+    }
+
+    #[test]
+    fn overspending_is_always_rejected(extra in 1u64..1_000_000) {
+        let mut set = UtxoSet::new();
+        let cb = Transaction::new(
+            vec![],
+            vec![TxOut { address: Address(1), value: Amount::from_sats(5_000) }],
+            0,
+            0,
+        );
+        set.apply(&cb).unwrap();
+        let tx = Transaction::new(
+            vec![TxIn {
+                prevout: OutPoint { txid: cb.txid, vout: 0 },
+                address: Address(1),
+                value: Amount::from_sats(5_000),
+            }],
+            vec![TxOut { address: Address(2), value: Amount::from_sats(5_000 + extra) }],
+            1,
+            1,
+        );
+        prop_assert!(set.apply(&tx).is_err());
+        // And the set is untouched by the failed apply.
+        prop_assert_eq!(set.total_value(), Amount::from_sats(5_000));
+    }
+}

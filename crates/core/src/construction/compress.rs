@@ -1,0 +1,406 @@
+//! Stages 2 and 3 — graph node compression (paper §III-A2):
+//! single-transaction address compression (Fig. 3) merges the one-shot
+//! counterparties of each transaction into per-side hyper nodes;
+//! multi-transaction address compression (Fig. 4) merges recurring
+//! counterparties with similar connectivity via the similarity framework
+//! S = AAᵀ, M = SD⁻¹, Q = ReLU(M − Ψ·I) (Eq. 3–7).
+
+use crate::construction::address_graph::{AddressGraph, Edge, Node, NodeKind, Side};
+use crate::construction::sfe::sfe;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Distinct transaction nodes each address-like node touches.
+fn tx_sets(g: &AddressGraph) -> HashMap<usize, BTreeSet<usize>> {
+    let mut sets: HashMap<usize, BTreeSet<usize>> = HashMap::new();
+    for e in &g.edges {
+        sets.entry(e.addr_node).or_default().insert(e.tx_node);
+    }
+    sets
+}
+
+/// Merge the given groups of address nodes into hyper nodes of `hyper_kind`,
+/// rebuilding indices and collapsing the merged nodes' parallel edges.
+fn rebuild_with_merges(
+    g: &AddressGraph,
+    groups: &[Vec<usize>],
+    hyper_kind: NodeKind,
+) -> AddressGraph {
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
+    for (gi, group) in groups.iter().enumerate() {
+        for &n in group {
+            debug_assert!(g.nodes[n].is_address_like() && n != 0, "cannot merge focus/tx nodes");
+            let prev = group_of.insert(n, gi);
+            debug_assert!(prev.is_none(), "node in two merge groups");
+        }
+    }
+
+    // Kept nodes keep their relative order; hyper nodes are appended.
+    let mut new_index: Vec<Option<usize>> = vec![None; g.nodes.len()];
+    let mut nodes: Vec<Node> = Vec::with_capacity(g.nodes.len());
+    for (i, n) in g.nodes.iter().enumerate() {
+        if !group_of.contains_key(&i) {
+            new_index[i] = Some(nodes.len());
+            nodes.push(n.clone());
+        }
+    }
+    let mut hyper_index = Vec::with_capacity(groups.len());
+    for group in groups {
+        let mut hyper = Node::new(hyper_kind, g.nodes[group[0]].address);
+        hyper.merged_count = group.iter().map(|&n| g.nodes[n].merged_count).sum();
+        hyper_index.push(nodes.len());
+        nodes.push(hyper);
+    }
+
+    // Remap edges; collapse parallel (hyper, tx, side) edges by summing.
+    let mut edges: Vec<Edge> = Vec::with_capacity(g.edges.len());
+    let mut hyper_edges: BTreeMap<(usize, usize, bool), f64> = BTreeMap::new();
+    let mut hyper_values: Vec<Vec<f64>> = vec![Vec::new(); groups.len()];
+    for e in &g.edges {
+        let tx = new_index[e.tx_node].expect("tx nodes are never merged");
+        match group_of.get(&e.addr_node) {
+            None => {
+                let a = new_index[e.addr_node].expect("kept node");
+                edges.push(Edge { addr_node: a, tx_node: tx, value: e.value, side: e.side });
+            }
+            Some(&gi) => {
+                let key = (hyper_index[gi], tx, e.side == Side::Input);
+                *hyper_edges.entry(key).or_insert(0.0) += e.value;
+                hyper_values[gi].push(e.value);
+            }
+        }
+    }
+    for ((addr_node, tx_node, is_input), value) in hyper_edges {
+        edges.push(Edge {
+            addr_node,
+            tx_node,
+            value,
+            side: if is_input { Side::Input } else { Side::Output },
+        });
+    }
+
+    // Refresh values/SFE on hyper nodes (paper Eq. 2 / Eq. 7: SFE over the
+    // merged addresses' transfer values).
+    for (gi, vals) in hyper_values.into_iter().enumerate() {
+        let idx = hyper_index[gi];
+        nodes[idx].sfe = sfe(&vals);
+        nodes[idx].values = vals;
+    }
+
+    let out = AddressGraph {
+        focus: g.focus,
+        slice_index: g.slice_index,
+        start_timestamp: g.start_timestamp,
+        num_txs: g.num_txs,
+        nodes,
+        edges,
+    };
+    debug_assert_eq!(out.check_invariants(), Ok(()));
+    out
+}
+
+/// Stage 2 — single-transaction address compression.
+///
+/// For every transaction, the counterparty addresses that appear in exactly
+/// one transaction of the slice are merged into at most two hyper nodes: one
+/// for the input side, one for the output side (paper Fig. 3). The focus
+/// address is never merged. Groups of one are left unmerged (nothing to
+/// compress).
+pub fn compress_single_tx(g: &AddressGraph) -> AddressGraph {
+    let sets = tx_sets(g);
+    // Side of each single-tx node = side of its first edge (a node with edges
+    // on both sides of one tx joins the input-side group).
+    let mut side_of: HashMap<usize, Side> = HashMap::new();
+    for e in &g.edges {
+        side_of.entry(e.addr_node).or_insert(e.side);
+    }
+    let mut groups: BTreeMap<(usize, bool), Vec<usize>> = BTreeMap::new();
+    for (i, n) in g.nodes.iter().enumerate() {
+        if i == 0 || n.kind != NodeKind::Address {
+            continue;
+        }
+        let Some(txs) = sets.get(&i) else { continue };
+        if txs.len() == 1 {
+            let tx = *txs.iter().next().expect("non-empty");
+            let side = side_of.get(&i).copied().unwrap_or(Side::Output);
+            groups.entry((tx, side == Side::Input)).or_default().push(i);
+        }
+    }
+    let merge_groups: Vec<Vec<usize>> =
+        groups.into_values().filter(|g| g.len() >= 2).collect();
+    rebuild_with_merges(g, &merge_groups, NodeKind::SingleHyper)
+}
+
+/// Parameters of Stage 3 (paper Eq. 5–6).
+#[derive(Clone, Copy, Debug)]
+pub struct MultiCompressParams {
+    /// Similarity threshold Ψ: addresses with normalised co-occurrence above
+    /// this are merge candidates.
+    pub psi: f64,
+    /// Retention threshold σ: a node must have more than this many similar
+    /// neighbours to seed a hyper node.
+    pub sigma: usize,
+}
+
+impl Default for MultiCompressParams {
+    fn default() -> Self {
+        Self { psi: 0.5, sigma: 1 }
+    }
+}
+
+/// Stage 3 — multi-transaction address compression.
+///
+/// Over the counterparty addresses appearing in ≥ 2 transactions of the
+/// slice, computes the co-occurrence matrix S = AAᵀ, column-normalises
+/// M = SD⁻¹ (D = diag(S)), thresholds Q = ReLU(M − Ψ), and greedily merges
+/// each high-similarity neighbourhood into a multi-transaction hyper node
+/// (paper Fig. 4, Eq. 3–7). S is computed sparsely per shared transaction —
+/// this is the dominant construction cost the paper reports (Table V,
+/// Stage 3 ≈ 62%).
+pub fn compress_multi_tx(g: &AddressGraph, params: MultiCompressParams) -> AddressGraph {
+    let sets = tx_sets(g);
+    // Candidate nodes: plain multi-transaction counterparties.
+    let multi: Vec<usize> = g
+        .nodes
+        .iter()
+        .enumerate()
+        .filter(|&(i, n)| {
+            i != 0 && n.kind == NodeKind::Address && sets.get(&i).is_some_and(|s| s.len() >= 2)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if multi.len() < 2 {
+        return g.clone();
+    }
+    let pos: HashMap<usize, usize> = multi.iter().enumerate().map(|(p, &n)| (n, p)).collect();
+
+    // Sparse S = AAᵀ: accumulate co-occurrence via each transaction's
+    // adjacent multi-address list.
+    let mut per_tx: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &n in &multi {
+        for &tx in &sets[&n] {
+            per_tx.entry(tx).or_default().push(pos[&n]);
+        }
+    }
+    let n = multi.len();
+    let mut s: Vec<HashMap<usize, f64>> = vec![HashMap::new(); n];
+    for members in per_tx.values() {
+        for (a_i, &a) in members.iter().enumerate() {
+            for &b in &members[a_i + 1..] {
+                *s[a].entry(b).or_insert(0.0) += 1.0;
+                *s[b].entry(a).or_insert(0.0) += 1.0;
+            }
+        }
+    }
+    let diag: Vec<f64> = multi.iter().map(|&node| sets[&node].len() as f64).collect();
+
+    // q_i = { j : m_ij > Ψ }, with M = S·D⁻¹ (m_ij = s_ij / s_jj). The
+    // paper's worked example divides by the *other* node's degree, matching
+    // this column normalisation.
+    let neighbourhoods: Vec<Vec<usize>> = (0..n)
+        .map(|i| {
+            let mut q: Vec<usize> = s[i]
+                .iter()
+                .filter(|&(&j, &sij)| sij / diag[j] > params.psi)
+                .map(|(&j, _)| j)
+                .collect();
+            q.sort_unstable();
+            q
+        })
+        .collect();
+
+    // Greedy merge: highest-degree-of-similarity seeds first (deterministic
+    // tie-break on index).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(neighbourhoods[i].len()), i));
+    let mut merged = vec![false; n];
+    let mut merge_groups: Vec<Vec<usize>> = Vec::new();
+    for &i in &order {
+        if merged[i] || neighbourhoods[i].len() <= params.sigma {
+            continue;
+        }
+        let mut group = vec![multi[i]];
+        merged[i] = true;
+        for &j in &neighbourhoods[i] {
+            if !merged[j] {
+                merged[j] = true;
+                group.push(multi[j]);
+            }
+        }
+        if group.len() >= 2 {
+            group.sort_unstable();
+            merge_groups.push(group);
+        }
+        // A seed whose neighbours were all taken stays merged-alone: it keeps
+        // its identity (group of one is dropped below).
+    }
+    let merge_groups: Vec<Vec<usize>> =
+        merge_groups.into_iter().filter(|g| g.len() >= 2).collect();
+    rebuild_with_merges(g, &merge_groups, NodeKind::MultiHyper)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::extract::extract_original_graphs;
+    use btcsim::{Address, AddressRecord, Amount, Label, TxView, Txid};
+
+    fn view(ts: u64, inputs: &[(u64, f64)], outputs: &[(u64, f64)]) -> TxView {
+        TxView {
+            txid: Txid(ts * 131 + outputs.len() as u64),
+            timestamp: ts,
+            inputs: inputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+            outputs: outputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+        }
+    }
+
+    fn graph_of(txs: Vec<TxView>) -> AddressGraph {
+        let record = AddressRecord { address: Address(0), label: Label::Mining, txs };
+        extract_original_graphs(&record, 100).remove(0)
+    }
+
+    #[test]
+    fn single_compression_merges_one_shot_outputs() {
+        // Focus pays 5 distinct one-shot addresses in one tx.
+        let g = graph_of(vec![view(
+            0,
+            &[(0, 5.0)],
+            &[(10, 1.0), (11, 1.0), (12, 1.0), (13, 1.0), (14, 1.0)],
+        )]);
+        let c = compress_single_tx(&g);
+        assert_eq!(c.check_invariants(), Ok(()));
+        // focus + tx + 1 output-side hyper
+        assert_eq!(c.num_nodes(), 3);
+        assert_eq!(c.count_kind(NodeKind::SingleHyper), 1);
+        let hyper = c.nodes.iter().find(|n| n.kind == NodeKind::SingleHyper).unwrap();
+        assert_eq!(hyper.merged_count, 5);
+        assert_eq!(hyper.sfe.count(), 5.0);
+        assert!((hyper.sfe.sum() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn single_compression_keeps_sides_separate() {
+        // 3 one-shot funders and 3 one-shot receivers -> 2 hyper nodes.
+        let g = graph_of(vec![view(
+            0,
+            &[(0, 1.0), (20, 1.0), (21, 1.0), (22, 1.0)],
+            &[(30, 1.2), (31, 1.2), (32, 1.2)],
+        )]);
+        let c = compress_single_tx(&g);
+        assert_eq!(c.count_kind(NodeKind::SingleHyper), 2);
+        // A transaction links to at most two single-hyper nodes (paper).
+        let tx = c.nodes.iter().position(|n| n.kind == NodeKind::Transaction).unwrap();
+        let hyper_links = c
+            .edges
+            .iter()
+            .filter(|e| e.tx_node == tx && c.nodes[e.addr_node].kind == NodeKind::SingleHyper)
+            .count();
+        assert_eq!(hyper_links, 2);
+    }
+
+    #[test]
+    fn focus_is_never_merged() {
+        let g = graph_of(vec![view(0, &[(0, 1.0)], &[(10, 0.5), (11, 0.5)])]);
+        let c = compress_single_tx(&g);
+        assert_eq!(c.nodes[0].kind, NodeKind::Focus);
+        assert_eq!(c.nodes[0].address, Some(Address(0)));
+    }
+
+    #[test]
+    fn multi_tx_addresses_survive_single_compression() {
+        // Address 9 appears in both txs: not single-tx, stays plain.
+        let g = graph_of(vec![
+            view(0, &[(0, 1.0)], &[(9, 0.5), (10, 0.5)]),
+            view(1, &[(0, 1.0)], &[(9, 0.5), (11, 0.5)]),
+        ]);
+        let c = compress_single_tx(&g);
+        assert!(c.nodes.iter().any(|n| n.address == Some(Address(9)) && n.kind == NodeKind::Address));
+        // 10 and 11 are lone single-tx addresses per (tx, side): groups of
+        // one are not merged.
+        assert_eq!(c.count_kind(NodeKind::SingleHyper), 0);
+    }
+
+    #[test]
+    fn multi_compression_merges_cohort() {
+        // Mining-pool pattern: addresses 50..55 all appear in all 3 payouts.
+        let cohort: Vec<(u64, f64)> = (50..56).map(|a| (a, 0.3)).collect();
+        let g = graph_of(vec![
+            view(0, &[(0, 3.0)], &cohort),
+            view(1, &[(0, 3.0)], &cohort),
+            view(2, &[(0, 3.0)], &cohort),
+        ]);
+        let c = compress_multi_tx(&g, MultiCompressParams::default());
+        assert_eq!(c.check_invariants(), Ok(()));
+        assert_eq!(c.count_kind(NodeKind::MultiHyper), 1);
+        let hyper = c.nodes.iter().find(|n| n.kind == NodeKind::MultiHyper).unwrap();
+        assert_eq!(hyper.merged_count, 6);
+        // 6 addresses x 3 txs = 18 original edges summarised.
+        assert_eq!(hyper.sfe.count(), 18.0);
+        // Hyper has one collapsed edge per transaction.
+        let hyper_idx = c.nodes.iter().position(|n| n.kind == NodeKind::MultiHyper).unwrap();
+        assert_eq!(c.edges.iter().filter(|e| e.addr_node == hyper_idx).count(), 3);
+    }
+
+    #[test]
+    fn dissimilar_multi_addresses_stay_separate() {
+        // 60 appears in txs {0,1}; 61 in txs {2,3}: no co-occurrence.
+        let g = graph_of(vec![
+            view(0, &[(0, 1.0)], &[(60, 0.9)]),
+            view(1, &[(0, 1.0)], &[(60, 0.9)]),
+            view(2, &[(0, 1.0)], &[(61, 0.9)]),
+            view(3, &[(0, 1.0)], &[(61, 0.9)]),
+        ]);
+        let c = compress_multi_tx(&g, MultiCompressParams::default());
+        assert_eq!(c.count_kind(NodeKind::MultiHyper), 0);
+        assert!(c.nodes.iter().any(|n| n.address == Some(Address(60))));
+        assert!(c.nodes.iter().any(|n| n.address == Some(Address(61))));
+    }
+
+    #[test]
+    fn sigma_gates_merging() {
+        // Two addresses co-occur perfectly; with sigma=1 a seed needs >1
+        // similar neighbours, so nothing merges; sigma=0 merges the pair.
+        let pair: Vec<(u64, f64)> = vec![(70, 0.4), (71, 0.4)];
+        let g = graph_of(vec![
+            view(0, &[(0, 1.0)], &pair),
+            view(1, &[(0, 1.0)], &pair),
+        ]);
+        let strict = compress_multi_tx(&g, MultiCompressParams { psi: 0.5, sigma: 1 });
+        assert_eq!(strict.count_kind(NodeKind::MultiHyper), 0);
+        let loose = compress_multi_tx(&g, MultiCompressParams { psi: 0.5, sigma: 0 });
+        assert_eq!(loose.count_kind(NodeKind::MultiHyper), 1);
+    }
+
+    #[test]
+    fn compression_pipeline_shrinks_fanout_graphs() {
+        // 3 payouts to an 80-address cohort + per-tx one-shot change.
+        let cohort: Vec<(u64, f64)> = (100..180).map(|a| (a, 0.1)).collect();
+        let mut txs = Vec::new();
+        for t in 0..3u64 {
+            let mut outs = cohort.clone();
+            outs.push((500 + t, 0.05)); // one-shot change address
+            txs.push(view(t, &[(0, 9.0)], &outs));
+        }
+        let g = graph_of(txs);
+        let before = g.num_nodes();
+        let c2 = compress_single_tx(&g);
+        let c3 = compress_multi_tx(&c2, MultiCompressParams::default());
+        assert!(c3.num_nodes() * 10 <= before, "{} -> {}", before, c3.num_nodes());
+        // focus + 3 txs + 1 multi-hyper (cohort) + up to 3 singles kept
+        assert_eq!(c3.count_kind(NodeKind::MultiHyper), 1);
+    }
+
+    #[test]
+    fn compression_is_deterministic() {
+        let cohort: Vec<(u64, f64)> = (100..140).map(|a| (a, 0.1)).collect();
+        let txs: Vec<TxView> =
+            (0..4).map(|t| view(t, &[(0, 5.0)], &cohort)).collect();
+        let g = graph_of(txs);
+        let a = compress_multi_tx(&compress_single_tx(&g), MultiCompressParams::default());
+        let b = compress_multi_tx(&compress_single_tx(&g), MultiCompressParams::default());
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.edges.len(), b.edges.len());
+        for (x, y) in a.edges.iter().zip(&b.edges) {
+            assert_eq!(x, y);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Stage 1 — original graph extraction (paper §III-A1): slice an address's
+//! chronological transactions into groups of `slice_size` (the paper fixes
+//! 100) and build one heterogeneous address/transaction graph per slice.
+
+use crate::construction::address_graph::{AddressGraph, Edge, Node, NodeKind, Side};
+use crate::construction::sfe::sfe;
+use btcsim::{Address, AddressRecord, TxView};
+use std::collections::HashMap;
+
+/// Build the original (uncompressed) graph list for one address record.
+///
+/// Each graph contains up to `slice_size` consecutive transactions; the final
+/// partial slice is retained (paper: "the final graph with less than 100
+/// transactions will be retained"). Node 0 is always the focus address.
+pub fn extract_original_graphs(record: &AddressRecord, slice_size: usize) -> Vec<AddressGraph> {
+    assert!(slice_size > 0, "slice_size must be positive");
+    record
+        .txs
+        .chunks(slice_size)
+        .enumerate()
+        .map(|(slice_index, chunk)| build_slice_graph(record.address, slice_index, chunk))
+        .collect()
+}
+
+fn build_slice_graph(focus: Address, slice_index: usize, txs: &[TxView]) -> AddressGraph {
+    let mut nodes = vec![Node::new(NodeKind::Focus, Some(focus))];
+    let mut edges = Vec::new();
+    let mut addr_node: HashMap<Address, usize> = HashMap::new();
+    addr_node.insert(focus, 0);
+
+    for tx in txs {
+        let tx_node = nodes.len();
+        nodes.push(Node::new(NodeKind::Transaction, None));
+        for (side, entries) in [(Side::Input, &tx.inputs), (Side::Output, &tx.outputs)] {
+            for &(addr, amount) in entries {
+                let a = *addr_node.entry(addr).or_insert_with(|| {
+                    nodes.push(Node::new(NodeKind::Address, Some(addr)));
+                    nodes.len() - 1
+                });
+                edges.push(Edge { addr_node: a, tx_node, value: amount.btc(), side });
+            }
+        }
+    }
+
+    // Record adjacent edge values per node and seed SFE features so even the
+    // uncompressed graph has well-defined node features.
+    for e in &edges {
+        let v = e.value;
+        nodes[e.addr_node].values.push(v);
+        nodes[e.tx_node].values.push(v);
+    }
+    for n in nodes.iter_mut() {
+        n.sfe = sfe(&n.values);
+    }
+
+    let g = AddressGraph {
+        focus,
+        slice_index,
+        start_timestamp: txs.first().map_or(0, |t| t.timestamp),
+        num_txs: txs.len(),
+        nodes,
+        edges,
+    };
+    debug_assert_eq!(g.check_invariants(), Ok(()));
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcsim::{Amount, Label, Txid};
+
+    fn view(ts: u64, inputs: &[(u64, f64)], outputs: &[(u64, f64)]) -> TxView {
+        TxView {
+            txid: Txid(ts * 31 + inputs.len() as u64),
+            timestamp: ts,
+            inputs: inputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+            outputs: outputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+        }
+    }
+
+    fn record(address: u64, txs: Vec<TxView>) -> AddressRecord {
+        AddressRecord { address: Address(address), label: Label::Exchange, txs }
+    }
+
+    #[test]
+    fn slicing_respects_slice_size() {
+        let txs: Vec<TxView> =
+            (0..250).map(|i| view(i, &[(0, 1.0)], &[(1000 + i, 0.9)])).collect();
+        let graphs = extract_original_graphs(&record(0, txs), 100);
+        assert_eq!(graphs.len(), 3);
+        assert_eq!(graphs[0].num_txs, 100);
+        assert_eq!(graphs[1].num_txs, 100);
+        assert_eq!(graphs[2].num_txs, 50); // partial final slice retained
+        assert_eq!(graphs[2].slice_index, 2);
+    }
+
+    #[test]
+    fn focus_is_node_zero_in_every_slice() {
+        let txs: Vec<TxView> = (0..5).map(|i| view(i, &[(7, 1.0)], &[(100 + i, 0.9)])).collect();
+        for g in extract_original_graphs(&record(7, txs), 2) {
+            assert_eq!(g.nodes[0].kind, NodeKind::Focus);
+            assert_eq!(g.nodes[0].address, Some(Address(7)));
+        }
+    }
+
+    #[test]
+    fn shared_addresses_are_single_nodes() {
+        // Address 9 appears in both transactions: one node, two tx edges.
+        let txs = vec![
+            view(0, &[(0, 1.0), (9, 2.0)], &[(50, 2.9)]),
+            view(1, &[(0, 1.0), (9, 3.0)], &[(51, 3.9)]),
+        ];
+        let g = &extract_original_graphs(&record(0, txs), 100)[0];
+        // nodes: focus, tx0, 9, 50, tx1, 51
+        assert_eq!(g.count_kind(NodeKind::Transaction), 2);
+        let nine = g.nodes.iter().position(|n| n.address == Some(Address(9))).unwrap();
+        let nine_edges = g.edges.iter().filter(|e| e.addr_node == nine).count();
+        assert_eq!(nine_edges, 2);
+        assert_eq!(g.nodes[nine].values, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn edge_sides_match_transaction_structure() {
+        let txs = vec![view(0, &[(0, 1.5)], &[(5, 1.0), (6, 0.4)])];
+        let g = &extract_original_graphs(&record(0, txs), 100)[0];
+        let inputs: Vec<_> = g.edges.iter().filter(|e| e.side == Side::Input).collect();
+        let outputs: Vec<_> = g.edges.iter().filter(|e| e.side == Side::Output).collect();
+        assert_eq!(inputs.len(), 1);
+        assert_eq!(outputs.len(), 2);
+        assert!((inputs[0].value - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sfe_is_seeded_on_extraction() {
+        let txs = vec![view(0, &[(0, 2.0)], &[(5, 1.0), (6, 0.9)])];
+        let g = &extract_original_graphs(&record(0, txs), 100)[0];
+        // Transaction node saw values [2.0, 1.0, 0.9].
+        let tx_node = g.nodes.iter().position(|n| n.kind == NodeKind::Transaction).unwrap();
+        assert_eq!(g.nodes[tx_node].sfe.count(), 3.0);
+        assert!((g.nodes[tx_node].sfe.max() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn start_timestamp_is_first_tx() {
+        let txs: Vec<TxView> = (10..15).map(|i| view(i, &[(0, 1.0)], &[(99, 0.5)])).collect();
+        let graphs = extract_original_graphs(&record(0, txs), 2);
+        assert_eq!(graphs[0].start_timestamp, 10);
+        assert_eq!(graphs[1].start_timestamp, 12);
+        assert_eq!(graphs[2].start_timestamp, 14);
+    }
+
+    #[test]
+    fn empty_record_yields_no_graphs() {
+        assert!(extract_original_graphs(&record(0, vec![]), 100).is_empty());
+    }
+
+    #[test]
+    fn invariants_hold_on_extracted_graphs() {
+        let txs: Vec<TxView> = (0..30)
+            .map(|i| view(i, &[(0, 1.0), (i + 500, 0.2)], &[(1000 + i % 3, 0.9)]))
+            .collect();
+        for g in extract_original_graphs(&record(0, txs), 10) {
+            assert_eq!(g.check_invariants(), Ok(()));
+        }
+    }
+}

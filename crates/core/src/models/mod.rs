@@ -1,0 +1,62 @@
+//! Graph representation learning (paper §III-B): the Graph Feature Network
+//! the paper adopts, plus the GCN and DiffPool comparators of Table II.
+
+pub mod diffpool;
+pub mod gcn;
+pub mod gfn;
+
+pub use diffpool::DiffPool;
+pub use gcn::Gcn;
+pub use gfn::{Gfn, Readout};
+
+use crate::features::GraphTensors;
+use numnet::{Matrix, Param, Tape, Var};
+
+/// Number of behavior classes (paper Table I).
+pub const NUM_CLASSES: usize = 4;
+
+/// Model-specific preprocessed input for one graph. Computing this is
+/// gradient-free, so training loops cache it per graph across epochs.
+#[derive(Clone, Debug)]
+pub enum PreparedGraph {
+    /// Augmented feature matrix only (GFN: propagation already folded in).
+    Features(Matrix),
+    /// Features plus the dense normalised adjacency (GCN / DiffPool).
+    WithAdjacency { x: Matrix, adj: Matrix },
+}
+
+impl PreparedGraph {
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            PreparedGraph::Features(x) => x.rows(),
+            PreparedGraph::WithAdjacency { x, .. } => x.rows(),
+        }
+    }
+}
+
+/// A graph-level model: prepare → embed → classify.
+pub trait GraphModel {
+    fn name(&self) -> &'static str;
+
+    /// Gradient-free preprocessing (cacheable per graph).
+    fn prepare(&self, g: &GraphTensors) -> PreparedGraph;
+
+    /// Graph embedding (`1 x embed_dim`).
+    fn embed<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t>;
+
+    /// Class logits (`1 x NUM_CLASSES`).
+    fn logits<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t>;
+
+    /// Trainable parameters.
+    fn params(&self) -> Vec<Param>;
+
+    /// Embedding width.
+    fn embed_dim(&self) -> usize;
+
+    /// Predicted class of one prepared graph.
+    fn predict(&self, prep: &PreparedGraph) -> usize {
+        let tape = Tape::new();
+        let logits = self.logits(&tape, prep);
+        logits.value().row_argmax(0)
+    }
+}

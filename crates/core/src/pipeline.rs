@@ -1,0 +1,265 @@
+//! The end-to-end BAClassifier: address graph construction → GFN graph
+//! representation learning → LSTM+MLP address classification (paper Fig. 2).
+
+use crate::classify::{LstmMlp, SequenceHead};
+use crate::config::BacConfig;
+use crate::construction::{construct_address_graphs, construct_dataset_graphs, StageTimings};
+use crate::features::{graph_tensors, NODE_FEAT_DIM};
+use crate::metrics::{ClassificationReport, ConfusionMatrix};
+use crate::models::{Gfn, GraphModel, NUM_CLASSES};
+use crate::train::{train_graph_model, train_sequence_head, TrainLog, TrainParams};
+use btcsim::{AddressRecord, Dataset, Label};
+use numnet::{Matrix, Tape};
+
+/// What `fit` did: construction cost and both training curves.
+#[derive(Debug)]
+pub struct FitReport {
+    /// Stage timings over the whole training set (Table V input).
+    pub construction: StageTimings,
+    /// GFN training curve (Fig. 5 series).
+    pub gnn_log: TrainLog,
+    /// LSTM+MLP training curve (Fig. 6 series).
+    pub head_log: TrainLog,
+    /// Total slice graphs constructed.
+    pub num_graphs: usize,
+}
+
+/// The assembled classifier.
+pub struct BaClassifier {
+    cfg: BacConfig,
+    gfn: Gfn,
+    head: LstmMlp,
+    fitted: bool,
+}
+
+impl BaClassifier {
+    pub fn new(cfg: BacConfig) -> Self {
+        let gfn = Gfn::new(
+            NODE_FEAT_DIM,
+            cfg.model.gfn_k,
+            cfg.model.hidden_dim,
+            cfg.model.embed_dim,
+            cfg.model.seed,
+        );
+        let head = LstmMlp::new(cfg.model.embed_dim, cfg.model.lstm_hidden, cfg.model.seed ^ 0x5a);
+        Self { cfg, gfn, head, fitted: false }
+    }
+
+    pub fn config(&self) -> &BacConfig {
+        &self.cfg
+    }
+
+    pub fn is_fitted(&self) -> bool {
+        self.fitted
+    }
+
+    /// Number of worker threads for graph construction.
+    fn threads() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    }
+
+    /// Train both stages on a labeled dataset.
+    pub fn fit(&mut self, train: &Dataset) -> FitReport {
+        assert!(!train.is_empty(), "cannot fit on an empty dataset");
+        // Stage A: construct graphs for every address.
+        let (per_address, construction) =
+            construct_dataset_graphs(&train.records, &self.cfg.construction, Self::threads());
+        let num_graphs = per_address.iter().map(Vec::len).sum();
+
+        // Stage B: graph-level GFN training — every slice graph inherits its
+        // address's label (paper §IV-C1).
+        let mut graph_set = Vec::with_capacity(num_graphs);
+        for (record, graphs) in train.records.iter().zip(&per_address) {
+            for g in graphs {
+                graph_set.push((self.gfn.prepare(&graph_tensors(g)), record.label.index()));
+            }
+        }
+        let gnn_log = train_graph_model(
+            &self.gfn,
+            &graph_set,
+            &[],
+            TrainParams {
+                epochs: self.cfg.model.gnn_epochs,
+                learning_rate: self.cfg.model.learning_rate,
+                batch_size: 8,
+                seed: self.cfg.model.seed,
+            },
+        );
+
+        // Stage C: embed each address's slice sequence and train the head.
+        let mut seq_set: Vec<(Vec<Matrix>, usize)> = Vec::with_capacity(train.len());
+        for (record, graphs) in train.records.iter().zip(&per_address) {
+            let seq = self.embedding_sequence_from_graphs(graphs);
+            if !seq.is_empty() {
+                seq_set.push((seq, record.label.index()));
+            }
+        }
+        let head_log = train_sequence_head(
+            &self.head,
+            &seq_set,
+            &[],
+            TrainParams {
+                epochs: self.cfg.model.head_epochs,
+                learning_rate: self.cfg.model.learning_rate,
+                batch_size: 8,
+                seed: self.cfg.model.seed ^ 0xbeef,
+            },
+        );
+
+        self.fitted = true;
+        FitReport { construction, gnn_log, head_log, num_graphs }
+    }
+
+    fn embedding_sequence_from_graphs(
+        &self,
+        graphs: &[crate::construction::AddressGraph],
+    ) -> Vec<Matrix> {
+        let max = self.cfg.model.max_slices.max(1);
+        let start = graphs.len().saturating_sub(max);
+        graphs[start..]
+            .iter()
+            .map(|g| {
+                let prep = self.gfn.prepare(&graph_tensors(g));
+                let tape = Tape::new();
+                self.gfn.embed(&tape, &prep).value()
+            })
+            .collect()
+    }
+
+    /// The chronological embedding sequence of one address (the `rep_i` list
+    /// of Eq. 22).
+    pub fn embed_record(&self, record: &AddressRecord) -> Vec<Matrix> {
+        let (graphs, _) = construct_address_graphs(record, &self.cfg.construction);
+        self.embedding_sequence_from_graphs(&graphs)
+    }
+
+    /// Predict the behavior label of one address.
+    ///
+    /// # Panics
+    /// Panics if the model has not been fitted or the record has no
+    /// transactions.
+    pub fn predict(&self, record: &AddressRecord) -> Label {
+        assert!(self.fitted, "predict() before fit()");
+        let seq = self.embed_record(record);
+        assert!(!seq.is_empty(), "record has no transactions to classify");
+        let idx = self.head.predict(&seq);
+        Label::from_index(idx).expect("head emits valid class indices")
+    }
+
+    /// All trainable parameters (GFN then head), in stable order.
+    fn all_params(&self) -> Vec<numnet::Param> {
+        let mut p = self.gfn.params();
+        p.extend(self.head.params());
+        p
+    }
+
+    /// Persist the trained weights to a file. The configuration is *not*
+    /// stored — construct the receiving classifier with the same
+    /// [`BacConfig`] before calling [`BaClassifier::load_weights`].
+    pub fn save_weights(&self, path: &std::path::Path) -> std::io::Result<()> {
+        numnet::save_params(path, &self.all_params())
+    }
+
+    /// Load weights saved by [`BaClassifier::save_weights`] into a
+    /// classifier built with the same configuration, marking it fitted.
+    pub fn load_weights(&mut self, path: &std::path::Path) -> Result<(), numnet::LoadError> {
+        numnet::load_params(path, &self.all_params())?;
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Evaluate on a labeled dataset, returning the paper's per-class +
+    /// weighted-average report (Table IV layout).
+    pub fn evaluate(&self, test: &Dataset) -> ClassificationReport {
+        assert!(self.fitted, "evaluate() before fit()");
+        let y_true: Vec<usize> = test.records.iter().map(|r| r.label.index()).collect();
+        let y_pred: Vec<usize> =
+            test.records.iter().map(|r| self.predict(r).index()).collect();
+        ConfusionMatrix::from_predictions(NUM_CLASSES, &y_true, &y_pred).report()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcsim::{SimConfig, Simulator};
+
+    fn small_split() -> (Dataset, Dataset) {
+        let sim = Simulator::run_to_completion(SimConfig::tiny(21));
+        let ds = Dataset::from_simulator(&sim, 3);
+        ds.stratified_split(0.25, 77)
+    }
+
+    #[test]
+    fn fit_predict_evaluate_roundtrip() {
+        let (train, test) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        let report = clf.fit(&train);
+        assert!(report.num_graphs >= train.len());
+        assert!(clf.is_fitted());
+        let eval = clf.evaluate(&test);
+        // On clearly-separable synthetic behaviors even the fast config
+        // should beat random (0.25) by a wide margin.
+        assert!(eval.weighted_f1 > 0.5, "weighted F1 {}", eval.weighted_f1);
+    }
+
+    #[test]
+    #[should_panic(expected = "before fit")]
+    fn predict_before_fit_panics() {
+        let (_, test) = small_split();
+        let clf = BaClassifier::new(BacConfig::fast());
+        let _ = clf.predict(&test.records[0]);
+    }
+
+    #[test]
+    fn saved_weights_reproduce_predictions() {
+        let (train, test) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        clf.fit(&train);
+        let path = std::env::temp_dir()
+            .join(format!("bac_weights_{}", std::process::id()));
+        clf.save_weights(&path).unwrap();
+
+        let mut restored = BaClassifier::new(BacConfig::fast());
+        assert!(!restored.is_fitted());
+        restored.load_weights(&path).unwrap();
+        assert!(restored.is_fitted());
+        for r in test.records.iter().take(15) {
+            assert_eq!(clf.predict(r), restored.predict(r));
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn loading_into_wrong_architecture_fails() {
+        let (train, _) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        clf.fit(&train);
+        let path = std::env::temp_dir()
+            .join(format!("bac_weights_bad_{}", std::process::id()));
+        clf.save_weights(&path).unwrap();
+
+        let mut wrong_cfg = BacConfig::fast();
+        wrong_cfg.model.embed_dim *= 2;
+        let mut wrong = BaClassifier::new(wrong_cfg);
+        assert!(wrong.load_weights(&path).is_err());
+        assert!(!wrong.is_fitted());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn embedding_sequence_lengths_respect_cap() {
+        let (train, _) = small_split();
+        let mut cfg = BacConfig::fast();
+        cfg.model.max_slices = 2;
+        cfg.construction.slice_size = 5;
+        let clf = BaClassifier::new(cfg);
+        for r in train.records.iter().take(10) {
+            let seq = clf.embed_record(r);
+            assert!(seq.len() <= 2);
+            for e in &seq {
+                assert_eq!(e.shape(), (1, clf.config().model.embed_dim));
+            }
+        }
+    }
+}

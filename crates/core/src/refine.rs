@@ -1,0 +1,207 @@
+//! Neighborhood label refinement — the paper's stated future-work direction
+//! (§V): "nodes of the same type often cluster together. The accuracy of the
+//! classification model can usually be improved by analyzing the types of
+//! connected nodes."
+//!
+//! Given per-address class probabilities and the transaction neighbourhood,
+//! this module iteratively blends each address's own prediction with the
+//! predictions of the addresses it transacts with, then re-reads the argmax.
+
+use crate::models::NUM_CLASSES;
+use btcsim::{Address, AddressRecord};
+use std::collections::HashMap;
+
+/// Parameters of the propagation.
+#[derive(Clone, Copy, Debug)]
+pub struct RefineParams {
+    /// Weight kept on the model's own prediction each round (`1 - alpha`
+    /// flows in from neighbours).
+    pub alpha: f64,
+    /// Propagation rounds.
+    pub iterations: usize,
+}
+
+impl Default for RefineParams {
+    fn default() -> Self {
+        Self { alpha: 0.7, iterations: 3 }
+    }
+}
+
+/// One-hot encode hard predictions into probability rows.
+pub fn one_hot(preds: &[usize]) -> Vec<[f64; NUM_CLASSES]> {
+    preds
+        .iter()
+        .map(|&p| {
+            let mut row = [0.0; NUM_CLASSES];
+            row[p.min(NUM_CLASSES - 1)] = 1.0;
+            row
+        })
+        .collect()
+}
+
+/// Build the co-transaction adjacency among the given records: records i, j
+/// are neighbours when address j appears in any transaction of record i (or
+/// vice versa). Returns per-record neighbour index lists.
+pub fn co_transaction_neighbours(records: &[AddressRecord]) -> Vec<Vec<usize>> {
+    let index: HashMap<Address, usize> =
+        records.iter().enumerate().map(|(i, r)| (r.address, i)).collect();
+    let mut nbrs: Vec<std::collections::BTreeSet<usize>> =
+        vec![Default::default(); records.len()];
+    for (i, r) in records.iter().enumerate() {
+        for tx in &r.txs {
+            for &(a, _) in tx.inputs.iter().chain(&tx.outputs) {
+                if let Some(&j) = index.get(&a) {
+                    if j != i {
+                        nbrs[i].insert(j);
+                        nbrs[j].insert(i);
+                    }
+                }
+            }
+        }
+    }
+    nbrs.into_iter().map(|s| s.into_iter().collect()).collect()
+}
+
+/// Refine class probabilities by neighbourhood propagation and return the
+/// new hard predictions.
+///
+/// # Panics
+/// Panics when `probs` and `records` lengths differ.
+pub fn refine_predictions(
+    records: &[AddressRecord],
+    probs: &[[f64; NUM_CLASSES]],
+    params: RefineParams,
+) -> Vec<usize> {
+    assert_eq!(records.len(), probs.len(), "probs/records length mismatch");
+    let neighbours = co_transaction_neighbours(records);
+    let base = probs.to_vec();
+    let mut current = probs.to_vec();
+    for _ in 0..params.iterations {
+        let mut next = vec![[0.0; NUM_CLASSES]; current.len()];
+        for (i, nbr) in neighbours.iter().enumerate() {
+            let mut blended = [0.0; NUM_CLASSES];
+            if nbr.is_empty() {
+                blended = current[i];
+            } else {
+                for &j in nbr {
+                    for c in 0..NUM_CLASSES {
+                        blended[c] += current[j][c];
+                    }
+                }
+                let n = nbr.len() as f64;
+                for (c, b) in blended.iter_mut().enumerate() {
+                    // Anchor on the model's ORIGINAL prediction, not the
+                    // drifting state: standard label-spreading with a clamp.
+                    *b = params.alpha * base[i][c] + (1.0 - params.alpha) * (*b / n);
+                }
+            }
+            next[i] = blended;
+        }
+        current = next;
+    }
+    current
+        .iter()
+        .map(|row| {
+            let mut best = 0;
+            for c in 1..NUM_CLASSES {
+                if row[c] > row[best] {
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcsim::{Amount, Label, TxView, Txid};
+
+    /// Records 0..n that all co-occur in one shared transaction.
+    fn clique(n: usize) -> Vec<AddressRecord> {
+        let shared = TxView {
+            txid: Txid(1),
+            timestamp: 0,
+            inputs: (0..n as u64).map(|a| (Address(a), Amount::from_btc(1.0))).collect(),
+            outputs: vec![(Address(999), Amount::from_btc(n as f64 - 0.01))],
+        };
+        (0..n as u64)
+            .map(|a| AddressRecord {
+                address: Address(a),
+                label: Label::Exchange,
+                txs: vec![shared.clone()],
+            })
+            .collect()
+    }
+
+    #[test]
+    fn isolated_outlier_is_corrected_by_its_clique() {
+        let records = clique(6);
+        // Model got 5 right and 1 wrong.
+        let mut preds = vec![Label::Exchange.index(); 6];
+        preds[3] = Label::Gambling.index();
+        let refined =
+            refine_predictions(&records, &one_hot(&preds), RefineParams { alpha: 0.4, iterations: 3 });
+        assert_eq!(refined, vec![Label::Exchange.index(); 6]);
+    }
+
+    #[test]
+    fn confident_majority_is_not_flipped() {
+        let records = clique(6);
+        let preds = vec![Label::Mining.index(); 6];
+        let refined = refine_predictions(&records, &one_hot(&preds), RefineParams::default());
+        assert_eq!(refined, preds);
+    }
+
+    #[test]
+    fn disconnected_records_keep_their_predictions() {
+        // Two records with no shared counterparties.
+        let mk = |id: u64, cp: u64| AddressRecord {
+            address: Address(id),
+            label: Label::Service,
+            txs: vec![TxView {
+                txid: Txid(id),
+                timestamp: 0,
+                inputs: vec![(Address(cp), Amount::from_btc(1.0))],
+                outputs: vec![(Address(id), Amount::from_btc(0.99))],
+            }],
+        };
+        let records = vec![mk(1, 100), mk(2, 200)];
+        let preds = vec![Label::Service.index(), Label::Gambling.index()];
+        let refined = refine_predictions(&records, &one_hot(&preds), RefineParams::default());
+        assert_eq!(refined, preds);
+    }
+
+    #[test]
+    fn neighbour_discovery_is_symmetric() {
+        let records = clique(4);
+        let nbrs = co_transaction_neighbours(&records);
+        for (i, list) in nbrs.iter().enumerate() {
+            assert_eq!(list.len(), 3, "clique member {i}");
+            for &j in list {
+                assert!(nbrs[j].contains(&i), "asymmetric edge {i}-{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn high_alpha_preserves_model_output_entirely() {
+        let records = clique(5);
+        let mut preds = vec![Label::Exchange.index(); 5];
+        preds[0] = Label::Service.index();
+        let refined = refine_predictions(
+            &records,
+            &one_hot(&preds),
+            RefineParams { alpha: 1.0, iterations: 5 },
+        );
+        assert_eq!(refined, preds, "alpha=1 must be the identity");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let records = clique(3);
+        let _ = refine_predictions(&records, &one_hot(&[0]), RefineParams::default());
+    }
+}

@@ -1,0 +1,127 @@
+//! Property-based tests of graph construction and compression on randomly
+//! generated transaction histories: structural invariants, mass
+//! conservation, and monotone shrinkage must hold for *any* input.
+
+use baclassifier::construction::{
+    compress_multi_tx, compress_single_tx, extract_original_graphs, MultiCompressParams, NodeKind,
+};
+use btcsim::{Address, AddressRecord, Amount, Label, TxView, Txid};
+use proptest::prelude::*;
+
+/// Strategy: a random transaction history for focus address 0.
+/// Counterparties are drawn from a small id pool so that both single- and
+/// multi-transaction addresses occur.
+fn history_strategy() -> impl Strategy<Value = AddressRecord> {
+    let tx = (
+        proptest::collection::vec((1u64..40, 1u64..1_000_000), 0..6), // other inputs
+        proptest::collection::vec((1u64..40, 1u64..1_000_000), 1..8), // outputs
+        any::<bool>(),                                                // focus side
+    );
+    proptest::collection::vec(tx, 1..30).prop_map(|txs| {
+        let views = txs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mut ins, mut outs, focus_in))| {
+                // The focus participates in every tx of its own history.
+                if focus_in {
+                    ins.push((0, 500_000));
+                } else {
+                    outs.push((0, 400_000));
+                }
+                TxView {
+                    txid: Txid(i as u64),
+                    timestamp: i as u64 * 600,
+                    inputs: ins
+                        .into_iter()
+                        .map(|(a, v)| (Address(a), Amount::from_sats(v)))
+                        .collect(),
+                    outputs: outs
+                        .into_iter()
+                        .map(|(a, v)| (Address(a), Amount::from_sats(v)))
+                        .collect(),
+                }
+            })
+            .collect();
+        AddressRecord { address: Address(0), label: Label::Service, txs: views }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn invariants_hold_through_both_compressions(record in history_strategy()) {
+        for g in extract_original_graphs(&record, 10) {
+            prop_assert_eq!(g.check_invariants(), Ok(()));
+            let s2 = compress_single_tx(&g);
+            prop_assert_eq!(s2.check_invariants(), Ok(()));
+            let s3 = compress_multi_tx(&s2, MultiCompressParams::default());
+            prop_assert_eq!(s3.check_invariants(), Ok(()));
+        }
+    }
+
+    #[test]
+    fn compression_never_increases_node_count(record in history_strategy()) {
+        for g in extract_original_graphs(&record, 10) {
+            let s2 = compress_single_tx(&g);
+            prop_assert!(s2.num_nodes() <= g.num_nodes());
+            let s3 = compress_multi_tx(&s2, MultiCompressParams::default());
+            prop_assert!(s3.num_nodes() <= s2.num_nodes());
+            // Transaction nodes and the focus are never removed.
+            prop_assert_eq!(
+                s3.count_kind(NodeKind::Transaction),
+                g.count_kind(NodeKind::Transaction)
+            );
+            prop_assert_eq!(s3.count_kind(NodeKind::Focus), 1);
+        }
+    }
+
+    #[test]
+    fn address_mass_and_value_are_conserved(record in history_strategy()) {
+        for g in extract_original_graphs(&record, 10) {
+            let s3 = compress_multi_tx(
+                &compress_single_tx(&g),
+                MultiCompressParams::default(),
+            );
+            let mass_before =
+                g.nodes.iter().filter(|n| n.is_address_like()).count();
+            let mass_after: usize = s3
+                .nodes
+                .iter()
+                .filter(|n| n.is_address_like())
+                .map(|n| n.merged_count)
+                .sum();
+            prop_assert_eq!(mass_before, mass_after);
+            let value_before: f64 = g.edges.iter().map(|e| e.value).sum();
+            let value_after: f64 = s3.edges.iter().map(|e| e.value).sum();
+            prop_assert!((value_before - value_after).abs() < 1e-9 * (1.0 + value_before));
+        }
+    }
+
+    #[test]
+    fn sfe_count_matches_merged_edge_count(record in history_strategy()) {
+        for g in extract_original_graphs(&record, 10) {
+            let s3 = compress_multi_tx(
+                &compress_single_tx(&g),
+                MultiCompressParams::default(),
+            );
+            for n in &s3.nodes {
+                if matches!(n.kind, NodeKind::SingleHyper | NodeKind::MultiHyper) {
+                    prop_assert_eq!(n.sfe.count() as usize, n.values.len());
+                    prop_assert!(n.merged_count >= 2, "hyper node of fewer than 2");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slicing_partitions_the_history(record in history_strategy(), slice in 1usize..12) {
+        let graphs = extract_original_graphs(&record, slice);
+        let total: usize = graphs.iter().map(|g| g.num_txs).sum();
+        prop_assert_eq!(total, record.txs.len());
+        prop_assert_eq!(graphs.len(), record.txs.len().div_ceil(slice));
+        for w in graphs.windows(2) {
+            prop_assert!(w[0].start_timestamp <= w[1].start_timestamp);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Network-centrality measures used by graph structure augmentation
+//! (paper §III-A3, Eq. 8–11): degree, closeness, betweenness, PageRank.
+
+use crate::graph::Graph;
+
+/// Degree centrality `C_D(v) = degree(v)` (Eq. 8).
+pub fn degree_centrality(g: &Graph) -> Vec<f64> {
+    (0..g.num_nodes()).map(|v| g.degree(v) as f64).collect()
+}
+
+/// Closeness centrality (Eq. 9): `(|V|-1) / Σ_t d(v,t)`, computed over the
+/// nodes reachable from `v` (Wasserman–Faust corrected for disconnected
+/// graphs: scaled by the reachable fraction). Isolated nodes get 0.
+pub fn closeness_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut out = vec![0.0; n];
+    if n <= 1 {
+        return out;
+    }
+    for v in 0..n {
+        let dist = g.bfs_distances(v);
+        let mut total = 0usize;
+        let mut reachable = 0usize;
+        for (t, &d) in dist.iter().enumerate() {
+            if t != v && d != usize::MAX {
+                total += d;
+                reachable += 1;
+            }
+        }
+        if total > 0 {
+            // (reachable / (n-1)) * (reachable / total): the standard
+            // correction so components of different sizes are comparable.
+            out[v] = (reachable as f64 / (n - 1) as f64) * (reachable as f64 / total as f64);
+        }
+    }
+    out
+}
+
+/// Betweenness centrality via Brandes' algorithm (Eq. 10), unweighted,
+/// for undirected graphs; each pair is counted once (the result is halved).
+pub fn betweenness_centrality(g: &Graph) -> Vec<f64> {
+    let n = g.num_nodes();
+    let mut bc = vec![0.0f64; n];
+    let mut stack: Vec<usize> = Vec::with_capacity(n);
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut sigma = vec![0.0f64; n];
+    let mut dist = vec![-1i64; n];
+    let mut delta = vec![0.0f64; n];
+    let mut queue = std::collections::VecDeque::new();
+
+    for s in 0..n {
+        stack.clear();
+        for p in preds.iter_mut() {
+            p.clear();
+        }
+        sigma.iter_mut().for_each(|x| *x = 0.0);
+        dist.iter_mut().for_each(|x| *x = -1);
+        delta.iter_mut().for_each(|x| *x = 0.0);
+        sigma[s] = 1.0;
+        dist[s] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            stack.push(v);
+            for &(w, _) in g.neighbors(v) {
+                if dist[w] < 0 {
+                    dist[w] = dist[v] + 1;
+                    queue.push_back(w);
+                }
+                if dist[w] == dist[v] + 1 {
+                    sigma[w] += sigma[v];
+                    preds[w].push(v);
+                }
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for &v in &preds[w] {
+                delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
+            }
+            if w != s {
+                bc[w] += delta[w];
+            }
+        }
+    }
+    // Undirected: every pair (s, t) was counted twice.
+    bc.iter_mut().for_each(|x| *x /= 2.0);
+    bc
+}
+
+/// PageRank (Eq. 11) with damping factor `alpha`, run to `tol` convergence or
+/// `max_iter`. Dangling mass is redistributed uniformly.
+pub fn pagerank(g: &Graph, alpha: f64, tol: f64, max_iter: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let uniform = 1.0 / n as f64;
+    let mut rank = vec![uniform; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iter {
+        let mut dangling = 0.0;
+        next.iter_mut().for_each(|x| *x = 0.0);
+        for u in 0..n {
+            let deg = g.degree(u);
+            if deg == 0 {
+                dangling += rank[u];
+            } else {
+                let share = rank[u] / deg as f64;
+                for &(v, _) in g.neighbors(u) {
+                    next[v] += share;
+                }
+            }
+        }
+        let base = (1.0 - alpha) * uniform + alpha * dangling * uniform;
+        let mut diff = 0.0;
+        for v in 0..n {
+            let r = base + alpha * next[v];
+            diff += (r - rank[v]).abs();
+            rank[v] = r;
+        }
+        if diff < tol {
+            break;
+        }
+    }
+    rank
+}
+
+/// Eigenvector centrality via power iteration (unit-norm, non-negative).
+/// Returns zeros for an empty/edgeless graph.
+pub fn eigenvector_centrality(g: &Graph, tol: f64, max_iter: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 || g.num_edges() == 0 {
+        return vec![0.0; n];
+    }
+    let mut x = vec![1.0 / (n as f64).sqrt(); n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_iter {
+        // Shifted iteration (A + I)x: same eigenvectors as A, but avoids the
+        // sign oscillation of pure power iteration on bipartite graphs.
+        next.copy_from_slice(&x);
+        for u in 0..n {
+            for &(v, _) in g.neighbors(u) {
+                next[v] += x[u];
+            }
+        }
+        let norm = next.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm == 0.0 {
+            return vec![0.0; n];
+        }
+        let mut diff = 0.0;
+        for (xi, ni) in x.iter_mut().zip(next.iter()) {
+            let scaled = ni / norm;
+            diff += (scaled - *xi).abs();
+            *xi = scaled;
+        }
+        if diff < tol {
+            break;
+        }
+    }
+    x
+}
+
+/// All four centralities in one struct, in node order.
+#[derive(Clone, Debug)]
+pub struct Centralities {
+    pub degree: Vec<f64>,
+    pub closeness: Vec<f64>,
+    pub betweenness: Vec<f64>,
+    pub pagerank: Vec<f64>,
+}
+
+/// Compute the full centrality bundle the augmentation stage attaches to
+/// every node.
+pub fn all_centralities(g: &Graph) -> Centralities {
+    Centralities {
+        degree: degree_centrality(g),
+        closeness: closeness_centrality(g),
+        betweenness: betweenness_centrality(g),
+        pagerank: pagerank(g, 0.85, 1e-9, 100),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0-1-2-3-4 path.
+    fn path5() -> Graph {
+        let mut g = Graph::new(5);
+        for i in 0..4 {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        g
+    }
+
+    /// Star with center 0 and leaves 1..=4.
+    fn star5() -> Graph {
+        let mut g = Graph::new(5);
+        for i in 1..5 {
+            g.add_edge(0, i, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn degree_of_star_center() {
+        let d = degree_centrality(&star5());
+        assert_eq!(d, vec![4.0, 1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn closeness_star_center_is_max() {
+        let c = closeness_centrality(&star5());
+        assert!(c[0] > c[1]);
+        // center: distance 1 to all 4 others -> closeness 1.0
+        assert!((c[0] - 1.0).abs() < 1e-12);
+        // leaf: 1 + 2 + 2 + 2 = 7 -> 4/7
+        assert!((c[1] - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn closeness_of_isolated_node_is_zero() {
+        let g = Graph::new(3);
+        assert_eq!(closeness_centrality(&g), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn betweenness_path_matches_formula() {
+        // For a path of 5 nodes, middle node lies on all shortest paths
+        // between {0,1} x {3,4} plus (1,3)... Known values: [0, 3, 4, 3, 0].
+        let b = betweenness_centrality(&path5());
+        let expect = [0.0, 3.0, 4.0, 3.0, 0.0];
+        for (i, e) in expect.iter().enumerate() {
+            assert!((b[i] - e).abs() < 1e-9, "node {i}: {} vs {e}", b[i]);
+        }
+    }
+
+    #[test]
+    fn betweenness_star_center() {
+        // Star K_{1,4}: center on all C(4,2)=6 pairs.
+        let b = betweenness_centrality(&star5());
+        assert!((b[0] - 6.0).abs() < 1e-9);
+        for leaf in 1..5 {
+            assert!(b[leaf].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_center_highest() {
+        let pr = pagerank(&star5(), 0.85, 1e-12, 200);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        assert!(pr[0] > pr[1]);
+        // Symmetric leaves get identical rank.
+        for leaf in 2..5 {
+            assert!((pr[leaf] - pr[1]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_all_isolated() {
+        let pr = pagerank(&Graph::new(4), 0.85, 1e-12, 50);
+        for r in pr {
+            assert!((r - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvector_peaks_at_star_center() {
+        let e = eigenvector_centrality(&star5(), 1e-12, 500);
+        assert!(e[0] > e[1]);
+        for leaf in 2..5 {
+            assert!((e[leaf] - e[1]).abs() < 1e-9, "leaves symmetric");
+        }
+        // Unit norm.
+        let norm: f64 = e.iter().map(|v| v * v).sum();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eigenvector_of_edgeless_graph_is_zero() {
+        assert_eq!(eigenvector_centrality(&Graph::new(4), 1e-9, 100), vec![0.0; 4]);
+    }
+
+    #[test]
+    fn all_centralities_lengths() {
+        let g = path5();
+        let c = all_centralities(&g);
+        assert_eq!(c.degree.len(), 5);
+        assert_eq!(c.closeness.len(), 5);
+        assert_eq!(c.betweenness.len(), 5);
+        assert_eq!(c.pagerank.len(), 5);
+    }
+}

@@ -1,0 +1,187 @@
+//! Undirected weighted graph on dense node indices `0..n`.
+//!
+//! This is the structural substrate for address-transaction graphs: nodes are
+//! addresses/transactions/hyper-nodes, edges carry transferred amounts. The
+//! representation is an adjacency list with parallel weight storage; edges are
+//! stored once per endpoint.
+
+/// An undirected graph with `f64` edge weights over nodes `0..num_nodes`.
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    adj: Vec<Vec<(usize, f64)>>,
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        Self { adj: vec![Vec::new(); n], num_edges: 0 }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Append an isolated node, returning its index.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Add an undirected edge. Parallel edges are allowed (multi-graph).
+    ///
+    /// # Panics
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
+        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        self.adj[u].push((v, weight));
+        if u != v {
+            self.adj[v].push((u, weight));
+        }
+        self.num_edges += 1;
+    }
+
+    /// Neighbors of `u` with weights (each undirected edge appears once here).
+    pub fn neighbors(&self, u: usize) -> &[(usize, f64)] {
+        &self.adj[u]
+    }
+
+    /// Degree (number of incident edge endpoints; self-loops count once).
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Sum of incident edge weights.
+    pub fn weighted_degree(&self, u: usize) -> f64 {
+        self.adj[u].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Breadth-first distances (in hops) from `source`; `usize::MAX` marks
+    /// unreachable nodes.
+    pub fn bfs_distances(&self, source: usize) -> Vec<usize> {
+        let mut dist = vec![usize::MAX; self.num_nodes()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[source] = 0;
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &(v, _) in &self.adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Connected components; returns `(component_id_per_node, count)`.
+    pub fn connected_components(&self) -> (Vec<usize>, usize) {
+        let n = self.num_nodes();
+        let mut comp = vec![usize::MAX; n];
+        let mut next = 0;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if comp[start] != usize::MAX {
+                continue;
+            }
+            comp[start] = next;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for &(v, _) in &self.adj[u] {
+                    if comp[v] == usize::MAX {
+                        comp[v] = next;
+                        stack.push(v);
+                    }
+                }
+            }
+            next += 1;
+        }
+        (comp, next)
+    }
+
+    /// Iterate unique undirected edges `(u, v, w)` with `u <= v`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
+            nbrs.iter().filter_map(move |&(v, w)| if u <= v { Some((u, v, w)) } else { None })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1, 1.0);
+        }
+        g
+    }
+
+    #[test]
+    fn construction_and_degree() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 2.0);
+        g.add_edge(1, 2, 3.0);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.weighted_degree(1), 5.0);
+    }
+
+    #[test]
+    fn self_loop_counted_once_in_adjacency() {
+        let mut g = Graph::new(1);
+        g.add_edge(0, 0, 1.0);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path_graph(5);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        let d = g.bfs_distances(0);
+        assert_eq!(d[2], usize::MAX);
+        assert_eq!(d[3], usize::MAX);
+    }
+
+    #[test]
+    fn components_count() {
+        let mut g = Graph::new(6);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(3, 4, 1.0);
+        let (comp, count) = g.connected_components();
+        assert_eq!(count, 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(comp[0], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[3], comp[5]);
+    }
+
+    #[test]
+    fn edges_iterates_each_once() {
+        let g = path_graph(4);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_edge_panics() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 5, 1.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # graphalgo — graph structures, centralities, and sparse propagation
+//!
+//! Substrate for BAClassifier's address-transaction graphs:
+//!
+//! * [`Graph`] — undirected weighted multigraph with BFS / components;
+//! * [`centrality`] — degree, closeness, betweenness (Brandes), PageRank,
+//!   exactly the four measures of the paper's graph structure augmentation
+//!   (§III-A3, Eq. 8–11);
+//! * [`sparse`] — CSR matrices, the normalised adjacency
+//!   Ã = D̃^{-1/2}(A+I)D̃^{-1/2} (Eq. 12) and the feature-propagation stack
+//!   `[X, ÃX, …, ÃᵏX]` (Eq. 13) that feeds GFN.
+
+pub mod centrality;
+pub mod graph;
+pub mod paths;
+pub mod sparse;
+
+pub use centrality::{all_centralities, eigenvector_centrality, Centralities};
+pub use paths::{dijkstra, shortest_path};
+pub use graph::Graph;
+pub use sparse::{normalized_adjacency, propagate_features, CsrMatrix};

@@ -1,0 +1,147 @@
+//! Weighted shortest paths (Dijkstra) — used when edge values (transferred
+//! amounts) should influence distance, e.g. flow-tracing analyses on
+//! address graphs.
+
+use crate::graph::Graph;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: usize,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance; ties broken by node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("finite distances")
+            .then(other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Dijkstra single-source shortest paths over edge weights.
+/// Returns per-node distance (`f64::INFINITY` when unreachable).
+///
+/// # Panics
+/// Panics on negative edge weights.
+pub fn dijkstra(g: &Graph, source: usize) -> Vec<f64> {
+    let mut dist = vec![f64::INFINITY; g.num_nodes()];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if d > dist[node] {
+            continue; // stale entry
+        }
+        for &(next, w) in g.neighbors(node) {
+            assert!(w >= 0.0, "dijkstra requires non-negative weights");
+            let nd = d + w;
+            if nd < dist[next] {
+                dist[next] = nd;
+                heap.push(HeapEntry { dist: nd, node: next });
+            }
+        }
+    }
+    dist
+}
+
+/// Shortest weighted path from `source` to `target` as a node sequence,
+/// or `None` if unreachable.
+pub fn shortest_path(g: &Graph, source: usize, target: usize) -> Option<Vec<usize>> {
+    let n = g.num_nodes();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut prev = vec![usize::MAX; n];
+    let mut heap = BinaryHeap::new();
+    dist[source] = 0.0;
+    heap.push(HeapEntry { dist: 0.0, node: source });
+    while let Some(HeapEntry { dist: d, node }) = heap.pop() {
+        if node == target {
+            break;
+        }
+        if d > dist[node] {
+            continue;
+        }
+        for &(next, w) in g.neighbors(node) {
+            let nd = d + w;
+            if nd < dist[next] {
+                dist[next] = nd;
+                prev[next] = node;
+                heap.push(HeapEntry { dist: nd, node: next });
+            }
+        }
+    }
+    if dist[target].is_infinite() {
+        return None;
+    }
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        cur = prev[cur];
+        path.push(cur);
+    }
+    path.reverse();
+    Some(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Triangle with a cheap two-hop detour: 0-1 (10), 0-2 (1), 2-1 (2).
+    fn detour() -> Graph {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(0, 2, 1.0);
+        g.add_edge(2, 1, 2.0);
+        g
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_detour() {
+        let d = dijkstra(&detour(), 0);
+        assert_eq!(d[0], 0.0);
+        assert_eq!(d[2], 1.0);
+        assert_eq!(d[1], 3.0, "two-hop detour beats direct edge");
+    }
+
+    #[test]
+    fn path_reconstruction_matches_distances() {
+        let p = shortest_path(&detour(), 0, 1).unwrap();
+        assert_eq!(p, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_is_none_and_infinite() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        assert!(shortest_path(&g, 0, 2).is_none());
+        assert!(dijkstra(&g, 0)[2].is_infinite());
+    }
+
+    #[test]
+    fn source_to_itself_is_trivial() {
+        let g = detour();
+        assert_eq!(shortest_path(&g, 1, 1), Some(vec![1]));
+        assert_eq!(dijkstra(&g, 1)[1], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_weights_panic() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, -1.0);
+        let _ = dijkstra(&g, 0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Compressed sparse row matrices and the normalised-adjacency operator
+//! Ã = D̃^{-1/2}(A+I)D̃^{-1/2} used by GFN/GCN feature propagation (Eq. 12).
+
+use crate::graph::Graph;
+
+/// A square CSR matrix of `f32` (sufficient for propagation operators).
+#[derive(Clone, Debug)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build from (row, col, value) triplets; duplicate entries are summed.
+    pub fn from_triplets(n: usize, mut triplets: Vec<(usize, usize, f32)>) -> Self {
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut merged: Vec<(usize, usize, f32)> = Vec::with_capacity(triplets.len());
+        for (r, c, v) in triplets {
+            assert!(r < n && c < n, "triplet out of range");
+            match merged.last_mut() {
+                Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
+                _ => merged.push((r, c, v)),
+            }
+        }
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut col_idx = Vec::with_capacity(merged.len());
+        let mut values = Vec::with_capacity(merged.len());
+        for (r, c, v) in merged {
+            row_ptr[r + 1] += 1;
+            col_idx.push(c);
+            values.push(v);
+        }
+        for r in 0..n {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        Self { n, row_ptr, col_idx, values }
+    }
+
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Entries of one row: `(col, value)` pairs.
+    pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
+        self.col_idx[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+    }
+
+    /// Dense `y = self * x` where `x` is a row-major `n x d` slice-of-rows.
+    /// `x.len()` must be `n * d`; returns an `n * d` vector.
+    pub fn matmul_dense(&self, x: &[f32], d: usize) -> Vec<f32> {
+        assert_eq!(x.len(), self.n * d, "matmul_dense: dim mismatch");
+        let mut out = vec![0.0f32; self.n * d];
+        for r in 0..self.n {
+            let out_row = &mut out[r * d..(r + 1) * d];
+            for (c, v) in self.row(r) {
+                let x_row = &x[c * d..(c + 1) * d];
+                for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                    *o += v * xv;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Symmetric-normalised adjacency with self-loops:
+/// Ã = D̃^{-1/2}(A + I)D̃^{-1/2} where D̃ is the degree matrix of A + I (Eq. 12).
+///
+/// Edge multiplicities contribute to A (a multigraph collapses to summed
+/// weights of 1 per parallel edge).
+pub fn normalized_adjacency(g: &Graph) -> CsrMatrix {
+    let n = g.num_nodes();
+    // A + I with unit weights per edge occurrence.
+    let mut weights: Vec<std::collections::BTreeMap<usize, f32>> = vec![Default::default(); n];
+    for u in 0..n {
+        *weights[u].entry(u).or_insert(0.0) += 1.0; // self-loop
+        for &(v, _) in g.neighbors(u) {
+            *weights[u].entry(v).or_insert(0.0) += 1.0;
+        }
+    }
+    let deg: Vec<f32> = weights.iter().map(|row| row.values().sum::<f32>()).collect();
+    let inv_sqrt: Vec<f32> =
+        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let mut triplets = Vec::new();
+    for (u, row) in weights.iter().enumerate() {
+        for (&v, &w) in row {
+            triplets.push((u, v, inv_sqrt[u] * w * inv_sqrt[v]));
+        }
+    }
+    CsrMatrix::from_triplets(n, triplets)
+}
+
+/// Compute the propagated feature stack `[X, ÃX, Ã²X, …, ÃᵏX]` (Eq. 13),
+/// returned as `k+1` row-major `n x d` buffers.
+pub fn propagate_features(adj: &CsrMatrix, x: &[f32], d: usize, k: usize) -> Vec<Vec<f32>> {
+    let mut out = Vec::with_capacity(k + 1);
+    out.push(x.to_vec());
+    let mut cur = x.to_vec();
+    for _ in 0..k {
+        cur = adj.matmul_dense(&cur, d);
+        out.push(cur.clone());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csr_from_triplets_roundtrip() {
+        let m = CsrMatrix::from_triplets(3, vec![(0, 1, 2.0), (1, 2, 3.0), (2, 0, 4.0)]);
+        assert_eq!(m.nnz(), 3);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn csr_merges_duplicates() {
+        let m = CsrMatrix::from_triplets(2, vec![(0, 1, 1.0), (0, 1, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+        let row0: Vec<_> = m.row(0).collect();
+        assert_eq!(row0, vec![(1, 3.0)]);
+    }
+
+    #[test]
+    fn csr_empty_rows_ok() {
+        let m = CsrMatrix::from_triplets(4, vec![(3, 0, 1.0)]);
+        assert_eq!(m.row(0).count(), 0);
+        assert_eq!(m.row(1).count(), 0);
+        assert_eq!(m.row(3).count(), 1);
+    }
+
+    #[test]
+    fn matmul_dense_identity() {
+        let eye = CsrMatrix::from_triplets(3, vec![(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        let x = vec![1., 2., 3., 4., 5., 6.];
+        assert_eq!(eye.matmul_dense(&x, 2), x);
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_are_stochastic_on_regular_graph() {
+        // On a d-regular graph every row of Ã sums to 1.
+        let mut g = Graph::new(4); // 4-cycle: 2-regular
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 0, 1.0);
+        let a = normalized_adjacency(&g);
+        for r in 0..4 {
+            let sum: f32 = a.row(r).map(|(_, v)| v).sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {r} sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn normalized_adjacency_is_symmetric() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        let a = normalized_adjacency(&g);
+        let mut dense = vec![0.0f32; 9];
+        for r in 0..3 {
+            for (c, v) in a.row(r) {
+                dense[r * 3 + c] = v;
+            }
+        }
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((dense[r * 3 + c] - dense[c * 3 + r]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_node_keeps_self_loop() {
+        let g = Graph::new(2);
+        let a = normalized_adjacency(&g);
+        let row0: Vec<_> = a.row(0).collect();
+        assert_eq!(row0, vec![(0, 1.0)]);
+    }
+
+    #[test]
+    fn propagate_depth_counts() {
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0);
+        let a = normalized_adjacency(&g);
+        let x = vec![1.0, 0.0, 0.0];
+        let stack = propagate_features(&a, &x, 1, 3);
+        assert_eq!(stack.len(), 4);
+        assert_eq!(stack[0], x);
+        // propagation spreads mass but preserves finiteness
+        assert!(stack[3].iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn propagation_preserves_constant_vector_on_regular_graph() {
+        // Ã of a regular graph has row sums 1, so constant vectors are fixed.
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 1.0);
+        g.add_edge(2, 3, 1.0);
+        g.add_edge(3, 0, 1.0);
+        let a = normalized_adjacency(&g);
+        let x = vec![5.0f32; 4];
+        let out = a.matmul_dense(&x, 1);
+        for v in out {
+            assert!((v - 5.0).abs() < 1e-5);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Parameter persistence: save/load all weights of a model to a compact
+//! binary file, so a trained classifier survives process restarts.
+//!
+//! Format (little-endian): magic `NNIO`, version u32, param count u32, then
+//! per parameter: rows u32, cols u32, `rows*cols` f32 values. Parameters are
+//! identified positionally — models expose `params()` in a stable order, so
+//! loading requires constructing the same architecture first.
+
+use crate::matrix::Matrix;
+use crate::tape::Param;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"NNIO";
+const VERSION: u32 = 1;
+
+/// Errors from loading a weights file.
+#[derive(Debug)]
+pub enum LoadError {
+    Io(io::Error),
+    /// Not a weights file / unsupported version.
+    BadHeader,
+    /// File has a different number of parameters than the model.
+    ParamCountMismatch { file: usize, model: usize },
+    /// Parameter `index` has a different shape in the file.
+    ShapeMismatch { index: usize, file: (usize, usize), model: (usize, usize) },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Io(e) => write!(f, "io error: {e}"),
+            LoadError::BadHeader => write!(f, "not a numnet weights file"),
+            LoadError::ParamCountMismatch { file, model } => {
+                write!(f, "file has {file} params, model has {model}")
+            }
+            LoadError::ShapeMismatch { index, file, model } => {
+                write!(f, "param {index}: file shape {file:?}, model shape {model:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+/// Write all parameter values to `path`.
+pub fn save_params(path: &Path, params: &[Param]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(MAGIC)?;
+    w.write_all(&VERSION.to_le_bytes())?;
+    w.write_all(&(params.len() as u32).to_le_bytes())?;
+    for p in params {
+        let value = p.value();
+        w.write_all(&(value.rows() as u32).to_le_bytes())?;
+        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for &v in value.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    w.flush()
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Load parameter values from `path` into an existing model's parameters.
+/// Shapes and count must match exactly.
+pub fn load_params(path: &Path, params: &[Param]) -> Result<(), LoadError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC || read_u32(&mut r)? != VERSION {
+        return Err(LoadError::BadHeader);
+    }
+    let count = read_u32(&mut r)? as usize;
+    if count != params.len() {
+        return Err(LoadError::ParamCountMismatch { file: count, model: params.len() });
+    }
+    // Validate every shape before mutating anything: all-or-nothing load.
+    let mut values = Vec::with_capacity(count);
+    for (index, p) in params.iter().enumerate() {
+        let rows = read_u32(&mut r)? as usize;
+        let cols = read_u32(&mut r)? as usize;
+        if (rows, cols) != p.shape() {
+            return Err(LoadError::ShapeMismatch {
+                index,
+                file: (rows, cols),
+                model: p.shape(),
+            });
+        }
+        let mut data = vec![0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for v in data.iter_mut() {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        values.push(Matrix::from_vec(rows, cols, data));
+    }
+    for (p, v) in params.iter().zip(values) {
+        p.set_value(v);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Activation, Mlp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("numnet_io_{name}_{}", std::process::id()))
+    }
+
+    #[test]
+    fn roundtrip_preserves_all_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+        let path = tmp("roundtrip");
+        save_params(&path, &a.params()).unwrap();
+
+        let mut rng2 = StdRng::seed_from_u64(999);
+        let b = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng2);
+        load_params(&path, &b.params()).unwrap();
+        for (pa, pb) in a.params().iter().zip(b.params().iter()) {
+            assert_eq!(*pa.value(), *pb.value());
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shape_mismatch_is_detected_and_nondestructive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+        let path = tmp("mismatch");
+        save_params(&path, &a.params()).unwrap();
+
+        let b = Mlp::new(&[4, 6, 3], Activation::Relu, &mut rng);
+        let before: Vec<_> = b.params().iter().map(|p| p.value().clone()).collect();
+        let err = load_params(&path, &b.params()).unwrap_err();
+        assert!(matches!(err, LoadError::ShapeMismatch { .. }), "{err}");
+        // No partial mutation.
+        for (p, orig) in b.params().iter().zip(&before) {
+            assert_eq!(*p.value(), *orig);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn param_count_mismatch_is_detected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Mlp::new(&[4, 3], Activation::Relu, &mut rng);
+        let path = tmp("count");
+        save_params(&path, &a.params()).unwrap();
+        let b = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+        let err = load_params(&path, &b.params()).unwrap_err();
+        assert!(matches!(err, LoadError::ParamCountMismatch { .. }));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn garbage_file_rejected() {
+        let path = tmp("garbage");
+        std::fs::write(&path, b"definitely not weights").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(&[2, 2], Activation::Relu, &mut rng);
+        assert!(matches!(load_params(&path, &m.params()), Err(LoadError::BadHeader)));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,98 @@
+//! Additive attention pooling over a set of row embeddings.
+//!
+//! Used by the "Attention+MLP" address-classification head (paper Table III):
+//! scores each of the k slice embeddings, softmax-normalises the scores, and
+//! returns the weighted sum — a `1 x d` pooled representation.
+
+use crate::init;
+use crate::matrix::Matrix;
+use crate::tape::{Param, Tape, Var};
+use rand::rngs::StdRng;
+
+/// `pool(X) = softmax(tanh(X W + b) v)ᵀ X` for `X: k x d`.
+pub struct AttentionPool {
+    w: Param,
+    b: Param,
+    v: Param,
+    dim: usize,
+}
+
+impl AttentionPool {
+    pub fn new(dim: usize, attn_dim: usize, rng: &mut StdRng) -> Self {
+        Self {
+            w: Param::new(init::xavier_uniform(dim, attn_dim, rng)),
+            b: Param::new(Matrix::zeros(1, attn_dim)),
+            v: Param::new(init::xavier_uniform(attn_dim, 1, rng)),
+            dim,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Pool `x: k x d` into `1 x d`.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let scores = x
+            .matmul(tape.param(&self.w))
+            .add_row(tape.param(&self.b))
+            .tanh()
+            .matmul(tape.param(&self.v)); // k x 1
+        // softmax over the k entries: transpose to 1 x k, softmax the row.
+        let alpha = scores.transpose().softmax_rows(); // 1 x k
+        alpha.matmul(x) // 1 x d
+    }
+
+    /// Attention weights for inspection (`1 x k`).
+    pub fn weights<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        x.matmul(tape.param(&self.w))
+            .add_row(tape.param(&self.b))
+            .tanh()
+            .matmul(tape.param(&self.v))
+            .transpose()
+            .softmax_rows()
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        vec![self.w.clone(), self.b.clone(), self.v.clone()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pooled_shape_is_one_row() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pool = AttentionPool::new(6, 4, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(5, 6, |r, c| (r + c) as f32 * 0.1));
+        assert_eq!(pool.forward(&tape, x).shape(), (1, 6));
+    }
+
+    #[test]
+    fn weights_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pool = AttentionPool::new(4, 3, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(7, 4, |r, c| ((r * 13 + c) as f32).sin()));
+        let w = pool.weights(&tape, x).value();
+        let sum: f32 = w.as_slice().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(w.as_slice().iter().all(|&a| a >= 0.0));
+    }
+
+    #[test]
+    fn pooling_identical_rows_returns_that_row() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pool = AttentionPool::new(3, 2, &mut rng);
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::from_fn(4, 3, |_, c| c as f32 + 1.0));
+        let y = pool.forward(&tape, x).value();
+        for c in 0..3 {
+            assert!((y[(0, c)] - (c as f32 + 1.0)).abs() < 1e-5);
+        }
+    }
+}

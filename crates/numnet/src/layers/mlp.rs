@@ -1,0 +1,120 @@
+//! Multi-layer perceptron with configurable hidden activation.
+
+use crate::layers::linear::Linear;
+use crate::tape::{Param, Tape, Var};
+use rand::rngs::StdRng;
+
+/// Hidden-layer activation function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    Tanh,
+    Sigmoid,
+}
+
+impl Activation {
+    fn apply<'t>(self, x: Var<'t>) -> Var<'t> {
+        match self {
+            Activation::Relu => x.relu(),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => x.sigmoid(),
+        }
+    }
+}
+
+/// An MLP: a chain of [`Linear`] layers with an activation between them.
+/// The final layer has no activation (emit raw logits / embeddings).
+pub struct Mlp {
+    layers: Vec<Linear>,
+    activation: Activation,
+}
+
+impl Mlp {
+    /// Build from a dims list `[in, h1, ..., out]` (at least two entries).
+    pub fn new(dims: &[usize], activation: Activation, rng: &mut StdRng) -> Self {
+        assert!(dims.len() >= 2, "Mlp::new requires at least [in, out]");
+        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        Self { layers, activation }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Forward over a batch `x: n x in`.
+    pub fn forward<'t>(&self, tape: &'t Tape, x: Var<'t>) -> Var<'t> {
+        let mut h = x;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, h);
+            if i + 1 < self.layers.len() {
+                h = self.activation.apply(h);
+            }
+        }
+        h
+    }
+
+    pub fn params(&self) -> Vec<Param> {
+        self.layers.iter().flat_map(|l| l.params()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+    use crate::optim::{Adam, Optimizer};
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_through_hidden_layers() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mlp = Mlp::new(&[5, 8, 8, 3], Activation::Relu, &mut rng);
+        assert_eq!(mlp.num_layers(), 3);
+        assert_eq!((mlp.in_dim(), mlp.out_dim()), (5, 3));
+        let tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(7, 5));
+        assert_eq!(mlp.forward(&tape, x).shape(), (7, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn single_dim_panics() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let _ = Mlp::new(&[5], Activation::Relu, &mut rng);
+    }
+
+    #[test]
+    fn learns_xor() {
+        // Classic nonlinear separability check: a 2-layer MLP must fit XOR.
+        let mut rng = StdRng::seed_from_u64(42);
+        let mlp = Mlp::new(&[2, 8, 2], Activation::Tanh, &mut rng);
+        let mut opt = Adam::new(mlp.params(), 0.05);
+        let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+        let y = vec![0usize, 1, 1, 0];
+        let mut last = f32::MAX;
+        for _ in 0..400 {
+            let tape = Tape::new();
+            let xv = tape.constant(x.clone());
+            let logits = mlp.forward(&tape, xv);
+            let loss = logits.softmax_cross_entropy(&y);
+            last = loss.value()[(0, 0)];
+            loss.backward();
+            opt.step();
+        }
+        assert!(last < 0.05, "final XOR loss {last}");
+        // All four points classified correctly.
+        let tape = Tape::new();
+        let logits = mlp.forward(&tape, tape.constant(x)).value();
+        for (r, &t) in y.iter().enumerate() {
+            assert_eq!(logits.row_argmax(r), t, "row {r}");
+        }
+    }
+}

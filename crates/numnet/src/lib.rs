@@ -1,0 +1,57 @@
+//! # numnet — minimal dense-tensor autograd and neural-network stack
+//!
+//! A from-scratch CPU substrate for the BAClassifier reproduction: the Rust
+//! deep-learning ecosystem lacks the graph layers the paper needs, so this
+//! crate supplies exactly the pieces the models use and nothing more:
+//!
+//! * [`Matrix`] — dense row-major `f32` matrix with matmul/transpose kernels;
+//! * [`Tape`]/[`Var`]/[`Param`] — reverse-mode autograd with shared parameter
+//!   buffers that persist across optimisation steps;
+//! * layers — [`layers::Linear`], [`layers::Mlp`], [`layers::Lstm`],
+//!   [`layers::BiLstm`], [`layers::AttentionPool`];
+//! * optimisers — [`optim::Sgd`], [`optim::Adam`];
+//! * initialisers — [`init`].
+//!
+//! Everything is deterministic given a seeded `StdRng`.
+//!
+//! ## Example
+//! ```
+//! use numnet::{Matrix, Tape, layers::{Mlp, Activation}, optim::{Adam, Optimizer}};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mlp = Mlp::new(&[2, 8, 2], Activation::Relu, &mut rng);
+//! let mut opt = Adam::new(mlp.params(), 0.01);
+//! let x = Matrix::from_vec(4, 2, vec![0., 0., 0., 1., 1., 0., 1., 1.]);
+//! let y = [0usize, 1, 1, 0];
+//! for _ in 0..10 {
+//!     let tape = Tape::new();
+//!     let logits = mlp.forward(&tape, tape.constant(x.clone()));
+//!     let loss = logits.softmax_cross_entropy(&y);
+//!     loss.backward();
+//!     opt.step();
+//! }
+//! ```
+
+pub mod init;
+pub mod io;
+pub mod matrix;
+pub mod optim;
+pub mod tape;
+
+pub mod layers {
+    //! Neural-network layers built on the autograd tape.
+    pub mod attention;
+    pub mod linear;
+    pub mod lstm;
+    pub mod mlp;
+
+    pub use attention::AttentionPool;
+    pub use linear::Linear;
+    pub use lstm::{BiLstm, Lstm, LstmCell, LstmState};
+    pub use mlp::{Activation, Mlp};
+}
+
+pub use io::{load_params, save_params, LoadError};
+pub use matrix::Matrix;
+pub use tape::{Param, Tape, Var};

@@ -1,0 +1,633 @@
+//! Dense row-major `f32` matrix with the kernels the autograd layer needs.
+//!
+//! The matrix is deliberately minimal: no views, no strides, no BLAS. The
+//! matmul uses the cache-friendly i-k-j loop order, which is enough for the
+//! MLP-scale models in this workspace.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, "  [")?;
+            for c in 0..self.cols.min(8) {
+                write!(f, "{:9.4} ", self[(r, c)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 8 { "…" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Matrix {
+    /// All-zeros matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// All-ones matrix of the given shape.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self::full(rows, cols, 1.0)
+    }
+
+    /// Matrix filled with a constant.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Self { rows, cols, data: vec![v; rows * cols] }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: data length {} != {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Build from a per-element generator `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// A 1xN row vector.
+    pub fn row_vec(data: Vec<f32>) -> Self {
+        let cols = data.len();
+        Self { rows: 1, cols, data }
+    }
+
+    /// An Nx1 column vector.
+    pub fn col_vec(data: Vec<f32>) -> Self {
+        let rows = data.len();
+        Self { rows, cols: 1, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension mismatch.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * rhs` without materialising the transpose.
+    pub fn matmul_at_b(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_at_b: {}x{} ᵀ* {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = rhs.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhsᵀ` without materialising the transpose.
+    pub fn matmul_a_bt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_a_bt: {}x{} * {}x{}ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
+                    acc += a * b;
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    /// Explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out[(c, r)] = self[(r, c)];
+            }
+        }
+        out
+    }
+
+    /// Element-wise binary combine. Panics on shape mismatch.
+    pub fn zip_with(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "zip_with shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    pub fn mul_elem(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// In-place `self += rhs`.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += b;
+        }
+    }
+
+    /// In-place `self += scale * rhs`.
+    pub fn add_scaled(&mut self, rhs: &Matrix, scale: f32) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a += scale * b;
+        }
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Broadcast-add a 1xC row to every row of an RxC matrix.
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "add_row_broadcast: rhs must be a row vector");
+        assert_eq!(row.cols, self.cols, "add_row_broadcast: width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(row.data.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of every element.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of every element (0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Column-wise sum: RxC -> 1xC.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r).iter()) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Column-wise mean: RxC -> 1xC (zeros for an empty matrix).
+    pub fn mean_rows(&self) -> Matrix {
+        if self.rows == 0 {
+            return Matrix::zeros(1, self.cols);
+        }
+        self.sum_rows().scale(1.0 / self.rows as f32)
+    }
+
+    /// Column-wise max: RxC -> (1xC values, per-column argmax row indices).
+    ///
+    /// # Panics
+    /// Panics on a matrix with zero rows.
+    pub fn max_rows(&self) -> (Matrix, Vec<usize>) {
+        assert!(self.rows > 0, "max_rows on empty matrix");
+        let mut vals = self.row(0).to_vec();
+        let mut args = vec![0usize; self.cols];
+        for r in 1..self.rows {
+            for (c, &v) in self.row(r).iter().enumerate() {
+                if v > vals[c] {
+                    vals[c] = v;
+                    args[c] = r;
+                }
+            }
+        }
+        (Matrix::row_vec(vals), args)
+    }
+
+    /// Horizontal concatenation (same row count).
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_cols: empty input");
+        let rows = parts[0].rows;
+        for p in parts {
+            assert_eq!(p.rows, rows, "concat_cols: row count mismatch");
+        }
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let mut off = 0;
+            for p in parts {
+                out.row_mut(r)[off..off + p.cols].copy_from_slice(p.row(r));
+                off += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertical concatenation (same column count).
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows: empty input");
+        let cols = parts[0].cols;
+        let mut data = Vec::new();
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat_rows: column count mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        let rows = data.len() / cols.max(1);
+        Matrix { rows, cols, data }
+    }
+
+    /// Copy of rows `[start, end)`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "slice_rows out of range");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Copy of columns `[start, end)`.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "slice_cols out of range");
+        Matrix::from_fn(self.rows, end - start, |r, c| self[(r, start + c)])
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Index of the maximum element in a single row.
+    pub fn row_argmax(&self, r: usize) -> usize {
+        let row = self.row(r);
+        let mut best = 0;
+        for (i, &v) in row.iter().enumerate() {
+            if v > row[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// True if all elements are finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// Set every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+
+    /// Row-wise softmax (each row sums to 1), numerically stabilised.
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            if sum > 0.0 {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn approx_eq(a: &Matrix, b: &Matrix, tol: f32) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(a.matmul(&Matrix::eye(4)), a);
+        assert_eq!(Matrix::eye(4).matmul(&a), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f32);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_at_b_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.5);
+        let b = Matrix::from_fn(4, 2, |r, c| (r + 2 * c) as f32);
+        assert!(approx_eq(&a.matmul_at_b(&b), &a.transpose().matmul(&b), 1e-5));
+    }
+
+    #[test]
+    fn matmul_a_bt_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 3, |r, c| (r as f32 + c as f32) * 0.25);
+        let b = Matrix::from_fn(5, 3, |r, c| (2 * r + c) as f32);
+        assert!(approx_eq(&a.matmul_a_bt(&b), &a.matmul(&b.transpose()), 1e-5));
+    }
+
+    #[test]
+    fn sum_rows_and_mean_rows() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.sum_rows().as_slice(), &[5., 7., 9.]);
+        assert_eq!(a.mean_rows().as_slice(), &[2.5, 3.5, 4.5]);
+    }
+
+    #[test]
+    fn max_rows_tracks_argmax() {
+        let a = Matrix::from_vec(3, 2, vec![1., 9., 5., 2., 3., 4.]);
+        let (vals, args) = a.max_rows();
+        assert_eq!(vals.as_slice(), &[5., 9.]);
+        assert_eq!(args, vec![1, 0]);
+    }
+
+    #[test]
+    fn concat_cols_layout() {
+        let a = Matrix::from_vec(2, 1, vec![1., 2.]);
+        let b = Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let c = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(c.shape(), (2, 3));
+        assert_eq!(c.as_slice(), &[1., 3., 4., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn concat_rows_layout() {
+        let a = Matrix::from_vec(1, 2, vec![1., 2.]);
+        let b = Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let c = Matrix::concat_rows(&[&a, &b]);
+        assert_eq!(c.shape(), (3, 2));
+        assert_eq!(c.as_slice(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn slice_rows_and_cols() {
+        let a = Matrix::from_fn(4, 4, |r, c| (r * 4 + c) as f32);
+        assert_eq!(a.slice_rows(1, 3).row(0), a.row(1));
+        let sc = a.slice_cols(1, 3);
+        assert_eq!(sc.shape(), (4, 2));
+        assert_eq!(sc[(2, 0)], a[(2, 1)]);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Monotone: larger logit -> larger probability.
+        assert!(s[(0, 2)] > s[(0, 1)] && s[(0, 1)] > s[(0, 0)]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::row_vec(vec![1000., 1001., 1002.]);
+        let s = a.softmax_rows();
+        assert!(s.all_finite());
+        let b = Matrix::row_vec(vec![0., 1., 2.]).softmax_rows();
+        assert!(approx_eq(&s, &b, 1e-5));
+    }
+
+    #[test]
+    fn broadcast_add_row() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::row_vec(vec![1., 2.]);
+        let c = a.add_row_broadcast(&b);
+        for r in 0..3 {
+            assert_eq!(c.row(r), &[1., 2.]);
+        }
+    }
+
+    #[test]
+    fn empty_mean_rows_is_zero() {
+        let a = Matrix::zeros(0, 3);
+        assert_eq!(a.mean_rows().as_slice(), &[0., 0., 0.]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_assoc(
+            a in proptest::collection::vec(-2.0f32..2.0, 6),
+            b in proptest::collection::vec(-2.0f32..2.0, 6),
+            c in proptest::collection::vec(-2.0f32..2.0, 4),
+        ) {
+            let a = Matrix::from_vec(2, 3, a);
+            let b = Matrix::from_vec(3, 2, b);
+            let c = Matrix::from_vec(2, 2, c);
+            let left = a.matmul(&b).matmul(&c);
+            let right = a.matmul(&b.matmul(&c));
+            prop_assert!(approx_eq(&left, &right, 1e-3));
+        }
+
+        #[test]
+        fn prop_transpose_of_product(
+            a in proptest::collection::vec(-2.0f32..2.0, 6),
+            b in proptest::collection::vec(-2.0f32..2.0, 6),
+        ) {
+            let a = Matrix::from_vec(2, 3, a);
+            let b = Matrix::from_vec(3, 2, b);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            prop_assert!(approx_eq(&lhs, &rhs, 1e-4));
+        }
+
+        #[test]
+        fn prop_add_commutes(
+            a in proptest::collection::vec(-10.0f32..10.0, 12),
+            b in proptest::collection::vec(-10.0f32..10.0, 12),
+        ) {
+            let a = Matrix::from_vec(3, 4, a);
+            let b = Matrix::from_vec(3, 4, b);
+            prop_assert!(approx_eq(&a.add(&b), &b.add(&a), 1e-6));
+        }
+
+        #[test]
+        fn prop_sum_rows_matches_total(
+            a in proptest::collection::vec(-10.0f32..10.0, 12),
+        ) {
+            let a = Matrix::from_vec(4, 3, a);
+            let by_cols: f32 = a.sum_rows().as_slice().iter().sum();
+            prop_assert!((by_cols - a.sum()).abs() < 1e-3);
+        }
+    }
+}

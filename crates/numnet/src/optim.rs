@@ -1,0 +1,294 @@
+//! Optimisers operating on shared [`Param`] buffers.
+
+use crate::matrix::Matrix;
+use crate::tape::Param;
+
+/// Common optimiser interface: apply accumulated gradients, then zero them.
+pub trait Optimizer {
+    /// Apply one update step using the gradients currently accumulated in the
+    /// parameters this optimiser was constructed with, then zero those
+    /// gradients.
+    fn step(&mut self);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Override the learning rate (e.g. for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Clip the global gradient norm across all parameters to `max_norm`
+/// (standard recipe for stabilising recurrent-model training). Returns the
+/// pre-clip norm. Call between `backward()` and `step()`.
+pub fn clip_grad_norm(params: &[Param], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total: f32 = params
+        .iter()
+        .map(|p| p.grad().as_slice().iter().map(|g| g * g).sum::<f32>())
+        .sum();
+    let norm = total.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for p in params {
+            // Scale the gradient in place via the value-update hook.
+            let scaled = p.grad().scale(scale);
+            p.zero_grad();
+            p.accumulate_grad_public(&scaled);
+        }
+    }
+    norm
+}
+
+/// Step learning-rate schedule: multiply the optimiser's rate by `gamma`
+/// every `step_every` epochs.
+pub struct StepLr {
+    base_lr: f32,
+    gamma: f32,
+    step_every: usize,
+}
+
+impl StepLr {
+    pub fn new(base_lr: f32, gamma: f32, step_every: usize) -> Self {
+        assert!(step_every > 0, "step_every must be positive");
+        Self { base_lr, gamma, step_every }
+    }
+
+    /// Learning rate for the given (0-based) epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.step_every) as i32)
+    }
+
+    /// Apply the schedule to an optimiser for the given epoch.
+    pub fn apply(&self, opt: &mut dyn Optimizer, epoch: usize) {
+        opt.set_learning_rate(self.lr_at(epoch));
+    }
+}
+
+/// Plain SGD with optional momentum and L2 weight decay.
+pub struct Sgd {
+    params: Vec<Param>,
+    velocity: Vec<Matrix>,
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        Self::with_momentum(params, lr, 0.0, 0.0)
+    }
+
+    pub fn with_momentum(params: Vec<Param>, lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        let velocity = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        Self { params, velocity, lr, momentum, weight_decay }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self) {
+        for (p, v) in self.params.iter().zip(self.velocity.iter_mut()) {
+            let lr = self.lr;
+            let momentum = self.momentum;
+            let wd = self.weight_decay;
+            p.update(|value, grad| {
+                for i in 0..value.len() {
+                    let g = grad.as_slice()[i] + wd * value.as_slice()[i];
+                    let vel = momentum * v.as_slice()[i] + g;
+                    v.as_mut_slice()[i] = vel;
+                    value.as_mut_slice()[i] -= lr * vel;
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba 2015) with bias correction and L2 weight decay.
+pub struct Adam {
+    params: Vec<Param>,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+}
+
+impl Adam {
+    pub fn new(params: Vec<Param>, lr: f32) -> Self {
+        Self::with_config(params, lr, 0.9, 0.999, 1e-8, 0.0)
+    }
+
+    pub fn with_config(
+        params: Vec<Param>,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        weight_decay: f32,
+    ) -> Self {
+        let zeros: Vec<Matrix> = params
+            .iter()
+            .map(|p| {
+                let (r, c) = p.shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        Self { m: zeros.clone(), v: zeros, params, lr, beta1, beta2, eps, weight_decay, t: 0 }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+            p.update(|value, grad| {
+                for i in 0..value.len() {
+                    let g = grad.as_slice()[i] + wd * value.as_slice()[i];
+                    let mi = b1 * m.as_slice()[i] + (1.0 - b1) * g;
+                    let vi = b2 * v.as_slice()[i] + (1.0 - b2) * g * g;
+                    m.as_mut_slice()[i] = mi;
+                    v.as_mut_slice()[i] = vi;
+                    let m_hat = mi / bc1;
+                    let v_hat = vi / bc2;
+                    value.as_mut_slice()[i] -= lr * m_hat / (v_hat.sqrt() + eps);
+                }
+            });
+            p.zero_grad();
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    /// Minimise (w - 3)^2 and check convergence.
+    fn quadratic_descent(mut opt: impl Optimizer, w: &Param, steps: usize) -> f32 {
+        for _ in 0..steps {
+            let tape = Tape::new();
+            let wv = tape.param(w);
+            let target = tape.constant(Matrix::from_vec(1, 1, vec![3.0]));
+            let diff = wv.sub(target);
+            let loss = diff.mul_elem(diff);
+            loss.backward();
+            opt.step();
+        }
+        w.value()[(0, 0)]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let w = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let final_w = quadratic_descent(Sgd::new(vec![w.clone()], 0.1), &w, 100);
+        assert!((final_w - 3.0).abs() < 1e-3, "w = {final_w}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let w = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let opt = Sgd::with_momentum(vec![w.clone()], 0.05, 0.9, 0.0);
+        let final_w = quadratic_descent(opt, &w, 200);
+        assert!((final_w - 3.0).abs() < 1e-2, "w = {final_w}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let w = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let final_w = quadratic_descent(Adam::new(vec![w.clone()], 0.1), &w, 300);
+        assert!((final_w - 3.0).abs() < 1e-2, "w = {final_w}");
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights() {
+        // With zero data gradient, decay alone should shrink the weight.
+        let w = Param::new(Matrix::from_vec(1, 1, vec![5.0]));
+        let mut opt = Sgd::with_momentum(vec![w.clone()], 0.1, 0.0, 0.5);
+        for _ in 0..10 {
+            // no backward: grads stay zero, only decay applies
+            opt.step();
+        }
+        assert!(w.value()[(0, 0)] < 5.0);
+        assert!(w.value()[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_global_norm() {
+        let a = Param::new(Matrix::from_vec(1, 2, vec![0.0, 0.0]));
+        let b = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        a.accumulate_grad_public(&Matrix::from_vec(1, 2, vec![3.0, 4.0])); // norm 5
+        b.accumulate_grad_public(&Matrix::from_vec(1, 1, vec![12.0]));     // total 13
+        let pre = clip_grad_norm(&[a.clone(), b.clone()], 1.0);
+        assert!((pre - 13.0).abs() < 1e-5);
+        let post: f32 = [a.grad().as_slice().to_vec(), b.grad().as_slice().to_vec()]
+            .concat()
+            .iter()
+            .map(|g| g * g)
+            .sum::<f32>()
+            .sqrt();
+        assert!((post - 1.0).abs() < 1e-5, "post-clip norm {post}");
+        // Direction preserved: components keep their ratios.
+        assert!((a.grad()[(0, 0)] / a.grad()[(0, 1)] - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_is_noop_below_threshold() {
+        let a = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        a.accumulate_grad_public(&Matrix::from_vec(1, 1, vec![0.5]));
+        let pre = clip_grad_norm(&[a.clone()], 10.0);
+        assert!((pre - 0.5).abs() < 1e-6);
+        assert_eq!(a.grad()[(0, 0)], 0.5);
+    }
+
+    #[test]
+    fn step_lr_decays_on_schedule() {
+        let sched = StepLr::new(0.1, 0.5, 10);
+        assert_eq!(sched.lr_at(0), 0.1);
+        assert_eq!(sched.lr_at(9), 0.1);
+        assert!((sched.lr_at(10) - 0.05).abs() < 1e-9);
+        assert!((sched.lr_at(25) - 0.025).abs() < 1e-9);
+        let w = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
+        let mut opt = Sgd::new(vec![w], 0.1);
+        sched.apply(&mut opt, 20);
+        assert!((opt.learning_rate() - 0.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn step_zeroes_gradients() {
+        let w = Param::new(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut opt = Sgd::new(vec![w.clone()], 0.1);
+        let tape = Tape::new();
+        tape.param(&w).scale(2.0).backward();
+        assert_ne!(w.grad()[(0, 0)], 0.0);
+        opt.step();
+        assert_eq!(w.grad()[(0, 0)], 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Exchange audit: compare BAClassifier against the classical baselines on
+//! the task of recognising exchange-controlled addresses, and inspect which
+//! behavioral evidence each model sees.
+//!
+//! ```sh
+//! cargo run --release -p bac-examples --bin exchange_audit
+//! ```
+
+use baclassifier::{BaClassifier, BacConfig};
+use baselines::{evaluate, flat_dataset, Classifier, Gbdt, LogisticRegression, Scaler};
+use btcsim::{Dataset, Label, SimConfig, Simulator};
+
+fn main() {
+    println!("simulating an economy with two exchanges…");
+    let sim = Simulator::run_to_completion(SimConfig {
+        blocks: 150,
+        num_exchanges: 2,
+        ..SimConfig::tiny(23)
+    });
+    let dataset = Dataset::from_simulator(&sim, 2);
+    let (train, test) = dataset.stratified_split(0.25, 3);
+    let exchange = Label::Exchange.index();
+
+    // Classical baselines on flattened features.
+    let (x_train_raw, y_train) = flat_dataset(&train.records);
+    let (x_test_raw, y_test) = flat_dataset(&test.records);
+    let scaler = Scaler::fit(&x_train_raw);
+    let (x_train, x_test) = (scaler.transform(&x_train_raw), scaler.transform(&x_test_raw));
+
+    println!("\nper-model Exchange-class F1 on {} held-out addresses:", test.len());
+    let mut models: Vec<Box<dyn Classifier>> =
+        vec![Box::new(LogisticRegression::default()), Box::new(Gbdt::default())];
+    for model in models.iter_mut() {
+        model.fit(&x_train, &y_train);
+        let report = evaluate(model.as_ref(), &x_test, &y_test);
+        println!(
+            "  {:<14} precision {:.4}  recall {:.4}  F1 {:.4}",
+            model.name(),
+            report.per_class[exchange].precision,
+            report.per_class[exchange].recall,
+            report.per_class[exchange].f1
+        );
+    }
+
+    // Full BAClassifier.
+    let mut clf = BaClassifier::new(BacConfig::fast());
+    clf.fit(&train);
+    let report = clf.evaluate(&test);
+    println!(
+        "  {:<14} precision {:.4}  recall {:.4}  F1 {:.4}",
+        "BAClassifier",
+        report.per_class[exchange].precision,
+        report.per_class[exchange].recall,
+        report.per_class[exchange].f1
+    );
+
+    // Audit trail: show the strongest exchange evidence the model used —
+    // the consolidation sweep (many-in-one-out) signature.
+    let best = test
+        .records
+        .iter()
+        .filter(|r| r.label == Label::Exchange)
+        .max_by_key(|r| r.txs.iter().map(|t| t.inputs.len()).max().unwrap_or(0));
+    if let Some(record) = best {
+        let sweep = record
+            .txs
+            .iter()
+            .max_by_key(|t| t.inputs.len())
+            .expect("non-empty history");
+        println!(
+            "\naudit evidence for {}: consolidation sweep with {} inputs -> {} outputs \
+             ({:.4} BTC), classic exchange deposit-sweep pattern",
+            record.address,
+            sweep.inputs.len(),
+            sweep.outputs.len(),
+            sweep.outputs.iter().map(|&(_, v)| v.btc()).sum::<f64>()
+        );
+        println!("model verdict: {}", clf.predict(record));
+    }
+}

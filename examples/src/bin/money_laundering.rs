@@ -1,0 +1,83 @@
+//! The paper's §III workflow example: detecting underground banks (coin
+//! mixers used for money laundering, the Service class).
+//!
+//! Trains BAClassifier, then sweeps *unlabeled* candidate addresses for
+//! Service-class behavior, and inspects the transaction neighbourhood of a
+//! detected mixer to surface further hidden addresses — exactly the
+//! "workflow of our system" the paper describes.
+//!
+//! ```sh
+//! cargo run --release -p bac-examples --bin money_laundering
+//! ```
+
+use baclassifier::{BaClassifier, BacConfig};
+use btcsim::{AddressRecord, Dataset, Label, SimConfig, Simulator};
+use std::collections::BTreeSet;
+
+fn main() {
+    println!("simulating an economy with active coin mixers…");
+    let sim = Simulator::run_to_completion(SimConfig {
+        blocks: 150,
+        num_mixers: 2,
+        ..SimConfig::tiny(13)
+    });
+    let dataset = Dataset::from_simulator(&sim, 2);
+    let (train, test) = dataset.stratified_split(0.3, 5);
+
+    println!("training the detector on {} labeled addresses…", train.len());
+    let mut clf = BaClassifier::new(BacConfig::fast());
+    clf.fit(&train);
+
+    // Sweep the held-out addresses as if they were unlabeled intelligence
+    // leads; report the ones the model flags as Service (mixer-like).
+    println!("\nsweeping {} candidate addresses for mixer behavior…", test.len());
+    let mut flagged: Vec<&AddressRecord> = Vec::new();
+    let mut true_positives = 0usize;
+    let mut false_positives = 0usize;
+    for record in &test.records {
+        if clf.predict(record) == Label::Service {
+            flagged.push(record);
+            if record.label == Label::Service {
+                true_positives += 1;
+            } else {
+                false_positives += 1;
+            }
+        }
+    }
+    let service_total =
+        test.records.iter().filter(|r| r.label == Label::Service).count();
+    println!(
+        "flagged {} addresses: {} true mixers, {} false alarms ({} mixers in the sweep)",
+        flagged.len(),
+        true_positives,
+        false_positives,
+        service_total
+    );
+
+    // Follow the money: the counterparties of a flagged mixer address are
+    // leads for "more hidden addresses of underground banks" (paper §III).
+    if let Some(mixer) = flagged.iter().find(|r| r.label == Label::Service) {
+        let mut counterparties: BTreeSet<btcsim::Address> = BTreeSet::new();
+        for tx in &mixer.txs {
+            for &(a, _) in tx.inputs.iter().chain(&tx.outputs) {
+                if a != mixer.address {
+                    counterparties.insert(a);
+                }
+            }
+        }
+        println!(
+            "\ndetected mixer {} — {} transactions, {} counterparties to investigate:",
+            mixer.address,
+            mixer.num_txs(),
+            counterparties.len()
+        );
+        for a in counterparties.iter().take(8) {
+            println!("  lead: {a}");
+        }
+        if counterparties.len() > 8 {
+            println!("  … and {} more", counterparties.len() - 8);
+        }
+    } else {
+        println!("no true mixer detected in this sweep — rerun with more blocks");
+    }
+}

@@ -1,0 +1,2 @@
+//! Runnable examples for the BAClassifier workspace; see `src/bin/`:
+//! `quickstart`, `money_laundering`, `mining_pool_monitor`, `exchange_audit`.

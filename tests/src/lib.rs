@@ -1,0 +1,3 @@
+//! Integration-test crate: the tests in `tests/` exercise cross-crate
+//! behavior (simulator → construction → models → metrics). This lib target
+//! exists only so the directory is a workspace member; see `tests/*.rs`.

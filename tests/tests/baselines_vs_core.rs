@@ -1,0 +1,76 @@
+//! Cross-crate checks: baselines and the core pipeline consume the same
+//! datasets and produce comparable, sane reports.
+
+use baselines::{evaluate, flat_dataset, Classifier, Gbdt, LeeClassifier, LogisticRegression, Scaler};
+use baselines::BitScope;
+use btcsim::{Dataset, SimConfig, Simulator};
+
+fn split() -> (Dataset, Dataset) {
+    let sim = Simulator::run_to_completion(SimConfig::tiny(707));
+    Dataset::from_simulator(&sim, 2).stratified_split(0.25, 9)
+}
+
+#[test]
+fn flat_baselines_learn_the_simulated_classes() {
+    let (train, test) = split();
+    let (x_train_raw, y_train) = flat_dataset(&train.records);
+    let (x_test_raw, y_test) = flat_dataset(&test.records);
+    let scaler = Scaler::fit(&x_train_raw);
+    let x_train = scaler.transform(&x_train_raw);
+    let x_test = scaler.transform(&x_test_raw);
+
+    let mut gbdt = Gbdt::default();
+    gbdt.fit(&x_train, &y_train);
+    let report = evaluate(&gbdt, &x_test, &y_test);
+    assert!(report.weighted_f1 > 0.7, "GBDT F1 {}", report.weighted_f1);
+
+    let mut lr = LogisticRegression::default();
+    lr.fit(&x_train, &y_train);
+    let lr_report = evaluate(&lr, &x_test, &y_test);
+    assert!(lr_report.weighted_f1 > 0.4, "LR F1 {}", lr_report.weighted_f1);
+
+    // Shape check from the paper's Table II: trees beat the linear model.
+    assert!(report.weighted_f1 >= lr_report.weighted_f1 - 0.05);
+}
+
+#[test]
+fn prior_work_classifiers_run_end_to_end() {
+    let (train, test) = split();
+    let mut bitscope = BitScope::new(1);
+    bitscope.fit_records(&train.records);
+    let correct = test
+        .records
+        .iter()
+        .filter(|r| bitscope.predict_record(r) == r.label.index())
+        .count();
+    assert!(
+        correct as f64 / test.len() as f64 > 0.6,
+        "BitScope accuracy {}",
+        correct as f64 / test.len() as f64
+    );
+
+    let mut lee = LeeClassifier::random_forest(1);
+    lee.fit_records(&train.records);
+    let correct =
+        test.records.iter().filter(|r| lee.predict_record(r) == r.label.index()).count();
+    assert!(correct as f64 / test.len() as f64 > 0.6);
+}
+
+#[test]
+fn reports_are_internally_consistent() {
+    let (train, test) = split();
+    let (x_train, y_train) = flat_dataset(&train.records);
+    let (x_test, y_test) = flat_dataset(&test.records);
+    let mut gbdt = Gbdt::default();
+    gbdt.fit(&x_train, &y_train);
+    let report = evaluate(&gbdt, &x_test, &y_test);
+    // Supports sum to the test-set size; all metrics in [0, 1].
+    let support: usize = report.per_class.iter().map(|m| m.support).sum();
+    assert_eq!(support, test.len());
+    for m in &report.per_class {
+        assert!((0.0..=1.0).contains(&m.precision));
+        assert!((0.0..=1.0).contains(&m.recall));
+        assert!((0.0..=1.0).contains(&m.f1));
+    }
+    assert!((0.0..=1.0).contains(&report.weighted_f1));
+}
