@@ -21,7 +21,14 @@ pub struct AnnClassifier {
 
 impl AnnClassifier {
     pub fn new(hidden: Vec<usize>, epochs: usize, seed: u64) -> Self {
-        Self { hidden, epochs, learning_rate: 0.01, batch_size: 16, seed, model: None }
+        Self {
+            hidden,
+            epochs,
+            learning_rate: 0.01,
+            batch_size: 16,
+            seed,
+            model: None,
+        }
     }
 }
 
@@ -83,7 +90,11 @@ mod tests {
         let (x, y) = blobs(20);
         let mut ann = AnnClassifier::new(vec![16], 40, 1);
         ann.fit(&x, &y);
-        let correct = x.iter().zip(&y).filter(|(r, &t)| ann.predict(r) == t).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &t)| ann.predict(r) == t)
+            .count();
         assert!(correct as f64 / x.len() as f64 > 0.95);
     }
 

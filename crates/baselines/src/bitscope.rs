@@ -116,7 +116,9 @@ pub struct BitScope {
 
 impl BitScope {
     pub fn new(seed: u64) -> Self {
-        Self { forest: RandomForest::new(40, seed) }
+        Self {
+            forest: RandomForest::new(40, seed),
+        }
     }
 
     pub fn name(&self) -> &'static str {
@@ -143,8 +145,14 @@ mod tests {
         TxView {
             txid: Txid(ts + 1000 * inputs.len() as u64),
             timestamp: ts,
-            inputs: inputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
-            outputs: outputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+            inputs: inputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
+            outputs: outputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
         }
     }
 
@@ -177,8 +185,11 @@ mod tests {
 
     #[test]
     fn features_are_finite_for_empty_history() {
-        let record =
-            AddressRecord { address: Address(1), label: Label::Service, txs: vec![] };
+        let record = AddressRecord {
+            address: Address(1),
+            label: Label::Service,
+            txs: vec![],
+        };
         assert!(cluster_features(&record).iter().all(|v| v.is_finite()));
     }
 
@@ -192,8 +203,16 @@ mod tests {
                 address: Address(base + 1),
                 label: Label::Exchange,
                 txs: vec![
-                    tx(i, &[(base + 1, 1.0), (base + 2, 1.0), (base + 3, 1.0)], &[(base + 50, 2.9)]),
-                    tx(600 + i, &[(base + 3, 1.0), (base + 4, 1.0)], &[(base + 51, 1.9)]),
+                    tx(
+                        i,
+                        &[(base + 1, 1.0), (base + 2, 1.0), (base + 3, 1.0)],
+                        &[(base + 50, 2.9)],
+                    ),
+                    tx(
+                        600 + i,
+                        &[(base + 3, 1.0), (base + 4, 1.0)],
+                        &[(base + 51, 1.9)],
+                    ),
                 ],
             });
             records.push(AddressRecord {
@@ -207,8 +226,10 @@ mod tests {
         }
         let mut bs = BitScope::new(5);
         bs.fit_records(&records);
-        let correct =
-            records.iter().filter(|r| bs.predict_record(r) == r.label.index()).count();
+        let correct = records
+            .iter()
+            .filter(|r| bs.predict_record(r) == r.label.index())
+            .count();
         assert!(correct as f64 / records.len() as f64 > 0.9);
     }
 }

@@ -9,15 +9,10 @@ use rand::Rng;
 use rand::SeedableRng;
 
 /// Single CART decision tree.
+#[derive(Default)]
 pub struct DecisionTree {
     pub params: TreeParams,
     tree: Option<Tree<[f64; NUM_CLASSES]>>,
-}
-
-impl Default for DecisionTree {
-    fn default() -> Self {
-        Self { params: TreeParams::default(), tree: None }
-    }
 }
 
 impl Classifier for DecisionTree {
@@ -45,7 +40,15 @@ pub struct RandomForest {
 
 impl RandomForest {
     pub fn new(num_trees: usize, seed: u64) -> Self {
-        Self { num_trees, params: TreeParams { max_depth: 10, min_leaf: 1 }, seed, trees: Vec::new() }
+        Self {
+            num_trees,
+            params: TreeParams {
+                max_depth: 10,
+                min_leaf: 1,
+            },
+            seed,
+            trees: Vec::new(),
+        }
     }
 }
 
@@ -68,8 +71,7 @@ impl Classifier for RandomForest {
         self.trees = (0..self.num_trees)
             .map(|_| {
                 // Bootstrap sample.
-                let bx_idx: Vec<usize> =
-                    (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
+                let bx_idx: Vec<usize> = (0..x.len()).map(|_| rng.gen_range(0..x.len())).collect();
                 let bx: Vec<Vec<f64>> = bx_idx.iter().map(|&i| x[i].clone()).collect();
                 let by: Vec<usize> = bx_idx.iter().map(|&i| y[i]).collect();
                 build_gini_tree(&bx, &by, self.params, Some((subset, &mut rng)))
@@ -110,7 +112,10 @@ impl Default for BoostParams {
         Self {
             rounds: 30,
             learning_rate: 0.2,
-            tree: TreeParams { max_depth: 4, min_leaf: 2 },
+            tree: TreeParams {
+                max_depth: 4,
+                min_leaf: 2,
+            },
             lambda: 1.0,
             gamma: 0.0,
         }
@@ -129,7 +134,11 @@ struct Booster {
 
 impl Booster {
     fn new(params: BoostParams, second_order: bool) -> Self {
-        Self { params, second_order, trees: Vec::new() }
+        Self {
+            params,
+            second_order,
+            trees: Vec::new(),
+        }
     }
 
     fn raw_scores(&self, row: &[f64]) -> [f64; NUM_CLASSES] {
@@ -159,7 +168,9 @@ impl Booster {
                     .collect();
                 let (hess, lambda, gamma): (Vec<f64>, f64, f64) = if self.second_order {
                     (
-                        (0..n).map(|i| (probs[i][c] * (1.0 - probs[i][c])).max(1e-6)).collect(),
+                        (0..n)
+                            .map(|i| (probs[i][c] * (1.0 - probs[i][c])).max(1e-6))
+                            .collect(),
                         self.params.lambda,
                         self.params.gamma,
                     )
@@ -186,7 +197,9 @@ pub struct Gbdt {
 
 impl Gbdt {
     pub fn new(params: BoostParams) -> Self {
-        Self { booster: Booster::new(params, false) }
+        Self {
+            booster: Booster::new(params, false),
+        }
     }
 }
 
@@ -219,7 +232,9 @@ pub struct XgBoost {
 
 impl XgBoost {
     pub fn new(params: BoostParams) -> Self {
-        Self { booster: Booster::new(params, true) }
+        Self {
+            booster: Booster::new(params, true),
+        }
     }
 }
 
@@ -250,7 +265,11 @@ mod tests {
     use crate::linear::tests::blobs;
 
     fn accuracy(clf: &dyn Classifier, x: &[Vec<f64>], y: &[usize]) -> f64 {
-        x.iter().zip(y).filter(|(r, &t)| clf.predict(r) == t).count() as f64 / x.len() as f64
+        x.iter()
+            .zip(y)
+            .filter(|(r, &t)| clf.predict(r) == t)
+            .count() as f64
+            / x.len() as f64
     }
 
     #[test]
@@ -277,7 +296,10 @@ mod tests {
     #[test]
     fn gbdt_fits_blobs() {
         let (x, y) = blobs(15);
-        let mut g = Gbdt::new(BoostParams { rounds: 15, ..Default::default() });
+        let mut g = Gbdt::new(BoostParams {
+            rounds: 15,
+            ..Default::default()
+        });
         g.fit(&x, &y);
         assert!(accuracy(&g, &x, &y) > 0.95);
     }
@@ -285,7 +307,10 @@ mod tests {
     #[test]
     fn xgboost_fits_blobs() {
         let (x, y) = blobs(15);
-        let mut g = XgBoost::new(BoostParams { rounds: 15, ..Default::default() });
+        let mut g = XgBoost::new(BoostParams {
+            rounds: 15,
+            ..Default::default()
+        });
         g.fit(&x, &y);
         assert!(accuracy(&g, &x, &y) > 0.95);
     }
@@ -301,7 +326,10 @@ mod tests {
             x.push(vec![a, b]);
             y.push(usize::from((a > 0.0) ^ (b > 0.0)));
         }
-        let mut g = Gbdt::new(BoostParams { rounds: 20, ..Default::default() });
+        let mut g = Gbdt::new(BoostParams {
+            rounds: 20,
+            ..Default::default()
+        });
         g.fit(&x, &y);
         assert!(accuracy(&g, &x, &y) > 0.95);
     }
@@ -309,9 +337,15 @@ mod tests {
     #[test]
     fn more_boosting_rounds_do_not_hurt_train_fit() {
         let (x, y) = blobs(10);
-        let mut short = Gbdt::new(BoostParams { rounds: 2, ..Default::default() });
+        let mut short = Gbdt::new(BoostParams {
+            rounds: 2,
+            ..Default::default()
+        });
         short.fit(&x, &y);
-        let mut long = Gbdt::new(BoostParams { rounds: 25, ..Default::default() });
+        let mut long = Gbdt::new(BoostParams {
+            rounds: 25,
+            ..Default::default()
+        });
         long.fit(&x, &y);
         assert!(accuracy(&long, &x, &y) >= accuracy(&short, &x, &y));
     }

@@ -59,7 +59,11 @@ pub fn flat_features(record: &AddressRecord) -> Vec<f64> {
     row.push((out_degree as f64).ln_1p());
     row.push((span as f64).ln_1p());
     // mean inter-transaction gap
-    let gap = if record.txs.len() > 1 { span as f64 / (record.txs.len() - 1) as f64 } else { 0.0 };
+    let gap = if record.txs.len() > 1 {
+        span as f64 / (record.txs.len() - 1) as f64
+    } else {
+        0.0
+    };
     row.push(gap.ln_1p());
     debug_assert_eq!(row.len(), FLAT_DIM);
     row
@@ -78,15 +82,25 @@ mod tests {
     use btcsim::{Address, Amount, Label, TxView, Txid};
 
     fn record_with(txs: Vec<TxView>) -> AddressRecord {
-        AddressRecord { address: Address(1), label: Label::Gambling, txs }
+        AddressRecord {
+            address: Address(1),
+            label: Label::Gambling,
+            txs,
+        }
     }
 
     fn tx(ts: u64, inputs: &[(u64, f64)], outputs: &[(u64, f64)]) -> TxView {
         TxView {
             txid: Txid(ts),
             timestamp: ts,
-            inputs: inputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
-            outputs: outputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+            inputs: inputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
+            outputs: outputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
         }
     }
 

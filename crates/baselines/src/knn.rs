@@ -12,7 +12,11 @@ pub struct Knn {
 impl Knn {
     pub fn new(k: usize) -> Self {
         assert!(k > 0, "k must be positive");
-        Self { k, x: Vec::new(), y: Vec::new() }
+        Self {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 }
 
@@ -41,8 +45,12 @@ impl Classifier for Knn {
         assert!(!self.x.is_empty(), "predict before fit");
         // Partial selection of the k nearest (k is small; a full sort would
         // be O(n log n) per query).
-        let mut dists: Vec<(f64, usize)> =
-            self.x.iter().zip(&self.y).map(|(xi, &yi)| (sq_dist(row, xi), yi)).collect();
+        let mut dists: Vec<(f64, usize)> = self
+            .x
+            .iter()
+            .zip(&self.y)
+            .map(|(xi, &yi)| (sq_dist(row, xi), yi))
+            .collect();
         let k = self.k.min(dists.len());
         dists.select_nth_unstable_by(k - 1, |a, b| a.0.partial_cmp(&b.0).expect("finite"));
         let mut votes = [0usize; NUM_CLASSES];
@@ -70,7 +78,11 @@ mod tests {
         let (x, y) = blobs(15);
         let mut knn = Knn::default();
         knn.fit(&x, &y);
-        let correct = x.iter().zip(&y).filter(|(r, &t)| knn.predict(r) == t).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &t)| knn.predict(r) == t)
+            .count();
         assert_eq!(correct, x.len(), "training points are their own neighbours");
         assert_eq!(knn.predict(&[4.1, 3.9]), 3);
     }

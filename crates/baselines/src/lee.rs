@@ -86,11 +86,15 @@ pub struct LeeClassifier {
 
 impl LeeClassifier {
     pub fn random_forest(seed: u64) -> Self {
-        Self { backend: LeeBackend::RandomForest(RandomForest::new(40, seed)) }
+        Self {
+            backend: LeeBackend::RandomForest(RandomForest::new(40, seed)),
+        }
     }
 
     pub fn ann(seed: u64) -> Self {
-        Self { backend: LeeBackend::Ann(AnnClassifier::new(vec![64, 32], 30, seed)) }
+        Self {
+            backend: LeeBackend::Ann(AnnClassifier::new(vec![64, 32], 30, seed)),
+        }
     }
 
     fn inner_mut(&mut self) -> &mut dyn Classifier {
@@ -141,7 +145,11 @@ mod tests {
                 outputs: vec![(Address(1), Amount::from_btc(value * 0.99))],
             })
             .collect();
-        AddressRecord { address: Address(1), label, txs }
+        AddressRecord {
+            address: Address(1),
+            label,
+            txs,
+        }
     }
 
     #[test]

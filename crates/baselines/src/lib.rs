@@ -11,6 +11,11 @@
 //! * **Table IV tools**: [`bitscope::BitScope`] (multi-resolution clustering)
 //!   and [`lee::LeeClassifier`] (80 tx-history features + RF/ANN).
 
+// Index loops over several parallel arrays at once are the clearest
+// form for this numeric code; the `enumerate` rewrites clippy suggests
+// obscure which arrays advance together.
+#![allow(clippy::needless_range_loop)]
+
 pub mod ann;
 pub mod bitscope;
 pub mod common;

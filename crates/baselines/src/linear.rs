@@ -15,7 +15,10 @@ struct LinearScores {
 
 impl LinearScores {
     fn new(classes: usize, dim: usize) -> Self {
-        Self { w: vec![vec![0.0; dim]; classes], b: vec![0.0; classes] }
+        Self {
+            w: vec![vec![0.0; dim]; classes],
+            b: vec![0.0; classes],
+        }
     }
 
     fn scores(&self, row: &[f64]) -> Vec<f64> {
@@ -38,7 +41,13 @@ pub struct LogisticRegression {
 
 impl Default for LogisticRegression {
     fn default() -> Self {
-        Self { model: None, epochs: 60, learning_rate: 0.1, l2: 1e-4, seed: 0 }
+        Self {
+            model: None,
+            epochs: 60,
+            learning_rate: 0.1,
+            l2: 1e-4,
+            seed: 0,
+        }
     }
 }
 
@@ -88,7 +97,13 @@ pub struct LinearSvm {
 
 impl Default for LinearSvm {
     fn default() -> Self {
-        Self { model: None, epochs: 60, learning_rate: 0.05, l2: 1e-3, seed: 0 }
+        Self {
+            model: None,
+            epochs: 60,
+            learning_rate: 0.05,
+            l2: 1e-3,
+            seed: 0,
+        }
     }
 }
 
@@ -155,7 +170,11 @@ pub(crate) mod tests {
         let (x, y) = blobs(20);
         let mut lr = LogisticRegression::default();
         lr.fit(&x, &y);
-        let correct = x.iter().zip(&y).filter(|(r, &t)| lr.predict(r) == t).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &t)| lr.predict(r) == t)
+            .count();
         assert!(correct as f64 / x.len() as f64 > 0.95);
     }
 
@@ -164,7 +183,11 @@ pub(crate) mod tests {
         let (x, y) = blobs(20);
         let mut svm = LinearSvm::default();
         svm.fit(&x, &y);
-        let correct = x.iter().zip(&y).filter(|(r, &t)| svm.predict(r) == t).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &t)| svm.predict(r) == t)
+            .count();
         assert!(correct as f64 / x.len() as f64 > 0.95);
     }
 
@@ -183,7 +206,11 @@ pub(crate) mod tests {
         // Refit with permuted labels: predictions must change accordingly.
         let y_swapped: Vec<usize> = y.iter().map(|&c| (c + 1) % 4).collect();
         lr.fit(&x, &y_swapped);
-        let correct = x.iter().zip(&y_swapped).filter(|(r, &t)| lr.predict(r) == t).count();
+        let correct = x
+            .iter()
+            .zip(&y_swapped)
+            .filter(|(r, &t)| lr.predict(r) == t)
+            .count();
         assert!(correct as f64 / x.len() as f64 > 0.9);
     }
 }

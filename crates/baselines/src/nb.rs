@@ -4,17 +4,12 @@
 use crate::common::{argmax, Classifier, NUM_CLASSES};
 
 /// Gaussian naive Bayes with per-class feature means/variances.
+#[derive(Default)]
 pub struct GaussianNb {
     priors: Vec<f64>,
     means: Vec<Vec<f64>>,
     vars: Vec<Vec<f64>>,
     fitted: bool,
-}
-
-impl Default for GaussianNb {
-    fn default() -> Self {
-        Self { priors: Vec::new(), means: Vec::new(), vars: Vec::new(), fitted: false }
-    }
 }
 
 impl Classifier for GaussianNb {
@@ -25,7 +20,7 @@ impl Classifier for GaussianNb {
     fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
         assert!(!x.is_empty() && x.len() == y.len(), "bad training data");
         let d = x[0].len();
-        let mut counts = vec![0usize; NUM_CLASSES];
+        let mut counts = [0usize; NUM_CLASSES];
         let mut means = vec![vec![0.0; d]; NUM_CLASSES];
         for (row, &c) in x.iter().zip(y) {
             counts[c] += 1;
@@ -73,6 +68,7 @@ impl Classifier for GaussianNb {
 
 /// Bernoulli naive Bayes over median-binarised features with Laplace
 /// smoothing.
+#[derive(Default)]
 pub struct BernoulliNb {
     priors: Vec<f64>,
     /// log P(feature=1 | class) and log P(feature=0 | class)
@@ -82,21 +78,12 @@ pub struct BernoulliNb {
     fitted: bool,
 }
 
-impl Default for BernoulliNb {
-    fn default() -> Self {
-        Self {
-            priors: Vec::new(),
-            log_p1: Vec::new(),
-            log_p0: Vec::new(),
-            thresholds: Vec::new(),
-            fitted: false,
-        }
-    }
-}
-
 impl BernoulliNb {
     fn binarise(&self, row: &[f64]) -> Vec<bool> {
-        row.iter().zip(&self.thresholds).map(|(v, t)| v > t).collect()
+        row.iter()
+            .zip(&self.thresholds)
+            .map(|(v, t)| v > t)
+            .collect()
     }
 }
 
@@ -116,7 +103,7 @@ impl Classifier for BernoulliNb {
                 col[col.len() / 2]
             })
             .collect();
-        let mut counts = vec![0usize; NUM_CLASSES];
+        let mut counts = [0usize; NUM_CLASSES];
         let mut ones = vec![vec![0usize; d]; NUM_CLASSES];
         for (row, &c) in x.iter().zip(y) {
             counts[c] += 1;
@@ -136,8 +123,10 @@ impl Classifier for BernoulliNb {
                 self.log_p0[c][j] = (1.0 - p1).ln();
             }
         }
-        self.priors =
-            counts.iter().map(|&c| ((c.max(1)) as f64 / x.len() as f64).ln()).collect();
+        self.priors = counts
+            .iter()
+            .map(|&c| ((c.max(1)) as f64 / x.len() as f64).ln())
+            .collect();
         self.fitted = true;
     }
 
@@ -148,7 +137,11 @@ impl Classifier for BernoulliNb {
             .map(|c| {
                 let mut ll = self.priors[c];
                 for (j, &b) in bits.iter().enumerate() {
-                    ll += if b { self.log_p1[c][j] } else { self.log_p0[c][j] };
+                    ll += if b {
+                        self.log_p1[c][j]
+                    } else {
+                        self.log_p0[c][j]
+                    };
                 }
                 ll
             })
@@ -167,7 +160,11 @@ mod tests {
         let (x, y) = blobs(20);
         let mut nb = GaussianNb::default();
         nb.fit(&x, &y);
-        let correct = x.iter().zip(&y).filter(|(r, &t)| nb.predict(r) == t).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &t)| nb.predict(r) == t)
+            .count();
         assert!(correct as f64 / x.len() as f64 > 0.95);
     }
 
@@ -176,14 +173,23 @@ mod tests {
         let (x, y) = blobs(20);
         let mut nb = BernoulliNb::default();
         nb.fit(&x, &y);
-        let correct = x.iter().zip(&y).filter(|(r, &t)| nb.predict(r) == t).count();
+        let correct = x
+            .iter()
+            .zip(&y)
+            .filter(|(r, &t)| nb.predict(r) == t)
+            .count();
         // Median binarisation keeps the quadrant structure: high accuracy.
         assert!(correct as f64 / x.len() as f64 > 0.9);
     }
 
     #[test]
     fn gaussian_nb_handles_constant_features() {
-        let x = vec![vec![1.0, 5.0], vec![1.0, 5.0], vec![2.0, 5.0], vec![2.0, 5.0]];
+        let x = vec![
+            vec![1.0, 5.0],
+            vec![1.0, 5.0],
+            vec![2.0, 5.0],
+            vec![2.0, 5.0],
+        ];
         let y = vec![0, 0, 1, 1];
         let mut nb = GaussianNb::default();
         nb.fit(&x, &y);

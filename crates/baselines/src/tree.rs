@@ -11,7 +11,12 @@ use rand::seq::SliceRandom;
 #[derive(Clone, Debug)]
 pub enum TreeNode<P> {
     Leaf(P),
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
 }
 
 /// An array-backed binary tree.
@@ -31,8 +36,17 @@ impl<P> Tree<P> {
         loop {
             match &self.nodes[i] {
                 TreeNode::Leaf(p) => return p,
-                TreeNode::Split { feature, threshold, left, right } => {
-                    i = if row[*feature] <= *threshold { *left } else { *right };
+                TreeNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -60,7 +74,10 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 8, min_leaf: 2 }
+        Self {
+            max_depth: 8,
+            min_leaf: 2,
+        }
     }
 }
 
@@ -76,7 +93,10 @@ fn gini(counts: &[f64; NUM_CLASSES], total: f64) -> f64 {
     if total <= 0.0 {
         return 0.0;
     }
-    1.0 - counts.iter().map(|&c| (c / total) * (c / total)).sum::<f64>()
+    1.0 - counts
+        .iter()
+        .map(|&c| (c / total) * (c / total))
+        .sum::<f64>()
 }
 
 /// Best `(feature, threshold, gini_decrease)` over the candidate features.
@@ -131,7 +151,16 @@ pub fn build_gini_tree(
     let idx: Vec<usize> = (0..x.len()).collect();
     let mut nodes = Vec::new();
     let mut subset_cfg = feature_subset;
-    build_gini_rec(x, y, idx, params, 0, &all_features, &mut subset_cfg, &mut nodes);
+    build_gini_rec(
+        x,
+        y,
+        idx,
+        params,
+        0,
+        &all_features,
+        &mut subset_cfg,
+        &mut nodes,
+    );
     Tree { nodes }
 }
 
@@ -170,7 +199,12 @@ fn build_gini_rec(
             let (li, ri): (Vec<usize>, Vec<usize>) =
                 idx.into_iter().partition(|&i| x[i][feature] <= threshold);
             let me = nodes.len();
-            nodes.push(TreeNode::Split { feature, threshold, left: 0, right: 0 });
+            nodes.push(TreeNode::Split {
+                feature,
+                threshold,
+                left: 0,
+                right: 0,
+            });
             let l = build_gini_rec(x, y, li, params, depth + 1, all_features, subset, nodes);
             let r = build_gini_rec(x, y, ri, params, depth + 1, all_features, subset, nodes);
             if let TreeNode::Split { left, right, .. } = &mut nodes[me] {
@@ -195,7 +229,10 @@ pub fn build_grad_tree(
     lambda: f64,
     gamma: f64,
 ) -> Tree<f64> {
-    assert!(x.len() == grad.len() && x.len() == hess.len(), "bad gradient data");
+    assert!(
+        x.len() == grad.len() && x.len() == hess.len(),
+        "bad gradient data"
+    );
     let idx: Vec<usize> = (0..x.len()).collect();
     let mut nodes = Vec::new();
     build_grad_rec(x, grad, hess, idx, params, lambda, gamma, 0, &mut nodes);
@@ -254,7 +291,12 @@ fn build_grad_rec(
             let (li, ri): (Vec<usize>, Vec<usize>) =
                 idx.into_iter().partition(|&i| x[i][feature] <= threshold);
             let me = nodes.len();
-            nodes.push(TreeNode::Split { feature, threshold, left: 0, right: 0 });
+            nodes.push(TreeNode::Split {
+                feature,
+                threshold,
+                left: 0,
+                right: 0,
+            });
             let l = build_grad_rec(x, grad, hess, li, params, lambda, gamma, depth + 1, nodes);
             let r = build_grad_rec(x, grad, hess, ri, params, lambda, gamma, depth + 1, nodes);
             if let TreeNode::Split { left, right, .. } = &mut nodes[me] {
@@ -293,8 +335,15 @@ mod tests {
     fn max_depth_limits_tree() {
         let x: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64]).collect();
         let y: Vec<usize> = (0..64).map(|i| (i / 16) % 4).collect();
-        let tree =
-            build_gini_tree(&x, &y, TreeParams { max_depth: 2, min_leaf: 1 }, None);
+        let tree = build_gini_tree(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 2,
+                min_leaf: 1,
+            },
+            None,
+        );
         assert!(tree.depth() <= 3);
     }
 
@@ -312,7 +361,10 @@ mod tests {
         // Residuals: -1 for x<0, +1 for x>0. Leaf weights should approach
         // -grad (negative gradient) scaled by 1/(1+λ)·h.
         let x: Vec<Vec<f64>> = (-20..20).map(|i| vec![i as f64]).collect();
-        let grad: Vec<f64> = x.iter().map(|r| if r[0] < 0.0 { 1.0 } else { -1.0 }).collect();
+        let grad: Vec<f64> = x
+            .iter()
+            .map(|r| if r[0] < 0.0 { 1.0 } else { -1.0 })
+            .collect();
         let hess = vec![1.0; x.len()];
         let tree = build_grad_tree(&x, &grad, &hess, TreeParams::default(), 1.0, 0.0);
         assert!(*tree.predict(&[-5.0]) < 0.0);
@@ -335,7 +387,15 @@ mod tests {
         let y: Vec<usize> = (0..10).map(|i| usize::from(i >= 9)).collect();
         // min_leaf 3 cannot isolate the single positive at the end exactly,
         // but the tree must still not create leaves smaller than 3.
-        let tree = build_gini_tree(&x, &y, TreeParams { max_depth: 8, min_leaf: 3 }, None);
+        let tree = build_gini_tree(
+            &x,
+            &y,
+            TreeParams {
+                max_depth: 8,
+                min_leaf: 3,
+            },
+            None,
+        );
         fn leaf_sizes(t: &Tree<[f64; NUM_CLASSES]>) -> Vec<f64> {
             (0..t.num_nodes())
                 .filter_map(|i| match &t.nodes[i] {

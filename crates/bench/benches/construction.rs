@@ -17,7 +17,11 @@ fn bench_dataset() -> Dataset {
 
 /// The busiest record (most transactions) — worst-case construction input.
 fn busiest(ds: &Dataset) -> btcsim::AddressRecord {
-    ds.records.iter().max_by_key(|r| r.num_txs()).expect("non-empty dataset").clone()
+    ds.records
+        .iter()
+        .max_by_key(|r| r.num_txs())
+        .expect("non-empty dataset")
+        .clone()
 }
 
 fn bench_stages(c: &mut Criterion) {
@@ -47,8 +51,10 @@ fn bench_stages(c: &mut Criterion) {
         })
     });
 
-    let compressed: Vec<_> =
-        singles.iter().map(|g| compress_multi_tx(g, MultiCompressParams::default())).collect();
+    let compressed: Vec<_> = singles
+        .iter()
+        .map(|g| compress_multi_tx(g, MultiCompressParams::default()))
+        .collect();
     group.bench_function("stage4_augment", |b| {
         b.iter(|| {
             for g in &compressed {
@@ -70,7 +76,10 @@ fn bench_slice_size_ablation(c: &mut Criterion) {
     let record = busiest(&ds);
     let mut group = c.benchmark_group("ablation_slice_size");
     for slice in [25usize, 50, 100, 200] {
-        let cfg = ConstructionConfig { slice_size: slice, ..Default::default() };
+        let cfg = ConstructionConfig {
+            slice_size: slice,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(slice), &cfg, |b, cfg| {
             b.iter(|| construct_address_graphs(black_box(&record), cfg))
         });
@@ -83,7 +92,10 @@ fn bench_psi_ablation(c: &mut Criterion) {
     let record = busiest(&ds);
     let mut group = c.benchmark_group("ablation_psi");
     for psi in [0.3f64, 0.5, 0.8] {
-        let cfg = ConstructionConfig { psi, ..Default::default() };
+        let cfg = ConstructionConfig {
+            psi,
+            ..Default::default()
+        };
         group.bench_with_input(BenchmarkId::from_parameter(psi), &cfg, |b, cfg| {
             b.iter(|| construct_address_graphs(black_box(&record), cfg))
         });

@@ -1,8 +1,8 @@
 //! Criterion microbenchmarks of the graph-algorithm substrate: SFE,
 //! centralities, normalised adjacency, and the UTXO simulator itself.
 
-use btcsim::{SimConfig, Simulator};
 use baclassifier::construction::sfe::sfe;
+use btcsim::{SimConfig, Simulator};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphalgo::{all_centralities, normalized_adjacency, propagate_features, Graph};
 use std::hint::black_box;
@@ -21,7 +21,9 @@ fn sparse_graph(n: usize) -> Graph {
 fn bench_sfe(c: &mut Criterion) {
     let mut group = c.benchmark_group("sfe");
     for n in [10usize, 100, 1000] {
-        let values: Vec<f64> = (0..n).map(|i| ((i * 31) % 97) as f64 * 0.37 + 0.01).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|i| ((i * 31) % 97) as f64 * 0.37 + 0.01)
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &values, |b, v| {
             b.iter(|| black_box(sfe(v)))
         });

@@ -15,7 +15,12 @@ use std::hint::black_box;
 fn sample_tensors() -> baclassifier::features::GraphTensors {
     let sim = Simulator::run_to_completion(SimConfig::tiny(99));
     let ds = Dataset::from_simulator(&sim, 3);
-    let record = ds.records.iter().max_by_key(|r| r.num_txs()).expect("non-empty").clone();
+    let record = ds
+        .records
+        .iter()
+        .max_by_key(|r| r.num_txs())
+        .expect("non-empty")
+        .clone();
     let (graphs, _) = construct_address_graphs(&record, &ConstructionConfig::default());
     graph_tensors(&graphs[0])
 }
@@ -33,7 +38,9 @@ fn bench_gnn_forward_backward(c: &mut Criterion) {
         group.bench_function(format!("{}_fwd_bwd", model.name()), |b| {
             b.iter(|| {
                 let tape = Tape::new();
-                let loss = model.logits(&tape, black_box(&prep)).softmax_cross_entropy(&[1]);
+                let loss = model
+                    .logits(&tape, black_box(&prep))
+                    .softmax_cross_entropy(&[1]);
                 loss.backward();
                 for p in model.params() {
                     p.zero_grad();
@@ -48,15 +55,18 @@ fn bench_gnn_forward_backward(c: &mut Criterion) {
 }
 
 fn bench_heads(c: &mut Criterion) {
-    let seq: Vec<Matrix> =
-        (0..8).map(|t| Matrix::from_fn(1, 32, |_, c| ((t * 13 + c) as f32 * 0.17).sin())).collect();
+    let seq: Vec<Matrix> = (0..8)
+        .map(|t| Matrix::from_fn(1, 32, |_, c| ((t * 13 + c) as f32 * 0.17).sin()))
+        .collect();
     let mut group = c.benchmark_group("head_step");
     for head in all_heads(32, 32, 0) {
         let head: Box<dyn SequenceHead> = head;
         group.bench_function(format!("{}_fwd_bwd", head.name()), |b| {
             b.iter(|| {
                 let tape = Tape::new();
-                let loss = head.logits(&tape, black_box(&seq)).softmax_cross_entropy(&[2]);
+                let loss = head
+                    .logits(&tape, black_box(&seq))
+                    .softmax_cross_entropy(&[2]);
                 loss.backward();
                 for p in head.params() {
                     p.zero_grad();

@@ -31,14 +31,18 @@ fn run_config(
     let total_nodes: usize = graphs.iter().flatten().map(|g| g.num_nodes()).sum();
 
     let gfn = Gfn::new(NODE_FEAT_DIM, gfn_k, 64, 32, scale.seed);
-    let train_set =
-        prepared_graph_set(&gfn, &train.records, cfg, scale.max_slices_per_address);
+    let train_set = prepared_graph_set(&gfn, &train.records, cfg, scale.max_slices_per_address);
     let test_set = prepared_graph_set(&gfn, &test.records, cfg, scale.max_slices_per_address);
     train_graph_model(
         &gfn,
         &train_set,
         &[],
-        TrainParams { epochs, learning_rate: 0.01, batch_size: 8, seed: scale.seed },
+        TrainParams {
+            epochs,
+            learning_rate: 0.01,
+            batch_size: 8,
+            seed: scale.seed,
+        },
     );
     let report = evaluate_graph_model(&gfn, &test_set);
     Outcome {
@@ -51,7 +55,9 @@ fn run_config(
 fn main() {
     let scale = ExpScale::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let epochs: usize = flag_value(&args, "--epochs").and_then(|v| v.parse().ok()).unwrap_or(12);
+    let epochs: usize = flag_value(&args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
     println!("# Ablations (GFN, {epochs} epochs per configuration)");
     let (train, test) = build_split(&scale);
     println!("train {} / test {}", train.len(), test.len());
@@ -70,7 +76,10 @@ fn main() {
     // 1) Slice size.
     let mut rows = Vec::new();
     for slice in [25usize, 50, 100, 200] {
-        let cfg = ConstructionConfig { slice_size: slice, ..base.clone() };
+        let cfg = ConstructionConfig {
+            slice_size: slice,
+            ..base.clone()
+        };
         eprintln!("[ablations] slice_size={slice}…");
         let o = run_config(&scale, &train, &test, &cfg, 2, epochs);
         rows.push(row(&format!("slice_size={slice}"), &o));
@@ -80,12 +89,20 @@ fn main() {
     // 2) Compression thresholds Ψ / σ.
     let mut rows = Vec::new();
     for (psi, sigma) in [(0.3, 0), (0.5, 1), (0.8, 2), (0.95, 5)] {
-        let cfg = ConstructionConfig { psi, sigma, ..base.clone() };
+        let cfg = ConstructionConfig {
+            psi,
+            sigma,
+            ..base.clone()
+        };
         eprintln!("[ablations] psi={psi} sigma={sigma}…");
         let o = run_config(&scale, &train, &test, &cfg, 2, epochs);
         rows.push(row(&format!("psi={psi} sigma={sigma}"), &o));
     }
-    print_rows("Ablation: multi-compression thresholds (Eq. 5–6)", &header, &rows);
+    print_rows(
+        "Ablation: multi-compression thresholds (Eq. 5–6)",
+        &header,
+        &rows,
+    );
 
     // 3) Stages on/off.
     let mut rows = Vec::new();
@@ -95,7 +112,11 @@ fn main() {
         ("no compression", false, true),
         ("neither", false, false),
     ] {
-        let cfg = ConstructionConfig { compress, augment, ..base.clone() };
+        let cfg = ConstructionConfig {
+            compress,
+            augment,
+            ..base.clone()
+        };
         eprintln!("[ablations] {name}…");
         let o = run_config(&scale, &train, &test, &cfg, 2, epochs);
         rows.push(row(name, &o));

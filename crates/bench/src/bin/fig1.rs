@@ -7,8 +7,9 @@ use bac_bench::{build_full_dataset, flag_value, print_rows, ExpScale};
 fn main() {
     let scale = ExpScale::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let window: usize =
-        flag_value(&args, "--window").and_then(|v| v.parse().ok()).unwrap_or(25);
+    let window: usize = flag_value(&args, "--window")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
     println!("# Fig. 1 — active addresses over time (window = {window} blocks)");
     let (sim, _) = build_full_dataset(&scale);
 
@@ -35,7 +36,10 @@ fn main() {
 
     // Sparkline of the active-address series.
     let max = series.iter().copied().max().unwrap_or(1).max(1);
-    let glyphs = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    let glyphs = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     let line: String = series
         .iter()
         .map(|&v| glyphs[(v * (glyphs.len() - 1)) / max])

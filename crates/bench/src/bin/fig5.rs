@@ -11,7 +11,9 @@ use baclassifier::train::{train_graph_model, TrainLog, TrainParams};
 fn main() {
     let scale = ExpScale::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let epochs: usize = flag_value(&args, "--epochs").and_then(|v| v.parse().ok()).unwrap_or(20);
+    let epochs: usize = flag_value(&args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20);
     println!("# Fig. 5 — GNN training curves over {epochs} epochs");
 
     let cfg = ConstructionConfig::default();
@@ -24,15 +26,28 @@ fn main() {
     let mut logs: Vec<TrainLog> = Vec::new();
     for model in &gnns {
         eprintln!("[fig5] training {}…", model.name());
-        let train_set =
-            prepared_graph_set(model.as_ref(), &train.records, &cfg, scale.max_slices_per_address);
-        let test_set =
-            prepared_graph_set(model.as_ref(), &test.records, &cfg, scale.max_slices_per_address);
+        let train_set = prepared_graph_set(
+            model.as_ref(),
+            &train.records,
+            &cfg,
+            scale.max_slices_per_address,
+        );
+        let test_set = prepared_graph_set(
+            model.as_ref(),
+            &test.records,
+            &cfg,
+            scale.max_slices_per_address,
+        );
         logs.push(train_graph_model(
             model.as_ref(),
             &train_set,
             &test_set,
-            TrainParams { epochs, learning_rate: 0.01, batch_size: 8, seed: scale.seed },
+            TrainParams {
+                epochs,
+                learning_rate: 0.01,
+                batch_size: 8,
+                seed: scale.seed,
+            },
         ));
     }
 

@@ -9,9 +9,12 @@ use baclassifier::train::{train_sequence_head, TrainLog, TrainParams};
 fn main() {
     let scale = ExpScale::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let epochs: usize = flag_value(&args, "--epochs").and_then(|v| v.parse().ok()).unwrap_or(25);
-    let gnn_epochs: usize =
-        flag_value(&args, "--gnn-epochs").and_then(|v| v.parse().ok()).unwrap_or(12);
+    let epochs: usize = flag_value(&args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let gnn_epochs: usize = flag_value(&args, "--gnn-epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
     println!("# Fig. 6 — classification-head training curves over {epochs} epochs");
 
     let cfg = ConstructionConfig::default();
@@ -26,7 +29,12 @@ fn main() {
             head.as_ref(),
             &split.train,
             &split.test,
-            TrainParams { epochs, learning_rate: 0.01, batch_size: 8, seed: scale.seed },
+            TrainParams {
+                epochs,
+                learning_rate: 0.01,
+                batch_size: 8,
+                seed: scale.seed,
+            },
         ));
     }
 

@@ -1,0 +1,157 @@
+//! Serving benchmark: cold vs cache-warm single-query latency and batched
+//! throughput for the `baserve` engine, written to `results/serve_bench.json`.
+//!
+//! ```text
+//! serve_bench [--seed 42] [--min-txs 3] [--requests 2000] [--zipf 1.1]
+//!             [--workers N] [--out results/serve_bench.json]
+//! ```
+//!
+//! The cold phase queries every address once through an empty cache (each
+//! query pays graph construction + GFN embedding); the warm phase repeats
+//! the same queries against the now-populated cache (only the LSTM head
+//! runs). The throughput phase pushes a zipf-distributed burst through the
+//! batching window.
+
+use bac_bench::flag_value;
+use baclassifier::{BaClassifier, BacConfig};
+use baserve::{Engine, EngineConfig, Ticket};
+use btcsim::dist::ZipfSampler;
+use btcsim::{Dataset, SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct LatencyStats {
+    mean_us: f64,
+    p50_us: u64,
+    p95_us: u64,
+}
+
+fn latency_stats(mut samples_us: Vec<u64>) -> LatencyStats {
+    assert!(!samples_us.is_empty());
+    samples_us.sort_unstable();
+    let pct = |q: f64| samples_us[((samples_us.len() - 1) as f64 * q).round() as usize];
+    LatencyStats {
+        mean_us: samples_us.iter().sum::<u64>() as f64 / samples_us.len() as f64,
+        p50_us: pct(0.50),
+        p95_us: pct(0.95),
+    }
+}
+
+fn json_phase(name: &str, queries: usize, s: &LatencyStats) -> String {
+    format!(
+        "\"{name}\":{{\"queries\":{queries},\"mean_us\":{:.1},\"p50_us\":{},\"p95_us\":{}}}",
+        s.mean_us, s.p50_us, s.p95_us
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let min_txs: usize = flag_value(&args, "--min-txs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let requests: usize = flag_value(&args, "--requests")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2000);
+    let zipf_s: f64 = flag_value(&args, "--zipf")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.1);
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "results/serve_bench.json".into());
+
+    eprintln!("[serve_bench] fitting a fast model (seed {seed})…");
+    let sim = Simulator::run_to_completion(SimConfig::tiny(seed));
+    let dataset = Dataset::from_simulator(&sim, min_txs);
+    let mut clf = BaClassifier::new(BacConfig::fast());
+    clf.fit(&dataset);
+    let artifact = Arc::new(clf.to_artifact().expect("fitted classifier exports"));
+
+    let mut config = EngineConfig::default();
+    if let Some(w) = flag_value(&args, "--workers").and_then(|v| v.parse().ok()) {
+        config.workers = w;
+    }
+
+    // Phase 1+2: cold then warm single-query latency, same engine, so the
+    // warm pass replays the identical key set against a populated cache.
+    let engine =
+        Engine::new(Arc::clone(&artifact), config.clone()).expect("artifact matches its own model");
+    let mut cold_us = Vec::with_capacity(dataset.len());
+    for record in &dataset.records {
+        let t = Instant::now();
+        let r = engine.classify(record.clone()).expect("classify succeeds");
+        cold_us.push(t.elapsed().as_micros() as u64);
+        assert!(!r.cache_hit, "first touch of an address must miss");
+    }
+    let mut warm_us = Vec::with_capacity(dataset.len());
+    for record in &dataset.records {
+        let t = Instant::now();
+        let r = engine.classify(record.clone()).expect("classify succeeds");
+        warm_us.push(t.elapsed().as_micros() as u64);
+        assert!(r.cache_hit, "second touch of an address must hit");
+    }
+    let cold = latency_stats(cold_us);
+    let warm = latency_stats(warm_us);
+    engine.shutdown();
+    eprintln!(
+        "[serve_bench] cold p50 {}µs vs warm p50 {}µs ({:.1}x)",
+        cold.p50_us,
+        warm.p50_us,
+        cold.p50_us as f64 / warm.p50_us.max(1) as f64
+    );
+
+    // Phase 3: batched zipf burst through a fresh engine.
+    let engine = Engine::new(artifact, config.clone()).expect("artifact matches its own model");
+    let sampler = ZipfSampler::new(dataset.len(), zipf_s);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x10ad);
+    let window = config.queue_depth.min(64);
+    let mut in_flight: Vec<Ticket> = Vec::with_capacity(window);
+    let t = Instant::now();
+    for _ in 0..requests {
+        let idx = sampler.sample(&mut rng);
+        match engine.submit(dataset.records[idx].clone()) {
+            Ok(ticket) => in_flight.push(ticket),
+            Err(e) => panic!("burst submission failed: {e}"),
+        }
+        if in_flight.len() >= window {
+            for ticket in in_flight.drain(..) {
+                ticket.wait().expect("burst request succeeds");
+            }
+        }
+    }
+    for ticket in in_flight.drain(..) {
+        ticket.wait().expect("burst request succeeds");
+    }
+    let elapsed = t.elapsed();
+    let snapshot = engine.metrics();
+    engine.shutdown();
+    let qps = requests as f64 / elapsed.as_secs_f64();
+    eprintln!(
+        "[serve_bench] burst: {requests} requests in {:.2}s = {:.0} req/s, \
+         hit rate {:.1}%, mean batch {:.1}",
+        elapsed.as_secs_f64(),
+        qps,
+        snapshot.cache_hit_rate * 100.0,
+        snapshot.mean_batch_size
+    );
+
+    let json = format!(
+        "{{\"seed\":{seed},\"addresses\":{},\"workers\":{},{},{},\
+         \"throughput\":{{\"requests\":{requests},\"zipf_s\":{zipf_s},\
+         \"elapsed_s\":{:.3},\"qps\":{:.1},\"metrics\":{}}}}}",
+        dataset.len(),
+        config.workers,
+        json_phase("cold", dataset.len(), &cold),
+        json_phase("warm", dataset.len(), &warm),
+        elapsed.as_secs_f64(),
+        qps,
+        snapshot.to_json()
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, format!("{json}\n")).expect("write results");
+    println!("wrote {out}");
+}

@@ -8,7 +8,10 @@ use btcsim::Label;
 
 fn main() {
     let scale = ExpScale::from_args();
-    println!("# Table I — dataset statistics (scale: {} blocks)", scale.blocks);
+    println!(
+        "# Table I — dataset statistics (scale: {} blocks)",
+        scale.blocks
+    );
     let (sim, ds) = build_full_dataset(&scale);
     let counts = ds.class_counts();
     let total: usize = counts.iter().sum();
@@ -41,7 +44,8 @@ fn main() {
         &rows,
     );
 
-    println!("\nchain: {} blocks, {} transactions, {} distinct addresses",
+    println!(
+        "\nchain: {} blocks, {} transactions, {} distinct addresses",
         sim.chain().height(),
         sim.chain().num_transactions(),
         sim.chain().num_addresses(),

@@ -6,9 +6,7 @@
 //! `--no-compress`, `--epochs N`; `--per-class` prints per-class metrics
 //! under the weighted-average table.
 
-use bac_bench::{
-    build_split, f4, flag_value, has_flag, prepared_graph_set, print_rows, ExpScale,
-};
+use bac_bench::{build_split, f4, flag_value, has_flag, prepared_graph_set, print_rows, ExpScale};
 use baclassifier::config::ConstructionConfig;
 use baclassifier::features::NODE_FEAT_DIM;
 use baclassifier::models::{DiffPool, Gcn, Gfn, GraphModel};
@@ -21,8 +19,12 @@ use baselines::{
 fn main() {
     let scale = ExpScale::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let gfn_k: usize = flag_value(&args, "--gfn-k").and_then(|v| v.parse().ok()).unwrap_or(2);
-    let epochs: usize = flag_value(&args, "--epochs").and_then(|v| v.parse().ok()).unwrap_or(15);
+    let gfn_k: usize = flag_value(&args, "--gfn-k")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let epochs: usize = flag_value(&args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15);
     let mut cfg = ConstructionConfig::default();
     if let Some(s) = flag_value(&args, "--slice-size").and_then(|v| v.parse().ok()) {
         cfg.slice_size = s;
@@ -41,18 +43,17 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut class_rows: Vec<Vec<String>> = Vec::new();
     let class_names = ["Exchange", "Mining", "Gambling", "Service"];
-    let mut push_class_rows =
-        |name: &str, report: &baclassifier::metrics::ClassificationReport| {
-            for (i, m) in report.per_class.iter().enumerate() {
-                class_rows.push(vec![
-                    name.to_string(),
-                    class_names[i].to_string(),
-                    f4(m.precision),
-                    f4(m.recall),
-                    f4(m.f1),
-                ]);
-            }
-        };
+    let mut push_class_rows = |name: &str, report: &baclassifier::metrics::ClassificationReport| {
+        for (i, m) in report.per_class.iter().enumerate() {
+            class_rows.push(vec![
+                name.to_string(),
+                class_names[i].to_string(),
+                f4(m.precision),
+                f4(m.recall),
+                f4(m.f1),
+            ]);
+        }
+    };
 
     // --- GNNs on slice graphs ---
     let gnns: Vec<Box<dyn GraphModel>> = vec![
@@ -62,10 +63,18 @@ fn main() {
     ];
     for model in &gnns {
         eprintln!("[table2] preparing graphs for {}…", model.name());
-        let train_set =
-            prepared_graph_set(model.as_ref(), &train.records, &cfg, scale.max_slices_per_address);
-        let test_set =
-            prepared_graph_set(model.as_ref(), &test.records, &cfg, scale.max_slices_per_address);
+        let train_set = prepared_graph_set(
+            model.as_ref(),
+            &train.records,
+            &cfg,
+            scale.max_slices_per_address,
+        );
+        let test_set = prepared_graph_set(
+            model.as_ref(),
+            &test.records,
+            &cfg,
+            scale.max_slices_per_address,
+        );
         eprintln!(
             "[table2] training {} on {} graphs ({} test)…",
             model.name(),
@@ -76,7 +85,12 @@ fn main() {
             model.as_ref(),
             &train_set,
             &[],
-            TrainParams { epochs, learning_rate: 0.01, batch_size: 8, seed: scale.seed },
+            TrainParams {
+                epochs,
+                learning_rate: 0.01,
+                batch_size: 8,
+                seed: scale.seed,
+            },
         );
         let report = evaluate_graph_model(model.as_ref(), &test_set);
         eprintln!("[table2] {} done in {:?}", model.name(), log.total_time());

@@ -12,14 +12,21 @@ use btcsim::Label;
 fn main() {
     let scale = ExpScale::from_args();
     let args: Vec<String> = std::env::args().collect();
-    let epochs: usize = flag_value(&args, "--epochs").and_then(|v| v.parse().ok()).unwrap_or(25);
-    let gnn_epochs: usize =
-        flag_value(&args, "--gnn-epochs").and_then(|v| v.parse().ok()).unwrap_or(12);
+    let epochs: usize = flag_value(&args, "--epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
+    let gnn_epochs: usize = flag_value(&args, "--gnn-epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
     println!("# Table III — address classification heads (head epochs={epochs}, gnn epochs={gnn_epochs})");
 
     let cfg = ConstructionConfig::default();
     let (train, test) = build_split(&scale);
-    eprintln!("[table3] training GFN and embedding {} train / {} test addresses…", train.len(), test.len());
+    eprintln!(
+        "[table3] training GFN and embedding {} train / {} test addresses…",
+        train.len(),
+        test.len()
+    );
     let split = embedded_split(&scale, &train, &test, &cfg, gnn_epochs);
 
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -29,10 +36,19 @@ fn main() {
             head.as_ref(),
             &split.train,
             &[],
-            TrainParams { epochs, learning_rate: 0.01, batch_size: 8, seed: scale.seed },
+            TrainParams {
+                epochs,
+                learning_rate: 0.01,
+                batch_size: 8,
+                seed: scale.seed,
+            },
         );
         let report = evaluate_sequence_head(head.as_ref(), &split.test);
-        eprintln!("[table3] {} finished in {:?}", head.name(), log.total_time());
+        eprintln!(
+            "[table3] {} finished in {:?}",
+            head.name(),
+            log.total_time()
+        );
         for label in Label::ALL {
             let m = report.per_class[label.index()];
             rows.push(vec![

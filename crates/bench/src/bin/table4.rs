@@ -9,12 +9,7 @@ use baclassifier::{BaClassifier, BacConfig};
 use baselines::{BitScope, LeeClassifier};
 use btcsim::{AddressRecord, Label};
 
-fn report_rows(
-    rows: &mut Vec<Vec<String>>,
-    name: &str,
-    y_true: &[usize],
-    y_pred: &[usize],
-) {
+fn report_rows(rows: &mut Vec<Vec<String>>, name: &str, y_true: &[usize], y_pred: &[usize]) {
     let report = ConfusionMatrix::from_predictions(NUM_CLASSES, y_true, y_pred).report();
     for label in Label::ALL {
         let m = report.per_class[label.index()];
@@ -39,16 +34,22 @@ fn main() {
     let scale = ExpScale::from_args();
     let args: Vec<String> = std::env::args().collect();
     let (train, test) = build_split(&scale);
-    println!("# Table IV — classifier comparison (train {} / test {})", train.len(), test.len());
+    println!(
+        "# Table IV — classifier comparison (train {} / test {})",
+        train.len(),
+        test.len()
+    );
     let y_true: Vec<usize> = test.records.iter().map(|r| r.label.index()).collect();
     let mut rows: Vec<Vec<String>> = Vec::new();
 
     // BAClassifier (full pipeline).
     let mut cfg = BacConfig::default();
-    cfg.model.gnn_epochs =
-        flag_value(&args, "--gnn-epochs").and_then(|v| v.parse().ok()).unwrap_or(12);
-    cfg.model.head_epochs =
-        flag_value(&args, "--head-epochs").and_then(|v| v.parse().ok()).unwrap_or(25);
+    cfg.model.gnn_epochs = flag_value(&args, "--gnn-epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(12);
+    cfg.model.head_epochs = flag_value(&args, "--head-epochs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(25);
     cfg.model.max_slices = scale.max_slices_per_address;
     eprintln!("[table4] fitting BAClassifier…");
     let mut bac = BaClassifier::new(cfg);
@@ -59,19 +60,29 @@ fn main() {
         fit.gnn_log.total_time(),
         fit.head_log.total_time()
     );
-    let pred: Vec<usize> = test.records.iter().map(|r| bac.predict(r).index()).collect();
+    let pred: Vec<usize> = test
+        .records
+        .iter()
+        .map(|r| bac.predict(r).expect("fitted model").index())
+        .collect();
     report_rows(&mut rows, "BAClassifier", &y_true, &pred);
 
     // BitScope.
     eprintln!("[table4] fitting BitScope…");
     let mut bitscope = BitScope::new(scale.seed);
     bitscope.fit_records(&train.records);
-    let pred: Vec<usize> =
-        test.records.iter().map(|r: &AddressRecord| bitscope.predict_record(r)).collect();
+    let pred: Vec<usize> = test
+        .records
+        .iter()
+        .map(|r: &AddressRecord| bitscope.predict_record(r))
+        .collect();
     report_rows(&mut rows, "BitScope", &y_true, &pred);
 
     // Lee et al. with both back-ends.
-    for mut lee in [LeeClassifier::random_forest(scale.seed), LeeClassifier::ann(scale.seed)] {
+    for mut lee in [
+        LeeClassifier::random_forest(scale.seed),
+        LeeClassifier::ann(scale.seed),
+    ] {
         eprintln!("[table4] fitting {}…", lee.name());
         lee.fit_records(&train.records);
         let pred: Vec<usize> = test.records.iter().map(|r| lee.predict_record(r)).collect();

@@ -28,7 +28,10 @@ fn main() {
     let (train, test) = build_split(&scale);
     let mut records = train.records;
     records.extend(test.records);
-    println!("constructing graphs for {} addresses on a single core…", records.len());
+    println!(
+        "constructing graphs for {} addresses on a single core…",
+        records.len()
+    );
 
     // Single-threaded, as the paper reports single-core CPU time.
     let (graphs, timings) = construct_dataset_graphs(&records, &cfg, 1);
@@ -38,8 +41,16 @@ fn main() {
 
     let stages = [
         ("Stage 1 (extract)", per_addr(timings.extract), ratios[0]),
-        ("Stage 2 (single-compress)", per_addr(timings.single_compress), ratios[1]),
-        ("Stage 3 (multi-compress)", per_addr(timings.multi_compress), ratios[2]),
+        (
+            "Stage 2 (single-compress)",
+            per_addr(timings.single_compress),
+            ratios[1],
+        ),
+        (
+            "Stage 3 (multi-compress)",
+            per_addr(timings.multi_compress),
+            ratios[2],
+        ),
         ("Stage 4 (augment)", per_addr(timings.augment), ratios[3]),
     ];
     let mut rows: Vec<Vec<String>> = stages

@@ -29,12 +29,24 @@ pub struct ExpScale {
 impl ExpScale {
     /// Seconds-scale smoke configuration.
     pub fn small() -> Self {
-        Self { blocks: 120, sample: 250, min_txs: 2, seed: 42, max_slices_per_address: 4 }
+        Self {
+            blocks: 120,
+            sample: 250,
+            min_txs: 2,
+            seed: 42,
+            max_slices_per_address: 4,
+        }
     }
 
     /// The scale used for the recorded EXPERIMENTS.md numbers.
     pub fn paper() -> Self {
-        Self { blocks: 700, sample: 1600, min_txs: 2, seed: 42, max_slices_per_address: 6 }
+        Self {
+            blocks: 700,
+            sample: 1600,
+            min_txs: 2,
+            seed: 42,
+            max_slices_per_address: 6,
+        }
     }
 
     /// Parse from argv: `--scale small|paper`, `--seed N`.
@@ -60,7 +72,10 @@ impl ExpScale {
             num_pools: 2,
             num_gambling: 2,
             num_mixers: 2,
-            retail: RetailConfig { growth_per_block: 1.2, ..Default::default() },
+            retail: RetailConfig {
+                growth_per_block: 1.2,
+                ..Default::default()
+            },
             miners_per_pool: 400,
             ..Default::default()
         }
@@ -69,7 +84,9 @@ impl ExpScale {
 
 /// Fetch `--flag value` from argv.
 pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// True if `--flag` is present in argv.
@@ -99,7 +116,10 @@ pub fn prepared_graph_set(
     cfg: &ConstructionConfig,
     max_slices: usize,
 ) -> Vec<(PreparedGraph, usize)> {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
     let (graphs, _) = construct_dataset_graphs(records, cfg, threads);
     let mut out = Vec::new();
     for (record, gs) in records.iter().zip(&graphs) {
@@ -132,8 +152,7 @@ pub fn embedded_split(
     use baclassifier::train::{train_graph_model, TrainParams};
 
     let gfn = Gfn::new(NODE_FEAT_DIM, 2, 64, 32, scale.seed);
-    let train_graphs =
-        prepared_graph_set(&gfn, &train.records, cfg, scale.max_slices_per_address);
+    let train_graphs = prepared_graph_set(&gfn, &train.records, cfg, scale.max_slices_per_address);
     let _ = train_graph_model(
         &gfn,
         &train_graphs,
@@ -147,8 +166,10 @@ pub fn embedded_split(
     );
 
     let embed = |records: &[AddressRecord]| -> Vec<(Vec<numnet::Matrix>, usize)> {
-        let threads =
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8);
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8);
         let (graphs, _) = construct_dataset_graphs(records, cfg, threads);
         records
             .iter()
@@ -168,7 +189,11 @@ pub fn embedded_split(
             })
             .collect()
     };
-    EmbeddedSplit { train: embed(&train.records), test: embed(&test.records), gfn }
+    EmbeddedSplit {
+        train: embed(&train.records),
+        test: embed(&test.records),
+        gfn,
+    }
 }
 
 /// Render one header + rows table with fixed-width columns.
@@ -178,7 +203,11 @@ pub fn print_rows(title: &str, header: &[&str], rows: &[Vec<String>]) {
         .iter()
         .enumerate()
         .map(|(i, h)| {
-            rows.iter().map(|r| r.get(i).map_or(0, |c| c.len())).chain([h.len()]).max().unwrap_or(8)
+            rows.iter()
+                .map(|r| r.get(i).map_or(0, |c| c.len()))
+                .chain([h.len()])
+                .max()
+                .unwrap_or(8)
         })
         .collect();
     let fmt_row = |cells: Vec<String>| {
@@ -189,7 +218,10 @@ pub fn print_rows(title: &str, header: &[&str], rows: &[Vec<String>]) {
             .collect::<Vec<_>>()
             .join("  ")
     };
-    println!("{}", fmt_row(header.iter().map(|s| s.to_string()).collect()));
+    println!(
+        "{}",
+        fmt_row(header.iter().map(|s| s.to_string()).collect())
+    );
     for r in rows {
         println!("{}", fmt_row(r.clone()));
     }
@@ -215,8 +247,10 @@ mod tests {
 
     #[test]
     fn flag_parsing() {
-        let args: Vec<String> =
-            ["prog", "--scale", "small", "--seed", "9"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["prog", "--scale", "small", "--seed", "9"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(flag_value(&args, "--scale").as_deref(), Some("small"));
         assert_eq!(flag_value(&args, "--seed").as_deref(), Some("9"));
         assert_eq!(flag_value(&args, "--missing"), None);

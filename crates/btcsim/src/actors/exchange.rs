@@ -122,11 +122,18 @@ impl ExchangeActor {
             mine.into_iter().map(|(_, a, v)| (a, v)).collect()
         };
         for batch in mine.chunks(self.cfg.withdrawal_batch) {
-            let outs: Vec<TxOut> =
-                batch.iter().map(|&(address, value)| TxOut { address, value }).collect();
+            let outs: Vec<TxOut> = batch
+                .iter()
+                .map(|&(address, value)| TxOut { address, value })
+                .collect();
             let nonce = ctx.next_nonce();
-            match self.hot.create_payment(outs, DEFAULT_FEE, &mut shared.alloc, ctx.timestamp, nonce)
-            {
+            match self.hot.create_payment(
+                outs,
+                DEFAULT_FEE,
+                &mut shared.alloc,
+                ctx.timestamp,
+                nonce,
+            ) {
                 Some(tx) => ctx.submit(tx),
                 None => {
                     // Hot balance short (e.g. change still unconfirmed):
@@ -142,11 +149,15 @@ impl ExchangeActor {
 
     fn rebalance(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
         if self.hot.balance() > self.cfg.hot_ceiling {
-            let excess = self.hot.balance() - self.cfg.hot_floor.mul_f64(4.0).min(self.hot.balance());
+            let excess =
+                self.hot.balance() - self.cfg.hot_floor.mul_f64(4.0).min(self.hot.balance());
             if excess > DEFAULT_FEE {
                 let nonce = ctx.next_nonce();
                 if let Some(tx) = self.hot.create_payment(
-                    vec![TxOut { address: self.cold_main, value: excess - DEFAULT_FEE }],
+                    vec![TxOut {
+                        address: self.cold_main,
+                        value: excess - DEFAULT_FEE,
+                    }],
                     DEFAULT_FEE,
                     &mut shared.alloc,
                     ctx.timestamp,
@@ -155,11 +166,16 @@ impl ExchangeActor {
                     ctx.submit(tx);
                 }
             }
-        } else if self.hot.balance() < self.cfg.hot_floor && self.cold.balance() > self.cfg.hot_floor.mul_f64(2.0) {
+        } else if self.hot.balance() < self.cfg.hot_floor
+            && self.cold.balance() > self.cfg.hot_floor.mul_f64(2.0)
+        {
             let refill = self.cold.balance().div_n(4);
             let nonce = ctx.next_nonce();
             if let Some(tx) = self.cold.create_payment(
-                vec![TxOut { address: self.hot_main, value: refill }],
+                vec![TxOut {
+                    address: self.hot_main,
+                    value: refill,
+                }],
                 DEFAULT_FEE,
                 &mut shared.alloc,
                 ctx.timestamp,
@@ -236,7 +252,10 @@ mod tests {
             let dep = shared.dir.exchange_deposits[0].pop().unwrap();
             let tx = Transaction::new(
                 vec![],
-                vec![TxOut { address: dep, value: Amount::from_btc(1.0) }],
+                vec![TxOut {
+                    address: dep,
+                    value: Amount::from_btc(1.0),
+                }],
                 0,
                 900 + i,
             );
@@ -261,13 +280,19 @@ mod tests {
         // Fund hot wallet directly.
         let fund = Transaction::new(
             vec![],
-            vec![TxOut { address: ex.hot_main, value: Amount::from_btc(100.0) }],
+            vec![TxOut {
+                address: ex.hot_main,
+                value: Amount::from_btc(100.0),
+            }],
             0,
             1,
         );
         ex.on_confirmed(&fund);
         for i in 0..20u64 {
-            shared.mail.withdrawals.push((0, Address(100_000 + i), Amount::from_btc(0.1)));
+            shared
+                .mail
+                .withdrawals
+                .push((0, Address(100_000 + i), Amount::from_btc(0.1)));
         }
         let txs = run_step(&mut ex, &mut shared, 1);
         // 20 withdrawals, batch size 16: the first batch pays out; the second
@@ -302,7 +327,10 @@ mod tests {
     fn foreign_withdrawals_left_in_mailbox() {
         let mut shared = Shared::default();
         let mut ex = ExchangeActor::new(ExchangeConfig::default(), &mut shared);
-        shared.mail.withdrawals.push((3, Address(1), Amount::from_btc(1.0)));
+        shared
+            .mail
+            .withdrawals
+            .push((3, Address(1), Amount::from_btc(1.0)));
         run_step(&mut ex, &mut shared, 1);
         assert_eq!(shared.mail.withdrawals.len(), 1);
     }

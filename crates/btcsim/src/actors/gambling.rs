@@ -28,7 +28,13 @@ pub struct GamblingConfig {
 
 impl Default for GamblingConfig {
     fn default() -> Self {
-        Self { id: 0, num_gamblers: 40, bets_per_block: 4.0, win_prob: 0.474, median_bet_btc: 0.02 }
+        Self {
+            id: 0,
+            num_gamblers: 40,
+            bets_per_block: 4.0,
+            win_prob: 0.474,
+            median_bet_btc: 0.02,
+        }
     }
 }
 
@@ -47,7 +53,10 @@ impl GamblingActor {
         let mut house = Wallet::new(ChangePolicy::ReuseInput);
         let house_addr = house.new_address(&mut shared.alloc);
         if shared.dir.house_addresses.len() <= cfg.id {
-            shared.dir.house_addresses.resize(cfg.id + 1, Address(u64::MAX));
+            shared
+                .dir
+                .house_addresses
+                .resize(cfg.id + 1, Address(u64::MAX));
         }
         shared.dir.house_addresses[cfg.id] = house_addr;
         let gamblers = (0..cfg.num_gamblers)
@@ -57,7 +66,13 @@ impl GamblingActor {
                 w
             })
             .collect();
-        Self { cfg, house, house_addr, gamblers, pending_payouts: Vec::new() }
+        Self {
+            cfg,
+            house,
+            house_addr,
+            gamblers,
+            pending_payouts: Vec::new(),
+        }
     }
 
     pub fn house_address(&self) -> Address {
@@ -66,7 +81,10 @@ impl GamblingActor {
 
     /// Primary receiving address of each gambler (for external funding).
     pub fn gambler_addresses(&self) -> Vec<Address> {
-        self.gamblers.iter().filter_map(|w| w.addresses().next()).collect()
+        self.gamblers
+            .iter()
+            .filter_map(|w| w.addresses().next())
+            .collect()
     }
 
     pub fn house_balance(&self) -> Amount {
@@ -76,10 +94,15 @@ impl GamblingActor {
     fn settle_payouts(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
         let pending = std::mem::take(&mut self.pending_payouts);
         for (gi, amount) in pending {
-            let Some(dest) = self.gamblers[gi].addresses().next() else { continue };
+            let Some(dest) = self.gamblers[gi].addresses().next() else {
+                continue;
+            };
             let nonce = ctx.next_nonce();
             if let Some(tx) = self.house.create_payment(
-                vec![TxOut { address: dest, value: amount }],
+                vec![TxOut {
+                    address: dest,
+                    value: amount,
+                }],
                 DEFAULT_FEE,
                 &mut shared.alloc,
                 ctx.timestamp,
@@ -102,7 +125,10 @@ impl GamblingActor {
             let house_addr = self.house_addr;
             let nonce = ctx.next_nonce();
             let Some(tx) = self.gamblers[gi].create_payment(
-                vec![TxOut { address: house_addr, value: bet }],
+                vec![TxOut {
+                    address: house_addr,
+                    value: bet,
+                }],
                 DEFAULT_FEE,
                 &mut shared.alloc,
                 ctx.timestamp,
@@ -166,7 +192,10 @@ mod tests {
         for (i, addr) in actor.gambler_addresses().into_iter().enumerate() {
             let tx = Transaction::new(
                 vec![],
-                vec![TxOut { address: addr, value: Amount::from_btc(btc) }],
+                vec![TxOut {
+                    address: addr,
+                    value: Amount::from_btc(btc),
+                }],
                 0,
                 500_000 + i as u64,
             );
@@ -204,13 +233,20 @@ mod tests {
     #[test]
     fn wins_are_paid_next_step() {
         let mut shared = Shared::default();
-        let cfg = GamblingConfig { win_prob: 1.0, bets_per_block: 10.0, ..Default::default() };
+        let cfg = GamblingConfig {
+            win_prob: 1.0,
+            bets_per_block: 10.0,
+            ..Default::default()
+        };
         let mut g = GamblingActor::new(cfg, &mut shared);
         fund_gamblers(&mut g, 2.0);
         // House needs float to pay winners.
         let float = Transaction::new(
             vec![],
-            vec![TxOut { address: g.house_address(), value: Amount::from_btc(100.0) }],
+            vec![TxOut {
+                address: g.house_address(),
+                value: Amount::from_btc(100.0),
+            }],
             0,
             999_999,
         );

@@ -50,9 +50,16 @@ impl MiningPoolActor {
         let mut pool = Wallet::new(ChangePolicy::ReuseInput);
         let pool_reward_addr = pool.new_address(&mut shared.alloc);
         let mut miners = Wallet::new(ChangePolicy::ReuseInput);
-        let miner_addrs: Vec<Address> =
-            (0..cfg.num_miners).map(|_| miners.new_address(&mut shared.alloc)).collect();
-        Self { cfg, pool, pool_reward_addr, miners, miner_addrs }
+        let miner_addrs: Vec<Address> = (0..cfg.num_miners)
+            .map(|_| miners.new_address(&mut shared.alloc))
+            .collect();
+        Self {
+            cfg,
+            pool,
+            pool_reward_addr,
+            miners,
+            miner_addrs,
+        }
     }
 
     /// Address the simulator pays the coinbase to when this pool wins a block.
@@ -100,7 +107,8 @@ impl MiningPoolActor {
         }
         let nonce = ctx.next_nonce();
         if let Some(tx) =
-            self.pool.create_payment(outs, DEFAULT_FEE, &mut shared.alloc, ctx.timestamp, nonce)
+            self.pool
+                .create_payment(outs, DEFAULT_FEE, &mut shared.alloc, ctx.timestamp, nonce)
         {
             ctx.submit(tx);
         }
@@ -116,7 +124,9 @@ impl MiningPoolActor {
             if !ctx.rng.gen_bool(0.8) {
                 continue;
             }
-            let Some((_, dep)) = shared.dir.take_exchange_deposit(ctx.rng) else { break };
+            let Some((_, dep)) = shared.dir.take_exchange_deposit(ctx.rng) else {
+                break;
+            };
             let amount = self.miners.balance().div_n(20).max(Amount::from_btc(0.05));
             let amount = amount.min(self.miners.balance().saturating_sub(DEFAULT_FEE));
             if amount.is_zero() {
@@ -124,7 +134,10 @@ impl MiningPoolActor {
             }
             let nonce = ctx.next_nonce();
             if let Some(tx) = self.miners.create_payment(
-                vec![TxOut { address: dep, value: amount }],
+                vec![TxOut {
+                    address: dep,
+                    value: amount,
+                }],
                 DEFAULT_FEE,
                 &mut shared.alloc,
                 ctx.timestamp,
@@ -142,7 +155,7 @@ impl Actor for MiningPoolActor {
     }
 
     fn step(&mut self, ctx: &mut StepCtx<'_>, shared: &mut Shared) {
-        if ctx.height > 0 && ctx.height % self.cfg.payout_interval == 0 {
+        if ctx.height > 0 && ctx.height.is_multiple_of(self.cfg.payout_interval) {
             self.payout_round(ctx, shared);
         }
         self.miner_deposits(ctx, shared);
@@ -178,7 +191,10 @@ mod tests {
     fn fund_pool(actor: &mut MiningPoolActor, btc: f64, nonce: u64) {
         let tx = Transaction::new(
             vec![],
-            vec![TxOut { address: actor.reward_address(), value: Amount::from_btc(btc) }],
+            vec![TxOut {
+                address: actor.reward_address(),
+                value: Amount::from_btc(btc),
+            }],
             0,
             nonce,
         );
@@ -193,7 +209,11 @@ mod tests {
         let txs = step_at(&mut pool, &mut shared, 12);
         assert_eq!(txs.len(), 1);
         // ~70% of 120 miners paid in a single fan-out transaction.
-        assert!(txs[0].outputs.len() > 40, "only {} outputs", txs[0].outputs.len());
+        assert!(
+            txs[0].outputs.len() > 40,
+            "only {} outputs",
+            txs[0].outputs.len()
+        );
     }
 
     #[test]
@@ -202,7 +222,10 @@ mod tests {
         let mut pool = MiningPoolActor::new(MiningConfig::default(), &mut shared);
         fund_pool(&mut pool, 50.0, 1);
         let txs = step_at(&mut pool, &mut shared, 13);
-        assert!(txs.iter().all(|t| t.outputs.len() < 10), "no fan-out expected");
+        assert!(
+            txs.iter().all(|t| t.outputs.len() < 10),
+            "no fan-out expected"
+        );
     }
 
     #[test]
@@ -227,7 +250,11 @@ mod tests {
         let txs2 = step_at(&mut pool, &mut shared, 13);
         let deposits: Vec<_> = txs2
             .iter()
-            .filter(|t| t.outputs.iter().any(|o| o.address.0 >= 10_000 && o.address.0 < 10_050))
+            .filter(|t| {
+                t.outputs
+                    .iter()
+                    .any(|o| o.address.0 >= 10_000 && o.address.0 < 10_050)
+            })
             .collect();
         assert!(!deposits.is_empty(), "expected at least one miner deposit");
     }

@@ -93,7 +93,13 @@ impl<'a> StepCtx<'a> {
         nonce: &'a mut u64,
         out: &'a mut Vec<Transaction>,
     ) -> Self {
-        Self { rng, timestamp, height, nonce, out }
+        Self {
+            rng,
+            timestamp,
+            height,
+            nonce,
+            out,
+        }
     }
 
     /// Globally unique transaction nonce.
@@ -151,8 +157,10 @@ mod tests {
     #[test]
     fn directory_take_round_trips() {
         let mut rng = StdRng::seed_from_u64(0);
-        let mut dir = Directory::default();
-        dir.exchange_deposits = vec![vec![], vec![Address(7)]];
+        let mut dir = Directory {
+            exchange_deposits: vec![vec![], vec![Address(7)]],
+            ..Default::default()
+        };
         let (ex, addr) = dir.take_exchange_deposit(&mut rng).unwrap();
         assert_eq!((ex, addr), (1, Address(7)));
         assert!(dir.take_exchange_deposit(&mut rng).is_none());

@@ -66,7 +66,12 @@ impl RetailActor {
             .collect();
         let popularity = dist::ZipfSampler::new(cfg.num_users, 0.8);
         let initial_users = cfg.num_users;
-        Self { cfg, users, initial_users, popularity }
+        Self {
+            cfg,
+            users,
+            initial_users,
+            popularity,
+        }
     }
 
     /// Activity scales with the population: as adoption grows (Fig. 1), so
@@ -77,7 +82,10 @@ impl RetailActor {
 
     /// Primary funding address of every user (for the genesis premine).
     pub fn funding_addresses(&self) -> Vec<Address> {
-        self.users.iter().filter_map(|w| w.addresses().next()).collect()
+        self.users
+            .iter()
+            .filter_map(|w| w.addresses().next())
+            .collect()
     }
 
     pub fn total_balance(&self) -> Amount {
@@ -97,7 +105,10 @@ impl RetailActor {
         }
         let nonce = ctx.next_nonce();
         match self.users[user].create_payment(
-            vec![TxOut { address: dest, value: amount }],
+            vec![TxOut {
+                address: dest,
+                value: amount,
+            }],
             DEFAULT_FEE,
             &mut shared.alloc,
             ctx.timestamp,
@@ -160,7 +171,9 @@ impl RetailActor {
         let n = dist::poisson(ctx.rng, self.rate(self.cfg.deposits_per_block)) as usize;
         for _ in 0..n {
             let user = self.pick_sender(ctx);
-            let Some((ex, dep)) = shared.dir.take_exchange_deposit(ctx.rng) else { break };
+            let Some((ex, dep)) = shared.dir.take_exchange_deposit(ctx.rng) else {
+                break;
+            };
             let amount = self.sample_amount(ctx);
             if self.pay(user, dep, amount, ctx, shared)
                 && ctx.rng.gen_bool(self.cfg.withdrawal_prob)
@@ -236,7 +249,10 @@ mod tests {
         for (i, addr) in actor.funding_addresses().into_iter().enumerate() {
             let tx = Transaction::new(
                 vec![],
-                vec![TxOut { address: addr, value: Amount::from_btc(btc) }],
+                vec![TxOut {
+                    address: addr,
+                    value: Amount::from_btc(btc),
+                }],
                 0,
                 800_000 + i as u64,
             );
@@ -282,7 +298,10 @@ mod tests {
         let mut shared = Shared::default();
         shared.dir.mixer_intakes = vec![Address(5_000_000)];
         let mut retail = RetailActor::new(
-            RetailConfig { mixes_per_block: 5.0, ..Default::default() },
+            RetailConfig {
+                mixes_per_block: 5.0,
+                ..Default::default()
+            },
             &mut shared,
         );
         fund_all(&mut retail, 20.0);

@@ -27,7 +27,12 @@ pub struct ServiceConfig {
 
 impl Default for ServiceConfig {
     fn default() -> Self {
-        Self { id: 0, peel_hops: 5, service_fee: 0.03, jobs_per_block: 4 }
+        Self {
+            id: 0,
+            peel_hops: 5,
+            service_fee: 0.03,
+            jobs_per_block: 4,
+        }
     }
 }
 
@@ -59,10 +64,19 @@ impl ServiceActor {
         let intake = wallet.new_address(&mut shared.alloc);
         let profit_addr = wallet.new_address(&mut shared.alloc);
         if shared.dir.mixer_intakes.len() <= cfg.id {
-            shared.dir.mixer_intakes.resize(cfg.id + 1, Address(u64::MAX));
+            shared
+                .dir
+                .mixer_intakes
+                .resize(cfg.id + 1, Address(u64::MAX));
         }
         shared.dir.mixer_intakes[cfg.id] = intake;
-        Self { cfg, wallet, intake, profit_addr, jobs: Vec::new() }
+        Self {
+            cfg,
+            wallet,
+            intake,
+            profit_addr,
+            jobs: Vec::new(),
+        }
     }
 
     pub fn intake_address(&self) -> Address {
@@ -106,7 +120,11 @@ impl ServiceActor {
                 continue;
             }
             let last_hop = job.hops_left <= 1;
-            let pay = if last_hop { job.remaining } else { job.slice.min(job.remaining) };
+            let pay = if last_hop {
+                job.remaining
+            } else {
+                job.slice.min(job.remaining)
+            };
             if pay.is_zero() {
                 self.jobs.swap_remove(i);
                 continue;
@@ -116,7 +134,10 @@ impl ServiceActor {
             // FreshAddress change policy makes every hop leave the remainder
             // on a brand-new service address: the peel chain.
             let tx = self.wallet.create_payment(
-                vec![TxOut { address: dest, value: pay }],
+                vec![TxOut {
+                    address: dest,
+                    value: pay,
+                }],
                 DEFAULT_FEE,
                 &mut shared.alloc,
                 ctx.timestamp,
@@ -147,7 +168,8 @@ impl ServiceActor {
         if ctx.rng.gen_bool(0.05) && self.wallet.num_utxos() > 8 {
             let nonce = ctx.next_nonce();
             if let Some(tx) =
-                self.wallet.consolidate(self.profit_addr, 8, DEFAULT_FEE, ctx.timestamp, nonce)
+                self.wallet
+                    .consolidate(self.profit_addr, 8, DEFAULT_FEE, ctx.timestamp, nonce)
             {
                 ctx.submit(tx);
             }
@@ -196,7 +218,10 @@ mod tests {
     fn fund_intake(actor: &mut ServiceActor, btc: f64, nonce: u64) {
         let tx = Transaction::new(
             vec![],
-            vec![TxOut { address: actor.intake_address(), value: Amount::from_btc(btc) }],
+            vec![TxOut {
+                address: actor.intake_address(),
+                value: Amount::from_btc(btc),
+            }],
             0,
             nonce,
         );
@@ -227,7 +252,10 @@ mod tests {
         assert_eq!(payouts.len(), 5, "saw {} payout hops", payouts.len());
         let total: Amount = payouts.iter().copied().sum();
         // ~97% of the deposit (3% service fee), minus nothing else.
-        assert!(total >= Amount::from_btc(9.6) && total <= Amount::from_btc(9.71), "{total}");
+        assert!(
+            total >= Amount::from_btc(9.6) && total <= Amount::from_btc(9.71),
+            "{total}"
+        );
         assert_eq!(mixer.active_jobs(), 0);
     }
 
@@ -236,7 +264,10 @@ mod tests {
         let mut shared = Shared::default();
         let mut mixer = ServiceActor::new(ServiceConfig::default(), &mut shared);
         fund_intake(&mut mixer, 10.0, 1);
-        shared.mail.mix_jobs.push((0, Address(777), Amount::from_btc(10.0)));
+        shared
+            .mail
+            .mix_jobs
+            .push((0, Address(777), Amount::from_btc(10.0)));
         let before = mixer.wallet.num_addresses();
         for h in 1..12 {
             let txs = step_at(&mut mixer, &mut shared, h);
@@ -252,7 +283,10 @@ mod tests {
     fn foreign_jobs_left_in_mailbox() {
         let mut shared = Shared::default();
         let mut mixer = ServiceActor::new(ServiceConfig::default(), &mut shared);
-        shared.mail.mix_jobs.push((9, Address(1), Amount::from_btc(1.0)));
+        shared
+            .mail
+            .mix_jobs
+            .push((9, Address(1), Amount::from_btc(1.0)));
         step_at(&mut mixer, &mut shared, 1);
         assert_eq!(shared.mail.mix_jobs.len(), 1);
     }
@@ -261,10 +295,17 @@ mod tests {
     fn unfunded_job_waits() {
         let mut shared = Shared::default();
         let mut mixer = ServiceActor::new(ServiceConfig::default(), &mut shared);
-        shared.mail.mix_jobs.push((0, Address(1), Amount::from_btc(5.0)));
+        shared
+            .mail
+            .mix_jobs
+            .push((0, Address(1), Amount::from_btc(5.0)));
         let txs = step_at(&mut mixer, &mut shared, 1);
         assert!(txs.is_empty());
-        assert_eq!(mixer.active_jobs(), 1, "job stays queued until funds arrive");
+        assert_eq!(
+            mixer.active_jobs(),
+            1,
+            "job stays queued until funds arrive"
+        );
     }
 
     #[test]

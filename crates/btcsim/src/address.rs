@@ -61,7 +61,12 @@ pub enum Label {
 
 impl Label {
     /// All labels in canonical (paper Table I) order.
-    pub const ALL: [Label; 4] = [Label::Exchange, Label::Mining, Label::Gambling, Label::Service];
+    pub const ALL: [Label; 4] = [
+        Label::Exchange,
+        Label::Mining,
+        Label::Gambling,
+        Label::Service,
+    ];
 
     /// Dense class index used by every classifier in the workspace.
     pub fn index(self) -> usize {
@@ -128,6 +133,9 @@ mod tests {
 
     #[test]
     fn label_order_matches_table1() {
-        assert_eq!(Label::ALL.map(|l| l.name()), ["Exchange", "Mining", "Gambling", "Service"]);
+        assert_eq!(
+            Label::ALL.map(|l| l.name()),
+            ["Exchange", "Mining", "Gambling", "Service"]
+        );
     }
 }

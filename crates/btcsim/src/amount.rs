@@ -56,7 +56,10 @@ impl Amount {
 
     /// Multiply by a non-negative factor (e.g. a payout multiplier).
     pub fn mul_f64(self, factor: f64) -> Amount {
-        assert!(factor.is_finite() && factor >= 0.0, "invalid factor {factor}");
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "invalid factor {factor}"
+        );
         Amount((self.0 as f64 * factor).round() as u64)
     }
 

@@ -87,7 +87,10 @@ impl Chain {
     /// Validate and append a block; all-or-nothing per transaction list.
     pub fn append(&mut self, block: Block) -> Result<(), ChainError> {
         if block.height != self.height() {
-            return Err(ChainError::BadHeight { expected: self.height(), got: block.height });
+            return Err(ChainError::BadHeight {
+                expected: self.height(),
+                got: block.height,
+            });
         }
         if block.timestamp < self.tip_timestamp() {
             return Err(ChainError::TimestampRegression {
@@ -143,7 +146,10 @@ mod tests {
     fn coinbase(addr: u64, sats: u64, ts: u64, nonce: u64) -> Transaction {
         Transaction::new(
             vec![],
-            vec![TxOut { address: Address(addr), value: Amount::from_sats(sats) }],
+            vec![TxOut {
+                address: Address(addr),
+                value: Amount::from_sats(sats),
+            }],
             ts,
             nonce,
         )
@@ -154,7 +160,13 @@ mod tests {
         let mut chain = Chain::new();
         let cb = coinbase(1, 50, 100, 0);
         let txid = cb.txid;
-        chain.append(Block { height: 0, timestamp: 100, txs: vec![cb] }).unwrap();
+        chain
+            .append(Block {
+                height: 0,
+                timestamp: 100,
+                txs: vec![cb],
+            })
+            .unwrap();
         assert_eq!(chain.height(), 1);
         assert!(chain.transaction(txid).is_some());
         assert_eq!(chain.address_history(Address(1)), &[txid]);
@@ -163,15 +175,35 @@ mod tests {
     #[test]
     fn height_must_be_sequential() {
         let mut chain = Chain::new();
-        let res = chain.append(Block { height: 5, timestamp: 0, txs: vec![] });
-        assert!(matches!(res, Err(ChainError::BadHeight { expected: 0, got: 5 })));
+        let res = chain.append(Block {
+            height: 5,
+            timestamp: 0,
+            txs: vec![],
+        });
+        assert!(matches!(
+            res,
+            Err(ChainError::BadHeight {
+                expected: 0,
+                got: 5
+            })
+        ));
     }
 
     #[test]
     fn timestamp_cannot_regress() {
         let mut chain = Chain::new();
-        chain.append(Block { height: 0, timestamp: 100, txs: vec![] }).unwrap();
-        let res = chain.append(Block { height: 1, timestamp: 50, txs: vec![] });
+        chain
+            .append(Block {
+                height: 0,
+                timestamp: 100,
+                txs: vec![],
+            })
+            .unwrap();
+        let res = chain.append(Block {
+            height: 1,
+            timestamp: 50,
+            txs: vec![],
+        });
         assert!(matches!(res, Err(ChainError::TimestampRegression { .. })));
     }
 
@@ -180,33 +212,58 @@ mod tests {
         let mut chain = Chain::new();
         let cb = coinbase(1, 50, 0, 0);
         let cb_txid = cb.txid;
-        chain.append(Block { height: 0, timestamp: 0, txs: vec![cb] }).unwrap();
+        chain
+            .append(Block {
+                height: 0,
+                timestamp: 0,
+                txs: vec![cb],
+            })
+            .unwrap();
         // Second block: one valid spend then an invalid overspend.
         let good = Transaction::new(
             vec![TxIn {
-                prevout: OutPoint { txid: cb_txid, vout: 0 },
+                prevout: OutPoint {
+                    txid: cb_txid,
+                    vout: 0,
+                },
                 address: Address(1),
                 value: Amount::from_sats(50),
             }],
-            vec![TxOut { address: Address(2), value: Amount::from_sats(49) }],
+            vec![TxOut {
+                address: Address(2),
+                value: Amount::from_sats(49),
+            }],
             600,
             1,
         );
         let bad = Transaction::new(
             vec![TxIn {
-                prevout: OutPoint { txid: good.txid, vout: 0 },
+                prevout: OutPoint {
+                    txid: good.txid,
+                    vout: 0,
+                },
                 address: Address(2),
                 value: Amount::from_sats(49),
             }],
-            vec![TxOut { address: Address(3), value: Amount::from_sats(99) }],
+            vec![TxOut {
+                address: Address(3),
+                value: Amount::from_sats(99),
+            }],
             600,
             2,
         );
-        let res = chain.append(Block { height: 1, timestamp: 600, txs: vec![good, bad] });
+        let res = chain.append(Block {
+            height: 1,
+            timestamp: 600,
+            txs: vec![good, bad],
+        });
         assert!(res.is_err());
         assert_eq!(chain.height(), 1);
         // Original UTXO untouched.
-        assert!(chain.utxo().contains(&OutPoint { txid: cb_txid, vout: 0 }));
+        assert!(chain.utxo().contains(&OutPoint {
+            txid: cb_txid,
+            vout: 0
+        }));
     }
 
     #[test]
@@ -214,21 +271,39 @@ mod tests {
         let mut chain = Chain::new();
         let cb = coinbase(1, 100, 0, 0);
         let cb_txid = cb.txid;
-        chain.append(Block { height: 0, timestamp: 0, txs: vec![cb] }).unwrap();
+        chain
+            .append(Block {
+                height: 0,
+                timestamp: 0,
+                txs: vec![cb],
+            })
+            .unwrap();
         // Address 1 pays itself (appears on both sides — history should list
         // the tx once).
         let self_pay = Transaction::new(
             vec![TxIn {
-                prevout: OutPoint { txid: cb_txid, vout: 0 },
+                prevout: OutPoint {
+                    txid: cb_txid,
+                    vout: 0,
+                },
                 address: Address(1),
                 value: Amount::from_sats(100),
             }],
-            vec![TxOut { address: Address(1), value: Amount::from_sats(99) }],
+            vec![TxOut {
+                address: Address(1),
+                value: Amount::from_sats(99),
+            }],
             600,
             1,
         );
         let self_txid = self_pay.txid;
-        chain.append(Block { height: 1, timestamp: 600, txs: vec![self_pay] }).unwrap();
+        chain
+            .append(Block {
+                height: 1,
+                timestamp: 600,
+                txs: vec![self_pay],
+            })
+            .unwrap();
         assert_eq!(chain.address_history(Address(1)), &[cb_txid, self_txid]);
     }
 

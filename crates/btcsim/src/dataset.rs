@@ -68,7 +68,11 @@ impl Dataset {
                     outputs: tx.outputs.iter().map(|o| (o.address, o.value)).collect(),
                 })
                 .collect();
-            records.push(AddressRecord { address, label, txs });
+            records.push(AddressRecord {
+                address,
+                label,
+                txs,
+            });
         }
         Dataset { records }
     }
@@ -102,8 +106,7 @@ impl Dataset {
         for label in Label::ALL {
             let class: Vec<&AddressRecord> =
                 self.records.iter().filter(|r| r.label == label).collect();
-            let want =
-                ((counts[label.index()] as f64 / n as f64) * total as f64).round() as usize;
+            let want = ((counts[label.index()] as f64 / n as f64) * total as f64).round() as usize;
             let take = want.min(class.len());
             let mut idx: Vec<usize> = (0..class.len()).collect();
             idx.shuffle(&mut rng);
@@ -122,8 +125,12 @@ impl Dataset {
         let mut train = Vec::new();
         let mut test = Vec::new();
         for label in Label::ALL {
-            let mut class: Vec<AddressRecord> =
-                self.records.iter().filter(|r| r.label == label).cloned().collect();
+            let mut class: Vec<AddressRecord> = self
+                .records
+                .iter()
+                .filter(|r| r.label == label)
+                .cloned()
+                .collect();
             class.shuffle(&mut rng);
             let n_test = (class.len() as f64 * test_frac).round() as usize;
             for (i, r) in class.into_iter().enumerate() {
@@ -241,7 +248,12 @@ impl Dataset {
                 .ok_or(CsvError::Malformed(lineno))?;
             let view = views.entry((addr, txid)).or_insert_with(|| {
                 order.entry(addr).or_default().push(txid);
-                TxView { txid, timestamp, inputs: Vec::new(), outputs: Vec::new() }
+                TxView {
+                    txid,
+                    timestamp,
+                    inputs: Vec::new(),
+                    outputs: Vec::new(),
+                }
             });
             let entry = (Address(counterparty), Amount::from_sats(sats));
             match side {
@@ -259,7 +271,11 @@ impl Dataset {
                     .into_iter()
                     .filter_map(|txid| views.remove(&(addr, txid)))
                     .collect();
-                AddressRecord { address: Address(addr), label, txs }
+                AddressRecord {
+                    address: Address(addr),
+                    label,
+                    txs,
+                }
             })
             .collect();
         Ok(Dataset { records })
@@ -267,7 +283,9 @@ impl Dataset {
 }
 
 fn parse_address_field(field: Option<&str>, lineno: usize) -> Result<u64, CsvError> {
-    field.and_then(|s| s.parse().ok()).ok_or(CsvError::Malformed(lineno))
+    field
+        .and_then(|s| s.parse().ok())
+        .ok_or(CsvError::Malformed(lineno))
 }
 
 /// Errors from [`Dataset::read_csv`].
@@ -331,7 +349,11 @@ mod tests {
             for tx in &r.txs {
                 let involved = tx.inputs.iter().any(|&(a, _)| a == r.address)
                     || tx.outputs.iter().any(|&(a, _)| a == r.address);
-                assert!(involved, "tx {:?} does not involve {:?}", tx.txid, r.address);
+                assert!(
+                    involved,
+                    "tx {:?} does not involve {:?}",
+                    tx.txid, r.address
+                );
             }
         }
     }
@@ -370,7 +392,10 @@ mod tests {
         assert_eq!(train.len() + test.len(), ds.len());
         let train_addrs: std::collections::HashSet<_> =
             train.records.iter().map(|r| r.address).collect();
-        assert!(test.records.iter().all(|r| !train_addrs.contains(&r.address)));
+        assert!(test
+            .records
+            .iter()
+            .all(|r| !train_addrs.contains(&r.address)));
         // Roughly 20% test.
         let frac = test.len() as f64 / ds.len() as f64;
         assert!((frac - 0.2).abs() < 0.1, "test fraction {frac}");
@@ -381,13 +406,11 @@ mod tests {
         let ds = small_dataset();
         let stem = std::env::temp_dir().join(format!("btcsim_csv_{}", std::process::id()));
         ds.write_csv(&stem).unwrap();
-        let addr_csv =
-            std::fs::read_to_string(stem.with_extension("addresses.csv")).unwrap();
+        let addr_csv = std::fs::read_to_string(stem.with_extension("addresses.csv")).unwrap();
         // header + one line per record
         assert_eq!(addr_csv.lines().count(), ds.len() + 1);
         assert!(addr_csv.starts_with("address,label,"));
-        let tx_csv =
-            std::fs::read_to_string(stem.with_extension("transactions.csv")).unwrap();
+        let tx_csv = std::fs::read_to_string(stem.with_extension("transactions.csv")).unwrap();
         let expected_rows: usize = ds
             .records
             .iter()
@@ -402,8 +425,7 @@ mod tests {
     #[test]
     fn csv_roundtrip_is_lossless() {
         let ds = small_dataset();
-        let stem =
-            std::env::temp_dir().join(format!("btcsim_rt_{}", std::process::id()));
+        let stem = std::env::temp_dir().join(format!("btcsim_rt_{}", std::process::id()));
         ds.write_csv(&stem).unwrap();
         let loaded = Dataset::read_csv(&stem).unwrap();
         assert_eq!(loaded.len(), ds.len());
@@ -428,14 +450,24 @@ mod tests {
 
     #[test]
     fn read_csv_rejects_garbage() {
-        let stem =
-            std::env::temp_dir().join(format!("btcsim_bad_{}", std::process::id()));
-        std::fs::write(stem.with_extension("addresses.csv"), "header
+        let stem = std::env::temp_dir().join(format!("btcsim_bad_{}", std::process::id()));
+        std::fs::write(
+            stem.with_extension("addresses.csv"),
+            "header
 not,a,row
-").unwrap();
-        std::fs::write(stem.with_extension("transactions.csv"), "header
-").unwrap();
-        assert!(matches!(Dataset::read_csv(&stem), Err(CsvError::Malformed(_))));
+",
+        )
+        .unwrap();
+        std::fs::write(
+            stem.with_extension("transactions.csv"),
+            "header
+",
+        )
+        .unwrap();
+        assert!(matches!(
+            Dataset::read_csv(&stem),
+            Err(CsvError::Malformed(_))
+        ));
         std::fs::remove_file(stem.with_extension("addresses.csv")).ok();
         std::fs::remove_file(stem.with_extension("transactions.csv")).ok();
     }

@@ -83,9 +83,11 @@ impl Mempool {
         self.txs = rest;
         // Keep the block in fee-rate order too (miners order by rate).
         block.sort_by(|a, b| {
-            b.is_coinbase()
-                .cmp(&a.is_coinbase())
-                .then(Self::fee_rate(b).partial_cmp(&Self::fee_rate(a)).expect("finite"))
+            b.is_coinbase().cmp(&a.is_coinbase()).then(
+                Self::fee_rate(b)
+                    .partial_cmp(&Self::fee_rate(a))
+                    .expect("finite"),
+            )
         });
         block
     }
@@ -100,11 +102,17 @@ mod tests {
     fn tx_with_fee(fee_sats: u64, nonce: u64) -> Transaction {
         Transaction::new(
             vec![TxIn {
-                prevout: OutPoint { txid: Txid(nonce), vout: 0 },
+                prevout: OutPoint {
+                    txid: Txid(nonce),
+                    vout: 0,
+                },
                 address: Address(1),
                 value: Amount::from_sats(10_000),
             }],
-            vec![TxOut { address: Address(2), value: Amount::from_sats(10_000 - fee_sats) }],
+            vec![TxOut {
+                address: Address(2),
+                value: Amount::from_sats(10_000 - fee_sats),
+            }],
             0,
             nonce,
         )
@@ -143,7 +151,10 @@ mod tests {
         pool.submit(tx_with_fee(900, 1));
         let coinbase = Transaction::new(
             vec![],
-            vec![TxOut { address: Address(9), value: Amount::from_sats(625_000_000) }],
+            vec![TxOut {
+                address: Address(9),
+                value: Amount::from_sats(625_000_000),
+            }],
             0,
             2,
         );
@@ -176,7 +187,10 @@ mod tests {
             for i in 0..6 {
                 pool.submit(tx_with_fee(100, i)); // equal fee rates
             }
-            pool.take_block(3).iter().map(|t| t.txid).collect::<Vec<_>>()
+            pool.take_block(3)
+                .iter()
+                .map(|t| t.txid)
+                .collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
     }

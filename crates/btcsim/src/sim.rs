@@ -1,14 +1,14 @@
 //! The block-stepped simulator: wires actors, mines blocks, tracks activity.
 
-use crate::actors::{
-    Actor, ExchangeActor, GamblingActor, MiningPoolActor, RetailActor, ServiceActor, Shared,
-    StepCtx,
-};
 use crate::actors::exchange::ExchangeConfig;
 use crate::actors::gambling::GamblingConfig;
 use crate::actors::mining::MiningConfig;
 use crate::actors::retail::RetailConfig;
 use crate::actors::service::ServiceConfig;
+use crate::actors::{
+    Actor, ExchangeActor, GamblingActor, MiningPoolActor, RetailActor, ServiceActor, Shared,
+    StepCtx,
+};
 use crate::address::{Address, Label};
 use crate::amount::Amount;
 use crate::block::{Block, Chain, BLOCK_INTERVAL_SECS};
@@ -80,7 +80,10 @@ impl SimConfig {
             num_pools: 1,
             num_gambling: 1,
             num_mixers: 1,
-            retail: RetailConfig { num_users: 40, ..Default::default() },
+            retail: RetailConfig {
+                num_users: 40,
+                ..Default::default()
+            },
             ..Default::default()
         }
     }
@@ -123,19 +126,46 @@ impl Simulator {
         let rng = StdRng::seed_from_u64(cfg.seed);
         let mut shared = Shared::default();
         let exchanges: Vec<ExchangeActor> = (0..cfg.num_exchanges)
-            .map(|id| ExchangeActor::new(ExchangeConfig { id, ..Default::default() }, &mut shared))
+            .map(|id| {
+                ExchangeActor::new(
+                    ExchangeConfig {
+                        id,
+                        ..Default::default()
+                    },
+                    &mut shared,
+                )
+            })
             .collect();
         let pools: Vec<MiningPoolActor> = (0..cfg.num_pools)
             .map(|_| {
-                let mc = MiningConfig { num_miners: cfg.miners_per_pool, ..Default::default() };
+                let mc = MiningConfig {
+                    num_miners: cfg.miners_per_pool,
+                    ..Default::default()
+                };
                 MiningPoolActor::new(mc, &mut shared)
             })
             .collect();
         let gambling: Vec<GamblingActor> = (0..cfg.num_gambling)
-            .map(|id| GamblingActor::new(GamblingConfig { id, ..Default::default() }, &mut shared))
+            .map(|id| {
+                GamblingActor::new(
+                    GamblingConfig {
+                        id,
+                        ..Default::default()
+                    },
+                    &mut shared,
+                )
+            })
             .collect();
         let mixers: Vec<ServiceActor> = (0..cfg.num_mixers)
-            .map(|id| ServiceActor::new(ServiceConfig { id, ..Default::default() }, &mut shared))
+            .map(|id| {
+                ServiceActor::new(
+                    ServiceConfig {
+                        id,
+                        ..Default::default()
+                    },
+                    &mut shared,
+                )
+            })
             .collect();
         let retail = RetailActor::new(cfg.retail.clone(), &mut shared);
 
@@ -164,12 +194,17 @@ impl Simulator {
         // economy starts liquid.
         let mut outputs = Vec::new();
         for addr in self.retail.funding_addresses() {
-            outputs.push(TxOut { address: addr, value: Amount::from_btc(self.cfg.user_initial_btc) });
+            outputs.push(TxOut {
+                address: addr,
+                value: Amount::from_btc(self.cfg.user_initial_btc),
+            });
         }
         for g in &self.gambling {
             for addr in g.gambler_addresses() {
-                outputs
-                    .push(TxOut { address: addr, value: Amount::from_btc(self.cfg.gambler_initial_btc) });
+                outputs.push(TxOut {
+                    address: addr,
+                    value: Amount::from_btc(self.cfg.gambler_initial_btc),
+                });
             }
             outputs.push(TxOut {
                 address: g.house_address(),
@@ -178,7 +213,11 @@ impl Simulator {
         }
         let premine = Transaction::new(vec![], outputs, 0, self.next_nonce());
         self.confirm_all(&premine);
-        let block = Block { height: 0, timestamp: 0, txs: vec![premine] };
+        let block = Block {
+            height: 0,
+            timestamp: 0,
+            txs: vec![premine],
+        };
         self.record_activity(&block);
         self.chain.append(block).expect("genesis must validate");
     }
@@ -278,9 +317,15 @@ impl Simulator {
         for tx in &txs {
             self.confirm_all(tx);
         }
-        let block = Block { height, timestamp, txs };
+        let block = Block {
+            height,
+            timestamp,
+            txs,
+        };
         self.record_activity(&block);
-        self.chain.append(block).expect("simulated block must validate");
+        self.chain
+            .append(block)
+            .expect("simulated block must validate");
         if let Some(last) = self.activity.last_mut() {
             last.cumulative_addresses = self.chain.num_addresses();
         }
@@ -288,11 +333,10 @@ impl Simulator {
 
     /// Block subsidy at a given height, applying the halving schedule.
     pub fn block_reward_at(&self, height: u64) -> Amount {
-        let halvings = if self.cfg.halving_interval == 0 {
-            0
-        } else {
-            (height / self.cfg.halving_interval).min(63)
-        };
+        let halvings = height
+            .checked_div(self.cfg.halving_interval)
+            .unwrap_or(0)
+            .min(63);
         Amount::from_sats(Amount::from_btc(self.cfg.block_reward_btc).sats() >> halvings)
     }
 
@@ -356,7 +400,10 @@ mod tests {
     fn small_sim_runs_and_validates() {
         let sim = Simulator::run_to_completion(SimConfig::tiny(7));
         assert_eq!(sim.chain().height(), 61); // genesis + 60
-        assert!(sim.chain().num_transactions() > 100, "economy should be active");
+        assert!(
+            sim.chain().num_transactions() > 100,
+            "economy should be active"
+        );
     }
 
     #[test]
@@ -365,8 +412,20 @@ mod tests {
         let b = Simulator::run_to_completion(SimConfig::tiny(9));
         assert_eq!(a.chain().num_transactions(), b.chain().num_transactions());
         assert_eq!(a.chain().num_addresses(), b.chain().num_addresses());
-        let ta: Vec<_> = a.chain().blocks().iter().flat_map(|b| &b.txs).map(|t| t.txid).collect();
-        let tb: Vec<_> = b.chain().blocks().iter().flat_map(|b| &b.txs).map(|t| t.txid).collect();
+        let ta: Vec<_> = a
+            .chain()
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.txs)
+            .map(|t| t.txid)
+            .collect();
+        let tb: Vec<_> = b
+            .chain()
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.txs)
+            .map(|t| t.txid)
+            .collect();
         assert_eq!(ta, tb);
     }
 
@@ -374,8 +433,20 @@ mod tests {
     fn different_seeds_differ() {
         let a = Simulator::run_to_completion(SimConfig::tiny(1));
         let b = Simulator::run_to_completion(SimConfig::tiny(2));
-        let ta: Vec<_> = a.chain().blocks().iter().flat_map(|b| &b.txs).map(|t| t.txid).collect();
-        let tb: Vec<_> = b.chain().blocks().iter().flat_map(|b| &b.txs).map(|t| t.txid).collect();
+        let ta: Vec<_> = a
+            .chain()
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.txs)
+            .map(|t| t.txid)
+            .collect();
+        let tb: Vec<_> = b
+            .chain()
+            .blocks()
+            .iter()
+            .flat_map(|b| &b.txs)
+            .map(|t| t.txid)
+            .collect();
         assert_ne!(ta, tb);
     }
 
@@ -397,7 +468,12 @@ mod tests {
         assert_eq!(sim.activity().len(), 61);
         assert!(sim.activity().iter().all(|p| p.transactions >= 1));
         // Cumulative address count never decreases.
-        let cums: Vec<_> = sim.activity().iter().skip(1).map(|p| p.cumulative_addresses).collect();
+        let cums: Vec<_> = sim
+            .activity()
+            .iter()
+            .skip(1)
+            .map(|p| p.cumulative_addresses)
+            .collect();
         assert!(cums.windows(2).all(|w| w[0] <= w[1]));
     }
 
@@ -408,14 +484,17 @@ mod tests {
         let sim = Simulator::run_to_completion(SimConfig::tiny(7));
         let cfg = sim.config();
         let premine_users = cfg.retail.num_users as f64 * cfg.user_initial_btc;
-        let premine_gamblers = cfg.num_gambling as f64
-            * (40.0 * cfg.gambler_initial_btc + cfg.house_float_btc);
+        let premine_gamblers =
+            cfg.num_gambling as f64 * (40.0 * cfg.gambler_initial_btc + cfg.house_float_btc);
         let rewards = cfg.blocks as f64 * cfg.block_reward_btc;
         let ceiling = Amount::from_btc(premine_users + premine_gamblers + rewards);
         let total = sim.chain().utxo().total_value();
         assert!(total <= ceiling, "{total} > {ceiling}");
         // Fees are tiny: at least 99% of issued value should remain.
-        assert!(total >= ceiling.mul_f64(0.99), "{total} too far below {ceiling}");
+        assert!(
+            total >= ceiling.mul_f64(0.99),
+            "{total} too far below {ceiling}"
+        );
     }
 
     #[test]
@@ -426,7 +505,10 @@ mod tests {
         let unbounded = Simulator::run_to_completion(SimConfig::tiny(7));
         // Congestion: fewer confirmed transactions, pending backlog exists.
         assert!(bounded.chain().num_transactions() < unbounded.chain().num_transactions());
-        assert!(bounded.mempool_depth() > 0, "expected a backlog under congestion");
+        assert!(
+            bounded.mempool_depth() > 0,
+            "expected a backlog under congestion"
+        );
         // Every confirmed block respected the bound.
         assert!(bounded.chain().blocks().iter().all(|b| b.txs.len() <= 5));
     }

@@ -62,7 +62,12 @@ impl Transaction {
     pub fn new(inputs: Vec<TxIn>, outputs: Vec<TxOut>, timestamp: u64, nonce: u64) -> Self {
         assert!(!outputs.is_empty(), "transaction must have outputs");
         let txid = Txid(txid_hash(&inputs, &outputs, timestamp, nonce));
-        Self { txid, inputs, outputs, timestamp }
+        Self {
+            txid,
+            inputs,
+            outputs,
+            timestamp,
+        }
     }
 
     /// True for block-reward transactions.
@@ -99,7 +104,9 @@ impl Transaction {
 
     /// Whether `addr` participates in this transaction on either side.
     pub fn involves(&self, addr: Address) -> bool {
-        self.input_addresses().chain(self.output_addresses()).any(|a| a == addr)
+        self.input_addresses()
+            .chain(self.output_addresses())
+            .any(|a| a == addr)
     }
 }
 
@@ -145,12 +152,18 @@ mod tests {
     use super::*;
 
     fn out(addr: u64, sats: u64) -> TxOut {
-        TxOut { address: Address(addr), value: Amount::from_sats(sats) }
+        TxOut {
+            address: Address(addr),
+            value: Amount::from_sats(sats),
+        }
     }
 
     fn input(txid: u64, vout: u32, addr: u64, sats: u64) -> TxIn {
         TxIn {
-            prevout: OutPoint { txid: Txid(txid), vout },
+            prevout: OutPoint {
+                txid: Txid(txid),
+                vout,
+            },
             address: Address(addr),
             value: Amount::from_sats(sats),
         }

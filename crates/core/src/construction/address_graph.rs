@@ -174,8 +174,18 @@ mod tests {
             num_txs: 1,
             nodes,
             edges: vec![
-                Edge { addr_node: 0, tx_node: 1, value: 1.0, side: Side::Input },
-                Edge { addr_node: 2, tx_node: 1, value: 1.0, side: Side::Output },
+                Edge {
+                    addr_node: 0,
+                    tx_node: 1,
+                    value: 1.0,
+                    side: Side::Input,
+                },
+                Edge {
+                    addr_node: 2,
+                    tx_node: 1,
+                    value: 1.0,
+                    side: Side::Output,
+                },
             ],
         }
     }

@@ -27,7 +27,12 @@ mod tests {
             Node::new(NodeKind::Focus, Some(Address(0))),
             Node::new(NodeKind::Transaction, None),
         ];
-        let mut edges = vec![Edge { addr_node: 0, tx_node: 1, value: 1.0, side: Side::Input }];
+        let mut edges = vec![Edge {
+            addr_node: 0,
+            tx_node: 1,
+            value: 1.0,
+            side: Side::Input,
+        }];
         for i in 0..fanout {
             nodes.push(Node::new(NodeKind::Address, Some(Address(10 + i as u64))));
             edges.push(Edge {
@@ -71,8 +76,8 @@ mod tests {
         augment_with_centralities(&mut g);
         let first_leaf = g.nodes[2].centrality;
         for leaf in &g.nodes[3..] {
-            for k in 0..4 {
-                assert!((leaf.centrality[k] - first_leaf[k]).abs() < 1e-9);
+            for (got, want) in leaf.centrality.iter().zip(&first_leaf) {
+                assert!((got - want).abs() < 1e-9);
             }
         }
     }

@@ -28,7 +28,10 @@ fn rebuild_with_merges(
     let mut group_of: HashMap<usize, usize> = HashMap::new();
     for (gi, group) in groups.iter().enumerate() {
         for &n in group {
-            debug_assert!(g.nodes[n].is_address_like() && n != 0, "cannot merge focus/tx nodes");
+            debug_assert!(
+                g.nodes[n].is_address_like() && n != 0,
+                "cannot merge focus/tx nodes"
+            );
             let prev = group_of.insert(n, gi);
             debug_assert!(prev.is_none(), "node in two merge groups");
         }
@@ -60,7 +63,12 @@ fn rebuild_with_merges(
         match group_of.get(&e.addr_node) {
             None => {
                 let a = new_index[e.addr_node].expect("kept node");
-                edges.push(Edge { addr_node: a, tx_node: tx, value: e.value, side: e.side });
+                edges.push(Edge {
+                    addr_node: a,
+                    tx_node: tx,
+                    value: e.value,
+                    side: e.side,
+                });
             }
             Some(&gi) => {
                 let key = (hyper_index[gi], tx, e.side == Side::Input);
@@ -125,8 +133,7 @@ pub fn compress_single_tx(g: &AddressGraph) -> AddressGraph {
             groups.entry((tx, side == Side::Input)).or_default().push(i);
         }
     }
-    let merge_groups: Vec<Vec<usize>> =
-        groups.into_values().filter(|g| g.len() >= 2).collect();
+    let merge_groups: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() >= 2).collect();
     rebuild_with_merges(g, &merge_groups, NodeKind::SingleHyper)
 }
 
@@ -233,8 +240,7 @@ pub fn compress_multi_tx(g: &AddressGraph, params: MultiCompressParams) -> Addre
         // A seed whose neighbours were all taken stays merged-alone: it keeps
         // its identity (group of one is dropped below).
     }
-    let merge_groups: Vec<Vec<usize>> =
-        merge_groups.into_iter().filter(|g| g.len() >= 2).collect();
+    let merge_groups: Vec<Vec<usize>> = merge_groups.into_iter().filter(|g| g.len() >= 2).collect();
     rebuild_with_merges(g, &merge_groups, NodeKind::MultiHyper)
 }
 
@@ -248,13 +254,23 @@ mod tests {
         TxView {
             txid: Txid(ts * 131 + outputs.len() as u64),
             timestamp: ts,
-            inputs: inputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
-            outputs: outputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+            inputs: inputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
+            outputs: outputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
         }
     }
 
     fn graph_of(txs: Vec<TxView>) -> AddressGraph {
-        let record = AddressRecord { address: Address(0), label: Label::Mining, txs };
+        let record = AddressRecord {
+            address: Address(0),
+            label: Label::Mining,
+            txs,
+        };
         extract_original_graphs(&record, 100).remove(0)
     }
 
@@ -271,7 +287,11 @@ mod tests {
         // focus + tx + 1 output-side hyper
         assert_eq!(c.num_nodes(), 3);
         assert_eq!(c.count_kind(NodeKind::SingleHyper), 1);
-        let hyper = c.nodes.iter().find(|n| n.kind == NodeKind::SingleHyper).unwrap();
+        let hyper = c
+            .nodes
+            .iter()
+            .find(|n| n.kind == NodeKind::SingleHyper)
+            .unwrap();
         assert_eq!(hyper.merged_count, 5);
         assert_eq!(hyper.sfe.count(), 5.0);
         assert!((hyper.sfe.sum() - 5.0).abs() < 1e-6);
@@ -288,7 +308,11 @@ mod tests {
         let c = compress_single_tx(&g);
         assert_eq!(c.count_kind(NodeKind::SingleHyper), 2);
         // A transaction links to at most two single-hyper nodes (paper).
-        let tx = c.nodes.iter().position(|n| n.kind == NodeKind::Transaction).unwrap();
+        let tx = c
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Transaction)
+            .unwrap();
         let hyper_links = c
             .edges
             .iter()
@@ -313,7 +337,10 @@ mod tests {
             view(1, &[(0, 1.0)], &[(9, 0.5), (11, 0.5)]),
         ]);
         let c = compress_single_tx(&g);
-        assert!(c.nodes.iter().any(|n| n.address == Some(Address(9)) && n.kind == NodeKind::Address));
+        assert!(c
+            .nodes
+            .iter()
+            .any(|n| n.address == Some(Address(9)) && n.kind == NodeKind::Address));
         // 10 and 11 are lone single-tx addresses per (tx, side): groups of
         // one are not merged.
         assert_eq!(c.count_kind(NodeKind::SingleHyper), 0);
@@ -331,13 +358,24 @@ mod tests {
         let c = compress_multi_tx(&g, MultiCompressParams::default());
         assert_eq!(c.check_invariants(), Ok(()));
         assert_eq!(c.count_kind(NodeKind::MultiHyper), 1);
-        let hyper = c.nodes.iter().find(|n| n.kind == NodeKind::MultiHyper).unwrap();
+        let hyper = c
+            .nodes
+            .iter()
+            .find(|n| n.kind == NodeKind::MultiHyper)
+            .unwrap();
         assert_eq!(hyper.merged_count, 6);
         // 6 addresses x 3 txs = 18 original edges summarised.
         assert_eq!(hyper.sfe.count(), 18.0);
         // Hyper has one collapsed edge per transaction.
-        let hyper_idx = c.nodes.iter().position(|n| n.kind == NodeKind::MultiHyper).unwrap();
-        assert_eq!(c.edges.iter().filter(|e| e.addr_node == hyper_idx).count(), 3);
+        let hyper_idx = c
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::MultiHyper)
+            .unwrap();
+        assert_eq!(
+            c.edges.iter().filter(|e| e.addr_node == hyper_idx).count(),
+            3
+        );
     }
 
     #[test]
@@ -384,7 +422,12 @@ mod tests {
         let before = g.num_nodes();
         let c2 = compress_single_tx(&g);
         let c3 = compress_multi_tx(&c2, MultiCompressParams::default());
-        assert!(c3.num_nodes() * 10 <= before, "{} -> {}", before, c3.num_nodes());
+        assert!(
+            c3.num_nodes() * 10 <= before,
+            "{} -> {}",
+            before,
+            c3.num_nodes()
+        );
         // focus + 3 txs + 1 multi-hyper (cohort) + up to 3 singles kept
         assert_eq!(c3.count_kind(NodeKind::MultiHyper), 1);
     }
@@ -392,8 +435,7 @@ mod tests {
     #[test]
     fn compression_is_deterministic() {
         let cohort: Vec<(u64, f64)> = (100..140).map(|a| (a, 0.1)).collect();
-        let txs: Vec<TxView> =
-            (0..4).map(|t| view(t, &[(0, 5.0)], &cohort)).collect();
+        let txs: Vec<TxView> = (0..4).map(|t| view(t, &[(0, 5.0)], &cohort)).collect();
         let g = graph_of(txs);
         let a = compress_multi_tx(&compress_single_tx(&g), MultiCompressParams::default());
         let b = compress_multi_tx(&compress_single_tx(&g), MultiCompressParams::default());

@@ -37,7 +37,12 @@ fn build_slice_graph(focus: Address, slice_index: usize, txs: &[TxView]) -> Addr
                     nodes.push(Node::new(NodeKind::Address, Some(addr)));
                     nodes.len() - 1
                 });
-                edges.push(Edge { addr_node: a, tx_node, value: amount.btc(), side });
+                edges.push(Edge {
+                    addr_node: a,
+                    tx_node,
+                    value: amount.btc(),
+                    side,
+                });
             }
         }
     }
@@ -74,19 +79,30 @@ mod tests {
         TxView {
             txid: Txid(ts * 31 + inputs.len() as u64),
             timestamp: ts,
-            inputs: inputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
-            outputs: outputs.iter().map(|&(a, v)| (Address(a), Amount::from_btc(v))).collect(),
+            inputs: inputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
+            outputs: outputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
         }
     }
 
     fn record(address: u64, txs: Vec<TxView>) -> AddressRecord {
-        AddressRecord { address: Address(address), label: Label::Exchange, txs }
+        AddressRecord {
+            address: Address(address),
+            label: Label::Exchange,
+            txs,
+        }
     }
 
     #[test]
     fn slicing_respects_slice_size() {
-        let txs: Vec<TxView> =
-            (0..250).map(|i| view(i, &[(0, 1.0)], &[(1000 + i, 0.9)])).collect();
+        let txs: Vec<TxView> = (0..250)
+            .map(|i| view(i, &[(0, 1.0)], &[(1000 + i, 0.9)]))
+            .collect();
         let graphs = extract_original_graphs(&record(0, txs), 100);
         assert_eq!(graphs.len(), 3);
         assert_eq!(graphs[0].num_txs, 100);
@@ -97,7 +113,9 @@ mod tests {
 
     #[test]
     fn focus_is_node_zero_in_every_slice() {
-        let txs: Vec<TxView> = (0..5).map(|i| view(i, &[(7, 1.0)], &[(100 + i, 0.9)])).collect();
+        let txs: Vec<TxView> = (0..5)
+            .map(|i| view(i, &[(7, 1.0)], &[(100 + i, 0.9)]))
+            .collect();
         for g in extract_original_graphs(&record(7, txs), 2) {
             assert_eq!(g.nodes[0].kind, NodeKind::Focus);
             assert_eq!(g.nodes[0].address, Some(Address(7)));
@@ -114,7 +132,11 @@ mod tests {
         let g = &extract_original_graphs(&record(0, txs), 100)[0];
         // nodes: focus, tx0, 9, 50, tx1, 51
         assert_eq!(g.count_kind(NodeKind::Transaction), 2);
-        let nine = g.nodes.iter().position(|n| n.address == Some(Address(9))).unwrap();
+        let nine = g
+            .nodes
+            .iter()
+            .position(|n| n.address == Some(Address(9)))
+            .unwrap();
         let nine_edges = g.edges.iter().filter(|e| e.addr_node == nine).count();
         assert_eq!(nine_edges, 2);
         assert_eq!(g.nodes[nine].values, vec![2.0, 3.0]);
@@ -136,14 +158,20 @@ mod tests {
         let txs = vec![view(0, &[(0, 2.0)], &[(5, 1.0), (6, 0.9)])];
         let g = &extract_original_graphs(&record(0, txs), 100)[0];
         // Transaction node saw values [2.0, 1.0, 0.9].
-        let tx_node = g.nodes.iter().position(|n| n.kind == NodeKind::Transaction).unwrap();
+        let tx_node = g
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Transaction)
+            .unwrap();
         assert_eq!(g.nodes[tx_node].sfe.count(), 3.0);
         assert!((g.nodes[tx_node].sfe.max() - 2.0).abs() < 1e-9);
     }
 
     #[test]
     fn start_timestamp_is_first_tx() {
-        let txs: Vec<TxView> = (10..15).map(|i| view(i, &[(0, 1.0)], &[(99, 0.5)])).collect();
+        let txs: Vec<TxView> = (10..15)
+            .map(|i| view(i, &[(0, 1.0)], &[(99, 0.5)]))
+            .collect();
         let graphs = extract_original_graphs(&record(0, txs), 2);
         assert_eq!(graphs[0].start_timestamp, 10);
         assert_eq!(graphs[1].start_timestamp, 12);

@@ -67,8 +67,14 @@ pub fn construct_address_graphs(
         t.single_compress = start.elapsed();
 
         let start = Instant::now();
-        let params = MultiCompressParams { psi: cfg.psi, sigma: cfg.sigma };
-        graphs = graphs.iter().map(|g| compress_multi_tx(g, params)).collect();
+        let params = MultiCompressParams {
+            psi: cfg.psi,
+            sigma: cfg.sigma,
+        };
+        graphs = graphs
+            .iter()
+            .map(|g| compress_multi_tx(g, params))
+            .collect();
         t.multi_compress = start.elapsed();
     }
 
@@ -120,7 +126,10 @@ pub fn construct_dataset_graphs(
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("construction worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("construction worker panicked"))
+            .collect()
     });
     let mut all = Vec::with_capacity(records.len());
     let mut total = StageTimings::default();
@@ -161,7 +170,10 @@ mod tests {
     fn compression_never_grows_the_graph() {
         let ds = dataset();
         let cfg_on = ConstructionConfig::default();
-        let cfg_off = ConstructionConfig { compress: false, ..Default::default() };
+        let cfg_off = ConstructionConfig {
+            compress: false,
+            ..Default::default()
+        };
         for r in ds.records.iter().take(30) {
             let (on, _) = construct_address_graphs(r, &cfg_on);
             let (off, _) = construct_address_graphs(r, &cfg_off);
@@ -175,11 +187,13 @@ mod tests {
     fn augment_flag_controls_centralities() {
         let ds = dataset();
         let r = &ds.records[0];
-        let (with, _) =
-            construct_address_graphs(r, &ConstructionConfig::default());
+        let (with, _) = construct_address_graphs(r, &ConstructionConfig::default());
         let (without, _) = construct_address_graphs(
             r,
-            &ConstructionConfig { augment: false, ..Default::default() },
+            &ConstructionConfig {
+                augment: false,
+                ..Default::default()
+            },
         );
         assert!(without[0].nodes.iter().all(|n| n.centrality == [0.0; 4]));
         // With augmentation at least some node has a nonzero centrality.

@@ -110,10 +110,22 @@ pub fn sfe(values: &[f64]) -> SfeFeatures {
     let variance = sorted.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64;
     let std_dev = variance.sqrt();
     let mad = sorted.iter().map(|v| (v - mean).abs()).sum::<f64>() / n as f64;
-    let coef_var = if mean.abs() > 1e-12 { std_dev / mean } else { 0.0 };
+    let coef_var = if mean.abs() > 1e-12 {
+        std_dev / mean
+    } else {
+        0.0
+    };
     let (kurtosis, skewness, tilt) = if std_dev > 1e-12 {
-        let m4 = sorted.iter().map(|v| ((v - mean) / std_dev).powi(4)).sum::<f64>() / n as f64;
-        let m3 = sorted.iter().map(|v| ((v - mean) / std_dev).powi(3)).sum::<f64>() / n as f64;
+        let m4 = sorted
+            .iter()
+            .map(|v| ((v - mean) / std_dev).powi(4))
+            .sum::<f64>()
+            / n as f64;
+        let m3 = sorted
+            .iter()
+            .map(|v| ((v - mean) / std_dev).powi(3))
+            .sum::<f64>()
+            / n as f64;
         (m4 - 3.0, m3, 3.0 * (mean - median) / std_dev)
     } else {
         (0.0, 0.0, 0.0)

@@ -79,7 +79,12 @@ pub fn graph_tensors(g: &AddressGraph) -> GraphTensors {
             adj_dense[(r, c)] = v;
         }
     }
-    GraphTensors { x, adj, adj_dense, degrees }
+    GraphTensors {
+        x,
+        adj,
+        adj_dense,
+        degrees,
+    }
 }
 
 #[cfg(test)]
@@ -98,7 +103,11 @@ mod tests {
                 (Address(10), Amount::from_btc(0.4)),
             ],
         }];
-        let record = AddressRecord { address: Address(0), label: Label::Service, txs };
+        let record = AddressRecord {
+            address: Address(0),
+            label: Label::Service,
+            txs,
+        };
         let mut g = extract_original_graphs(&record, 100).remove(0);
         crate::construction::augment::augment_with_centralities(&mut g);
         g
@@ -110,7 +119,11 @@ mod tests {
         let f_focus = node_features(&g, 0);
         assert_eq!(f_focus[0], 1.0);
         assert_eq!(f_focus[1..5], [0.0; 4]);
-        let tx = g.nodes.iter().position(|n| n.kind == NodeKind::Transaction).unwrap();
+        let tx = g
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Transaction)
+            .unwrap();
         let f_tx = node_features(&g, tx);
         assert_eq!(f_tx[1], 1.0);
         assert_eq!(f_tx[0], 0.0);
@@ -157,7 +170,11 @@ mod tests {
         let g = sample_graph();
         let t = graph_tensors(&g);
         // tx node connects focus + 2 receivers = degree 3.
-        let tx = g.nodes.iter().position(|n| n.kind == NodeKind::Transaction).unwrap();
+        let tx = g
+            .nodes
+            .iter()
+            .position(|n| n.kind == NodeKind::Transaction)
+            .unwrap();
         assert_eq!(t.degrees[tx], 3.0);
     }
 }

@@ -29,6 +29,7 @@
 //! println!("{}", clf.evaluate(&test).to_table(&["Exchange", "Mining", "Gambling", "Service"]));
 //! ```
 
+pub mod artifact;
 pub mod classify;
 pub mod config;
 pub mod construction;
@@ -39,6 +40,7 @@ pub mod pipeline;
 pub mod refine;
 pub mod train;
 
+pub use artifact::{ArtifactError, ModelArtifact};
 pub use config::{BacConfig, ConstructionConfig, ModelConfig};
-pub use metrics::{ClassificationReport, ClassMetrics, ConfusionMatrix};
-pub use pipeline::{BaClassifier, FitReport};
+pub use metrics::{ClassMetrics, ClassificationReport, ConfusionMatrix};
+pub use pipeline::{BaClassifier, FitReport, PredictError};

@@ -97,7 +97,11 @@ impl ConfusionMatrix {
             .collect();
         let total = self.total().max(1) as f64;
         let weighted = |f: &dyn Fn(&ClassMetrics) -> f64| -> f64 {
-            per_class.iter().map(|m| f(m) * m.support as f64).sum::<f64>() / total
+            per_class
+                .iter()
+                .map(|m| f(m) * m.support as f64)
+                .sum::<f64>()
+                / total
         };
         ClassificationReport {
             weighted_precision: weighted(&|m| m.precision),

@@ -50,7 +50,10 @@ impl GraphModel for DiffPool {
     }
 
     fn prepare(&self, g: &GraphTensors) -> PreparedGraph {
-        PreparedGraph::WithAdjacency { x: g.x.clone(), adj: g.adj_dense.clone() }
+        PreparedGraph::WithAdjacency {
+            x: g.x.clone(),
+            adj: g.adj_dense.clone(),
+        }
     }
 
     fn embed<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t> {
@@ -63,12 +66,15 @@ impl GraphModel for DiffPool {
         // Embedding and assignment branches.
         let z = self.embed_conv.forward(tape, ax).relu(); // n x h
         let s = self.assign_conv.forward(tape, ax).softmax_rows(); // n x c
-        // Coarsen: X' = SᵀZ, A' = SᵀÃS.
+                                                                   // Coarsen: X' = SᵀZ, A' = SᵀÃS.
         let st = s.transpose();
         let x_pooled = st.matmul(z); // c x h
         let a_pooled = st.matmul(av).matmul(s); // c x c
-        // Post-pooling convolution + SUM readout.
-        let h = self.post_conv.forward(tape, a_pooled.matmul(x_pooled)).relu(); // c x e
+                                                // Post-pooling convolution + SUM readout.
+        let h = self
+            .post_conv
+            .forward(tape, a_pooled.matmul(x_pooled))
+            .relu(); // c x e
         h.sum_rows()
     }
 
@@ -107,7 +113,11 @@ mod tests {
                 outputs: vec![(Address(10 + i), Amount::from_btc(0.9))],
             })
             .collect();
-        let record = AddressRecord { address: Address(0), label: Label::Service, txs };
+        let record = AddressRecord {
+            address: Address(0),
+            label: Label::Service,
+            txs,
+        };
         let mut g = extract_original_graphs(&record, 100).remove(0);
         augment_with_centralities(&mut g);
         graph_tensors(&g)

@@ -37,7 +37,10 @@ impl GraphModel for Gcn {
     }
 
     fn prepare(&self, g: &GraphTensors) -> PreparedGraph {
-        PreparedGraph::WithAdjacency { x: g.x.clone(), adj: g.adj_dense.clone() }
+        PreparedGraph::WithAdjacency {
+            x: g.x.clone(),
+            adj: g.adj_dense.clone(),
+        }
     }
 
     fn embed<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t> {
@@ -86,7 +89,11 @@ mod tests {
                 (Address(8), Amount::from_btc(0.9)),
             ],
         }];
-        let record = AddressRecord { address: Address(0), label: Label::Exchange, txs };
+        let record = AddressRecord {
+            address: Address(0),
+            label: Label::Exchange,
+            txs,
+        };
         let mut g = extract_original_graphs(&record, 100).remove(0);
         augment_with_centralities(&mut g);
         graph_tensors(&g)

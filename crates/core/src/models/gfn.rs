@@ -102,7 +102,11 @@ impl GraphModel for Gfn {
             PreparedGraph::Features(x) => x,
             PreparedGraph::WithAdjacency { x, .. } => x,
         };
-        assert_eq!(x.cols(), self.in_dim, "prepared input width mismatch (wrong model?)");
+        assert_eq!(
+            x.cols(),
+            self.in_dim,
+            "prepared input width mismatch (wrong model?)"
+        );
         let xv = tape.constant(x.clone());
         let h = self.node_mlp.forward(tape, xv);
         // Readout (Eq. 15); SUM is the paper's choice.
@@ -152,7 +156,11 @@ mod tests {
                 outputs: vec![(Address(0), Amount::from_btc(0.8))],
             },
         ];
-        let record = AddressRecord { address: Address(0), label: Label::Gambling, txs };
+        let record = AddressRecord {
+            address: Address(0),
+            label: Label::Gambling,
+            txs,
+        };
         let mut g = extract_original_graphs(&record, 100).remove(0);
         augment_with_centralities(&mut g);
         graph_tensors(&g)

@@ -24,6 +24,30 @@ pub struct FitReport {
     pub num_graphs: usize,
 }
 
+/// Why a prediction could not be made. Unlike a panic, these surface as
+/// clean errors a serving layer can report per-request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictError {
+    /// Neither `fit()` nor artifact loading has run on this classifier.
+    NotFitted,
+    /// The record has no transactions, so no slice graph (and therefore no
+    /// embedding sequence) exists.
+    EmptyHistory,
+}
+
+impl std::fmt::Display for PredictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PredictError::NotFitted => write!(f, "classifier has not been fitted"),
+            PredictError::EmptyHistory => {
+                write!(f, "address record has no transactions to classify")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PredictError {}
+
 /// The assembled classifier.
 pub struct BaClassifier {
     cfg: BacConfig,
@@ -41,8 +65,17 @@ impl BaClassifier {
             cfg.model.embed_dim,
             cfg.model.seed,
         );
-        let head = LstmMlp::new(cfg.model.embed_dim, cfg.model.lstm_hidden, cfg.model.seed ^ 0x5a);
-        Self { cfg, gfn, head, fitted: false }
+        let head = LstmMlp::new(
+            cfg.model.embed_dim,
+            cfg.model.lstm_hidden,
+            cfg.model.seed ^ 0x5a,
+        );
+        Self {
+            cfg,
+            gfn,
+            head,
+            fitted: false,
+        }
     }
 
     pub fn config(&self) -> &BacConfig {
@@ -53,9 +86,18 @@ impl BaClassifier {
         self.fitted
     }
 
+    /// Mark as fitted after weights were installed out-of-band (artifact or
+    /// weights-file loading).
+    pub(crate) fn mark_fitted(&mut self) {
+        self.fitted = true;
+    }
+
     /// Number of worker threads for graph construction.
     fn threads() -> usize {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(8)
     }
 
     /// Train both stages on a labeled dataset.
@@ -107,7 +149,12 @@ impl BaClassifier {
         );
 
         self.fitted = true;
-        FitReport { construction, gnn_log, head_log, num_graphs }
+        FitReport {
+            construction,
+            gnn_log,
+            head_log,
+            num_graphs,
+        }
     }
 
     fn embedding_sequence_from_graphs(
@@ -135,19 +182,32 @@ impl BaClassifier {
 
     /// Predict the behavior label of one address.
     ///
-    /// # Panics
-    /// Panics if the model has not been fitted or the record has no
-    /// transactions.
-    pub fn predict(&self, record: &AddressRecord) -> Label {
-        assert!(self.fitted, "predict() before fit()");
+    /// This is `classify_embeddings(embed_record(record))`; serving layers
+    /// that cache embeddings call the two stages separately and stay
+    /// byte-identical to this path.
+    pub fn predict(&self, record: &AddressRecord) -> Result<Label, PredictError> {
+        if !self.fitted {
+            return Err(PredictError::NotFitted);
+        }
         let seq = self.embed_record(record);
-        assert!(!seq.is_empty(), "record has no transactions to classify");
-        let idx = self.head.predict(&seq);
-        Label::from_index(idx).expect("head emits valid class indices")
+        self.classify_embeddings(&seq)
+    }
+
+    /// The cheap final stage: run only the LSTM+MLP head over an embedding
+    /// sequence previously produced by [`BaClassifier::embed_record`].
+    pub fn classify_embeddings(&self, seq: &[Matrix]) -> Result<Label, PredictError> {
+        if !self.fitted {
+            return Err(PredictError::NotFitted);
+        }
+        if seq.is_empty() {
+            return Err(PredictError::EmptyHistory);
+        }
+        let idx = self.head.predict(seq);
+        Ok(Label::from_index(idx).expect("head emits valid class indices"))
     }
 
     /// All trainable parameters (GFN then head), in stable order.
-    fn all_params(&self) -> Vec<numnet::Param> {
+    pub(crate) fn all_params(&self) -> Vec<numnet::Param> {
         let mut p = self.gfn.params();
         p.extend(self.head.params());
         p
@@ -173,8 +233,15 @@ impl BaClassifier {
     pub fn evaluate(&self, test: &Dataset) -> ClassificationReport {
         assert!(self.fitted, "evaluate() before fit()");
         let y_true: Vec<usize> = test.records.iter().map(|r| r.label.index()).collect();
-        let y_pred: Vec<usize> =
-            test.records.iter().map(|r| self.predict(r).index()).collect();
+        let y_pred: Vec<usize> = test
+            .records
+            .iter()
+            .map(|r| {
+                self.predict(r)
+                    .expect("evaluate() requires records with transactions")
+                    .index()
+            })
+            .collect();
         ConfusionMatrix::from_predictions(NUM_CLASSES, &y_true, &y_pred).report()
     }
 }
@@ -204,11 +271,34 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "before fit")]
-    fn predict_before_fit_panics() {
+    fn predict_before_fit_is_clean_error() {
         let (_, test) = small_split();
         let clf = BaClassifier::new(BacConfig::fast());
-        let _ = clf.predict(&test.records[0]);
+        assert_eq!(clf.predict(&test.records[0]), Err(PredictError::NotFitted));
+        assert_eq!(clf.classify_embeddings(&[]), Err(PredictError::NotFitted));
+    }
+
+    #[test]
+    fn empty_sequence_is_clean_error_once_fitted() {
+        let (train, _) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        clf.fit(&train);
+        assert_eq!(
+            clf.classify_embeddings(&[]),
+            Err(PredictError::EmptyHistory)
+        );
+    }
+
+    #[test]
+    fn staged_prediction_matches_predict() {
+        let (train, test) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        clf.fit(&train);
+        for r in test.records.iter().take(10) {
+            let direct = clf.predict(r).unwrap();
+            let staged = clf.classify_embeddings(&clf.embed_record(r)).unwrap();
+            assert_eq!(direct, staged);
+        }
     }
 
     #[test]
@@ -216,8 +306,7 @@ mod tests {
         let (train, test) = small_split();
         let mut clf = BaClassifier::new(BacConfig::fast());
         clf.fit(&train);
-        let path = std::env::temp_dir()
-            .join(format!("bac_weights_{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("bac_weights_{}", std::process::id()));
         clf.save_weights(&path).unwrap();
 
         let mut restored = BaClassifier::new(BacConfig::fast());
@@ -225,7 +314,7 @@ mod tests {
         restored.load_weights(&path).unwrap();
         assert!(restored.is_fitted());
         for r in test.records.iter().take(15) {
-            assert_eq!(clf.predict(r), restored.predict(r));
+            assert_eq!(clf.predict(r).unwrap(), restored.predict(r).unwrap());
         }
         std::fs::remove_file(path).ok();
     }
@@ -235,8 +324,7 @@ mod tests {
         let (train, _) = small_split();
         let mut clf = BaClassifier::new(BacConfig::fast());
         clf.fit(&train);
-        let path = std::env::temp_dir()
-            .join(format!("bac_weights_bad_{}", std::process::id()));
+        let path = std::env::temp_dir().join(format!("bac_weights_bad_{}", std::process::id()));
         clf.save_weights(&path).unwrap();
 
         let mut wrong_cfg = BacConfig::fast();

@@ -23,7 +23,10 @@ pub struct RefineParams {
 
 impl Default for RefineParams {
     fn default() -> Self {
-        Self { alpha: 0.7, iterations: 3 }
+        Self {
+            alpha: 0.7,
+            iterations: 3,
+        }
     }
 }
 
@@ -43,10 +46,12 @@ pub fn one_hot(preds: &[usize]) -> Vec<[f64; NUM_CLASSES]> {
 /// are neighbours when address j appears in any transaction of record i (or
 /// vice versa). Returns per-record neighbour index lists.
 pub fn co_transaction_neighbours(records: &[AddressRecord]) -> Vec<Vec<usize>> {
-    let index: HashMap<Address, usize> =
-        records.iter().enumerate().map(|(i, r)| (r.address, i)).collect();
-    let mut nbrs: Vec<std::collections::BTreeSet<usize>> =
-        vec![Default::default(); records.len()];
+    let index: HashMap<Address, usize> = records
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r.address, i))
+        .collect();
+    let mut nbrs: Vec<std::collections::BTreeSet<usize>> = vec![Default::default(); records.len()];
     for (i, r) in records.iter().enumerate() {
         for tx in &r.txs {
             for &(a, _) in tx.inputs.iter().chain(&tx.outputs) {
@@ -123,7 +128,9 @@ mod tests {
         let shared = TxView {
             txid: Txid(1),
             timestamp: 0,
-            inputs: (0..n as u64).map(|a| (Address(a), Amount::from_btc(1.0))).collect(),
+            inputs: (0..n as u64)
+                .map(|a| (Address(a), Amount::from_btc(1.0)))
+                .collect(),
             outputs: vec![(Address(999), Amount::from_btc(n as f64 - 0.01))],
         };
         (0..n as u64)
@@ -141,8 +148,14 @@ mod tests {
         // Model got 5 right and 1 wrong.
         let mut preds = vec![Label::Exchange.index(); 6];
         preds[3] = Label::Gambling.index();
-        let refined =
-            refine_predictions(&records, &one_hot(&preds), RefineParams { alpha: 0.4, iterations: 3 });
+        let refined = refine_predictions(
+            &records,
+            &one_hot(&preds),
+            RefineParams {
+                alpha: 0.4,
+                iterations: 3,
+            },
+        );
         assert_eq!(refined, vec![Label::Exchange.index(); 6]);
     }
 
@@ -193,7 +206,10 @@ mod tests {
         let refined = refine_predictions(
             &records,
             &one_hot(&preds),
-            RefineParams { alpha: 1.0, iterations: 5 },
+            RefineParams {
+                alpha: 1.0,
+                iterations: 5,
+            },
         );
         assert_eq!(refined, preds, "alpha=1 must be the identity");
     }

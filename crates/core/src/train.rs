@@ -57,7 +57,12 @@ pub struct TrainParams {
 
 impl Default for TrainParams {
     fn default() -> Self {
-        Self { epochs: 20, learning_rate: 0.01, batch_size: 8, seed: 0 }
+        Self {
+            epochs: 20,
+            learning_rate: 0.01,
+            batch_size: 8,
+            seed: 0,
+        }
     }
 }
 
@@ -73,7 +78,10 @@ pub fn train_graph_model(
     let mut opt = Adam::new(model.params(), params.learning_rate);
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut order: Vec<usize> = (0..train.len()).collect();
-    let mut log = TrainLog { model: model.name().to_string(), points: Vec::new() };
+    let mut log = TrainLog {
+        model: model.name().to_string(),
+        points: Vec::new(),
+    };
     let mut elapsed = Duration::ZERO;
 
     for epoch in 0..params.epochs {
@@ -92,7 +100,9 @@ pub fn train_graph_model(
                     Some(acc) => acc.add(loss),
                 });
             }
-            let loss = total.expect("non-empty batch").scale(1.0 / batch.len() as f32);
+            let loss = total
+                .expect("non-empty batch")
+                .scale(1.0 / batch.len() as f32);
             loss_sum += loss.value()[(0, 0)];
             batches += 1;
             loss.backward();
@@ -136,7 +146,10 @@ pub fn train_sequence_head(
     let mut opt = Adam::new(head.params(), params.learning_rate);
     let mut rng = StdRng::seed_from_u64(params.seed);
     let mut order: Vec<usize> = (0..train.len()).collect();
-    let mut log = TrainLog { model: head.name().to_string(), points: Vec::new() };
+    let mut log = TrainLog {
+        model: head.name().to_string(),
+        points: Vec::new(),
+    };
     let mut elapsed = Duration::ZERO;
 
     for epoch in 0..params.epochs {
@@ -155,15 +168,20 @@ pub fn train_sequence_head(
                     Some(acc) => acc.add(loss),
                 });
             }
-            let loss = total.expect("non-empty batch").scale(1.0 / batch.len() as f32);
+            let loss = total
+                .expect("non-empty batch")
+                .scale(1.0 / batch.len() as f32);
             loss_sum += loss.value()[(0, 0)];
             batches += 1;
             loss.backward();
             opt.step();
         }
         elapsed += start.elapsed();
-        let test_f1 =
-            if test.is_empty() { 0.0 } else { evaluate_sequence_head(head, test).weighted_f1 };
+        let test_f1 = if test.is_empty() {
+            0.0
+        } else {
+            evaluate_sequence_head(head, test).weighted_f1
+        };
         log.points.push(EpochPoint {
             epoch,
             elapsed,
@@ -218,7 +236,11 @@ mod tests {
             &gfn,
             &train,
             &test,
-            TrainParams { epochs: 30, learning_rate: 0.02, ..Default::default() },
+            TrainParams {
+                epochs: 30,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
         );
         assert_eq!(log.points.len(), 30);
         assert!(log.final_f1() > 0.9, "final F1 {}", log.final_f1());
@@ -250,7 +272,11 @@ mod tests {
             &head,
             &train,
             &test,
-            TrainParams { epochs: 40, learning_rate: 0.02, ..Default::default() },
+            TrainParams {
+                epochs: 40,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
         );
         assert!(log.final_f1() > 0.9, "final F1 {}", log.final_f1());
     }
@@ -263,7 +289,11 @@ mod tests {
             &gfn,
             &data,
             &[],
-            TrainParams { epochs: 15, learning_rate: 0.02, ..Default::default() },
+            TrainParams {
+                epochs: 15,
+                learning_rate: 0.02,
+                ..Default::default()
+            },
         );
         let first = log.points.first().unwrap().train_loss;
         let last = log.points.last().unwrap().train_loss;
@@ -279,7 +309,12 @@ mod tests {
                 &gfn,
                 &data,
                 &data,
-                TrainParams { epochs: 5, learning_rate: 0.02, seed: 2, batch_size: 4 },
+                TrainParams {
+                    epochs: 5,
+                    learning_rate: 0.02,
+                    seed: 2,
+                    batch_size: 4,
+                },
             );
             log.points.iter().map(|p| p.train_loss).collect::<Vec<_>>()
         };

@@ -42,7 +42,11 @@ fn history_strategy() -> impl Strategy<Value = AddressRecord> {
                 }
             })
             .collect();
-        AddressRecord { address: Address(0), label: Label::Service, txs: views }
+        AddressRecord {
+            address: Address(0),
+            label: Label::Service,
+            txs: views,
+        }
     })
 }
 

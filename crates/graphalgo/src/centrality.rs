@@ -278,7 +278,10 @@ mod tests {
 
     #[test]
     fn eigenvector_of_edgeless_graph_is_zero() {
-        assert_eq!(eigenvector_centrality(&Graph::new(4), 1e-9, 100), vec![0.0; 4]);
+        assert_eq!(
+            eigenvector_centrality(&Graph::new(4), 1e-9, 100),
+            vec![0.0; 4]
+        );
     }
 
     #[test]

@@ -15,7 +15,10 @@ pub struct Graph {
 impl Graph {
     /// Graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![Vec::new(); n], num_edges: 0 }
+        Self {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
     }
 
     pub fn num_nodes(&self) -> usize {
@@ -37,7 +40,10 @@ impl Graph {
     /// # Panics
     /// Panics if either endpoint is out of range.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) {
-        assert!(u < self.adj.len() && v < self.adj.len(), "edge endpoint out of range");
+        assert!(
+            u < self.adj.len() && v < self.adj.len(),
+            "edge endpoint out of range"
+        );
         self.adj[u].push((v, weight));
         if u != v {
             self.adj[v].push((u, weight));
@@ -106,7 +112,8 @@ impl Graph {
     /// Iterate unique undirected edges `(u, v, w)` with `u <= v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
-            nbrs.iter().filter_map(move |&(v, w)| if u <= v { Some((u, v, w)) } else { None })
+            nbrs.iter()
+                .filter_map(move |&(v, w)| if u <= v { Some((u, v, w)) } else { None })
         })
     }
 }

@@ -40,7 +40,10 @@ pub fn dijkstra(g: &Graph, source: usize) -> Vec<f64> {
     let mut dist = vec![f64::INFINITY; g.num_nodes()];
     let mut heap = BinaryHeap::new();
     dist[source] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node }) = heap.pop() {
         if d > dist[node] {
             continue; // stale entry
@@ -50,7 +53,10 @@ pub fn dijkstra(g: &Graph, source: usize) -> Vec<f64> {
             let nd = d + w;
             if nd < dist[next] {
                 dist[next] = nd;
-                heap.push(HeapEntry { dist: nd, node: next });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
             }
         }
     }
@@ -65,7 +71,10 @@ pub fn shortest_path(g: &Graph, source: usize, target: usize) -> Option<Vec<usiz
     let mut prev = vec![usize::MAX; n];
     let mut heap = BinaryHeap::new();
     dist[source] = 0.0;
-    heap.push(HeapEntry { dist: 0.0, node: source });
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
     while let Some(HeapEntry { dist: d, node }) = heap.pop() {
         if node == target {
             break;
@@ -78,7 +87,10 @@ pub fn shortest_path(g: &Graph, source: usize, target: usize) -> Option<Vec<usiz
             if nd < dist[next] {
                 dist[next] = nd;
                 prev[next] = node;
-                heap.push(HeapEntry { dist: nd, node: next });
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: next,
+                });
             }
         }
     }

@@ -35,7 +35,12 @@ impl CsrMatrix {
         for r in 0..n {
             row_ptr[r + 1] += row_ptr[r];
         }
-        Self { n, row_ptr, col_idx, values }
+        Self {
+            n,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     pub fn n(&self) -> usize {
@@ -49,7 +54,10 @@ impl CsrMatrix {
     /// Entries of one row: `(col, value)` pairs.
     pub fn row(&self, r: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
         let (s, e) = (self.row_ptr[r], self.row_ptr[r + 1]);
-        self.col_idx[s..e].iter().copied().zip(self.values[s..e].iter().copied())
+        self.col_idx[s..e]
+            .iter()
+            .copied()
+            .zip(self.values[s..e].iter().copied())
     }
 
     /// Dense `y = self * x` where `x` is a row-major `n x d` slice-of-rows.
@@ -85,9 +93,14 @@ pub fn normalized_adjacency(g: &Graph) -> CsrMatrix {
             *weights[u].entry(v).or_insert(0.0) += 1.0;
         }
     }
-    let deg: Vec<f32> = weights.iter().map(|row| row.values().sum::<f32>()).collect();
-    let inv_sqrt: Vec<f32> =
-        deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+    let deg: Vec<f32> = weights
+        .iter()
+        .map(|row| row.values().sum::<f32>())
+        .collect();
+    let inv_sqrt: Vec<f32> = deg
+        .iter()
+        .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
     let mut triplets = Vec::new();
     for (u, row) in weights.iter().enumerate() {
         for (&v, &w) in row {
@@ -166,7 +179,7 @@ mod tests {
         g.add_edge(0, 1, 1.0);
         g.add_edge(1, 2, 1.0);
         let a = normalized_adjacency(&g);
-        let mut dense = vec![0.0f32; 9];
+        let mut dense = [0.0f32; 9];
         for r in 0..3 {
             for (c, v) in a.row(r) {
                 dense[r * 3 + c] = v;

@@ -5,6 +5,20 @@
 //! per parameter: rows u32, cols u32, `rows*cols` f32 values. Parameters are
 //! identified positionally — models expose `params()` in a stable order, so
 //! loading requires constructing the same architecture first.
+//!
+//! # Stability guarantee
+//!
+//! Every layer and model in this workspace returns `params()` in
+//! *declaration order* of its fields (and for composites, in the order the
+//! sub-layers are listed). That order is part of the persistence contract:
+//! two instances of the same architecture — regardless of seed or process —
+//! always expose positionally-matching parameter lists, which is what makes
+//! the positional `NNIO` stream (and the artifact format layered on it by
+//! `baclassifier::artifact`) loadable into a freshly constructed model.
+//!
+//! The stream-level helpers [`write_matrices`] / [`read_matrices`] expose
+//! the same framing over any `Write`/`Read`, so higher layers can embed a
+//! weights blob inside a larger bundle file.
 
 use crate::matrix::Matrix;
 use crate::tape::Param;
@@ -22,9 +36,16 @@ pub enum LoadError {
     /// Not a weights file / unsupported version.
     BadHeader,
     /// File has a different number of parameters than the model.
-    ParamCountMismatch { file: usize, model: usize },
+    ParamCountMismatch {
+        file: usize,
+        model: usize,
+    },
     /// Parameter `index` has a different shape in the file.
-    ShapeMismatch { index: usize, file: (usize, usize), model: (usize, usize) },
+    ShapeMismatch {
+        index: usize,
+        file: (usize, usize),
+        model: (usize, usize),
+    },
 }
 
 impl std::fmt::Display for LoadError {
@@ -36,7 +57,10 @@ impl std::fmt::Display for LoadError {
                 write!(f, "file has {file} params, model has {model}")
             }
             LoadError::ShapeMismatch { index, file, model } => {
-                write!(f, "param {index}: file shape {file:?}, model shape {model:?}")
+                write!(
+                    f,
+                    "param {index}: file shape {file:?}, model shape {model:?}"
+                )
             }
         }
     }
@@ -50,21 +74,19 @@ impl From<io::Error> for LoadError {
     }
 }
 
-/// Write all parameter values to `path`.
-pub fn save_params(path: &Path, params: &[Param]) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
+/// Write a `NNIO` matrix stream (header + every matrix) to any writer.
+pub fn write_matrices<W: Write>(w: &mut W, matrices: &[Matrix]) -> io::Result<()> {
     w.write_all(MAGIC)?;
     w.write_all(&VERSION.to_le_bytes())?;
-    w.write_all(&(params.len() as u32).to_le_bytes())?;
-    for p in params {
-        let value = p.value();
-        w.write_all(&(value.rows() as u32).to_le_bytes())?;
-        w.write_all(&(value.cols() as u32).to_le_bytes())?;
-        for &v in value.as_slice() {
+    w.write_all(&(matrices.len() as u32).to_le_bytes())?;
+    for m in matrices {
+        w.write_all(&(m.rows() as u32).to_le_bytes())?;
+        w.write_all(&(m.cols() as u32).to_le_bytes())?;
+        for &v in m.as_slice() {
             w.write_all(&v.to_le_bytes())?;
         }
     }
-    w.flush()
+    Ok(())
 }
 
 fn read_u32(r: &mut impl Read) -> io::Result<u32> {
@@ -73,43 +95,69 @@ fn read_u32(r: &mut impl Read) -> io::Result<u32> {
     Ok(u32::from_le_bytes(buf))
 }
 
-/// Load parameter values from `path` into an existing model's parameters.
-/// Shapes and count must match exactly.
-pub fn load_params(path: &Path, params: &[Param]) -> Result<(), LoadError> {
-    let mut r = BufReader::new(File::open(path)?);
+/// Read a full `NNIO` matrix stream from any reader. No architecture is
+/// needed; callers validate count/shapes against their model if they have
+/// one (see [`load_params`]).
+pub fn read_matrices<R: Read>(r: &mut R) -> Result<Vec<Matrix>, LoadError> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
-    if &magic != MAGIC || read_u32(&mut r)? != VERSION {
+    if &magic != MAGIC || read_u32(r)? != VERSION {
         return Err(LoadError::BadHeader);
     }
-    let count = read_u32(&mut r)? as usize;
-    if count != params.len() {
-        return Err(LoadError::ParamCountMismatch { file: count, model: params.len() });
-    }
-    // Validate every shape before mutating anything: all-or-nothing load.
-    let mut values = Vec::with_capacity(count);
-    for (index, p) in params.iter().enumerate() {
-        let rows = read_u32(&mut r)? as usize;
-        let cols = read_u32(&mut r)? as usize;
-        if (rows, cols) != p.shape() {
-            return Err(LoadError::ShapeMismatch {
-                index,
-                file: (rows, cols),
-                model: p.shape(),
-            });
-        }
+    let count = read_u32(r)? as usize;
+    let mut matrices = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let rows = read_u32(r)? as usize;
+        let cols = read_u32(r)? as usize;
         let mut data = vec![0f32; rows * cols];
         let mut buf = [0u8; 4];
         for v in data.iter_mut() {
             r.read_exact(&mut buf)?;
             *v = f32::from_le_bytes(buf);
         }
-        values.push(Matrix::from_vec(rows, cols, data));
+        matrices.push(Matrix::from_vec(rows, cols, data));
+    }
+    Ok(matrices)
+}
+
+/// Check `values` against `params` positionally and, only if *every* shape
+/// matches, copy them in — all-or-nothing semantics.
+pub fn assign_params(params: &[Param], values: Vec<Matrix>) -> Result<(), LoadError> {
+    if values.len() != params.len() {
+        return Err(LoadError::ParamCountMismatch {
+            file: values.len(),
+            model: params.len(),
+        });
+    }
+    for (index, (p, v)) in params.iter().zip(&values).enumerate() {
+        if v.shape() != p.shape() {
+            return Err(LoadError::ShapeMismatch {
+                index,
+                file: v.shape(),
+                model: p.shape(),
+            });
+        }
     }
     for (p, v) in params.iter().zip(values) {
         p.set_value(v);
     }
     Ok(())
+}
+
+/// Write all parameter values to `path`.
+pub fn save_params(path: &Path, params: &[Param]) -> io::Result<()> {
+    let values: Vec<Matrix> = params.iter().map(|p| p.value().clone()).collect();
+    let mut w = BufWriter::new(File::create(path)?);
+    write_matrices(&mut w, &values)?;
+    w.flush()
+}
+
+/// Load parameter values from `path` into an existing model's parameters.
+/// Shapes and count must match exactly.
+pub fn load_params(path: &Path, params: &[Param]) -> Result<(), LoadError> {
+    let mut r = BufReader::new(File::open(path)?);
+    let values = read_matrices(&mut r)?;
+    assign_params(params, values)
 }
 
 #[cfg(test)]
@@ -175,7 +223,99 @@ mod tests {
         std::fs::write(&path, b"definitely not weights").unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let m = Mlp::new(&[2, 2], Activation::Relu, &mut rng);
-        assert!(matches!(load_params(&path, &m.params()), Err(LoadError::BadHeader)));
+        assert!(matches!(
+            load_params(&path, &m.params()),
+            Err(LoadError::BadHeader)
+        ));
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_bad_header() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(&[2, 2], Activation::Relu, &mut rng);
+        let path = tmp("wrong_magic");
+        save_params(&path, &m.params()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[..4].copy_from_slice(b"XNIO");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_params(&path, &m.params()),
+            Err(LoadError::BadHeader)
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_version_is_bad_header() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(&[2, 2], Activation::Relu, &mut rng);
+        let path = tmp("wrong_version");
+        save_params(&path, &m.params()).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            load_params(&path, &m.params()),
+            Err(LoadError::BadHeader)
+        ));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_io_error_and_nondestructive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(&[4, 8, 3], Activation::Relu, &mut rng);
+        let path = tmp("truncated");
+        save_params(&path, &m.params()).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut the stream mid-way through a parameter's float data.
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let before: Vec<_> = m.params().iter().map(|p| p.value().clone()).collect();
+        let err = load_params(&path, &m.params()).unwrap_err();
+        assert!(matches!(err, LoadError::Io(_)), "{err}");
+        for (p, orig) in m.params().iter().zip(&before) {
+            assert_eq!(*p.value(), *orig, "truncated load must not mutate");
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_header_is_error_not_panic() {
+        let path = tmp("truncated_header");
+        std::fs::write(&path, b"NN").unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = Mlp::new(&[2, 2], Activation::Relu, &mut rng);
+        assert!(load_params(&path, &m.params()).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn matrix_stream_roundtrips_through_memory() {
+        let mats = vec![
+            Matrix::from_fn(3, 2, |r, c| (r * 2 + c) as f32),
+            Matrix::zeros(1, 5),
+            Matrix::from_vec(2, 2, vec![1.5, -2.5, 3.5, -4.5]),
+        ];
+        let mut buf = Vec::new();
+        write_matrices(&mut buf, &mats).unwrap();
+        let back = read_matrices(&mut buf.as_slice()).unwrap();
+        assert_eq!(mats, back);
+    }
+
+    #[test]
+    fn params_order_is_stable_across_instances() {
+        // Two models of the same architecture but different seeds must expose
+        // positionally shape-identical parameter lists — the contract that
+        // makes positional persistence valid.
+        let mut rng_a = StdRng::seed_from_u64(1);
+        let mut rng_b = StdRng::seed_from_u64(12345);
+        let a = Mlp::new(&[5, 7, 3], Activation::Relu, &mut rng_a);
+        let b = Mlp::new(&[5, 7, 3], Activation::Relu, &mut rng_b);
+        let (pa, pb) = (a.params(), b.params());
+        assert_eq!(pa.len(), pb.len());
+        for (x, y) in pa.iter().zip(&pb) {
+            assert_eq!(x.shape(), y.shape());
+        }
     }
 }

@@ -38,7 +38,7 @@ impl AttentionPool {
             .add_row(tape.param(&self.b))
             .tanh()
             .matmul(tape.param(&self.v)); // k x 1
-        // softmax over the k entries: transpose to 1 x k, softmax the row.
+                                          // softmax over the k entries: transpose to 1 x k, softmax the row.
         let alpha = scores.transpose().softmax_rows(); // 1 x k
         alpha.matmul(x) // 1 x d
     }

@@ -67,10 +67,22 @@ impl LstmCell {
     /// One step: consume `x_t` (n x input) and the previous state.
     pub fn step<'t>(&self, tape: &'t Tape, x: Var<'t>, state: &LstmState<'t>) -> LstmState<'t> {
         let hx = Var::concat_cols(&[state.h, x]);
-        let f = hx.matmul(tape.param(&self.w_f)).add_row(tape.param(&self.b_f)).sigmoid();
-        let i = hx.matmul(tape.param(&self.w_i)).add_row(tape.param(&self.b_i)).sigmoid();
-        let c_tilde = hx.matmul(tape.param(&self.w_c)).add_row(tape.param(&self.b_c)).tanh();
-        let o = hx.matmul(tape.param(&self.w_o)).add_row(tape.param(&self.b_o)).sigmoid();
+        let f = hx
+            .matmul(tape.param(&self.w_f))
+            .add_row(tape.param(&self.b_f))
+            .sigmoid();
+        let i = hx
+            .matmul(tape.param(&self.w_i))
+            .add_row(tape.param(&self.b_i))
+            .sigmoid();
+        let c_tilde = hx
+            .matmul(tape.param(&self.w_c))
+            .add_row(tape.param(&self.b_c))
+            .tanh();
+        let o = hx
+            .matmul(tape.param(&self.w_o))
+            .add_row(tape.param(&self.b_o))
+            .sigmoid();
         let c = f.mul_elem(state.c).add(i.mul_elem(c_tilde));
         let h = o.mul_elem(c.tanh());
         LstmState { h, c }
@@ -98,7 +110,9 @@ pub struct Lstm {
 
 impl Lstm {
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut StdRng) -> Self {
-        Self { cell: LstmCell::new(input_dim, hidden_dim, rng) }
+        Self {
+            cell: LstmCell::new(input_dim, hidden_dim, rng),
+        }
     }
 
     pub fn hidden_dim(&self) -> usize {
@@ -228,7 +242,8 @@ mod tests {
         // for an LSTM. Checks that gradients flow through the unrolled cell.
         let mut rng = StdRng::seed_from_u64(9);
         let lstm = Lstm::new(1, 8, &mut rng);
-        let head = crate::layers::mlp::Mlp::new(&[8, 2], crate::layers::mlp::Activation::Relu, &mut rng);
+        let head =
+            crate::layers::mlp::Mlp::new(&[8, 2], crate::layers::mlp::Activation::Relu, &mut rng);
         let mut params = lstm.params();
         params.extend(head.params());
         let mut opt = Adam::new(params, 0.02);

@@ -33,7 +33,10 @@ impl Mlp {
     /// Build from a dims list `[in, h1, ..., out]` (at least two entries).
     pub fn new(dims: &[usize], activation: Activation, rng: &mut StdRng) -> Self {
         assert!(dims.len() >= 2, "Mlp::new requires at least [in, out]");
-        let layers = dims.windows(2).map(|w| Linear::new(w[0], w[1], rng)).collect();
+        let layers = dims
+            .windows(2)
+            .map(|w| Linear::new(w[0], w[1], rng))
+            .collect();
         Self { layers, activation }
     }
 

@@ -52,6 +52,6 @@ pub mod layers {
     pub use mlp::{Activation, Mlp};
 }
 
-pub use io::{load_params, save_params, LoadError};
+pub use io::{assign_params, load_params, read_matrices, save_params, write_matrices, LoadError};
 pub use matrix::Matrix;
 pub use tape::{Param, Tape, Var};

@@ -35,7 +35,11 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// All-zeros matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// All-ones matrix of the given shape.
@@ -45,7 +49,11 @@ impl Matrix {
 
     /// Matrix filled with a constant.
     pub fn full(rows: usize, cols: usize, v: f32) -> Self {
-        Self { rows, cols, data: vec![v; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Identity matrix.
@@ -87,13 +95,21 @@ impl Matrix {
     /// A 1xN row vector.
     pub fn row_vec(data: Vec<f32>) -> Self {
         let cols = data.len();
-        Self { rows: 1, cols, data }
+        Self {
+            rows: 1,
+            cols,
+            data,
+        }
     }
 
     /// An Nx1 column vector.
     pub fn col_vec(data: Vec<f32>) -> Self {
         let rows = data.len();
-        Self { rows, cols: 1, data }
+        Self {
+            rows,
+            cols: 1,
+            data,
+        }
     }
 
     pub fn rows(&self) -> usize {
@@ -227,7 +243,11 @@ impl Matrix {
             .zip(rhs.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     pub fn add(&self, rhs: &Matrix) -> Matrix {
@@ -495,14 +515,22 @@ mod tests {
     fn matmul_at_b_matches_explicit_transpose() {
         let a = Matrix::from_fn(4, 3, |r, c| (r as f32 - c as f32) * 0.5);
         let b = Matrix::from_fn(4, 2, |r, c| (r + 2 * c) as f32);
-        assert!(approx_eq(&a.matmul_at_b(&b), &a.transpose().matmul(&b), 1e-5));
+        assert!(approx_eq(
+            &a.matmul_at_b(&b),
+            &a.transpose().matmul(&b),
+            1e-5
+        ));
     }
 
     #[test]
     fn matmul_a_bt_matches_explicit_transpose() {
         let a = Matrix::from_fn(4, 3, |r, c| (r as f32 + c as f32) * 0.25);
         let b = Matrix::from_fn(5, 3, |r, c| (2 * r + c) as f32);
-        assert!(approx_eq(&a.matmul_a_bt(&b), &a.matmul(&b.transpose()), 1e-5));
+        assert!(approx_eq(
+            &a.matmul_a_bt(&b),
+            &a.matmul(&b.transpose()),
+            1e-5
+        ));
     }
 
     #[test]

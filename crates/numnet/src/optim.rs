@@ -50,7 +50,11 @@ pub struct StepLr {
 impl StepLr {
     pub fn new(base_lr: f32, gamma: f32, step_every: usize) -> Self {
         assert!(step_every > 0, "step_every must be positive");
-        Self { base_lr, gamma, step_every }
+        Self {
+            base_lr,
+            gamma,
+            step_every,
+        }
     }
 
     /// Learning rate for the given (0-based) epoch.
@@ -86,7 +90,13 @@ impl Sgd {
                 Matrix::zeros(r, c)
             })
             .collect();
-        Self { params, velocity, lr, momentum, weight_decay }
+        Self {
+            params,
+            velocity,
+            lr,
+            momentum,
+            weight_decay,
+        }
     }
 }
 
@@ -150,7 +160,17 @@ impl Adam {
                 Matrix::zeros(r, c)
             })
             .collect();
-        Self { m: zeros.clone(), v: zeros, params, lr, beta1, beta2, eps, weight_decay, t: 0 }
+        Self {
+            m: zeros.clone(),
+            v: zeros,
+            params,
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay,
+            t: 0,
+        }
     }
 }
 
@@ -159,8 +179,14 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        for ((p, m), v) in self.params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
-            let (lr, b1, b2, eps, wd) = (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
+        for ((p, m), v) in self
+            .params
+            .iter()
+            .zip(self.m.iter_mut())
+            .zip(self.v.iter_mut())
+        {
+            let (lr, b1, b2, eps, wd) =
+                (self.lr, self.beta1, self.beta2, self.eps, self.weight_decay);
             p.update(|value, grad| {
                 for i in 0..value.len() {
                     let g = grad.as_slice()[i] + wd * value.as_slice()[i];
@@ -245,7 +271,7 @@ mod tests {
         let a = Param::new(Matrix::from_vec(1, 2, vec![0.0, 0.0]));
         let b = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
         a.accumulate_grad_public(&Matrix::from_vec(1, 2, vec![3.0, 4.0])); // norm 5
-        b.accumulate_grad_public(&Matrix::from_vec(1, 1, vec![12.0]));     // total 13
+        b.accumulate_grad_public(&Matrix::from_vec(1, 1, vec![12.0])); // total 13
         let pre = clip_grad_norm(&[a.clone(), b.clone()], 1.0);
         assert!((pre - 13.0).abs() < 1e-5);
         let post: f32 = [a.grad().as_slice().to_vec(), b.grad().as_slice().to_vec()]
@@ -263,7 +289,7 @@ mod tests {
     fn clip_is_noop_below_threshold() {
         let a = Param::new(Matrix::from_vec(1, 1, vec![0.0]));
         a.accumulate_grad_public(&Matrix::from_vec(1, 1, vec![0.5]));
-        let pre = clip_grad_norm(&[a.clone()], 10.0);
+        let pre = clip_grad_norm(std::slice::from_ref(&a), 10.0);
         assert!((pre - 0.5).abs() < 1e-6);
         assert_eq!(a.grad()[(0, 0)], 0.5);
     }

@@ -27,7 +27,10 @@ impl Param {
     pub fn new(value: Matrix) -> Self {
         let grad = Matrix::zeros(value.rows(), value.cols());
         Self {
-            inner: Rc::new(ParamInner { value: RefCell::new(value), grad: RefCell::new(grad) }),
+            inner: Rc::new(ParamInner {
+                value: RefCell::new(value),
+                grad: RefCell::new(grad),
+            }),
         }
     }
 
@@ -74,7 +77,11 @@ impl Param {
 
     /// Replace the value (e.g. when loading a saved model).
     pub fn set_value(&self, value: Matrix) {
-        assert_eq!(self.shape(), value.shape(), "Param::set_value shape mismatch");
+        assert_eq!(
+            self.shape(),
+            value.shape(),
+            "Param::set_value shape mismatch"
+        );
         *self.inner.value.borrow_mut() = value;
     }
 }
@@ -146,8 +153,15 @@ impl Tape {
     fn push(&self, op: Op, value: Matrix) -> Var<'_> {
         debug_assert!(value.all_finite(), "non-finite value pushed to tape");
         let mut nodes = self.nodes.borrow_mut();
-        nodes.push(Node { op, value, grad: None });
-        Var { tape: self, idx: nodes.len() - 1 }
+        nodes.push(Node {
+            op,
+            value,
+            grad: None,
+        });
+        Var {
+            tape: self,
+            idx: nodes.len() - 1,
+        }
     }
 
     /// Record a constant (no gradient).
@@ -187,7 +201,10 @@ impl<'t> Var<'t> {
     }
 
     fn binary(self, rhs: Var<'t>, value: Matrix, op: Op) -> Var<'t> {
-        debug_assert!(std::ptr::eq(self.tape, rhs.tape), "vars from different tapes");
+        debug_assert!(
+            std::ptr::eq(self.tape, rhs.tape),
+            "vars from different tapes"
+        );
         let _ = &op;
         self.tape.push(op, value)
     }
@@ -198,11 +215,15 @@ impl<'t> Var<'t> {
         self.binary(rhs, v, Op::MatMul(self.idx, rhs.idx))
     }
 
+    // `add`/`sub` mirror the other tape-op names (`matmul`, `mul_elem`);
+    // `std::ops` impls would hide the tape recording behind operators.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: Var<'t>) -> Var<'t> {
         let v = self.value().add(&rhs.value());
         self.binary(rhs, v, Op::Add(self.idx, rhs.idx))
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: Var<'t>) -> Var<'t> {
         let v = self.value().sub(&rhs.value());
         self.binary(rhs, v, Op::Sub(self.idx, rhs.idx))
@@ -298,11 +319,18 @@ impl<'t> Var<'t> {
     /// indices. Output is 1x1.
     pub fn softmax_cross_entropy(self, targets: &[usize]) -> Var<'t> {
         let logits = self.value();
-        assert_eq!(logits.rows(), targets.len(), "cross_entropy: batch mismatch");
+        assert_eq!(
+            logits.rows(),
+            targets.len(),
+            "cross_entropy: batch mismatch"
+        );
         let probs = logits.softmax_rows();
         let mut nll = 0.0f64;
         for (r, &t) in targets.iter().enumerate() {
-            assert!(t < logits.cols(), "cross_entropy: target class out of range");
+            assert!(
+                t < logits.cols(),
+                "cross_entropy: target class out of range"
+            );
             nll -= (probs[(r, t)].max(1e-12) as f64).ln();
         }
         let loss = (nll / targets.len() as f64) as f32;
@@ -317,7 +345,11 @@ impl<'t> Var<'t> {
         let mut nodes = self.tape.nodes.borrow_mut();
         {
             let node = &mut nodes[self.idx];
-            assert_eq!(node.value.shape(), (1, 1), "backward() must start from a scalar");
+            assert_eq!(
+                node.value.shape(),
+                (1, 1),
+                "backward() must start from a scalar"
+            );
             node.grad = Some(Matrix::ones(1, 1));
         }
         for i in (0..=self.idx).rev() {
@@ -494,13 +526,17 @@ mod tests {
             let xv = tape.constant(x.clone());
             let wv = tape.param(&w);
             let y = xv.matmul(wv).tanh();
-            y.sum_rows().matmul(tape.constant(Matrix::col_vec(vec![1.0, 1.0]))).value()[(0, 0)]
+            y.sum_rows()
+                .matmul(tape.constant(Matrix::col_vec(vec![1.0, 1.0])))
+                .value()[(0, 0)]
         };
         let tape = Tape::new();
         let xv = tape.constant(x.clone());
         let wv = tape.param(&w);
         let y = xv.matmul(wv).tanh();
-        let loss = y.sum_rows().matmul(tape.constant(Matrix::col_vec(vec![1.0, 1.0])));
+        let loss = y
+            .sum_rows()
+            .matmul(tape.constant(Matrix::col_vec(vec![1.0, 1.0])));
         loss.backward();
         let g = w.grad().clone();
         grad_check(&w, &loss_fn, &g, 1e-2);
@@ -511,7 +547,9 @@ mod tests {
         let w = Param::new(Matrix::from_vec(
             4,
             3,
-            vec![0.1, -0.3, 0.2, 0.4, 0.0, -0.1, -0.2, 0.3, 0.1, 0.2, -0.4, 0.5],
+            vec![
+                0.1, -0.3, 0.2, 0.4, 0.0, -0.1, -0.2, 0.3, 0.1, 0.2, -0.4, 0.5,
+            ],
         ));
         let x = Matrix::from_fn(5, 4, |r, c| ((r * 3 + c) as f32 * 0.13).sin());
         let targets = vec![0usize, 2, 1, 1, 0];
@@ -536,9 +574,12 @@ mod tests {
         let loss_fn = |tape: &Tape| -> f32 {
             let xv = tape.constant(x.clone());
             let wv = tape.param(&w);
-            xv.matmul(wv).sigmoid().tanh().sum_rows().matmul(
-                tape.constant(Matrix::col_vec(vec![1.0, 1.0])),
-            ).value()[(0, 0)]
+            xv.matmul(wv)
+                .sigmoid()
+                .tanh()
+                .sum_rows()
+                .matmul(tape.constant(Matrix::col_vec(vec![1.0, 1.0])))
+                .value()[(0, 0)]
         };
         let tape = Tape::new();
         let xv = tape.constant(x.clone());
@@ -574,7 +615,9 @@ mod tests {
         let a = Param::new(Matrix::from_vec(3, 2, vec![1.0, 9.0, 5.0, 2.0, 3.0, 4.0]));
         let tape = Tape::new();
         let av = tape.param(&a);
-        let loss = av.max_rows().matmul(tape.constant(Matrix::col_vec(vec![1.0, 1.0])));
+        let loss = av
+            .max_rows()
+            .matmul(tape.constant(Matrix::col_vec(vec![1.0, 1.0])));
         loss.backward();
         let g = a.grad().clone();
         assert_eq!(g.as_slice(), &[0.0, 1.0, 1.0, 0.0, 0.0, 0.0]);

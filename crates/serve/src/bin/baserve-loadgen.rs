@@ -1,0 +1,183 @@
+//! Replay zipf-distributed query traffic against a serving engine and
+//! report throughput, latency, and cache behavior.
+//!
+//! ```text
+//! baserve-loadgen --artifact model.bart [--seed 42] [--min-txs 3]
+//!                 [--requests 2000] [--qps 0] [--zipf 1.1] [--traffic-seed 1]
+//!                 [--check] [--window N] [engine knobs]
+//! ```
+//!
+//! Queries pick addresses from the rebuilt dataset with a zipf(s) popularity
+//! distribution — the skew that makes an embedding LRU worthwhile. `--qps 0`
+//! (the default) runs unthrottled; a positive value paces submissions to
+//! that target rate. With `--check`, every served label is compared against
+//! a direct in-process replica of the same artifact and any mismatch makes
+//! the run exit non-zero — the byte-identical-serving acceptance gate.
+
+use baclassifier::{BaClassifier, ModelArtifact};
+use baserve::cli::{engine_config_from_args, flag_parsed, flag_value, has_flag};
+use baserve::{Engine, ServeError, Ticket};
+use btcsim::dist::ZipfSampler;
+use btcsim::{Dataset, Label, SimConfig, Simulator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(artifact_path) = flag_value(&args, "--artifact") else {
+        eprintln!("usage: baserve-loadgen --artifact model.bart [--requests N] [--qps N] …");
+        std::process::exit(2);
+    };
+    let seed = flag_parsed(&args, "--seed", 42u64);
+    let min_txs = flag_parsed(&args, "--min-txs", 3usize);
+    let requests = flag_parsed(&args, "--requests", 2000usize);
+    let qps = flag_parsed(&args, "--qps", 0.0f64);
+    let zipf_s = flag_parsed(&args, "--zipf", 1.1f64);
+    let traffic_seed = flag_parsed(&args, "--traffic-seed", 1u64);
+    let check = has_flag(&args, "--check");
+    let config = engine_config_from_args(&args);
+    let window = flag_parsed(&args, "--window", config.queue_depth.min(64)).max(1);
+
+    let artifact = match ModelArtifact::load(artifact_path.as_ref()) {
+        Ok(a) => Arc::new(a),
+        Err(e) => {
+            eprintln!("error: could not load artifact {artifact_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let sim = Simulator::run_to_completion(SimConfig::tiny(seed));
+    let dataset = Dataset::from_simulator(&sim, min_txs);
+    assert!(
+        !dataset.is_empty(),
+        "dataset rebuilt from seed {seed} is empty"
+    );
+    eprintln!(
+        "[loadgen] {} addresses, {} requests, zipf s={zipf_s}, target qps={}",
+        dataset.len(),
+        requests,
+        if qps > 0.0 {
+            qps.to_string()
+        } else {
+            "unthrottled".into()
+        }
+    );
+
+    let direct = if check {
+        Some(BaClassifier::from_artifact(&artifact).expect("artifact loads in-process"))
+    } else {
+        None
+    };
+
+    let engine = Engine::new(artifact, config).expect("engine starts from a valid artifact");
+    let sampler = ZipfSampler::new(dataset.len(), zipf_s);
+    let mut rng = StdRng::seed_from_u64(traffic_seed);
+
+    // Direct-replica labels, memoized per address (computed lazily so
+    // `--check` only pays for addresses the traffic actually touches).
+    let mut expected: HashMap<usize, Label> = HashMap::new();
+    let mut in_flight: Vec<(usize, Ticket)> = Vec::new();
+    let mut served = 0usize;
+    let mut rejected = 0usize;
+    let mut mismatches = 0usize;
+    let mut failed = 0usize;
+
+    let settle = |batch: Vec<(usize, Ticket)>,
+                  expected: &mut HashMap<usize, Label>,
+                  mismatches: &mut usize,
+                  served: &mut usize,
+                  failed: &mut usize| {
+        for (idx, ticket) in batch {
+            match ticket.wait() {
+                Ok(response) => {
+                    *served += 1;
+                    if let Some(direct) = &direct {
+                        let want = *expected.entry(idx).or_insert_with(|| {
+                            direct
+                                .predict(&dataset.records[idx])
+                                .expect("records have transactions")
+                        });
+                        if response.label != want {
+                            *mismatches += 1;
+                            eprintln!(
+                                "[loadgen] MISMATCH address {}: served {} direct {}",
+                                dataset.records[idx].address.0,
+                                response.label.name(),
+                                want.name()
+                            );
+                        }
+                    }
+                }
+                Err(e) => {
+                    *failed += 1;
+                    eprintln!("[loadgen] request failed: {e}");
+                }
+            }
+        }
+    };
+
+    let start = Instant::now();
+    for i in 0..requests {
+        if qps > 0.0 {
+            let due = start + Duration::from_secs_f64(i as f64 / qps);
+            let now = Instant::now();
+            if due > now {
+                std::thread::sleep(due - now);
+            }
+        }
+        let idx = sampler.sample(&mut rng);
+        match engine.submit(dataset.records[idx].clone()) {
+            Ok(ticket) => in_flight.push((idx, ticket)),
+            Err(ServeError::QueueFull) => rejected += 1,
+            Err(e) => {
+                eprintln!("[loadgen] submit failed: {e}");
+                failed += 1;
+            }
+        }
+        if in_flight.len() >= window {
+            let batch = std::mem::take(&mut in_flight);
+            settle(
+                batch,
+                &mut expected,
+                &mut mismatches,
+                &mut served,
+                &mut failed,
+            );
+        }
+    }
+    settle(
+        in_flight,
+        &mut expected,
+        &mut mismatches,
+        &mut served,
+        &mut failed,
+    );
+    let elapsed = start.elapsed();
+
+    let snapshot = engine.metrics();
+    engine.shutdown();
+    println!(
+        "served {served}/{requests} in {:.2}s ({:.0} req/s), {rejected} rejected, {failed} failed",
+        elapsed.as_secs_f64(),
+        served as f64 / elapsed.as_secs_f64().max(1e-9),
+    );
+    println!(
+        "cache hit rate {:.1}% | mean batch {:.2} (max {}) | p50/p95/p99 latency {}/{}/{} µs",
+        snapshot.cache_hit_rate * 100.0,
+        snapshot.mean_batch_size,
+        snapshot.max_batch_size,
+        snapshot.p50_latency_us,
+        snapshot.p95_latency_us,
+        snapshot.p99_latency_us,
+    );
+    println!("metrics {}", snapshot.to_json());
+    if check {
+        if mismatches > 0 {
+            eprintln!("[loadgen] FAIL: {mismatches} served labels differ from the direct model");
+            std::process::exit(1);
+        }
+        println!("check passed: all {served} served labels match the direct model");
+    }
+}

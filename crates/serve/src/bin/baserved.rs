@@ -1,0 +1,152 @@
+//! The serving daemon: load a `.bart` model artifact, rebuild the address
+//! dataset from the simulation seed, and answer line-protocol requests.
+//!
+//! ```text
+//! baserved --artifact model.bart [--seed 42] [--min-txs 3] [--input FILE]
+//!          [--workers N] [--max-batch N] [--max-wait-ms N]
+//!          [--queue-depth N] [--cache N] [--window N]
+//! ```
+//!
+//! Requests are read from `--input` (default stdin), one per line; see
+//! `baserve::protocol` for the grammar. Responses go to stdout, one line per
+//! request, **in request order** — up to `--window` requests are kept in
+//! flight so the engine can batch, and the window is drained FIFO. A final
+//! `metrics <json>` line is printed at EOF or `quit`.
+
+use baclassifier::ModelArtifact;
+use baserve::cli::{engine_config_from_args, flag_parsed, flag_value};
+use baserve::{format_error, format_response, parse_request, Engine, Request, Ticket};
+use btcsim::{AddressRecord, Dataset, SimConfig, Simulator};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// One response slot, kept FIFO so output order matches request order even
+/// though the engine may finish requests out of order.
+enum Slot {
+    Pending(Ticket),
+    Done(String),
+}
+
+fn resolve(slot: Slot) -> String {
+    match slot {
+        Slot::Done(line) => line,
+        Slot::Pending(t) => format_response(&t.wait()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(artifact_path) = flag_value(&args, "--artifact") else {
+        eprintln!("usage: baserved --artifact model.bart [--seed N] [--input FILE] …");
+        std::process::exit(2);
+    };
+    let seed = flag_parsed(&args, "--seed", 42u64);
+    let min_txs = flag_parsed(&args, "--min-txs", 3usize);
+    let config = engine_config_from_args(&args);
+    let window = flag_parsed(&args, "--window", config.queue_depth.min(64)).max(1);
+
+    let artifact = match ModelArtifact::load(artifact_path.as_ref()) {
+        Ok(a) => Arc::new(a),
+        Err(e) => {
+            eprintln!("error: could not load artifact {artifact_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[baserved] loaded {artifact_path} ({} weight tensors)",
+        artifact.weights.len()
+    );
+
+    let sim = Simulator::run_to_completion(SimConfig::tiny(seed));
+    let dataset = Dataset::from_simulator(&sim, min_txs);
+    let by_id: HashMap<u64, AddressRecord> = dataset
+        .records
+        .into_iter()
+        .map(|r| (r.address.0, r))
+        .collect();
+    eprintln!(
+        "[baserved] dataset rebuilt from seed {seed}: {} addresses",
+        by_id.len()
+    );
+
+    let engine = match Engine::new(artifact, config.clone()) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: artifact does not match the model architecture: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[baserved] serving: {} workers, batch ≤{} / {}ms, queue {}, cache {}",
+        config.workers,
+        config.max_batch,
+        config.max_wait.as_millis(),
+        config.queue_depth,
+        config.cache_capacity
+    );
+
+    let stdin = std::io::stdin();
+    let reader: Box<dyn BufRead> = match flag_value(&args, "--input") {
+        Some(path) => match std::fs::File::open(&path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("error: could not open {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Box::new(stdin.lock()),
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+
+    let mut pending: VecDeque<Slot> = VecDeque::new();
+    'serve: for line in reader.lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: reading request stream: {e}");
+                break;
+            }
+        };
+        let request = match parse_request(&line) {
+            Ok(Some(r)) => r,
+            Ok(None) => continue,
+            Err(e) => {
+                pending.push_back(Slot::Done(format_error(&e.0)));
+                continue;
+            }
+        };
+        match request {
+            Request::Classify(id) => {
+                let slot = match by_id.get(&id) {
+                    Some(record) => match engine.submit(record.clone()) {
+                        Ok(ticket) => Slot::Pending(ticket),
+                        Err(e) => Slot::Done(format_error(&e.to_string())),
+                    },
+                    None => Slot::Done(format_error(&format!("no such address {id}"))),
+                };
+                pending.push_back(slot);
+                if pending.len() >= window {
+                    let line = resolve(pending.pop_front().expect("window is non-empty"));
+                    writeln!(out, "{line}").expect("stdout");
+                }
+            }
+            Request::Metrics => {
+                // Drain first so the metrics line sits in request order.
+                for slot in pending.drain(..) {
+                    writeln!(out, "{}", resolve(slot)).expect("stdout");
+                }
+                writeln!(out, "metrics {}", engine.metrics().to_json()).expect("stdout");
+                out.flush().expect("stdout");
+            }
+            Request::Quit => break 'serve,
+        }
+    }
+    for slot in pending.drain(..) {
+        writeln!(out, "{}", resolve(slot)).expect("stdout");
+    }
+    writeln!(out, "metrics {}", engine.metrics().to_json()).expect("stdout");
+    out.flush().expect("stdout");
+    engine.shutdown();
+}

@@ -1,0 +1,66 @@
+//! Minimal flag parsing shared by the `baserve` binaries. Flags are
+//! `--name value` pairs plus bare `--name` booleans; no external crates.
+
+use std::str::FromStr;
+
+/// The value following `--name`, if present.
+pub fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parse the value following `--name`, falling back to `default` when the
+/// flag is absent. A present-but-unparsable value is a hard error — silently
+/// ignoring a typo'd knob is worse than exiting.
+pub fn flag_parsed<T: FromStr>(args: &[String], name: &str, default: T) -> T {
+    match flag_value(args, name) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("error: bad value {v:?} for {name}");
+            std::process::exit(2);
+        }),
+    }
+}
+
+/// Whether bare `--name` appears.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// The engine knobs shared by `baserved` and `baserve-loadgen`:
+/// `--workers`, `--max-batch`, `--max-wait-ms`, `--queue-depth`, `--cache`.
+pub fn engine_config_from_args(args: &[String]) -> crate::EngineConfig {
+    let default = crate::EngineConfig::default();
+    crate::EngineConfig {
+        workers: flag_parsed(args, "--workers", default.workers),
+        max_batch: flag_parsed(args, "--max-batch", default.max_batch),
+        max_wait: std::time::Duration::from_millis(flag_parsed(
+            args,
+            "--max-wait-ms",
+            default.max_wait.as_millis() as u64,
+        )),
+        queue_depth: flag_parsed(args, "--queue-depth", default.queue_depth),
+        cache_capacity: flag_parsed(args, "--cache", default.cache_capacity),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn values_and_defaults() {
+        let args = argv("prog --seed 7 --check");
+        assert_eq!(flag_value(&args, "--seed").as_deref(), Some("7"));
+        assert_eq!(flag_parsed(&args, "--seed", 42u64), 7);
+        assert_eq!(flag_parsed(&args, "--requests", 1000usize), 1000);
+        assert!(has_flag(&args, "--check"));
+        assert!(!has_flag(&args, "--json"));
+    }
+}

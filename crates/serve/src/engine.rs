@@ -1,0 +1,541 @@
+//! The micro-batching inference engine.
+//!
+//! Requests enter a bounded MPSC queue ([`Engine::submit`] rejects with
+//! [`ServeError::QueueFull`] once `queue_depth` jobs are waiting — explicit
+//! backpressure, never unbounded growth). A pool of worker threads drains the
+//! queue; each worker pops one job, then keeps filling its batch until either
+//! `max_batch` jobs are in hand or `max_wait` has elapsed since the first pop.
+//!
+//! `numnet` parameters are `Rc<RefCell<…>>` and cannot cross threads, so the
+//! engine follows a **replica-per-worker** design: every worker thread builds
+//! its own [`BaClassifier`] from the shared [`ModelArtifact`] (whose plain
+//! weight matrices *are* `Send + Sync`). All replicas are byte-identical, so
+//! any worker may serve any request.
+//!
+//! The expensive stage — slice-graph construction plus GFN embedding — is
+//! memoized in a shared LRU keyed by `(address id, history length)`: a
+//! history is append-only, so that pair uniquely identifies the embedding
+//! input. Cache hits skip straight to the cheap LSTM+MLP head
+//! ([`BaClassifier::classify_embeddings`]), which the core crate guarantees
+//! is byte-identical to the unstaged `predict` path.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::mpsc::{self, Receiver, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use baclassifier::{ArtifactError, BaClassifier, ModelArtifact, PredictError};
+use btcsim::{AddressRecord, Label};
+use numnet::Matrix;
+
+use crate::cache::LruCache;
+use crate::metrics::{Metrics, MetricsSnapshot};
+
+/// Tuning knobs for the serving engine.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Worker threads (model replicas). `0` is allowed and leaves the queue
+    /// permanently un-drained — useful only for testing backpressure.
+    pub workers: usize,
+    /// Largest batch a worker will assemble before processing.
+    pub max_batch: usize,
+    /// How long a worker waits for the batch to fill after its first pop.
+    pub max_wait: Duration,
+    /// Bound on queued (admitted, not yet processed) requests.
+    pub queue_depth: usize,
+    /// Entries in the shared embedding LRU; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        let cores = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        Self {
+            workers: cores.min(4),
+            max_batch: 16,
+            max_wait: Duration::from_millis(2),
+            queue_depth: 256,
+            cache_capacity: 1024,
+        }
+    }
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeError {
+    /// The admission queue is at `queue_depth`; retry later (backpressure).
+    QueueFull,
+    /// The engine is shutting down and no longer admits or serves work.
+    ShuttingDown,
+    /// The model itself refused the input (e.g. empty history).
+    Predict(PredictError),
+    /// The serving worker disappeared without replying (engine bug or
+    /// worker panic); the request's fate is unknown.
+    WorkerLost,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull => write!(f, "request queue is full"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+            ServeError::Predict(e) => write!(f, "prediction failed: {e}"),
+            ServeError::WorkerLost => write!(f, "serving worker disappeared"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<PredictError> for ServeError {
+    fn from(e: PredictError) -> Self {
+        ServeError::Predict(e)
+    }
+}
+
+/// A served classification.
+#[derive(Clone, Debug)]
+pub struct Response {
+    pub label: Label,
+    /// Whether the embedding stage was skipped (LRU or intra-batch reuse).
+    pub cache_hit: bool,
+    /// Queue-to-reply time as observed by the worker.
+    pub latency: Duration,
+}
+
+/// Handle to one in-flight request; redeem with [`Ticket::wait`].
+pub struct Ticket {
+    rx: Receiver<Result<Response, ServeError>>,
+}
+
+impl Ticket {
+    /// Block until the engine replies.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+    }
+}
+
+/// `(address id, history length)` — see the module docs for why this
+/// uniquely identifies an embedding input.
+type CacheKey = (u64, u64);
+
+fn cache_key(record: &AddressRecord) -> CacheKey {
+    (record.address.0, record.txs.len() as u64)
+}
+
+struct Job {
+    record: AddressRecord,
+    reply: SyncSender<Result<Response, ServeError>>,
+    enqueued: Instant,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    cond: Condvar,
+    cache: Mutex<LruCache<CacheKey, Arc<Vec<Matrix>>>>,
+    metrics: Metrics,
+}
+
+/// The batched, cached serving engine. Dropping it shuts down gracefully:
+/// admitted work is finished, then workers exit.
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    queue_depth: usize,
+}
+
+impl Engine {
+    /// Validate the artifact (by building one replica eagerly) and spawn the
+    /// worker pool.
+    pub fn new(artifact: Arc<ModelArtifact>, config: EngineConfig) -> Result<Self, ArtifactError> {
+        // Surface shape/config mismatches here, not inside a worker thread.
+        BaClassifier::from_artifact(&artifact)?;
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState::default()),
+            cond: Condvar::new(),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            metrics: Metrics::default(),
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let artifact = Arc::clone(&artifact);
+                let cfg = config.clone();
+                thread::Builder::new()
+                    .name(format!("baserve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &artifact, &cfg))
+                    .expect("spawn serving worker")
+            })
+            .collect();
+        Ok(Self {
+            shared,
+            workers,
+            queue_depth: config.queue_depth,
+        })
+    }
+
+    /// Enqueue one classification request. Fails fast with
+    /// [`ServeError::QueueFull`] instead of queueing unboundedly.
+    pub fn submit(&self, record: AddressRecord) -> Result<Ticket, ServeError> {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.shared.metrics.submitted.fetch_add(1, Relaxed);
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        if q.shutdown {
+            self.shared.metrics.rejected.fetch_add(1, Relaxed);
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.jobs.len() >= self.queue_depth {
+            self.shared.metrics.rejected.fetch_add(1, Relaxed);
+            return Err(ServeError::QueueFull);
+        }
+        let (tx, rx) = mpsc::sync_channel(1);
+        q.jobs.push_back(Job {
+            record,
+            reply: tx,
+            enqueued: Instant::now(),
+        });
+        drop(q);
+        self.shared.cond.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Submit and wait — the one-call convenience path.
+    pub fn classify(&self, record: AddressRecord) -> Result<Response, ServeError> {
+        self.submit(record)?.wait()
+    }
+
+    /// Point-in-time copy of the service counters and histograms.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Finish admitted work, stop the workers, and fail anything that could
+    /// not be served (only possible with `workers == 0`).
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        for h in self.workers.drain(..) {
+            h.join().ok();
+        }
+        // Workers only exit with an empty queue, so this loop is live only
+        // when there were no workers to begin with.
+        let mut q = self.shared.queue.lock().expect("queue lock");
+        while let Some(job) = q.jobs.pop_front() {
+            self.shared
+                .metrics
+                .failed
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let _ = job.reply.send(Err(ServeError::ShuttingDown));
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn worker_loop(shared: &Shared, artifact: &ModelArtifact, cfg: &EngineConfig) {
+    let replica =
+        BaClassifier::from_artifact(artifact).expect("artifact was validated at engine startup");
+    let max_batch = cfg.max_batch.max(1);
+    loop {
+        let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+        {
+            let mut q = shared.queue.lock().expect("queue lock");
+            // Block for the first job of the batch.
+            loop {
+                if let Some(job) = q.jobs.pop_front() {
+                    batch.push(job);
+                    break;
+                }
+                if q.shutdown {
+                    return;
+                }
+                q = shared.cond.wait(q).expect("queue lock");
+            }
+            // Fill until max_batch or the max_wait deadline.
+            let deadline = Instant::now() + cfg.max_wait;
+            while batch.len() < max_batch {
+                if let Some(job) = q.jobs.pop_front() {
+                    batch.push(job);
+                    continue;
+                }
+                if q.shutdown {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = shared
+                    .cond
+                    .wait_timeout(q, deadline - now)
+                    .expect("queue lock");
+                q = guard;
+                if timeout.timed_out() {
+                    while batch.len() < max_batch {
+                        match q.jobs.pop_front() {
+                            Some(job) => batch.push(job),
+                            None => break,
+                        }
+                    }
+                    break;
+                }
+            }
+        }
+        process_batch(shared, &replica, batch);
+    }
+}
+
+fn process_batch(shared: &Shared, replica: &BaClassifier, batch: Vec<Job>) {
+    use std::sync::atomic::Ordering::Relaxed;
+    shared.metrics.record_batch_size(batch.len());
+    // Embeddings computed (or fetched) earlier in this same batch; identical
+    // requests reuse them without touching the shared cache again.
+    let mut this_batch: HashMap<CacheKey, Arc<Vec<Matrix>>> = HashMap::new();
+    for job in batch {
+        let key = cache_key(&job.record);
+        let (seq, hit) = if let Some(seq) = this_batch.get(&key) {
+            shared.metrics.batch_dedup_hits.fetch_add(1, Relaxed);
+            (Arc::clone(seq), true)
+        } else {
+            // Separate statement so the lock guard drops before the miss
+            // path re-locks to publish the freshly computed embedding.
+            let cached = shared.cache.lock().expect("cache lock").get(&key).cloned();
+            match cached {
+                Some(seq) => {
+                    shared.metrics.cache_hits.fetch_add(1, Relaxed);
+                    this_batch.insert(key, Arc::clone(&seq));
+                    (seq, true)
+                }
+                None => {
+                    shared.metrics.cache_misses.fetch_add(1, Relaxed);
+                    let seq = Arc::new(replica.embed_record(&job.record));
+                    shared
+                        .cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, Arc::clone(&seq));
+                    this_batch.insert(key, Arc::clone(&seq));
+                    (seq, false)
+                }
+            }
+        };
+        let result = replica
+            .classify_embeddings(&seq)
+            .map(|label| Response {
+                label,
+                cache_hit: hit,
+                latency: job.enqueued.elapsed(),
+            })
+            .map_err(ServeError::Predict);
+        match &result {
+            Ok(r) => {
+                shared.metrics.completed.fetch_add(1, Relaxed);
+                shared
+                    .metrics
+                    .record_latency_us(r.latency.as_micros() as u64);
+            }
+            Err(_) => {
+                shared.metrics.failed.fetch_add(1, Relaxed);
+            }
+        }
+        // A dropped Ticket is not an engine error; ignore send failure.
+        let _ = job.reply.send(result);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use baclassifier::BacConfig;
+    use btcsim::{Dataset, SimConfig, Simulator};
+
+    /// A deterministic fitted-state artifact without paying for `fit()`:
+    /// freshly initialized weights are exported through the NNIO stream that
+    /// `save_weights` writes, then wrapped in a `ModelArtifact` by hand.
+    fn test_artifact() -> Arc<ModelArtifact> {
+        let cfg = BacConfig::fast();
+        let clf = BaClassifier::new(cfg.clone());
+        let path = std::env::temp_dir().join(format!(
+            "baserve_engine_test_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        clf.save_weights(&path).unwrap();
+        let weights = numnet::read_matrices(&mut std::fs::File::open(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        Arc::new(ModelArtifact {
+            config: cfg,
+            weights,
+        })
+    }
+
+    fn test_records(n: usize) -> Vec<AddressRecord> {
+        let sim = Simulator::run_to_completion(SimConfig::tiny(9));
+        let ds = Dataset::from_simulator(&sim, 3);
+        assert!(ds.len() >= n, "tiny sim yielded only {} records", ds.len());
+        ds.records.into_iter().take(n).collect()
+    }
+
+    #[test]
+    fn engine_matches_direct_model() {
+        let artifact = test_artifact();
+        let direct = BaClassifier::from_artifact(&artifact).unwrap();
+        let engine = Engine::new(
+            Arc::clone(&artifact),
+            EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        for record in test_records(12) {
+            let expect = direct.predict(&record).unwrap();
+            let got = engine.classify(record).unwrap();
+            assert_eq!(got.label, expect);
+        }
+        let snap = engine.metrics();
+        assert_eq!(snap.completed, 12);
+        assert_eq!(snap.failed, 0);
+    }
+
+    #[test]
+    fn queue_full_is_rejected_not_queued() {
+        let artifact = test_artifact();
+        // Zero workers: nothing drains, so the bound is exact.
+        let engine = Engine::new(
+            artifact,
+            EngineConfig {
+                workers: 0,
+                queue_depth: 3,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let records = test_records(4);
+        let mut tickets = Vec::new();
+        for r in records.iter().take(3).cloned() {
+            tickets.push(engine.submit(r).unwrap());
+        }
+        assert_eq!(
+            engine.submit(records[3].clone()).map(|_| ()),
+            Err(ServeError::QueueFull)
+        );
+        let snap = engine.metrics();
+        assert_eq!(snap.submitted, 4);
+        assert_eq!(snap.rejected, 1);
+        // Shutdown fails the admitted-but-unserved jobs cleanly.
+        engine.shutdown();
+        for t in tickets {
+            assert_eq!(t.wait().map(|_| ()), Err(ServeError::ShuttingDown));
+        }
+    }
+
+    #[test]
+    fn batches_exceed_one_under_burst() {
+        let artifact = test_artifact();
+        let engine = Engine::new(
+            artifact,
+            EngineConfig {
+                workers: 1,
+                max_batch: 8,
+                max_wait: Duration::from_millis(50),
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let records = test_records(12);
+        let tickets: Vec<Ticket> = records
+            .iter()
+            .cycle()
+            .take(24)
+            .map(|r| engine.submit(r.clone()).unwrap())
+            .collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let snap = engine.metrics();
+        assert_eq!(snap.completed, 24);
+        assert!(
+            snap.max_batch_size > 1,
+            "expected batching under burst, got max batch {}",
+            snap.max_batch_size
+        );
+    }
+
+    #[test]
+    fn repeat_queries_hit_the_cache() {
+        let artifact = test_artifact();
+        let engine = Engine::new(artifact, EngineConfig::default()).unwrap();
+        let record = test_records(1).remove(0);
+        let cold = engine.classify(record.clone()).unwrap();
+        assert!(!cold.cache_hit);
+        let warm = engine.classify(record.clone()).unwrap();
+        assert!(warm.cache_hit);
+        assert_eq!(cold.label, warm.label);
+        let snap = engine.metrics();
+        assert_eq!(snap.cache_misses, 1);
+        assert!(snap.cache_hits >= 1);
+        assert!(snap.cache_hit_rate > 0.0);
+    }
+
+    #[test]
+    fn zero_cache_capacity_still_serves() {
+        let artifact = test_artifact();
+        let engine = Engine::new(
+            artifact,
+            EngineConfig {
+                cache_capacity: 0,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let record = test_records(1).remove(0);
+        engine.classify(record.clone()).unwrap();
+        let warm = engine.classify(record).unwrap();
+        assert!(!warm.cache_hit);
+        assert_eq!(engine.metrics().cache_hits, 0);
+    }
+
+    #[test]
+    fn mismatched_artifact_is_rejected_at_startup() {
+        let artifact = test_artifact();
+        let mut bad = (*artifact).clone();
+        bad.weights.pop();
+        assert!(Engine::new(Arc::new(bad), EngineConfig::default()).is_err());
+    }
+
+    #[test]
+    fn drop_is_a_graceful_shutdown() {
+        let artifact = test_artifact();
+        let engine = Engine::new(artifact, EngineConfig::default()).unwrap();
+        let tickets: Vec<Ticket> = test_records(6)
+            .into_iter()
+            .map(|r| engine.submit(r).unwrap())
+            .collect();
+        drop(engine);
+        // Admitted work was finished before the workers exited.
+        for t in tickets {
+            t.wait().unwrap();
+        }
+    }
+}

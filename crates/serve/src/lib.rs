@@ -1,0 +1,51 @@
+//! # baserve — batched, cached inference serving for trained BAClassifiers
+//!
+//! The training side of this repository ends with a fitted
+//! [`baclassifier::BaClassifier`]; `baserve` is everything after that:
+//! getting the model out of the training process and answering
+//! classification queries with bounded memory and observable behavior.
+//!
+//! The subsystem has four pieces:
+//!
+//! * **Model artifacts** (in `baclassifier::artifact`): a single-file
+//!   `BART` bundle of configuration + weights with a versioned manifest and
+//!   checksum, so a serving process can reconstruct the exact trained model.
+//! * **[`engine`]**: a micro-batching engine — a bounded request queue with
+//!   explicit backpressure ([`ServeError::QueueFull`]) feeding a pool of
+//!   worker threads, each a full model replica, draining up to
+//!   `max_batch`/`max_wait` requests per tick.
+//! * **[`cache`]**: an O(1) LRU over per-address embedding sequences; hits
+//!   skip graph construction and the GFN forward pass and re-run only the
+//!   cheap LSTM+MLP head, staying byte-identical to the unstaged path.
+//! * **[`metrics`]**: wait-free counters and latency/batch-size histograms,
+//!   snapshotted into a [`MetricsSnapshot`] that renders as JSON.
+//!
+//! Two binaries ship with the crate: `baserved` (loads an artifact and
+//! serves the [`protocol`] line protocol) and `baserve-loadgen` (replays
+//! zipf-distributed query traffic against an engine and reports
+//! throughput/latency); `baserve-fit` produces a demo artifact. A worked
+//! example lives in the repository README under *Serving*.
+//!
+//! ```no_run
+//! use baserve::{Engine, EngineConfig};
+//! use baclassifier::ModelArtifact;
+//! use std::sync::Arc;
+//!
+//! let artifact = Arc::new(ModelArtifact::load("model.bart".as_ref())?);
+//! let engine = Engine::new(Arc::clone(&artifact), EngineConfig::default())?;
+//! # let record: btcsim::AddressRecord = unimplemented!();
+//! let response = engine.classify(record)?;
+//! println!("{} ({})", response.label.name(), engine.metrics().to_json());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod cache;
+pub mod cli;
+pub mod engine;
+pub mod metrics;
+pub mod protocol;
+
+pub use cache::LruCache;
+pub use engine::{Engine, EngineConfig, Response, ServeError, Ticket};
+pub use metrics::{Metrics, MetricsSnapshot};
+pub use protocol::{format_error, format_response, parse_request, ProtocolError, Request};

@@ -1,0 +1,307 @@
+//! Lock-free service metrics: monotonically increasing atomic counters and
+//! power-of-two latency/batch-size histograms, snapshotted on demand into a
+//! plain [`MetricsSnapshot`] that renders itself as JSON.
+//!
+//! All recording paths are wait-free (`fetch_add` with relaxed ordering);
+//! snapshots are taken with relaxed loads too, so a snapshot racing ongoing
+//! traffic is approximate at the margin of a few in-flight requests — fine
+//! for service telemetry.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Latency histogram over power-of-two microsecond buckets: bucket `i`
+/// holds samples in `[2^i, 2^(i+1))` µs, with the last bucket open-ended.
+const LATENCY_BUCKETS: usize = 32;
+
+/// Batch sizes 1..=MAX_TRACKED_BATCH tracked exactly, larger batches clamp.
+const MAX_TRACKED_BATCH: usize = 64;
+
+#[derive(Default)]
+pub struct Metrics {
+    pub submitted: AtomicU64,
+    pub rejected: AtomicU64,
+    pub completed: AtomicU64,
+    pub failed: AtomicU64,
+    pub cache_hits: AtomicU64,
+    pub cache_misses: AtomicU64,
+    /// Requests answered from work already done for an identical request in
+    /// the same batch (intra-batch dedup; not an LRU hit).
+    pub batch_dedup_hits: AtomicU64,
+    pub batches: AtomicU64,
+    latency_us: LatencyHistogram,
+    batch_sizes: BatchHistogram,
+}
+
+struct LatencyHistogram {
+    buckets: [AtomicU64; LATENCY_BUCKETS],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    fn record(&self, us: u64) {
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(LATENCY_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Relaxed);
+        self.sum_us.fetch_add(us, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+    }
+
+    fn snapshot(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Relaxed)).collect()
+    }
+}
+
+struct BatchHistogram {
+    buckets: [AtomicU64; MAX_TRACKED_BATCH],
+}
+
+impl Default for BatchHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn record_latency_us(&self, us: u64) {
+        self.latency_us.record(us);
+    }
+
+    pub fn record_batch_size(&self, size: usize) {
+        self.batches.fetch_add(1, Relaxed);
+        let idx = size.clamp(1, MAX_TRACKED_BATCH) - 1;
+        self.batch_sizes.buckets[idx].fetch_add(1, Relaxed);
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let latency = self.latency_us.snapshot();
+        let lat_count = self.latency_us.count.load(Relaxed);
+        let lat_sum = self.latency_us.sum_us.load(Relaxed);
+        let batch_counts: Vec<u64> = self
+            .batch_sizes
+            .buckets
+            .iter()
+            .map(|b| b.load(Relaxed))
+            .collect();
+
+        let hits = self.cache_hits.load(Relaxed);
+        let misses = self.cache_misses.load(Relaxed);
+        let batches = self.batches.load(Relaxed);
+        let batched_requests: u64 = batch_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+
+        MetricsSnapshot {
+            submitted: self.submitted.load(Relaxed),
+            rejected: self.rejected.load(Relaxed),
+            completed: self.completed.load(Relaxed),
+            failed: self.failed.load(Relaxed),
+            cache_hits: hits,
+            cache_misses: misses,
+            batch_dedup_hits: self.batch_dedup_hits.load(Relaxed),
+            cache_hit_rate: if hits + misses == 0 {
+                0.0
+            } else {
+                hits as f64 / (hits + misses) as f64
+            },
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            max_batch_size: batch_counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(|i| i + 1)
+                .unwrap_or(0),
+            batch_size_counts: batch_counts,
+            mean_latency_us: if lat_count == 0 {
+                0.0
+            } else {
+                lat_sum as f64 / lat_count as f64
+            },
+            p50_latency_us: quantile_upper_bound(&latency, lat_count, 0.50),
+            p95_latency_us: quantile_upper_bound(&latency, lat_count, 0.95),
+            p99_latency_us: quantile_upper_bound(&latency, lat_count, 0.99),
+            latency_bucket_counts: latency,
+        }
+    }
+}
+
+/// Upper bound (µs) of the histogram bucket containing quantile `q`.
+fn quantile_upper_bound(buckets: &[u64], total: u64, q: f64) -> u64 {
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((total as f64 * q).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return 1u64 << (i + 1);
+        }
+    }
+    1u64 << buckets.len()
+}
+
+/// A point-in-time copy of every service metric.
+#[derive(Clone, Debug)]
+pub struct MetricsSnapshot {
+    pub submitted: u64,
+    pub rejected: u64,
+    pub completed: u64,
+    pub failed: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub batch_dedup_hits: u64,
+    pub cache_hit_rate: f64,
+    pub batches: u64,
+    pub mean_batch_size: f64,
+    pub max_batch_size: usize,
+    /// `batch_size_counts[i]` = number of batches of size `i + 1`.
+    pub batch_size_counts: Vec<u64>,
+    pub mean_latency_us: f64,
+    pub p50_latency_us: u64,
+    pub p95_latency_us: u64,
+    pub p99_latency_us: u64,
+    /// Power-of-two buckets; `latency_bucket_counts[i]` counts samples in
+    /// `[2^i, 2^(i+1))` µs.
+    pub latency_bucket_counts: Vec<u64>,
+}
+
+impl MetricsSnapshot {
+    /// Render as a single-line JSON object (hand-rolled; the build has no
+    /// serde backend). Histogram vectors are emitted sparsely as
+    /// `{"<size>": count, ...}` objects.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_kv_u64(&mut s, "submitted", self.submitted);
+        push_kv_u64(&mut s, "rejected", self.rejected);
+        push_kv_u64(&mut s, "completed", self.completed);
+        push_kv_u64(&mut s, "failed", self.failed);
+        push_kv_u64(&mut s, "cache_hits", self.cache_hits);
+        push_kv_u64(&mut s, "cache_misses", self.cache_misses);
+        push_kv_u64(&mut s, "batch_dedup_hits", self.batch_dedup_hits);
+        push_kv_f64(&mut s, "cache_hit_rate", self.cache_hit_rate);
+        push_kv_u64(&mut s, "batches", self.batches);
+        push_kv_f64(&mut s, "mean_batch_size", self.mean_batch_size);
+        push_kv_u64(&mut s, "max_batch_size", self.max_batch_size as u64);
+        push_kv_f64(&mut s, "mean_latency_us", self.mean_latency_us);
+        push_kv_u64(&mut s, "p50_latency_us", self.p50_latency_us);
+        push_kv_u64(&mut s, "p95_latency_us", self.p95_latency_us);
+        push_kv_u64(&mut s, "p99_latency_us", self.p99_latency_us);
+        s.push_str("\"batch_size_counts\":{");
+        let mut first = true;
+        for (i, &c) in self.batch_size_counts.iter().enumerate() {
+            if c > 0 {
+                if !first {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"{}\":{}", i + 1, c));
+                first = false;
+            }
+        }
+        s.push_str("},");
+        s.push_str("\"latency_us_buckets\":{");
+        let mut first = true;
+        for (i, &c) in self.latency_bucket_counts.iter().enumerate() {
+            if c > 0 {
+                if !first {
+                    s.push(',');
+                }
+                s.push_str(&format!("\"le_{}\":{}", 1u64 << (i + 1), c));
+                first = false;
+            }
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn push_kv_u64(s: &mut String, k: &str, v: u64) {
+    s.push_str(&format!("\"{k}\":{v},"));
+}
+
+fn push_kv_f64(s: &mut String, k: &str, v: f64) {
+    s.push_str(&format!("\"{k}\":{v:.6},"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_from_known_distribution() {
+        let m = Metrics::default();
+        // 90 fast samples (~4µs bucket) and 10 slow (~1024µs bucket).
+        for _ in 0..90 {
+            m.record_latency_us(5);
+        }
+        for _ in 0..10 {
+            m.record_latency_us(1500);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.p50_latency_us, 8); // bucket [4,8)
+        assert_eq!(snap.p95_latency_us, 2048); // bucket [1024,2048)
+        assert_eq!(snap.p99_latency_us, 2048);
+        assert!((snap.mean_latency_us - (90.0 * 5.0 + 10.0 * 1500.0) / 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_stats() {
+        let m = Metrics::default();
+        m.record_batch_size(1);
+        m.record_batch_size(4);
+        m.record_batch_size(4);
+        m.record_batch_size(7);
+        let snap = m.snapshot();
+        assert_eq!(snap.batches, 4);
+        assert_eq!(snap.max_batch_size, 7);
+        assert!((snap.mean_batch_size - 4.0).abs() < 1e-9);
+        assert_eq!(snap.batch_size_counts[3], 2);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let m = Metrics::default();
+        m.cache_hits.fetch_add(3, Relaxed);
+        m.cache_misses.fetch_add(1, Relaxed);
+        assert!((m.snapshot().cache_hit_rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_metrics_snapshot_is_all_zero() {
+        let snap = Metrics::default().snapshot();
+        assert_eq!(snap.p99_latency_us, 0);
+        assert_eq!(snap.mean_batch_size, 0.0);
+        assert_eq!(snap.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_sparse() {
+        let m = Metrics::default();
+        m.submitted.fetch_add(5, Relaxed);
+        m.record_latency_us(100);
+        m.record_batch_size(3);
+        let json = m.snapshot().to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"submitted\":5"));
+        assert!(json.contains("\"batch_size_counts\":{\"3\":1}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -1,0 +1,137 @@
+//! The line protocol spoken by `baserved`.
+//!
+//! Requests, one per line (blank lines and `#` comments are ignored):
+//!
+//! ```text
+//! classify <address-id>   # classify one address by its numeric id
+//! metrics                 # dump a MetricsSnapshot as one JSON line
+//! quit                    # stop reading and shut down
+//! ```
+//!
+//! Responses, one line per request, in request order:
+//!
+//! ```text
+//! ok <label> <latency-µs>us <hit|miss>
+//! err <message>
+//! metrics <json>
+//! ```
+
+use crate::engine::{Response, ServeError};
+
+/// One parsed request line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Classify the address with this numeric id.
+    Classify(u64),
+    /// Dump current service metrics.
+    Metrics,
+    /// Stop serving.
+    Quit,
+}
+
+/// A malformed request line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// Parse one request line. `Ok(None)` means the line carries no request
+/// (blank or comment) and should simply be skipped.
+pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut parts = line.split_whitespace();
+    let cmd = parts.next().expect("non-empty line has a first token");
+    let req = match cmd {
+        "classify" => {
+            let arg = parts
+                .next()
+                .ok_or_else(|| ProtocolError("classify needs an address id".into()))?;
+            let id = arg
+                .parse::<u64>()
+                .map_err(|_| ProtocolError(format!("bad address id {arg:?}")))?;
+            Request::Classify(id)
+        }
+        "metrics" => Request::Metrics,
+        "quit" => Request::Quit,
+        other => return Err(ProtocolError(format!("unknown command {other:?}"))),
+    };
+    if let Some(extra) = parts.next() {
+        return Err(ProtocolError(format!(
+            "trailing token {extra:?} after {cmd}"
+        )));
+    }
+    Ok(Some(req))
+}
+
+/// Render the outcome of a `classify` request as one response line.
+pub fn format_response(result: &Result<Response, ServeError>) -> String {
+    match result {
+        Ok(r) => format!(
+            "ok {} {}us {}",
+            r.label.name(),
+            r.latency.as_micros(),
+            if r.cache_hit { "hit" } else { "miss" }
+        ),
+        Err(e) => format!("err {e}"),
+    }
+}
+
+/// Render an error that happened before a request reached the engine
+/// (parse failure, unknown address).
+pub fn format_error(msg: &str) -> String {
+    format!("err {msg}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use btcsim::Label;
+    use std::time::Duration;
+
+    #[test]
+    fn parses_the_three_commands() {
+        assert_eq!(
+            parse_request("classify 42"),
+            Ok(Some(Request::Classify(42)))
+        );
+        assert_eq!(parse_request("  metrics "), Ok(Some(Request::Metrics)));
+        assert_eq!(parse_request("quit"), Ok(Some(Request::Quit)));
+    }
+
+    #[test]
+    fn skips_blanks_and_comments() {
+        assert_eq!(parse_request(""), Ok(None));
+        assert_eq!(parse_request("   "), Ok(None));
+        assert_eq!(parse_request("# a comment"), Ok(None));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("classify").is_err());
+        assert!(parse_request("classify abc").is_err());
+        assert!(parse_request("classify 1 2").is_err());
+        assert!(parse_request("shutdown").is_err());
+    }
+
+    #[test]
+    fn formats_ok_and_err() {
+        let ok = Ok(Response {
+            label: Label::Mining,
+            cache_hit: true,
+            latency: Duration::from_micros(128),
+        });
+        assert_eq!(format_response(&ok), "ok Mining 128us hit");
+        let err: Result<Response, ServeError> = Err(ServeError::QueueFull);
+        assert_eq!(format_response(&err), "err request queue is full");
+        assert_eq!(format_error("no such address 7"), "err no such address 7");
+    }
+}

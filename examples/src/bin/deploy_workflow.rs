@@ -16,7 +16,10 @@ use btcsim::{Dataset, SimConfig, Simulator};
 fn main() {
     // --- Training side ---
     println!("training…");
-    let sim = Simulator::run_to_completion(SimConfig { blocks: 150, ..SimConfig::tiny(61) });
+    let sim = Simulator::run_to_completion(SimConfig {
+        blocks: 150,
+        ..SimConfig::tiny(61)
+    });
     let (train, test) = Dataset::from_simulator(&sim, 2).stratified_split(0.25, 4);
     let mut trainer = BaClassifier::new(BacConfig::fast());
     trainer.fit(&train);
@@ -27,10 +30,17 @@ fn main() {
     // --- Serving side (fresh process in real life) ---
     let mut server = BaClassifier::new(BacConfig::fast());
     server.load_weights(&weights).expect("load weights");
-    println!("restored classifier from disk; classifying {} addresses…", test.len());
+    println!(
+        "restored classifier from disk; classifying {} addresses…",
+        test.len()
+    );
 
     let y_true: Vec<usize> = test.records.iter().map(|r| r.label.index()).collect();
-    let raw: Vec<usize> = test.records.iter().map(|r| server.predict(r).index()).collect();
+    let raw: Vec<usize> = test
+        .records
+        .iter()
+        .map(|r| server.predict(r).expect("fitted model").index())
+        .collect();
     let raw_f1 = ConfusionMatrix::from_predictions(NUM_CLASSES, &y_true, &raw)
         .report()
         .weighted_f1;
@@ -39,7 +49,10 @@ fn main() {
     let refined = refine_predictions(
         &test.records,
         &one_hot(&raw),
-        RefineParams { alpha: 0.7, iterations: 3 },
+        RefineParams {
+            alpha: 0.7,
+            iterations: 3,
+        },
     );
     let refined_f1 = ConfusionMatrix::from_predictions(NUM_CLASSES, &y_true, &refined)
         .report()
@@ -50,7 +63,11 @@ fn main() {
     println!("with refinement:         {refined_f1:.4}  ({changed} predictions revised)");
     println!(
         "refinement {} the model on this batch",
-        if refined_f1 >= raw_f1 { "matched or improved" } else { "slightly hurt" }
+        if refined_f1 >= raw_f1 {
+            "matched or improved"
+        } else {
+            "slightly hurt"
+        }
     );
     std::fs::remove_file(weights).ok();
 }

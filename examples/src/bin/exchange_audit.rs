@@ -25,11 +25,19 @@ fn main() {
     let (x_train_raw, y_train) = flat_dataset(&train.records);
     let (x_test_raw, y_test) = flat_dataset(&test.records);
     let scaler = Scaler::fit(&x_train_raw);
-    let (x_train, x_test) = (scaler.transform(&x_train_raw), scaler.transform(&x_test_raw));
+    let (x_train, x_test) = (
+        scaler.transform(&x_train_raw),
+        scaler.transform(&x_test_raw),
+    );
 
-    println!("\nper-model Exchange-class F1 on {} held-out addresses:", test.len());
-    let mut models: Vec<Box<dyn Classifier>> =
-        vec![Box::new(LogisticRegression::default()), Box::new(Gbdt::default())];
+    println!(
+        "\nper-model Exchange-class F1 on {} held-out addresses:",
+        test.len()
+    );
+    let mut models: Vec<Box<dyn Classifier>> = vec![
+        Box::new(LogisticRegression::default()),
+        Box::new(Gbdt::default()),
+    ];
     for model in models.iter_mut() {
         model.fit(&x_train, &y_train);
         let report = evaluate(model.as_ref(), &x_test, &y_test);
@@ -75,6 +83,9 @@ fn main() {
             sweep.outputs.len(),
             sweep.outputs.iter().map(|&(_, v)| v.btc()).sum::<f64>()
         );
-        println!("model verdict: {}", clf.predict(record));
+        println!(
+            "model verdict: {}",
+            clf.predict(record).expect("fitted model")
+        );
     }
 }

@@ -38,8 +38,10 @@ fn main() {
 
     // Walk the compression pipeline slice by slice and show the shrinkage.
     let originals = extract_original_graphs(pool, 100);
-    println!("\n{:<8} {:>10} {:>10} {:>10} {:>12} {:>12}",
-        "slice", "original", "stage2", "stage3", "s-hypers", "m-hypers");
+    println!(
+        "\n{:<8} {:>10} {:>10} {:>10} {:>12} {:>12}",
+        "slice", "original", "stage2", "stage3", "s-hypers", "m-hypers"
+    );
     for (i, g) in originals.iter().enumerate() {
         let s2 = compress_single_tx(g);
         let s3 = compress_multi_tx(&s2, MultiCompressParams::default());

@@ -24,18 +24,24 @@ fn main() {
     let dataset = Dataset::from_simulator(&sim, 2);
     let (train, test) = dataset.stratified_split(0.3, 5);
 
-    println!("training the detector on {} labeled addresses…", train.len());
+    println!(
+        "training the detector on {} labeled addresses…",
+        train.len()
+    );
     let mut clf = BaClassifier::new(BacConfig::fast());
     clf.fit(&train);
 
     // Sweep the held-out addresses as if they were unlabeled intelligence
     // leads; report the ones the model flags as Service (mixer-like).
-    println!("\nsweeping {} candidate addresses for mixer behavior…", test.len());
+    println!(
+        "\nsweeping {} candidate addresses for mixer behavior…",
+        test.len()
+    );
     let mut flagged: Vec<&AddressRecord> = Vec::new();
     let mut true_positives = 0usize;
     let mut false_positives = 0usize;
     for record in &test.records {
-        if clf.predict(record) == Label::Service {
+        if clf.predict(record).expect("fitted model") == Label::Service {
             flagged.push(record);
             if record.label == Label::Service {
                 true_positives += 1;
@@ -44,8 +50,11 @@ fn main() {
             }
         }
     }
-    let service_total =
-        test.records.iter().filter(|r| r.label == Label::Service).count();
+    let service_total = test
+        .records
+        .iter()
+        .filter(|r| r.label == Label::Service)
+        .count();
     println!(
         "flagged {} addresses: {} true mixers, {} false alarms ({} mixers in the sweep)",
         flagged.len(),

@@ -12,7 +12,10 @@ fn main() {
     // 1. Simulate a bitcoin economy with labeled actors (the paper's
     //    dataset substitute — see DESIGN.md).
     println!("simulating blockchain…");
-    let sim = Simulator::run_to_completion(SimConfig { blocks: 150, ..SimConfig::tiny(7) });
+    let sim = Simulator::run_to_completion(SimConfig {
+        blocks: 150,
+        ..SimConfig::tiny(7)
+    });
     println!(
         "  {} blocks, {} transactions, {} addresses",
         sim.chain().height(),
@@ -40,18 +43,29 @@ fn main() {
     println!(
         "  GFN:      {} epochs, final train loss {:.4}",
         fit.gnn_log.points.len(),
-        fit.gnn_log.points.last().map(|p| p.train_loss).unwrap_or(f32::NAN)
+        fit.gnn_log
+            .points
+            .last()
+            .map(|p| p.train_loss)
+            .unwrap_or(f32::NAN)
     );
     println!(
         "  LSTM+MLP: {} epochs, final train loss {:.4}",
         fit.head_log.points.len(),
-        fit.head_log.points.last().map(|p| p.train_loss).unwrap_or(f32::NAN)
+        fit.head_log
+            .points
+            .last()
+            .map(|p| p.train_loss)
+            .unwrap_or(f32::NAN)
     );
 
     // 4. Evaluate on held-out addresses (the paper's Table IV layout).
     println!("\nevaluating on {} held-out addresses:", test.len());
     let report = clf.evaluate(&test);
-    println!("{}", report.to_table(&["Exchange", "Mining", "Gambling", "Service"]));
+    println!(
+        "{}",
+        report.to_table(&["Exchange", "Mining", "Gambling", "Service"])
+    );
 
     // 5. Classify one specific address.
     let sample = &test.records[0];
@@ -59,7 +73,7 @@ fn main() {
         "address {} ({} txs): predicted {}, actual {}",
         sample.address,
         sample.num_txs(),
-        clf.predict(sample),
+        clf.predict(sample).expect("fitted model"),
         sample.label
     );
 }

@@ -1,0 +1,188 @@
+//! Offline stand-in for `criterion`: the macro/builder surface the bench
+//! targets use, backed by a plain wall-clock timer. No statistics machinery —
+//! each benchmark runs `sample_size` timed iterations after one warm-up and
+//! reports min/mean per-iteration time.
+//!
+//! When invoked by `cargo test` (which runs `harness = false` bench binaries
+//! with `--test` or in plain smoke mode), pass-through is fast because the
+//! sample counts in this workspace are small.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo test` executes harness=false benches as plain binaries with
+        // `--test`-style smoke expectations; keep those runs near-instant.
+        let smoke = std::env::args().any(|a| a == "--test")
+            || std::env::var_os("CRITERION_SMOKE").is_some();
+        Self {
+            sample_size: 100,
+            smoke,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.smoke {
+            1
+        } else {
+            self.sample_size
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, mut f: F) {
+        run_one(&name.into(), self.effective_samples(), &mut f);
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// Identifier used by `bench_with_input`.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn from_parameter(p: impl std::fmt::Display) -> Self {
+        Self(p.to_string())
+    }
+
+    pub fn new(name: impl std::fmt::Display, p: impl std::fmt::Display) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.criterion.effective_samples(), &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let full = format!("{}/{}", self.name, id.0);
+        run_one(&full, self.criterion.effective_samples(), &mut |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    samples: usize,
+    results: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        self.results.clear();
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.results.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut b = Bencher {
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    if b.results.is_empty() {
+        println!("bench {name}: no measurements");
+        return;
+    }
+    let total: Duration = b.results.iter().sum();
+    let mean = total / b.results.len() as u32;
+    let min = b.results.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {name}: mean {:.3?} min {:.3?} over {} iters",
+        mean,
+        min,
+        b.results.len()
+    );
+}
+
+/// `criterion_group!` — both the struct-ish form with `name/config/targets`
+/// and the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_requested_samples() {
+        let mut c = Criterion::default().sample_size(5);
+        c.smoke = false;
+        let mut count = 0u32;
+        c.bench_function("counting", |b| b.iter(|| count += 1));
+        // 1 warm-up + 5 timed
+        assert_eq!(count, 6);
+    }
+
+    #[test]
+    fn group_and_id_compose() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut group = c.benchmark_group("g");
+        group.bench_function("plain", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::from_parameter(42), &3u32, |b, x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+    }
+}

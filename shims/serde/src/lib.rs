@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`. The workspace uses serde only as
+//! `#[derive(Serialize, Deserialize)]` annotations; nothing serializes
+//! through it (binary persistence is hand-rolled). The derives here expand
+//! to nothing and the traits are empty markers, which keeps every annotated
+//! type compiling without network access to crates.io.
+
+pub trait Serialize {}
+
+pub trait Deserialize<'de>: Sized {}
+
+/// Owned-deserialization marker mirroring serde's blanket.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,8 +1,10 @@
 //! Cross-crate checks: baselines and the core pipeline consume the same
 //! datasets and produce comparable, sane reports.
 
-use baselines::{evaluate, flat_dataset, Classifier, Gbdt, LeeClassifier, LogisticRegression, Scaler};
 use baselines::BitScope;
+use baselines::{
+    evaluate, flat_dataset, Classifier, Gbdt, LeeClassifier, LogisticRegression, Scaler,
+};
 use btcsim::{Dataset, SimConfig, Simulator};
 
 fn split() -> (Dataset, Dataset) {
@@ -27,7 +29,11 @@ fn flat_baselines_learn_the_simulated_classes() {
     let mut lr = LogisticRegression::default();
     lr.fit(&x_train, &y_train);
     let lr_report = evaluate(&lr, &x_test, &y_test);
-    assert!(lr_report.weighted_f1 > 0.4, "LR F1 {}", lr_report.weighted_f1);
+    assert!(
+        lr_report.weighted_f1 > 0.4,
+        "LR F1 {}",
+        lr_report.weighted_f1
+    );
 
     // Shape check from the paper's Table II: trees beat the linear model.
     assert!(report.weighted_f1 >= lr_report.weighted_f1 - 0.05);
@@ -51,8 +57,11 @@ fn prior_work_classifiers_run_end_to_end() {
 
     let mut lee = LeeClassifier::random_forest(1);
     lee.fit_records(&train.records);
-    let correct =
-        test.records.iter().filter(|r| lee.predict_record(r) == r.label.index()).count();
+    let correct = test
+        .records
+        .iter()
+        .filter(|r| lee.predict_record(r) == r.label.index())
+        .count();
     assert!(correct as f64 / test.len() as f64 > 0.6);
 }
 

@@ -15,7 +15,10 @@ fn dataset() -> Dataset {
 fn invariants_hold_across_slice_sizes() {
     let ds = dataset();
     for slice_size in [5, 20, 100] {
-        let cfg = ConstructionConfig { slice_size, ..Default::default() };
+        let cfg = ConstructionConfig {
+            slice_size,
+            ..Default::default()
+        };
         for r in ds.records.iter().take(25) {
             let (graphs, _) = construct_address_graphs(r, &cfg);
             assert_eq!(graphs.len(), r.num_txs().div_ceil(slice_size));
@@ -35,15 +38,21 @@ fn merged_counts_account_for_every_original_address() {
     // addresses in the uncompressed graph.
     let ds = dataset();
     let on = ConstructionConfig::default();
-    let off = ConstructionConfig { compress: false, ..Default::default() };
+    let off = ConstructionConfig {
+        compress: false,
+        ..Default::default()
+    };
     for r in ds.records.iter().take(25) {
         let (compressed, _) = construct_address_graphs(r, &on);
         let (original, _) = construct_address_graphs(r, &off);
         for (c, o) in compressed.iter().zip(&original) {
-            let compressed_mass: usize =
-                c.nodes.iter().filter(|n| n.is_address_like()).map(|n| n.merged_count).sum();
-            let original_mass =
-                o.nodes.iter().filter(|n| n.is_address_like()).count();
+            let compressed_mass: usize = c
+                .nodes
+                .iter()
+                .filter(|n| n.is_address_like())
+                .map(|n| n.merged_count)
+                .sum();
+            let original_mass = o.nodes.iter().filter(|n| n.is_address_like()).count();
             assert_eq!(compressed_mass, original_mass, "address {}", r.address);
         }
     }
@@ -53,7 +62,10 @@ fn merged_counts_account_for_every_original_address() {
 fn total_edge_value_is_preserved_by_compression() {
     let ds = dataset();
     let on = ConstructionConfig::default();
-    let off = ConstructionConfig { compress: false, ..Default::default() };
+    let off = ConstructionConfig {
+        compress: false,
+        ..Default::default()
+    };
     for r in ds.records.iter().take(25) {
         let (compressed, _) = construct_address_graphs(r, &on);
         let (original, _) = construct_address_graphs(r, &off);
@@ -85,13 +97,30 @@ fn tensors_are_finite_for_every_constructed_graph() {
 fn stricter_psi_merges_less() {
     let ds = dataset();
     // The busiest address exercises multi-compression hardest.
-    let r = ds.records.iter().max_by_key(|r| r.num_txs()).expect("non-empty");
-    let loose = ConstructionConfig { psi: 0.2, sigma: 0, ..Default::default() };
-    let strict = ConstructionConfig { psi: 0.95, sigma: 5, ..Default::default() };
+    let r = ds
+        .records
+        .iter()
+        .max_by_key(|r| r.num_txs())
+        .expect("non-empty");
+    let loose = ConstructionConfig {
+        psi: 0.2,
+        sigma: 0,
+        ..Default::default()
+    };
+    let strict = ConstructionConfig {
+        psi: 0.95,
+        sigma: 5,
+        ..Default::default()
+    };
     let (lg, _) = construct_address_graphs(r, &loose);
     let (sg, _) = construct_address_graphs(r, &strict);
     let nodes = |gs: &[baclassifier::construction::AddressGraph]| -> usize {
         gs.iter().map(|g| g.num_nodes()).sum()
     };
-    assert!(nodes(&lg) <= nodes(&sg), "loose {} vs strict {}", nodes(&lg), nodes(&sg));
+    assert!(
+        nodes(&lg) <= nodes(&sg),
+        "loose {} vs strict {}",
+        nodes(&lg),
+        nodes(&sg)
+    );
 }

@@ -18,7 +18,11 @@ fn full_pipeline_beats_chance_by_wide_margin() {
     // Four balanced-ish classes: chance is ~0.25–0.4 weighted F1. The
     // pipeline must be decisively better than that on separable synthetic
     // behaviors.
-    assert!(report.weighted_f1 > 0.7, "weighted F1 {}", report.weighted_f1);
+    assert!(
+        report.weighted_f1 > 0.7,
+        "weighted F1 {}",
+        report.weighted_f1
+    );
     assert!(report.accuracy > 0.7, "accuracy {}", report.accuracy);
 }
 
@@ -45,8 +49,18 @@ fn predictions_are_deterministic_for_a_fitted_model() {
     let (train, test) = split(303);
     let mut clf = BaClassifier::new(BacConfig::fast());
     clf.fit(&train);
-    let first: Vec<Label> = test.records.iter().take(20).map(|r| clf.predict(r)).collect();
-    let second: Vec<Label> = test.records.iter().take(20).map(|r| clf.predict(r)).collect();
+    let first: Vec<Label> = test
+        .records
+        .iter()
+        .take(20)
+        .map(|r| clf.predict(r).unwrap())
+        .collect();
+    let second: Vec<Label> = test
+        .records
+        .iter()
+        .take(20)
+        .map(|r| clf.predict(r).unwrap())
+        .collect();
     assert_eq!(first, second);
 }
 
@@ -56,7 +70,11 @@ fn two_fits_with_same_seed_agree() {
     let run = || {
         let mut clf = BaClassifier::new(BacConfig::fast());
         clf.fit(&train);
-        test.records.iter().take(30).map(|r| clf.predict(r)).collect::<Vec<_>>()
+        test.records
+            .iter()
+            .take(30)
+            .map(|r| clf.predict(r).unwrap())
+            .collect::<Vec<_>>()
     };
     assert_eq!(run(), run());
 }

@@ -14,8 +14,14 @@ fn tx(ts: u64, id: u64, inputs: Vec<(u64, u64)>, outputs: Vec<(u64, u64)>) -> Tx
     TxView {
         txid: Txid(id),
         timestamp: ts,
-        inputs: inputs.into_iter().map(|(a, v)| (Address(a), Amount::from_sats(v))).collect(),
-        outputs: outputs.into_iter().map(|(a, v)| (Address(a), Amount::from_sats(v))).collect(),
+        inputs: inputs
+            .into_iter()
+            .map(|(a, v)| (Address(a), Amount::from_sats(v)))
+            .collect(),
+        outputs: outputs
+            .into_iter()
+            .map(|(a, v)| (Address(a), Amount::from_sats(v)))
+            .collect(),
     }
 }
 
@@ -40,7 +46,9 @@ fn degenerate_records() -> Vec<AddressRecord> {
         AddressRecord {
             address: Address(2),
             label: Label::Gambling,
-            txs: (0..5).map(|i| tx(100, 10 + i, vec![(2, 50)], vec![(30 + i, 45)])).collect(),
+            txs: (0..5)
+                .map(|i| tx(100, 10 + i, vec![(2, 50)], vec![(30 + i, 45)]))
+                .collect(),
         },
         // Dust storm: 300 one-satoshi outputs in one transaction.
         AddressRecord {
@@ -86,7 +94,9 @@ fn fitted_model_classifies_degenerate_histories_without_panicking() {
     let mut clf = BaClassifier::new(BacConfig::fast());
     clf.fit(&train);
     for record in degenerate_records() {
-        let label = clf.predict(&record);
+        let label = clf
+            .predict(&record)
+            .expect("degenerate but non-empty history");
         assert!(Label::ALL.contains(&label));
         let seq = clf.embed_record(&record);
         assert!(seq.iter().all(|m| m.all_finite()));
@@ -121,5 +131,8 @@ fn empty_dataset_is_rejected_loudly() {
     let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         clf.fit(&empty);
     }));
-    assert!(result.is_err(), "fitting an empty dataset must panic, not misbehave");
+    assert!(
+        result.is_err(),
+        "fitting an empty dataset must panic, not misbehave"
+    );
 }
