@@ -1,0 +1,142 @@
+//! Nearest-centroid classifier: the cheapest usable feature-space model.
+//!
+//! One mean vector per class; prediction is an argmin over squared
+//! euclidean distances — no iteration, no hyperparameters, O(classes × dim)
+//! per query. Far weaker than the GNN pipeline, but six orders of magnitude
+//! cheaper and fully deterministic, which is exactly what a *degraded-mode
+//! fallback* needs: when the serving engine's circuit breaker is open, a
+//! centroid model over [`crate::flat_features`] keeps answering instead of
+//! dropping requests.
+
+use crate::common::{Classifier, NUM_CLASSES};
+
+/// Per-class mean vectors in feature space.
+#[derive(Clone, Debug, Default)]
+pub struct NearestCentroid {
+    /// `centroids[c]` is empty when class `c` had no training rows.
+    centroids: Vec<Vec<f64>>,
+    /// Tie-break / empty-class default: the majority class of the training
+    /// set, so an unmatchable query still gets the most likely answer.
+    majority: usize,
+}
+
+impl NearestCentroid {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Classifier for NearestCentroid {
+    fn name(&self) -> &'static str {
+        "NearestCentroid"
+    }
+
+    fn fit(&mut self, x: &[Vec<f64>], y: &[usize]) {
+        assert!(!x.is_empty(), "NearestCentroid::fit on empty data");
+        assert_eq!(x.len(), y.len(), "feature/label length mismatch");
+        let dim = x[0].len();
+        let mut sums = vec![vec![0.0; dim]; NUM_CLASSES];
+        let mut counts = vec![0usize; NUM_CLASSES];
+        for (row, &cls) in x.iter().zip(y) {
+            assert_eq!(row.len(), dim, "ragged feature rows");
+            assert!(cls < NUM_CLASSES, "label {cls} out of range");
+            counts[cls] += 1;
+            for (s, v) in sums[cls].iter_mut().zip(row) {
+                *s += v;
+            }
+        }
+        self.centroids = sums
+            .into_iter()
+            .zip(&counts)
+            .map(|(mut s, &n)| {
+                if n == 0 {
+                    Vec::new()
+                } else {
+                    s.iter_mut().for_each(|v| *v /= n as f64);
+                    s
+                }
+            })
+            .collect();
+        self.majority = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &n)| n)
+            .map(|(c, _)| c)
+            .unwrap_or(0);
+    }
+
+    fn predict(&self, row: &[f64]) -> usize {
+        let mut best = self.majority;
+        let mut best_d2 = f64::INFINITY;
+        for (c, centroid) in self.centroids.iter().enumerate() {
+            if centroid.len() != row.len() {
+                continue; // unfitted class (or dimension mismatch): skip
+            }
+            let d2: f64 = centroid
+                .iter()
+                .zip(row)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            if d2 < best_d2 {
+                best_d2 = d2;
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separable_clusters_are_learned() {
+        // Four well-separated clusters, one per class.
+        let mut x = Vec::new();
+        let mut y = Vec::new();
+        for cls in 0..NUM_CLASSES {
+            let base = cls as f64 * 10.0;
+            for j in 0..5 {
+                x.push(vec![base + 0.1 * j as f64, base - 0.1 * j as f64]);
+                y.push(cls);
+            }
+        }
+        let mut clf = NearestCentroid::new();
+        clf.fit(&x, &y);
+        for cls in 0..NUM_CLASSES {
+            let q = vec![cls as f64 * 10.0 + 0.3, cls as f64 * 10.0 - 0.3];
+            assert_eq!(clf.predict(&q), cls);
+        }
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        let x = vec![vec![0.0, 0.0], vec![1.0, 1.0], vec![5.0, 5.0]];
+        let y = vec![0, 0, 2];
+        let mut clf = NearestCentroid::new();
+        clf.fit(&x, &y);
+        let q = vec![4.0, 4.0];
+        let first = clf.predict(&q);
+        for _ in 0..10 {
+            assert_eq!(clf.predict(&q), first);
+        }
+        assert_eq!(first, 2);
+    }
+
+    #[test]
+    fn missing_classes_fall_back_to_majority() {
+        // Only class 1 is present.
+        let x = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let y = vec![1, 1, 1];
+        let mut clf = NearestCentroid::new();
+        clf.fit(&x, &y);
+        assert_eq!(clf.predict(&[100.0]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_fit_panics() {
+        NearestCentroid::new().fit(&[], &[]);
+    }
+}

@@ -18,6 +18,7 @@
 
 pub mod ann;
 pub mod bitscope;
+pub mod centroid;
 pub mod common;
 pub mod ensemble;
 pub mod features;
@@ -29,6 +30,7 @@ pub mod tree;
 
 pub use ann::AnnClassifier;
 pub use bitscope::BitScope;
+pub use centroid::NearestCentroid;
 pub use common::{evaluate, Classifier, Scaler};
 pub use ensemble::{BoostParams, DecisionTree, Gbdt, RandomForest, XgBoost};
 pub use features::{flat_dataset, flat_features, FLAT_DIM};

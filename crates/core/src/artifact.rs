@@ -201,7 +201,11 @@ fn decode_manifest(bytes: &[u8]) -> Result<BacConfig, ArtifactError> {
 }
 
 impl ModelArtifact {
-    /// Serialize to a single artifact file.
+    /// Serialize to a single artifact file, atomically: the bytes go to a
+    /// temp file in the destination directory, are fsynced, and only then
+    /// renamed over `path`. A crash mid-save leaves either the old artifact
+    /// or none — never a torn `BART` file masquerading as a model (and any
+    /// torn temp file that does survive fails the checksum on load anyway).
     pub fn save(&self, path: &Path) -> Result<(), ArtifactError> {
         let manifest = encode_manifest(&self.config);
         let mut payload = Vec::new();
@@ -209,14 +213,30 @@ impl ModelArtifact {
         payload.extend_from_slice(&manifest);
         write_matrices(&mut payload, &self.weights)?;
 
-        let mut w = BufWriter::new(File::create(path)?);
-        w.write_all(MAGIC)?;
-        w.write_all(&FORMAT_VERSION.to_le_bytes())?;
-        w.write_all(&fnv1a64(&payload).to_le_bytes())?;
-        w.write_all(&(payload.len() as u64).to_le_bytes())?;
-        w.write_all(&payload)?;
-        w.flush()?;
-        Ok(())
+        // Same directory as the destination so the rename cannot cross a
+        // filesystem boundary (cross-device renames are not atomic).
+        let file_name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "artifact.bart".into());
+        let tmp = path.with_file_name(format!(".{file_name}.tmp.{}", std::process::id()));
+        let write = (|| -> Result<(), ArtifactError> {
+            let file = File::create(&tmp)?;
+            let mut w = BufWriter::new(file);
+            w.write_all(MAGIC)?;
+            w.write_all(&FORMAT_VERSION.to_le_bytes())?;
+            w.write_all(&fnv1a64(&payload).to_le_bytes())?;
+            w.write_all(&(payload.len() as u64).to_le_bytes())?;
+            w.write_all(&payload)?;
+            w.flush()?;
+            w.get_ref().sync_all()?;
+            std::fs::rename(&tmp, path)?;
+            Ok(())
+        })();
+        if write.is_err() {
+            std::fs::remove_file(&tmp).ok();
+        }
+        write
     }
 
     /// Read and integrity-check an artifact file.
@@ -434,6 +454,50 @@ mod tests {
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
         assert!(ModelArtifact::load(&path).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_is_atomic_and_leaves_no_temp_file() {
+        let artifact = fresh_artifact(BacConfig::fast());
+        let path = tmp("atomic");
+        artifact.save(&path).unwrap();
+        // Overwriting an existing artifact also goes through the temp file.
+        artifact.save(&path).unwrap();
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().into_owned();
+        let leftovers: Vec<_> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(&stem) && n.contains(".tmp."))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        assert!(ModelArtifact::load(&path).is_ok());
+        std::fs::remove_file(path).ok();
+    }
+
+    /// A torn write (simulated by truncating the saved bytes and patching
+    /// the header length so the payload "fits") must be caught by the
+    /// checksum — a crash mid-save can never produce a loadable artifact.
+    #[test]
+    fn truncated_artifact_is_rejected_by_checksum() {
+        let artifact = fresh_artifact(BacConfig::fast());
+        let path = tmp("torn");
+        artifact.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        let header = 4 + 4 + 8 + 8; // magic, version, checksum, payload_len
+        let torn_payload = (bytes.len() - header) / 2;
+        let mut torn = bytes[..header + torn_payload].to_vec();
+        torn[16..24].copy_from_slice(&(torn_payload as u64).to_le_bytes());
+        std::fs::write(&path, &torn).unwrap();
+        assert!(matches!(
+            ModelArtifact::load(&path),
+            Err(ArtifactError::ChecksumMismatch { .. })
+        ));
         std::fs::remove_file(path).ok();
     }
 

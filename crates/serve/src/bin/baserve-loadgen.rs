@@ -4,7 +4,7 @@
 //! ```text
 //! baserve-loadgen --artifact model.bart [--seed 42] [--min-txs 3]
 //!                 [--requests 2000] [--qps 0] [--zipf 1.1] [--traffic-seed 1]
-//!                 [--check] [--window N] [engine knobs]
+//!                 [--check] [--window N] [--retry N] [engine knobs]
 //! ```
 //!
 //! Queries pick addresses from the rebuilt dataset with a zipf(s) popularity
@@ -13,10 +13,14 @@
 //! that target rate. With `--check`, every served label is compared against
 //! a direct in-process replica of the same artifact and any mismatch makes
 //! the run exit non-zero — the byte-identical-serving acceptance gate.
+//!
+//! `--retry N` resubmits a request up to N times when the engine sheds it
+//! (queue full or circuit breaker open), backing off exponentially with
+//! deterministic jitter between attempts.
 
 use baclassifier::{BaClassifier, ModelArtifact};
 use baserve::cli::{engine_config_from_args, flag_parsed, flag_value, has_flag};
-use baserve::{Engine, ServeError, Ticket};
+use baserve::{splitmix64, Engine, ServeError, Ticket};
 use btcsim::dist::ZipfSampler;
 use btcsim::{Dataset, Label, SimConfig, Simulator};
 use rand::rngs::StdRng;
@@ -38,6 +42,7 @@ fn main() {
     let zipf_s = flag_parsed(&args, "--zipf", 1.1f64);
     let traffic_seed = flag_parsed(&args, "--traffic-seed", 1u64);
     let check = has_flag(&args, "--check");
+    let retry_max = flag_parsed(&args, "--retry", 0u32);
     let config = engine_config_from_args(&args);
     let window = flag_parsed(&args, "--window", config.queue_depth.min(64)).max(1);
 
@@ -83,6 +88,8 @@ fn main() {
     let mut rejected = 0usize;
     let mut mismatches = 0usize;
     let mut failed = 0usize;
+    let mut retries = 0usize;
+    let mut jitter_state = traffic_seed ^ 0x9e37_79b9_7f4a_7c15;
 
     let settle = |batch: Vec<(usize, Ticket)>,
                   expected: &mut HashMap<usize, Label>,
@@ -128,9 +135,28 @@ fn main() {
             }
         }
         let idx = sampler.sample(&mut rng);
-        match engine.submit(dataset.records[idx].clone()) {
+        // Shed submissions (queue full, breaker open) are transient: with
+        // `--retry N` they get up to N more attempts under exponential
+        // backoff with deterministic jitter before counting as rejected.
+        let mut attempt = 0u32;
+        let outcome = loop {
+            match engine.submit(dataset.records[idx].clone()) {
+                Err(e @ (ServeError::QueueFull | ServeError::BreakerOpen))
+                    if attempt < retry_max =>
+                {
+                    attempt += 1;
+                    retries += 1;
+                    let base_us = 200u64 << (attempt - 1).min(6);
+                    let jitter_us = splitmix64(&mut jitter_state) % (base_us / 2 + 1);
+                    std::thread::sleep(Duration::from_micros(base_us + jitter_us));
+                    let _ = e;
+                }
+                other => break other,
+            }
+        };
+        match outcome {
             Ok(ticket) => in_flight.push((idx, ticket)),
-            Err(ServeError::QueueFull) => rejected += 1,
+            Err(ServeError::QueueFull | ServeError::BreakerOpen) => rejected += 1,
             Err(e) => {
                 eprintln!("[loadgen] submit failed: {e}");
                 failed += 1;
@@ -159,7 +185,8 @@ fn main() {
     let snapshot = engine.metrics();
     engine.shutdown();
     println!(
-        "served {served}/{requests} in {:.2}s ({:.0} req/s), {rejected} rejected, {failed} failed",
+        "served {served}/{requests} in {:.2}s ({:.0} req/s), {rejected} rejected, \
+         {failed} failed, {retries} retries",
         elapsed.as_secs_f64(),
         served as f64 / elapsed.as_secs_f64().max(1e-9),
     );

@@ -5,6 +5,8 @@
 //! baserved --artifact model.bart [--seed 42] [--min-txs 3] [--input FILE]
 //!          [--workers N] [--max-batch N] [--max-wait-ms N]
 //!          [--queue-depth N] [--cache N] [--window N]
+//!          [--deadline-ms N] [--breaker-threshold N]
+//!          [--breaker-cooldown-ms N] [--max-restarts N] [--no-fallback]
 //! ```
 //!
 //! Requests are read from `--input` (default stdin), one per line; see
@@ -12,10 +14,20 @@
 //! request, **in request order** — up to `--window` requests are kept in
 //! flight so the engine can batch, and the window is drained FIFO. A final
 //! `metrics <json>` line is printed at EOF or `quit`.
+//!
+//! The daemon is fault-tolerant by default: a malformed (or non-UTF-8, or
+//! oversized) request line gets an `err <reason>` response and the session
+//! keeps serving; worker panics are supervised by the engine; and unless
+//! `--no-fallback` is given, a nearest-centroid fallback fitted on the
+//! rebuilt dataset answers (tagged `degraded`) while the circuit breaker is
+//! open.
 
 use baclassifier::ModelArtifact;
-use baserve::cli::{engine_config_from_args, flag_parsed, flag_value};
-use baserve::{format_error, format_response, parse_request, Engine, Request, Ticket};
+use baserve::cli::{engine_config_from_args, flag_parsed, flag_value, has_flag};
+use baserve::{
+    format_error, format_response, parse_request_bytes, Engine, EngineHooks, Fallback,
+    FeatureFallback, Request, Ticket,
+};
 use btcsim::{AddressRecord, Dataset, SimConfig, Simulator};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
@@ -60,6 +72,19 @@ fn main() {
 
     let sim = Simulator::run_to_completion(SimConfig::tiny(seed));
     let dataset = Dataset::from_simulator(&sim, min_txs);
+    let hooks = if has_flag(&args, "--no-fallback") || dataset.is_empty() {
+        EngineHooks::default()
+    } else {
+        let fallback = FeatureFallback::fit(&dataset.records);
+        eprintln!(
+            "[baserved] degraded-mode fallback ready ({})",
+            fallback.name()
+        );
+        EngineHooks {
+            fallback: Some(Arc::new(fallback) as Arc<dyn Fallback>),
+            ..EngineHooks::default()
+        }
+    };
     let by_id: HashMap<u64, AddressRecord> = dataset
         .records
         .into_iter()
@@ -70,7 +95,7 @@ fn main() {
         by_id.len()
     );
 
-    let engine = match Engine::new(artifact, config.clone()) {
+    let engine = match Engine::with_hooks(artifact, config.clone(), hooks) {
         Ok(e) => e,
         Err(e) => {
             eprintln!("error: artifact does not match the model architecture: {e}");
@@ -78,16 +103,19 @@ fn main() {
         }
     };
     eprintln!(
-        "[baserved] serving: {} workers, batch ≤{} / {}ms, queue {}, cache {}",
+        "[baserved] serving: {} workers, batch ≤{} / {}ms, queue {}, cache {}, \
+         breaker {}x/{}ms",
         config.workers,
         config.max_batch,
         config.max_wait.as_millis(),
         config.queue_depth,
-        config.cache_capacity
+        config.cache_capacity,
+        config.breaker_threshold,
+        config.breaker_cooldown.as_millis()
     );
 
     let stdin = std::io::stdin();
-    let reader: Box<dyn BufRead> = match flag_value(&args, "--input") {
+    let mut reader: Box<dyn BufRead> = match flag_value(&args, "--input") {
         Some(path) => match std::fs::File::open(&path) {
             Ok(f) => Box::new(std::io::BufReader::new(f)),
             Err(e) => {
@@ -101,15 +129,23 @@ fn main() {
     let mut out = std::io::BufWriter::new(stdout.lock());
 
     let mut pending: VecDeque<Slot> = VecDeque::new();
-    'serve: for line in reader.lines() {
-        let line = match line {
-            Ok(l) => l,
+    let mut raw = Vec::new();
+    'serve: loop {
+        raw.clear();
+        // Raw bytes, not `lines()`: a client sending invalid UTF-8 gets an
+        // `err` response for that request instead of killing the session.
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) => break,
+            Ok(_) => {}
             Err(e) => {
                 eprintln!("error: reading request stream: {e}");
                 break;
             }
-        };
-        let request = match parse_request(&line) {
+        }
+        while matches!(raw.last(), Some(b'\n') | Some(b'\r')) {
+            raw.pop();
+        }
+        let request = match parse_request_bytes(&raw) {
             Ok(Some(r)) => r,
             Ok(None) => continue,
             Err(e) => {
@@ -148,5 +184,10 @@ fn main() {
     }
     writeln!(out, "metrics {}", engine.metrics().to_json()).expect("stdout");
     out.flush().expect("stdout");
+    eprintln!(
+        "[baserved] breaker {} at exit, {} live workers",
+        engine.breaker_state().name(),
+        engine.live_workers()
+    );
     engine.shutdown();
 }

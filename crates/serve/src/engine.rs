@@ -1,4 +1,4 @@
-//! The micro-batching inference engine.
+//! The micro-batching inference engine, with a supervision layer.
 //!
 //! Requests enter a bounded MPSC queue ([`Engine::submit`] rejects with
 //! [`ServeError::QueueFull`] once `queue_depth` jobs are waiting — explicit
@@ -18,10 +18,41 @@
 //! input. Cache hits skip straight to the cheap LSTM+MLP head
 //! ([`BaClassifier::classify_embeddings`]), which the core crate guarantees
 //! is byte-identical to the unstaged `predict` path.
+//!
+//! # Fault tolerance
+//!
+//! Every request submitted to the engine receives **exactly one terminal
+//! outcome** — `Ok` (possibly degraded) or one of the [`ServeError`]s —
+//! even under worker panics, poisoned locks, and injected faults:
+//!
+//! * **Supervision** — each worker's batch loop runs under `catch_unwind`.
+//!   A panic mid-batch completes the batch's unanswered tickets as
+//!   [`ServeError::WorkerFailed`], then the worker rebuilds its replica
+//!   after an exponential backoff with deterministic jitter. A worker that
+//!   exhausts `max_worker_restarts` retires; when the *last* worker
+//!   retires, queued jobs are failed explicitly and the circuit breaker is
+//!   forced open so new work degrades instead of hanging.
+//! * **Poisoned locks are recovered**, not propagated: every queue/cache
+//!   lock acquisition goes through [`recover`], because the queue and cache
+//!   are plain data that remain valid after any panic in a worker.
+//! * **Deadlines** — [`Engine::submit_with_deadline`] carries a per-request
+//!   deadline from admission through batch execution; expired jobs complete
+//!   as [`ServeError::DeadlineExceeded`] and count in `metrics.timed_out`.
+//! * **Degradation** — a [`CircuitBreaker`] trips after N consecutive
+//!   worker failures or queue-full rejections; while open, submissions are
+//!   answered by the [`Fallback`] classifier (responses tagged
+//!   `degraded: true`) and the breaker half-opens after a cooldown to probe
+//!   the real path.
+//! * **Fault injection** — workers consult [`EngineHooks::fault_plan`]
+//!   before every batch; the production default is [`NoFaults`]. The chaos
+//!   harness exercises all of the above through this hook — the same code
+//!   paths, no `cfg(test)` shadows.
 
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
 use std::sync::mpsc::{self, Receiver, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, LockResult, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -29,7 +60,10 @@ use baclassifier::{ArtifactError, BaClassifier, ModelArtifact, PredictError};
 use btcsim::{AddressRecord, Label};
 use numnet::Matrix;
 
+use crate::breaker::{Admission, BreakerState, CircuitBreaker};
 use crate::cache::LruCache;
+use crate::fallback::Fallback;
+use crate::fault::{splitmix64, FaultAction, FaultPlan, NoFaults};
 use crate::metrics::{Metrics, MetricsSnapshot};
 
 /// Tuning knobs for the serving engine.
@@ -46,6 +80,20 @@ pub struct EngineConfig {
     pub queue_depth: usize,
     /// Entries in the shared embedding LRU; `0` disables caching.
     pub cache_capacity: usize,
+    /// Deadline applied to every `submit`; `None` means requests never
+    /// expire. `submit_with_deadline` overrides per request.
+    pub default_deadline: Option<Duration>,
+    /// Consecutive failures (worker panics, queue-full rejections) that trip
+    /// the circuit breaker; `0` disables the breaker.
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker stays open before half-opening a probe.
+    pub breaker_cooldown: Duration,
+    /// Replica respawns a worker is allowed after caught panics before it
+    /// retires permanently.
+    pub max_worker_restarts: u32,
+    /// Base of the exponential respawn backoff (doubled per consecutive
+    /// restart, plus deterministic jitter).
+    pub restart_backoff: Duration,
 }
 
 impl Default for EngineConfig {
@@ -59,6 +107,32 @@ impl Default for EngineConfig {
             max_wait: Duration::from_millis(2),
             queue_depth: 256,
             cache_capacity: 1024,
+            default_deadline: None,
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(500),
+            max_worker_restarts: 4,
+            restart_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// The engine's pluggable seams: fault injection and degraded-mode
+/// fallback. Production uses the defaults ([`NoFaults`], no fallback); the
+/// chaos harness and the daemon install their own.
+#[derive(Clone)]
+pub struct EngineHooks {
+    /// Consulted by every worker before each batch (see [`FaultPlan`]).
+    pub fault_plan: Arc<dyn FaultPlan>,
+    /// Degraded-mode classifier used while the breaker is open or after all
+    /// workers retired. `None` means such requests are rejected instead.
+    pub fallback: Option<Arc<dyn Fallback>>,
+}
+
+impl Default for EngineHooks {
+    fn default() -> Self {
+        Self {
+            fault_plan: Arc::new(NoFaults),
+            fallback: None,
         }
     }
 }
@@ -72,9 +146,13 @@ pub enum ServeError {
     ShuttingDown,
     /// The model itself refused the input (e.g. empty history).
     Predict(PredictError),
-    /// The serving worker disappeared without replying (engine bug or
-    /// worker panic); the request's fate is unknown.
-    WorkerLost,
+    /// The serving worker panicked (or retired) before answering; the
+    /// request was completed explicitly by the supervisor, not dropped.
+    WorkerFailed,
+    /// The request's deadline passed before a worker could serve it.
+    DeadlineExceeded,
+    /// The circuit breaker is open and no fallback classifier is installed.
+    BreakerOpen,
 }
 
 impl std::fmt::Display for ServeError {
@@ -83,7 +161,9 @@ impl std::fmt::Display for ServeError {
             ServeError::QueueFull => write!(f, "request queue is full"),
             ServeError::ShuttingDown => write!(f, "engine is shutting down"),
             ServeError::Predict(e) => write!(f, "prediction failed: {e}"),
-            ServeError::WorkerLost => write!(f, "serving worker disappeared"),
+            ServeError::WorkerFailed => write!(f, "serving worker failed"),
+            ServeError::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ServeError::BreakerOpen => write!(f, "circuit breaker is open"),
         }
     }
 }
@@ -102,6 +182,8 @@ pub struct Response {
     pub label: Label,
     /// Whether the embedding stage was skipped (LRU or intra-batch reuse).
     pub cache_hit: bool,
+    /// Answered by the degraded fallback classifier, not the model.
+    pub degraded: bool,
     /// Queue-to-reply time as observed by the worker.
     pub latency: Duration,
 }
@@ -114,8 +196,16 @@ pub struct Ticket {
 impl Ticket {
     /// Block until the engine replies.
     pub fn wait(self) -> Result<Response, ServeError> {
-        self.rx.recv().unwrap_or(Err(ServeError::WorkerLost))
+        self.rx.recv().unwrap_or(Err(ServeError::WorkerFailed))
     }
+}
+
+/// Recover a possibly-poisoned lock result. The queue and cache are plain
+/// data structures that stay structurally valid across a panic in any
+/// worker, so poisoning carries no information here — propagating it would
+/// turn one caught panic into a process-wide cascade.
+fn recover<T>(r: LockResult<T>) -> T {
+    r.unwrap_or_else(PoisonError::into_inner)
 }
 
 /// `(address id, history length)` — see the module docs for why this
@@ -130,12 +220,16 @@ struct Job {
     record: AddressRecord,
     reply: SyncSender<Result<Response, ServeError>>,
     enqueued: Instant,
+    deadline: Option<Instant>,
 }
 
 #[derive(Default)]
 struct QueueState {
     jobs: VecDeque<Job>,
     shutdown: bool,
+    /// Set (under this lock) when the last live worker retires, so a submit
+    /// racing the retirement drain can never enqueue a job nobody will pop.
+    no_workers: bool,
 }
 
 struct Shared {
@@ -143,6 +237,17 @@ struct Shared {
     cond: Condvar,
     cache: Mutex<LruCache<CacheKey, Arc<Vec<Matrix>>>>,
     metrics: Metrics,
+    breaker: CircuitBreaker,
+    hooks: EngineHooks,
+    live_workers: AtomicUsize,
+}
+
+impl Shared {
+    fn breaker_failure(&self) {
+        if self.breaker.record_failure() {
+            self.metrics.breaker_trips.fetch_add(1, Relaxed);
+        }
+    }
 }
 
 /// The batched, cached serving engine. Dropping it shuts down gracefully:
@@ -151,12 +256,23 @@ pub struct Engine {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
     queue_depth: usize,
+    default_deadline: Option<Duration>,
 }
 
 impl Engine {
     /// Validate the artifact (by building one replica eagerly) and spawn the
-    /// worker pool.
+    /// worker pool with default hooks (no fault injection, no fallback).
     pub fn new(artifact: Arc<ModelArtifact>, config: EngineConfig) -> Result<Self, ArtifactError> {
+        Self::with_hooks(artifact, config, EngineHooks::default())
+    }
+
+    /// [`Engine::new`] with explicit [`EngineHooks`] — the entry point used
+    /// by the daemon (fallback) and the chaos harness (fault plan).
+    pub fn with_hooks(
+        artifact: Arc<ModelArtifact>,
+        config: EngineConfig,
+        hooks: EngineHooks,
+    ) -> Result<Self, ArtifactError> {
         // Surface shape/config mismatches here, not inside a worker thread.
         BaClassifier::from_artifact(&artifact)?;
         let shared = Arc::new(Shared {
@@ -164,6 +280,9 @@ impl Engine {
             cond: Condvar::new(),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             metrics: Metrics::default(),
+            breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
+            hooks,
+            live_workers: AtomicUsize::new(config.workers),
         });
         let workers = (0..config.workers)
             .map(|i| {
@@ -172,7 +291,7 @@ impl Engine {
                 let cfg = config.clone();
                 thread::Builder::new()
                     .name(format!("baserve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &artifact, &cfg))
+                    .spawn(move || worker_loop(&shared, &artifact, &cfg, i))
                     .expect("spawn serving worker")
             })
             .collect();
@@ -180,32 +299,91 @@ impl Engine {
             shared,
             workers,
             queue_depth: config.queue_depth,
+            default_deadline: config.default_deadline,
         })
     }
 
-    /// Enqueue one classification request. Fails fast with
-    /// [`ServeError::QueueFull`] instead of queueing unboundedly.
+    /// Enqueue one classification request under the engine's default
+    /// deadline. Fails fast with [`ServeError::QueueFull`] instead of
+    /// queueing unboundedly; sheds to the fallback while the breaker is
+    /// open.
     pub fn submit(&self, record: AddressRecord) -> Result<Ticket, ServeError> {
-        use std::sync::atomic::Ordering::Relaxed;
+        self.submit_with_deadline(record, self.default_deadline)
+    }
+
+    /// [`Engine::submit`] with an explicit per-request deadline (`None` =
+    /// never expires). The deadline is measured from admission and enforced
+    /// by the worker that picks the job up: expired jobs complete as
+    /// [`ServeError::DeadlineExceeded`].
+    pub fn submit_with_deadline(
+        &self,
+        record: AddressRecord,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        let now = Instant::now();
         self.shared.metrics.submitted.fetch_add(1, Relaxed);
-        let mut q = self.shared.queue.lock().expect("queue lock");
+        match self.shared.breaker.admit() {
+            Admission::Shed => return self.degraded_or(record, now, ServeError::BreakerOpen),
+            Admission::Normal | Admission::Probe => {}
+        }
+        let mut q = recover(self.shared.queue.lock());
         if q.shutdown {
             self.shared.metrics.rejected.fetch_add(1, Relaxed);
             return Err(ServeError::ShuttingDown);
         }
+        if q.no_workers {
+            drop(q);
+            // The probe (if this was one) cannot resolve without workers;
+            // report it failed so the breaker re-opens cleanly.
+            self.shared.breaker_failure();
+            return self.degraded_or(record, now, ServeError::WorkerFailed);
+        }
         if q.jobs.len() >= self.queue_depth {
             self.shared.metrics.rejected.fetch_add(1, Relaxed);
+            self.shared.breaker_failure();
             return Err(ServeError::QueueFull);
         }
         let (tx, rx) = mpsc::sync_channel(1);
         q.jobs.push_back(Job {
             record,
             reply: tx,
-            enqueued: Instant::now(),
+            enqueued: now,
+            deadline: deadline.map(|d| now + d),
         });
         drop(q);
         self.shared.cond.notify_all();
         Ok(Ticket { rx })
+    }
+
+    /// Serve `record` from the fallback classifier (degraded), or fail with
+    /// `err` when no fallback is installed.
+    fn degraded_or(
+        &self,
+        record: AddressRecord,
+        started: Instant,
+        err: ServeError,
+    ) -> Result<Ticket, ServeError> {
+        match &self.shared.hooks.fallback {
+            Some(fb) => {
+                let label = fb.classify(&record);
+                self.shared.metrics.degraded.fetch_add(1, Relaxed);
+                let (tx, rx) = mpsc::sync_channel(1);
+                let _ = tx.send(Ok(Response {
+                    label,
+                    cache_hit: false,
+                    degraded: true,
+                    latency: started.elapsed(),
+                }));
+                Ok(Ticket { rx })
+            }
+            None => {
+                match err {
+                    ServeError::WorkerFailed => self.shared.metrics.failed.fetch_add(1, Relaxed),
+                    _ => self.shared.metrics.rejected.fetch_add(1, Relaxed),
+                };
+                Err(err)
+            }
+        }
     }
 
     /// Submit and wait — the one-call convenience path.
@@ -218,29 +396,36 @@ impl Engine {
         self.shared.metrics.snapshot()
     }
 
+    /// Current circuit-breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.shared.breaker.state()
+    }
+
+    /// Worker replicas still running (not retired, not shut down).
+    pub fn live_workers(&self) -> usize {
+        self.shared.live_workers.load(Relaxed)
+    }
+
     /// Finish admitted work, stop the workers, and fail anything that could
-    /// not be served (only possible with `workers == 0`).
+    /// not be served (no workers configured, or all workers retired).
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
         {
-            let mut q = self.shared.queue.lock().expect("queue lock");
+            let mut q = recover(self.shared.queue.lock());
             q.shutdown = true;
         }
         self.shared.cond.notify_all();
         for h in self.workers.drain(..) {
             h.join().ok();
         }
-        // Workers only exit with an empty queue, so this loop is live only
-        // when there were no workers to begin with.
-        let mut q = self.shared.queue.lock().expect("queue lock");
+        // Live workers only exit with an empty queue, so this loop finds
+        // jobs only when there were no workers to drain it.
+        let mut q = recover(self.shared.queue.lock());
         while let Some(job) = q.jobs.pop_front() {
-            self.shared
-                .metrics
-                .failed
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.shared.metrics.rejected.fetch_add(1, Relaxed);
             let _ = job.reply.send(Err(ServeError::ShuttingDown));
         }
     }
@@ -252,74 +437,213 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(shared: &Shared, artifact: &ModelArtifact, cfg: &EngineConfig) {
-    let replica =
-        BaClassifier::from_artifact(artifact).expect("artifact was validated at engine startup");
+/// Pop one batch (blocking), filling up to `max_batch`/`max_wait`.
+/// `None` means shutdown was requested and the queue is drained.
+fn collect_batch(shared: &Shared, cfg: &EngineConfig) -> Option<Vec<Job>> {
     let max_batch = cfg.max_batch.max(1);
+    let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
+    let mut q = recover(shared.queue.lock());
+    // Block for the first job of the batch.
     loop {
-        let mut batch: Vec<Job> = Vec::with_capacity(max_batch);
-        {
-            let mut q = shared.queue.lock().expect("queue lock");
-            // Block for the first job of the batch.
-            loop {
-                if let Some(job) = q.jobs.pop_front() {
-                    batch.push(job);
-                    break;
-                }
-                if q.shutdown {
-                    return;
-                }
-                q = shared.cond.wait(q).expect("queue lock");
-            }
-            // Fill until max_batch or the max_wait deadline.
-            let deadline = Instant::now() + cfg.max_wait;
-            while batch.len() < max_batch {
-                if let Some(job) = q.jobs.pop_front() {
-                    batch.push(job);
-                    continue;
-                }
-                if q.shutdown {
-                    break;
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                let (guard, timeout) = shared
-                    .cond
-                    .wait_timeout(q, deadline - now)
-                    .expect("queue lock");
-                q = guard;
-                if timeout.timed_out() {
-                    while batch.len() < max_batch {
-                        match q.jobs.pop_front() {
-                            Some(job) => batch.push(job),
-                            None => break,
-                        }
-                    }
-                    break;
-                }
-            }
+        if let Some(job) = q.jobs.pop_front() {
+            batch.push(job);
+            break;
         }
-        process_batch(shared, &replica, batch);
+        if q.shutdown {
+            return None;
+        }
+        q = recover(shared.cond.wait(q));
+    }
+    // Fill until max_batch or the max_wait deadline.
+    let deadline = Instant::now() + cfg.max_wait;
+    while batch.len() < max_batch {
+        if let Some(job) = q.jobs.pop_front() {
+            batch.push(job);
+            continue;
+        }
+        if q.shutdown {
+            break;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+        let (guard, timeout) = recover(shared.cond.wait_timeout(q, deadline - now));
+        q = guard;
+        if timeout.timed_out() {
+            while batch.len() < max_batch {
+                match q.jobs.pop_front() {
+                    Some(job) => batch.push(job),
+                    None => break,
+                }
+            }
+            break;
+        }
+    }
+    Some(batch)
+}
+
+/// Retire a worker that exhausted its restart budget. If it was the last
+/// live worker, fail all queued jobs explicitly and force the breaker open
+/// so new submissions degrade instead of queueing forever.
+fn retire(shared: &Shared) {
+    shared.metrics.workers_retired.fetch_add(1, Relaxed);
+    if shared.live_workers.fetch_sub(1, Relaxed) == 1 {
+        if shared.breaker.force_open() {
+            shared.metrics.breaker_trips.fetch_add(1, Relaxed);
+        }
+        let mut q = recover(shared.queue.lock());
+        q.no_workers = true;
+        while let Some(job) = q.jobs.pop_front() {
+            shared.metrics.failed.fetch_add(1, Relaxed);
+            let _ = job.reply.send(Err(ServeError::WorkerFailed));
+        }
     }
 }
 
-fn process_batch(shared: &Shared, replica: &BaClassifier, batch: Vec<Job>) {
-    use std::sync::atomic::Ordering::Relaxed;
-    shared.metrics.record_batch_size(batch.len());
+/// Sleep `restart_backoff × 2^(restarts-1)` plus deterministic jitter,
+/// waking early on shutdown. Returns `false` when shutdown was requested.
+fn backoff_sleep(shared: &Shared, cfg: &EngineConfig, worker: usize, restarts: u32) -> bool {
+    let base = cfg.restart_backoff.max(Duration::from_micros(100));
+    let backoff = base.saturating_mul(1u32 << (restarts.saturating_sub(1)).min(5));
+    let mut seed = ((worker as u64) << 32) ^ u64::from(restarts);
+    let jitter_us = splitmix64(&mut seed) % (backoff.as_micros() as u64 / 2 + 1);
+    let deadline = Instant::now() + backoff + Duration::from_micros(jitter_us);
+    let mut q = recover(shared.queue.lock());
+    loop {
+        if q.shutdown {
+            return false;
+        }
+        let now = Instant::now();
+        if now >= deadline {
+            return true;
+        }
+        let (guard, _) = recover(shared.cond.wait_timeout(q, deadline - now));
+        q = guard;
+    }
+}
+
+/// One worker thread: build a replica, serve batches under `catch_unwind`,
+/// respawn the replica on panic (bounded, backed-off), retire when the
+/// restart budget is spent.
+fn worker_loop(shared: &Arc<Shared>, artifact: &ModelArtifact, cfg: &EngineConfig, worker: usize) {
+    let mut restarts: u32 = 0;
+    // Per-worker batch counter, monotonic across respawns, so fault plans
+    // can address "worker W, batch K" deterministically.
+    let mut batch_seq: u64 = 0;
+    'replica: loop {
+        let built = catch_unwind(AssertUnwindSafe(|| BaClassifier::from_artifact(artifact)));
+        let replica = match built {
+            Ok(Ok(r)) => r,
+            // The artifact was validated at startup, so a failing build is
+            // treated exactly like a batch panic: count, back off, retry.
+            Ok(Err(_)) | Err(_) => {
+                shared.metrics.worker_panics.fetch_add(1, Relaxed);
+                shared.breaker_failure();
+                restarts += 1;
+                if restarts > cfg.max_worker_restarts {
+                    retire(shared);
+                    return;
+                }
+                shared.metrics.worker_restarts.fetch_add(1, Relaxed);
+                if !backoff_sleep(shared, cfg, worker, restarts) {
+                    shared.live_workers.fetch_sub(1, Relaxed);
+                    return;
+                }
+                continue 'replica;
+            }
+        };
+        loop {
+            let Some(batch) = collect_batch(shared, cfg) else {
+                // Graceful shutdown; queued work is already drained.
+                shared.live_workers.fetch_sub(1, Relaxed);
+                return;
+            };
+            batch_seq += 1;
+            let fault = shared.hooks.fault_plan.before_batch(worker, batch_seq);
+            // Jobs live in `Option` slots so the unwind path can tell the
+            // answered from the unanswered: `process_batch` takes a job out
+            // of its slot only at the moment it replies.
+            let mut slots: Vec<Option<Job>> = batch.into_iter().map(Some).collect();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                process_batch(shared, &replica, &mut slots, fault)
+            }));
+            match outcome {
+                Ok(()) => {
+                    // Per-job successes already fed the breaker inside
+                    // `process_batch`; here only the restart streak resets.
+                    restarts = 0;
+                }
+                Err(_) => {
+                    // Trip accounting first, so a caller that sees a
+                    // WorkerFailed reply observes the breaker already aware
+                    // of the failure.
+                    shared.metrics.worker_panics.fetch_add(1, Relaxed);
+                    shared.breaker_failure();
+                    for job in slots.iter_mut().filter_map(Option::take) {
+                        shared.metrics.failed.fetch_add(1, Relaxed);
+                        let _ = job.reply.send(Err(ServeError::WorkerFailed));
+                    }
+                    restarts += 1;
+                    if restarts > cfg.max_worker_restarts {
+                        retire(shared);
+                        return;
+                    }
+                    shared.metrics.worker_restarts.fetch_add(1, Relaxed);
+                    if !backoff_sleep(shared, cfg, worker, restarts) {
+                        shared.live_workers.fetch_sub(1, Relaxed);
+                        return;
+                    }
+                    // Rebuild the replica: its internal state may be
+                    // arbitrarily corrupt after the unwind.
+                    continue 'replica;
+                }
+            }
+        }
+    }
+}
+
+fn process_batch(
+    shared: &Shared,
+    replica: &BaClassifier,
+    slots: &mut [Option<Job>],
+    fault: Option<FaultAction>,
+) {
+    shared.metrics.record_batch_size(slots.len());
+    match fault {
+        // Injected slowness: the whole batch stalls, so deadline-carrying
+        // jobs in it must resolve as DeadlineExceeded below.
+        Some(FaultAction::Delay(d)) => thread::sleep(d),
+        // Injected crash, deliberately while holding the shared cache lock
+        // so the poisoned-lock recovery path is exercised, not just the
+        // ticket completion path.
+        Some(FaultAction::Panic) => {
+            let _cache = recover(shared.cache.lock());
+            panic!("injected fault: worker panic");
+        }
+        None => {}
+    }
     // Embeddings computed (or fetched) earlier in this same batch; identical
     // requests reuse them without touching the shared cache again.
     let mut this_batch: HashMap<CacheKey, Arc<Vec<Matrix>>> = HashMap::new();
-    for job in batch {
-        let key = cache_key(&job.record);
+    for slot in slots.iter_mut() {
+        let job_ref = slot.as_ref().expect("unprocessed slot holds a job");
+        if let Some(deadline) = job_ref.deadline {
+            if Instant::now() >= deadline {
+                let job = slot.take().expect("slot checked above");
+                shared.metrics.timed_out.fetch_add(1, Relaxed);
+                let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+                continue;
+            }
+        }
+        let key = cache_key(&job_ref.record);
         let (seq, hit) = if let Some(seq) = this_batch.get(&key) {
             shared.metrics.batch_dedup_hits.fetch_add(1, Relaxed);
             (Arc::clone(seq), true)
         } else {
             // Separate statement so the lock guard drops before the miss
             // path re-locks to publish the freshly computed embedding.
-            let cached = shared.cache.lock().expect("cache lock").get(&key).cloned();
+            let cached = recover(shared.cache.lock()).get(&key).cloned();
             match cached {
                 Some(seq) => {
                     shared.metrics.cache_hits.fetch_add(1, Relaxed);
@@ -328,12 +652,8 @@ fn process_batch(shared: &Shared, replica: &BaClassifier, batch: Vec<Job>) {
                 }
                 None => {
                     shared.metrics.cache_misses.fetch_add(1, Relaxed);
-                    let seq = Arc::new(replica.embed_record(&job.record));
-                    shared
-                        .cache
-                        .lock()
-                        .expect("cache lock")
-                        .insert(key, Arc::clone(&seq));
+                    let seq = Arc::new(replica.embed_record(&job_ref.record));
+                    recover(shared.cache.lock()).insert(key, Arc::clone(&seq));
                     this_batch.insert(key, Arc::clone(&seq));
                     (seq, false)
                 }
@@ -344,7 +664,8 @@ fn process_batch(shared: &Shared, replica: &BaClassifier, batch: Vec<Job>) {
             .map(|label| Response {
                 label,
                 cache_hit: hit,
-                latency: job.enqueued.elapsed(),
+                degraded: false,
+                latency: job_ref.enqueued.elapsed(),
             })
             .map_err(ServeError::Predict);
         match &result {
@@ -353,12 +674,18 @@ fn process_batch(shared: &Shared, replica: &BaClassifier, batch: Vec<Job>) {
                 shared
                     .metrics
                     .record_latency_us(r.latency.as_micros() as u64);
+                // Close/reset the breaker before the reply is observable, so
+                // a caller that sees a served probe also sees the breaker
+                // closed.
+                shared.breaker.record_success();
             }
             Err(_) => {
                 shared.metrics.failed.fetch_add(1, Relaxed);
             }
         }
-        // A dropped Ticket is not an engine error; ignore send failure.
+        // The job leaves its slot only now that a reply exists for it; a
+        // dropped Ticket is not an engine error, so ignore send failure.
+        let job = slot.take().expect("slot checked above");
         let _ = job.reply.send(result);
     }
 }
@@ -366,6 +693,8 @@ fn process_batch(shared: &Shared, replica: &BaClassifier, batch: Vec<Job>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fallback::FeatureFallback;
+    use crate::fault::ScriptedFaultPlan;
     use baclassifier::BacConfig;
     use btcsim::{Dataset, SimConfig, Simulator};
 
@@ -396,6 +725,15 @@ mod tests {
         ds.records.into_iter().take(n).collect()
     }
 
+    /// Every request must reach exactly one terminal outcome.
+    fn assert_accounted(snap: &MetricsSnapshot) {
+        assert_eq!(
+            snap.terminal_total(),
+            snap.submitted,
+            "dropped or double-counted requests: {snap:?}"
+        );
+    }
+
     #[test]
     fn engine_matches_direct_model() {
         let artifact = test_artifact();
@@ -412,10 +750,12 @@ mod tests {
             let expect = direct.predict(&record).unwrap();
             let got = engine.classify(record).unwrap();
             assert_eq!(got.label, expect);
+            assert!(!got.degraded);
         }
         let snap = engine.metrics();
         assert_eq!(snap.completed, 12);
         assert_eq!(snap.failed, 0);
+        assert_accounted(&snap);
     }
 
     #[test]
@@ -537,5 +877,190 @@ mod tests {
         for t in tickets {
             t.wait().unwrap();
         }
+    }
+
+    /// Satellite: a worker panicking mid-batch (holding the cache lock, so
+    /// the mutex is genuinely poisoned) must complete the batch's tickets
+    /// as WorkerFailed, respawn, and keep serving with consistent metrics.
+    #[test]
+    fn worker_panic_is_supervised_and_recovered() {
+        let artifact = test_artifact();
+        let plan = Arc::new(ScriptedFaultPlan::panics(0, &[1]));
+        let engine = Engine::with_hooks(
+            artifact,
+            EngineConfig {
+                workers: 1,
+                breaker_threshold: 0, // isolate supervision from degradation
+                ..EngineConfig::default()
+            },
+            EngineHooks {
+                fault_plan: Arc::clone(&plan) as Arc<dyn FaultPlan>,
+                fallback: None,
+            },
+        )
+        .unwrap();
+        let records = test_records(4);
+        // Batch 1 panics: its jobs come back WorkerFailed, never hang.
+        assert_eq!(
+            engine.classify(records[0].clone()).map(|_| ()),
+            Err(ServeError::WorkerFailed)
+        );
+        assert_eq!(plan.injected(), 1);
+        // The worker respawned (poisoned cache lock recovered): later
+        // requests are served normally.
+        for r in records.iter().skip(1).cloned() {
+            let resp = engine.classify(r).expect("post-panic requests succeed");
+            assert!(!resp.degraded);
+        }
+        let snap = engine.metrics();
+        assert_eq!(snap.worker_panics, 1);
+        assert_eq!(snap.worker_restarts, 1);
+        assert_eq!(snap.workers_retired, 0);
+        assert_eq!(snap.failed, 1);
+        assert_eq!(snap.completed, 3);
+        assert_accounted(&snap);
+        assert_eq!(engine.live_workers(), 1);
+    }
+
+    #[test]
+    fn expired_deadlines_complete_as_timed_out() {
+        // Every one of the first four batches stalls well past the deadline,
+        // and four submissions can span at most four batches.
+        let plan = Arc::new(ScriptedFaultPlan::new(
+            (1..=4)
+                .map(|batch| crate::fault::FaultSpec {
+                    worker: 0,
+                    batch,
+                    action: FaultAction::Delay(Duration::from_millis(30)),
+                })
+                .collect(),
+        ));
+        let engine = Engine::with_hooks(
+            test_artifact(),
+            EngineConfig {
+                workers: 1,
+                breaker_threshold: 0,
+                ..EngineConfig::default()
+            },
+            EngineHooks {
+                fault_plan: plan,
+                fallback: None,
+            },
+        )
+        .unwrap();
+        let records = test_records(4);
+        let tickets: Vec<Ticket> = records
+            .iter()
+            .map(|r| {
+                engine
+                    .submit_with_deadline(r.clone(), Some(Duration::from_millis(5)))
+                    .unwrap()
+            })
+            .collect();
+        for t in tickets {
+            assert_eq!(t.wait().map(|_| ()), Err(ServeError::DeadlineExceeded));
+        }
+        // A deadline-free request afterwards is served normally.
+        engine.classify(records[0].clone()).unwrap();
+        let snap = engine.metrics();
+        assert_eq!(snap.timed_out, 4);
+        assert_eq!(snap.completed, 1);
+        assert_accounted(&snap);
+    }
+
+    /// Tentpole: breaker trips on worker failure, sheds to the fallback
+    /// (byte-identical to calling it directly), half-opens after the
+    /// cooldown, and closes again once the probe succeeds.
+    #[test]
+    fn breaker_degrades_then_recovers() {
+        let records = test_records(6);
+        let fb = Arc::new(FeatureFallback::fit(&records));
+        let plan = Arc::new(ScriptedFaultPlan::panics(0, &[1]));
+        let engine = Engine::with_hooks(
+            test_artifact(),
+            EngineConfig {
+                workers: 1,
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_millis(100),
+                restart_backoff: Duration::from_millis(5),
+                ..EngineConfig::default()
+            },
+            EngineHooks {
+                fault_plan: plan,
+                fallback: Some(Arc::clone(&fb) as Arc<dyn Fallback>),
+            },
+        )
+        .unwrap();
+        // Batch 1 panics → WorkerFailed → breaker opens.
+        assert_eq!(
+            engine.classify(records[0].clone()).map(|_| ()),
+            Err(ServeError::WorkerFailed)
+        );
+        assert_eq!(engine.breaker_state(), BreakerState::Open);
+        // While open, requests shed to the fallback, byte-for-byte.
+        for r in records.iter().take(4) {
+            let resp = engine.classify(r.clone()).unwrap();
+            assert!(resp.degraded);
+            assert!(!resp.cache_hit);
+            assert_eq!(resp.label, fb.classify(r), "degraded answer ≠ fallback");
+        }
+        // After the cooldown the next request is the half-open probe; the
+        // respawned replica serves it and the breaker closes.
+        thread::sleep(Duration::from_millis(120));
+        let resp = engine.classify(records[1].clone()).unwrap();
+        assert!(!resp.degraded, "probe should use the recovered model path");
+        assert_eq!(engine.breaker_state(), BreakerState::Closed);
+        let snap = engine.metrics();
+        assert_eq!(snap.breaker_trips, 1);
+        assert_eq!(snap.degraded, 4);
+        assert_accounted(&snap);
+    }
+
+    /// When the last worker retires, queued jobs fail explicitly and new
+    /// submissions degrade — nothing ever hangs.
+    #[test]
+    fn retired_pool_degrades_instead_of_hanging() {
+        let records = test_records(4);
+        let fb = Arc::new(FeatureFallback::fit(&records));
+        let plan = Arc::new(ScriptedFaultPlan::panics(0, &[1]));
+        let engine = Engine::with_hooks(
+            test_artifact(),
+            EngineConfig {
+                workers: 1,
+                max_worker_restarts: 0, // first panic retires the worker
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_secs(3600),
+                ..EngineConfig::default()
+            },
+            EngineHooks {
+                fault_plan: plan,
+                fallback: Some(Arc::clone(&fb) as Arc<dyn Fallback>),
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            engine.classify(records[0].clone()).map(|_| ()),
+            Err(ServeError::WorkerFailed)
+        );
+        // The WorkerFailed reply races the supervisor's retirement
+        // bookkeeping by design (tickets complete first); wait for it.
+        for _ in 0..500 {
+            if engine.live_workers() == 0 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        // The pool is gone; everything else is answered degraded, matching
+        // the fallback exactly.
+        for r in &records {
+            let resp = engine.classify(r.clone()).unwrap();
+            assert!(resp.degraded);
+            assert_eq!(resp.label, fb.classify(r));
+        }
+        let snap = engine.metrics();
+        assert_eq!(snap.workers_retired, 1);
+        assert_eq!(engine.live_workers(), 0);
+        assert_eq!(snap.degraded, records.len() as u64);
+        assert_accounted(&snap);
     }
 }

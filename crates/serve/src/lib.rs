@@ -19,6 +19,13 @@
 //!   cheap LSTM+MLP head, staying byte-identical to the unstaged path.
 //! * **[`metrics`]**: wait-free counters and latency/batch-size histograms,
 //!   snapshotted into a [`MetricsSnapshot`] that renders as JSON.
+//! * **[`breaker`], [`fallback`], [`fault`]**: the resilience layer. Worker
+//!   batch loops run supervised (`catch_unwind` + bounded, jittered replica
+//!   respawns); per-request deadlines resolve as `DeadlineExceeded`; a
+//!   circuit breaker sheds traffic to a cheap feature-based [`Fallback`]
+//!   (responses tagged `degraded`) and half-opens after a cooldown; and a
+//!   deterministic [`FaultPlan`] hook lets the chaos harness inject panics,
+//!   delays, and corruption through the production code paths.
 //!
 //! Two binaries ship with the crate: `baserved` (loads an artifact and
 //! serves the [`protocol`] line protocol) and `baserve-loadgen` (replays
@@ -39,13 +46,24 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod breaker;
 pub mod cache;
 pub mod cli;
 pub mod engine;
+pub mod fallback;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 
+pub use breaker::{Admission, BreakerState, CircuitBreaker};
 pub use cache::LruCache;
-pub use engine::{Engine, EngineConfig, Response, ServeError, Ticket};
+pub use engine::{Engine, EngineConfig, EngineHooks, Response, ServeError, Ticket};
+pub use fallback::{Fallback, FeatureFallback};
+pub use fault::{
+    corrupt_bytes, garble_line, splitmix64, truncate_line, FaultAction, FaultPlan, FaultSpec,
+    NoFaults, ScriptedFaultPlan,
+};
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use protocol::{format_error, format_response, parse_request, ProtocolError, Request};
+pub use protocol::{
+    format_error, format_response, parse_request, parse_request_bytes, ProtocolError, Request,
+};

@@ -22,6 +22,19 @@ pub struct Metrics {
     pub rejected: AtomicU64,
     pub completed: AtomicU64,
     pub failed: AtomicU64,
+    /// Requests completed as `DeadlineExceeded`.
+    pub timed_out: AtomicU64,
+    /// Requests answered by the degraded fallback path (breaker open or no
+    /// live workers).
+    pub degraded: AtomicU64,
+    /// Worker batch-loop panics caught by the supervisor.
+    pub worker_panics: AtomicU64,
+    /// Replica respawns after a caught panic (≤ `worker_panics`).
+    pub worker_restarts: AtomicU64,
+    /// Workers retired permanently after exhausting their restart budget.
+    pub workers_retired: AtomicU64,
+    /// Circuit-breaker transitions into the Open state.
+    pub breaker_trips: AtomicU64,
     pub cache_hits: AtomicU64,
     pub cache_misses: AtomicU64,
     /// Requests answered from work already done for an identical request in
@@ -109,6 +122,12 @@ impl Metrics {
             rejected: self.rejected.load(Relaxed),
             completed: self.completed.load(Relaxed),
             failed: self.failed.load(Relaxed),
+            timed_out: self.timed_out.load(Relaxed),
+            degraded: self.degraded.load(Relaxed),
+            worker_panics: self.worker_panics.load(Relaxed),
+            worker_restarts: self.worker_restarts.load(Relaxed),
+            workers_retired: self.workers_retired.load(Relaxed),
+            breaker_trips: self.breaker_trips.load(Relaxed),
             cache_hits: hits,
             cache_misses: misses,
             batch_dedup_hits: self.batch_dedup_hits.load(Relaxed),
@@ -165,6 +184,12 @@ pub struct MetricsSnapshot {
     pub rejected: u64,
     pub completed: u64,
     pub failed: u64,
+    pub timed_out: u64,
+    pub degraded: u64,
+    pub worker_panics: u64,
+    pub worker_restarts: u64,
+    pub workers_retired: u64,
+    pub breaker_trips: u64,
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub batch_dedup_hits: u64,
@@ -184,6 +209,13 @@ pub struct MetricsSnapshot {
 }
 
 impl MetricsSnapshot {
+    /// Every request that has reached a terminal outcome. Once traffic has
+    /// drained, this equals `submitted` — the "no request is ever silently
+    /// dropped" accounting identity the chaos harness asserts.
+    pub fn terminal_total(&self) -> u64 {
+        self.completed + self.failed + self.timed_out + self.degraded + self.rejected
+    }
+
     /// Render as a single-line JSON object (hand-rolled; the build has no
     /// serde backend). Histogram vectors are emitted sparsely as
     /// `{"<size>": count, ...}` objects.
@@ -194,6 +226,12 @@ impl MetricsSnapshot {
         push_kv_u64(&mut s, "rejected", self.rejected);
         push_kv_u64(&mut s, "completed", self.completed);
         push_kv_u64(&mut s, "failed", self.failed);
+        push_kv_u64(&mut s, "timed_out", self.timed_out);
+        push_kv_u64(&mut s, "degraded", self.degraded);
+        push_kv_u64(&mut s, "worker_panics", self.worker_panics);
+        push_kv_u64(&mut s, "worker_restarts", self.worker_restarts);
+        push_kv_u64(&mut s, "workers_retired", self.workers_retired);
+        push_kv_u64(&mut s, "breaker_trips", self.breaker_trips);
         push_kv_u64(&mut s, "cache_hits", self.cache_hits);
         push_kv_u64(&mut s, "cache_misses", self.cache_misses);
         push_kv_u64(&mut s, "batch_dedup_hits", self.batch_dedup_hits);
@@ -290,6 +328,24 @@ mod tests {
         assert_eq!(snap.p99_latency_us, 0);
         assert_eq!(snap.mean_batch_size, 0.0);
         assert_eq!(snap.cache_hit_rate, 0.0);
+    }
+
+    #[test]
+    fn terminal_total_accounts_every_outcome() {
+        let m = Metrics::default();
+        m.submitted.fetch_add(10, Relaxed);
+        m.completed.fetch_add(4, Relaxed);
+        m.failed.fetch_add(2, Relaxed);
+        m.timed_out.fetch_add(1, Relaxed);
+        m.degraded.fetch_add(2, Relaxed);
+        m.rejected.fetch_add(1, Relaxed);
+        let snap = m.snapshot();
+        assert_eq!(snap.terminal_total(), snap.submitted);
+        let json = snap.to_json();
+        assert!(json.contains("\"timed_out\":1"));
+        assert!(json.contains("\"degraded\":2"));
+        assert!(json.contains("\"worker_panics\":0"));
+        assert!(json.contains("\"breaker_trips\":0"));
     }
 
     #[test]

@@ -29,6 +29,15 @@ pub enum Request {
     Quit,
 }
 
+/// Longest request line the parser will look at. Anything bigger is
+/// rejected before tokenization — a garbled or adversarial client must not
+/// be able to make the daemon buffer or scan unbounded input per line.
+pub const MAX_LINE_BYTES: usize = 4096;
+
+/// Longest single field (command or argument). The widest legitimate token
+/// is a u64 (20 digits); 64 leaves slack for future commands.
+pub const MAX_FIELD_BYTES: usize = 64;
+
 /// A malformed request line.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ProtocolError(pub String);
@@ -44,17 +53,35 @@ impl std::error::Error for ProtocolError {}
 /// Parse one request line. `Ok(None)` means the line carries no request
 /// (blank or comment) and should simply be skipped.
 pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(ProtocolError(format!(
+            "request line too long ({} bytes, max {MAX_LINE_BYTES})",
+            line.len()
+        )));
+    }
     let line = line.trim();
     if line.is_empty() || line.starts_with('#') {
         return Ok(None);
     }
     let mut parts = line.split_whitespace();
     let cmd = parts.next().expect("non-empty line has a first token");
+    if cmd.len() > MAX_FIELD_BYTES {
+        return Err(ProtocolError(format!(
+            "field too long ({} bytes, max {MAX_FIELD_BYTES})",
+            cmd.len()
+        )));
+    }
     let req = match cmd {
         "classify" => {
             let arg = parts
                 .next()
                 .ok_or_else(|| ProtocolError("classify needs an address id".into()))?;
+            if arg.len() > MAX_FIELD_BYTES {
+                return Err(ProtocolError(format!(
+                    "field too long ({} bytes, max {MAX_FIELD_BYTES})",
+                    arg.len()
+                )));
+            }
             let id = arg
                 .parse::<u64>()
                 .map_err(|_| ProtocolError(format!("bad address id {arg:?}")))?;
@@ -72,14 +99,38 @@ pub fn parse_request(line: &str) -> Result<Option<Request>, ProtocolError> {
     Ok(Some(req))
 }
 
-/// Render the outcome of a `classify` request as one response line.
+/// Parse one raw request line that may not be valid UTF-8. Invalid bytes
+/// are a clean [`ProtocolError`] — the connection survives; only the one
+/// request is answered with `err`.
+pub fn parse_request_bytes(line: &[u8]) -> Result<Option<Request>, ProtocolError> {
+    if line.len() > MAX_LINE_BYTES {
+        return Err(ProtocolError(format!(
+            "request line too long ({} bytes, max {MAX_LINE_BYTES})",
+            line.len()
+        )));
+    }
+    let text = std::str::from_utf8(line)
+        .map_err(|_| ProtocolError("request line is not valid UTF-8".into()))?;
+    parse_request(text)
+}
+
+/// Render the outcome of a `classify` request as one response line. The
+/// third field is the serving mode: `hit`/`miss` for model-path answers,
+/// `degraded` when the fallback classifier answered while the engine was
+/// shedding load.
 pub fn format_response(result: &Result<Response, ServeError>) -> String {
     match result {
         Ok(r) => format!(
             "ok {} {}us {}",
             r.label.name(),
             r.latency.as_micros(),
-            if r.cache_hit { "hit" } else { "miss" }
+            if r.degraded {
+                "degraded"
+            } else if r.cache_hit {
+                "hit"
+            } else {
+                "miss"
+            }
         ),
         Err(e) => format!("err {e}"),
     }
@@ -127,11 +178,69 @@ mod tests {
         let ok = Ok(Response {
             label: Label::Mining,
             cache_hit: true,
+            degraded: false,
             latency: Duration::from_micros(128),
         });
         assert_eq!(format_response(&ok), "ok Mining 128us hit");
         let err: Result<Response, ServeError> = Err(ServeError::QueueFull);
         assert_eq!(format_response(&err), "err request queue is full");
         assert_eq!(format_error("no such address 7"), "err no such address 7");
+    }
+
+    #[test]
+    fn formats_degraded_responses_distinctly() {
+        let degraded = Ok(Response {
+            label: Label::Exchange,
+            cache_hit: false,
+            degraded: true,
+            latency: Duration::from_micros(9),
+        });
+        assert_eq!(format_response(&degraded), "ok Exchange 9us degraded");
+        let err: Result<Response, ServeError> = Err(ServeError::DeadlineExceeded);
+        assert_eq!(format_response(&err), "err request deadline exceeded");
+        let err: Result<Response, ServeError> = Err(ServeError::WorkerFailed);
+        assert_eq!(format_response(&err), "err serving worker failed");
+    }
+
+    #[test]
+    fn oversized_lines_and_fields_are_rejected() {
+        let long_line = format!("classify {}", "1".repeat(MAX_LINE_BYTES));
+        assert!(parse_request(&long_line).is_err());
+        let long_field = format!("classify {}", "1".repeat(MAX_FIELD_BYTES + 1));
+        assert!(parse_request(&long_field).is_err());
+        let long_cmd = "x".repeat(MAX_FIELD_BYTES + 1);
+        assert!(parse_request(&long_cmd).is_err());
+        // At the boundary, a plain bad-id error — not a length error.
+        let at_limit = format!("classify {}", "1".repeat(MAX_FIELD_BYTES));
+        assert!(parse_request(&at_limit).is_err());
+    }
+
+    #[test]
+    fn byte_parser_handles_empty_and_non_utf8_input() {
+        assert_eq!(parse_request_bytes(b""), Ok(None));
+        assert_eq!(parse_request_bytes(b"   "), Ok(None));
+        assert_eq!(
+            parse_request_bytes(b"classify 7"),
+            Ok(Some(Request::Classify(7)))
+        );
+        let err = parse_request_bytes(&[0xff, 0xfe, b'h', b'i']).unwrap_err();
+        assert!(err.0.contains("UTF-8"), "got {err:?}");
+        let huge = vec![b'a'; MAX_LINE_BYTES + 1];
+        assert!(parse_request_bytes(&huge).is_err());
+    }
+
+    #[test]
+    fn garbled_and_truncated_lines_never_panic() {
+        let originals = ["classify 42", "metrics", "quit", "# comment", ""];
+        for (i, line) in originals.iter().enumerate() {
+            for seed in 0..50u64 {
+                let s = seed * 31 + i as u64;
+                let _ = parse_request(&crate::fault::garble_line(line, s));
+                let _ = parse_request(&crate::fault::truncate_line(line, s));
+                let mut bytes = line.as_bytes().to_vec();
+                crate::fault::corrupt_bytes(&mut bytes, s, 2);
+                let _ = parse_request_bytes(&bytes);
+            }
+        }
     }
 }
