@@ -1,0 +1,194 @@
+//! Streaming ingestion benchmark, written to `results/stream_bench.json`.
+//!
+//! ```text
+//! stream_bench [--seed 42] [--blocks 1000] [--users 40] [--capacity 16]
+//!              [--reclass-every 5] [--min-txs 3] [--out results/stream_bench.json]
+//! ```
+//!
+//! Two phases:
+//!
+//! 1. **Follow** — a `bstream` follower drains a live feed over the whole
+//!    chain, reporting ingest throughput (blocks/s), per-address
+//!    reclassification latency (p50/p99), and steady-state lag behind the
+//!    producer (mean of the second half of the lag samples).
+//! 2. **Incremental vs reconstruction** — for the busiest address, the cost
+//!    of extending graphs by one transaction (`apply_tx` + re-deriving the
+//!    dirty slice) is compared against rebuilding every slice from scratch
+//!    with `construct_address_graphs`, sampled along the history. The two
+//!    paths are asserted byte-identical at the final state, and the bench
+//!    fails if incremental maintenance is not strictly faster.
+//!
+//! Classification timing uses untrained weights of the `fast` preset —
+//! label *values* are meaningless here, but every code path (embed, head,
+//! cache maintenance) runs exactly as it would with a trained model.
+
+use bac_bench::flag_value;
+use baclassifier::construction::{construct_address_graphs, graphs_identical, IncrementalGraphs};
+use baclassifier::{BaClassifier, BacConfig, ModelArtifact};
+use bstream::{BlockFeed, Follower, FollowerConfig};
+use btcsim::{AddressRecord, Dataset, SimConfig, Simulator};
+use std::time::{Duration, Instant};
+
+/// Untrained weights of the `fast` preset (no fit: benchmark, not model).
+fn untrained_artifact() -> ModelArtifact {
+    let cfg = BacConfig::fast();
+    let clf = BaClassifier::new(cfg.clone());
+    let path = std::env::temp_dir().join(format!("stream_bench_artifact_{}", std::process::id()));
+    clf.save_weights(&path).expect("write weights");
+    let weights = numnet::read_matrices(&mut std::fs::File::open(&path).expect("reopen weights"))
+        .expect("read weights");
+    std::fs::remove_file(&path).ok();
+    ModelArtifact {
+        config: cfg,
+        weights,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed: u64 = flag_value(&args, "--seed")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let blocks: u64 = flag_value(&args, "--blocks")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1000);
+    let users: usize = flag_value(&args, "--users")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(40);
+    let capacity: usize = flag_value(&args, "--capacity")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+    let reclass_every: u64 = flag_value(&args, "--reclass-every")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let min_txs: usize = flag_value(&args, "--min-txs")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let out = flag_value(&args, "--out").unwrap_or_else(|| "results/stream_bench.json".into());
+
+    let mut sim_cfg = SimConfig {
+        blocks,
+        ..SimConfig::tiny(seed)
+    };
+    sim_cfg.retail.num_users = users;
+    let artifact = untrained_artifact();
+
+    // Phase 1: follow the live chain end to end.
+    eprintln!(
+        "[stream_bench] following {} blocks (seed {seed})…",
+        blocks + 1
+    );
+    let mut follower = Follower::new(
+        &artifact,
+        FollowerConfig {
+            min_txs,
+            reclass_every,
+            ..FollowerConfig::default()
+        },
+    )
+    .expect("untrained artifact matches its own config");
+    let feed = BlockFeed::follow_sim(sim_cfg.clone(), 0, capacity);
+    let t = Instant::now();
+    follower.run(&feed);
+    let follow_elapsed = t.elapsed();
+    let m = follower.metrics().clone();
+    let blocks_per_sec = m.blocks_ingested as f64 / follow_elapsed.as_secs_f64();
+    eprintln!(
+        "[stream_bench] {} blocks in {:.2}s = {:.1} blocks/s ({} tracked, p50 {}µs, p99 {}µs, steady lag {:.2})",
+        m.blocks_ingested,
+        follow_elapsed.as_secs_f64(),
+        blocks_per_sec,
+        follower.num_tracked(),
+        m.reclass_percentile_us(0.50),
+        m.reclass_percentile_us(0.99),
+        m.steady_lag(),
+    );
+
+    // Phase 2: incremental update vs full reconstruction, busiest address.
+    let sim = Simulator::run_to_completion(sim_cfg);
+    let ds = Dataset::from_simulator(&sim, 1);
+    let record = ds
+        .records
+        .iter()
+        .max_by_key(|r| r.txs.len())
+        .expect("non-empty dataset");
+    let construction = artifact.config.construction.clone();
+    let stride = (record.txs.len() / 200).max(1);
+    eprintln!(
+        "[stream_bench] incremental vs reconstruction on {:?} ({} txs, sampling every {stride})…",
+        record.address,
+        record.txs.len()
+    );
+
+    let mut inc = IncrementalGraphs::new(record.address, construction.clone());
+    let mut inc_time = Duration::ZERO;
+    let mut batch_time = Duration::ZERO;
+    let mut samples = 0usize;
+    for (i, tx) in record.txs.iter().enumerate() {
+        let sampled = i % stride == 0 || i + 1 == record.txs.len();
+        if sampled {
+            // Incremental path: extend by one tx, re-derive the dirty slice.
+            let t = Instant::now();
+            inc.apply_tx(tx);
+            let _ = inc.graphs();
+            inc_time += t.elapsed();
+
+            // Batch path: rebuild every slice from the same prefix.
+            let prefix = AddressRecord {
+                address: record.address,
+                label: record.label,
+                txs: record.txs[..=i].to_vec(),
+            };
+            let t = Instant::now();
+            let (batch_graphs, _) = construct_address_graphs(&prefix, &construction);
+            batch_time += t.elapsed();
+            samples += 1;
+
+            if i + 1 == record.txs.len() {
+                graphs_identical(inc.graphs(), &batch_graphs)
+                    .expect("incremental and batch graphs must be byte-identical");
+            }
+        } else {
+            inc.apply_tx(tx);
+        }
+    }
+    let speedup = batch_time.as_secs_f64() / inc_time.as_secs_f64();
+    eprintln!(
+        "[stream_bench] {} samples: incremental {:.1}ms, reconstruction {:.1}ms, speedup {:.1}x",
+        samples,
+        inc_time.as_secs_f64() * 1e3,
+        batch_time.as_secs_f64() * 1e3,
+        speedup
+    );
+    assert!(
+        speedup > 1.0,
+        "incremental update must beat full reconstruction (got {speedup:.2}x)"
+    );
+
+    let json = format!(
+        "{{\"seed\":{seed},\"blocks\":{},\"tracked\":{},\"labeled\":{},\
+         \"follow\":{{\"elapsed_s\":{:.3},\"blocks_per_sec\":{blocks_per_sec:.1},\
+         \"reclass_p50_us\":{},\"reclass_p99_us\":{},\"mean_lag\":{:.3},\
+         \"steady_lag\":{:.3},\"metrics\":{}}},\
+         \"incremental_vs_batch\":{{\"address\":{},\"num_txs\":{},\"samples\":{samples},\
+         \"incremental_ms\":{:.3},\"batch_ms\":{:.3},\"speedup\":{speedup:.2}}}}}",
+        m.blocks_ingested,
+        follower.num_tracked(),
+        follower.labels().len(),
+        follow_elapsed.as_secs_f64(),
+        m.reclass_percentile_us(0.50),
+        m.reclass_percentile_us(0.99),
+        m.mean_lag(),
+        m.steady_lag(),
+        m.to_json(),
+        record.address.0,
+        record.txs.len(),
+        inc_time.as_secs_f64() * 1e3,
+        batch_time.as_secs_f64() * 1e3,
+    );
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create results dir");
+    }
+    std::fs::write(&out, format!("{json}\n")).expect("write results");
+    println!("wrote {out}");
+}

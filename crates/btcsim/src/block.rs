@@ -9,7 +9,7 @@ use std::collections::{BTreeMap, HashMap};
 pub const BLOCK_INTERVAL_SECS: u64 = 600;
 
 /// A block: height, timestamp, and its transactions (coinbase first, if any).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Block {
     pub height: u64,
     pub timestamp: u64,

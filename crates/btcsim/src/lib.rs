@@ -24,6 +24,7 @@ pub mod actors;
 pub mod address;
 pub mod amount;
 pub mod block;
+pub mod cursor;
 pub mod dataset;
 pub mod dist;
 pub mod mempool;
@@ -35,6 +36,7 @@ pub mod wallet;
 pub use address::{Address, Label};
 pub use amount::Amount;
 pub use block::{Block, Chain};
+pub use cursor::BlockCursor;
 pub use dataset::{AddressRecord, Dataset, TxView};
 pub use mempool::Mempool;
 pub use sim::{SimConfig, Simulator};

@@ -1,0 +1,532 @@
+//! Delta-based graph maintenance for streaming ingestion.
+//!
+//! The batch pipeline ([`construct_address_graphs`]) rebuilds every slice
+//! graph from the full history each time it runs. A chain follower sees one
+//! transaction at a time, so rebuilding from scratch per block is O(history)
+//! per update. This module maintains the same graphs incrementally:
+//!
+//! * [`IncrementalGraphs::apply_tx`] appends one transaction to the raw
+//!   (uncompressed) slice graphs in exactly the order the batch extractor
+//!   would have — tx node first, then address nodes in first-appearance
+//!   order (inputs before outputs), then edges, then per-edge value pushes —
+//!   and recomputes SFE features only for the touched nodes. The result is
+//!   asserted **byte-identical** to [`extract_original_graphs`] (see
+//!   [`graphs_identical`] and `crates/core/tests/incremental_properties.rs`).
+//! * Compression and augmentation are pure per-slice functions, so derived
+//!   (compressed + augmented) graphs for *frozen* slices — every slice but
+//!   the last — are computed once and cached. Only the growing final slice
+//!   is re-derived, bounding per-tx work by the slice size instead of the
+//!   history length.
+//! * [`FocusAggregates`] keeps O(1)-updatable scalar feature aggregates
+//!   (flows, event counts, activity span) for cheap gating and telemetry.
+//!
+//! [`construct_address_graphs`]: crate::construction::construct_address_graphs
+
+use crate::config::ConstructionConfig;
+use crate::construction::address_graph::{AddressGraph, Edge, Node, NodeKind, Side};
+use crate::construction::augment::augment_with_centralities;
+use crate::construction::compress::{compress_multi_tx, compress_single_tx, MultiCompressParams};
+use crate::construction::sfe::sfe;
+use btcsim::{Address, TxView};
+use std::collections::HashMap;
+
+/// Incrementally maintained slice graphs for one focus address.
+///
+/// Feeding the same chronological transactions through [`apply_tx`] yields
+/// graphs bit-for-bit equal to running the batch pipeline over the full
+/// history — the property the streaming layer's correctness rests on.
+///
+/// [`apply_tx`]: IncrementalGraphs::apply_tx
+#[derive(Clone, Debug)]
+pub struct IncrementalGraphs {
+    focus: Address,
+    cfg: ConstructionConfig,
+    num_txs: usize,
+    /// Raw (uncompressed) slice graphs; only the last one can still grow.
+    raw: Vec<AddressGraph>,
+    /// Address → node index for the *current* (last) slice.
+    addr_node: HashMap<Address, usize>,
+    /// Compressed + augmented graphs, lazily derived from `raw`.
+    derived: Vec<AddressGraph>,
+    /// Leading `derived` entries known to match their raw slice.
+    derived_clean: usize,
+}
+
+impl IncrementalGraphs {
+    pub fn new(focus: Address, cfg: ConstructionConfig) -> Self {
+        assert!(cfg.slice_size > 0, "slice_size must be positive");
+        Self {
+            focus,
+            cfg,
+            num_txs: 0,
+            raw: Vec::new(),
+            addr_node: HashMap::new(),
+            derived: Vec::new(),
+            derived_clean: 0,
+        }
+    }
+
+    /// Build incremental state by replaying an existing history.
+    pub fn from_history(focus: Address, txs: &[TxView], cfg: ConstructionConfig) -> Self {
+        let mut inc = Self::new(focus, cfg);
+        for tx in txs {
+            inc.apply_tx(tx);
+        }
+        inc
+    }
+
+    pub fn focus(&self) -> Address {
+        self.focus
+    }
+
+    pub fn config(&self) -> &ConstructionConfig {
+        &self.cfg
+    }
+
+    /// Transactions applied so far.
+    pub fn num_txs(&self) -> usize {
+        self.num_txs
+    }
+
+    /// Slices so far (the last may be partial).
+    pub fn num_slices(&self) -> usize {
+        self.raw.len()
+    }
+
+    /// Append one transaction, mirroring the batch extractor's construction
+    /// order exactly so raw graphs stay byte-identical to
+    /// [`extract_original_graphs`](crate::construction::extract_original_graphs).
+    pub fn apply_tx(&mut self, tx: &TxView) {
+        if self.num_txs.is_multiple_of(self.cfg.slice_size) {
+            // Start a new slice: previous slice (if any) is now frozen.
+            self.raw.push(AddressGraph {
+                focus: self.focus,
+                slice_index: self.raw.len(),
+                start_timestamp: tx.timestamp,
+                num_txs: 0,
+                nodes: vec![Node::new(NodeKind::Focus, Some(self.focus))],
+                edges: Vec::new(),
+            });
+            self.addr_node.clear();
+            self.addr_node.insert(self.focus, 0);
+        }
+        let g = self.raw.last_mut().expect("slice pushed above");
+
+        let tx_node = g.nodes.len();
+        g.nodes.push(Node::new(NodeKind::Transaction, None));
+        // Nodes whose `values` grow this tx; SFE is recomputed only for them.
+        let mut touched = vec![tx_node];
+        for (side, entries) in [(Side::Input, &tx.inputs), (Side::Output, &tx.outputs)] {
+            for &(addr, amount) in entries {
+                let a = *self.addr_node.entry(addr).or_insert_with(|| {
+                    g.nodes.push(Node::new(NodeKind::Address, Some(addr)));
+                    g.nodes.len() - 1
+                });
+                let v = amount.btc();
+                g.edges.push(Edge {
+                    addr_node: a,
+                    tx_node,
+                    value: v,
+                    side,
+                });
+                // The batch extractor pushes values per edge, addr endpoint
+                // first — edges are appended chronologically, so pushing at
+                // edge creation preserves the exact value order.
+                g.nodes[a].values.push(v);
+                g.nodes[tx_node].values.push(v);
+                if !touched.contains(&a) {
+                    touched.push(a);
+                }
+            }
+        }
+        for &n in &touched {
+            g.nodes[n].sfe = sfe(&g.nodes[n].values);
+        }
+        g.num_txs += 1;
+        debug_assert_eq!(g.check_invariants(), Ok(()));
+        self.num_txs += 1;
+        self.derived_clean = self.derived_clean.min(self.raw.len() - 1);
+    }
+
+    /// The raw (uncompressed) slice graphs — stage-1 output.
+    pub fn raw_graphs(&self) -> &[AddressGraph] {
+        &self.raw
+    }
+
+    /// The derived (compressed + augmented, per config) slice graphs —
+    /// equal to `construct_address_graphs(record, cfg).0` over the applied
+    /// history. Frozen slices are served from cache; only slices dirtied
+    /// since the last call are re-derived.
+    pub fn graphs(&mut self) -> &[AddressGraph] {
+        for i in self.derived_clean..self.raw.len() {
+            let d = derive_slice(&self.cfg, &self.raw[i]);
+            if i < self.derived.len() {
+                self.derived[i] = d;
+            } else {
+                self.derived.push(d);
+            }
+        }
+        self.derived_clean = self.raw.len();
+        self.derived.truncate(self.raw.len());
+        &self.derived
+    }
+}
+
+/// Run stages 2–4 on one raw slice, honoring the config's ablation flags.
+fn derive_slice(cfg: &ConstructionConfig, raw: &AddressGraph) -> AddressGraph {
+    let mut g = if cfg.compress {
+        let single = compress_single_tx(raw);
+        compress_multi_tx(
+            &single,
+            MultiCompressParams {
+                psi: cfg.psi,
+                sigma: cfg.sigma,
+            },
+        )
+    } else {
+        raw.clone()
+    };
+    if cfg.augment {
+        augment_with_centralities(&mut g);
+    }
+    g
+}
+
+/// Bitwise equality over graph lists — `Ok(())` or a description of the
+/// first mismatch. Floats are compared via `to_bits`, so this is strict
+/// byte-identity, not approximate equality.
+pub fn graphs_identical(a: &[AddressGraph], b: &[AddressGraph]) -> Result<(), String> {
+    if a.len() != b.len() {
+        return Err(format!("graph count {} vs {}", a.len(), b.len()));
+    }
+    for (gi, (ga, gb)) in a.iter().zip(b).enumerate() {
+        let ctx = |what: &str| format!("graph {gi}: {what}");
+        if ga.focus != gb.focus {
+            return Err(ctx(&format!("focus {:?} vs {:?}", ga.focus, gb.focus)));
+        }
+        if ga.slice_index != gb.slice_index {
+            return Err(ctx("slice_index differs"));
+        }
+        if ga.start_timestamp != gb.start_timestamp {
+            return Err(ctx(&format!(
+                "start_timestamp {} vs {}",
+                ga.start_timestamp, gb.start_timestamp
+            )));
+        }
+        if ga.num_txs != gb.num_txs {
+            return Err(ctx(&format!("num_txs {} vs {}", ga.num_txs, gb.num_txs)));
+        }
+        if ga.nodes.len() != gb.nodes.len() {
+            return Err(ctx(&format!(
+                "node count {} vs {}",
+                ga.nodes.len(),
+                gb.nodes.len()
+            )));
+        }
+        if ga.edges.len() != gb.edges.len() {
+            return Err(ctx(&format!(
+                "edge count {} vs {}",
+                ga.edges.len(),
+                gb.edges.len()
+            )));
+        }
+        for (ni, (na, nb)) in ga.nodes.iter().zip(&gb.nodes).enumerate() {
+            if na.kind != nb.kind || na.address != nb.address || na.merged_count != nb.merged_count
+            {
+                return Err(ctx(&format!("node {ni} identity differs")));
+            }
+            if na.values.len() != nb.values.len()
+                || na
+                    .values
+                    .iter()
+                    .zip(&nb.values)
+                    .any(|(x, y)| x.to_bits() != y.to_bits())
+            {
+                return Err(ctx(&format!("node {ni} values differ")));
+            }
+            if na
+                .sfe
+                .0
+                .iter()
+                .zip(&nb.sfe.0)
+                .any(|(x, y)| x.to_bits() != y.to_bits())
+            {
+                return Err(ctx(&format!("node {ni} sfe differs")));
+            }
+            if na
+                .centrality
+                .iter()
+                .zip(&nb.centrality)
+                .any(|(x, y)| x.to_bits() != y.to_bits())
+            {
+                return Err(ctx(&format!("node {ni} centrality differs")));
+            }
+        }
+        for (ei, (ea, eb)) in ga.edges.iter().zip(&gb.edges).enumerate() {
+            if ea.addr_node != eb.addr_node
+                || ea.tx_node != eb.tx_node
+                || ea.side != eb.side
+                || ea.value.to_bits() != eb.value.to_bits()
+            {
+                return Err(ctx(&format!("edge {ei} differs")));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// O(1)-updatable scalar aggregates of a focus address's history — the
+/// feature-delta counterpart to the graph deltas above. Applying txs one by
+/// one gives bit-identical results to [`FocusAggregates::from_history`]
+/// because both fold in the same chronological order.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FocusAggregates {
+    /// Transactions in the history.
+    pub num_txs: u64,
+    /// BTC received by the focus (sum of outputs paying it).
+    pub received_btc: f64,
+    /// BTC spent by the focus (sum of inputs funded by it).
+    pub spent_btc: f64,
+    /// Output entries paying the focus.
+    pub in_events: u64,
+    /// Input entries funded by the focus.
+    pub out_events: u64,
+    /// Timestamp of the first transaction (0 when empty).
+    pub first_timestamp: u64,
+    /// Timestamp of the latest transaction (0 when empty).
+    pub last_timestamp: u64,
+}
+
+impl FocusAggregates {
+    pub fn apply_tx(&mut self, focus: Address, tx: &TxView) {
+        if self.num_txs == 0 {
+            self.first_timestamp = tx.timestamp;
+        }
+        self.last_timestamp = tx.timestamp;
+        self.num_txs += 1;
+        for &(addr, amount) in &tx.inputs {
+            if addr == focus {
+                self.spent_btc += amount.btc();
+                self.out_events += 1;
+            }
+        }
+        for &(addr, amount) in &tx.outputs {
+            if addr == focus {
+                self.received_btc += amount.btc();
+                self.in_events += 1;
+            }
+        }
+    }
+
+    pub fn from_history(focus: Address, txs: &[TxView]) -> Self {
+        let mut agg = Self::default();
+        for tx in txs {
+            agg.apply_tx(focus, tx);
+        }
+        agg
+    }
+
+    /// Net flow through the focus in BTC (received − spent).
+    pub fn net_btc(&self) -> f64 {
+        self.received_btc - self.spent_btc
+    }
+
+    /// Active span in seconds (0 for empty or single-tx histories).
+    pub fn active_secs(&self) -> u64 {
+        self.last_timestamp.saturating_sub(self.first_timestamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::construction::pipeline::construct_address_graphs;
+    use btcsim::{Amount, Dataset, Label, SimConfig, Simulator, Txid};
+
+    fn view(ts: u64, inputs: &[(u64, f64)], outputs: &[(u64, f64)]) -> TxView {
+        TxView {
+            txid: Txid(ts * 131 + inputs.len() as u64),
+            timestamp: ts,
+            inputs: inputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
+            outputs: outputs
+                .iter()
+                .map(|&(a, v)| (Address(a), Amount::from_btc(v)))
+                .collect(),
+        }
+    }
+
+    fn record(address: u64, txs: Vec<TxView>) -> btcsim::AddressRecord {
+        btcsim::AddressRecord {
+            address: Address(address),
+            label: Label::Exchange,
+            txs,
+        }
+    }
+
+    fn synthetic_history(n: u64) -> Vec<TxView> {
+        (0..n)
+            .map(|i| {
+                if i % 3 == 0 {
+                    view(
+                        100 + i,
+                        &[(0, 1.0 + i as f64 * 0.01), (40 + i % 5, 0.25)],
+                        &[(200 + i % 7, 1.1)],
+                    )
+                } else {
+                    view(100 + i, &[(300 + i % 4, 2.0)], &[(0, 1.9), (500 + i, 0.05)])
+                }
+            })
+            .collect()
+    }
+
+    fn check_equivalence(txs: &[TxView], cfg: ConstructionConfig) {
+        let rec = record(0, txs.to_vec());
+        let (batch, _) = construct_address_graphs(&rec, &cfg);
+        let mut inc = IncrementalGraphs::new(Address(0), cfg.clone());
+        for tx in txs {
+            inc.apply_tx(tx);
+        }
+        let raw_batch = crate::construction::extract::extract_original_graphs(&rec, cfg.slice_size);
+        graphs_identical(inc.raw_graphs(), &raw_batch).expect("raw graphs identical");
+        graphs_identical(inc.graphs(), &batch).expect("derived graphs identical");
+    }
+
+    #[test]
+    fn incremental_matches_batch_across_slice_sizes() {
+        let txs = synthetic_history(23);
+        for slice_size in [1, 2, 5, 10, 23, 100] {
+            check_equivalence(
+                &txs,
+                ConstructionConfig {
+                    slice_size,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_with_ablation_flags() {
+        let txs = synthetic_history(17);
+        for (compress, augment) in [(false, false), (true, false), (false, true), (true, true)] {
+            check_equivalence(
+                &txs,
+                ConstructionConfig {
+                    slice_size: 6,
+                    compress,
+                    augment,
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_batch_on_simulated_records() {
+        let sim = Simulator::run_to_completion(SimConfig::tiny(11));
+        let ds = Dataset::from_simulator(&sim, 2);
+        let cfg = ConstructionConfig {
+            slice_size: 8,
+            ..Default::default()
+        };
+        for rec in ds.records.iter().take(25) {
+            let (batch, _) = construct_address_graphs(rec, &cfg);
+            let mut inc = IncrementalGraphs::new(rec.address, cfg.clone());
+            for tx in &rec.txs {
+                inc.apply_tx(tx);
+            }
+            graphs_identical(inc.graphs(), &batch)
+                .unwrap_or_else(|e| panic!("address {:?}: {e}", rec.address));
+        }
+    }
+
+    #[test]
+    fn equivalence_holds_at_every_prefix() {
+        // Interleaving graphs() calls with apply_tx must not disturb state.
+        let txs = synthetic_history(14);
+        let cfg = ConstructionConfig {
+            slice_size: 4,
+            ..Default::default()
+        };
+        let mut inc = IncrementalGraphs::new(Address(0), cfg.clone());
+        for (i, tx) in txs.iter().enumerate() {
+            inc.apply_tx(tx);
+            let rec = record(0, txs[..=i].to_vec());
+            let (batch, _) = construct_address_graphs(&rec, &cfg);
+            graphs_identical(inc.graphs(), &batch)
+                .unwrap_or_else(|e| panic!("prefix {}: {e}", i + 1));
+        }
+    }
+
+    #[test]
+    fn empty_state_has_no_graphs() {
+        let mut inc = IncrementalGraphs::new(Address(0), ConstructionConfig::default());
+        assert_eq!(inc.num_slices(), 0);
+        assert!(inc.graphs().is_empty());
+    }
+
+    #[test]
+    fn from_history_equals_stepwise_application() {
+        let txs = synthetic_history(12);
+        let cfg = ConstructionConfig {
+            slice_size: 5,
+            ..Default::default()
+        };
+        let mut step = IncrementalGraphs::new(Address(0), cfg.clone());
+        for tx in &txs {
+            step.apply_tx(tx);
+        }
+        let mut whole = IncrementalGraphs::from_history(Address(0), &txs, cfg);
+        graphs_identical(whole.graphs(), step.graphs()).unwrap();
+    }
+
+    #[test]
+    fn graphs_identical_reports_mismatches() {
+        let txs = synthetic_history(6);
+        let cfg = ConstructionConfig {
+            slice_size: 3,
+            ..Default::default()
+        };
+        let mut a = IncrementalGraphs::from_history(Address(0), &txs, cfg.clone());
+        let mut b = IncrementalGraphs::from_history(Address(0), &txs[..5], cfg);
+        let err = graphs_identical(a.graphs(), b.graphs());
+        assert!(err.is_err());
+        let mut c = a.clone();
+        let ga = a.graphs().to_vec();
+        let gc = c.graphs();
+        assert_eq!(graphs_identical(&ga, gc), Ok(()));
+    }
+
+    #[test]
+    fn focus_aggregates_delta_equals_batch() {
+        let txs = synthetic_history(20);
+        let mut live = FocusAggregates::default();
+        for (i, tx) in txs.iter().enumerate() {
+            live.apply_tx(Address(0), tx);
+            assert_eq!(live, FocusAggregates::from_history(Address(0), &txs[..=i]));
+        }
+        assert_eq!(live.num_txs, 20);
+        assert!(live.in_events > 0 && live.out_events > 0);
+        assert!(live.active_secs() > 0);
+        assert!(live.net_btc().is_finite());
+    }
+
+    #[test]
+    fn focus_aggregates_track_flows() {
+        let txs = vec![
+            view(10, &[(9, 5.0)], &[(0, 4.5), (9, 0.4)]),
+            view(20, &[(0, 4.5)], &[(7, 4.4)]),
+        ];
+        let agg = FocusAggregates::from_history(Address(0), &txs);
+        assert_eq!(agg.num_txs, 2);
+        assert!((agg.received_btc - 4.5).abs() < 1e-9);
+        assert!((agg.spent_btc - 4.5).abs() < 1e-9);
+        assert_eq!(agg.in_events, 1);
+        assert_eq!(agg.out_events, 1);
+        assert_eq!(agg.first_timestamp, 10);
+        assert_eq!(agg.last_timestamp, 20);
+    }
+}

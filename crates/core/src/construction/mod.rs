@@ -5,6 +5,7 @@ pub mod address_graph;
 pub mod augment;
 pub mod compress;
 pub mod extract;
+pub mod incremental;
 pub mod pipeline;
 pub mod sfe;
 
@@ -12,5 +13,6 @@ pub use address_graph::{AddressGraph, Edge, Node, NodeKind, Side};
 pub use augment::augment_with_centralities;
 pub use compress::{compress_multi_tx, compress_single_tx, MultiCompressParams};
 pub use extract::extract_original_graphs;
+pub use incremental::{graphs_identical, FocusAggregates, IncrementalGraphs};
 pub use pipeline::{construct_address_graphs, construct_dataset_graphs, StageTimings};
 pub use sfe::{sfe, SfeFeatures, SFE_DIM};

@@ -180,6 +180,16 @@ impl BaClassifier {
         self.embedding_sequence_from_graphs(&graphs)
     }
 
+    /// Embed one slice graph — the per-slice stage of [`BaClassifier::embed_record`].
+    /// Streaming layers that maintain graphs incrementally call this for
+    /// dirty slices only, then feed the cached sequence (capped to
+    /// `max_slices` most recent entries) to [`BaClassifier::classify_embeddings`].
+    pub fn embed_graph(&self, graph: &crate::construction::AddressGraph) -> Matrix {
+        let prep = self.gfn.prepare(&graph_tensors(graph));
+        let tape = Tape::new();
+        self.gfn.embed(&tape, &prep).value()
+    }
+
     /// Predict the behavior label of one address.
     ///
     /// This is `classify_embeddings(embed_record(record))`; serving layers
@@ -333,6 +343,22 @@ mod tests {
         assert!(wrong.load_weights(&path).is_err());
         assert!(!wrong.is_fitted());
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn embed_graph_matches_record_embedding_path() {
+        let (train, _) = small_split();
+        let clf = BaClassifier::new(BacConfig::fast());
+        let r = &train.records[0];
+        let (graphs, _) = construct_address_graphs(r, &clf.config().construction);
+        let seq = clf.embed_record(r);
+        let start = graphs
+            .len()
+            .saturating_sub(clf.config().model.max_slices.max(1));
+        assert_eq!(seq.len(), graphs.len() - start);
+        for (g, e) in graphs[start..].iter().zip(&seq) {
+            assert_eq!(clf.embed_graph(g).as_slice(), e.as_slice());
+        }
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Property-based equivalence of incremental and batch construction: for
+//! random transaction histories, feeding txs one at a time through
+//! `IncrementalGraphs::apply_tx` must leave state **byte-identical** to
+//! running the batch pipeline over the same history — the invariant the
+//! bstream chain follower's correctness rests on.
+
+use baclassifier::construction::pipeline::construct_address_graphs;
+use baclassifier::construction::{
+    extract_original_graphs, graphs_identical, FocusAggregates, IncrementalGraphs,
+};
+use baclassifier::ConstructionConfig;
+use btcsim::{Address, AddressRecord, Amount, Label, TxView, Txid};
+use proptest::prelude::*;
+
+/// Strategy: a random transaction history for focus address 0, with
+/// counterparties drawn from a small pool so repeat-visitor structure
+/// (multi-tx compression fodder) occurs.
+fn history_strategy() -> impl Strategy<Value = AddressRecord> {
+    let tx = (
+        proptest::collection::vec((1u64..30, 1u64..2_000_000), 0..5), // other inputs
+        proptest::collection::vec((1u64..30, 1u64..2_000_000), 1..6), // outputs
+        any::<bool>(),                                                // focus side
+    );
+    proptest::collection::vec(tx, 1..40).prop_map(|txs| {
+        let views = txs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (mut ins, mut outs, focus_in))| {
+                if focus_in {
+                    ins.push((0, 700_000));
+                } else {
+                    outs.push((0, 650_000));
+                }
+                TxView {
+                    txid: Txid(i as u64),
+                    timestamp: i as u64 * 600,
+                    inputs: ins
+                        .into_iter()
+                        .map(|(a, v)| (Address(a), Amount::from_sats(v)))
+                        .collect(),
+                    outputs: outs
+                        .into_iter()
+                        .map(|(a, v)| (Address(a), Amount::from_sats(v)))
+                        .collect(),
+                }
+            })
+            .collect();
+        AddressRecord {
+            address: Address(0),
+            label: Label::Service,
+            txs: views,
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn raw_incremental_state_equals_batch_extraction(
+        record in history_strategy(),
+        slice in 1usize..13,
+    ) {
+        let mut inc = IncrementalGraphs::new(
+            record.address,
+            ConstructionConfig { slice_size: slice, ..Default::default() },
+        );
+        for tx in &record.txs {
+            inc.apply_tx(tx);
+        }
+        let batch = extract_original_graphs(&record, slice);
+        prop_assert_eq!(graphs_identical(inc.raw_graphs(), &batch), Ok(()));
+        prop_assert_eq!(inc.num_txs(), record.txs.len());
+        prop_assert_eq!(inc.num_slices(), record.txs.len().div_ceil(slice));
+    }
+
+    #[test]
+    fn derived_incremental_state_equals_batch_pipeline(
+        record in history_strategy(),
+        slice in 1usize..13,
+        compress in any::<bool>(),
+        augment in any::<bool>(),
+    ) {
+        let cfg = ConstructionConfig {
+            slice_size: slice,
+            compress,
+            augment,
+            ..Default::default()
+        };
+        let mut inc = IncrementalGraphs::new(record.address, cfg.clone());
+        for tx in &record.txs {
+            inc.apply_tx(tx);
+        }
+        let (batch, _) = construct_address_graphs(&record, &cfg);
+        prop_assert_eq!(graphs_identical(inc.graphs(), &batch), Ok(()));
+    }
+
+    #[test]
+    fn equivalence_survives_interleaved_reads(
+        record in history_strategy(),
+        slice in 1usize..9,
+        read_every in 1usize..5,
+    ) {
+        // Deriving mid-stream (as the follower does after every block) must
+        // not perturb subsequent state.
+        let cfg = ConstructionConfig { slice_size: slice, ..Default::default() };
+        let mut inc = IncrementalGraphs::new(record.address, cfg.clone());
+        for (i, tx) in record.txs.iter().enumerate() {
+            inc.apply_tx(tx);
+            if i % read_every == 0 {
+                let prefix = AddressRecord {
+                    address: record.address,
+                    label: record.label,
+                    txs: record.txs[..=i].to_vec(),
+                };
+                let (batch, _) = construct_address_graphs(&prefix, &cfg);
+                prop_assert_eq!(graphs_identical(inc.graphs(), &batch), Ok(()));
+            }
+        }
+        let (full, _) = construct_address_graphs(&record, &cfg);
+        prop_assert_eq!(graphs_identical(inc.graphs(), &full), Ok(()));
+    }
+
+    #[test]
+    fn feature_aggregates_delta_equals_batch(record in history_strategy()) {
+        let mut live = FocusAggregates::default();
+        for tx in &record.txs {
+            live.apply_tx(record.address, tx);
+        }
+        let batch = FocusAggregates::from_history(record.address, &record.txs);
+        prop_assert_eq!(live, batch);
+        prop_assert_eq!(live.num_txs as usize, record.txs.len());
+        // Every tx involves the focus on exactly one side by construction.
+        prop_assert_eq!(live.in_events + live.out_events, live.num_txs);
+    }
+}

@@ -13,9 +13,12 @@
 //! any worker may serve any request.
 //!
 //! The expensive stage — slice-graph construction plus GFN embedding — is
-//! memoized in a shared LRU keyed by `(address id, history length)`: a
-//! history is append-only, so that pair uniquely identifies the embedding
-//! input. Cache hits skip straight to the cheap LSTM+MLP head
+//! memoized in a shared LRU keyed by `(address id, history length,
+//! generation)`: a history is append-only, so id + length uniquely identify
+//! the embedding input, and [`Engine::invalidate_address`] bumps the
+//! generation to supersede cached entries when an upstream (e.g. a streaming
+//! chain follower) changes an address's history out from under the cache.
+//! Cache hits skip straight to the cheap LSTM+MLP head
 //! ([`BaClassifier::classify_embeddings`]), which the core crate guarantees
 //! is byte-identical to the unstaged `predict` path.
 //!
@@ -208,13 +211,13 @@ fn recover<T>(r: LockResult<T>) -> T {
     r.unwrap_or_else(PoisonError::into_inner)
 }
 
-/// `(address id, history length)` — see the module docs for why this
-/// uniquely identifies an embedding input.
-type CacheKey = (u64, u64);
-
-fn cache_key(record: &AddressRecord) -> CacheKey {
-    (record.address.0, record.txs.len() as u64)
-}
+/// `(address id, history length, generation)`. Histories are append-only,
+/// so `(id, len)` uniquely identifies an embedding input *as long as the
+/// upstream source only appends*; the generation tag covers every other
+/// case. [`Engine::invalidate_address`] bumps an address's generation, which
+/// re-keys all of its future lookups — entries under older generations can
+/// never be reached again and age out of the LRU.
+type CacheKey = (u64, u64, u64);
 
 struct Job {
     record: AddressRecord,
@@ -236,6 +239,9 @@ struct Shared {
     queue: Mutex<QueueState>,
     cond: Condvar,
     cache: Mutex<LruCache<CacheKey, Arc<Vec<Matrix>>>>,
+    /// Per-address cache generation; absent means generation 0. Bumped by
+    /// [`Engine::invalidate_address`] to supersede cached embeddings.
+    generations: Mutex<HashMap<u64, u64>>,
     metrics: Metrics,
     breaker: CircuitBreaker,
     hooks: EngineHooks,
@@ -247,6 +253,14 @@ impl Shared {
         if self.breaker.record_failure() {
             self.metrics.breaker_trips.fetch_add(1, Relaxed);
         }
+    }
+
+    fn cache_key(&self, record: &AddressRecord) -> CacheKey {
+        let generation = recover(self.generations.lock())
+            .get(&record.address.0)
+            .copied()
+            .unwrap_or(0);
+        (record.address.0, record.txs.len() as u64, generation)
     }
 }
 
@@ -279,6 +293,7 @@ impl Engine {
             queue: Mutex::new(QueueState::default()),
             cond: Condvar::new(),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            generations: Mutex::new(HashMap::new()),
             metrics: Metrics::default(),
             breaker: CircuitBreaker::new(config.breaker_threshold, config.breaker_cooldown),
             hooks,
@@ -389,6 +404,26 @@ impl Engine {
     /// Submit and wait — the one-call convenience path.
     pub fn classify(&self, record: AddressRecord) -> Result<Response, ServeError> {
         self.submit(record)?.wait()
+    }
+
+    /// Supersede every cached embedding for `address` by bumping its cache
+    /// generation. Returns the new generation.
+    ///
+    /// The `(id, history_len)` key already guarantees that a *grown* history
+    /// can never hit an entry cached for a shorter one. This API closes the
+    /// remaining hole — a history that changed at the same length (a
+    /// corrected record, a re-orged source) — and is the hook a streaming
+    /// ingester calls when an address's history advances, so concurrent
+    /// query traffic stops accumulating entries for superseded lengths.
+    pub fn invalidate_address(&self, address: btcsim::Address) -> u64 {
+        let generation = {
+            let mut gens = recover(self.shared.generations.lock());
+            let g = gens.entry(address.0).or_insert(0);
+            *g += 1;
+            *g
+        };
+        self.shared.metrics.invalidations.fetch_add(1, Relaxed);
+        generation
     }
 
     /// Point-in-time copy of the service counters and histograms.
@@ -636,7 +671,7 @@ fn process_batch(
                 continue;
             }
         }
-        let key = cache_key(&job_ref.record);
+        let key = shared.cache_key(&job_ref.record);
         let (seq, hit) = if let Some(seq) = this_batch.get(&key) {
             shared.metrics.batch_dedup_hits.fetch_add(1, Relaxed);
             (Arc::clone(seq), true)
@@ -836,6 +871,80 @@ mod tests {
         assert_eq!(snap.cache_misses, 1);
         assert!(snap.cache_hits >= 1);
         assert!(snap.cache_hit_rate > 0.0);
+    }
+
+    /// Satellite: a grown history can never be served a stale cached
+    /// embedding. The `(id, len, gen)` key guards growth structurally —
+    /// the longer record misses and is re-embedded, matching the direct
+    /// model on the new history exactly.
+    #[test]
+    fn grown_history_never_serves_stale_embedding() {
+        use btcsim::{Amount, TxView, Txid};
+        let artifact = test_artifact();
+        let direct = BaClassifier::from_artifact(&artifact).unwrap();
+        let engine = Engine::new(Arc::clone(&artifact), EngineConfig::default()).unwrap();
+
+        let mut record = test_records(1).remove(0);
+        let cold = engine.classify(record.clone()).unwrap();
+        assert!(!cold.cache_hit);
+        assert!(engine.classify(record.clone()).unwrap().cache_hit);
+
+        // The history grows: the next query must not reuse the cached
+        // embedding for the shorter history.
+        let last_ts = record.txs.last().map_or(0, |t| t.timestamp);
+        record.txs.push(TxView {
+            txid: Txid(u64::MAX),
+            timestamp: last_ts + 600,
+            inputs: vec![(record.address, Amount::from_btc(1.0))],
+            outputs: vec![(btcsim::Address(u64::MAX), Amount::from_btc(0.99))],
+        });
+        let grown = engine.classify(record.clone()).unwrap();
+        assert!(!grown.cache_hit, "grown history must re-embed, not hit");
+        assert_eq!(grown.label, direct.predict(&record).unwrap());
+        // And the grown history is itself cached under its new length.
+        assert!(engine.classify(record).unwrap().cache_hit);
+    }
+
+    /// Satellite: `invalidate_address` supersedes cached embeddings even
+    /// when the history length does not change (the case the implicit
+    /// `(id, len)` key cannot catch).
+    #[test]
+    fn invalidate_address_supersedes_cached_embeddings() {
+        let artifact = test_artifact();
+        let engine = Engine::new(artifact, EngineConfig::default()).unwrap();
+        let record = test_records(1).remove(0);
+
+        assert!(!engine.classify(record.clone()).unwrap().cache_hit);
+        assert!(engine.classify(record.clone()).unwrap().cache_hit);
+
+        assert_eq!(engine.invalidate_address(record.address), 1);
+        let after = engine.classify(record.clone()).unwrap();
+        assert!(
+            !after.cache_hit,
+            "post-invalidation query must not see superseded entries"
+        );
+        // The re-embedded entry is cached under the new generation…
+        assert!(engine.classify(record.clone()).unwrap().cache_hit);
+        // …and further bumps keep superseding it.
+        assert_eq!(engine.invalidate_address(record.address), 2);
+        assert!(!engine.classify(record.clone()).unwrap().cache_hit);
+        let snap = engine.metrics();
+        assert_eq!(snap.invalidations, 2);
+        assert_accounted(&snap);
+    }
+
+    #[test]
+    fn invalidation_is_per_address() {
+        let artifact = test_artifact();
+        let engine = Engine::new(artifact, EngineConfig::default()).unwrap();
+        let records = test_records(2);
+        for r in &records {
+            engine.classify(r.clone()).unwrap();
+        }
+        engine.invalidate_address(records[0].address);
+        // Address 1 keeps its cached embedding; address 0 lost its own.
+        assert!(engine.classify(records[1].clone()).unwrap().cache_hit);
+        assert!(!engine.classify(records[0].clone()).unwrap().cache_hit);
     }
 
     #[test]

@@ -40,6 +40,9 @@ pub struct Metrics {
     /// Requests answered from work already done for an identical request in
     /// the same batch (intra-batch dedup; not an LRU hit).
     pub batch_dedup_hits: AtomicU64,
+    /// Explicit `invalidate_address` calls (generation bumps that supersede
+    /// any cached embeddings for the address).
+    pub invalidations: AtomicU64,
     pub batches: AtomicU64,
     latency_us: LatencyHistogram,
     batch_sizes: BatchHistogram,
@@ -131,6 +134,7 @@ impl Metrics {
             cache_hits: hits,
             cache_misses: misses,
             batch_dedup_hits: self.batch_dedup_hits.load(Relaxed),
+            invalidations: self.invalidations.load(Relaxed),
             cache_hit_rate: if hits + misses == 0 {
                 0.0
             } else {
@@ -193,6 +197,7 @@ pub struct MetricsSnapshot {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub batch_dedup_hits: u64,
+    pub invalidations: u64,
     pub cache_hit_rate: f64,
     pub batches: u64,
     pub mean_batch_size: f64,
@@ -235,6 +240,7 @@ impl MetricsSnapshot {
         push_kv_u64(&mut s, "cache_hits", self.cache_hits);
         push_kv_u64(&mut s, "cache_misses", self.cache_misses);
         push_kv_u64(&mut s, "batch_dedup_hits", self.batch_dedup_hits);
+        push_kv_u64(&mut s, "invalidations", self.invalidations);
         push_kv_f64(&mut s, "cache_hit_rate", self.cache_hit_rate);
         push_kv_u64(&mut s, "batches", self.batches);
         push_kv_f64(&mut s, "mean_batch_size", self.mean_batch_size);

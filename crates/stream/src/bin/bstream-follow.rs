@@ -1,0 +1,137 @@
+//! Follow a live simulated chain, keeping a continuously updated label
+//! table, with periodic snapshots and progress reporting.
+//!
+//! ```text
+//! bstream-follow [--seed 42] [--blocks 200] [--users 40] [--capacity 16]
+//!                [--artifact model.bart] [--min-txs 3] [--reclass-every 1]
+//!                [--snapshot follower.bsnap] [--snapshot-every 50]
+//!                [--progress-every 25]
+//! ```
+//!
+//! Without `--artifact`, a quick model is fitted on a batch dataset built
+//! from the same simulation config before following starts. When the
+//! snapshot file already exists, the follower restores from it and resumes
+//! at the checkpoint height instead of starting from genesis.
+
+use baclassifier::{BaClassifier, BacConfig, ModelArtifact};
+use baserve::cli::{flag_parsed, flag_value};
+use bstream::{BlockFeed, Follower, FollowerConfig};
+use btcsim::{Dataset, Label, SimConfig, Simulator};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let seed = flag_parsed(&args, "--seed", 42u64);
+    let blocks = flag_parsed(&args, "--blocks", 200u64);
+    let users = flag_parsed(&args, "--users", 40usize);
+    let capacity = flag_parsed(&args, "--capacity", 16usize);
+    let progress_every = flag_parsed(&args, "--progress-every", 25u64);
+
+    let mut sim_cfg = SimConfig {
+        blocks,
+        ..SimConfig::tiny(seed)
+    };
+    sim_cfg.retail.num_users = users;
+
+    let artifact = match flag_value(&args, "--artifact") {
+        Some(path) => match ModelArtifact::load(std::path::Path::new(&path)) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: could not load artifact {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => {
+            eprintln!("[bstream-follow] no --artifact; fitting a fast model (seed {seed})…");
+            let sim = Simulator::run_to_completion(sim_cfg.clone());
+            let dataset = Dataset::from_simulator(&sim, 3);
+            let mut clf = BaClassifier::new(BacConfig::fast());
+            let t = Instant::now();
+            clf.fit(&dataset);
+            eprintln!(
+                "[bstream-follow] fitted on {} addresses in {:.1}s",
+                dataset.len(),
+                t.elapsed().as_secs_f64()
+            );
+            clf.to_artifact().expect("artifact from fitted classifier")
+        }
+    };
+
+    let snapshot_path = flag_value(&args, "--snapshot").map(PathBuf::from);
+    let follower_cfg = FollowerConfig {
+        min_txs: flag_parsed(&args, "--min-txs", 3usize),
+        reclass_every: flag_parsed(&args, "--reclass-every", 1u64),
+        snapshot_every: flag_parsed(&args, "--snapshot-every", 0u64),
+        snapshot_path: snapshot_path.clone(),
+        tracked: None,
+    };
+
+    let mut follower = match &snapshot_path {
+        Some(path) if path.exists() => {
+            match Follower::restore(&artifact, follower_cfg.clone(), path) {
+                Ok(f) => {
+                    eprintln!(
+                        "[bstream-follow] restored {} addresses at height {} from {}",
+                        f.num_tracked(),
+                        f.next_height(),
+                        path.display()
+                    );
+                    f
+                }
+                Err(e) => {
+                    eprintln!("error: could not restore snapshot {}: {e}", path.display());
+                    std::process::exit(1);
+                }
+            }
+        }
+        _ => Follower::new(&artifact, follower_cfg).expect("config/weights mismatch"),
+    };
+
+    let start_height = follower.next_height();
+    let feed = BlockFeed::follow_sim(sim_cfg, start_height, capacity);
+    eprintln!(
+        "[bstream-follow] following {} blocks from height {start_height} (capacity {capacity})",
+        blocks + 1
+    );
+
+    let t = Instant::now();
+    while let Some(block) = feed.recv() {
+        follower.step(&block);
+        feed.watermark().record_processed(block.height);
+        let lag = feed.watermark().lag();
+        follower.metrics_mut().record_lag(lag);
+        if progress_every > 0 && follower.next_height() % progress_every == 0 {
+            eprintln!(
+                "[bstream-follow] height {:>5}  lag {:>3}  tracked {:>5}  labeled {:>5}",
+                block.height,
+                lag,
+                follower.num_tracked(),
+                follower.labels().len()
+            );
+        }
+    }
+    follower.reclassify_dirty();
+    if let Some(path) = &snapshot_path {
+        if let Err(e) = follower.snapshot_to(path) {
+            eprintln!("error: final snapshot failed: {e}");
+        } else {
+            eprintln!("[bstream-follow] snapshot written to {}", path.display());
+        }
+    }
+
+    let mut histogram = [0usize; 4];
+    for label in follower.labels().values() {
+        histogram[label.index()] += 1;
+    }
+    eprintln!(
+        "[bstream-follow] done in {:.1}s: {}",
+        t.elapsed().as_secs_f64(),
+        Label::ALL
+            .iter()
+            .map(|l| format!("{} {}", l.name(), histogram[l.index()]))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    println!("{}", follower.metrics().to_json());
+}

@@ -1,0 +1,480 @@
+//! The chain follower: per-address incremental state and live
+//! reclassification.
+//!
+//! The follower consumes blocks in height order and maintains, for every
+//! tracked address, an append-only transaction history plus the incremental
+//! derived state from [`baclassifier::construction::incremental`] — slice
+//! graphs, feature aggregates, and a cache of per-slice GFN embeddings.
+//! Applying a block only touches the addresses that transacted in it; no
+//! state is ever rebuilt from scratch. Dirty addresses are pushed through
+//! the classifier head on a configurable cadence, producing a continuously
+//! updated label table.
+//!
+//! Label equivalence with the batch pipeline is structural: histories are
+//! accumulated with exactly the dedup rule of `Chain::append`'s address
+//! index, graphs are maintained by the byte-identical `apply_tx` path, and
+//! only dirty slices are re-embedded before the cached sequence (capped to
+//! the model's `max_slices` most recent entries, as in
+//! `BaClassifier::embed_record`) is handed to `classify_embeddings`.
+
+use crate::feed::BlockFeed;
+use crate::metrics::StreamMetrics;
+use baclassifier::construction::{FocusAggregates, IncrementalGraphs};
+use baclassifier::{ArtifactError, BaClassifier, ModelArtifact};
+use baserve::Engine;
+use btcsim::{Address, Block, Label, TxView};
+use numnet::Matrix;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Follower policy knobs.
+#[derive(Clone, Debug)]
+pub struct FollowerConfig {
+    /// Addresses with fewer transactions than this are tracked but not
+    /// classified (mirrors the dataset extraction threshold).
+    pub min_txs: usize,
+    /// Reclassify dirty addresses every this many blocks (0 disables the
+    /// periodic pass; a final pass still runs when a feed drains).
+    pub reclass_every: u64,
+    /// Write a snapshot every this many blocks (0 disables).
+    pub snapshot_every: u64,
+    /// Where periodic snapshots go; required when `snapshot_every > 0`.
+    pub snapshot_path: Option<PathBuf>,
+    /// Restrict tracking to this address set (`None` tracks every address
+    /// seen on chain).
+    pub tracked: Option<BTreeSet<Address>>,
+}
+
+impl Default for FollowerConfig {
+    fn default() -> Self {
+        Self {
+            min_txs: 3,
+            reclass_every: 1,
+            snapshot_every: 0,
+            snapshot_path: None,
+            tracked: None,
+        }
+    }
+}
+
+/// Everything the follower keeps for one address.
+pub(crate) struct AddressState {
+    /// Append-only transaction history, in chain order.
+    pub(crate) history: Vec<TxView>,
+    /// Incrementally maintained slice graphs.
+    pub(crate) inc: IncrementalGraphs,
+    /// Running scalar aggregates (cheap monitoring signal).
+    pub(crate) agg: FocusAggregates,
+    /// Per-slice embeddings; entries `< embeds_clean` match the current
+    /// derived graphs, the rest are stale and re-embedded on demand.
+    pub(crate) embeds: Vec<Matrix>,
+    pub(crate) embeds_clean: usize,
+    /// Set when the history grew since the last classification.
+    pub(crate) dirty: bool,
+}
+
+impl AddressState {
+    fn new(focus: Address, cfg: baclassifier::ConstructionConfig) -> Self {
+        Self {
+            history: Vec::new(),
+            inc: IncrementalGraphs::new(focus, cfg),
+            agg: FocusAggregates::default(),
+            embeds: Vec::new(),
+            embeds_clean: 0,
+            dirty: false,
+        }
+    }
+
+    pub(crate) fn apply(&mut self, focus: Address, view: &TxView) {
+        self.history.push(view.clone());
+        self.inc.apply_tx(view);
+        self.agg.apply_tx(focus, view);
+        // The newest slice mutated; any embedding cached for it is stale.
+        self.embeds_clean = self
+            .embeds_clean
+            .min(self.inc.num_slices().saturating_sub(1));
+        self.dirty = true;
+    }
+}
+
+/// A chain follower with live reclassification. See the module docs.
+pub struct Follower {
+    pub(crate) cfg: FollowerConfig,
+    pub(crate) clf: BaClassifier,
+    engine: Option<Arc<Engine>>,
+    pub(crate) states: BTreeMap<Address, AddressState>,
+    pub(crate) labels: BTreeMap<Address, Label>,
+    /// Height the next ingested block must have.
+    pub(crate) next_height: u64,
+    pub(crate) metrics: StreamMetrics,
+}
+
+impl Follower {
+    /// Build a follower around trained weights.
+    pub fn new(artifact: &ModelArtifact, cfg: FollowerConfig) -> Result<Self, ArtifactError> {
+        Ok(Self {
+            cfg,
+            clf: BaClassifier::from_artifact(artifact)?,
+            engine: None,
+            states: BTreeMap::new(),
+            labels: BTreeMap::new(),
+            next_height: 0,
+            metrics: StreamMetrics::default(),
+        })
+    }
+
+    /// Attach a serving engine: every per-address state change issues a
+    /// cache invalidation so concurrent query traffic can never observe an
+    /// embedding computed from a shorter history.
+    pub fn attach_engine(&mut self, engine: Arc<Engine>) {
+        self.engine = Some(engine);
+    }
+
+    pub fn config(&self) -> &FollowerConfig {
+        &self.cfg
+    }
+
+    pub fn classifier(&self) -> &BaClassifier {
+        &self.clf
+    }
+
+    /// Height the next block is expected at (= blocks ingested so far).
+    pub fn next_height(&self) -> u64 {
+        self.next_height
+    }
+
+    /// The live label table.
+    pub fn labels(&self) -> &BTreeMap<Address, Label> {
+        &self.labels
+    }
+
+    pub fn metrics(&self) -> &StreamMetrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access for drivers that record their own samples
+    /// (e.g. lag, when running the recv loop by hand instead of [`Follower::run`]).
+    pub fn metrics_mut(&mut self) -> &mut StreamMetrics {
+        &mut self.metrics
+    }
+
+    /// Number of addresses with tracked state.
+    pub fn num_tracked(&self) -> usize {
+        self.states.len()
+    }
+
+    /// History length of one tracked address (0 when untracked).
+    pub fn history_len(&self, addr: Address) -> usize {
+        self.states.get(&addr).map_or(0, |s| s.history.len())
+    }
+
+    /// Running feature aggregates of one tracked address.
+    pub fn aggregates(&self, addr: Address) -> Option<FocusAggregates> {
+        self.states.get(&addr).map(|s| s.agg)
+    }
+
+    /// Apply one block to per-address state. Blocks must arrive in height
+    /// order; blocks below `next_height` are skipped silently so a resumed
+    /// follower can overlap with an already-ingested prefix.
+    pub fn ingest_block(&mut self, block: &Block) {
+        if block.height < self.next_height {
+            return;
+        }
+        assert_eq!(
+            block.height, self.next_height,
+            "blocks must arrive in height order"
+        );
+        let start = Instant::now();
+        let construction = self.clf.config().construction.clone();
+        for tx in &block.txs {
+            let view = TxView {
+                txid: tx.txid,
+                timestamp: tx.timestamp,
+                inputs: tx.inputs.iter().map(|i| (i.address, i.value)).collect(),
+                outputs: tx.outputs.iter().map(|o| (o.address, o.value)).collect(),
+            };
+            // Same dedup rule as Chain::append's address index: each address
+            // joins the tx history once, on first appearance, inputs before
+            // outputs — histories stay byte-identical to Dataset::from_chain.
+            let mut seen = HashSet::new();
+            for addr in tx
+                .inputs
+                .iter()
+                .map(|i| i.address)
+                .chain(tx.outputs.iter().map(|o| o.address))
+            {
+                if !seen.insert(addr) {
+                    continue;
+                }
+                if let Some(tracked) = &self.cfg.tracked {
+                    if !tracked.contains(&addr) {
+                        continue;
+                    }
+                }
+                self.states
+                    .entry(addr)
+                    .or_insert_with(|| AddressState::new(addr, construction.clone()))
+                    .apply(addr, &view);
+                self.metrics.tx_applications += 1;
+                if let Some(engine) = &self.engine {
+                    engine.invalidate_address(addr);
+                    self.metrics.invalidations += 1;
+                }
+            }
+            self.metrics.txs_ingested += 1;
+        }
+        self.next_height = block.height + 1;
+        self.metrics.blocks_ingested += 1;
+        self.metrics.ingest_time += start.elapsed();
+    }
+
+    /// Install a restored address: replay its history through the
+    /// incremental path, leaving it clean (snapshots are taken at
+    /// fully-classified points).
+    pub(crate) fn restore_address(
+        &mut self,
+        addr: Address,
+        history: Vec<TxView>,
+        label: Option<Label>,
+    ) {
+        let mut state = AddressState::new(addr, self.clf.config().construction.clone());
+        for view in &history {
+            state.inc.apply_tx(view);
+            state.agg.apply_tx(addr, view);
+        }
+        state.history = history;
+        self.states.insert(addr, state);
+        if let Some(label) = label {
+            self.labels.insert(addr, label);
+        }
+    }
+
+    /// Re-derive, re-embed, and reclassify every dirty address with at
+    /// least `min_txs` transactions. Returns how many were reclassified.
+    pub fn reclassify_dirty(&mut self) -> usize {
+        let start = Instant::now();
+        let dirty: Vec<Address> = self
+            .states
+            .iter()
+            .filter(|(_, s)| s.dirty)
+            .map(|(a, _)| *a)
+            .collect();
+        let max_slices = self.clf.config().model.max_slices.max(1);
+        let mut reclassified = 0;
+        for addr in dirty {
+            let state = self.states.get_mut(&addr).expect("dirty address tracked");
+            state.dirty = false;
+            if state.history.len() < self.cfg.min_txs {
+                continue;
+            }
+            let t0 = Instant::now();
+            let graphs = state.inc.graphs();
+            state.embeds.truncate(state.embeds_clean);
+            for g in &graphs[state.embeds_clean..] {
+                state.embeds.push(self.clf.embed_graph(g));
+            }
+            state.embeds_clean = graphs.len();
+            let seq_start = state.embeds.len().saturating_sub(max_slices);
+            let label = self
+                .clf
+                .classify_embeddings(&state.embeds[seq_start..])
+                .expect("non-empty sequence on a fitted classifier");
+            let prev = self.labels.insert(addr, label);
+            if prev.is_some() && prev != Some(label) {
+                self.metrics.label_flips += 1;
+            }
+            self.metrics.record_reclass(t0.elapsed());
+            reclassified += 1;
+        }
+        self.metrics.reclass_time += start.elapsed();
+        reclassified
+    }
+
+    /// Ingest one block and run the periodic reclassification/snapshot
+    /// duties its height triggers.
+    pub fn step(&mut self, block: &Block) {
+        self.ingest_block(block);
+        let blocks_done = self.next_height;
+        if self.cfg.reclass_every > 0 && blocks_done.is_multiple_of(self.cfg.reclass_every) {
+            self.reclassify_dirty();
+        }
+        if self.cfg.snapshot_every > 0 && blocks_done.is_multiple_of(self.cfg.snapshot_every) {
+            if let Some(path) = self.cfg.snapshot_path.clone() {
+                if let Err(e) = self.snapshot_to(&path) {
+                    eprintln!("bstream: snapshot to {} failed: {e}", path.display());
+                }
+            }
+        }
+    }
+
+    /// Drain a feed to completion: step every block, track lag against the
+    /// producer watermark, then run a final reclassification (and snapshot,
+    /// if configured) so the label table is current at the tip.
+    pub fn run(&mut self, feed: &BlockFeed) {
+        while let Some(block) = feed.recv() {
+            self.step(&block);
+            feed.watermark().record_processed(block.height);
+            self.metrics.record_lag(feed.watermark().lag());
+        }
+        self.reclassify_dirty();
+        if let Some(path) = self.cfg.snapshot_path.clone() {
+            if let Err(e) = self.snapshot_to(&path) {
+                eprintln!("bstream: final snapshot to {} failed: {e}", path.display());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use baclassifier::BacConfig;
+    use btcsim::{BlockCursor, Dataset, SimConfig, Simulator};
+
+    pub(crate) fn test_artifact() -> ModelArtifact {
+        let cfg = BacConfig::fast();
+        let clf = BaClassifier::new(cfg.clone());
+        let path = std::env::temp_dir().join(format!(
+            "bstream_test_artifact_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        clf.save_weights(&path).unwrap();
+        let weights = numnet::read_matrices(&mut std::fs::File::open(&path).unwrap()).unwrap();
+        std::fs::remove_file(&path).ok();
+        ModelArtifact {
+            config: cfg,
+            weights,
+        }
+    }
+
+    pub(crate) fn test_sim(seed: u64, blocks: u64) -> SimConfig {
+        SimConfig {
+            blocks,
+            ..SimConfig::tiny(seed)
+        }
+    }
+
+    #[test]
+    fn follower_labels_match_batch_pipeline_at_tip() {
+        let cfg = test_sim(11, 30);
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(cfg.clone()) {
+            follower.step(&block);
+        }
+
+        let sim = Simulator::run_to_completion(cfg);
+        let ds = Dataset::from_simulator(&sim, follower.cfg.min_txs);
+        let clf = BaClassifier::from_artifact(&artifact).unwrap();
+        assert!(!ds.is_empty());
+        for record in &ds.records {
+            let want = clf.predict(record).unwrap();
+            assert_eq!(
+                follower.labels().get(&record.address),
+                Some(&want),
+                "address {:?} diverged from the batch pipeline",
+                record.address
+            );
+            assert_eq!(follower.history_len(record.address), record.txs.len());
+        }
+    }
+
+    #[test]
+    fn histories_match_batch_dataset_exactly() {
+        let cfg = test_sim(13, 25);
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(cfg.clone()) {
+            follower.ingest_block(&block);
+        }
+        let sim = Simulator::run_to_completion(cfg);
+        let ds = Dataset::from_simulator(&sim, 1);
+        for record in &ds.records {
+            let state = follower.states.get(&record.address).unwrap();
+            assert_eq!(
+                state.history, record.txs,
+                "history for {:?}",
+                record.address
+            );
+            assert_eq!(
+                state.agg,
+                FocusAggregates::from_history(record.address, &record.txs)
+            );
+        }
+    }
+
+    #[test]
+    fn min_txs_gates_classification_not_tracking() {
+        let cfg = test_sim(17, 20);
+        let artifact = test_artifact();
+        let follower_cfg = FollowerConfig {
+            min_txs: 10_000, // nothing qualifies
+            ..FollowerConfig::default()
+        };
+        let mut follower = Follower::new(&artifact, follower_cfg).unwrap();
+        for block in BlockCursor::new(cfg) {
+            follower.step(&block);
+        }
+        assert!(follower.num_tracked() > 0);
+        assert!(follower.labels().is_empty());
+    }
+
+    #[test]
+    fn tracked_filter_restricts_state() {
+        let cfg = test_sim(19, 20);
+        let sim = Simulator::run_to_completion(cfg.clone());
+        let ds = Dataset::from_simulator(&sim, 3);
+        let target = ds.records[0].address;
+        let artifact = test_artifact();
+        let follower_cfg = FollowerConfig {
+            tracked: Some(BTreeSet::from([target])),
+            ..FollowerConfig::default()
+        };
+        let mut follower = Follower::new(&artifact, follower_cfg).unwrap();
+        for block in BlockCursor::new(cfg) {
+            follower.step(&block);
+        }
+        assert_eq!(follower.num_tracked(), 1);
+        assert_eq!(follower.history_len(target), ds.records[0].txs.len());
+        assert!(follower.labels().contains_key(&target));
+    }
+
+    #[test]
+    fn already_seen_blocks_are_skipped() {
+        let cfg = test_sim(23, 10);
+        let blocks: Vec<Block> = BlockCursor::new(cfg).collect();
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for b in &blocks {
+            follower.ingest_block(b);
+        }
+        let applications = follower.metrics().tx_applications;
+        // Replaying the whole chain must be a no-op.
+        for b in &blocks {
+            follower.ingest_block(b);
+        }
+        assert_eq!(follower.metrics().tx_applications, applications);
+        assert_eq!(follower.next_height(), blocks.len() as u64);
+    }
+
+    #[test]
+    fn reclassify_only_touches_dirty_addresses() {
+        let cfg = test_sim(29, 20);
+        let artifact = test_artifact();
+        let follower_cfg = FollowerConfig {
+            reclass_every: 0, // manual control
+            ..FollowerConfig::default()
+        };
+        let mut follower = Follower::new(&artifact, follower_cfg).unwrap();
+        for block in BlockCursor::new(cfg) {
+            follower.ingest_block(&block);
+        }
+        let first = follower.reclassify_dirty();
+        assert!(first > 0);
+        // Nothing changed since: the second pass must be free.
+        assert_eq!(follower.reclassify_dirty(), 0);
+    }
+}

@@ -1,0 +1,156 @@
+//! Follower-side streaming metrics: ingest/reclassification counters, stage
+//! timing, per-address reclassification latency percentiles, and lag
+//! samples. Single-threaded by design — the follower owns its metrics and
+//! exposes snapshots; hand-rolled JSON like the rest of the workspace.
+
+use std::time::Duration;
+
+#[derive(Clone, Debug, Default)]
+pub struct StreamMetrics {
+    /// Blocks ingested (applied to per-address state).
+    pub blocks_ingested: u64,
+    /// Transactions seen across those blocks.
+    pub txs_ingested: u64,
+    /// Per-address transaction applications (one tx touching k tracked
+    /// addresses counts k times).
+    pub tx_applications: u64,
+    /// Addresses reclassified (label recomputed from dirty state).
+    pub reclassifications: u64,
+    /// Reclassifications whose label differed from the previous one.
+    pub label_flips: u64,
+    /// Serve-engine cache invalidations issued.
+    pub invalidations: u64,
+    /// Snapshots written successfully.
+    pub snapshots_written: u64,
+    /// Wall time spent applying blocks to incremental state.
+    pub ingest_time: Duration,
+    /// Wall time spent re-deriving, re-embedding, and classifying.
+    pub reclass_time: Duration,
+    reclass_samples_us: Vec<u64>,
+    lag_samples: Vec<u64>,
+}
+
+impl StreamMetrics {
+    pub fn record_reclass(&mut self, elapsed: Duration) {
+        self.reclassifications += 1;
+        self.reclass_samples_us.push(elapsed.as_micros() as u64);
+    }
+
+    pub fn record_lag(&mut self, lag: u64) {
+        self.lag_samples.push(lag);
+    }
+
+    /// Per-address reclassification latency percentile (µs); 0 when empty.
+    pub fn reclass_percentile_us(&self, q: f64) -> u64 {
+        percentile(&self.reclass_samples_us, q)
+    }
+
+    /// Mean lag (blocks behind tip) over every sample.
+    pub fn mean_lag(&self) -> f64 {
+        mean(&self.lag_samples)
+    }
+
+    /// Mean lag over the last half of the samples — the steady state, after
+    /// warmup transients.
+    pub fn steady_lag(&self) -> f64 {
+        mean(&self.lag_samples[self.lag_samples.len() / 2..])
+    }
+
+    /// Ingest throughput in blocks per second of *ingest* time (excludes
+    /// reclassification, which is paced separately).
+    pub fn ingest_blocks_per_sec(&self) -> f64 {
+        let secs = self.ingest_time.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.blocks_ingested as f64 / secs
+        }
+    }
+
+    /// Single-line JSON, matching the serve/bench reporting idiom.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"blocks_ingested\":{},\"txs_ingested\":{},",
+                "\"tx_applications\":{},\"reclassifications\":{},",
+                "\"label_flips\":{},\"invalidations\":{},",
+                "\"snapshots_written\":{},\"ingest_ms\":{:.3},",
+                "\"reclass_ms\":{:.3},\"ingest_blocks_per_sec\":{:.2},",
+                "\"reclass_p50_us\":{},\"reclass_p99_us\":{},",
+                "\"mean_lag\":{:.3},\"steady_lag\":{:.3}}}"
+            ),
+            self.blocks_ingested,
+            self.txs_ingested,
+            self.tx_applications,
+            self.reclassifications,
+            self.label_flips,
+            self.invalidations,
+            self.snapshots_written,
+            self.ingest_time.as_secs_f64() * 1e3,
+            self.reclass_time.as_secs_f64() * 1e3,
+            self.ingest_blocks_per_sec(),
+            self.reclass_percentile_us(0.50),
+            self.reclass_percentile_us(0.99),
+            self.mean_lag(),
+            self.steady_lag(),
+        )
+    }
+}
+
+fn mean(xs: &[u64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<u64>() as f64 / xs.len() as f64
+    }
+}
+
+/// Nearest-rank percentile of an unsorted sample set; 0 when empty.
+pub fn percentile(samples: &[u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_from_known_samples() {
+        let samples: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&samples, 0.50), 50);
+        assert_eq!(percentile(&samples, 0.99), 99);
+        assert_eq!(percentile(&samples, 1.0), 100);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn lag_means_split_warmup_from_steady_state() {
+        let mut m = StreamMetrics::default();
+        for lag in [8, 6, 4, 2, 1, 1, 1, 1] {
+            m.record_lag(lag);
+        }
+        assert!((m.mean_lag() - 3.0).abs() < 1e-9);
+        assert!((m.steady_lag() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let mut m = StreamMetrics {
+            blocks_ingested: 10,
+            ..StreamMetrics::default()
+        };
+        m.record_reclass(Duration::from_micros(120));
+        m.record_lag(2);
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"blocks_ingested\":10"));
+        assert!(json.contains("\"reclass_p99_us\":120"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

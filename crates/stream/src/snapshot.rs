@@ -1,0 +1,346 @@
+//! Snapshot/restore of follower state.
+//!
+//! Format (`BSTREAM v1`, line-oriented text, one file per snapshot):
+//!
+//! ```text
+//! BSTREAM v1
+//! height <next_height>
+//! addresses <n>
+//! A <addr> <label-index|-> <num-txs>
+//! T <txid> <timestamp> <n-in> <n-out> <addr>:<sats> ...
+//! ```
+//!
+//! Each `A` line is followed by its `num-txs` `T` lines, inputs listed
+//! before outputs. Only transaction histories and the label table are
+//! persisted — incremental graphs, aggregates, and embeddings are
+//! deterministic functions of the history and are rebuilt on restore, so
+//! the format survives changes to any derived representation. Snapshots
+//! are written atomically (temp file + fsync + rename): a crash mid-write
+//! leaves the previous snapshot intact.
+
+use crate::follower::{Follower, FollowerConfig};
+use baclassifier::{ArtifactError, ModelArtifact};
+use btcsim::{Address, Amount, Label, TxView, Txid};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// Why a snapshot could not be written or read back.
+#[derive(Debug)]
+pub enum SnapshotError {
+    Io(std::io::Error),
+    /// The file exists but does not parse as a snapshot.
+    Malformed(String),
+    /// The file is a snapshot of a version this build cannot read.
+    UnsupportedVersion(String),
+    /// The model artifact could not be loaded during restore.
+    Artifact(ArtifactError),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot io: {e}"),
+            SnapshotError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot version: {v}")
+            }
+            SnapshotError::Artifact(e) => write!(f, "artifact: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+fn malformed(msg: impl Into<String>) -> SnapshotError {
+    SnapshotError::Malformed(msg.into())
+}
+
+fn parse_u64(tok: Option<&str>, what: &str) -> Result<u64, SnapshotError> {
+    tok.ok_or_else(|| malformed(format!("missing {what}")))?
+        .parse()
+        .map_err(|_| malformed(format!("bad {what}")))
+}
+
+fn write_entries(line: &mut String, entries: &[(Address, Amount)]) {
+    for (addr, value) in entries {
+        let _ = write!(line, " {}:{}", addr.0, value.sats());
+    }
+}
+
+fn parse_entry(tok: &str) -> Result<(Address, Amount), SnapshotError> {
+    let (addr, sats) = tok
+        .split_once(':')
+        .ok_or_else(|| malformed(format!("bad entry {tok:?}")))?;
+    Ok((
+        Address(parse_u64(Some(addr), "entry address")?),
+        Amount::from_sats(parse_u64(Some(sats), "entry sats")?),
+    ))
+}
+
+impl Follower {
+    /// Write a snapshot to `path`, atomically.
+    ///
+    /// Runs a reclassification pass first so the snapshot captures a
+    /// fully-classified point: a restored follower starts with no dirty
+    /// state, so an address dirty at checkpoint time but untouched
+    /// afterwards would otherwise never get its pending label.
+    pub fn snapshot_to(&mut self, path: &Path) -> Result<(), SnapshotError> {
+        self.reclassify_dirty();
+
+        let mut out = String::new();
+        out.push_str("BSTREAM v1\n");
+        let _ = writeln!(out, "height {}", self.next_height);
+        let _ = writeln!(out, "addresses {}", self.states.len());
+        for (addr, state) in &self.states {
+            let label = self
+                .labels
+                .get(addr)
+                .map_or_else(|| "-".to_string(), |l| l.index().to_string());
+            let _ = writeln!(out, "A {} {} {}", addr.0, label, state.history.len());
+            for tx in &state.history {
+                let mut line = format!(
+                    "T {} {} {} {}",
+                    tx.txid.0,
+                    tx.timestamp,
+                    tx.inputs.len(),
+                    tx.outputs.len()
+                );
+                write_entries(&mut line, &tx.inputs);
+                write_entries(&mut line, &tx.outputs);
+                out.push_str(&line);
+                out.push('\n');
+            }
+        }
+
+        let tmp = path.with_extension("tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        self.metrics.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Rebuild a follower from a snapshot, replaying every stored history
+    /// through the incremental path. The restored follower resumes at the
+    /// snapshot's height: feed it the chain from there (or an overlapping
+    /// prefix — already-seen blocks are skipped).
+    pub fn restore(
+        artifact: &ModelArtifact,
+        cfg: FollowerConfig,
+        path: &Path,
+    ) -> Result<Self, SnapshotError> {
+        let text = std::fs::read_to_string(path)?;
+        let mut lines = text.lines();
+
+        let header = lines.next().ok_or_else(|| malformed("empty file"))?;
+        if header != "BSTREAM v1" {
+            return Err(SnapshotError::UnsupportedVersion(header.to_string()));
+        }
+        let next_height = {
+            let mut toks = lines
+                .next()
+                .ok_or_else(|| malformed("missing height line"))?
+                .split_whitespace();
+            if toks.next() != Some("height") {
+                return Err(malformed("expected height line"));
+            }
+            parse_u64(toks.next(), "height")?
+        };
+        let num_addresses = {
+            let mut toks = lines
+                .next()
+                .ok_or_else(|| malformed("missing addresses line"))?
+                .split_whitespace();
+            if toks.next() != Some("addresses") {
+                return Err(malformed("expected addresses line"));
+            }
+            parse_u64(toks.next(), "address count")? as usize
+        };
+
+        let mut follower = Follower::new(artifact, cfg).map_err(SnapshotError::Artifact)?;
+        follower.next_height = next_height;
+
+        for _ in 0..num_addresses {
+            let mut toks = lines
+                .next()
+                .ok_or_else(|| malformed("missing A line"))?
+                .split_whitespace();
+            if toks.next() != Some("A") {
+                return Err(malformed("expected A line"));
+            }
+            let addr = Address(parse_u64(toks.next(), "address")?);
+            let label = match toks.next() {
+                Some("-") => None,
+                tok => {
+                    let idx = parse_u64(tok, "label index")? as usize;
+                    Some(
+                        Label::from_index(idx)
+                            .ok_or_else(|| malformed(format!("bad label index {idx}")))?,
+                    )
+                }
+            };
+            let num_txs = parse_u64(toks.next(), "tx count")? as usize;
+
+            let mut history = Vec::with_capacity(num_txs);
+            for _ in 0..num_txs {
+                let mut toks = lines
+                    .next()
+                    .ok_or_else(|| malformed("missing T line"))?
+                    .split_whitespace();
+                if toks.next() != Some("T") {
+                    return Err(malformed("expected T line"));
+                }
+                let txid = Txid(parse_u64(toks.next(), "txid")?);
+                let timestamp = parse_u64(toks.next(), "timestamp")?;
+                let n_in = parse_u64(toks.next(), "input count")? as usize;
+                let n_out = parse_u64(toks.next(), "output count")? as usize;
+                let mut inputs = Vec::with_capacity(n_in);
+                for _ in 0..n_in {
+                    inputs.push(parse_entry(
+                        toks.next().ok_or_else(|| malformed("missing input"))?,
+                    )?);
+                }
+                let mut outputs = Vec::with_capacity(n_out);
+                for _ in 0..n_out {
+                    outputs.push(parse_entry(
+                        toks.next().ok_or_else(|| malformed("missing output"))?,
+                    )?);
+                }
+                if toks.next().is_some() {
+                    return Err(malformed("trailing tokens on T line"));
+                }
+                history.push(TxView {
+                    txid,
+                    timestamp,
+                    inputs,
+                    outputs,
+                });
+            }
+            follower.restore_address(addr, history, label);
+        }
+        if lines.next().is_some() {
+            return Err(malformed("trailing lines after last address"));
+        }
+        Ok(follower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::follower::tests::{test_artifact, test_sim};
+    use btcsim::BlockCursor;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "bstream_snapshot_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn snapshot_roundtrip_preserves_state() {
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(test_sim(31, 20)) {
+            follower.step(&block);
+        }
+        let path = temp_path("roundtrip");
+        follower.snapshot_to(&path).unwrap();
+
+        let restored = Follower::restore(&artifact, FollowerConfig::default(), &path).unwrap();
+        std::fs::remove_file(&path).ok();
+
+        assert_eq!(restored.next_height(), follower.next_height());
+        assert_eq!(restored.num_tracked(), follower.num_tracked());
+        assert_eq!(restored.labels(), follower.labels());
+        for (addr, state) in &follower.states {
+            let r = restored.states.get(addr).expect("address restored");
+            assert_eq!(r.history, state.history);
+            assert_eq!(r.agg, state.agg);
+            assert!(!r.dirty);
+        }
+    }
+
+    #[test]
+    fn restored_follower_continues_like_a_continuous_run() {
+        let sim = test_sim(37, 24);
+        let blocks: Vec<btcsim::Block> = BlockCursor::new(sim).collect();
+        let artifact = test_artifact();
+
+        let mut continuous = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for b in &blocks {
+            continuous.step(b);
+        }
+
+        let mut first_half = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for b in &blocks[..12] {
+            first_half.step(b);
+        }
+        let path = temp_path("resume");
+        first_half.snapshot_to(&path).unwrap();
+        let mut resumed = Follower::restore(&artifact, FollowerConfig::default(), &path).unwrap();
+        std::fs::remove_file(&path).ok();
+        // Overlapping replay from genesis: heights below the checkpoint are
+        // skipped, the rest are applied.
+        for b in &blocks {
+            resumed.step(b);
+        }
+
+        assert_eq!(resumed.labels(), continuous.labels());
+        assert_eq!(resumed.next_height(), continuous.next_height());
+        for (addr, state) in &continuous.states {
+            assert_eq!(resumed.states.get(addr).unwrap().history, state.history);
+        }
+    }
+
+    #[test]
+    fn corrupt_snapshots_are_rejected() {
+        let path = temp_path("corrupt");
+        std::fs::write(&path, "BSTREAM v999\nheight 0\naddresses 0\n").unwrap();
+        let artifact = test_artifact();
+        let err = Follower::restore(&artifact, FollowerConfig::default(), &path)
+            .err()
+            .expect("restore must fail");
+        match err {
+            SnapshotError::UnsupportedVersion(v) => assert_eq!(v, "BSTREAM v999"),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+
+        std::fs::write(&path, "BSTREAM v1\nheight 5\naddresses 1\nA 3 - 1\n").unwrap();
+        let err = Follower::restore(&artifact, FollowerConfig::default(), &path)
+            .err()
+            .expect("restore must fail");
+        match err {
+            SnapshotError::Malformed(_) => {}
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_write_is_atomic() {
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(test_sim(41, 10)) {
+            follower.step(&block);
+        }
+        let path = temp_path("atomic");
+        follower.snapshot_to(&path).unwrap();
+        // No temp residue next to the final file.
+        assert!(!path.with_extension("tmp").exists());
+        assert!(path.exists());
+        std::fs::remove_file(&path).ok();
+    }
+}

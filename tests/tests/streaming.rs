@@ -1,0 +1,189 @@
+//! Streaming acceptance: the `bstream` follower against the batch pipeline.
+//!
+//! Three properties:
+//!
+//! 1. **Convergence** — after draining a live feed to the tip, the
+//!    follower's label table matches, address for address, what the batch
+//!    pipeline (`Dataset::from_chain` + `BaClassifier::predict`) computes
+//!    on the finished chain. Incremental maintenance is an optimization,
+//!    never an approximation.
+//! 2. **Durability** — snapshot mid-stream, restore in a fresh process
+//!    image, resume over the remaining blocks: the restored follower ends
+//!    byte-equal (labels, histories, heights) to one that never stopped.
+//! 3. **Cache coherence** — with a serving engine attached, a history that
+//!    grows through the follower bumps the address's cache generation, so
+//!    the engine re-embeds instead of serving the pre-growth entry.
+
+use baclassifier::{BaClassifier, BacConfig, ModelArtifact};
+use baserve::{Engine, EngineConfig};
+use bstream::{BlockFeed, Follower, FollowerConfig};
+use btcsim::{Block, BlockCursor, Dataset, SimConfig, Simulator};
+use std::sync::Arc;
+
+/// Freshly initialized weights exported through the NNIO stream — a valid
+/// fitted-state artifact without paying for `fit()`.
+fn test_artifact() -> Arc<ModelArtifact> {
+    let cfg = BacConfig::fast();
+    let clf = BaClassifier::new(cfg.clone());
+    let path = std::env::temp_dir().join(format!(
+        "streaming_artifact_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    clf.save_weights(&path).unwrap();
+    let weights = numnet::read_matrices(&mut std::fs::File::open(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    Arc::new(ModelArtifact {
+        config: cfg,
+        weights,
+    })
+}
+
+fn sim_cfg(seed: u64, blocks: u64) -> SimConfig {
+    SimConfig {
+        blocks,
+        ..SimConfig::tiny(seed)
+    }
+}
+
+#[test]
+fn streaming_labels_converge_to_batch_pipeline_at_tip() {
+    let cfg = sim_cfg(101, 40);
+    let artifact = test_artifact();
+
+    let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+    let feed = BlockFeed::follow_sim(cfg.clone(), 0, 8);
+    follower.run(&feed);
+    assert_eq!(feed.watermark().lag(), 0, "run() drains to the tip");
+    assert_eq!(follower.next_height(), cfg.blocks + 1);
+
+    // The batch side: same chain, same weights, from-scratch construction.
+    let sim = Simulator::run_to_completion(cfg);
+    let ds = Dataset::from_simulator(&sim, 3);
+    let clf = BaClassifier::from_artifact(&artifact).unwrap();
+    assert!(
+        ds.len() >= 10,
+        "sim too small to be meaningful: {}",
+        ds.len()
+    );
+    for record in &ds.records {
+        let batch = clf.predict(record).unwrap();
+        assert_eq!(
+            follower.labels().get(&record.address),
+            Some(&batch),
+            "streaming label diverged from batch for {:?} ({} txs)",
+            record.address,
+            record.txs.len()
+        );
+    }
+    // The follower also labels classifiable addresses outside the label
+    // map (it cannot know ground truth), so its table is a superset.
+    assert!(follower.labels().len() >= ds.len());
+}
+
+#[test]
+fn snapshot_restart_resume_reaches_the_continuous_state() {
+    let cfg = sim_cfg(103, 36);
+    let artifact = test_artifact();
+    let blocks: Vec<Block> = BlockCursor::new(cfg).collect();
+    let split = 18;
+
+    let mut continuous = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+    for b in &blocks {
+        continuous.step(b);
+    }
+    continuous.reclassify_dirty();
+
+    let snap = std::env::temp_dir().join(format!(
+        "streaming_resume_{}_{:?}.bsnap",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let mut first = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+    for b in &blocks[..split] {
+        first.step(b);
+    }
+    first.snapshot_to(&snap).unwrap();
+    drop(first); // "restart": only the snapshot file survives
+
+    let mut resumed = Follower::restore(&artifact, FollowerConfig::default(), &snap).unwrap();
+    std::fs::remove_file(&snap).ok();
+    assert_eq!(resumed.next_height(), split as u64);
+    // Resume over a feed that replays the tail of the chain.
+    let feed = BlockFeed::from_blocks(blocks[split..].to_vec());
+    resumed.run(&feed);
+
+    assert_eq!(resumed.labels(), continuous.labels());
+    assert_eq!(resumed.next_height(), continuous.next_height());
+    assert_eq!(resumed.num_tracked(), continuous.num_tracked());
+    for record in
+        &Dataset::from_simulator(&Simulator::run_to_completion(sim_cfg(103, 36)), 1).records
+    {
+        assert_eq!(
+            resumed.history_len(record.address),
+            record.txs.len(),
+            "history length after resume for {:?}",
+            record.address
+        );
+        assert_eq!(
+            resumed.aggregates(record.address),
+            continuous.aggregates(record.address)
+        );
+    }
+}
+
+#[test]
+fn follower_growth_invalidates_serving_cache() {
+    let cfg = sim_cfg(107, 30);
+    let artifact = test_artifact();
+    let engine = Arc::new(Engine::new(Arc::clone(&artifact), EngineConfig::default()).unwrap());
+
+    // Stream the first half of the chain, then extract a dataset from a
+    // second cursor stopped at the same height (same seed, same chain).
+    let blocks: Vec<Block> = BlockCursor::new(cfg.clone()).collect();
+    let (head, pending) = blocks.split_at(15);
+    let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+    follower.attach_engine(Arc::clone(&engine));
+    for block in head {
+        follower.step(block);
+    }
+    let mut mid = BlockCursor::new(cfg);
+    for _ in 0..15 {
+        mid.next_block();
+    }
+    let labels = mid.labels();
+    let ds_mid = Dataset::from_chain(mid.simulator().chain(), &labels, 3);
+    // Pick an address that keeps transacting in the pending tail.
+    let record = ds_mid
+        .records
+        .iter()
+        .find(|r| {
+            pending.iter().any(|b| {
+                b.txs.iter().any(|tx| {
+                    tx.inputs.iter().any(|i| i.address == r.address)
+                        || tx.outputs.iter().any(|o| o.address == r.address)
+                })
+            })
+        })
+        .expect("some mid-chain address transacts again")
+        .clone();
+
+    let cold = engine.classify(record.clone()).unwrap();
+    assert!(!cold.cache_hit);
+    assert!(engine.classify(record.clone()).unwrap().cache_hit);
+
+    // Stream the rest of the chain; the follower invalidates as it applies.
+    for b in pending {
+        follower.step(b);
+    }
+    assert!(follower.metrics().invalidations > 0);
+    let snap = engine.metrics();
+    assert!(snap.invalidations > 0, "engine saw no invalidations");
+
+    // The old (pre-growth) record can no longer be served from cache.
+    let after = engine.classify(record).unwrap();
+    assert!(
+        !after.cache_hit,
+        "stale embedding served after the follower grew the history"
+    );
+}
