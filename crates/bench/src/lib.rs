@@ -116,10 +116,7 @@ pub fn prepared_graph_set(
     cfg: &ConstructionConfig,
     max_slices: usize,
 ) -> Vec<(PreparedGraph, usize)> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8);
+    let threads = baclassifier::config::resolve_threads(0);
     let (graphs, _) = construct_dataset_graphs(records, cfg, threads);
     let mut out = Vec::new();
     for (record, gs) in records.iter().zip(&graphs) {
@@ -166,10 +163,7 @@ pub fn embedded_split(
     );
 
     let embed = |records: &[AddressRecord]| -> Vec<(Vec<numnet::Matrix>, usize)> {
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8);
+        let threads = baclassifier::config::resolve_threads(0);
         let (graphs, _) = construct_dataset_graphs(records, cfg, threads);
         records
             .iter()

@@ -197,6 +197,10 @@ fn decode_manifest(bytes: &[u8]) -> Result<BacConfig, ArtifactError> {
     Ok(BacConfig {
         construction,
         model,
+        // `threads` is a runtime knob, deliberately not persisted: a model
+        // trained on a 32-core box must load unchanged on a 2-core one.
+        // 0 = auto (see `config::resolve_threads`).
+        threads: 0,
     })
 }
 

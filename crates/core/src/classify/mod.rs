@@ -28,6 +28,32 @@ pub trait SequenceHead {
     }
 }
 
+// Delegation impls so training code can be generic over how the head is
+// held: the serial path borrows the primary, replica pools own boxed copies.
+impl<H: SequenceHead + ?Sized> SequenceHead for &H {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn logits<'t>(&self, tape: &'t Tape, seq: &[Matrix]) -> Var<'t> {
+        (**self).logits(tape, seq)
+    }
+    fn params(&self) -> Vec<Param> {
+        (**self).params()
+    }
+}
+
+impl<H: SequenceHead + ?Sized> SequenceHead for Box<H> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn logits<'t>(&self, tape: &'t Tape, seq: &[Matrix]) -> Var<'t> {
+        (**self).logits(tape, seq)
+    }
+    fn params(&self) -> Vec<Param> {
+        (**self).params()
+    }
+}
+
 fn seq_vars<'t>(tape: &'t Tape, seq: &[Matrix]) -> Vec<Var<'t>> {
     assert!(!seq.is_empty(), "empty embedding sequence");
     seq.iter().map(|m| tape.constant(m.clone())).collect()

@@ -36,6 +36,7 @@ pub mod construction;
 pub mod features;
 pub mod metrics;
 pub mod models;
+pub mod parallel;
 pub mod pipeline;
 pub mod refine;
 pub mod train;

@@ -110,6 +110,7 @@ impl ConfusionMatrix {
             macro_f1: per_class.iter().map(|m| m.f1).sum::<f64>() / self.k.max(1) as f64,
             accuracy: self.accuracy(),
             per_class,
+            skipped: 0,
         }
     }
 }
@@ -132,6 +133,9 @@ pub struct ClassificationReport {
     pub weighted_f1: f64,
     pub macro_f1: f64,
     pub accuracy: f64,
+    /// Records that could not be scored (e.g. empty transaction history →
+    /// no embedding sequence). They appear in no class's support.
+    pub skipped: usize,
 }
 
 impl ClassificationReport {
@@ -157,6 +161,12 @@ impl ClassificationReport {
             self.weighted_f1,
             self.per_class.iter().map(|m| m.support).sum::<usize>()
         ));
+        if self.skipped > 0 {
+            s.push_str(&format!(
+                "({} record(s) skipped: no scoreable history)\n",
+                self.skipped
+            ));
+        }
         s
     }
 }
@@ -224,6 +234,17 @@ mod tests {
         let table = cm.report().to_table(&["Exchange", "Mining"]);
         assert!(table.contains("Exchange"));
         assert!(table.contains("Weighted Avg"));
+        assert!(!table.contains("skipped"));
+    }
+
+    #[test]
+    fn skipped_records_are_reported_but_not_scored() {
+        let cm = ConfusionMatrix::from_predictions(2, &[0, 1], &[0, 1]);
+        let mut r = cm.report();
+        assert_eq!(r.skipped, 0, "report() itself never skips");
+        r.skipped = 3;
+        assert_eq!(r.accuracy, 1.0, "skipped must not affect scores");
+        assert!(r.to_table(&["A", "B"]).contains("3 record(s) skipped"));
     }
 
     #[test]

@@ -60,3 +60,47 @@ pub trait GraphModel {
         logits.value().row_argmax(0)
     }
 }
+
+// Delegation impls so training code can be generic over how the model is
+// held: the serial path borrows the primary, replica pools own boxed copies.
+impl<M: GraphModel + ?Sized> GraphModel for &M {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn prepare(&self, g: &GraphTensors) -> PreparedGraph {
+        (**self).prepare(g)
+    }
+    fn embed<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t> {
+        (**self).embed(tape, prep)
+    }
+    fn logits<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t> {
+        (**self).logits(tape, prep)
+    }
+    fn params(&self) -> Vec<Param> {
+        (**self).params()
+    }
+    fn embed_dim(&self) -> usize {
+        (**self).embed_dim()
+    }
+}
+
+impl<M: GraphModel + ?Sized> GraphModel for Box<M> {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn prepare(&self, g: &GraphTensors) -> PreparedGraph {
+        (**self).prepare(g)
+    }
+    fn embed<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t> {
+        (**self).embed(tape, prep)
+    }
+    fn logits<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t> {
+        (**self).logits(tape, prep)
+    }
+    fn params(&self) -> Vec<Param> {
+        (**self).params()
+    }
+    fn embed_dim(&self) -> usize {
+        (**self).embed_dim()
+    }
+}

@@ -7,7 +7,10 @@ use crate::construction::{construct_address_graphs, construct_dataset_graphs, St
 use crate::features::{graph_tensors, NODE_FEAT_DIM};
 use crate::metrics::{ClassificationReport, ConfusionMatrix};
 use crate::models::{Gfn, GraphModel, NUM_CLASSES};
-use crate::train::{train_graph_model, train_sequence_head, TrainLog, TrainParams};
+use crate::parallel::{install_values, parallel_map, param_values};
+use crate::train::{
+    train_graph_model_parallel, train_sequence_head_parallel, TrainLog, TrainParams,
+};
 use btcsim::{AddressRecord, Dataset, Label};
 use numnet::{Matrix, Tape};
 
@@ -92,60 +95,128 @@ impl BaClassifier {
         self.fitted = true;
     }
 
-    /// Number of worker threads for graph construction.
-    fn threads() -> usize {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-            .min(8)
+    /// A fresh GFN with this configuration's architecture (used as a
+    /// replica skeleton on worker threads — weights are installed
+    /// separately, so the init seed never reaches any output).
+    fn gfn_skeleton(model: &crate::config::ModelConfig) -> Gfn {
+        Gfn::new(
+            NODE_FEAT_DIM,
+            model.gfn_k,
+            model.hidden_dim,
+            model.embed_dim,
+            model.seed,
+        )
     }
 
     /// Train both stages on a labeled dataset.
+    ///
+    /// Runs on `cfg.threads` workers (see [`crate::config::resolve_threads`]):
+    /// graph construction, slice-graph preparation, GFN training, sequence
+    /// embedding, and head training are all data-parallel, and the result is
+    /// byte-identical for any thread count (deterministic index-ordered
+    /// gradient reduction — see [`crate::parallel`]).
     pub fn fit(&mut self, train: &Dataset) -> FitReport {
         assert!(!train.is_empty(), "cannot fit on an empty dataset");
+        let threads = self.cfg.effective_threads();
+        let model_cfg = &self.cfg.model;
+
         // Stage A: construct graphs for every address.
         let (per_address, construction) =
-            construct_dataset_graphs(&train.records, &self.cfg.construction, Self::threads());
+            construct_dataset_graphs(&train.records, &self.cfg.construction, threads);
         let num_graphs = per_address.iter().map(Vec::len).sum();
+
+        // Prepare every slice graph exactly once (preparation is weight-free,
+        // so the same prepared tensors serve GFN training *and* the embedding
+        // stage below — the old code prepared each graph twice per fit).
+        let flat: Vec<&crate::construction::AddressGraph> = per_address.iter().flatten().collect();
+        let prepared = parallel_map(
+            threads,
+            &flat,
+            || Self::gfn_skeleton(model_cfg),
+            |gfn, g| gfn.prepare(&graph_tensors(g)),
+        );
+        let mut ranges = Vec::with_capacity(per_address.len());
+        let mut cursor = 0;
+        for graphs in &per_address {
+            ranges.push((cursor, cursor + graphs.len()));
+            cursor += graphs.len();
+        }
 
         // Stage B: graph-level GFN training — every slice graph inherits its
         // address's label (paper §IV-C1).
-        let mut graph_set = Vec::with_capacity(num_graphs);
-        for (record, graphs) in train.records.iter().zip(&per_address) {
-            for g in graphs {
-                graph_set.push((self.gfn.prepare(&graph_tensors(g)), record.label.index()));
-            }
-        }
-        let gnn_log = train_graph_model(
+        let labels = train
+            .records
+            .iter()
+            .zip(&per_address)
+            .flat_map(|(record, graphs)| vec![record.label.index(); graphs.len()]);
+        let graph_set: Vec<_> = prepared.into_iter().zip(labels).collect();
+        let gfn_factory = || -> Box<dyn GraphModel> { Box::new(Self::gfn_skeleton(model_cfg)) };
+        let gnn_log = train_graph_model_parallel(
             &self.gfn,
+            &gfn_factory,
             &graph_set,
             &[],
             TrainParams {
-                epochs: self.cfg.model.gnn_epochs,
-                learning_rate: self.cfg.model.learning_rate,
+                epochs: model_cfg.gnn_epochs,
+                learning_rate: model_cfg.learning_rate,
                 batch_size: 8,
-                seed: self.cfg.model.seed,
+                seed: model_cfg.seed,
             },
+            threads,
         );
 
-        // Stage C: embed each address's slice sequence and train the head.
-        let mut seq_set: Vec<(Vec<Matrix>, usize)> = Vec::with_capacity(train.len());
-        for (record, graphs) in train.records.iter().zip(&per_address) {
-            let seq = self.embedding_sequence_from_graphs(graphs);
-            if !seq.is_empty() {
-                seq_set.push((seq, record.label.index()));
-            }
-        }
-        let head_log = train_sequence_head(
+        // Stage C: embed each address's slice sequence (reusing the prepared
+        // graphs) and train the head on the chronological sequences.
+        let max = model_cfg.max_slices.max(1);
+        let capped: Vec<(usize, usize)> = ranges
+            .iter()
+            .map(|&(s, e)| (e - (e - s).min(max), e))
+            .collect();
+        let trained = param_values(&self.gfn.params());
+        let sequences = parallel_map(
+            threads,
+            &capped,
+            || {
+                let gfn = Self::gfn_skeleton(model_cfg);
+                install_values(&gfn.params(), &trained);
+                gfn
+            },
+            |gfn, &(s, e)| {
+                graph_set[s..e]
+                    .iter()
+                    .map(|(prep, _)| {
+                        let tape = Tape::new();
+                        gfn.embed(&tape, prep).value()
+                    })
+                    .collect::<Vec<Matrix>>()
+            },
+        );
+        let seq_set: Vec<(Vec<Matrix>, usize)> = train
+            .records
+            .iter()
+            .zip(sequences)
+            .filter(|(_, seq)| !seq.is_empty())
+            .map(|(record, seq)| (seq, record.label.index()))
+            .collect();
+        let head_factory = || -> Box<dyn SequenceHead> {
+            Box::new(LstmMlp::new(
+                model_cfg.embed_dim,
+                model_cfg.lstm_hidden,
+                model_cfg.seed ^ 0x5a,
+            ))
+        };
+        let head_log = train_sequence_head_parallel(
             &self.head,
+            &head_factory,
             &seq_set,
             &[],
             TrainParams {
-                epochs: self.cfg.model.head_epochs,
-                learning_rate: self.cfg.model.learning_rate,
+                epochs: model_cfg.head_epochs,
+                learning_rate: model_cfg.learning_rate,
                 batch_size: 8,
-                seed: self.cfg.model.seed ^ 0xbeef,
+                seed: model_cfg.seed ^ 0xbeef,
             },
+            threads,
         );
 
         self.fitted = true;
@@ -157,27 +228,53 @@ impl BaClassifier {
         }
     }
 
+    /// Embed the (capped) tail of one address's slice-graph list on
+    /// `threads` workers. Per-graph embedding is forward-only, so the output
+    /// is byte-identical for any thread count.
     fn embedding_sequence_from_graphs(
         &self,
         graphs: &[crate::construction::AddressGraph],
+        threads: usize,
     ) -> Vec<Matrix> {
         let max = self.cfg.model.max_slices.max(1);
         let start = graphs.len().saturating_sub(max);
-        graphs[start..]
-            .iter()
-            .map(|g| {
-                let prep = self.gfn.prepare(&graph_tensors(g));
+        let tail = &graphs[start..];
+        if threads <= 1 {
+            return tail
+                .iter()
+                .map(|g| {
+                    let prep = self.gfn.prepare(&graph_tensors(g));
+                    let tape = Tape::new();
+                    self.gfn.embed(&tape, &prep).value()
+                })
+                .collect();
+        }
+        let trained = param_values(&self.gfn.params());
+        let model_cfg = &self.cfg.model;
+        parallel_map(
+            threads,
+            tail,
+            || {
+                let gfn = Self::gfn_skeleton(model_cfg);
+                install_values(&gfn.params(), &trained);
+                gfn
+            },
+            |gfn, g| {
+                let prep = gfn.prepare(&graph_tensors(g));
                 let tape = Tape::new();
-                self.gfn.embed(&tape, &prep).value()
-            })
-            .collect()
+                gfn.embed(&tape, &prep).value()
+            },
+        )
     }
 
     /// The chronological embedding sequence of one address (the `rep_i` list
-    /// of Eq. 22).
+    /// of Eq. 22). Deliberately single-threaded: serving layers call this
+    /// per-request from their own worker replicas, and nesting a pool here
+    /// would oversubscribe cores and hurt tail latency. Batch callers fan
+    /// out across records instead.
     pub fn embed_record(&self, record: &AddressRecord) -> Vec<Matrix> {
         let (graphs, _) = construct_address_graphs(record, &self.cfg.construction);
-        self.embedding_sequence_from_graphs(&graphs)
+        self.embedding_sequence_from_graphs(&graphs, 1)
     }
 
     /// Embed one slice graph — the per-slice stage of [`BaClassifier::embed_record`].
@@ -240,19 +337,29 @@ impl BaClassifier {
 
     /// Evaluate on a labeled dataset, returning the paper's per-class +
     /// weighted-average report (Table IV layout).
+    ///
+    /// Records with an empty transaction history have no slice graphs and
+    /// therefore no prediction; they are skipped and counted in
+    /// [`ClassificationReport::skipped`] rather than panicking (streamed
+    /// datasets legitimately contain such addresses).
     pub fn evaluate(&self, test: &Dataset) -> ClassificationReport {
         assert!(self.fitted, "evaluate() before fit()");
-        let y_true: Vec<usize> = test.records.iter().map(|r| r.label.index()).collect();
-        let y_pred: Vec<usize> = test
-            .records
-            .iter()
-            .map(|r| {
-                self.predict(r)
-                    .expect("evaluate() requires records with transactions")
-                    .index()
-            })
-            .collect();
-        ConfusionMatrix::from_predictions(NUM_CLASSES, &y_true, &y_pred).report()
+        let mut y_true = Vec::with_capacity(test.len());
+        let mut y_pred = Vec::with_capacity(test.len());
+        let mut skipped = 0;
+        for r in &test.records {
+            match self.predict(r) {
+                Ok(label) => {
+                    y_true.push(r.label.index());
+                    y_pred.push(label.index());
+                }
+                Err(PredictError::EmptyHistory) => skipped += 1,
+                Err(PredictError::NotFitted) => unreachable!("fitted asserted above"),
+            }
+        }
+        let mut report = ConfusionMatrix::from_predictions(NUM_CLASSES, &y_true, &y_pred).report();
+        report.skipped = skipped;
+        report
     }
 }
 
@@ -359,6 +466,55 @@ mod tests {
         for (g, e) in graphs[start..].iter().zip(&seq) {
             assert_eq!(clf.embed_graph(g).as_slice(), e.as_slice());
         }
+    }
+
+    #[test]
+    fn evaluate_skips_empty_history_records_instead_of_panicking() {
+        let (train, mut test) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        clf.fit(&train);
+        // Streamed datasets contain labeled addresses with no transactions
+        // yet; evaluate() used to panic on them via `.expect(...)`.
+        test.records.push(btcsim::AddressRecord {
+            address: btcsim::Address(u64::MAX),
+            label: btcsim::Label::Service,
+            txs: Vec::new(),
+        });
+        let evaluated = test.len() - 1;
+        let report = clf.evaluate(&test);
+        assert_eq!(report.skipped, 1);
+        let support: usize = report.per_class.iter().map(|c| c.support).sum();
+        assert_eq!(support, evaluated, "skipped record must not be scored");
+    }
+
+    #[test]
+    fn parallel_embedding_matches_serial() {
+        let (train, _) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        clf.fit(&train);
+        for r in train.records.iter().take(5) {
+            let (graphs, _) = construct_address_graphs(r, &clf.config().construction);
+            let serial = clf.embedding_sequence_from_graphs(&graphs, 1);
+            let pooled = clf.embedding_sequence_from_graphs(&graphs, 4);
+            assert_eq!(serial.len(), pooled.len());
+            for (a, b) in serial.iter().zip(&pooled) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn fit_respects_thread_config() {
+        // threads=2 must produce a working classifier even on a 1-core box
+        // (pool path); byte-identity vs threads=1 is asserted in the
+        // integration suite and train_bench.
+        let (train, test) = small_split();
+        let mut cfg = BacConfig::fast();
+        cfg.threads = 2;
+        let mut clf = BaClassifier::new(cfg);
+        clf.fit(&train);
+        let eval = clf.evaluate(&test);
+        assert!(eval.weighted_f1 > 0.5, "weighted F1 {}", eval.weighted_f1);
     }
 
     #[test]

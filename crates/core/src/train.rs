@@ -1,11 +1,23 @@
 //! Training loops with the per-epoch loss / F1 / wall-clock instrumentation
-//! the paper's overhead evaluation plots (Fig. 5 and Fig. 6).
+//! the paper's overhead evaluation plots (Fig. 5 and Fig. 6), with optional
+//! deterministic data-parallel gradient computation (see [`crate::parallel`]).
+//!
+//! Both loops share one engine: per-example forward/backward, gradients
+//! reduced in example-index order, one Adam step on the primary parameters.
+//! Because the reduction order is fixed, the parallel variants are
+//! byte-identical to the single-threaded ones — same final weights, same
+//! per-epoch losses. Reported `train_loss` is the per-sample mean over the
+//! epoch (a ragged final batch contributes by its size, not as a full
+//! batch).
 
 use crate::classify::SequenceHead;
 use crate::metrics::{ClassificationReport, ConfusionMatrix};
 use crate::models::{GraphModel, PreparedGraph, NUM_CLASSES};
+use crate::parallel::{
+    param_values, take_grads, with_pool, GradExecutor, GradReplica, SerialExecutor,
+};
 use numnet::optim::{Adam, Optimizer};
-use numnet::{Matrix, Tape};
+use numnet::{Matrix, Param, Tape};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -66,6 +78,135 @@ impl Default for TrainParams {
     }
 }
 
+/// A factory building graph-model replicas on worker threads. Must produce
+/// the primary's architecture; weights are installed by the pool.
+pub type GraphModelFactory<'a> = dyn Fn() -> Box<dyn GraphModel> + Sync + 'a;
+
+/// A factory building sequence-head replicas on worker threads.
+pub type SequenceHeadFactory<'a> = dyn Fn() -> Box<dyn SequenceHead> + Sync + 'a;
+
+/// [`GradReplica`] over a graph model (borrowed primary or pool-owned copy).
+struct GraphReplica<'a, M: GraphModel> {
+    model: M,
+    params: Vec<Param>,
+    train: &'a [(PreparedGraph, usize)],
+}
+
+impl<'a, M: GraphModel> GraphReplica<'a, M> {
+    fn new(model: M, train: &'a [(PreparedGraph, usize)]) -> Self {
+        let params = model.params();
+        Self {
+            model,
+            params,
+            train,
+        }
+    }
+}
+
+impl<M: GraphModel> GradReplica for GraphReplica<'_, M> {
+    fn example_grad(&mut self, idx: usize) -> (f32, Vec<Matrix>) {
+        let (prep, label) = &self.train[idx];
+        let tape = Tape::new();
+        let loss = self
+            .model
+            .logits(&tape, prep)
+            .softmax_cross_entropy(&[*label]);
+        let lv = loss.value()[(0, 0)];
+        loss.backward();
+        (lv, take_grads(&self.params))
+    }
+
+    fn install(&mut self, weights: &[Matrix]) {
+        crate::parallel::install_values(&self.params, weights);
+    }
+}
+
+/// [`GradReplica`] over a sequence head.
+struct SeqReplica<'a, H: SequenceHead> {
+    head: H,
+    params: Vec<Param>,
+    train: &'a [(Vec<Matrix>, usize)],
+}
+
+impl<'a, H: SequenceHead> SeqReplica<'a, H> {
+    fn new(head: H, train: &'a [(Vec<Matrix>, usize)]) -> Self {
+        let params = head.params();
+        Self {
+            head,
+            params,
+            train,
+        }
+    }
+}
+
+impl<H: SequenceHead> GradReplica for SeqReplica<'_, H> {
+    fn example_grad(&mut self, idx: usize) -> (f32, Vec<Matrix>) {
+        let (seq, label) = &self.train[idx];
+        let tape = Tape::new();
+        let loss = self
+            .head
+            .logits(&tape, seq)
+            .softmax_cross_entropy(&[*label]);
+        let lv = loss.value()[(0, 0)];
+        loss.backward();
+        (lv, take_grads(&self.params))
+    }
+
+    fn install(&mut self, weights: &[Matrix]) {
+        crate::parallel::install_values(&self.params, weights);
+    }
+}
+
+/// The shared epoch/batch engine. Per batch: fixed-order reduced gradients
+/// from `exec`, scaled by `1/batch_len`, one Adam step on `primary`, then a
+/// weight broadcast when replicas live apart from the primary.
+fn run_training(
+    name: &str,
+    n_examples: usize,
+    primary: &[Param],
+    exec: &mut dyn GradExecutor,
+    eval: &dyn Fn() -> f64,
+    params: TrainParams,
+) -> TrainLog {
+    assert!(n_examples > 0, "empty training set");
+    let mut opt = Adam::new(primary.to_vec(), params.learning_rate);
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut order: Vec<usize> = (0..n_examples).collect();
+    let mut log = TrainLog {
+        model: name.to_string(),
+        points: Vec::new(),
+    };
+    let mut elapsed = Duration::ZERO;
+
+    for epoch in 0..params.epochs {
+        let start = Instant::now();
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f32;
+        for batch in order.chunks(params.batch_size.max(1)) {
+            let bg = exec.batch_grads(batch);
+            loss_sum += bg.losses.iter().sum::<f32>();
+            let inv = 1.0 / batch.len() as f32;
+            for (p, g) in primary.iter().zip(&bg.grad_sum) {
+                p.accumulate_grad_public(&g.scale(inv));
+            }
+            opt.step();
+            if exec.needs_broadcast() {
+                exec.broadcast(param_values(primary));
+            }
+        }
+        elapsed += start.elapsed();
+        log.points.push(EpochPoint {
+            epoch,
+            elapsed,
+            // Per-sample mean: every example appears exactly once per epoch,
+            // so a ragged final batch is weighted by its size.
+            train_loss: loss_sum / n_examples as f32,
+            test_f1: eval(),
+        });
+    }
+    log
+}
+
 /// Train a graph model on labeled prepared graphs (graph-level
 /// classification, paper Table II), measuring F1 on `test` every epoch.
 pub fn train_graph_model(
@@ -75,53 +216,56 @@ pub fn train_graph_model(
     params: TrainParams,
 ) -> TrainLog {
     assert!(!train.is_empty(), "empty training set");
-    let mut opt = Adam::new(model.params(), params.learning_rate);
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut order: Vec<usize> = (0..train.len()).collect();
-    let mut log = TrainLog {
-        model: model.name().to_string(),
-        points: Vec::new(),
-    };
-    let mut elapsed = Duration::ZERO;
-
-    for epoch in 0..params.epochs {
-        let start = Instant::now();
-        order.shuffle(&mut rng);
-        let mut loss_sum = 0.0f32;
-        let mut batches = 0usize;
-        for batch in order.chunks(params.batch_size.max(1)) {
-            let tape = Tape::new();
-            let mut total: Option<numnet::Var<'_>> = None;
-            for &i in batch {
-                let (prep, label) = &train[i];
-                let loss = model.logits(&tape, prep).softmax_cross_entropy(&[*label]);
-                total = Some(match total {
-                    None => loss,
-                    Some(acc) => acc.add(loss),
-                });
-            }
-            let loss = total
-                .expect("non-empty batch")
-                .scale(1.0 / batch.len() as f32);
-            loss_sum += loss.value()[(0, 0)];
-            batches += 1;
-            loss.backward();
-            opt.step();
-        }
-        elapsed += start.elapsed();
-        let test_f1 = if test.is_empty() {
+    let primary = model.params();
+    let mut exec = SerialExecutor::new(GraphReplica::new(model, train));
+    let eval = || {
+        if test.is_empty() {
             0.0
         } else {
             evaluate_graph_model(model, test).weighted_f1
-        };
-        log.points.push(EpochPoint {
-            epoch,
-            elapsed,
-            train_loss: loss_sum / batches.max(1) as f32,
-            test_f1,
-        });
+        }
+    };
+    run_training(
+        model.name(),
+        train.len(),
+        &primary,
+        &mut exec,
+        &eval,
+        params,
+    )
+}
+
+/// Data-parallel [`train_graph_model`]: per-example gradients are computed
+/// on `threads` replicas built by `factory` and reduced in example-index
+/// order, so the result is byte-identical to the single-threaded path.
+/// Falls back to the serial loop for `threads <= 1` or trivial sets.
+pub fn train_graph_model_parallel(
+    model: &dyn GraphModel,
+    factory: &GraphModelFactory,
+    train: &[(PreparedGraph, usize)],
+    test: &[(PreparedGraph, usize)],
+    params: TrainParams,
+    threads: usize,
+) -> TrainLog {
+    if threads <= 1 || train.len() < 2 {
+        return train_graph_model(model, train, test, params);
     }
-    log
+    assert!(!train.is_empty(), "empty training set");
+    let primary = model.params();
+    let init = param_values(&primary);
+    let eval = || {
+        if test.is_empty() {
+            0.0
+        } else {
+            evaluate_graph_model(model, test).weighted_f1
+        }
+    };
+    with_pool(
+        threads,
+        || GraphReplica::new(factory(), train),
+        init,
+        |exec| run_training(model.name(), train.len(), &primary, exec, &eval, params),
+    )
 }
 
 /// Evaluate a graph model on labeled prepared graphs.
@@ -143,53 +287,47 @@ pub fn train_sequence_head(
     params: TrainParams,
 ) -> TrainLog {
     assert!(!train.is_empty(), "empty training set");
-    let mut opt = Adam::new(head.params(), params.learning_rate);
-    let mut rng = StdRng::seed_from_u64(params.seed);
-    let mut order: Vec<usize> = (0..train.len()).collect();
-    let mut log = TrainLog {
-        model: head.name().to_string(),
-        points: Vec::new(),
-    };
-    let mut elapsed = Duration::ZERO;
-
-    for epoch in 0..params.epochs {
-        let start = Instant::now();
-        order.shuffle(&mut rng);
-        let mut loss_sum = 0.0f32;
-        let mut batches = 0usize;
-        for batch in order.chunks(params.batch_size.max(1)) {
-            let tape = Tape::new();
-            let mut total: Option<numnet::Var<'_>> = None;
-            for &i in batch {
-                let (seq, label) = &train[i];
-                let loss = head.logits(&tape, seq).softmax_cross_entropy(&[*label]);
-                total = Some(match total {
-                    None => loss,
-                    Some(acc) => acc.add(loss),
-                });
-            }
-            let loss = total
-                .expect("non-empty batch")
-                .scale(1.0 / batch.len() as f32);
-            loss_sum += loss.value()[(0, 0)];
-            batches += 1;
-            loss.backward();
-            opt.step();
-        }
-        elapsed += start.elapsed();
-        let test_f1 = if test.is_empty() {
+    let primary = head.params();
+    let mut exec = SerialExecutor::new(SeqReplica::new(head, train));
+    let eval = || {
+        if test.is_empty() {
             0.0
         } else {
             evaluate_sequence_head(head, test).weighted_f1
-        };
-        log.points.push(EpochPoint {
-            epoch,
-            elapsed,
-            train_loss: loss_sum / batches.max(1) as f32,
-            test_f1,
-        });
+        }
+    };
+    run_training(head.name(), train.len(), &primary, &mut exec, &eval, params)
+}
+
+/// Data-parallel [`train_sequence_head`]; byte-identical to the serial loop
+/// for any thread count (same fixed-order reduction as the graph loop).
+pub fn train_sequence_head_parallel(
+    head: &dyn SequenceHead,
+    factory: &SequenceHeadFactory,
+    train: &[(Vec<Matrix>, usize)],
+    test: &[(Vec<Matrix>, usize)],
+    params: TrainParams,
+    threads: usize,
+) -> TrainLog {
+    if threads <= 1 || train.len() < 2 {
+        return train_sequence_head(head, train, test, params);
     }
-    log
+    assert!(!train.is_empty(), "empty training set");
+    let primary = head.params();
+    let init = param_values(&primary);
+    let eval = || {
+        if test.is_empty() {
+            0.0
+        } else {
+            evaluate_sequence_head(head, test).weighted_f1
+        }
+    };
+    with_pool(
+        threads,
+        || SeqReplica::new(factory(), train),
+        init,
+        |exec| run_training(head.name(), train.len(), &primary, exec, &eval, params),
+    )
 }
 
 /// Evaluate a sequence head on labeled embedding sequences.
@@ -223,6 +361,23 @@ mod tests {
         out
     }
 
+    fn synthetic_seq_set(n_per_class: usize) -> Vec<(Vec<Matrix>, usize)> {
+        let mut data: Vec<(Vec<Matrix>, usize)> = Vec::new();
+        for c in 0..NUM_CLASSES {
+            for i in 0..n_per_class {
+                let seq: Vec<Matrix> = (0..3)
+                    .map(|t| {
+                        Matrix::from_fn(1, 4, |_, col| {
+                            c as f32 - 1.5 + ((t + col + i) as f32 * 0.21).sin() * 0.1
+                        })
+                    })
+                    .collect();
+                data.push((seq, c));
+            }
+        }
+        data
+    }
+
     #[test]
     fn graph_training_learns_separable_classes() {
         let gfn = Gfn::new(4, 0, 16, 8, 3);
@@ -251,19 +406,7 @@ mod tests {
     #[test]
     fn sequence_training_learns_separable_classes() {
         let head = LstmMlp::new(4, 8, 1);
-        let mut data: Vec<(Vec<Matrix>, usize)> = Vec::new();
-        for c in 0..NUM_CLASSES {
-            for i in 0..5 {
-                let seq: Vec<Matrix> = (0..3)
-                    .map(|t| {
-                        Matrix::from_fn(1, 4, |_, col| {
-                            c as f32 - 1.5 + ((t + col + i) as f32 * 0.21).sin() * 0.1
-                        })
-                    })
-                    .collect();
-                data.push((seq, c));
-            }
-        }
+        let data = synthetic_seq_set(5);
         let (test, train): (Vec<_>, Vec<_>) =
             data.into_iter().enumerate().partition(|(i, _)| i % 5 == 0);
         let train: Vec<_> = train.into_iter().map(|(_, d)| d).collect();
@@ -319,6 +462,133 @@ mod tests {
             log.points.iter().map(|p| p.train_loss).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
+    }
+
+    /// Regression for the ragged-batch accounting bug: 5 examples at
+    /// batch_size 2 used to report `(mean(b1) + mean(b2) + mean(b3)) / 3`,
+    /// over-weighting the final 1-example batch. The reported loss must be
+    /// the per-sample mean. With `learning_rate = 0` weights never move, so
+    /// epoch 0's reported loss must equal the mean of the per-example
+    /// losses at initialisation (shuffling cannot matter).
+    #[test]
+    fn reported_loss_is_per_sample_mean_on_ragged_batches() {
+        let gfn = Gfn::new(4, 0, 8, 4, 7);
+        let data: Vec<_> = synthetic_graph_set(2, &gfn).into_iter().take(5).collect();
+        assert_eq!(data.len() % 2, 1, "want a ragged final batch");
+        let expected: f32 = data
+            .iter()
+            .map(|(prep, label)| {
+                let tape = Tape::new();
+                let loss = gfn.logits(&tape, prep).softmax_cross_entropy(&[*label]);
+                let v = loss.value()[(0, 0)];
+                loss.backward(); // discard: grads zeroed below
+                v
+            })
+            .sum::<f32>()
+            / data.len() as f32;
+        for p in gfn.params() {
+            p.zero_grad();
+        }
+        let log = train_graph_model(
+            &gfn,
+            &data,
+            &[],
+            TrainParams {
+                epochs: 1,
+                learning_rate: 0.0,
+                batch_size: 2,
+                seed: 9,
+            },
+        );
+        let got = log.points[0].train_loss;
+        assert!(
+            (got - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+            "per-sample mean {expected} vs reported {got}"
+        );
+    }
+
+    #[test]
+    fn ragged_batch_loss_is_per_sample_mean_for_sequence_head() {
+        let head = LstmMlp::new(4, 6, 5);
+        let data: Vec<_> = synthetic_seq_set(2).into_iter().take(7).collect();
+        assert_eq!(data.len() % 4, 3, "want a ragged final batch");
+        let expected: f32 = data
+            .iter()
+            .map(|(seq, label)| {
+                let tape = Tape::new();
+                head.logits(&tape, seq)
+                    .softmax_cross_entropy(&[*label])
+                    .value()[(0, 0)]
+            })
+            .sum::<f32>()
+            / data.len() as f32;
+        let log = train_sequence_head(
+            &head,
+            &data,
+            &[],
+            TrainParams {
+                epochs: 1,
+                learning_rate: 0.0,
+                batch_size: 4,
+                seed: 3,
+            },
+        );
+        let got = log.points[0].train_loss;
+        assert!(
+            (got - expected).abs() <= 1e-6 * expected.abs().max(1.0),
+            "per-sample mean {expected} vs reported {got}"
+        );
+    }
+
+    /// The tentpole guarantee at the unit level: multi-replica training is
+    /// byte-identical to the serial loop — same per-epoch losses, same final
+    /// weights.
+    #[test]
+    fn parallel_graph_training_is_byte_identical_to_serial() {
+        let params = TrainParams {
+            epochs: 4,
+            learning_rate: 0.02,
+            batch_size: 4,
+            seed: 13,
+        };
+        let serial = Gfn::new(4, 0, 8, 4, 21);
+        let data = synthetic_graph_set(3, &serial);
+        let serial_log = train_graph_model(&serial, &data, &[], params);
+
+        let pooled = Gfn::new(4, 0, 8, 4, 21);
+        let factory = || -> Box<dyn GraphModel> { Box::new(Gfn::new(4, 0, 8, 4, 99)) };
+        let pooled_log = train_graph_model_parallel(&pooled, &factory, &data, &[], params, 3);
+
+        let s_losses: Vec<f32> = serial_log.points.iter().map(|p| p.train_loss).collect();
+        let p_losses: Vec<f32> = pooled_log.points.iter().map(|p| p.train_loss).collect();
+        assert_eq!(s_losses, p_losses);
+        for (a, b) in serial.params().iter().zip(&pooled.params()) {
+            assert_eq!(*a.value(), *b.value(), "weights diverged");
+        }
+    }
+
+    #[test]
+    fn parallel_sequence_training_is_byte_identical_to_serial() {
+        let params = TrainParams {
+            epochs: 3,
+            learning_rate: 0.02,
+            batch_size: 3,
+            seed: 8,
+        };
+        let data = synthetic_seq_set(3);
+        let serial = LstmMlp::new(4, 6, 17);
+        let serial_log = train_sequence_head(&serial, &data, &[], params);
+
+        let pooled = LstmMlp::new(4, 6, 17);
+        let factory = || -> Box<dyn SequenceHead> { Box::new(LstmMlp::new(4, 6, 1234)) };
+        let pooled_log = train_sequence_head_parallel(&pooled, &factory, &data, &[], params, 4);
+
+        let s_losses: Vec<f32> = serial_log.points.iter().map(|p| p.train_loss).collect();
+        let p_losses: Vec<f32> = pooled_log.points.iter().map(|p| p.train_loss).collect();
+        assert_eq!(s_losses, p_losses);
+        for (a, b) in serial.params().iter().zip(&pooled.params()) {
+            assert_eq!(*a.value(), *b.value(), "weights diverged");
+        }
     }
 
     #[test]

@@ -2,11 +2,13 @@
 //! model artifact for `baserved` / `baserve-loadgen` to serve.
 //!
 //! ```text
-//! baserve-fit --out model.bart [--seed 42] [--min-txs 3] [--full]
+//! baserve-fit --out model.bart [--seed 42] [--min-txs 3] [--full] [--threads N]
 //! ```
 //!
 //! `--full` trains with `BacConfig::default()` (paper-scale epochs) instead
-//! of the quick `BacConfig::fast()` preset. The simulation seed doubles as
+//! of the quick `BacConfig::fast()` preset. `--threads N` pins the training
+//! worker count (0 = auto, also overridable via `BAC_THREADS`); any count
+//! produces byte-identical weights. The simulation seed doubles as
 //! the dataset identity: serving binaries rebuild the same dataset from the
 //! same `--seed`, so address ids line up across processes.
 
@@ -26,11 +28,16 @@ fn main() {
     let dataset = Dataset::from_simulator(&sim, min_txs);
     eprintln!("[baserve-fit] dataset: {} labeled addresses", dataset.len());
 
-    let cfg = if has_flag(&args, "--full") {
+    let mut cfg = if has_flag(&args, "--full") {
         BacConfig::default()
     } else {
         BacConfig::fast()
     };
+    cfg.threads = flag_parsed(&args, "--threads", 0usize);
+    eprintln!(
+        "[baserve-fit] training on {} thread(s)",
+        cfg.effective_threads()
+    );
     let mut clf = BaClassifier::new(cfg);
     let start = Instant::now();
     let report = clf.fit(&dataset);

@@ -1,0 +1,69 @@
+//! Acceptance test for deterministic data-parallel training: `fit()` with
+//! `threads = 1` and `threads = 4` must produce byte-identical weights and
+//! identical predictions on a held-out split.
+//!
+//! This is the contract that makes the thread count a pure performance
+//! knob: per-example gradients are reduced in example-index order on the
+//! driver (see `baclassifier::parallel`), so no float is ever summed in a
+//! schedule-dependent order.
+
+use baclassifier::{BaClassifier, BacConfig};
+use btcsim::{Dataset, SimConfig, Simulator};
+
+fn fit_with_threads(threads: usize, train: &Dataset) -> BaClassifier {
+    let mut cfg = BacConfig::fast();
+    cfg.model.gnn_epochs = 3;
+    cfg.model.head_epochs = 4;
+    cfg.threads = threads;
+    let mut clf = BaClassifier::new(cfg);
+    clf.fit(train);
+    clf
+}
+
+/// Saved-weights bytes of a fitted classifier (the NNIO stream covers every
+/// trainable parameter, so byte-equal files mean byte-equal models).
+fn weight_bytes(clf: &BaClassifier, tag: &str) -> Vec<u8> {
+    let path = std::env::temp_dir().join(format!(
+        "parallel_training_{tag}_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    clf.save_weights(&path).unwrap();
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+#[test]
+fn fit_is_byte_identical_across_thread_counts() {
+    if std::env::var_os("BAC_THREADS").is_some() {
+        eprintln!("BAC_THREADS set: it would override both fits; skipping");
+        return;
+    }
+    let sim = Simulator::run_to_completion(SimConfig::tiny(31));
+    let (train, test) = Dataset::from_simulator(&sim, 3).stratified_split(0.25, 99);
+
+    let serial = fit_with_threads(1, &train);
+    let pooled = fit_with_threads(4, &train);
+
+    assert_eq!(
+        weight_bytes(&serial, "t1"),
+        weight_bytes(&pooled, "t4"),
+        "threads=4 fit must produce byte-identical weights to threads=1"
+    );
+    assert!(!test.is_empty());
+    for r in &test.records {
+        assert_eq!(
+            serial.predict(r),
+            pooled.predict(r),
+            "prediction diverged for address {}",
+            r.address.0
+        );
+    }
+    // The fits must also agree on their own training telemetry: identical
+    // weights imply identical evaluation.
+    let a = serial.evaluate(&test);
+    let b = pooled.evaluate(&test);
+    assert_eq!(a.weighted_f1.to_bits(), b.weighted_f1.to_bits());
+    assert_eq!(a.skipped, b.skipped);
+}
