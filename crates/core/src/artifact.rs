@@ -317,7 +317,8 @@ impl BaClassifier {
     /// (shape-checked, all-or-nothing), and the result marked fitted.
     pub fn from_artifact(artifact: &ModelArtifact) -> Result<Self, ArtifactError> {
         let mut clf = BaClassifier::new(artifact.config.clone());
-        numnet::assign_params(&clf.all_params(), artifact.weights.clone())?;
+        let weights = clf.migrate_legacy_lstm_weights(artifact.weights.clone());
+        numnet::assign_params(&clf.all_params(), weights)?;
         clf.mark_fitted();
         Ok(clf)
     }

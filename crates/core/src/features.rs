@@ -30,8 +30,9 @@ pub struct GraphTensors {
     pub x: Matrix,
     /// Normalised adjacency Ã (Eq. 12), sparse.
     pub adj: CsrMatrix,
-    /// Ã as a dense matrix (for GCN/DiffPool autograd matmuls).
-    pub adj_dense: Matrix,
+    /// Ã as a dense matrix, materialised on first use. The model paths run
+    /// on the CSR form, so most graphs never pay the O(n²) densification.
+    adj_dense: std::sync::OnceLock<Matrix>,
     /// Raw node degrees (the `d` column GFN prepends, Eq. 13).
     pub degrees: Vec<f32>,
 }
@@ -39,6 +40,20 @@ pub struct GraphTensors {
 impl GraphTensors {
     pub fn num_nodes(&self) -> usize {
         self.x.rows()
+    }
+
+    /// Ã densified, built lazily and cached.
+    pub fn adj_dense(&self) -> &Matrix {
+        self.adj_dense.get_or_init(|| {
+            let n = self.adj.n();
+            let mut dense = Matrix::zeros(n, n);
+            for r in 0..n {
+                for (c, v) in self.adj.row(r) {
+                    dense[(r, c)] = v;
+                }
+            }
+            dense
+        })
     }
 }
 
@@ -73,16 +88,10 @@ pub fn graph_tensors(g: &AddressGraph) -> GraphTensors {
     let topo = g.to_graph();
     let degrees: Vec<f32> = (0..n).map(|i| topo.degree(i) as f32).collect();
     let adj = normalized_adjacency(&topo);
-    let mut adj_dense = Matrix::zeros(n, n);
-    for r in 0..n {
-        for (c, v) in adj.row(r) {
-            adj_dense[(r, c)] = v;
-        }
-    }
     GraphTensors {
         x,
         adj,
-        adj_dense,
+        adj_dense: std::sync::OnceLock::new(),
         degrees,
     }
 }
@@ -154,13 +163,13 @@ mod tests {
         let t = graph_tensors(&g);
         let n = g.num_nodes();
         assert_eq!(t.x.shape(), (n, NODE_FEAT_DIM));
-        assert_eq!(t.adj_dense.shape(), (n, n));
+        assert_eq!(t.adj_dense().shape(), (n, n));
         assert_eq!(t.degrees.len(), n);
         assert_eq!(t.adj.n(), n);
         // Dense and sparse adjacency agree.
         for r in 0..n {
             for (c, v) in t.adj.row(r) {
-                assert!((t.adj_dense[(r, c)] - v).abs() < 1e-7);
+                assert!((t.adj_dense()[(r, c)] - v).abs() < 1e-7);
             }
         }
     }

@@ -50,27 +50,22 @@ impl GraphModel for DiffPool {
     }
 
     fn prepare(&self, g: &GraphTensors) -> PreparedGraph {
-        PreparedGraph::WithAdjacency {
-            x: g.x.clone(),
-            adj: g.adj_dense.clone(),
-        }
+        PreparedGraph::with_adjacency(g)
     }
 
     fn embed<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t> {
-        let PreparedGraph::WithAdjacency { x, adj } = prep else {
+        let PreparedGraph::WithAdjacency { ax, adj, .. } = prep else {
             panic!("DiffPool requires adjacency-prepared input");
         };
-        let xv = tape.constant(x.clone());
-        let av = tape.constant(adj.clone());
-        let ax = av.matmul(xv);
-        // Embedding and assignment branches.
-        let z = self.embed_conv.forward(tape, ax).relu(); // n x h
-        let s = self.assign_conv.forward(tape, ax).softmax_rows(); // n x c
-                                                                   // Coarsen: X' = SᵀZ, A' = SᵀÃS.
+        let axv = tape.constant(ax.clone());
+        // Embedding and assignment branches share the cached Ã·X.
+        let z = self.embed_conv.forward(tape, axv).relu(); // n x h
+        let s = self.assign_conv.forward(tape, axv).softmax_rows(); // n x c
+                                                                    // Coarsen: X' = SᵀZ, A' = SᵀÃS.
         let st = s.transpose();
         let x_pooled = st.matmul(z); // c x h
-        let a_pooled = st.matmul(av).matmul(s); // c x c
-                                                // Post-pooling convolution + SUM readout.
+        let a_pooled = st.matmul_sp(adj).matmul(s); // c x c
+                                                    // Post-pooling convolution + SUM readout.
         let h = self
             .post_conv
             .forward(tape, a_pooled.matmul(x_pooled))

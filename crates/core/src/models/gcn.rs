@@ -37,20 +37,17 @@ impl GraphModel for Gcn {
     }
 
     fn prepare(&self, g: &GraphTensors) -> PreparedGraph {
-        PreparedGraph::WithAdjacency {
-            x: g.x.clone(),
-            adj: g.adj_dense.clone(),
-        }
+        PreparedGraph::with_adjacency(g)
     }
 
     fn embed<'t>(&self, tape: &'t Tape, prep: &PreparedGraph) -> Var<'t> {
-        let PreparedGraph::WithAdjacency { x, adj } = prep else {
+        let PreparedGraph::WithAdjacency { ax, adj, .. } = prep else {
             panic!("GCN requires adjacency-prepared input");
         };
-        let xv = tape.constant(x.clone());
-        let av = tape.constant(adj.clone());
-        let h1 = self.conv1.forward(tape, av.matmul(xv)).relu();
-        let h2 = self.conv2.forward(tape, av.matmul(h1)).relu();
+        // Layer 1 consumes the cached gradient-free Ã·X; layer 2 runs the
+        // adjacency product as a sparse tape op (O(nnz·d), not O(n²·d)).
+        let h1 = self.conv1.forward(tape, tape.constant(ax.clone())).relu();
+        let h2 = self.conv2.forward(tape, h1.spmm(adj)).relu();
         h2.sum_rows()
     }
 

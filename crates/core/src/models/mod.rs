@@ -10,7 +10,7 @@ pub use gcn::Gcn;
 pub use gfn::{Gfn, Readout};
 
 use crate::features::GraphTensors;
-use numnet::{Matrix, Param, Tape, Var};
+use numnet::{Matrix, Param, SparseAdj, Tape, Var};
 
 /// Number of behavior classes (paper Table I).
 pub const NUM_CLASSES: usize = 4;
@@ -21,11 +21,30 @@ pub const NUM_CLASSES: usize = 4;
 pub enum PreparedGraph {
     /// Augmented feature matrix only (GFN: propagation already folded in).
     Features(Matrix),
-    /// Features plus the dense normalised adjacency (GCN / DiffPool).
-    WithAdjacency { x: Matrix, adj: Matrix },
+    /// Features plus the sparse normalised adjacency (GCN / DiffPool).
+    /// `ax` caches the gradient-free first propagation Ã·X so the first
+    /// layer of either model skips its adjacency product entirely.
+    WithAdjacency {
+        x: Matrix,
+        ax: Matrix,
+        adj: SparseAdj,
+    },
 }
 
 impl PreparedGraph {
+    /// CSR-backed preparation shared by the convolutional models: wrap the
+    /// sparse Ã (with its transpose for backward) and precompute Ã·X once.
+    pub fn with_adjacency(g: &GraphTensors) -> PreparedGraph {
+        let adj = SparseAdj::new(g.adj.clone());
+        let d = g.x.cols();
+        let ax = Matrix::from_vec(g.x.rows(), d, adj.matrix().matmul_dense(g.x.as_slice(), d));
+        PreparedGraph::WithAdjacency {
+            x: g.x.clone(),
+            ax,
+            adj,
+        }
+    }
+
     pub fn num_nodes(&self) -> usize {
         match self {
             PreparedGraph::Features(x) => x.rows(),

@@ -6,17 +6,15 @@ use crate::matrix::Matrix;
 use crate::tape::{Param, Tape, Var};
 use rand::rngs::StdRng;
 
-/// One LSTM cell. Each gate has a weight `(input+hidden) x hidden` applied to
-/// the concatenation `[h_{t-1}, x_t]`, plus a bias.
+/// One LSTM cell with fused gates: a single weight `(input+hidden) × 4·hidden`
+/// whose column blocks `[forget | input | cell | output]` are applied to the
+/// concatenation `[h_{t-1}, x_t]` in one matmul per step, plus a fused
+/// `1 × 4·hidden` bias. Numerically (bitwise) identical to four separate
+/// per-gate matmuls; see `fuse_legacy_gate_params` for loading artifacts
+/// saved in the old four-matrix layout.
 pub struct LstmCell {
-    w_f: Param,
-    b_f: Param,
-    w_i: Param,
-    b_i: Param,
-    w_c: Param,
-    b_c: Param,
-    w_o: Param,
-    b_o: Param,
+    w: Param,
+    b: Param,
     input_dim: usize,
     hidden_dim: usize,
 }
@@ -27,22 +25,48 @@ pub struct LstmState<'t> {
     pub c: Var<'t>,
 }
 
+/// Fuse a legacy per-gate parameter layout `[w_f, b_f, w_i, b_i, w_c, b_c,
+/// w_o, b_o]` (each weight `d × h`, each bias `1 × h`) into the fused
+/// `(d × 4h)` weight and `(1 × 4h)` bias used by [`LstmCell`]. Returns
+/// `None` if the slice does not look like the legacy layout.
+pub fn fuse_legacy_gate_params(mats: &[Matrix]) -> Option<(Matrix, Matrix)> {
+    if mats.len() != 8 {
+        return None;
+    }
+    let (d, h) = mats[0].shape();
+    if h == 0 {
+        return None;
+    }
+    for g in 0..4 {
+        if mats[2 * g].shape() != (d, h) || mats[2 * g + 1].shape() != (1, h) {
+            return None;
+        }
+    }
+    let w = Matrix::concat_cols(&[&mats[0], &mats[2], &mats[4], &mats[6]]);
+    let b = Matrix::concat_cols(&[&mats[1], &mats[3], &mats[5], &mats[7]]);
+    Some((w, b))
+}
+
 impl LstmCell {
     pub fn new(input_dim: usize, hidden_dim: usize, rng: &mut StdRng) -> Self {
         let d = input_dim + hidden_dim;
-        let mk_w = |rng: &mut StdRng| Param::new(init::xavier_uniform(d, hidden_dim, rng));
+        // Draw the four gate weights as separate `d × h` Xavier matrices in
+        // the historical order (f, i, c, o) and concatenate columns, so the
+        // fused weight is value-identical to the old per-gate initialisation
+        // for any given RNG state.
+        let gates: Vec<Matrix> = (0..4)
+            .map(|_| init::xavier_uniform(d, hidden_dim, rng))
+            .collect();
+        let refs: Vec<&Matrix> = gates.iter().collect();
+        let w = Param::new(Matrix::concat_cols(&refs));
         // Forget-gate bias initialised to 1: standard trick so early training
-        // does not forget everything.
-        let b_f = Param::new(Matrix::ones(1, hidden_dim));
+        // does not forget everything. The other three bias blocks start at 0.
+        let ones = Matrix::ones(1, hidden_dim);
+        let zeros = Matrix::zeros(1, 3 * hidden_dim);
+        let b = Param::new(Matrix::concat_cols(&[&ones, &zeros]));
         Self {
-            w_f: mk_w(rng),
-            b_f,
-            w_i: mk_w(rng),
-            b_i: Param::new(Matrix::zeros(1, hidden_dim)),
-            w_c: mk_w(rng),
-            b_c: Param::new(Matrix::zeros(1, hidden_dim)),
-            w_o: mk_w(rng),
-            b_o: Param::new(Matrix::zeros(1, hidden_dim)),
+            w,
+            b,
             input_dim,
             hidden_dim,
         }
@@ -64,41 +88,23 @@ impl LstmCell {
         }
     }
 
-    /// One step: consume `x_t` (n x input) and the previous state.
-    pub fn step<'t>(&self, tape: &'t Tape, x: Var<'t>, state: &LstmState<'t>) -> LstmState<'t> {
+    /// One step: consume `x_t` (n x input) and the previous state. All four
+    /// gate pre-activations come out of a single fused matmul.
+    pub fn step<'t>(&self, _tape: &'t Tape, x: Var<'t>, state: &LstmState<'t>) -> LstmState<'t> {
+        let h = self.hidden_dim;
         let hx = Var::concat_cols(&[state.h, x]);
-        let f = hx
-            .matmul(tape.param(&self.w_f))
-            .add_row(tape.param(&self.b_f))
-            .sigmoid();
-        let i = hx
-            .matmul(tape.param(&self.w_i))
-            .add_row(tape.param(&self.b_i))
-            .sigmoid();
-        let c_tilde = hx
-            .matmul(tape.param(&self.w_c))
-            .add_row(tape.param(&self.b_c))
-            .tanh();
-        let o = hx
-            .matmul(tape.param(&self.w_o))
-            .add_row(tape.param(&self.b_o))
-            .sigmoid();
+        let gates = hx.lstm_gates(&self.w, &self.b, h);
+        let f = gates.slice_cols(0, h);
+        let i = gates.slice_cols(h, 2 * h);
+        let c_tilde = gates.slice_cols(2 * h, 3 * h);
+        let o = gates.slice_cols(3 * h, 4 * h);
         let c = f.mul_elem(state.c).add(i.mul_elem(c_tilde));
         let h = o.mul_elem(c.tanh());
         LstmState { h, c }
     }
 
     pub fn params(&self) -> Vec<Param> {
-        vec![
-            self.w_f.clone(),
-            self.b_f.clone(),
-            self.w_i.clone(),
-            self.b_i.clone(),
-            self.w_c.clone(),
-            self.b_c.clone(),
-            self.w_o.clone(),
-            self.b_o.clone(),
-        ]
+        vec![self.w.clone(), self.b.clone()]
     }
 }
 
@@ -233,6 +239,127 @@ mod tests {
         let tape = Tape::new();
         let seq: Vec<_> = (0..3).map(|_| tape.constant(Matrix::zeros(1, 3))).collect();
         assert_eq!(bi.forward_last(&tape, &seq).shape(), (1, 8));
+    }
+
+    fn bits_eq(a: &Matrix, b: &Matrix) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    /// The pre-fusion step: four separate matmul → add_row → activation
+    /// chains in tape order f, i, c̃, o, fed by per-gate parameters.
+    fn reference_step<'t>(
+        tape: &'t Tape,
+        w: &[Param],
+        b: &[Param],
+        x: Var<'t>,
+        state: &LstmState<'t>,
+    ) -> LstmState<'t> {
+        let hx = Var::concat_cols(&[state.h, x]);
+        let f = hx
+            .matmul(tape.param(&w[0]))
+            .add_row(tape.param(&b[0]))
+            .sigmoid();
+        let i = hx
+            .matmul(tape.param(&w[1]))
+            .add_row(tape.param(&b[1]))
+            .sigmoid();
+        let c_tilde = hx
+            .matmul(tape.param(&w[2]))
+            .add_row(tape.param(&b[2]))
+            .tanh();
+        let o = hx
+            .matmul(tape.param(&w[3]))
+            .add_row(tape.param(&b[3]))
+            .sigmoid();
+        let c = f.mul_elem(state.c).add(i.mul_elem(c_tilde));
+        let h = o.mul_elem(c.tanh());
+        LstmState { h, c }
+    }
+
+    #[test]
+    fn fused_step_matches_four_matmul_reference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let cell = LstmCell::new(3, 4, &mut rng);
+        let h = cell.hidden_dim();
+        let fused = cell.params();
+        let (w_fused, b_fused) = (fused[0].value().clone(), fused[1].value().clone());
+        // Per-gate reference params are slices of the fused buffers.
+        let w_ref: Vec<Param> = (0..4)
+            .map(|g| Param::new(w_fused.slice_cols(g * h, (g + 1) * h)))
+            .collect();
+        let b_ref: Vec<Param> = (0..4)
+            .map(|g| Param::new(b_fused.slice_cols(g * h, (g + 1) * h)))
+            .collect();
+
+        let seq: Vec<Matrix> = (0..3)
+            .map(|t| Matrix::from_fn(2, 3, |r, c| ((t * 6 + r * 3 + c) as f32 * 0.21).sin()))
+            .collect();
+
+        // Fused: unroll three steps and take a scalar loss over the last h.
+        let tape = Tape::new();
+        let mut st = cell.zero_state(&tape, 2);
+        for m in &seq {
+            st = cell.step(&tape, tape.constant(m.clone()), &st);
+        }
+        let h_fused = st.h.value();
+        let c_fused = st.c.value();
+        st.h.sum_rows()
+            .matmul(tape.constant(Matrix::col_vec(vec![1.0; h])))
+            .slice_rows(0, 1)
+            .backward();
+
+        // Reference: same unroll with the four-matmul step.
+        let tape2 = Tape::new();
+        let mut st2 = LstmState {
+            h: tape2.constant(Matrix::zeros(2, h)),
+            c: tape2.constant(Matrix::zeros(2, h)),
+        };
+        for m in &seq {
+            st2 = reference_step(&tape2, &w_ref, &b_ref, tape2.constant(m.clone()), &st2);
+        }
+        assert!(bits_eq(&h_fused, &st2.h.value()), "h diverged");
+        assert!(bits_eq(&c_fused, &st2.c.value()), "c diverged");
+        st2.h
+            .sum_rows()
+            .matmul(tape2.constant(Matrix::col_vec(vec![1.0; h])))
+            .slice_rows(0, 1)
+            .backward();
+
+        // Fused gradients block-match the per-gate reference gradients.
+        for g in 0..4 {
+            let wg = fused[0].grad().slice_cols(g * h, (g + 1) * h);
+            assert!(bits_eq(&wg, &w_ref[g].grad()), "w grad gate {g}");
+            let bg = fused[1].grad().slice_cols(g * h, (g + 1) * h);
+            assert!(bits_eq(&bg, &b_ref[g].grad()), "b grad gate {g}");
+        }
+    }
+
+    #[test]
+    fn fuse_legacy_gate_params_roundtrip() {
+        let (d, h) = (5, 3);
+        let mats: Vec<Matrix> = (0..4)
+            .flat_map(|g| {
+                let w = Matrix::from_fn(d, h, |r, c| (g * 100 + r * h + c) as f32);
+                let b = Matrix::from_fn(1, h, |_, c| (g * 10 + c) as f32);
+                [w, b]
+            })
+            .collect();
+        let (w, b) = fuse_legacy_gate_params(&mats).expect("legacy layout");
+        assert_eq!(w.shape(), (d, 4 * h));
+        assert_eq!(b.shape(), (1, 4 * h));
+        for g in 0..4 {
+            assert!(bits_eq(&w.slice_cols(g * h, (g + 1) * h), &mats[2 * g]));
+            assert!(bits_eq(&b.slice_cols(g * h, (g + 1) * h), &mats[2 * g + 1]));
+        }
+        // Wrong count or shape is rejected.
+        assert!(fuse_legacy_gate_params(&mats[..7]).is_none());
+        let mut bad = mats.clone();
+        bad[2] = Matrix::zeros(d + 1, h);
+        assert!(fuse_legacy_gate_params(&bad).is_none());
     }
 
     #[test]

@@ -48,10 +48,10 @@ pub mod layers {
 
     pub use attention::AttentionPool;
     pub use linear::Linear;
-    pub use lstm::{BiLstm, Lstm, LstmCell, LstmState};
+    pub use lstm::{fuse_legacy_gate_params, BiLstm, Lstm, LstmCell, LstmState};
     pub use mlp::{Activation, Mlp};
 }
 
 pub use io::{assign_params, load_params, read_matrices, save_params, write_matrices, LoadError};
 pub use matrix::Matrix;
-pub use tape::{Param, Tape, Var};
+pub use tape::{backward_alloc_count, reset_backward_alloc_count, Param, SparseAdj, Tape, Var};

@@ -1,11 +1,85 @@
 //! Dense row-major `f32` matrix with the kernels the autograd layer needs.
 //!
 //! The matrix is deliberately minimal: no views, no strides, no BLAS. The
-//! matmul uses the cache-friendly i-k-j loop order, which is enough for the
-//! MLP-scale models in this workspace.
+//! three matmul kernels (`matmul`, `matmul_at_b`, `matmul_a_bt`) are
+//! cache-blocked and written so the autovectorizer can keep the inner loop
+//! branch-free, but they preserve the naive kernels' ascending-k summation
+//! order *per output element*, so results are bitwise identical to the
+//! textbook loops (see DESIGN.md §10 for the derivation).
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
+
+/// Output-column tile width for the blocked `matmul`/`matmul_at_b` kernels.
+///
+/// Each lhs row computes a `J_TILE`-wide strip of its output row with the
+/// k-loop *innermost* and the partial sums held in a fixed-size stack array
+/// the whole time: 32 floats fit in the SIMD register file once the compiler
+/// unrolls the strip, so the accumulator is written to memory exactly once —
+/// after the last k-term — instead of being loaded and stored on every pass.
+/// The rhs tile a strip reads (`k × J_TILE` floats, 128 bytes per rhs row)
+/// stays cache-resident across all lhs rows of the tile.
+///
+/// Per output element the k-terms are still added one at a time in ascending
+/// k-order, as separate rounded additions; whether the running sum lives in a
+/// register or in the output buffer does not change f32 rounding, so the
+/// tiled kernels are bitwise identical to the naive i-k-j loops.
+const J_TILE: usize = 64;
+
+/// k-rows of rhs folded per tile pass: a `K_CHUNK x J_TILE` rhs tile is
+/// 32 KiB of f32 — L1-resident — and every lhs row folds against the whole
+/// tile before it is evicted. The register accumulator round-trips through
+/// the output row once per chunk, and chunks are visited in ascending-k
+/// order, so per-element summation order is unchanged.
+const K_CHUNK: usize = 128;
+
+/// Copy a `(ke - kb) x w` tile of `b` (row stride `n`, column offset `jt`)
+/// into a contiguous scratch buffer with row stride `w`. Packing defeats the
+/// L1 set-aliasing that power-of-two row strides cause (e.g. at n = 256 the
+/// tile's rows alias onto a quarter of the cache sets) and lets the fold
+/// loop stream the tile sequentially; copying values changes nothing about
+/// the arithmetic.
+#[inline(always)]
+fn pack_tile(
+    bpack: &mut [f32; K_CHUNK * J_TILE],
+    b: &[f32],
+    n: usize,
+    jt: usize,
+    w: usize,
+    kb: usize,
+    ke: usize,
+) {
+    for k in kb..ke {
+        let kc = k - kb;
+        bpack[kc * w..kc * w + w].copy_from_slice(&b[k * n + jt..k * n + jt + w]);
+    }
+}
+
+/// Fold one packed `a_chunk.len() x w` tile into a `w`-wide output strip.
+/// The strip is loaded into a stack accumulator once, receives its k-terms
+/// one at a time in ascending-k order as separate rounded additions —
+/// exactly the naive i-k-j schedule — and is stored back once.
+#[inline(always)]
+fn fold_chunk(out_row: &mut [f32], a_chunk: &[f32], bpack: &[f32; K_CHUNK * J_TILE], w: usize) {
+    let mut acc = [0.0f32; J_TILE];
+    acc[..w].copy_from_slice(out_row);
+    if w == J_TILE {
+        for (kc, &av) in a_chunk.iter().enumerate() {
+            let b: &[f32; J_TILE] = bpack[kc * J_TILE..(kc + 1) * J_TILE].try_into().unwrap();
+            for u in 0..J_TILE {
+                acc[u] += av * b[u];
+            }
+        }
+    } else {
+        for (kc, &av) in a_chunk.iter().enumerate() {
+            let b = &bpack[kc * w..kc * w + w];
+            for (a, &bv) in acc[..w].iter_mut().zip(b) {
+                *a += av * bv;
+            }
+        }
+    }
+    out_row.copy_from_slice(&acc[..w]);
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Clone, PartialEq)]
@@ -152,6 +226,13 @@ impl Matrix {
 
     /// Matrix product `self * rhs`.
     ///
+    /// On x86-64 hosts with AVX2 the tiled kernel is re-dispatched to a copy
+    /// compiled with 256-bit vectors. Vector width only changes how many
+    /// *output columns* are computed per instruction — each element's
+    /// ascending-k addition chain is untouched, and rustc never contracts
+    /// `mul` + `add` into a fused multiply-add — so the wide path is bitwise
+    /// identical to the portable one (property-tested in this module).
+    ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
@@ -160,17 +241,34 @@ impl Matrix {
             "matmul: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 requirement is checked at runtime above.
+            return unsafe { self.matmul_avx2(rhs) };
+        }
+        self.matmul_impl(rhs)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn matmul_avx2(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_impl(rhs)
+    }
+
+    #[inline(always)]
+    fn matmul_impl(&self, rhs: &Matrix) -> Matrix {
+        let (kk, n) = (self.cols, rhs.cols);
+        let mut out = Matrix::zeros(self.rows, n);
+        let mut bpack = [0.0f32; K_CHUNK * J_TILE];
+        for jt in (0..n).step_by(J_TILE) {
+            let w = J_TILE.min(n - jt);
+            for kb in (0..kk).step_by(K_CHUNK) {
+                let ke = (kb + K_CHUNK).min(kk);
+                pack_tile(&mut bpack, &rhs.data, n, jt, w, kb, ke);
+                for i in 0..self.rows {
+                    let a_row = self.row(i);
+                    let out_row = &mut out.data[i * n + jt..i * n + jt + w];
+                    fold_chunk(out_row, &a_row[kb..ke], &bpack, w);
                 }
             }
         }
@@ -184,17 +282,40 @@ impl Matrix {
             "matmul_at_b: {}x{} ᵀ* {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 requirement is checked at runtime above.
+            return unsafe { self.matmul_at_b_avx2(rhs) };
+        }
+        self.matmul_at_b_impl(rhs)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn matmul_at_b_avx2(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_at_b_impl(rhs)
+    }
+
+    #[inline(always)]
+    fn matmul_at_b_impl(&self, rhs: &Matrix) -> Matrix {
+        let (r, c, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(c, n);
+        let mut bpack = [0.0f32; K_CHUNK * J_TILE];
+        for jt in (0..n).step_by(J_TILE) {
+            let w = J_TILE.min(n - jt);
+            for kb in (0..r).step_by(K_CHUNK) {
+                let ke = (kb + K_CHUNK).min(r);
+                pack_tile(&mut bpack, &rhs.data, n, jt, w, kb, ke);
+                for i in 0..c {
+                    // The lhs column is gathered with stride `c` into a
+                    // contiguous chunk; the k-order per output element
+                    // matches the naive k-outer loop.
+                    let mut acol = [0.0f32; K_CHUNK];
+                    for k in kb..ke {
+                        acol[k - kb] = self.data[k * c + i];
+                    }
+                    let out_row = &mut out.data[i * n + jt..i * n + jt + w];
+                    fold_chunk(out_row, &acol[..ke - kb], &bpack, w);
                 }
             }
         }
@@ -208,16 +329,60 @@ impl Matrix {
             "matmul_a_bt: {}x{} * {}x{}ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 requirement is checked at runtime above.
+            return unsafe { self.matmul_a_bt_avx2(rhs) };
+        }
+        self.matmul_a_bt_impl(rhs)
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx2")]
+    unsafe fn matmul_a_bt_avx2(&self, rhs: &Matrix) -> Matrix {
+        self.matmul_a_bt_impl(rhs)
+    }
+
+    #[inline(always)]
+    fn matmul_a_bt_impl(&self, rhs: &Matrix) -> Matrix {
+        let (c, p) = (self.cols, rhs.rows);
+        let mut out = Matrix::zeros(self.rows, p);
         for i in 0..self.rows {
             let a_row = self.row(i);
-            for j in 0..rhs.rows {
+            let out_row = &mut out.data[i * p..(i + 1) * p];
+            let mut j = 0;
+            // Four independent dot-product accumulators per pass: the lhs
+            // row is loaded once per four outputs and the chains provide
+            // ILP. Each accumulator still sums its k-terms sequentially in
+            // ascending order, so every output is bitwise identical to the
+            // plain dot product.
+            while j + 4 <= p {
+                let b0 = rhs.row(j);
+                let b1 = rhs.row(j + 1);
+                let b2 = rhs.row(j + 2);
+                let b3 = rhs.row(j + 3);
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+                for k in 0..c {
+                    let a = a_row[k];
+                    s0 += a * b0[k];
+                    s1 += a * b1[k];
+                    s2 += a * b2[k];
+                    s3 += a * b3[k];
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < p {
                 let b_row = rhs.row(j);
                 let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row.iter()) {
-                    acc += a * b;
+                for k in 0..c {
+                    acc += a_row[k] * b_row[k];
                 }
-                out[(i, j)] = acc;
+                out_row[j] = acc;
+                j += 1;
             }
         }
         out
@@ -275,6 +440,38 @@ impl Matrix {
         assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
         for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += scale * b;
+        }
+    }
+
+    /// In-place element-wise combine: `self[i] = f(self[i], rhs[i])`.
+    /// Panics on shape mismatch.
+    pub fn zip_assign(&mut self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), rhs.shape(), "zip_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
+            *a = f(*a, b);
+        }
+    }
+
+    /// In-place element-wise map.
+    pub fn map_assign(&mut self, f: impl Fn(f32) -> f32) {
+        for v in self.data.iter_mut() {
+            *v = f(*v);
+        }
+    }
+
+    /// In-place add of `rhs` into the column block `[start, start + rhs.cols)`.
+    /// Panics if the block is out of range or the row counts differ.
+    pub fn add_assign_cols(&mut self, start: usize, rhs: &Matrix) {
+        assert_eq!(self.rows, rhs.rows, "add_assign_cols row mismatch");
+        assert!(
+            start + rhs.cols <= self.cols,
+            "add_assign_cols out of range"
+        );
+        for r in 0..self.rows {
+            let dst = &mut self.row_mut(r)[start..start + rhs.cols];
+            for (o, &b) in dst.iter_mut().zip(rhs.row(r).iter()) {
+                *o += b;
+            }
         }
     }
 
@@ -612,6 +809,113 @@ mod tests {
         assert_eq!(a.mean_rows().as_slice(), &[0., 0., 0.]);
     }
 
+    /// Naive i-k-j matmul, including the historical `a == 0.0` skip: the
+    /// reference the blocked kernel must match bit-for-bit on finite data.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for k in 0..a.cols() {
+                let av = a[(i, k)];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out[(i, j)] += av * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_matmul_at_b(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.cols(), b.cols());
+        for k in 0..a.rows() {
+            for i in 0..a.cols() {
+                let av = a[(k, i)];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..b.cols() {
+                    out[(i, j)] += av * b[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    fn naive_matmul_a_bt(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.rows());
+        for i in 0..a.rows() {
+            for j in 0..b.rows() {
+                let mut acc = 0.0f32;
+                for k in 0..a.cols() {
+                    acc += a[(i, k)] * b[(j, k)];
+                }
+                out[(i, j)] = acc;
+            }
+        }
+        out
+    }
+
+    fn bitwise_eq(a: &Matrix, b: &Matrix) -> bool {
+        a.shape() == b.shape()
+            && a.as_slice()
+                .iter()
+                .zip(b.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits())
+    }
+
+    /// Build an m×n matrix from a value pool, zeroing roughly one element
+    /// in three so the zero-skip paths of the naive references are hit.
+    fn pooled(m: usize, n: usize, pool: &[f32]) -> Matrix {
+        Matrix::from_fn(m, n, |r, c| {
+            let v = pool[(r * 31 + c * 7) % pool.len()];
+            if (r * 13 + c * 5) % 3 == 0 {
+                0.0
+            } else {
+                v
+            }
+        })
+    }
+
+    #[test]
+    fn matmul_propagates_nan_from_rhs() {
+        // The old zero-skip dropped `0 · NaN`, which must be NaN.
+        let a = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        let b = Matrix::from_vec(2, 1, vec![f32::NAN, 1.0]);
+        assert!(a.matmul(&b)[(0, 0)].is_nan(), "0 * NaN must propagate NaN");
+        let inf = Matrix::from_vec(2, 1, vec![f32::INFINITY, 1.0]);
+        assert!(
+            a.matmul(&inf)[(0, 0)].is_nan(),
+            "0 * Inf must propagate NaN"
+        );
+        // matmul_at_b had the same skip on its lhs entries.
+        let at = Matrix::from_vec(2, 1, vec![0.0, 0.0]);
+        let bt = Matrix::from_vec(2, 1, vec![f32::NAN, 1.0]);
+        assert!(at.matmul_at_b(&bt)[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn blocked_kernels_cross_panel_boundaries_bitwise() {
+        // Shapes straddling the J_TILE boundary, with ragged tails.
+        let pool: Vec<f32> = (0..97).map(|i| (i as f32 - 48.0) * 0.37).collect();
+        for &(m, k, n) in &[
+            (3, 130, 130),
+            (2, 129, 127),
+            (5, 5, 256),
+            (1, 257, 3),
+            (7, 4, 128),
+        ] {
+            let a = pooled(m, k, &pool);
+            let b = pooled(k, n, &pool);
+            assert!(bitwise_eq(&a.matmul(&b), &naive_matmul(&a, &b)));
+            let at = pooled(k, m, &pool);
+            assert!(bitwise_eq(&at.matmul_at_b(&b), &naive_matmul_at_b(&at, &b)));
+            let bt = pooled(n, k, &pool);
+            assert!(bitwise_eq(&a.matmul_a_bt(&bt), &naive_matmul_a_bt(&a, &bt)));
+        }
+    }
+
     proptest! {
         #[test]
         fn prop_matmul_assoc(
@@ -656,6 +960,25 @@ mod tests {
             let a = Matrix::from_vec(4, 3, a);
             let by_cols: f32 = a.sum_rows().as_slice().iter().sum();
             prop_assert!((by_cols - a.sum()).abs() < 1e-3);
+        }
+
+        // Blocked kernels vs naive references, bitwise, across random
+        // shapes including empty (0-dim), 1×n, and ragged sizes that do
+        // not divide the unroll factor.
+        #[test]
+        fn prop_blocked_matmul_bitwise_matches_naive(
+            m in 0usize..7,
+            k in 0usize..7,
+            n in 0usize..7,
+            pool in proptest::collection::vec(-3.0f32..3.0, 24),
+        ) {
+            let a = pooled(m, k, &pool);
+            let b = pooled(k, n, &pool);
+            prop_assert!(bitwise_eq(&a.matmul(&b), &naive_matmul(&a, &b)));
+            let at = pooled(k, m, &pool);
+            prop_assert!(bitwise_eq(&at.matmul_at_b(&b), &naive_matmul_at_b(&at, &b)));
+            let bt = pooled(n, k, &pool);
+            prop_assert!(bitwise_eq(&a.matmul_a_bt(&bt), &naive_matmul_a_bt(&a, &bt)));
         }
     }
 }

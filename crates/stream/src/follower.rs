@@ -461,6 +461,74 @@ pub(crate) mod tests {
     }
 
     #[test]
+    fn streamed_embeddings_match_batch_embed_record_bytewise() {
+        // The follower re-embeds through the CSR-prepared GFN path; its
+        // per-slice cache must stay byte-identical to the batch
+        // `embed_record` pipeline.
+        let cfg = test_sim(31, 25);
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(cfg.clone()) {
+            follower.step(&block);
+        }
+        follower.reclassify_dirty();
+        let sim = Simulator::run_to_completion(cfg);
+        let ds = Dataset::from_simulator(&sim, follower.cfg.min_txs);
+        let clf = BaClassifier::from_artifact(&artifact).unwrap();
+        assert!(!ds.is_empty());
+        for record in &ds.records {
+            let batch = clf.embed_record(record);
+            let state = follower.states.get(&record.address).unwrap();
+            assert_eq!(
+                state.embeds.len(),
+                batch.len(),
+                "slice count for {:?}",
+                record.address
+            );
+            for (streamed, reference) in state.embeds.iter().zip(&batch) {
+                assert_eq!(
+                    streamed.as_slice(),
+                    reference.as_slice(),
+                    "embedding bytes for {:?}",
+                    record.address
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn engine_cache_keys_are_unaffected_by_embedding_path() {
+        // Serving cache keys are (address id, history length, generation) —
+        // independent of how embeddings are computed — so a repeat lookup
+        // must hit the cache and follower invalidation must still re-key.
+        use baserve::{Engine, EngineConfig};
+        let cfg = test_sim(37, 20);
+        let sim = Simulator::run_to_completion(cfg);
+        let ds = Dataset::from_simulator(&sim, 3);
+        let record = ds.records[0].clone();
+        let engine = Engine::new(
+            Arc::new(test_artifact()),
+            EngineConfig {
+                workers: 1,
+                ..EngineConfig::default()
+            },
+        )
+        .unwrap();
+        let first = engine.classify(record.clone()).unwrap();
+        let second = engine.classify(record.clone()).unwrap();
+        assert_eq!(first.label, second.label);
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits, 1, "repeat lookup must be key-cached");
+        // Invalidation bumps the generation: the next lookup misses.
+        engine.invalidate_address(record.address);
+        engine.classify(record).unwrap();
+        let m = engine.metrics();
+        assert_eq!(m.cache_hits, 1);
+        assert_eq!(m.invalidations, 1);
+        engine.shutdown();
+    }
+
+    #[test]
     fn reclassify_only_touches_dirty_addresses() {
         let cfg = test_sim(29, 20);
         let artifact = test_artifact();

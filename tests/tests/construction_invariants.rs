@@ -87,7 +87,7 @@ fn tensors_are_finite_for_every_constructed_graph() {
             let t = graph_tensors(g);
             assert_eq!(t.x.cols(), NODE_FEAT_DIM);
             assert!(t.x.all_finite());
-            assert!(t.adj_dense.all_finite());
+            assert!(t.adj_dense().all_finite());
             assert!(t.degrees.iter().all(|d| d.is_finite()));
         }
     }

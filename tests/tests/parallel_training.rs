@@ -1,14 +1,24 @@
-//! Acceptance test for deterministic data-parallel training: `fit()` with
-//! `threads = 1` and `threads = 4` must produce byte-identical weights and
-//! identical predictions on a held-out split.
+//! Acceptance tests for the two determinism contracts:
 //!
-//! This is the contract that makes the thread count a pure performance
-//! knob: per-example gradients are reduced in example-index order on the
-//! driver (see `baclassifier::parallel`), so no float is ever summed in a
-//! schedule-dependent order.
+//! 1. Deterministic data-parallel training — `fit()` with `threads = 1` and
+//!    `threads = 4` must produce byte-identical weights and identical
+//!    predictions on a held-out split. Per-example gradients are reduced in
+//!    example-index order on the driver (see `baclassifier::parallel`), so
+//!    no float is ever summed in a schedule-dependent order.
+//!
+//! 2. Kernel-path identity — the fast kernels (sparse adjacency spmm on the
+//!    tape, cached Ã·X, fused LSTM gates) must be bitwise indistinguishable
+//!    from the naive dense-tape formulations they replaced, forward AND
+//!    backward. The reference paths below are the pre-swap computations
+//!    written out literally against the same shared parameters.
 
+use baclassifier::construction::augment::augment_with_centralities;
+use baclassifier::construction::extract::extract_original_graphs;
+use baclassifier::features::{graph_tensors, GraphTensors, NODE_FEAT_DIM};
+use baclassifier::models::{DiffPool, Gcn, GraphModel, PreparedGraph};
 use baclassifier::{BaClassifier, BacConfig};
-use btcsim::{Dataset, SimConfig, Simulator};
+use btcsim::{Address, AddressRecord, Amount, Dataset, Label, SimConfig, Simulator, TxView, Txid};
+use numnet::{Matrix, Tape};
 
 fn fit_with_threads(threads: usize, train: &Dataset) -> BaClassifier {
     let mut cfg = BacConfig::fast();
@@ -66,4 +76,123 @@ fn fit_is_byte_identical_across_thread_counts() {
     let b = pooled.evaluate(&test);
     assert_eq!(a.weighted_f1.to_bits(), b.weighted_f1.to_bits());
     assert_eq!(a.skipped, b.skipped);
+}
+
+/// A small but non-trivial slice graph (several transactions, hyper-nodes).
+fn sample_tensors() -> GraphTensors {
+    let txs: Vec<TxView> = (0..5)
+        .map(|i| TxView {
+            txid: Txid(i),
+            timestamp: i,
+            inputs: vec![(Address(0), Amount::from_btc(1.0 + i as f64))],
+            outputs: vec![
+                (Address(10 + i), Amount::from_btc(0.7)),
+                (Address(20 + i), Amount::from_btc(0.2)),
+            ],
+        })
+        .collect();
+    let record = AddressRecord {
+        address: Address(0),
+        label: Label::Exchange,
+        txs,
+    };
+    let mut g = extract_original_graphs(&record, 100).remove(0);
+    augment_with_centralities(&mut g);
+    graph_tensors(&g)
+}
+
+fn assert_bits_eq(a: &Matrix, b: &Matrix, what: &str) {
+    assert_eq!(a.shape(), b.shape(), "{what}: shape");
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}: element {i}: {x} vs {y}");
+    }
+}
+
+#[test]
+fn gcn_spmm_path_matches_dense_adjacency_tape_path_bitwise() {
+    let t = sample_tensors();
+    let gcn = Gcn::new(NODE_FEAT_DIM, 16, 8, 5);
+    let prep = gcn.prepare(&t);
+    let PreparedGraph::WithAdjacency { x, adj, .. } = &prep else {
+        panic!("GCN prepares with adjacency");
+    };
+    let p = gcn.params(); // conv1 w/b, conv2 w/b, classifier w/b
+
+    // New path: cached Ã·X constant + sparse spmm on the tape.
+    let tape = Tape::new();
+    let e_new = gcn.embed(&tape, &prep);
+    let e_new_val = e_new.value();
+    e_new.softmax_cross_entropy(&[1]).backward();
+    let grads_new: Vec<Matrix> = p.iter().map(|q| q.grad().clone()).collect();
+    for q in &p {
+        q.zero_grad();
+    }
+
+    // Reference: the pre-swap dense formulation, written out literally.
+    let tape2 = Tape::new();
+    let xv = tape2.constant(x.clone());
+    let av = tape2.constant(adj.to_dense());
+    let h1 = av
+        .matmul(xv)
+        .matmul(tape2.param(&p[0]))
+        .add_row(tape2.param(&p[1]))
+        .relu();
+    let h2 = av
+        .matmul(h1)
+        .matmul(tape2.param(&p[2]))
+        .add_row(tape2.param(&p[3]))
+        .relu();
+    let e_ref = h2.sum_rows();
+    assert_bits_eq(&e_new_val, &e_ref.value(), "GCN embedding");
+    e_ref.softmax_cross_entropy(&[1]).backward();
+    for (i, (g_new, q)) in grads_new.iter().zip(&p).enumerate() {
+        assert_bits_eq(g_new, &q.grad(), &format!("GCN grad of param {i}"));
+    }
+}
+
+#[test]
+fn diffpool_sparse_pooling_matches_dense_adjacency_tape_path_bitwise() {
+    let t = sample_tensors();
+    let dp = DiffPool::new(NODE_FEAT_DIM, 8, 3, 4, 7);
+    let prep = dp.prepare(&t);
+    let PreparedGraph::WithAdjacency { x, adj, .. } = &prep else {
+        panic!("DiffPool prepares with adjacency");
+    };
+    let p = dp.params(); // embed w/b, assign w/b, post w/b, classifier w/b
+
+    let tape = Tape::new();
+    let e_new = dp.embed(&tape, &prep);
+    let e_new_val = e_new.value();
+    e_new.softmax_cross_entropy(&[2]).backward();
+    let grads_new: Vec<Matrix> = p.iter().map(|q| q.grad().clone()).collect();
+    for q in &p {
+        q.zero_grad();
+    }
+
+    let tape2 = Tape::new();
+    let xv = tape2.constant(x.clone());
+    let av = tape2.constant(adj.to_dense());
+    let ax = av.matmul(xv);
+    let z = ax
+        .matmul(tape2.param(&p[0]))
+        .add_row(tape2.param(&p[1]))
+        .relu();
+    let s = ax
+        .matmul(tape2.param(&p[2]))
+        .add_row(tape2.param(&p[3]))
+        .softmax_rows();
+    let st = s.transpose();
+    let x_pooled = st.matmul(z);
+    let a_pooled = st.matmul(av).matmul(s);
+    let h = a_pooled
+        .matmul(x_pooled)
+        .matmul(tape2.param(&p[4]))
+        .add_row(tape2.param(&p[5]))
+        .relu();
+    let e_ref = h.sum_rows();
+    assert_bits_eq(&e_new_val, &e_ref.value(), "DiffPool embedding");
+    e_ref.softmax_cross_entropy(&[2]).backward();
+    for (i, (g_new, q)) in grads_new.iter().zip(&p).enumerate() {
+        assert_bits_eq(g_new, &q.grad(), &format!("DiffPool grad of param {i}"));
+    }
 }

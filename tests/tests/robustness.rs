@@ -80,7 +80,7 @@ fn construction_survives_degenerate_histories() {
             assert_eq!(g.check_invariants(), Ok(()), "address {:?}", record.address);
             let t = graph_tensors(g);
             assert!(t.x.all_finite(), "address {:?}", record.address);
-            assert!(t.adj_dense.all_finite());
+            assert!(t.adj_dense().all_finite());
         }
     }
 }
