@@ -170,9 +170,6 @@ fn main() {
         elapsed.as_secs_f64(),
         snapshot.to_json()
     );
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).expect("create results dir");
-    }
-    std::fs::write(&out, format!("{json}\n")).expect("write results");
+    bac_bench::write_results_atomic(&out, &json);
     println!("wrote {out}");
 }

@@ -414,9 +414,6 @@ fn main() {
         lstm_speedup,
         lstm_step_us,
     );
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).expect("create results dir");
-    }
-    std::fs::write(&out, format!("{json}\n")).expect("write results");
+    bac_bench::write_results_atomic(&out, &json);
     println!("wrote {out}");
 }

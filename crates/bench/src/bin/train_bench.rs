@@ -128,9 +128,6 @@ fn main() {
         train.len(),
         test.len(),
     );
-    if let Some(dir) = std::path::Path::new(&out).parent() {
-        std::fs::create_dir_all(dir).expect("create results dir");
-    }
-    std::fs::write(&out, format!("{json}\n")).expect("write results");
+    bac_bench::write_results_atomic(&out, &json);
     println!("wrote {out}");
 }

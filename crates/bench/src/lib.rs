@@ -82,6 +82,39 @@ impl ExpScale {
     }
 }
 
+/// Write a bench result file atomically: temp file in the destination
+/// directory, write + fsync, then rename over the target — the same
+/// pattern as `ModelArtifact::save`, so a crash or full disk mid-write
+/// can never leave a truncated `results/*.json` behind. A trailing
+/// newline is appended. Panics on failure (bench binaries treat an
+/// unwritable result file as fatal), cleaning up the temp file first.
+pub fn write_results_atomic(out: &str, json: &str) {
+    use std::io::Write as _;
+    let path = std::path::Path::new(out);
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create results dir");
+        }
+    }
+    let file_name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .expect("result path has a file name");
+    let tmp = path.with_file_name(format!(".{}.tmp.{}", file_name, std::process::id()));
+    let write = || -> std::io::Result<()> {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")?;
+        f.flush()?;
+        f.sync_all()?;
+        std::fs::rename(&tmp, path)
+    };
+    if let Err(e) = write() {
+        std::fs::remove_file(&tmp).ok();
+        panic!("write results to {out}: {e}");
+    }
+}
+
 /// Fetch `--flag value` from argv.
 pub fn flag_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()

@@ -39,9 +39,11 @@ pub mod models;
 pub mod parallel;
 pub mod pipeline;
 pub mod refine;
+pub mod shard;
 pub mod train;
 
 pub use artifact::{ArtifactError, ModelArtifact};
 pub use config::{BacConfig, ConstructionConfig, ModelConfig};
 pub use metrics::{ClassMetrics, ClassificationReport, ConfusionMatrix};
 pub use pipeline::{BaClassifier, FitReport, PredictError};
+pub use shard::{ShardAssignment, ShardMap, SHARD_HASH_VERSION};

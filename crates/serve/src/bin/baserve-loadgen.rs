@@ -29,6 +29,17 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Exact nearest-rank percentile over the collected samples (sorts in
+/// place); 0 when no request was served.
+fn percentile_us(samples: &mut [u64], q: f64) -> u64 {
+    if samples.is_empty() {
+        return 0;
+    }
+    samples.sort_unstable();
+    let rank = ((samples.len() as f64 * q).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let Some(artifact_path) = flag_value(&args, "--artifact") else {
@@ -83,7 +94,7 @@ fn main() {
     // Direct-replica labels, memoized per address (computed lazily so
     // `--check` only pays for addresses the traffic actually touches).
     let mut expected: HashMap<usize, Label> = HashMap::new();
-    let mut in_flight: Vec<(usize, Ticket)> = Vec::new();
+    let mut in_flight: Vec<(usize, Ticket, Instant)> = Vec::new();
     let mut served = 0usize;
     let mut rejected = 0usize;
     let mut mismatches = 0usize;
@@ -91,15 +102,20 @@ fn main() {
     let mut retries = 0usize;
     let mut jitter_state = traffic_seed ^ 0x9e37_79b9_7f4a_7c15;
 
-    let settle = |batch: Vec<(usize, Ticket)>,
+    // Client-observed latency (submit → response), in µs. This includes
+    // queue wait and ticket settling, so it upper-bounds the engine's own
+    // histogram and is what a remote caller would actually see.
+    let settle = |batch: Vec<(usize, Ticket, Instant)>,
                   expected: &mut HashMap<usize, Label>,
                   mismatches: &mut usize,
                   served: &mut usize,
-                  failed: &mut usize| {
-        for (idx, ticket) in batch {
+                  failed: &mut usize,
+                  latencies_us: &mut Vec<u64>| {
+        for (idx, ticket, submitted_at) in batch {
             match ticket.wait() {
                 Ok(response) => {
                     *served += 1;
+                    latencies_us.push(submitted_at.elapsed().as_micros() as u64);
                     if let Some(direct) = &direct {
                         let want = *expected.entry(idx).or_insert_with(|| {
                             direct
@@ -125,6 +141,7 @@ fn main() {
         }
     };
 
+    let mut latencies_us: Vec<u64> = Vec::with_capacity(requests);
     let start = Instant::now();
     for i in 0..requests {
         if qps > 0.0 {
@@ -155,7 +172,7 @@ fn main() {
             }
         };
         match outcome {
-            Ok(ticket) => in_flight.push((idx, ticket)),
+            Ok(ticket) => in_flight.push((idx, ticket, Instant::now())),
             Err(ServeError::QueueFull | ServeError::BreakerOpen) => rejected += 1,
             Err(e) => {
                 eprintln!("[loadgen] submit failed: {e}");
@@ -170,6 +187,7 @@ fn main() {
                 &mut mismatches,
                 &mut served,
                 &mut failed,
+                &mut latencies_us,
             );
         }
     }
@@ -179,6 +197,7 @@ fn main() {
         &mut mismatches,
         &mut served,
         &mut failed,
+        &mut latencies_us,
     );
     let elapsed = start.elapsed();
 
@@ -191,13 +210,20 @@ fn main() {
         served as f64 / elapsed.as_secs_f64().max(1e-9),
     );
     println!(
-        "cache hit rate {:.1}% | mean batch {:.2} (max {}) | p50/p95/p99 latency {}/{}/{} µs",
+        "cache hit rate {:.1}% | mean batch {:.2} (max {}) | engine p50/p95/p99 latency {}/{}/{} µs",
         snapshot.cache_hit_rate * 100.0,
         snapshot.mean_batch_size,
         snapshot.max_batch_size,
         snapshot.p50_latency_us,
         snapshot.p95_latency_us,
         snapshot.p99_latency_us,
+    );
+    println!(
+        "client  p50/p95/p99 latency {}/{}/{} µs (submit → response, exact over {} samples)",
+        percentile_us(&mut latencies_us, 0.50),
+        percentile_us(&mut latencies_us, 0.95),
+        percentile_us(&mut latencies_us, 0.99),
+        latencies_us.len(),
     );
     println!("metrics {}", snapshot.to_json());
     if check {

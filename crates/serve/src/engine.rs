@@ -119,6 +119,26 @@ impl Default for EngineConfig {
     }
 }
 
+impl EngineConfig {
+    /// Derive the per-shard config for one of `shards` engines sharing this
+    /// config's resource budget: workers, queue depth, and cache capacity
+    /// are divided (never below 1 once non-zero — a shard with zero queue
+    /// slots could accept nothing), while per-request policy (batching,
+    /// deadlines, breaker, restarts) is inherited unchanged. The explicit
+    /// `workers == 0` and `cache_capacity == 0` test semantics survive
+    /// sharding: zero divides to zero.
+    pub fn for_shard(&self, shards: usize) -> EngineConfig {
+        let shards = shards.max(1);
+        let split = |v: usize| if v == 0 { 0 } else { (v / shards).max(1) };
+        EngineConfig {
+            workers: split(self.workers),
+            queue_depth: split(self.queue_depth),
+            cache_capacity: split(self.cache_capacity),
+            ..self.clone()
+        }
+    }
+}
+
 /// The engine's pluggable seams: fault injection and degraded-mode
 /// fallback. Production uses the defaults ([`NoFaults`], no fallback); the
 /// chaos harness and the daemon install their own.

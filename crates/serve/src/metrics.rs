@@ -221,6 +221,84 @@ impl MetricsSnapshot {
         self.completed + self.failed + self.timed_out + self.degraded + self.rejected
     }
 
+    /// Roll per-shard snapshots up into one fleet-wide snapshot: counters
+    /// and histograms sum element-wise, derived statistics (hit rate, means,
+    /// quantiles) are recomputed from the merged histograms rather than
+    /// averaged — a quantile of per-shard quantiles would be wrong whenever
+    /// shards see different traffic. An empty slice merges to all-zero.
+    pub fn merge(shards: &[MetricsSnapshot]) -> MetricsSnapshot {
+        let width = |f: fn(&MetricsSnapshot) -> usize| shards.iter().map(f).max().unwrap_or(0);
+        let mut latency = vec![0u64; width(|s| s.latency_bucket_counts.len())];
+        let mut batch_counts = vec![0u64; width(|s| s.batch_size_counts.len())];
+        let sum_u64 = |f: fn(&MetricsSnapshot) -> u64| shards.iter().map(f).sum::<u64>();
+        let submitted = sum_u64(|s| s.submitted);
+        let completed = sum_u64(|s| s.completed);
+        let batches = sum_u64(|s| s.batches);
+        let cache_hits = sum_u64(|s| s.cache_hits);
+        let cache_misses = sum_u64(|s| s.cache_misses);
+        // Weighted mean: per-shard means are over different sample counts.
+        let mut lat_count = 0u64;
+        let mut lat_sum = 0.0f64;
+        for s in shards {
+            for (i, &c) in s.latency_bucket_counts.iter().enumerate() {
+                latency[i] += c;
+            }
+            for (i, &c) in s.batch_size_counts.iter().enumerate() {
+                batch_counts[i] += c;
+            }
+            let n = s.latency_bucket_counts.iter().sum::<u64>();
+            lat_count += n;
+            lat_sum += s.mean_latency_us * n as f64;
+        }
+        let batched_requests: u64 = batch_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (i as u64 + 1) * c)
+            .sum();
+        MetricsSnapshot {
+            submitted,
+            rejected: sum_u64(|s| s.rejected),
+            completed,
+            failed: sum_u64(|s| s.failed),
+            timed_out: sum_u64(|s| s.timed_out),
+            degraded: sum_u64(|s| s.degraded),
+            worker_panics: sum_u64(|s| s.worker_panics),
+            worker_restarts: sum_u64(|s| s.worker_restarts),
+            workers_retired: sum_u64(|s| s.workers_retired),
+            breaker_trips: sum_u64(|s| s.breaker_trips),
+            cache_hits,
+            cache_misses,
+            batch_dedup_hits: sum_u64(|s| s.batch_dedup_hits),
+            invalidations: sum_u64(|s| s.invalidations),
+            cache_hit_rate: if cache_hits + cache_misses == 0 {
+                0.0
+            } else {
+                cache_hits as f64 / (cache_hits + cache_misses) as f64
+            },
+            batches,
+            mean_batch_size: if batches == 0 {
+                0.0
+            } else {
+                batched_requests as f64 / batches as f64
+            },
+            max_batch_size: batch_counts
+                .iter()
+                .rposition(|&c| c > 0)
+                .map(|i| i + 1)
+                .unwrap_or(0),
+            batch_size_counts: batch_counts,
+            mean_latency_us: if lat_count == 0 {
+                0.0
+            } else {
+                lat_sum / lat_count as f64
+            },
+            p50_latency_us: quantile_upper_bound(&latency, lat_count, 0.50),
+            p95_latency_us: quantile_upper_bound(&latency, lat_count, 0.95),
+            p99_latency_us: quantile_upper_bound(&latency, lat_count, 0.99),
+            latency_bucket_counts: latency,
+        }
+    }
+
     /// Render as a single-line JSON object (hand-rolled; the build has no
     /// serde backend). Histogram vectors are emitted sparsely as
     /// `{"<size>": count, ...}` objects.
@@ -352,6 +430,48 @@ mod tests {
         assert!(json.contains("\"degraded\":2"));
         assert!(json.contains("\"worker_panics\":0"));
         assert!(json.contains("\"breaker_trips\":0"));
+    }
+
+    #[test]
+    fn merged_snapshot_recomputes_derived_stats() {
+        let a = Metrics::default();
+        a.submitted.fetch_add(90, Relaxed);
+        a.completed.fetch_add(90, Relaxed);
+        a.cache_hits.fetch_add(9, Relaxed);
+        a.cache_misses.fetch_add(1, Relaxed);
+        for _ in 0..90 {
+            a.record_latency_us(5);
+        }
+        a.record_batch_size(2);
+        let b = Metrics::default();
+        b.submitted.fetch_add(10, Relaxed);
+        b.completed.fetch_add(10, Relaxed);
+        b.cache_misses.fetch_add(10, Relaxed);
+        for _ in 0..10 {
+            b.record_latency_us(1500);
+        }
+        b.record_batch_size(6);
+
+        let merged = MetricsSnapshot::merge(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.submitted, 100);
+        assert_eq!(merged.terminal_total(), 100);
+        // Quantiles come from the merged histogram, not shard averages:
+        // p95 of 90 fast + 10 slow lands in the slow bucket even though
+        // shard A's own p95 is fast.
+        assert_eq!(merged.p50_latency_us, 8);
+        assert_eq!(merged.p95_latency_us, 2048);
+        assert!((merged.cache_hit_rate - 9.0 / 20.0).abs() < 1e-12);
+        assert!((merged.mean_latency_us - (90.0 * 5.0 + 10.0 * 1500.0) / 100.0).abs() < 1e-6);
+        assert_eq!(merged.max_batch_size, 6);
+        assert!((merged.mean_batch_size - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_zero() {
+        let merged = MetricsSnapshot::merge(&[]);
+        assert_eq!(merged.submitted, 0);
+        assert_eq!(merged.p99_latency_us, 0);
+        assert_eq!(merged.cache_hit_rate, 0.0);
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! The sharded serving daemon: `baserved`'s line protocol, answered by a
+//! [`ShardRouter`] instead of a single engine.
+//!
+//! ```text
+//! basharded --artifact model.bart [--shards N] [--seed 42] [--min-txs 3]
+//!           [--input FILE] [--window N] [--per-shard-metrics]
+//!           [engine knobs: --workers --max-batch --max-wait-ms
+//!            --queue-depth --cache --deadline-ms --breaker-threshold
+//!            --breaker-cooldown-ms --max-restarts --no-fallback]
+//! ```
+//!
+//! The engine knobs describe the **total** resource budget; each of the
+//! `--shards N` engines gets its `EngineConfig::for_shard` slice, so
+//! `basharded --shards 4` costs what `baserved` does with the same flags.
+//! Requests fan out to the shard owning the queried address; responses
+//! print in request order (the FIFO window is drained oldest-first, same
+//! as `baserved`). The final `metrics` line is the fleet roll-up; with
+//! `--per-shard-metrics`, one `metrics shard=<i>` line per shard precedes
+//! it on stderr-free stdout.
+
+use baclassifier::ModelArtifact;
+use baserve::cli::{engine_config_from_args, flag_parsed, flag_value, has_flag};
+use baserve::{
+    format_error, format_response, parse_request_bytes, EngineHooks, Fallback, FeatureFallback,
+    Request, Ticket,
+};
+use bashard::ShardRouter;
+use btcsim::{AddressRecord, Dataset, SimConfig, Simulator};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, Write};
+use std::sync::Arc;
+
+/// One response slot, kept FIFO so output order matches request order even
+/// though shards may finish requests out of order.
+enum Slot {
+    Pending(Ticket),
+    Done(String),
+}
+
+fn resolve(slot: Slot) -> String {
+    match slot {
+        Slot::Done(line) => line,
+        Slot::Pending(t) => format_response(&t.wait()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let Some(artifact_path) = flag_value(&args, "--artifact") else {
+        eprintln!("usage: basharded --artifact model.bart [--shards N] [--input FILE] …");
+        std::process::exit(2);
+    };
+    let shards = flag_parsed(&args, "--shards", 2u32).max(1);
+    let seed = flag_parsed(&args, "--seed", 42u64);
+    let min_txs = flag_parsed(&args, "--min-txs", 3usize);
+    let config = engine_config_from_args(&args);
+    let window = flag_parsed(&args, "--window", config.queue_depth.min(64)).max(1);
+
+    let artifact = match ModelArtifact::load(artifact_path.as_ref()) {
+        Ok(a) => Arc::new(a),
+        Err(e) => {
+            eprintln!("error: could not load artifact {artifact_path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "[basharded] loaded {artifact_path} ({} weight tensors)",
+        artifact.weights.len()
+    );
+
+    let sim = Simulator::run_to_completion(SimConfig::tiny(seed));
+    let dataset = Dataset::from_simulator(&sim, min_txs);
+    let hooks = if has_flag(&args, "--no-fallback") || dataset.is_empty() {
+        EngineHooks::default()
+    } else {
+        let fallback = FeatureFallback::fit(&dataset.records);
+        eprintln!(
+            "[basharded] degraded-mode fallback ready ({})",
+            fallback.name()
+        );
+        EngineHooks {
+            fallback: Some(Arc::new(fallback) as Arc<dyn Fallback>),
+            ..EngineHooks::default()
+        }
+    };
+    let by_id: HashMap<u64, AddressRecord> = dataset
+        .records
+        .into_iter()
+        .map(|r| (r.address.0, r))
+        .collect();
+    eprintln!(
+        "[basharded] dataset rebuilt from seed {seed}: {} addresses",
+        by_id.len()
+    );
+
+    let router = match ShardRouter::with_hooks(artifact, config.clone(), hooks, shards) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: artifact does not match the model architecture: {e}");
+            std::process::exit(1);
+        }
+    };
+    let per_shard = config.for_shard(shards as usize);
+    eprintln!(
+        "[basharded] serving {shards} shards: {} workers, queue {}, cache {} per shard \
+         (total budget {}/{}/{}), batch ≤{} / {}ms",
+        per_shard.workers,
+        per_shard.queue_depth,
+        per_shard.cache_capacity,
+        config.workers,
+        config.queue_depth,
+        config.cache_capacity,
+        config.max_batch,
+        config.max_wait.as_millis(),
+    );
+
+    let stdin = std::io::stdin();
+    let mut reader: Box<dyn BufRead> = match flag_value(&args, "--input") {
+        Some(path) => match std::fs::File::open(&path) {
+            Ok(f) => Box::new(std::io::BufReader::new(f)),
+            Err(e) => {
+                eprintln!("error: could not open {path}: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => Box::new(stdin.lock()),
+    };
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+
+    let mut pending: VecDeque<Slot> = VecDeque::new();
+    let mut raw = Vec::new();
+    'serve: loop {
+        raw.clear();
+        // Raw bytes, not `lines()`: a client sending invalid UTF-8 gets an
+        // `err` response for that request instead of killing the session.
+        match reader.read_until(b'\n', &mut raw) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("error: reading request stream: {e}");
+                break;
+            }
+        }
+        while matches!(raw.last(), Some(b'\n') | Some(b'\r')) {
+            raw.pop();
+        }
+        let request = match parse_request_bytes(&raw) {
+            Ok(Some(r)) => r,
+            Ok(None) => continue,
+            Err(e) => {
+                pending.push_back(Slot::Done(format_error(&e.0)));
+                continue;
+            }
+        };
+        match request {
+            Request::Classify(id) => {
+                let slot = match by_id.get(&id) {
+                    Some(record) => match router.submit(record.clone()) {
+                        Ok(ticket) => Slot::Pending(ticket),
+                        Err(e) => Slot::Done(format_error(&e.to_string())),
+                    },
+                    None => Slot::Done(format_error(&format!("no such address {id}"))),
+                };
+                pending.push_back(slot);
+                if pending.len() >= window {
+                    let line = resolve(pending.pop_front().expect("window is non-empty"));
+                    writeln!(out, "{line}").expect("stdout");
+                }
+            }
+            Request::Metrics => {
+                // Drain first so the metrics line sits in request order.
+                for slot in pending.drain(..) {
+                    writeln!(out, "{}", resolve(slot)).expect("stdout");
+                }
+                if has_flag(&args, "--per-shard-metrics") {
+                    for (i, snap) in router.per_shard_metrics().iter().enumerate() {
+                        writeln!(out, "metrics shard={i} {}", snap.to_json()).expect("stdout");
+                    }
+                }
+                writeln!(out, "metrics {}", router.metrics().to_json()).expect("stdout");
+                out.flush().expect("stdout");
+            }
+            Request::Quit => break 'serve,
+        }
+    }
+    for slot in pending.drain(..) {
+        writeln!(out, "{}", resolve(slot)).expect("stdout");
+    }
+    if has_flag(&args, "--per-shard-metrics") {
+        for (i, snap) in router.per_shard_metrics().iter().enumerate() {
+            writeln!(out, "metrics shard={i} {}", snap.to_json()).expect("stdout");
+        }
+    }
+    writeln!(out, "metrics {}", router.metrics().to_json()).expect("stdout");
+    out.flush().expect("stdout");
+    eprintln!("[basharded] {} live workers at exit", router.live_workers());
+    router.shutdown();
+}

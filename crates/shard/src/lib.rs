@@ -1,0 +1,47 @@
+//! # bashard — shared-nothing address sharding for serving and streaming
+//!
+//! The single-process ceiling of `baserve` (one engine) and `bstream` (one
+//! follower holding every address's state) falls to a simple observation:
+//! **per-address state never crosses addresses** anywhere in this
+//! codebase. Histories, incremental graphs, embeddings, and labels are all
+//! keyed by one address and computed from that address's transactions
+//! alone, so partitioning the address universe partitions the whole
+//! workload — and because each address's computation is untouched, an
+//! N-shard system is *byte-identical* to the 1-shard system.
+//!
+//! ```text
+//!               ShardMap (frozen hash, baclassifier::shard)
+//!                     │ owns: addr → shard
+//!        ┌────────────┼────────────────────────┐
+//!   serve▼            ▼stream                  ▼snapshots
+//!  ShardRouter    ShardedFollower         shard <i> <n> <ver>
+//!  Engine ×N      Follower thread ×N      one BSTREAM file per
+//!  fan-out +      block broadcast +       shard; restart and
+//!  in-order merge per-shard filter        rebalance per shard
+//! ```
+//!
+//! Three pieces:
+//!
+//! * [`ShardMap`] / [`ShardAssignment`] (re-exported from
+//!   `baclassifier::shard`): the frozen, platform-independent address-id →
+//!   shard hash, versioned and persisted in every sharded snapshot.
+//! * [`ShardRouter`]: N independent serve [`baserve::Engine`]s splitting
+//!   one resource budget; requests route to the owning shard and batch
+//!   responses merge back in request order.
+//! * [`ShardedFollower`]: N follower threads (replica-per-worker, as in
+//!   the serve engine) consuming one broadcast [`bstream::BlockFeed`],
+//!   each filtering to its owned addresses and checkpointing to its own
+//!   snapshot for independent restart.
+//!
+//! The `basharded` binary serves the `baserve::protocol` line protocol
+//! over a router; `shard_bench` (bench crate) asserts the N-vs-1
+//! byte-identity end to end and records per-shard scaling curves.
+
+pub mod router;
+pub mod stream;
+
+pub use baclassifier::{ShardAssignment, ShardMap, SHARD_HASH_VERSION};
+pub use router::ShardRouter;
+pub use stream::{
+    shard_snapshot_path, MergedReport, ShardReport, ShardStreamError, ShardedFollower,
+};

@@ -1,0 +1,133 @@
+//! The serving-side shard fan-out: N independent engines behind one
+//! submit/classify surface.
+//!
+//! Each shard is a complete [`Engine`] — its own worker pool, queue,
+//! embedding cache, and circuit breaker — built over the *same* model
+//! artifact, so any shard computes byte-identical answers for the
+//! addresses it owns. The router's only job is placement: route each
+//! request to the owner under the frozen [`ShardMap`], and when a caller
+//! hands over a whole batch, merge the responses back **in request
+//! order** — submit in index order, wait in index order, exactly the
+//! index-ordered reduction `baclassifier::parallel` uses for gradient
+//! merging. Shards never talk to each other; a slow or tripped shard
+//! degrades only its own addresses.
+
+use baclassifier::{ArtifactError, ModelArtifact, ShardMap};
+use baserve::{Engine, EngineConfig, EngineHooks, MetricsSnapshot, Response, ServeError, Ticket};
+use btcsim::{Address, AddressRecord};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// N shared-nothing serve engines behind one routing surface.
+pub struct ShardRouter {
+    map: ShardMap,
+    engines: Vec<Engine>,
+}
+
+impl ShardRouter {
+    /// Build `shards` engines over one artifact. `config` is the *total*
+    /// resource budget: each engine gets [`EngineConfig::for_shard`]'s
+    /// slice of it, so a 4-shard router and a 1-shard router cost the same
+    /// in workers, queue slots, and cache entries.
+    pub fn new(
+        artifact: Arc<ModelArtifact>,
+        config: EngineConfig,
+        shards: u32,
+    ) -> Result<Self, ArtifactError> {
+        Self::with_hooks(artifact, config, EngineHooks::default(), shards)
+    }
+
+    /// As [`ShardRouter::new`], with every shard sharing the same hooks
+    /// (fault plan, degraded-mode fallback).
+    pub fn with_hooks(
+        artifact: Arc<ModelArtifact>,
+        config: EngineConfig,
+        hooks: EngineHooks,
+        shards: u32,
+    ) -> Result<Self, ArtifactError> {
+        let map = ShardMap::new(shards);
+        let per_shard = config.for_shard(shards as usize);
+        let engines = (0..shards)
+            .map(|_| Engine::with_hooks(Arc::clone(&artifact), per_shard.clone(), hooks.clone()))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Self { map, engines })
+    }
+
+    pub fn shard_count(&self) -> u32 {
+        self.map.count()
+    }
+
+    pub fn map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// The engine owning `addr` (for callers that need shard-local state
+    /// like breaker status).
+    pub fn engine_for(&self, addr: Address) -> &Engine {
+        &self.engines[self.map.shard_of(addr) as usize]
+    }
+
+    /// Submit to the owning shard; the ticket settles like any engine
+    /// ticket.
+    pub fn submit(&self, record: AddressRecord) -> Result<Ticket, ServeError> {
+        self.engine_for(record.address).submit(record)
+    }
+
+    /// Submit with an explicit deadline to the owning shard.
+    pub fn submit_with_deadline(
+        &self,
+        record: AddressRecord,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        self.engine_for(record.address)
+            .submit_with_deadline(record, deadline)
+    }
+
+    /// Submit and wait — the one-call path.
+    pub fn classify(&self, record: AddressRecord) -> Result<Response, ServeError> {
+        self.submit(record)?.wait()
+    }
+
+    /// Fan a batch out to its owning shards and merge the responses back in
+    /// request order: tickets are acquired in index order, then waited in
+    /// index order, so `result[i]` always answers `records[i]` no matter
+    /// which shard finished first.
+    pub fn classify_batch(&self, records: &[AddressRecord]) -> Vec<Result<Response, ServeError>> {
+        let tickets: Vec<Result<Ticket, ServeError>> =
+            records.iter().map(|r| self.submit(r.clone())).collect();
+        tickets
+            .into_iter()
+            .map(|t| t.and_then(|ticket| ticket.wait()))
+            .collect()
+    }
+
+    /// Bump the owning shard's cache generation for `addr`. Returns the new
+    /// generation.
+    pub fn invalidate_address(&self, addr: Address) -> u64 {
+        self.engine_for(addr).invalidate_address(addr)
+    }
+
+    /// Fleet-wide metrics: per-shard snapshots rolled up with
+    /// [`MetricsSnapshot::merge`] (counters summed, quantiles recomputed
+    /// from merged histograms).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::merge(&self.per_shard_metrics())
+    }
+
+    /// One snapshot per shard, in shard order.
+    pub fn per_shard_metrics(&self) -> Vec<MetricsSnapshot> {
+        self.engines.iter().map(|e| e.metrics()).collect()
+    }
+
+    /// Live workers across every shard.
+    pub fn live_workers(&self) -> usize {
+        self.engines.iter().map(|e| e.live_workers()).sum()
+    }
+
+    /// Stop every shard engine, joining their workers.
+    pub fn shutdown(self) {
+        for engine in self.engines {
+            engine.shutdown();
+        }
+    }
+}

@@ -1,0 +1,407 @@
+//! The streaming-side shard fan-out: one chain, N shared-nothing
+//! followers.
+//!
+//! `numnet` model parameters are `Rc<RefCell<…>>` and cannot cross
+//! threads, so — exactly like the serve engine's replica-per-worker
+//! design — each shard runs on its own thread with its own [`Follower`]
+//! built from the shared [`ModelArtifact`]. Every block is broadcast to
+//! every shard over a bounded channel (backpressure, never unbounded
+//! buffering); each follower's [`FollowerConfig::shard`] filter makes it
+//! apply only the addresses it owns, so the union of the shards' state is
+//! exactly the unsharded follower's state, byte for byte.
+//!
+//! Each shard checkpoints to its **own** BSTREAM snapshot (the base path
+//! suffixed `.{i}of{n}`), stamped with its [`ShardAssignment`], so shards
+//! restart and catch up independently: restoring shard 2 of 4 touches
+//! nothing owned by the other three.
+
+use baclassifier::{ModelArtifact, ShardAssignment, ShardMap};
+use bstream::{BlockFeed, Follower, FollowerConfig, StreamMetrics};
+use btcsim::{Address, Block, Label};
+use numnet::Matrix;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Why a sharded follower could not be built or driven.
+#[derive(Debug)]
+pub enum ShardStreamError {
+    /// A shard worker failed to build or restore its follower.
+    Worker { shard: u32, reason: String },
+    /// A shard worker disappeared (panicked) mid-run.
+    WorkerGone(u32),
+}
+
+impl std::fmt::Display for ShardStreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardStreamError::Worker { shard, reason } => {
+                write!(f, "shard {shard}: {reason}")
+            }
+            ShardStreamError::WorkerGone(shard) => write!(f, "shard {shard} worker gone"),
+        }
+    }
+}
+
+impl std::error::Error for ShardStreamError {}
+
+/// The per-shard snapshot path: `base` suffixed with `.{index}of{count}`,
+/// so `snap.bstream` shards to `snap.bstream.0of4` … `snap.bstream.3of4`.
+/// Shared by writer and restorer so a rebalance tool can enumerate a
+/// layout's files from the base path alone.
+pub fn shard_snapshot_path(base: &Path, index: u32, count: u32) -> PathBuf {
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".{index}of{count}"));
+    PathBuf::from(name)
+}
+
+/// Everything a shard hands back when it finishes: its slice of the label
+/// table, embedding cache, and histories, plus its own metrics. Plain
+/// `Send` data — this is how per-shard state crosses back over the thread
+/// boundary for merged reporting and identity checks.
+pub struct ShardReport {
+    pub shard: ShardAssignment,
+    pub labels: BTreeMap<Address, Label>,
+    pub embeddings: BTreeMap<Address, Vec<Matrix>>,
+    pub history_lens: BTreeMap<Address, usize>,
+    pub num_tracked: usize,
+    pub next_height: u64,
+    pub metrics: StreamMetrics,
+}
+
+impl ShardReport {
+    /// Merge per-shard reports into one fleet-wide view: label tables and
+    /// embedding maps union disjointly (each address has exactly one
+    /// owner). Panics if two reports claim the same address — that would
+    /// mean the shards disagree about the partition.
+    pub fn merge(reports: Vec<ShardReport>) -> MergedReport {
+        let mut labels = BTreeMap::new();
+        let mut embeddings = BTreeMap::new();
+        let mut history_lens = BTreeMap::new();
+        let mut num_tracked = 0;
+        let mut next_height = 0;
+        let mut metrics = Vec::new();
+        for report in reports {
+            for (addr, label) in report.labels {
+                assert!(
+                    labels.insert(addr, label).is_none(),
+                    "address {addr:?} labeled by two shards"
+                );
+            }
+            for (addr, embeds) in report.embeddings {
+                assert!(
+                    embeddings.insert(addr, embeds).is_none(),
+                    "address {addr:?} embedded by two shards"
+                );
+            }
+            for (addr, len) in report.history_lens {
+                assert!(
+                    history_lens.insert(addr, len).is_none(),
+                    "address {addr:?} tracked by two shards"
+                );
+            }
+            num_tracked += report.num_tracked;
+            next_height = next_height.max(report.next_height);
+            metrics.push((report.shard, report.metrics));
+        }
+        MergedReport {
+            labels,
+            embeddings,
+            history_lens,
+            num_tracked,
+            next_height,
+            per_shard_metrics: metrics,
+        }
+    }
+}
+
+/// The disjoint union of every shard's [`ShardReport`].
+pub struct MergedReport {
+    pub labels: BTreeMap<Address, Label>,
+    pub embeddings: BTreeMap<Address, Vec<Matrix>>,
+    pub history_lens: BTreeMap<Address, usize>,
+    pub num_tracked: usize,
+    pub next_height: u64,
+    pub per_shard_metrics: Vec<(ShardAssignment, StreamMetrics)>,
+}
+
+enum Cmd {
+    /// Apply one block (follower-side periodic duties included).
+    Step(Arc<Block>),
+    /// Run a reclassification pass now; reply with how many reclassified.
+    Reclassify(Sender<usize>),
+    /// Checkpoint to the shard's snapshot path; reply with the outcome.
+    Snapshot(Sender<Result<(), String>>),
+    /// Final reclassification (+ snapshot if configured), then report and
+    /// exit.
+    Finish(Sender<ShardReport>),
+}
+
+struct ShardWorker {
+    tx: SyncSender<Cmd>,
+    handle: JoinHandle<()>,
+}
+
+/// N shared-nothing followers over one block feed. See the module docs.
+pub struct ShardedFollower {
+    workers: Vec<ShardWorker>,
+    map: ShardMap,
+}
+
+/// How many blocks each shard's command queue may buffer before `step`
+/// backpressures the caller.
+const CMD_QUEUE_DEPTH: usize = 16;
+
+impl ShardedFollower {
+    /// Spawn one follower thread per shard of a fresh `count`-shard layout.
+    ///
+    /// `cfg` is the template config: each worker gets a copy with
+    /// `shard` set to its assignment and `snapshot_path` (when present)
+    /// rewritten to its [`shard_snapshot_path`].
+    pub fn new(
+        artifact: Arc<ModelArtifact>,
+        cfg: FollowerConfig,
+        count: u32,
+    ) -> Result<Self, ShardStreamError> {
+        Self::spawn(artifact, cfg, count, false)
+    }
+
+    /// As [`ShardedFollower::new`], but every worker restores from its
+    /// per-shard snapshot instead of starting empty.
+    pub fn restore(
+        artifact: Arc<ModelArtifact>,
+        cfg: FollowerConfig,
+        count: u32,
+    ) -> Result<Self, ShardStreamError> {
+        Self::spawn(artifact, cfg, count, true)
+    }
+
+    fn spawn(
+        artifact: Arc<ModelArtifact>,
+        cfg: FollowerConfig,
+        count: u32,
+        from_snapshot: bool,
+    ) -> Result<Self, ShardStreamError> {
+        let map = ShardMap::new(count);
+        let mut workers = Vec::with_capacity(count as usize);
+        let mut ready: Vec<Receiver<Result<(), String>>> = Vec::with_capacity(count as usize);
+        for assignment in map.assignments() {
+            let index = assignment.index;
+            let mut shard_cfg = cfg.clone();
+            shard_cfg.shard = Some(assignment);
+            shard_cfg.snapshot_path = cfg
+                .snapshot_path
+                .as_ref()
+                .map(|base| shard_snapshot_path(base, index, count));
+            let (tx, rx) = mpsc::sync_channel::<Cmd>(CMD_QUEUE_DEPTH);
+            let (init_tx, init_rx) = mpsc::channel();
+            let artifact = Arc::clone(&artifact);
+            let handle = std::thread::Builder::new()
+                .name(format!("bashard-{index}of{count}"))
+                .spawn(move || {
+                    // The replica is built on this thread: numnet params are
+                    // not Send, the artifact's plain weight matrices are.
+                    let built = if from_snapshot {
+                        shard_cfg
+                            .snapshot_path
+                            .clone()
+                            .ok_or_else(|| "restore requires a snapshot path".to_string())
+                            .and_then(|p| {
+                                Follower::restore(&artifact, shard_cfg, &p)
+                                    .map_err(|e| e.to_string())
+                            })
+                    } else {
+                        Follower::new(&artifact, shard_cfg).map_err(|e| e.to_string())
+                    };
+                    let Some(mut follower) = built_or_report(built, &init_tx) else {
+                        return;
+                    };
+                    for cmd in rx {
+                        match cmd {
+                            Cmd::Step(block) => follower.step(&block),
+                            Cmd::Reclassify(reply) => {
+                                let n = follower.reclassify_dirty();
+                                reply.send(n).ok();
+                            }
+                            Cmd::Snapshot(reply) => {
+                                let result = match follower.config().snapshot_path.clone() {
+                                    Some(path) => {
+                                        follower.snapshot_to(&path).map_err(|e| e.to_string())
+                                    }
+                                    None => Err("no snapshot path configured".to_string()),
+                                };
+                                reply.send(result).ok();
+                            }
+                            Cmd::Finish(reply) => {
+                                follower.reclassify_dirty();
+                                if let Some(path) = follower.config().snapshot_path.clone() {
+                                    if let Err(e) = follower.snapshot_to(&path) {
+                                        eprintln!(
+                                            "bashard: final snapshot to {} failed: {e}",
+                                            path.display()
+                                        );
+                                    }
+                                }
+                                let report = ShardReport {
+                                    shard: follower
+                                        .config()
+                                        .shard
+                                        .expect("shard workers always carry an assignment"),
+                                    labels: follower.labels().clone(),
+                                    embeddings: follower.export_embeddings(),
+                                    history_lens: follower.history_lens(),
+                                    num_tracked: follower.num_tracked(),
+                                    next_height: follower.next_height(),
+                                    metrics: follower.metrics().clone(),
+                                };
+                                reply.send(report).ok();
+                                return;
+                            }
+                        }
+                    }
+                })
+                .expect("spawn shard worker");
+            workers.push(ShardWorker { tx, handle });
+            ready.push(init_rx);
+        }
+        // Surface build/restore failures synchronously, before any block is
+        // dispatched: a layout that cannot fully start must not run at all.
+        for (index, rx) in ready.into_iter().enumerate() {
+            match rx.recv() {
+                Ok(Ok(())) => {}
+                Ok(Err(reason)) => {
+                    return Err(ShardStreamError::Worker {
+                        shard: index as u32,
+                        reason,
+                    })
+                }
+                Err(_) => return Err(ShardStreamError::WorkerGone(index as u32)),
+            }
+        }
+        Ok(Self { workers, map })
+    }
+
+    pub fn shard_count(&self) -> u32 {
+        self.map.count()
+    }
+
+    pub fn map(&self) -> ShardMap {
+        self.map
+    }
+
+    /// Broadcast one block to every shard. Bounded queues backpressure the
+    /// caller when any shard falls `CMD_QUEUE_DEPTH` blocks behind.
+    pub fn step(&self, block: Block) -> Result<(), ShardStreamError> {
+        let block = Arc::new(block);
+        for (i, worker) in self.workers.iter().enumerate() {
+            worker
+                .tx
+                .send(Cmd::Step(Arc::clone(&block)))
+                .map_err(|_| ShardStreamError::WorkerGone(i as u32))?;
+        }
+        Ok(())
+    }
+
+    /// Drain a feed to completion, broadcasting every block. The watermark
+    /// records a block as processed once every shard has accepted it into
+    /// its bounded queue — at most `CMD_QUEUE_DEPTH` blocks ahead of the
+    /// slowest shard's actual progress.
+    pub fn run(&self, feed: &BlockFeed) -> Result<(), ShardStreamError> {
+        while let Some(block) = feed.recv() {
+            let height = block.height;
+            self.step(block)?;
+            feed.watermark().record_processed(height);
+        }
+        Ok(())
+    }
+
+    /// Run a reclassification pass on every shard; returns the total number
+    /// of addresses reclassified. Shards reclassify concurrently — the
+    /// command is dispatched to all before any reply is awaited.
+    pub fn reclassify_dirty(&self) -> Result<usize, ShardStreamError> {
+        let replies = self.broadcast(Cmd::Reclassify)?;
+        let mut total = 0;
+        for (i, rx) in replies.into_iter().enumerate() {
+            total += rx
+                .recv()
+                .map_err(|_| ShardStreamError::WorkerGone(i as u32))?;
+        }
+        Ok(total)
+    }
+
+    /// Checkpoint every shard to its own snapshot file. All shards
+    /// snapshot concurrently; the first failure is returned.
+    pub fn snapshot(&self) -> Result<(), ShardStreamError> {
+        let replies = self.broadcast(Cmd::Snapshot)?;
+        for (i, rx) in replies.into_iter().enumerate() {
+            let shard = i as u32;
+            rx.recv()
+                .map_err(|_| ShardStreamError::WorkerGone(shard))?
+                .map_err(|reason| ShardStreamError::Worker { shard, reason })?;
+        }
+        Ok(())
+    }
+
+    fn broadcast<T>(
+        &self,
+        cmd: impl Fn(Sender<T>) -> Cmd,
+    ) -> Result<Vec<Receiver<T>>, ShardStreamError> {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for (i, worker) in self.workers.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            worker
+                .tx
+                .send(cmd(tx))
+                .map_err(|_| ShardStreamError::WorkerGone(i as u32))?;
+            replies.push(rx);
+        }
+        Ok(replies)
+    }
+
+    /// Finish every shard: final reclassification (and snapshot, when
+    /// configured), then collect the per-shard reports and join the
+    /// threads. Reports come back in shard order.
+    pub fn finish(self) -> Result<Vec<ShardReport>, ShardStreamError> {
+        let mut replies = Vec::with_capacity(self.workers.len());
+        for (i, worker) in self.workers.iter().enumerate() {
+            let (tx, rx) = mpsc::channel();
+            worker
+                .tx
+                .send(Cmd::Finish(tx))
+                .map_err(|_| ShardStreamError::WorkerGone(i as u32))?;
+            replies.push(rx);
+        }
+        let mut reports = Vec::with_capacity(self.workers.len());
+        for (i, rx) in replies.into_iter().enumerate() {
+            reports.push(
+                rx.recv()
+                    .map_err(|_| ShardStreamError::WorkerGone(i as u32))?,
+            );
+        }
+        for worker in self.workers {
+            drop(worker.tx);
+            worker.handle.join().ok();
+        }
+        Ok(reports)
+    }
+}
+
+/// Report a follower build result over the init channel, unwrapping the
+/// success for the worker loop.
+fn built_or_report(
+    built: Result<Follower, String>,
+    init_tx: &Sender<Result<(), String>>,
+) -> Option<Follower> {
+    match built {
+        Ok(f) => {
+            init_tx.send(Ok(())).ok();
+            Some(f)
+        }
+        Err(reason) => {
+            init_tx.send(Err(reason)).ok();
+            None
+        }
+    }
+}

@@ -65,6 +65,7 @@ fn main() {
         snapshot_every: flag_parsed(&args, "--snapshot-every", 0u64),
         snapshot_path: snapshot_path.clone(),
         tracked: None,
+        shard: None,
     };
 
     let mut follower = match &snapshot_path {

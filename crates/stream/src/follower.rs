@@ -20,7 +20,7 @@
 use crate::feed::BlockFeed;
 use crate::metrics::StreamMetrics;
 use baclassifier::construction::{FocusAggregates, IncrementalGraphs};
-use baclassifier::{ArtifactError, BaClassifier, ModelArtifact};
+use baclassifier::{ArtifactError, BaClassifier, ModelArtifact, ShardAssignment};
 use baserve::Engine;
 use btcsim::{Address, Block, Label, TxView};
 use numnet::Matrix;
@@ -45,6 +45,12 @@ pub struct FollowerConfig {
     /// Restrict tracking to this address set (`None` tracks every address
     /// seen on chain).
     pub tracked: Option<BTreeSet<Address>>,
+    /// Restrict tracking to the addresses owned by one shard of a
+    /// deterministic [`ShardAssignment`] (`None` behaves as the trivial
+    /// 1-shard layout). Composes with `tracked`: an address must pass both
+    /// filters. The assignment is persisted in snapshots so a restored
+    /// follower can never silently adopt state from a different layout.
+    pub shard: Option<ShardAssignment>,
 }
 
 impl Default for FollowerConfig {
@@ -55,6 +61,23 @@ impl Default for FollowerConfig {
             snapshot_every: 0,
             snapshot_path: None,
             tracked: None,
+            shard: None,
+        }
+    }
+}
+
+impl FollowerConfig {
+    /// Whether this follower tracks `addr`: it must be owned by the
+    /// configured shard (if any) and appear in the tracked set (if any).
+    pub fn tracks(&self, addr: Address) -> bool {
+        if let Some(shard) = &self.shard {
+            if !shard.owns(addr) {
+                return false;
+            }
+        }
+        match &self.tracked {
+            Some(tracked) => tracked.contains(&addr),
+            None => true,
         }
     }
 }
@@ -175,6 +198,33 @@ impl Follower {
         self.states.get(&addr).map(|s| s.agg)
     }
 
+    /// Cached per-slice embeddings of one tracked address. Entries are
+    /// current as of the last reclassification (stale tails are re-embedded
+    /// there, not here); call [`Follower::reclassify_dirty`] first when the
+    /// bytes must reflect the tip.
+    pub fn embeddings(&self, addr: Address) -> Option<&[Matrix]> {
+        self.states.get(&addr).map(|s| s.embeds.as_slice())
+    }
+
+    /// History lengths of every tracked address — cheap identity probe for
+    /// comparing a sharded union against an unsharded follower.
+    pub fn history_lens(&self) -> BTreeMap<Address, usize> {
+        self.states
+            .iter()
+            .map(|(a, s)| (*a, s.history.len()))
+            .collect()
+    }
+
+    /// Clone out the full per-address embedding table (current as of the
+    /// last reclassification). Used by shard workers to ship their slice of
+    /// the state across a thread boundary for merged reporting.
+    pub fn export_embeddings(&self) -> BTreeMap<Address, Vec<Matrix>> {
+        self.states
+            .iter()
+            .map(|(a, s)| (*a, s.embeds.clone()))
+            .collect()
+    }
+
     /// Apply one block to per-address state. Blocks must arrive in height
     /// order; blocks below `next_height` are skipped silently so a resumed
     /// follower can overlap with an already-ingested prefix.
@@ -208,10 +258,8 @@ impl Follower {
                 if !seen.insert(addr) {
                     continue;
                 }
-                if let Some(tracked) = &self.cfg.tracked {
-                    if !tracked.contains(&addr) {
-                        continue;
-                    }
+                if !self.cfg.tracks(addr) {
+                    continue;
                 }
                 self.states
                     .entry(addr)

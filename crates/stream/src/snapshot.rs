@@ -5,6 +5,7 @@
 //! ```text
 //! BSTREAM v1
 //! height <next_height>
+//! shard <index> <count> <hash-version>     (only for sharded followers)
 //! addresses <n>
 //! A <addr> <label-index|-> <num-txs>
 //! T <txid> <timestamp> <n-in> <n-out> <addr>:<sats> ...
@@ -17,9 +18,16 @@
 //! the format survives changes to any derived representation. Snapshots
 //! are written atomically (temp file + fsync + rename): a crash mid-write
 //! leaves the previous snapshot intact.
+//!
+//! The optional `shard` line makes a snapshot self-describing about its
+//! place in a sharded deployment: restore adopts the recorded assignment
+//! when the config doesn't name one, rejects the file when the config
+//! names a different one, and refuses files written under a partition
+//! hash this build doesn't implement. A file with no `shard` line is the
+//! trivial 1-shard layout, so pre-sharding snapshots restore unchanged.
 
 use crate::follower::{Follower, FollowerConfig};
-use baclassifier::{ArtifactError, ModelArtifact};
+use baclassifier::{ArtifactError, ModelArtifact, ShardAssignment, SHARD_HASH_VERSION};
 use btcsim::{Address, Amount, Label, TxView, Txid};
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -97,6 +105,13 @@ impl Follower {
         let mut out = String::new();
         out.push_str("BSTREAM v1\n");
         let _ = writeln!(out, "height {}", self.next_height);
+        if let Some(shard) = &self.cfg.shard {
+            let _ = writeln!(
+                out,
+                "shard {} {} {}",
+                shard.index, shard.count, SHARD_HASH_VERSION
+            );
+        }
         let _ = writeln!(out, "addresses {}", self.states.len());
         for (addr, state) in &self.states {
             let label = self
@@ -119,13 +134,23 @@ impl Follower {
             }
         }
 
-        let tmp = path.with_extension("tmp");
+        // Append `.tmp` to the whole file name rather than replacing the
+        // last extension: per-shard snapshots (`base.bsnap.0of4`,
+        // `base.bsnap.1of4`, …) are written concurrently by one process,
+        // and `with_extension` would collapse them all onto one temp file
+        // that the workers truncate and rename out from under each other.
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp_name);
         {
             let mut f = std::fs::File::create(&tmp)?;
             f.write_all(out.as_bytes())?;
             f.sync_all()?;
         }
-        std::fs::rename(&tmp, path)?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
         self.metrics.snapshots_written += 1;
         Ok(())
     }
@@ -136,11 +161,11 @@ impl Follower {
     /// prefix — already-seen blocks are skipped).
     pub fn restore(
         artifact: &ModelArtifact,
-        cfg: FollowerConfig,
+        mut cfg: FollowerConfig,
         path: &Path,
     ) -> Result<Self, SnapshotError> {
         let text = std::fs::read_to_string(path)?;
-        let mut lines = text.lines();
+        let mut lines = text.lines().peekable();
 
         let header = lines.next().ok_or_else(|| malformed("empty file"))?;
         if header != "BSTREAM v1" {
@@ -156,6 +181,39 @@ impl Follower {
             }
             parse_u64(toks.next(), "height")?
         };
+        // Optional shard line; absence means the trivial 1-shard layout.
+        let file_shard = if lines.peek().is_some_and(|l| l.starts_with("shard ")) {
+            let mut toks = lines.next().expect("peeked shard line").split_whitespace();
+            toks.next(); // "shard"
+            let index = parse_u64(toks.next(), "shard index")? as u32;
+            let count = parse_u64(toks.next(), "shard count")? as u32;
+            let hash_version = parse_u64(toks.next(), "shard hash version")? as u32;
+            if hash_version != SHARD_HASH_VERSION {
+                return Err(SnapshotError::UnsupportedVersion(format!(
+                    "shard hash v{hash_version} (this build implements v{SHARD_HASH_VERSION})"
+                )));
+            }
+            if count == 0 || index >= count {
+                return Err(malformed(format!("bad shard assignment {index}/{count}")));
+            }
+            Some(ShardAssignment { index, count })
+        } else {
+            None
+        };
+        match (&cfg.shard, file_shard) {
+            // The snapshot knows its own layout: adopt it.
+            (None, Some(shard)) => cfg.shard = Some(shard),
+            (Some(want), file) => {
+                let have = file.unwrap_or_else(ShardAssignment::unsharded);
+                if have != *want {
+                    return Err(malformed(format!(
+                        "shard layout mismatch: snapshot is shard {}/{}, config wants {}/{}",
+                        have.index, have.count, want.index, want.count
+                    )));
+                }
+            }
+            (None, None) => {}
+        }
         let num_addresses = {
             let mut toks = lines
                 .next()
@@ -330,6 +388,83 @@ mod tests {
     }
 
     #[test]
+    fn sharded_snapshot_records_and_enforces_layout() {
+        let artifact = test_artifact();
+        let shard = ShardAssignment { index: 1, count: 2 };
+        let cfg = FollowerConfig {
+            shard: Some(shard),
+            ..FollowerConfig::default()
+        };
+        let mut follower = Follower::new(&artifact, cfg.clone()).unwrap();
+        for block in BlockCursor::new(test_sim(43, 15)) {
+            follower.step(&block);
+        }
+        let path = temp_path("sharded");
+        follower.snapshot_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            text.lines().any(|l| l == "shard 1 2 1"),
+            "snapshot must persist its shard assignment"
+        );
+
+        // Restore with the matching config.
+        let same = Follower::restore(&artifact, cfg, &path).unwrap();
+        assert_eq!(same.num_tracked(), follower.num_tracked());
+        assert_eq!(same.config().shard, Some(shard));
+
+        // Restore with no shard in the config: the file's layout is adopted.
+        let adopted = Follower::restore(&artifact, FollowerConfig::default(), &path).unwrap();
+        assert_eq!(adopted.config().shard, Some(shard));
+
+        // Restore under a different layout is refused.
+        let wrong = FollowerConfig {
+            shard: Some(ShardAssignment { index: 0, count: 4 }),
+            ..FollowerConfig::default()
+        };
+        match Follower::restore(&artifact, wrong, &path).err() {
+            Some(SnapshotError::Malformed(m)) => assert!(m.contains("shard layout mismatch")),
+            other => panic!("expected shard mismatch, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_shard_hash_version_is_refused() {
+        let path = temp_path("hashver");
+        std::fs::write(&path, "BSTREAM v1\nheight 3\nshard 0 2 99\naddresses 0\n").unwrap();
+        let artifact = test_artifact();
+        match Follower::restore(&artifact, FollowerConfig::default(), &path).err() {
+            Some(SnapshotError::UnsupportedVersion(v)) => assert!(v.contains("shard hash v99")),
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsharded_snapshot_restores_under_trivial_layout_only() {
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(test_sim(47, 10)) {
+            follower.step(&block);
+        }
+        let path = temp_path("trivial");
+        follower.snapshot_to(&path).unwrap();
+        // Explicit 1-shard config matches a file with no shard line...
+        let trivial = FollowerConfig {
+            shard: Some(ShardAssignment::unsharded()),
+            ..FollowerConfig::default()
+        };
+        assert!(Follower::restore(&artifact, trivial, &path).is_ok());
+        // ...but a multi-shard config does not.
+        let wrong = FollowerConfig {
+            shard: Some(ShardAssignment { index: 0, count: 2 }),
+            ..FollowerConfig::default()
+        };
+        assert!(Follower::restore(&artifact, wrong, &path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn snapshot_write_is_atomic() {
         let artifact = test_artifact();
         let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
@@ -339,8 +474,65 @@ mod tests {
         let path = temp_path("atomic");
         follower.snapshot_to(&path).unwrap();
         // No temp residue next to the final file.
-        assert!(!path.with_extension("tmp").exists());
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        assert!(!std::path::PathBuf::from(tmp_name).exists());
         assert!(path.exists());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression: temp naming via `with_extension("tmp")` collapsed the
+    /// sibling per-shard paths `base.0of2` and `base.1of2` onto one temp
+    /// file, so concurrent shard snapshots truncated and renamed it out
+    /// from under each other — spurious Io errors, or one shard's bytes
+    /// landing in the other shard's file (seen as a flaky
+    /// `sharded_snapshot_restart_resume` failure). Temp names must be
+    /// per-target. The race needs real interleaving, so this hammers a
+    /// barrier-aligned snapshot loop from two threads and then checks
+    /// both files restore to their own shard's assignment.
+    #[test]
+    fn concurrent_sibling_snapshots_do_not_collide() {
+        let base = temp_path("sibling");
+        let shard_path = |i: u32| {
+            let mut name = base.as_os_str().to_os_string();
+            name.push(format!(".{i}of2"));
+            std::path::PathBuf::from(name)
+        };
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2u32)
+            .map(|i| {
+                let path = shard_path(i);
+                let barrier = std::sync::Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let artifact = test_artifact();
+                    let cfg = FollowerConfig {
+                        shard: Some(ShardAssignment { index: i, count: 2 }),
+                        ..FollowerConfig::default()
+                    };
+                    let mut follower = Follower::new(&artifact, cfg).unwrap();
+                    for block in BlockCursor::new(test_sim(47, 8)) {
+                        follower.step(&block);
+                    }
+                    barrier.wait();
+                    for _ in 0..25 {
+                        follower.snapshot_to(&path).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().expect("snapshot thread survives");
+        }
+        // Each file restores to its own shard's assignment and state.
+        let artifact = test_artifact();
+        for i in 0..2u32 {
+            let restored =
+                Follower::restore(&artifact, FollowerConfig::default(), &shard_path(i)).unwrap();
+            assert_eq!(
+                restored.config().shard,
+                Some(ShardAssignment { index: i, count: 2 })
+            );
+            std::fs::remove_file(shard_path(i)).ok();
+        }
     }
 }

@@ -1,0 +1,216 @@
+//! Sharding acceptance: N shared-nothing shards must be indistinguishable
+//! — byte for byte — from the single follower and single engine they
+//! replace.
+//!
+//! Three properties:
+//!
+//! 1. **Stream identity** — a `ShardedFollower` at counts 1, 2, and 4
+//!    drains the same chain as an unsharded `Follower`; the disjoint union
+//!    of the shards' label tables, histories, and embedding bytes equals
+//!    the unsharded state exactly.
+//! 2. **Durable restart** — snapshot every shard mid-stream, restore all
+//!    of them in fresh workers, resume over the remaining blocks (with an
+//!    overlapping prefix): the merged tip state is byte-identical to a
+//!    follower that never stopped, at every shard count.
+//! 3. **Serve identity** — a `ShardRouter` answers every classification
+//!    with the same label as a single engine over the same artifact, with
+//!    responses merged back in request order.
+
+use baclassifier::{BaClassifier, BacConfig, ModelArtifact, ShardMap};
+use baserve::{Engine, EngineConfig};
+use bashard::{shard_snapshot_path, ShardReport, ShardRouter, ShardedFollower};
+use bstream::{BlockFeed, Follower, FollowerConfig};
+use btcsim::{Block, BlockCursor, Dataset, SimConfig, Simulator};
+use std::sync::Arc;
+
+/// Freshly initialized weights exported through the NNIO stream — a valid
+/// fitted-state artifact without paying for `fit()`.
+fn test_artifact() -> Arc<ModelArtifact> {
+    let cfg = BacConfig::fast();
+    let clf = BaClassifier::new(cfg.clone());
+    let path = std::env::temp_dir().join(format!(
+        "sharding_artifact_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    clf.save_weights(&path).unwrap();
+    let weights = numnet::read_matrices(&mut std::fs::File::open(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    Arc::new(ModelArtifact {
+        config: cfg,
+        weights,
+    })
+}
+
+fn sim_cfg(seed: u64, blocks: u64) -> SimConfig {
+    SimConfig {
+        blocks,
+        ..SimConfig::tiny(seed)
+    }
+}
+
+/// Reference state: an unsharded follower driven over `blocks` with a
+/// final reclassification, plus its embedding bytes.
+fn unsharded_tip(artifact: &ModelArtifact, blocks: &[Block]) -> Follower {
+    let mut follower = Follower::new(artifact, FollowerConfig::default()).unwrap();
+    for b in blocks {
+        follower.step(b);
+    }
+    follower.reclassify_dirty();
+    follower
+}
+
+/// Assert the merged shard reports equal the reference follower, byte for
+/// byte: labels, history lengths, tracked count, and every embedding
+/// matrix.
+///
+/// With `full_embeddings`, every tracked address must carry its complete
+/// embedding sequence (fresh runs embed everything). Without it (resume
+/// runs), embeddings are rebuilt on demand, so an address untouched after
+/// restore legitimately has an empty cache — but any sequence that *was*
+/// rebuilt must still be byte-identical.
+fn assert_merged_matches(
+    reports: Vec<ShardReport>,
+    reference: &Follower,
+    shards: u32,
+    full_embeddings: bool,
+) {
+    let merged = ShardReport::merge(reports);
+    assert_eq!(
+        merged.num_tracked,
+        reference.num_tracked(),
+        "{shards}-shard union tracks a different address set"
+    );
+    assert_eq!(merged.next_height, reference.next_height());
+    assert_eq!(
+        &merged.labels,
+        reference.labels(),
+        "{shards}-shard label table diverged"
+    );
+    assert_eq!(merged.history_lens, reference.history_lens());
+    for (addr, embeds) in &merged.embeddings {
+        let want = reference
+            .embeddings(*addr)
+            .unwrap_or_else(|| panic!("{addr:?} missing from reference"));
+        if !full_embeddings && embeds.is_empty() {
+            continue;
+        }
+        assert_eq!(embeds.len(), want.len(), "slice count for {addr:?}");
+        for (got, want) in embeds.iter().zip(want) {
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "{shards}-shard embedding bytes diverged for {addr:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_followers_union_to_the_unsharded_state() {
+    let cfg = sim_cfg(211, 40);
+    let blocks: Vec<Block> = BlockCursor::new(cfg).collect();
+    let artifact = test_artifact();
+    let reference = unsharded_tip(&artifact, &blocks);
+    assert!(reference.num_tracked() > 20, "sim too small");
+
+    for shards in [1u32, 2, 4] {
+        let sharded =
+            ShardedFollower::new(Arc::clone(&artifact), FollowerConfig::default(), shards).unwrap();
+        let feed = BlockFeed::from_blocks(blocks.clone());
+        sharded.run(&feed).unwrap();
+        let reports = sharded.finish().unwrap();
+        assert_eq!(reports.len(), shards as usize);
+        // Every shard tracks only addresses it owns.
+        let map = ShardMap::new(shards);
+        for report in &reports {
+            for addr in report.history_lens.keys() {
+                assert_eq!(map.shard_of(*addr), report.shard.index);
+            }
+        }
+        assert_merged_matches(reports, &reference, shards, true);
+    }
+}
+
+#[test]
+fn sharded_snapshot_restart_resume_is_byte_identical() {
+    let cfg = sim_cfg(223, 36);
+    let blocks: Vec<Block> = BlockCursor::new(cfg).collect();
+    let artifact = test_artifact();
+    let reference = unsharded_tip(&artifact, &blocks);
+    let split = blocks.len() / 2;
+
+    for shards in [1u32, 2, 4] {
+        let base = std::env::temp_dir().join(format!(
+            "sharding_resume_{}_{shards}.bsnap",
+            std::process::id()
+        ));
+        let follower_cfg = FollowerConfig {
+            snapshot_path: Some(base.clone()),
+            ..FollowerConfig::default()
+        };
+
+        // First half, then checkpoint every shard and tear the fleet down.
+        let first =
+            ShardedFollower::new(Arc::clone(&artifact), follower_cfg.clone(), shards).unwrap();
+        for b in &blocks[..split] {
+            first.step(b.clone()).unwrap();
+        }
+        first.snapshot().unwrap();
+        drop(first);
+        for i in 0..shards {
+            assert!(
+                shard_snapshot_path(&base, i, shards).exists(),
+                "shard {i} left no snapshot"
+            );
+        }
+
+        // Fresh workers restore from their own files and resume over the
+        // whole chain — the overlapping prefix must be skipped.
+        let resumed =
+            ShardedFollower::restore(Arc::clone(&artifact), follower_cfg, shards).unwrap();
+        for b in &blocks {
+            resumed.step(b.clone()).unwrap();
+        }
+        let reports = resumed.finish().unwrap();
+        assert_merged_matches(reports, &reference, shards, false);
+        for i in 0..shards {
+            std::fs::remove_file(shard_snapshot_path(&base, i, shards)).ok();
+        }
+    }
+}
+
+#[test]
+fn router_classifications_match_a_single_engine_in_request_order() {
+    let cfg = sim_cfg(227, 30);
+    let sim = Simulator::run_to_completion(cfg);
+    let dataset = Dataset::from_simulator(&sim, 3);
+    assert!(dataset.len() >= 10, "sim too small: {}", dataset.len());
+    let artifact = test_artifact();
+
+    let single = Engine::new(Arc::clone(&artifact), EngineConfig::default()).unwrap();
+    let want: Vec<_> = dataset
+        .records
+        .iter()
+        .map(|r| single.classify(r.clone()).unwrap().label)
+        .collect();
+    single.shutdown();
+
+    for shards in [2u32, 4] {
+        let router =
+            ShardRouter::new(Arc::clone(&artifact), EngineConfig::default(), shards).unwrap();
+        let responses = router.classify_batch(&dataset.records);
+        assert_eq!(responses.len(), dataset.records.len());
+        for (i, response) in responses.into_iter().enumerate() {
+            let response = response.expect("batch submission within queue budget");
+            assert_eq!(
+                response.label, want[i],
+                "{shards}-shard router diverged from the single engine at index {i}"
+            );
+        }
+        let merged = router.metrics();
+        assert_eq!(merged.submitted, dataset.records.len() as u64);
+        assert_eq!(merged.terminal_total(), merged.submitted);
+        router.shutdown();
+    }
+}
