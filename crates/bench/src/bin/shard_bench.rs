@@ -198,7 +198,7 @@ fn main() {
     let mut stream_curves = Vec::new();
     for &shards in &shard_counts {
         eprintln!("[shard_bench] stream {shards}-shard run…");
-        let sharded = ShardedFollower::new(Arc::clone(&artifact), follower_cfg.clone(), shards)
+        let mut sharded = ShardedFollower::new(Arc::clone(&artifact), follower_cfg.clone(), shards)
             .expect("shard fleet starts");
         let feed = BlockFeed::from_blocks(chain_blocks.clone());
         let t = Instant::now();

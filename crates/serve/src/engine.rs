@@ -221,6 +221,16 @@ impl Ticket {
     pub fn wait(self) -> Result<Response, ServeError> {
         self.rx.recv().unwrap_or(Err(ServeError::WorkerFailed))
     }
+
+    /// A ticket that is already resolved. Routing layers above the engine
+    /// (e.g. a shard router answering for a downed shard from its
+    /// fallback) use this to return the same `Ticket` surface for
+    /// responses that never entered an engine queue.
+    pub fn settled(result: Result<Response, ServeError>) -> Ticket {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let _ = tx.send(result);
+        Ticket { rx }
+    }
 }
 
 /// Recover a possibly-poisoned lock result. The queue and cache are plain

@@ -28,7 +28,8 @@ use bashard::ShardRouter;
 use btcsim::{AddressRecord, Dataset, SimConfig, Simulator};
 use std::collections::{HashMap, VecDeque};
 use std::io::{BufRead, Write};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
 
 /// One response slot, kept FIFO so output order matches request order even
 /// though shards may finish requests out of order.
@@ -114,34 +115,71 @@ fn main() {
         config.max_wait.as_millis(),
     );
 
-    let stdin = std::io::stdin();
-    let mut reader: Box<dyn BufRead> = match flag_value(&args, "--input") {
-        Some(path) => match std::fs::File::open(&path) {
-            Ok(f) => Box::new(std::io::BufReader::new(f)),
-            Err(e) => {
-                eprintln!("error: could not open {path}: {e}");
-                std::process::exit(1);
-            }
-        },
-        None => Box::new(stdin.lock()),
-    };
+    let input_path = flag_value(&args, "--input");
+    if let Some(path) = &input_path {
+        // Fail fast on an unopenable input before any thread starts.
+        if let Err(e) = std::fs::File::open(path) {
+            eprintln!("error: could not open {path}: {e}");
+            std::process::exit(1);
+        }
+    }
     let stdout = std::io::stdout();
     let mut out = std::io::BufWriter::new(stdout.lock());
 
-    let mut pending: VecDeque<Slot> = VecDeque::new();
-    let mut raw = Vec::new();
-    'serve: loop {
-        raw.clear();
-        // Raw bytes, not `lines()`: a client sending invalid UTF-8 gets an
-        // `err` response for that request instead of killing the session.
-        match reader.read_until(b'\n', &mut raw) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) => {
-                eprintln!("error: reading request stream: {e}");
-                break;
+    // Requests arrive via a dedicated reader thread so the serve loop can
+    // poll the SIGINT flag: a blocking stdin read would otherwise pin the
+    // process (libc `signal` restarts interrupted reads). On Ctrl-C the
+    // loop below drains every in-flight ticket and shuts the fleet down
+    // cleanly; EOF takes the same path via the dropped channel.
+    bstream::install_sigint_handler();
+    let (line_tx, line_rx) = mpsc::sync_channel::<Vec<u8>>(64);
+    std::thread::spawn(move || {
+        // Built on this thread: `StdinLock` is not `Send`.
+        let mut reader: Box<dyn BufRead> = match input_path {
+            Some(path) => match std::fs::File::open(&path) {
+                Ok(f) => Box::new(std::io::BufReader::new(f)),
+                Err(e) => {
+                    eprintln!("error: could not open {path}: {e}");
+                    return;
+                }
+            },
+            None => Box::new(std::io::stdin().lock()),
+        };
+        let mut raw = Vec::new();
+        loop {
+            raw.clear();
+            // Raw bytes, not `lines()`: a client sending invalid UTF-8
+            // gets an `err` response for that request instead of killing
+            // the session.
+            match reader.read_until(b'\n', &mut raw) {
+                Ok(0) => break,
+                Ok(_) => {
+                    if line_tx.send(raw.clone()).is_err() {
+                        break;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("error: reading request stream: {e}");
+                    break;
+                }
             }
         }
+    });
+
+    let mut pending: VecDeque<Slot> = VecDeque::new();
+    'serve: loop {
+        if bstream::shutdown_requested() {
+            eprintln!(
+                "[basharded] SIGINT: draining {} pending responses and shutting down…",
+                pending.len()
+            );
+            break;
+        }
+        let mut raw = match line_rx.recv_timeout(Duration::from_millis(100)) {
+            Ok(raw) => raw,
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
+        };
         while matches!(raw.last(), Some(b'\n') | Some(b'\r')) {
             raw.pop();
         }

@@ -43,5 +43,6 @@ pub mod stream;
 pub use baclassifier::{ShardAssignment, ShardMap, SHARD_HASH_VERSION};
 pub use router::ShardRouter;
 pub use stream::{
-    shard_snapshot_path, MergedReport, ShardReport, ShardStreamError, ShardedFollower,
+    shard_snapshot_path, MergedReport, ShardHealth, ShardReport, ShardStreamError, ShardedFollower,
+    SpawnMode, StreamHooks, SupervisionConfig,
 };

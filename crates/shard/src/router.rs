@@ -11,17 +11,40 @@
 //! index-ordered reduction `baclassifier::parallel` uses for gradient
 //! merging. Shards never talk to each other; a slow or tripped shard
 //! degrades only its own addresses.
+//!
+//! ## Degraded routing
+//!
+//! A router can be wired to a streaming fleet's [`ShardHealth`] board
+//! (see [`ShardRouter::attach_health`]). While a shard's follower is down
+//! — panicked and mid-respawn, or gone for good — requests for its
+//! addresses do **not** hang on a queue nobody drains: they settle
+//! immediately with an explicitly `degraded` response from the shared
+//! fallback classifier, or with [`ServeError::WorkerFailed`] when no
+//! fallback is installed. Healthy shards are untouched.
 
+use crate::stream::ShardHealth;
 use baclassifier::{ArtifactError, ModelArtifact, ShardMap};
-use baserve::{Engine, EngineConfig, EngineHooks, MetricsSnapshot, Response, ServeError, Ticket};
+use baserve::{
+    Engine, EngineConfig, EngineHooks, Fallback, MetricsSnapshot, Response, ServeError, Ticket,
+};
 use btcsim::{Address, AddressRecord};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// N shared-nothing serve engines behind one routing surface.
 pub struct ShardRouter {
     map: ShardMap,
     engines: Vec<Engine>,
+    /// The same fallback the engines use for breaker-open degradation,
+    /// kept by the router to answer for *downed* shards.
+    fallback: Option<Arc<dyn Fallback>>,
+    /// Liveness board published by the streaming fleet; `None` routes
+    /// everything normally.
+    health: Option<Arc<ShardHealth>>,
+    /// Requests answered degraded (or failed) because the owning shard
+    /// was down.
+    degraded_routed: AtomicU64,
 }
 
 impl ShardRouter {
@@ -47,10 +70,29 @@ impl ShardRouter {
     ) -> Result<Self, ArtifactError> {
         let map = ShardMap::new(shards);
         let per_shard = config.for_shard(shards as usize);
+        let fallback = hooks.fallback.clone();
         let engines = (0..shards)
             .map(|_| Engine::with_hooks(Arc::clone(&artifact), per_shard.clone(), hooks.clone()))
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(Self { map, engines })
+        Ok(Self {
+            map,
+            engines,
+            fallback,
+            health: None,
+            degraded_routed: AtomicU64::new(0),
+        })
+    }
+
+    /// Wire this router to a streaming fleet's health board (shard counts
+    /// must match): requests owned by a downed shard settle degraded
+    /// instead of hanging.
+    pub fn attach_health(&mut self, health: Arc<ShardHealth>) {
+        assert_eq!(
+            health.count(),
+            self.map.count(),
+            "health board shard count must match the router layout"
+        );
+        self.health = Some(health);
     }
 
     pub fn shard_count(&self) -> u32 {
@@ -61,15 +103,47 @@ impl ShardRouter {
         self.map
     }
 
+    /// Requests answered via degraded routing (owning shard down) so far.
+    pub fn degraded_routed(&self) -> u64 {
+        self.degraded_routed.load(Ordering::Relaxed)
+    }
+
     /// The engine owning `addr` (for callers that need shard-local state
     /// like breaker status).
     pub fn engine_for(&self, addr: Address) -> &Engine {
         &self.engines[self.map.shard_of(addr) as usize]
     }
 
+    /// When the shard owning `record` is marked down, answer right now:
+    /// a pre-settled degraded ticket from the fallback, or
+    /// [`ServeError::WorkerFailed`] without one.
+    fn route_degraded(&self, record: &AddressRecord) -> Option<Result<Ticket, ServeError>> {
+        let health = self.health.as_ref()?;
+        if health.is_up(self.map.shard_of(record.address)) {
+            return None;
+        }
+        self.degraded_routed.fetch_add(1, Ordering::Relaxed);
+        Some(match &self.fallback {
+            Some(fallback) => {
+                let started = Instant::now();
+                let label = fallback.classify(record);
+                Ok(Ticket::settled(Ok(Response {
+                    label,
+                    cache_hit: false,
+                    degraded: true,
+                    latency: started.elapsed(),
+                })))
+            }
+            None => Err(ServeError::WorkerFailed),
+        })
+    }
+
     /// Submit to the owning shard; the ticket settles like any engine
-    /// ticket.
+    /// ticket. A downed shard's requests settle degraded immediately.
     pub fn submit(&self, record: AddressRecord) -> Result<Ticket, ServeError> {
+        if let Some(answered) = self.route_degraded(&record) {
+            return answered;
+        }
         self.engine_for(record.address).submit(record)
     }
 
@@ -79,6 +153,9 @@ impl ShardRouter {
         record: AddressRecord,
         deadline: Option<Duration>,
     ) -> Result<Ticket, ServeError> {
+        if let Some(answered) = self.route_degraded(&record) {
+            return answered;
+        }
         self.engine_for(record.address)
             .submit_with_deadline(record, deadline)
     }

@@ -1,5 +1,5 @@
 //! The streaming-side shard fan-out: one chain, N shared-nothing
-//! followers.
+//! followers, supervised.
 //!
 //! `numnet` model parameters are `Rc<RefCell<…>>` and cannot cross
 //! threads, so — exactly like the serve engine's replica-per-worker
@@ -14,24 +14,56 @@
 //! suffixed `.{i}of{n}`), stamped with its [`ShardAssignment`], so shards
 //! restart and catch up independently: restoring shard 2 of 4 touches
 //! nothing owned by the other three.
+//!
+//! ## Supervision
+//!
+//! When [`FollowerConfig::journal_path`] is set, the **driver** owns a
+//! write-ahead [`BlockJournal`]: every block is journaled before it is
+//! broadcast. That journal is what makes worker supervision lossless —
+//! a shard thread that panics (worker loops run under `catch_unwind`) or
+//! wedges (its queue is full *and* its heartbeat is older than
+//! [`SupervisionConfig::wedge_timeout`]) is fenced off and respawned via
+//! [`Follower::recover_with`]: newest valid per-shard snapshot generation,
+//! plus replay of the shared journal tail. Blocks that were sitting in
+//! the dead worker's queue (up to the queue depth) are in the journal, so
+//! the replacement catches up to the exact same state and redelivered
+//! blocks are skipped by height — blocks lost: zero. Respawns are
+//! bounded by [`SupervisionConfig::max_restarts`] with exponential
+//! backoff; past the bound the fleet reports [`ShardStreamError`] instead
+//! of flapping forever. [`ShardHealth`] publishes per-shard liveness so
+//! the serve-side router can answer a downed shard's addresses in
+//! degraded mode instead of hanging.
+//!
+//! Fault injection reuses the serve engine's [`FaultPlan`] machinery (via
+//! [`StreamHooks`]): before applying a **new** block at height `h`, shard
+//! `i` consults `before_batch(i, h + 1)`. Replayed or redelivered blocks
+//! never consult the plan, so a scripted fault fires exactly once even
+//! though the faulting block is delivered again after the respawn.
 
 use baclassifier::{ModelArtifact, ShardAssignment, ShardMap};
-use bstream::{BlockFeed, Follower, FollowerConfig, StreamMetrics};
+use baserve::{FaultAction, FaultPlan, NoFaults};
+use bstream::{BlockFeed, BlockJournal, Follower, FollowerConfig, StreamMetrics};
 use btcsim::{Address, Block, Label};
 use numnet::Matrix;
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Why a sharded follower could not be built or driven.
 #[derive(Debug)]
 pub enum ShardStreamError {
-    /// A shard worker failed to build or restore its follower.
+    /// A shard worker failed to build, restore, or recover its follower.
     Worker { shard: u32, reason: String },
-    /// A shard worker disappeared (panicked) mid-run.
+    /// A shard worker is gone for good: it died (or wedged) more than
+    /// `max_restarts` times, or died with no journal to recover from.
     WorkerGone(u32),
+    /// The driver's write-ahead journal failed; continuing would break the
+    /// crash-safety contract.
+    Journal(String),
 }
 
 impl std::fmt::Display for ShardStreamError {
@@ -41,6 +73,7 @@ impl std::fmt::Display for ShardStreamError {
                 write!(f, "shard {shard}: {reason}")
             }
             ShardStreamError::WorkerGone(shard) => write!(f, "shard {shard} worker gone"),
+            ShardStreamError::Journal(reason) => write!(f, "driver journal: {reason}"),
         }
     }
 }
@@ -127,6 +160,165 @@ pub struct MergedReport {
     pub per_shard_metrics: Vec<(ShardAssignment, StreamMetrics)>,
 }
 
+/// Per-shard liveness published by the streaming fleet and read by the
+/// serve router for degraded routing. All atomics: writers are the shard
+/// worker threads (heartbeats) and the supervising driver (up/down
+/// transitions, respawn counts); readers are anyone holding the `Arc`.
+pub struct ShardHealth {
+    epoch: Instant,
+    slots: Vec<HealthSlot>,
+}
+
+struct HealthSlot {
+    up: AtomicBool,
+    /// Microseconds since `epoch` of the last heartbeat.
+    beat_us: AtomicU64,
+    /// The shard follower's `next_height` at the last heartbeat.
+    processed: AtomicU64,
+    respawns: AtomicU64,
+}
+
+impl ShardHealth {
+    /// A health board for `count` shards, all initially down (workers mark
+    /// themselves up once their follower is built).
+    pub fn new(count: u32) -> Self {
+        let epoch = Instant::now();
+        let slots = (0..count)
+            .map(|_| HealthSlot {
+                up: AtomicBool::new(false),
+                beat_us: AtomicU64::new(0),
+                processed: AtomicU64::new(0),
+                respawns: AtomicU64::new(0),
+            })
+            .collect();
+        Self { epoch, slots }
+    }
+
+    pub fn count(&self) -> u32 {
+        self.slots.len() as u32
+    }
+
+    /// Whether `shard`'s worker is believed alive. Out-of-range shards are
+    /// reported down.
+    pub fn is_up(&self, shard: u32) -> bool {
+        self.slots
+            .get(shard as usize)
+            .is_some_and(|s| s.up.load(Ordering::Acquire))
+    }
+
+    pub fn mark_up(&self, shard: u32) {
+        if let Some(slot) = self.slots.get(shard as usize) {
+            slot.up.store(true, Ordering::Release);
+        }
+    }
+
+    pub fn mark_down(&self, shard: u32) {
+        if let Some(slot) = self.slots.get(shard as usize) {
+            slot.up.store(false, Ordering::Release);
+        }
+    }
+
+    /// Heartbeat from a worker: stamps now and the follower's height.
+    pub fn beat(&self, shard: u32, next_height: u64) {
+        if let Some(slot) = self.slots.get(shard as usize) {
+            let us = self.epoch.elapsed().as_micros() as u64;
+            slot.beat_us.store(us, Ordering::Release);
+            slot.processed.store(next_height, Ordering::Release);
+        }
+    }
+
+    /// Time since `shard` last heartbeat; `Duration::MAX` for unknown
+    /// shards so they always read as stale.
+    pub fn beat_age(&self, shard: u32) -> Duration {
+        let Some(slot) = self.slots.get(shard as usize) else {
+            return Duration::MAX;
+        };
+        let beat = Duration::from_micros(slot.beat_us.load(Ordering::Acquire));
+        self.epoch.elapsed().saturating_sub(beat)
+    }
+
+    /// The shard follower's `next_height` at its last heartbeat.
+    pub fn processed(&self, shard: u32) -> u64 {
+        self.slots
+            .get(shard as usize)
+            .map_or(0, |s| s.processed.load(Ordering::Acquire))
+    }
+
+    pub fn respawns(&self, shard: u32) -> u64 {
+        self.slots
+            .get(shard as usize)
+            .map_or(0, |s| s.respawns.load(Ordering::Acquire))
+    }
+
+    pub fn total_respawns(&self) -> u64 {
+        self.slots
+            .iter()
+            .map(|s| s.respawns.load(Ordering::Acquire))
+            .sum()
+    }
+
+    fn record_respawn(&self, shard: u32) {
+        if let Some(slot) = self.slots.get(shard as usize) {
+            slot.respawns.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+}
+
+/// Streaming-side hooks: fault injection for chaos tests, reusing the
+/// serve engine's [`FaultPlan`]. For the streaming fleet, "worker" is the
+/// shard index and "batch" is `height + 1` (1-based, like the engine's
+/// batch numbering), consulted only for blocks the shard has not yet
+/// applied.
+#[derive(Clone)]
+pub struct StreamHooks {
+    pub fault_plan: Arc<dyn FaultPlan>,
+}
+
+impl Default for StreamHooks {
+    fn default() -> Self {
+        Self {
+            fault_plan: Arc::new(NoFaults),
+        }
+    }
+}
+
+/// Knobs for the driver's shard supervision.
+#[derive(Clone, Debug)]
+pub struct SupervisionConfig {
+    /// A shard whose queue is full *and* whose heartbeat is older than
+    /// this is declared wedged: fenced off and replaced.
+    pub wedge_timeout: Duration,
+    /// Per-shard respawn budget; exceeding it surfaces
+    /// [`ShardStreamError::WorkerGone`].
+    pub max_restarts: u32,
+    /// Base backoff before a respawn; doubles per consecutive restart of
+    /// the same shard (capped at 64×).
+    pub restart_backoff: Duration,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            wedge_timeout: Duration::from_secs(2),
+            max_restarts: 5,
+            restart_backoff: Duration::from_millis(10),
+        }
+    }
+}
+
+/// How the fleet's followers acquire their initial state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpawnMode {
+    /// Fresh followers at height 0; an existing journal file is truncated.
+    Fresh,
+    /// Strict restore from each shard's snapshot — any failure is an
+    /// error (legacy restart path, no journal replay).
+    Restore,
+    /// Crash recovery: newest valid snapshot generation per shard
+    /// (corrupt ones quarantined), then replay of the shared journal tail.
+    Recover,
+}
+
 enum Cmd {
     /// Apply one block (follower-side periodic duties included).
     Step(Arc<Block>),
@@ -142,12 +334,34 @@ enum Cmd {
 struct ShardWorker {
     tx: SyncSender<Cmd>,
     handle: JoinHandle<()>,
+    /// Set by the driver when this worker is abandoned as wedged; the
+    /// worker checks it between commands (and after injected delays) and
+    /// exits without touching disk once it trips.
+    fence: Arc<AtomicBool>,
 }
 
-/// N shared-nothing followers over one block feed. See the module docs.
+/// N shared-nothing followers over one block feed, supervised. See the
+/// module docs.
 pub struct ShardedFollower {
-    workers: Vec<ShardWorker>,
+    artifact: Arc<ModelArtifact>,
+    /// The template config; per-worker copies get `shard`/`snapshot_path`
+    /// rewritten and never own the journal.
+    template: FollowerConfig,
     map: ShardMap,
+    workers: Vec<ShardWorker>,
+    health: Arc<ShardHealth>,
+    hooks: StreamHooks,
+    supervision: SupervisionConfig,
+    /// The driver-owned write-ahead journal: blocks are appended here
+    /// before broadcast, which is what makes respawn lossless.
+    journal: Option<BlockJournal>,
+    /// First height not yet journaled — replayed blocks below it are not
+    /// appended twice.
+    next_journal_height: u64,
+    /// Per-shard respawn counts, bounded by `supervision.max_restarts`.
+    restarts: Vec<u32>,
+    /// Handles of abandoned (wedged) workers; joined at finish if done.
+    graveyard: Vec<JoinHandle<()>>,
 }
 
 /// How many blocks each shard's command queue may buffer before `step`
@@ -159,118 +373,112 @@ impl ShardedFollower {
     ///
     /// `cfg` is the template config: each worker gets a copy with
     /// `shard` set to its assignment and `snapshot_path` (when present)
-    /// rewritten to its [`shard_snapshot_path`].
+    /// rewritten to its [`shard_snapshot_path`]. When `cfg.journal_path`
+    /// is set the driver journals every block before broadcasting it and
+    /// dead or wedged workers are respawned from snapshot + journal.
     pub fn new(
         artifact: Arc<ModelArtifact>,
         cfg: FollowerConfig,
         count: u32,
     ) -> Result<Self, ShardStreamError> {
-        Self::spawn(artifact, cfg, count, false)
+        Self::with_hooks(
+            artifact,
+            cfg,
+            count,
+            StreamHooks::default(),
+            SupervisionConfig::default(),
+            SpawnMode::Fresh,
+        )
     }
 
     /// As [`ShardedFollower::new`], but every worker restores from its
-    /// per-shard snapshot instead of starting empty.
+    /// per-shard snapshot instead of starting empty; any restore failure
+    /// is an error (use [`ShardedFollower::recover`] for fallback
+    /// semantics).
     pub fn restore(
         artifact: Arc<ModelArtifact>,
         cfg: FollowerConfig,
         count: u32,
     ) -> Result<Self, ShardStreamError> {
-        Self::spawn(artifact, cfg, count, true)
+        Self::with_hooks(
+            artifact,
+            cfg,
+            count,
+            StreamHooks::default(),
+            SupervisionConfig::default(),
+            SpawnMode::Restore,
+        )
     }
 
-    fn spawn(
+    /// Crash recovery: each worker restores its newest valid snapshot
+    /// generation (quarantining corrupt ones) and replays the shared
+    /// journal tail, so the fleet resumes byte-identical to where the
+    /// crashed run got to.
+    pub fn recover(
         artifact: Arc<ModelArtifact>,
         cfg: FollowerConfig,
         count: u32,
-        from_snapshot: bool,
+    ) -> Result<Self, ShardStreamError> {
+        Self::with_hooks(
+            artifact,
+            cfg,
+            count,
+            StreamHooks::default(),
+            SupervisionConfig::default(),
+            SpawnMode::Recover,
+        )
+    }
+
+    /// The fully general constructor: explicit hooks (fault injection),
+    /// supervision knobs, and spawn mode.
+    pub fn with_hooks(
+        artifact: Arc<ModelArtifact>,
+        cfg: FollowerConfig,
+        count: u32,
+        hooks: StreamHooks,
+        supervision: SupervisionConfig,
+        mode: SpawnMode,
     ) -> Result<Self, ShardStreamError> {
         let map = ShardMap::new(count);
+        let health = Arc::new(ShardHealth::new(count));
+
+        // The driver opens (and, for recovery, heals) the journal before
+        // any worker scans it, so workers never see a torn tail.
+        let (journal, next_journal_height) = match (&cfg.journal_path, mode) {
+            (Some(path), SpawnMode::Fresh) => {
+                let journal = BlockJournal::create(path, cfg.journal_sync_every)
+                    .map_err(|e| ShardStreamError::Journal(e.to_string()))?;
+                (Some(journal), 0)
+            }
+            (Some(path), _) => {
+                let (journal, scan) = BlockJournal::open_or_create(path, cfg.journal_sync_every)
+                    .map_err(|e| ShardStreamError::Journal(e.to_string()))?;
+                let next = scan.blocks.last().map_or(0, |b| b.height + 1);
+                (Some(journal), next)
+            }
+            (None, _) => (None, 0),
+        };
+
         let mut workers = Vec::with_capacity(count as usize);
         let mut ready: Vec<Receiver<Result<(), String>>> = Vec::with_capacity(count as usize);
         for assignment in map.assignments() {
-            let index = assignment.index;
-            let mut shard_cfg = cfg.clone();
-            shard_cfg.shard = Some(assignment);
-            shard_cfg.snapshot_path = cfg
-                .snapshot_path
-                .as_ref()
-                .map(|base| shard_snapshot_path(base, index, count));
-            let (tx, rx) = mpsc::sync_channel::<Cmd>(CMD_QUEUE_DEPTH);
-            let (init_tx, init_rx) = mpsc::channel();
-            let artifact = Arc::clone(&artifact);
-            let handle = std::thread::Builder::new()
-                .name(format!("bashard-{index}of{count}"))
-                .spawn(move || {
-                    // The replica is built on this thread: numnet params are
-                    // not Send, the artifact's plain weight matrices are.
-                    let built = if from_snapshot {
-                        shard_cfg
-                            .snapshot_path
-                            .clone()
-                            .ok_or_else(|| "restore requires a snapshot path".to_string())
-                            .and_then(|p| {
-                                Follower::restore(&artifact, shard_cfg, &p)
-                                    .map_err(|e| e.to_string())
-                            })
-                    } else {
-                        Follower::new(&artifact, shard_cfg).map_err(|e| e.to_string())
-                    };
-                    let Some(mut follower) = built_or_report(built, &init_tx) else {
-                        return;
-                    };
-                    for cmd in rx {
-                        match cmd {
-                            Cmd::Step(block) => follower.step(&block),
-                            Cmd::Reclassify(reply) => {
-                                let n = follower.reclassify_dirty();
-                                reply.send(n).ok();
-                            }
-                            Cmd::Snapshot(reply) => {
-                                let result = match follower.config().snapshot_path.clone() {
-                                    Some(path) => {
-                                        follower.snapshot_to(&path).map_err(|e| e.to_string())
-                                    }
-                                    None => Err("no snapshot path configured".to_string()),
-                                };
-                                reply.send(result).ok();
-                            }
-                            Cmd::Finish(reply) => {
-                                follower.reclassify_dirty();
-                                if let Some(path) = follower.config().snapshot_path.clone() {
-                                    if let Err(e) = follower.snapshot_to(&path) {
-                                        eprintln!(
-                                            "bashard: final snapshot to {} failed: {e}",
-                                            path.display()
-                                        );
-                                    }
-                                }
-                                let report = ShardReport {
-                                    shard: follower
-                                        .config()
-                                        .shard
-                                        .expect("shard workers always carry an assignment"),
-                                    labels: follower.labels().clone(),
-                                    embeddings: follower.export_embeddings(),
-                                    history_lens: follower.history_lens(),
-                                    num_tracked: follower.num_tracked(),
-                                    next_height: follower.next_height(),
-                                    metrics: follower.metrics().clone(),
-                                };
-                                reply.send(report).ok();
-                                return;
-                            }
-                        }
-                    }
-                })
-                .expect("spawn shard worker");
-            workers.push(ShardWorker { tx, handle });
+            let (worker, init_rx) = spawn_worker(
+                Arc::clone(&artifact),
+                &cfg,
+                assignment,
+                count,
+                mode,
+                Arc::clone(&health),
+                Arc::clone(&hooks.fault_plan),
+            );
+            workers.push(worker);
             ready.push(init_rx);
         }
         // Surface build/restore failures synchronously, before any block is
         // dispatched: a layout that cannot fully start must not run at all.
         for (index, rx) in ready.into_iter().enumerate() {
             match rx.recv() {
-                Ok(Ok(())) => {}
+                Ok(Ok(())) => health.mark_up(index as u32),
                 Ok(Err(reason)) => {
                     return Err(ShardStreamError::Worker {
                         shard: index as u32,
@@ -280,7 +488,19 @@ impl ShardedFollower {
                 Err(_) => return Err(ShardStreamError::WorkerGone(index as u32)),
             }
         }
-        Ok(Self { workers, map })
+        Ok(Self {
+            artifact,
+            template: cfg,
+            map,
+            workers,
+            health,
+            hooks,
+            supervision,
+            journal,
+            next_journal_height,
+            restarts: vec![0; count as usize],
+            graveyard: Vec::new(),
+        })
     }
 
     pub fn shard_count(&self) -> u32 {
@@ -291,15 +511,30 @@ impl ShardedFollower {
         self.map
     }
 
-    /// Broadcast one block to every shard. Bounded queues backpressure the
-    /// caller when any shard falls `CMD_QUEUE_DEPTH` blocks behind.
-    pub fn step(&self, block: Block) -> Result<(), ShardStreamError> {
+    /// The fleet's live health board — clone the `Arc` into a
+    /// [`crate::ShardRouter`] for degraded routing, or poll it for
+    /// respawn counts.
+    pub fn health(&self) -> Arc<ShardHealth> {
+        Arc::clone(&self.health)
+    }
+
+    /// Broadcast one block to every shard, journaling it first when a
+    /// journal is configured. Bounded queues backpressure the caller when
+    /// any shard falls `CMD_QUEUE_DEPTH` blocks behind; dead or wedged
+    /// shards are respawned in-line.
+    pub fn step(&mut self, block: Block) -> Result<(), ShardStreamError> {
+        if let Some(journal) = self.journal.as_mut() {
+            if block.height >= self.next_journal_height {
+                journal
+                    .append(&block)
+                    .map_err(|e| ShardStreamError::Journal(format!("append failed: {e}")))?;
+                self.next_journal_height = block.height + 1;
+            }
+        }
         let block = Arc::new(block);
-        for (i, worker) in self.workers.iter().enumerate() {
-            worker
-                .tx
-                .send(Cmd::Step(Arc::clone(&block)))
-                .map_err(|_| ShardStreamError::WorkerGone(i as u32))?;
+        for i in 0..self.workers.len() {
+            let b = Arc::clone(&block);
+            self.deliver(i, &move || Cmd::Step(Arc::clone(&b)))?;
         }
         Ok(())
     }
@@ -308,7 +543,7 @@ impl ShardedFollower {
     /// records a block as processed once every shard has accepted it into
     /// its bounded queue — at most `CMD_QUEUE_DEPTH` blocks ahead of the
     /// slowest shard's actual progress.
-    pub fn run(&self, feed: &BlockFeed) -> Result<(), ShardStreamError> {
+    pub fn run(&mut self, feed: &BlockFeed) -> Result<(), ShardStreamError> {
         while let Some(block) = feed.recv() {
             let height = block.height;
             self.step(block)?;
@@ -319,72 +554,386 @@ impl ShardedFollower {
 
     /// Run a reclassification pass on every shard; returns the total number
     /// of addresses reclassified. Shards reclassify concurrently — the
-    /// command is dispatched to all before any reply is awaited.
-    pub fn reclassify_dirty(&self) -> Result<usize, ShardStreamError> {
+    /// command is dispatched to all before any reply is awaited. A shard
+    /// that dies mid-pass is respawned and the pass retried on it once.
+    pub fn reclassify_dirty(&mut self) -> Result<usize, ShardStreamError> {
         let replies = self.broadcast(Cmd::Reclassify)?;
         let mut total = 0;
         for (i, rx) in replies.into_iter().enumerate() {
-            total += rx
-                .recv()
-                .map_err(|_| ShardStreamError::WorkerGone(i as u32))?;
+            total += self.collect_or_retry(i, rx, Cmd::Reclassify)?;
         }
         Ok(total)
     }
 
-    /// Checkpoint every shard to its own snapshot file. All shards
-    /// snapshot concurrently; the first failure is returned.
-    pub fn snapshot(&self) -> Result<(), ShardStreamError> {
+    /// Checkpoint every shard to its own snapshot file, then compact the
+    /// shared journal below the oldest height any shard's retained
+    /// generations could still need. All shards snapshot concurrently; the
+    /// first failure is returned.
+    pub fn snapshot(&mut self) -> Result<(), ShardStreamError> {
         let replies = self.broadcast(Cmd::Snapshot)?;
         for (i, rx) in replies.into_iter().enumerate() {
             let shard = i as u32;
-            rx.recv()
-                .map_err(|_| ShardStreamError::WorkerGone(shard))?
+            self.collect_or_retry(i, rx, Cmd::Snapshot)?
                 .map_err(|reason| ShardStreamError::Worker { shard, reason })?;
         }
+        self.compact_journal();
         Ok(())
     }
 
+    /// Finish every shard: final reclassification (and snapshot, when
+    /// configured), then collect the per-shard reports and join the
+    /// threads. Reports come back in shard order. A shard that dies while
+    /// finishing is respawned from snapshot + journal and finished again —
+    /// the report it returns covers every journaled block.
+    pub fn finish(mut self) -> Result<Vec<ShardReport>, ShardStreamError> {
+        let replies = self.broadcast(Cmd::Finish)?;
+        let mut reports = Vec::with_capacity(replies.len());
+        for (i, rx) in replies.into_iter().enumerate() {
+            reports.push(self.collect_or_retry(i, rx, Cmd::Finish)?);
+        }
+        if let Some(journal) = self.journal.as_mut() {
+            journal.sync().ok();
+        }
+        for worker in self.workers.drain(..) {
+            drop(worker.tx);
+            worker.handle.join().ok();
+        }
+        // Wedged workers that already woke up and observed their fence are
+        // joinable; ones still sleeping are left to exit on their own.
+        for handle in self.graveyard.drain(..) {
+            if handle.is_finished() {
+                handle.join().ok();
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Dispatch a reply-carrying command to every live shard (respawning
+    /// dead ones), returning the reply receivers in shard order.
     fn broadcast<T>(
-        &self,
-        cmd: impl Fn(Sender<T>) -> Cmd,
+        &mut self,
+        make: impl Fn(Sender<T>) -> Cmd,
     ) -> Result<Vec<Receiver<T>>, ShardStreamError> {
+        let make = &make;
         let mut replies = Vec::with_capacity(self.workers.len());
-        for (i, worker) in self.workers.iter().enumerate() {
+        for i in 0..self.workers.len() {
             let (tx, rx) = mpsc::channel();
-            worker
-                .tx
-                .send(cmd(tx))
-                .map_err(|_| ShardStreamError::WorkerGone(i as u32))?;
+            self.deliver(i, &move || make(tx.clone()))?;
             replies.push(rx);
         }
         Ok(replies)
     }
 
-    /// Finish every shard: final reclassification (and snapshot, when
-    /// configured), then collect the per-shard reports and join the
-    /// threads. Reports come back in shard order.
-    pub fn finish(self) -> Result<Vec<ShardReport>, ShardStreamError> {
-        let mut replies = Vec::with_capacity(self.workers.len());
-        for (i, worker) in self.workers.iter().enumerate() {
-            let (tx, rx) = mpsc::channel();
-            worker
-                .tx
-                .send(Cmd::Finish(tx))
-                .map_err(|_| ShardStreamError::WorkerGone(i as u32))?;
-            replies.push(rx);
+    /// Await shard `i`'s reply; if the worker died while processing the
+    /// command, respawn it (state recovered from snapshot + journal) and
+    /// retry the command once.
+    fn collect_or_retry<T>(
+        &mut self,
+        i: usize,
+        rx: Receiver<T>,
+        make: impl Fn(Sender<T>) -> Cmd,
+    ) -> Result<T, ShardStreamError> {
+        if let Ok(value) = rx.recv() {
+            return Ok(value);
         }
-        let mut reports = Vec::with_capacity(self.workers.len());
-        for (i, rx) in replies.into_iter().enumerate() {
-            reports.push(
-                rx.recv()
-                    .map_err(|_| ShardStreamError::WorkerGone(i as u32))?,
-            );
+        let (tx, retry_rx) = mpsc::channel();
+        self.deliver(i, &move || make(tx.clone()))?;
+        retry_rx
+            .recv()
+            .map_err(|_| ShardStreamError::WorkerGone(i as u32))
+    }
+
+    /// Push one command into shard `i`'s queue, supervising as we go:
+    /// a disconnected queue means the worker died (respawn); a full queue
+    /// with a stale heartbeat means it wedged (fence, abandon, respawn);
+    /// a full queue with a fresh heartbeat is ordinary backpressure.
+    fn deliver(&mut self, i: usize, make: &dyn Fn() -> Cmd) -> Result<(), ShardStreamError> {
+        loop {
+            match self.workers[i].tx.try_send(make()) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Disconnected(_)) => {
+                    self.respawn(i, "worker thread died")?;
+                }
+                Err(TrySendError::Full(_)) => {
+                    if self.health.beat_age(i as u32) > self.supervision.wedge_timeout {
+                        self.abandon(i);
+                        self.respawn(i, "worker wedged: queue full and heartbeat stale")?;
+                    } else {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            }
         }
-        for worker in self.workers {
-            drop(worker.tx);
-            worker.handle.join().ok();
+    }
+
+    /// Fence off a wedged worker so it exits (without touching disk) the
+    /// next time it wakes, and park its thread handle in the graveyard.
+    fn abandon(&mut self, i: usize) {
+        self.workers[i].fence.store(true, Ordering::Release);
+    }
+
+    /// Replace shard `i`'s worker with one recovered from its snapshot
+    /// generations plus the shared journal. Requires a journal (otherwise
+    /// queued blocks would be lost and heights would gap); bounded by
+    /// `max_restarts` with exponential backoff.
+    fn respawn(&mut self, i: usize, reason: &str) -> Result<(), ShardStreamError> {
+        let shard = i as u32;
+        self.health.mark_down(shard);
+        if self.template.journal_path.is_none() {
+            return Err(ShardStreamError::Worker {
+                shard,
+                reason: format!("{reason}; no journal configured, cannot respawn losslessly"),
+            });
         }
-        Ok(reports)
+        self.restarts[i] += 1;
+        if self.restarts[i] > self.supervision.max_restarts {
+            return Err(ShardStreamError::WorkerGone(shard));
+        }
+        self.health.record_respawn(shard);
+        // Everything broadcast so far must be durable before the
+        // replacement reads the journal.
+        if let Some(journal) = self.journal.as_mut() {
+            journal
+                .sync()
+                .map_err(|e| ShardStreamError::Journal(e.to_string()))?;
+        }
+        let backoff = self
+            .supervision
+            .restart_backoff
+            .saturating_mul(1u32 << (self.restarts[i] - 1).min(6));
+        if !backoff.is_zero() {
+            std::thread::sleep(backoff);
+        }
+        eprintln!(
+            "bashard: shard {shard} {reason}; respawning (restart {})",
+            self.restarts[i]
+        );
+        let assignment = ShardAssignment {
+            index: shard,
+            count: self.map.count(),
+        };
+        let (worker, init_rx) = spawn_worker(
+            Arc::clone(&self.artifact),
+            &self.template,
+            assignment,
+            self.map.count(),
+            SpawnMode::Recover,
+            Arc::clone(&self.health),
+            Arc::clone(&self.hooks.fault_plan),
+        );
+        match init_rx.recv() {
+            Ok(Ok(())) => {}
+            Ok(Err(reason)) => return Err(ShardStreamError::Worker { shard, reason }),
+            Err(_) => return Err(ShardStreamError::WorkerGone(shard)),
+        }
+        self.health.mark_up(shard);
+        let old = std::mem::replace(&mut self.workers[i], worker);
+        old.fence.store(true, Ordering::Release);
+        self.graveyard.push(old.handle);
+        Ok(())
+    }
+
+    /// Drop journal frames every shard has durably snapshotted: the floor
+    /// is the minimum height over all shards' retained generation files,
+    /// because a shard falling back to its oldest generation replays from
+    /// there. Skipped entirely if any shard has no snapshot yet or a
+    /// generation header is unreadable.
+    fn compact_journal(&mut self) {
+        let Some(base) = self.template.snapshot_path.clone() else {
+            return;
+        };
+        if self.journal.is_none() {
+            return;
+        }
+        let generations = self.template.snapshot_generations.max(1);
+        let count = self.map.count();
+        let mut floor = u64::MAX;
+        for index in 0..count {
+            let shard_base = shard_snapshot_path(&base, index, count);
+            let mut shard_floor: Option<u64> = None;
+            for k in 0..generations {
+                let path = bstream::generation_path(&shard_base, k);
+                if !path.exists() {
+                    continue;
+                }
+                match bstream::snapshot_height(&path) {
+                    Ok(height) => shard_floor = Some(shard_floor.map_or(height, |f| f.min(height))),
+                    Err(_) => return,
+                }
+            }
+            match shard_floor {
+                Some(h) => floor = floor.min(h),
+                None => return,
+            }
+        }
+        if floor == u64::MAX {
+            return;
+        }
+        if let Some(journal) = self.journal.as_mut() {
+            journal.compact_below(floor).ok();
+        }
+    }
+}
+
+/// Spawn one shard worker thread. The follower is built *on* the worker
+/// thread (numnet params are not `Send`; the artifact's plain weight
+/// matrices are) and the build outcome is reported over the returned init
+/// channel. The worker loop runs under `catch_unwind`: a panic (organic
+/// or injected) marks the shard down and drops the command queue, which
+/// the driver observes as `Disconnected` and answers with a respawn.
+fn spawn_worker(
+    artifact: Arc<ModelArtifact>,
+    template: &FollowerConfig,
+    assignment: ShardAssignment,
+    count: u32,
+    mode: SpawnMode,
+    health: Arc<ShardHealth>,
+    plan: Arc<dyn FaultPlan>,
+) -> (ShardWorker, Receiver<Result<(), String>>) {
+    let index = assignment.index;
+    let mut shard_cfg = template.clone();
+    shard_cfg.shard = Some(assignment);
+    shard_cfg.snapshot_path = template
+        .snapshot_path
+        .as_ref()
+        .map(|base| shard_snapshot_path(base, index, count));
+    // The driver owns the write-ahead journal; workers only *read* it
+    // during recovery and never append.
+    let driver_journal = template.journal_path.clone();
+    shard_cfg.journal_path = None;
+
+    let (tx, rx) = mpsc::sync_channel::<Cmd>(CMD_QUEUE_DEPTH);
+    let (init_tx, init_rx) = mpsc::channel();
+    let fence = Arc::new(AtomicBool::new(false));
+    let thread_fence = Arc::clone(&fence);
+    let handle = std::thread::Builder::new()
+        .name(format!("bashard-{index}of{count}"))
+        .spawn(move || {
+            let built = match mode {
+                SpawnMode::Fresh => Follower::new(&artifact, shard_cfg).map_err(|e| e.to_string()),
+                SpawnMode::Restore => shard_cfg
+                    .snapshot_path
+                    .clone()
+                    .ok_or_else(|| "restore requires a snapshot path".to_string())
+                    .and_then(|p| {
+                        Follower::restore(&artifact, shard_cfg, &p).map_err(|e| e.to_string())
+                    }),
+                SpawnMode::Recover => {
+                    let mut cfg = shard_cfg;
+                    // Point recovery at the shared journal read-only
+                    // (attach_journal = false): replay it, don't own it.
+                    cfg.journal_path = driver_journal;
+                    Follower::recover_with(&artifact, cfg, false)
+                        .map(|recovery| {
+                            for (path, reason) in &recovery.quarantined {
+                                eprintln!(
+                                    "bashard: shard {index} quarantined snapshot {}: {reason}",
+                                    path.display()
+                                );
+                            }
+                            recovery.follower
+                        })
+                        .map_err(|e| e.to_string())
+                }
+            };
+            let Some(mut follower) = built_or_report(built, &init_tx) else {
+                return;
+            };
+            health.mark_up(index);
+            health.beat(index, follower.next_height());
+            let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                worker_loop(
+                    &mut follower,
+                    &rx,
+                    index,
+                    &thread_fence,
+                    &health,
+                    plan.as_ref(),
+                );
+            }))
+            .is_err();
+            if panicked {
+                health.mark_down(index);
+            }
+        })
+        .expect("spawn shard worker");
+    (ShardWorker { tx, handle, fence }, init_rx)
+}
+
+fn worker_loop(
+    follower: &mut Follower,
+    rx: &Receiver<Cmd>,
+    index: u32,
+    fence: &AtomicBool,
+    health: &ShardHealth,
+    plan: &dyn FaultPlan,
+) {
+    for cmd in rx.iter() {
+        if fence.load(Ordering::Acquire) {
+            // Abandoned as wedged: a replacement already owns our snapshot
+            // files. Exit without touching disk.
+            return;
+        }
+        match cmd {
+            Cmd::Step(block) => {
+                // Consult the fault plan only for blocks this follower has
+                // not yet applied: a respawned worker that recovered the
+                // faulting block from the journal must not re-fire the
+                // same scripted fault when the block is redelivered.
+                if block.height >= follower.next_height() {
+                    if let Some(action) = plan.before_batch(index as usize, block.height + 1) {
+                        match action {
+                            FaultAction::Panic => {
+                                panic!("injected fault: shard {index} at height {}", block.height)
+                            }
+                            FaultAction::Delay(delay) => {
+                                std::thread::sleep(delay);
+                                if fence.load(Ordering::Acquire) {
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+                follower.step(&block);
+                health.beat(index, follower.next_height());
+            }
+            Cmd::Reclassify(reply) => {
+                let n = follower.reclassify_dirty();
+                health.beat(index, follower.next_height());
+                reply.send(n).ok();
+            }
+            Cmd::Snapshot(reply) => {
+                let result = match follower.config().snapshot_path.clone() {
+                    Some(path) => follower.snapshot_to(&path).map_err(|e| e.to_string()),
+                    None => Err("no snapshot path configured".to_string()),
+                };
+                health.beat(index, follower.next_height());
+                reply.send(result).ok();
+            }
+            Cmd::Finish(reply) => {
+                follower.reclassify_dirty();
+                if let Some(path) = follower.config().snapshot_path.clone() {
+                    if let Err(e) = follower.snapshot_to(&path) {
+                        eprintln!("bashard: final snapshot to {} failed: {e}", path.display());
+                    }
+                }
+                let report = ShardReport {
+                    shard: follower
+                        .config()
+                        .shard
+                        .expect("shard workers always carry an assignment"),
+                    labels: follower.labels().clone(),
+                    embeddings: follower.export_embeddings(),
+                    history_lens: follower.history_lens(),
+                    num_tracked: follower.num_tracked(),
+                    next_height: follower.next_height(),
+                    metrics: follower.metrics().clone(),
+                };
+                reply.send(report).ok();
+                return;
+            }
+        }
     }
 }
 
@@ -403,5 +952,31 @@ fn built_or_report(
             init_tx.send(Err(reason)).ok();
             None
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_board_tracks_liveness_and_beats() {
+        let health = ShardHealth::new(2);
+        assert!(!health.is_up(0));
+        assert!(!health.is_up(1));
+        assert!(!health.is_up(7), "out-of-range shards read as down");
+        health.mark_up(0);
+        assert!(health.is_up(0));
+        health.beat(0, 42);
+        assert_eq!(health.processed(0), 42);
+        assert!(health.beat_age(0) < Duration::from_secs(1));
+        assert_eq!(health.beat_age(9), Duration::MAX);
+        health.record_respawn(0);
+        health.record_respawn(0);
+        health.record_respawn(1);
+        assert_eq!(health.respawns(0), 2);
+        assert_eq!(health.total_respawns(), 3);
+        health.mark_down(0);
+        assert!(!health.is_up(0));
     }
 }

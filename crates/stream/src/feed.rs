@@ -8,10 +8,50 @@
 
 use btcsim::{Block, BlockCursor, SimConfig};
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// The upstream producer stopped delivering blocks: nothing arrived for
+/// the stall window while the channel stayed open. Carries the watermark
+/// evidence so the operator sees *where* the pipeline stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedStalled {
+    /// Blocks the producer had delivered when the stall was declared.
+    pub produced: u64,
+    /// How long the producer watermark had been silent.
+    pub stalled_for: Duration,
+}
+
+impl std::fmt::Display for FeedStalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "block feed stalled: producer silent for {:?} after {} blocks",
+            self.stalled_for, self.produced
+        )
+    }
+}
+
+impl std::error::Error for FeedStalled {}
+
+/// Producer handle of a [`BlockFeed::manual`] feed: sends record the
+/// produced watermark exactly like the internal simulation producer.
+pub struct FeedSender {
+    tx: SyncSender<Block>,
+    watermark: Arc<Watermark>,
+}
+
+impl FeedSender {
+    /// Deliver one block; `Err` when the consumer hung up. The produced
+    /// watermark is stamped before the (possibly blocking) send, matching
+    /// the simulation producer.
+    pub fn send(&self, block: Block) -> Result<(), Block> {
+        self.watermark.record_produced(block.height);
+        self.tx.send(block).map_err(|mpsc::SendError(b)| b)
+    }
+}
 
 /// Produced/processed progress shared between the two ends of a feed.
 ///
@@ -143,6 +183,26 @@ impl BlockFeed {
         }
     }
 
+    /// A feed whose producer is external code holding the returned
+    /// [`FeedSender`] — the shape `bstream-follow` and tests use to model
+    /// an upstream that can die or wedge.
+    pub fn manual(capacity: usize) -> (FeedSender, Self) {
+        let watermark = Arc::new(Watermark::new());
+        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+        let sender = FeedSender {
+            tx,
+            watermark: Arc::clone(&watermark),
+        };
+        (
+            sender,
+            Self {
+                rx: Some(rx),
+                watermark,
+                producer: None,
+            },
+        )
+    }
+
     pub fn watermark(&self) -> &Arc<Watermark> {
         &self.watermark
     }
@@ -157,6 +217,22 @@ impl BlockFeed {
         match &self.rx {
             Some(rx) => rx.recv_timeout(timeout),
             None => Err(RecvTimeoutError::Disconnected),
+        }
+    }
+
+    /// Next block, waiting at most `stall_timeout`: `Ok(Some(_))` on a
+    /// block, `Ok(None)` when the producer finished cleanly (channel
+    /// closed), and [`FeedStalled`] when the channel is still open but
+    /// nothing arrived — a dead or wedged upstream surfaces as an error
+    /// instead of blocking `recv` forever.
+    pub fn recv_stalled(&self, stall_timeout: Duration) -> Result<Option<Block>, FeedStalled> {
+        match self.recv_timeout(stall_timeout) {
+            Ok(block) => Ok(Some(block)),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+            Err(RecvTimeoutError::Timeout) => Err(FeedStalled {
+                produced: self.watermark.produced(),
+                stalled_for: self.watermark.produced_age().max(stall_timeout),
+            }),
         }
     }
 }
@@ -239,6 +315,47 @@ mod tests {
         }
         assert_eq!(got, blocks);
         assert_eq!(feed.watermark().produced(), 7);
+    }
+
+    #[test]
+    fn dead_producer_surfaces_as_a_stall_not_a_hang() {
+        let (sender, feed) = BlockFeed::manual(4);
+        let blocks: Vec<Block> = btcsim::BlockCursor::new(tiny(11, 3)).collect();
+        sender.send(blocks[0].clone()).unwrap();
+        assert_eq!(
+            feed.recv_stalled(Duration::from_millis(200)).unwrap(),
+            Some(blocks[0].clone())
+        );
+        // The producer is now wedged (alive — the sender is not dropped —
+        // but silent): recv_stalled must return the stall error, with the
+        // watermark evidence, instead of blocking.
+        let err = feed
+            .recv_stalled(Duration::from_millis(30))
+            .expect_err("silent producer must stall out");
+        assert_eq!(err.produced, 1);
+        assert!(err.stalled_for >= Duration::from_millis(30));
+        assert!(err.to_string().contains("stalled"));
+        // A clean EOF is not a stall.
+        sender.send(blocks[1].clone()).unwrap();
+        drop(sender);
+        assert!(feed
+            .recv_stalled(Duration::from_millis(30))
+            .unwrap()
+            .is_some());
+        assert_eq!(feed.recv_stalled(Duration::from_millis(30)).unwrap(), None);
+    }
+
+    #[test]
+    fn manual_feed_records_produced_watermark() {
+        let (sender, feed) = BlockFeed::manual(8);
+        for b in btcsim::BlockCursor::new(tiny(13, 5)) {
+            sender.send(b).unwrap();
+        }
+        assert_eq!(feed.watermark().produced(), 6);
+        drop(feed);
+        // Consumer hung up: the next send reports it.
+        let extra: Vec<Block> = btcsim::BlockCursor::new(tiny(13, 1)).collect();
+        assert!(sender.send(extra[0].clone()).is_err());
     }
 
     #[test]

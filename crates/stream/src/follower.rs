@@ -18,6 +18,7 @@
 //! `BaClassifier::embed_record`) is handed to `classify_embeddings`.
 
 use crate::feed::BlockFeed;
+use crate::journal::BlockJournal;
 use crate::metrics::StreamMetrics;
 use baclassifier::construction::{FocusAggregates, IncrementalGraphs};
 use baclassifier::{ArtifactError, BaClassifier, ModelArtifact, ShardAssignment};
@@ -51,6 +52,19 @@ pub struct FollowerConfig {
     /// filters. The assignment is persisted in snapshots so a restored
     /// follower can never silently adopt state from a different layout.
     pub shard: Option<ShardAssignment>,
+    /// Where the write-ahead block journal lives (`None` disables
+    /// journaling). With a journal, every block is appended — checksummed
+    /// — before it is applied, so [`Follower::recover`] can replay
+    /// everything since the last snapshot after a crash.
+    pub journal_path: Option<PathBuf>,
+    /// fsync the journal every this many appended frames: `1` makes every
+    /// block durable before it is applied (crash loses nothing), `N`
+    /// batches fsyncs, `0` leaves syncing to the OS.
+    pub journal_sync_every: u64,
+    /// How many snapshot generations to retain (`base`, `base.g1`, …).
+    /// Older generations are fallbacks when the newest snapshot is
+    /// corrupt; at least 1 is always kept.
+    pub snapshot_generations: usize,
 }
 
 impl Default for FollowerConfig {
@@ -62,6 +76,9 @@ impl Default for FollowerConfig {
             snapshot_path: None,
             tracked: None,
             shard: None,
+            journal_path: None,
+            journal_sync_every: 1,
+            snapshot_generations: 2,
         }
     }
 }
@@ -132,6 +149,8 @@ pub struct Follower {
     /// Height the next ingested block must have.
     pub(crate) next_height: u64,
     pub(crate) metrics: StreamMetrics,
+    /// Write-ahead journal; blocks are appended here before being applied.
+    pub(crate) journal: Option<BlockJournal>,
 }
 
 impl Follower {
@@ -145,6 +164,7 @@ impl Follower {
             labels: BTreeMap::new(),
             next_height: 0,
             metrics: StreamMetrics::default(),
+            journal: None,
         })
     }
 
@@ -153,6 +173,42 @@ impl Follower {
     /// embedding computed from a shorter history.
     pub fn attach_engine(&mut self, engine: Arc<Engine>) {
         self.engine = Some(engine);
+    }
+
+    /// Attach an open write-ahead journal: [`Follower::step`] appends each
+    /// new block before applying it. [`Follower::recover`] does this
+    /// automatically when the config names a `journal_path`.
+    pub fn attach_journal(&mut self, journal: BlockJournal) {
+        self.journal = Some(journal);
+    }
+
+    pub fn has_journal(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Force everything appended to the journal so far to stable storage.
+    pub fn sync_journal(&mut self) -> std::io::Result<()> {
+        match &mut self.journal {
+            Some(j) => {
+                let r = j.sync();
+                if r.is_ok() {
+                    self.metrics.journal_fsyncs += 1;
+                }
+                r
+            }
+            None => Ok(()),
+        }
+    }
+
+    /// Mark every tracked address dirty so the next
+    /// [`Follower::reclassify_dirty`] re-embeds and re-labels all of them.
+    /// Recovery identity checks use this to materialize the full embedding
+    /// table (restore rebuilds embeddings lazily) before comparing against
+    /// an uninterrupted run byte for byte.
+    pub fn mark_all_dirty(&mut self) {
+        for state in self.states.values_mut() {
+            state.dirty = true;
+        }
     }
 
     pub fn config(&self) -> &FollowerConfig {
@@ -340,9 +396,72 @@ impl Follower {
         reclassified
     }
 
+    /// Append a new block to the write-ahead journal (if attached).
+    /// Already-seen heights are not re-journaled, so overlapping replays
+    /// don't duplicate frames. Failures are counted and reported but do
+    /// not stop ingestion — durability degrades, availability doesn't.
+    fn journal_block(&mut self, block: &Block) {
+        let Some(journal) = &mut self.journal else {
+            return;
+        };
+        if block.height < self.next_height {
+            return;
+        }
+        match journal.append(block) {
+            Ok((bytes, synced)) => {
+                self.metrics.journal_frames += 1;
+                self.metrics.journal_bytes += bytes;
+                if synced {
+                    self.metrics.journal_fsyncs += 1;
+                }
+            }
+            Err(e) => {
+                self.metrics.journal_errors += 1;
+                eprintln!(
+                    "bstream: journal append for block {} failed: {e}",
+                    block.height
+                );
+            }
+        }
+    }
+
+    /// Drop journal frames below the minimum resume height across every
+    /// retained snapshot generation — frames an eventual fallback to the
+    /// *oldest* generation would still need must survive compaction.
+    fn compact_journal(&mut self) {
+        if self.journal.is_none() {
+            return;
+        }
+        let Some(base) = self.cfg.snapshot_path.clone() else {
+            return;
+        };
+        let mut floor = None;
+        for k in 0..self.cfg.snapshot_generations.max(1) {
+            let path = crate::recovery::generation_path(&base, k);
+            if !path.exists() {
+                continue;
+            }
+            match crate::snapshot::snapshot_height(&path) {
+                Ok(h) => floor = Some(floor.map_or(h, |f: u64| f.min(h))),
+                // An unreadable generation: skip compaction entirely — we
+                // cannot know which frames it would need.
+                Err(_) => return,
+            }
+        }
+        let Some(floor) = floor else { return };
+        let journal = self.journal.as_mut().expect("checked above");
+        if let Err(e) = journal.compact_below(floor) {
+            self.metrics.journal_errors += 1;
+            eprintln!("bstream: journal compaction failed: {e}");
+        }
+    }
+
     /// Ingest one block and run the periodic reclassification/snapshot
-    /// duties its height triggers.
+    /// duties its height triggers. With a journal attached, the block is
+    /// made durable *before* it is applied — the write-ahead contract that
+    /// lets [`Follower::recover`] rebuild this exact state after a crash.
     pub fn step(&mut self, block: &Block) {
+        self.journal_block(block);
         self.ingest_block(block);
         let blocks_done = self.next_height;
         if self.cfg.reclass_every > 0 && blocks_done.is_multiple_of(self.cfg.reclass_every) {
@@ -350,8 +469,11 @@ impl Follower {
         }
         if self.cfg.snapshot_every > 0 && blocks_done.is_multiple_of(self.cfg.snapshot_every) {
             if let Some(path) = self.cfg.snapshot_path.clone() {
-                if let Err(e) = self.snapshot_to(&path) {
-                    eprintln!("bstream: snapshot to {} failed: {e}", path.display());
+                match self.snapshot_to(&path) {
+                    Ok(()) => self.compact_journal(),
+                    Err(e) => {
+                        eprintln!("bstream: snapshot to {} failed: {e}", path.display())
+                    }
                 }
             }
         }
@@ -368,9 +490,15 @@ impl Follower {
         }
         self.reclassify_dirty();
         if let Some(path) = self.cfg.snapshot_path.clone() {
-            if let Err(e) = self.snapshot_to(&path) {
-                eprintln!("bstream: final snapshot to {} failed: {e}", path.display());
+            match self.snapshot_to(&path) {
+                Ok(()) => self.compact_journal(),
+                Err(e) => {
+                    eprintln!("bstream: final snapshot to {} failed: {e}", path.display())
+                }
             }
+        }
+        if let Err(e) = self.sync_journal() {
+            eprintln!("bstream: final journal sync failed: {e}");
         }
     }
 }

@@ -26,19 +26,33 @@
 //!    applies backpressure to the producer instead of buffering the chain;
 //!    the [`feed::Watermark`] quantifies blocks-behind-tip at any moment.
 //! 3. **Durability.** [`Follower::snapshot_to`] checkpoints histories and
-//!    labels atomically; [`Follower::restore`] rebuilds all derived state
-//!    and resumes from the checkpoint height.
+//!    labels atomically (rotating older generations aside);
+//!    [`Follower::restore`] rebuilds all derived state and resumes from
+//!    the checkpoint height.
+//! 4. **Crash safety.** With a journal configured, every block is
+//!    appended to a checksummed write-ahead journal *before* it is
+//!    applied; [`Follower::recover`] restores the newest valid snapshot
+//!    generation (quarantining corrupt ones) and replays the journal
+//!    tail, yielding state byte-identical to an uninterrupted run.
 //!
 //! The `bstream-follow` binary wires these together against a live
 //! simulation; `stream_bench` (in the bench crate) measures throughput,
-//! reclassification latency, and the incremental-vs-reconstruction speedup.
+//! reclassification latency, and the incremental-vs-reconstruction
+//! speedup, and `chaos_stream_bench` measures recovery time, replay
+//! throughput, and blocks lost (required: zero).
 
 pub mod feed;
 pub mod follower;
+pub mod journal;
 pub mod metrics;
+pub mod recovery;
+pub mod shutdown;
 pub mod snapshot;
 
-pub use feed::{BlockFeed, Watermark};
+pub use feed::{BlockFeed, FeedSender, FeedStalled, Watermark};
 pub use follower::{Follower, FollowerConfig};
+pub use journal::{crc32, scan_journal, BlockJournal, JournalScan, TornFrame};
 pub use metrics::StreamMetrics;
-pub use snapshot::SnapshotError;
+pub use recovery::{generation_path, quarantine_path, Recovery};
+pub use shutdown::{install_sigint_handler, request_shutdown, shutdown_requested};
+pub use snapshot::{snapshot_height, SnapshotError};

@@ -22,6 +22,19 @@ pub struct StreamMetrics {
     pub invalidations: u64,
     /// Snapshots written successfully.
     pub snapshots_written: u64,
+    /// Corrupt snapshots renamed aside during recovery.
+    pub snapshots_quarantined: u64,
+    /// Frames appended to the write-ahead journal.
+    pub journal_frames: u64,
+    /// Bytes appended to the write-ahead journal.
+    pub journal_bytes: u64,
+    /// fsyncs issued by the journal's durability cadence.
+    pub journal_fsyncs: u64,
+    /// Blocks replayed from the journal tail during recovery.
+    pub journal_replayed: u64,
+    /// Journal appends or compactions that failed (state still applied;
+    /// durability of those blocks is degraded until the next snapshot).
+    pub journal_errors: u64,
     /// Wall time spent applying blocks to incremental state.
     pub ingest_time: Duration,
     /// Wall time spent re-deriving, re-embedding, and classifying.
@@ -74,7 +87,10 @@ impl StreamMetrics {
                 "{{\"blocks_ingested\":{},\"txs_ingested\":{},",
                 "\"tx_applications\":{},\"reclassifications\":{},",
                 "\"label_flips\":{},\"invalidations\":{},",
-                "\"snapshots_written\":{},\"ingest_ms\":{:.3},",
+                "\"snapshots_written\":{},\"snapshots_quarantined\":{},",
+                "\"journal_frames\":{},\"journal_bytes\":{},",
+                "\"journal_fsyncs\":{},\"journal_replayed\":{},",
+                "\"journal_errors\":{},\"ingest_ms\":{:.3},",
                 "\"reclass_ms\":{:.3},\"ingest_blocks_per_sec\":{:.2},",
                 "\"reclass_p50_us\":{},\"reclass_p99_us\":{},",
                 "\"mean_lag\":{:.3},\"steady_lag\":{:.3}}}"
@@ -86,6 +102,12 @@ impl StreamMetrics {
             self.label_flips,
             self.invalidations,
             self.snapshots_written,
+            self.snapshots_quarantined,
+            self.journal_frames,
+            self.journal_bytes,
+            self.journal_fsyncs,
+            self.journal_replayed,
+            self.journal_errors,
             self.ingest_time.as_secs_f64() * 1e3,
             self.reclass_time.as_secs_f64() * 1e3,
             self.ingest_blocks_per_sec(),

@@ -1,0 +1,456 @@
+//! Crash recovery: snapshot generations, quarantine, and journal replay.
+//!
+//! The durable state of a follower is a small family of files:
+//!
+//! ```text
+//! base            newest snapshot (generation 0)
+//! base.g1         previous snapshot (generation 1)
+//! base.g2 …       older generations, up to `snapshot_generations`
+//! journal         write-ahead block journal (frames ≥ the oldest
+//!                 generation's height survive compaction)
+//! ```
+//!
+//! [`Follower::recover`] walks the generations newest-first. A snapshot
+//! that fails its checksum (or any parse) is renamed to `*.quarantine` —
+//! kept for post-mortems, never retried — and the next generation is
+//! tried; the older the generation, the longer the journal replay that
+//! follows, but the recovered tip state is identical. Only when *no*
+//! generation restores does recovery start from genesis, which is still
+//! correct as long as the journal reaches back that far (a gap between
+//! the restored height and the journal's first frame is a hard error, not
+//! a silent hole in the state).
+//!
+//! Replay never consults fault-injection hooks and never re-journals:
+//! blocks come *from* the journal and are applied with the same
+//! `ingest_block` path as live ingestion, then one reclassification pass
+//! brings the label table current. Recovery is therefore byte-identical
+//! to an uninterrupted run — the property `tests/crash_recovery.rs` and
+//! `chaos_stream_bench` assert.
+
+use crate::follower::{Follower, FollowerConfig};
+use crate::journal::{scan_journal, BlockJournal, JournalScan};
+use crate::snapshot::SnapshotError;
+use baclassifier::ModelArtifact;
+use std::path::{Path, PathBuf};
+
+/// Path of snapshot generation `k` for base path `base`: the base itself
+/// for `k = 0`, `base.g<k>` for older generations.
+pub fn generation_path(base: &Path, k: usize) -> PathBuf {
+    if k == 0 {
+        return base.to_path_buf();
+    }
+    let mut name = base.as_os_str().to_os_string();
+    name.push(format!(".g{k}"));
+    PathBuf::from(name)
+}
+
+/// Path a corrupt snapshot is quarantined to.
+pub fn quarantine_path(snapshot: &Path) -> PathBuf {
+    let mut name = snapshot.as_os_str().to_os_string();
+    name.push(".quarantine");
+    PathBuf::from(name)
+}
+
+/// Shift existing generations one slot older ahead of a new snapshot
+/// write: the oldest retained generation is dropped, `base` becomes
+/// `base.g1`, and so on. With `generations <= 1` nothing is kept beyond
+/// the base file and this is a no-op.
+pub(crate) fn rotate_generations(base: &Path, generations: usize) -> std::io::Result<()> {
+    if generations <= 1 || !base.exists() {
+        return Ok(());
+    }
+    std::fs::remove_file(generation_path(base, generations - 1)).ok();
+    for k in (0..generations - 1).rev() {
+        let from = generation_path(base, k);
+        if from.exists() {
+            std::fs::rename(&from, generation_path(base, k + 1))?;
+        }
+    }
+    Ok(())
+}
+
+/// What [`Follower::recover`] rebuilt and from where.
+pub struct Recovery {
+    pub follower: Follower,
+    /// Which snapshot generation restored (0 = newest); `None` when no
+    /// usable snapshot existed and state was rebuilt from the journal
+    /// alone.
+    pub restored_generation: Option<usize>,
+    /// Snapshots that failed restore, with where they were moved and why.
+    pub quarantined: Vec<(PathBuf, String)>,
+    /// Blocks replayed from the journal tail (heights the restored
+    /// snapshot did not already cover).
+    pub replayed_blocks: u64,
+    /// Offset and reason of a torn journal tail, if one was truncated.
+    pub journal_torn: Option<String>,
+}
+
+impl Follower {
+    /// Recover follower state from disk: restore the newest valid
+    /// snapshot generation (quarantining corrupt ones), replay the
+    /// journal tail, reclassify, and leave the journal attached for
+    /// continued ingestion. Equivalent to
+    /// [`Follower::recover_with`]`(artifact, cfg, true)`.
+    pub fn recover(
+        artifact: &ModelArtifact,
+        cfg: FollowerConfig,
+    ) -> Result<Recovery, SnapshotError> {
+        Self::recover_with(artifact, cfg, true)
+    }
+
+    /// [`Follower::recover`] with control over journal ownership. With
+    /// `attach_journal` the journal is opened read-write (truncating any
+    /// torn tail) and attached to the follower for continued appends.
+    /// Without it the journal is only *read* for replay — the mode shard
+    /// workers use when the sharding driver owns the journal file.
+    pub fn recover_with(
+        artifact: &ModelArtifact,
+        cfg: FollowerConfig,
+        attach_journal: bool,
+    ) -> Result<Recovery, SnapshotError> {
+        let generations = cfg.snapshot_generations.max(1);
+        let mut quarantined: Vec<(PathBuf, String)> = Vec::new();
+        let mut restored: Option<(Follower, usize)> = None;
+        if let Some(base) = cfg.snapshot_path.clone() {
+            for k in 0..generations {
+                let path = generation_path(&base, k);
+                if !path.exists() {
+                    continue;
+                }
+                match Follower::restore(artifact, cfg.clone(), &path) {
+                    Ok(f) => {
+                        restored = Some((f, k));
+                        break;
+                    }
+                    Err(e) => {
+                        let dest = quarantine_path(&path);
+                        let reason = match std::fs::rename(&path, &dest) {
+                            Ok(()) => format!("{e} (quarantined to {})", dest.display()),
+                            Err(mv) => format!("{e} (quarantine rename failed: {mv})"),
+                        };
+                        eprintln!("bstream: snapshot {} unusable: {reason}", path.display());
+                        quarantined.push((dest, reason));
+                    }
+                }
+            }
+        }
+        let (mut follower, restored_generation) = match restored {
+            Some((f, k)) => (f, Some(k)),
+            None => (
+                Follower::new(artifact, cfg.clone()).map_err(SnapshotError::Artifact)?,
+                None,
+            ),
+        };
+        follower.metrics_mut().snapshots_quarantined += quarantined.len() as u64;
+
+        // Replay the journal tail over the restored state.
+        let mut replayed_blocks = 0u64;
+        let mut journal_torn = None;
+        let mut journal = None;
+        if let Some(jpath) = cfg.journal_path.clone() {
+            let scan: Option<JournalScan> = if attach_journal {
+                let (j, scan) = BlockJournal::open_or_create(&jpath, cfg.journal_sync_every)?;
+                journal = Some(j);
+                Some(scan)
+            } else if jpath.exists() {
+                Some(scan_journal(&jpath)?)
+            } else {
+                None
+            };
+            if let Some(scan) = scan {
+                if let Some(torn) = &scan.torn {
+                    journal_torn = Some(format!(
+                        "{}: torn frame at byte {}: {} (truncated to last whole frame)",
+                        jpath.display(),
+                        torn.offset,
+                        torn.reason
+                    ));
+                }
+                for block in &scan.blocks {
+                    if block.height < follower.next_height() {
+                        continue;
+                    }
+                    if block.height > follower.next_height() {
+                        return Err(SnapshotError::Malformed(format!(
+                            "{}: journal gap: restored state resumes at height {} but the \
+                             journal's next frame is height {} — blocks are missing",
+                            jpath.display(),
+                            follower.next_height(),
+                            block.height
+                        )));
+                    }
+                    follower.ingest_block(block);
+                    replayed_blocks += 1;
+                }
+                follower.metrics_mut().journal_replayed += replayed_blocks;
+            }
+        }
+        follower.reclassify_dirty();
+        if let Some(j) = journal {
+            follower.attach_journal(j);
+        }
+        Ok(Recovery {
+            follower,
+            restored_generation,
+            quarantined,
+            replayed_blocks,
+            journal_torn,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::follower::tests::{test_artifact, test_sim};
+    use btcsim::{Block, BlockCursor};
+
+    fn temp_base(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!(
+            "bstream_recovery_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    fn cleanup(base: &Path) {
+        for k in 0..4 {
+            let p = generation_path(base, k);
+            std::fs::remove_file(quarantine_path(&p)).ok();
+            std::fs::remove_file(&p).ok();
+        }
+        let mut journal = base.as_os_str().to_os_string();
+        journal.push(".journal");
+        std::fs::remove_file(PathBuf::from(journal)).ok();
+    }
+
+    fn recovery_cfg(base: &Path) -> FollowerConfig {
+        let mut journal = base.as_os_str().to_os_string();
+        journal.push(".journal");
+        FollowerConfig {
+            snapshot_path: Some(base.to_path_buf()),
+            journal_path: Some(PathBuf::from(journal)),
+            snapshot_generations: 2,
+            ..FollowerConfig::default()
+        }
+    }
+
+    /// Uninterrupted reference over the same chain and config shape.
+    fn reference_tip(artifact: &baclassifier::ModelArtifact, blocks: &[Block]) -> Follower {
+        let mut f = Follower::new(artifact, FollowerConfig::default()).unwrap();
+        for b in blocks {
+            f.step(b);
+        }
+        f.reclassify_dirty();
+        f
+    }
+
+    fn assert_identical(recovered: &mut Follower, reference: &Follower) {
+        recovered.mark_all_dirty();
+        recovered.reclassify_dirty();
+        assert_eq!(recovered.next_height(), reference.next_height());
+        assert_eq!(recovered.labels(), reference.labels());
+        assert_eq!(recovered.history_lens(), reference.history_lens());
+        let want = reference.export_embeddings();
+        let got = recovered.export_embeddings();
+        assert_eq!(got.len(), want.len());
+        for (addr, embeds) in &got {
+            let expect = &want[addr];
+            assert_eq!(embeds.len(), expect.len(), "slice count for {addr:?}");
+            for (g, w) in embeds.iter().zip(expect) {
+                assert_eq!(g.as_slice(), w.as_slice(), "embedding bytes for {addr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_generations_rotate() {
+        let base = temp_base("rotate");
+        cleanup(&base);
+        let artifact = test_artifact();
+        let blocks: Vec<Block> = BlockCursor::new(test_sim(73, 12)).collect();
+        let cfg = FollowerConfig {
+            snapshot_path: Some(base.clone()),
+            snapshot_generations: 3,
+            ..FollowerConfig::default()
+        };
+        let mut follower = Follower::new(&artifact, cfg).unwrap();
+        let mut snapshot_heights = Vec::new();
+        for (i, b) in blocks.iter().enumerate() {
+            follower.step(b);
+            if i % 3 == 2 {
+                follower.snapshot_to(&base).unwrap();
+                snapshot_heights.push(follower.next_height());
+            }
+        }
+        // Newest in base, the two prior checkpoints in .g1/.g2.
+        let n = snapshot_heights.len();
+        for (k, want) in (0..3).zip(snapshot_heights.iter().rev().take(3)) {
+            let path = generation_path(&base, k);
+            assert!(path.exists(), "generation {k} missing");
+            assert_eq!(
+                crate::snapshot::snapshot_height(&path).unwrap(),
+                *want,
+                "generation {k} height"
+            );
+        }
+        assert!(n >= 3);
+        assert!(!generation_path(&base, 3).exists(), "over-retention");
+        cleanup(&base);
+    }
+
+    #[test]
+    fn crash_midway_recovers_byte_identically_via_journal() {
+        let base = temp_base("crash");
+        cleanup(&base);
+        let artifact = test_artifact();
+        let blocks: Vec<Block> = BlockCursor::new(test_sim(79, 24)).collect();
+        let reference = reference_tip(&artifact, &blocks);
+        let cfg = recovery_cfg(&base);
+
+        // Run half the chain with a snapshot early on, then "crash" (drop
+        // without a final snapshot — the journal holds the tail).
+        {
+            let mut rec = Follower::recover(&artifact, cfg.clone()).unwrap().follower;
+            for b in &blocks[..16] {
+                rec.step(b);
+                if b.height == 7 {
+                    rec.snapshot_to(&base).unwrap();
+                }
+            }
+            assert!(rec.metrics().journal_frames >= 16);
+        }
+
+        // Recover: snapshot at height 8, journal replay for the rest.
+        let recovery = Follower::recover(&artifact, cfg).unwrap();
+        assert_eq!(recovery.restored_generation, Some(0));
+        assert!(recovery.quarantined.is_empty());
+        assert_eq!(recovery.replayed_blocks, 8, "journal tail after height 8");
+        let mut recovered = recovery.follower;
+        assert_eq!(recovered.next_height(), 16);
+        // Finish the chain and compare against the uninterrupted run.
+        for b in &blocks[16..] {
+            recovered.step(b);
+        }
+        recovered.reclassify_dirty();
+        assert_identical(&mut recovered, &reference);
+        cleanup(&base);
+    }
+
+    #[test]
+    fn corrupt_latest_generation_falls_back_and_quarantines() {
+        let base = temp_base("fallback");
+        cleanup(&base);
+        let artifact = test_artifact();
+        let blocks: Vec<Block> = BlockCursor::new(test_sim(83, 20)).collect();
+        let reference = reference_tip(&artifact, &blocks);
+        let cfg = recovery_cfg(&base);
+
+        {
+            let mut rec = Follower::recover(&artifact, cfg.clone()).unwrap().follower;
+            for b in &blocks {
+                rec.step(b);
+                if b.height == 5 || b.height == 12 {
+                    rec.snapshot_to(&base).unwrap();
+                }
+            }
+        }
+        // Corrupt the newest snapshot (generation 0).
+        let mut bytes = std::fs::read(&base).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x04;
+        std::fs::write(&base, &bytes).unwrap();
+
+        let recovery = Follower::recover(&artifact, cfg).unwrap();
+        assert_eq!(recovery.restored_generation, Some(1), "fell back to .g1");
+        assert_eq!(recovery.quarantined.len(), 1);
+        assert!(quarantine_path(&base).exists(), "corrupt file preserved");
+        assert!(!base.exists(), "corrupt file moved out of the way");
+        // Longer replay: everything after the .g1 checkpoint at height 6.
+        assert_eq!(recovery.replayed_blocks, blocks.len() as u64 - 6);
+        let mut recovered = recovery.follower;
+        assert_identical(&mut recovered, &reference);
+        cleanup(&base);
+    }
+
+    #[test]
+    fn recovery_from_journal_alone_rebuilds_everything() {
+        let base = temp_base("journalonly");
+        cleanup(&base);
+        let artifact = test_artifact();
+        let blocks: Vec<Block> = BlockCursor::new(test_sim(89, 15)).collect();
+        let reference = reference_tip(&artifact, &blocks);
+        let cfg = recovery_cfg(&base);
+        {
+            let mut rec = Follower::recover(&artifact, cfg.clone()).unwrap().follower;
+            for b in &blocks {
+                rec.step(b);
+            }
+            // No snapshot was ever written.
+        }
+        let recovery = Follower::recover(&artifact, cfg).unwrap();
+        assert_eq!(recovery.restored_generation, None);
+        assert_eq!(recovery.replayed_blocks, blocks.len() as u64);
+        let mut recovered = recovery.follower;
+        assert_identical(&mut recovered, &reference);
+        cleanup(&base);
+    }
+
+    #[test]
+    fn journal_gap_is_a_hard_error() {
+        let base = temp_base("gap");
+        cleanup(&base);
+        let artifact = test_artifact();
+        let blocks: Vec<Block> = BlockCursor::new(test_sim(97, 10)).collect();
+        let cfg = recovery_cfg(&base);
+        {
+            let mut rec = Follower::recover(&artifact, cfg.clone()).unwrap().follower;
+            for b in &blocks {
+                rec.step(b);
+                if b.height == 6 {
+                    rec.snapshot_to(&base).unwrap();
+                }
+            }
+            // Compact the journal past the snapshot, then delete the
+            // snapshot: the journal now starts at height 7 with no state
+            // below it.
+        }
+        let jpath = cfg.journal_path.clone().unwrap();
+        let (mut j, _) = crate::journal::BlockJournal::open_or_create(&jpath, 1).unwrap();
+        j.compact_below(7).unwrap();
+        drop(j);
+        for k in 0..2 {
+            std::fs::remove_file(generation_path(&base, k)).ok();
+        }
+        match Follower::recover(&artifact, cfg).err() {
+            Some(SnapshotError::Malformed(m)) => {
+                assert!(m.contains("journal gap"), "message: {m}")
+            }
+            other => panic!("expected journal-gap error, got {other:?}"),
+        }
+        cleanup(&base);
+    }
+
+    #[test]
+    fn torn_journal_tail_is_truncated_and_reported() {
+        let base = temp_base("torntail");
+        cleanup(&base);
+        let artifact = test_artifact();
+        let blocks: Vec<Block> = BlockCursor::new(test_sim(101, 10)).collect();
+        let cfg = recovery_cfg(&base);
+        {
+            let mut rec = Follower::recover(&artifact, cfg.clone()).unwrap().follower;
+            for b in &blocks {
+                rec.step(b);
+            }
+        }
+        let jpath = cfg.journal_path.clone().unwrap();
+        let bytes = std::fs::read(&jpath).unwrap();
+        std::fs::write(&jpath, &bytes[..bytes.len() - 3]).unwrap();
+        let recovery = Follower::recover(&artifact, cfg).unwrap();
+        assert!(recovery.journal_torn.is_some());
+        assert_eq!(recovery.replayed_blocks, blocks.len() as u64 - 1);
+        assert_eq!(recovery.follower.next_height(), blocks.len() as u64 - 1);
+        cleanup(&base);
+    }
+}

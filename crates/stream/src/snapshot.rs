@@ -9,6 +9,7 @@
 //! addresses <n>
 //! A <addr> <label-index|-> <num-txs>
 //! T <txid> <timestamp> <n-in> <n-out> <addr>:<sats> ...
+//! checksum <crc32-hex>                     (over every preceding byte)
 //! ```
 //!
 //! Each `A` line is followed by its `num-txs` `T` lines, inputs listed
@@ -19,6 +20,14 @@
 //! are written atomically (temp file + fsync + rename): a crash mid-write
 //! leaves the previous snapshot intact.
 //!
+//! The trailing `checksum` line is a CRC32 (same polynomial as the block
+//! journal) over every byte before it. Restore verifies it before trusting
+//! a single parsed value, so a bit-flip anywhere in the file is a
+//! [`SnapshotError::Checksum`] naming the path — not a silently divergent
+//! label table. Files written before the trailer existed (no `checksum`
+//! line) still restore; they simply forgo the integrity check. Every parse
+//! error names the file and the 1-based line it occurred on.
+//!
 //! The optional `shard` line makes a snapshot self-describing about its
 //! place in a sharded deployment: restore adopts the recorded assignment
 //! when the config doesn't name one, rejects the file when the config
@@ -27,6 +36,7 @@
 //! trivial 1-shard layout, so pre-sharding snapshots restore unchanged.
 
 use crate::follower::{Follower, FollowerConfig};
+use crate::journal::crc32;
 use baclassifier::{ArtifactError, ModelArtifact, ShardAssignment, SHARD_HASH_VERSION};
 use btcsim::{Address, Amount, Label, TxView, Txid};
 use std::fmt::Write as _;
@@ -41,6 +51,8 @@ pub enum SnapshotError {
     Malformed(String),
     /// The file is a snapshot of a version this build cannot read.
     UnsupportedVersion(String),
+    /// The file's checksum trailer does not match its contents.
+    Checksum(String),
     /// The model artifact could not be loaded during restore.
     Artifact(ArtifactError),
 }
@@ -53,6 +65,7 @@ impl std::fmt::Display for SnapshotError {
             SnapshotError::UnsupportedVersion(v) => {
                 write!(f, "unsupported snapshot version: {v}")
             }
+            SnapshotError::Checksum(m) => write!(f, "snapshot checksum mismatch: {m}"),
             SnapshotError::Artifact(e) => write!(f, "artifact: {e}"),
         }
     }
@@ -70,10 +83,55 @@ fn malformed(msg: impl Into<String>) -> SnapshotError {
     SnapshotError::Malformed(msg.into())
 }
 
-fn parse_u64(tok: Option<&str>, what: &str) -> Result<u64, SnapshotError> {
-    tok.ok_or_else(|| malformed(format!("missing {what}")))?
+/// Line-by-line reader that knows which file and line it is on, so every
+/// error can say exactly where parsing stopped.
+struct SnapshotLines<'a> {
+    path: &'a Path,
+    lines: std::iter::Peekable<std::str::Lines<'a>>,
+    /// 1-based number of the last line handed out.
+    line_no: usize,
+}
+
+impl<'a> SnapshotLines<'a> {
+    fn new(path: &'a Path, text: &'a str) -> Self {
+        Self {
+            path,
+            lines: text.lines().peekable(),
+            line_no: 0,
+        }
+    }
+
+    fn next_line(&mut self, what: &str) -> Result<&'a str, SnapshotError> {
+        match self.lines.next() {
+            Some(line) => {
+                self.line_no += 1;
+                Ok(line)
+            }
+            None => Err(malformed(format!(
+                "{}: unexpected end of file at line {}: missing {what}",
+                self.path.display(),
+                self.line_no + 1
+            ))),
+        }
+    }
+
+    fn peek(&mut self) -> Option<&&'a str> {
+        self.lines.peek()
+    }
+
+    fn bad(&self, msg: impl std::fmt::Display) -> SnapshotError {
+        malformed(format!(
+            "{} line {}: {msg}",
+            self.path.display(),
+            self.line_no
+        ))
+    }
+}
+
+fn parse_u64(tok: Option<&str>, what: &str) -> Result<u64, String> {
+    tok.ok_or_else(|| format!("missing {what}"))?
         .parse()
-        .map_err(|_| malformed(format!("bad {what}")))
+        .map_err(|_| format!("bad {what}"))
 }
 
 fn write_entries(line: &mut String, entries: &[(Address, Amount)]) {
@@ -82,18 +140,46 @@ fn write_entries(line: &mut String, entries: &[(Address, Amount)]) {
     }
 }
 
-fn parse_entry(tok: &str) -> Result<(Address, Amount), SnapshotError> {
+fn parse_entry(tok: &str) -> Result<(Address, Amount), String> {
     let (addr, sats) = tok
         .split_once(':')
-        .ok_or_else(|| malformed(format!("bad entry {tok:?}")))?;
+        .ok_or_else(|| format!("bad entry {tok:?}"))?;
     Ok((
         Address(parse_u64(Some(addr), "entry address")?),
         Amount::from_sats(parse_u64(Some(sats), "entry sats")?),
     ))
 }
 
+/// Read just the `height` header of a snapshot — the resume height its
+/// restore would start at — without parsing the body. Used to compute the
+/// journal-compaction floor across retained snapshot generations.
+pub fn snapshot_height(path: &Path) -> Result<u64, SnapshotError> {
+    let file = std::fs::File::open(path)?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut header = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut header)?;
+    if header.trim_end() != "BSTREAM v1" {
+        return Err(SnapshotError::UnsupportedVersion(format!(
+            "{}: {}",
+            path.display(),
+            header.trim_end()
+        )));
+    }
+    let mut line = String::new();
+    std::io::BufRead::read_line(&mut reader, &mut line)?;
+    let mut toks = line.split_whitespace();
+    if toks.next() != Some("height") {
+        return Err(malformed(format!(
+            "{} line 2: expected height line",
+            path.display()
+        )));
+    }
+    parse_u64(toks.next(), "height")
+        .map_err(|m| malformed(format!("{} line 2: {m}", path.display())))
+}
+
 impl Follower {
-    /// Write a snapshot to `path`, atomically.
+    /// Write a snapshot to `path`, atomically, with a checksum trailer.
     ///
     /// Runs a reclassification pass first so the snapshot captures a
     /// fully-classified point: a restored follower starts with no dirty
@@ -133,6 +219,12 @@ impl Follower {
                 out.push('\n');
             }
         }
+        let _ = writeln!(out, "checksum {:08x}", crc32(out.as_bytes()));
+
+        // Rotate older generations aside before the rename replaces the
+        // base file, so a corrupt write discovered later still has a
+        // predecessor to fall back to.
+        crate::recovery::rotate_generations(path, self.cfg.snapshot_generations)?;
 
         // Append `.tmp` to the whole file name rather than replacing the
         // last extension: per-shard snapshots (`base.bsnap.0of4`,
@@ -165,36 +257,64 @@ impl Follower {
         path: &Path,
     ) -> Result<Self, SnapshotError> {
         let text = std::fs::read_to_string(path)?;
-        let mut lines = text.lines().peekable();
 
-        let header = lines.next().ok_or_else(|| malformed("empty file"))?;
+        // Verify the checksum trailer (if present) before trusting any
+        // parsed value. The trailer covers every byte before its own line.
+        let body = match text.lines().next_back() {
+            Some(last) if last.starts_with("checksum ") => {
+                let covered = &text[..text.len() - last.len() - 1];
+                let stored = last["checksum ".len()..].trim();
+                let computed = crc32(covered.as_bytes());
+                let stored_val = u32::from_str_radix(stored, 16).map_err(|_| {
+                    malformed(format!(
+                        "{}: unparseable checksum trailer {stored:?}",
+                        path.display()
+                    ))
+                })?;
+                if stored_val != computed {
+                    return Err(SnapshotError::Checksum(format!(
+                        "{}: stored {stored_val:08x}, computed {computed:08x} — \
+                         file is corrupt or was edited",
+                        path.display()
+                    )));
+                }
+                covered
+            }
+            // Pre-checksum files: parse the whole text, no integrity check.
+            _ => text.as_str(),
+        };
+
+        let mut lines = SnapshotLines::new(path, body);
+        let header = lines.next_line("BSTREAM header")?;
         if header != "BSTREAM v1" {
-            return Err(SnapshotError::UnsupportedVersion(header.to_string()));
+            return Err(SnapshotError::UnsupportedVersion(format!(
+                "{}: {}",
+                path.display(),
+                header
+            )));
         }
         let next_height = {
-            let mut toks = lines
-                .next()
-                .ok_or_else(|| malformed("missing height line"))?
-                .split_whitespace();
+            let mut toks = lines.next_line("height line")?.split_whitespace();
             if toks.next() != Some("height") {
-                return Err(malformed("expected height line"));
+                return Err(lines.bad("expected height line"));
             }
-            parse_u64(toks.next(), "height")?
+            parse_u64(toks.next(), "height").map_err(|m| lines.bad(m))?
         };
         // Optional shard line; absence means the trivial 1-shard layout.
         let file_shard = if lines.peek().is_some_and(|l| l.starts_with("shard ")) {
-            let mut toks = lines.next().expect("peeked shard line").split_whitespace();
+            let mut toks = lines.next_line("shard line")?.split_whitespace();
             toks.next(); // "shard"
-            let index = parse_u64(toks.next(), "shard index")? as u32;
-            let count = parse_u64(toks.next(), "shard count")? as u32;
-            let hash_version = parse_u64(toks.next(), "shard hash version")? as u32;
+            let index = parse_u64(toks.next(), "shard index").map_err(|m| lines.bad(m))? as u32;
+            let count = parse_u64(toks.next(), "shard count").map_err(|m| lines.bad(m))? as u32;
+            let hash_version =
+                parse_u64(toks.next(), "shard hash version").map_err(|m| lines.bad(m))? as u32;
             if hash_version != SHARD_HASH_VERSION {
                 return Err(SnapshotError::UnsupportedVersion(format!(
                     "shard hash v{hash_version} (this build implements v{SHARD_HASH_VERSION})"
                 )));
             }
             if count == 0 || index >= count {
-                return Err(malformed(format!("bad shard assignment {index}/{count}")));
+                return Err(lines.bad(format!("bad shard assignment {index}/{count}")));
             }
             Some(ShardAssignment { index, count })
         } else {
@@ -215,67 +335,62 @@ impl Follower {
             (None, None) => {}
         }
         let num_addresses = {
-            let mut toks = lines
-                .next()
-                .ok_or_else(|| malformed("missing addresses line"))?
-                .split_whitespace();
+            let mut toks = lines.next_line("addresses line")?.split_whitespace();
             if toks.next() != Some("addresses") {
-                return Err(malformed("expected addresses line"));
+                return Err(lines.bad("expected addresses line"));
             }
-            parse_u64(toks.next(), "address count")? as usize
+            parse_u64(toks.next(), "address count").map_err(|m| lines.bad(m))? as usize
         };
 
         let mut follower = Follower::new(artifact, cfg).map_err(SnapshotError::Artifact)?;
         follower.next_height = next_height;
 
         for _ in 0..num_addresses {
-            let mut toks = lines
-                .next()
-                .ok_or_else(|| malformed("missing A line"))?
-                .split_whitespace();
+            let mut toks = lines.next_line("A line")?.split_whitespace();
             if toks.next() != Some("A") {
-                return Err(malformed("expected A line"));
+                return Err(lines.bad("expected A line"));
             }
-            let addr = Address(parse_u64(toks.next(), "address")?);
+            let addr = Address(parse_u64(toks.next(), "address").map_err(|m| lines.bad(m))?);
             let label = match toks.next() {
                 Some("-") => None,
                 tok => {
-                    let idx = parse_u64(tok, "label index")? as usize;
+                    let idx = parse_u64(tok, "label index").map_err(|m| lines.bad(m))? as usize;
                     Some(
                         Label::from_index(idx)
-                            .ok_or_else(|| malformed(format!("bad label index {idx}")))?,
+                            .ok_or_else(|| lines.bad(format!("bad label index {idx}")))?,
                     )
                 }
             };
-            let num_txs = parse_u64(toks.next(), "tx count")? as usize;
+            let num_txs = parse_u64(toks.next(), "tx count").map_err(|m| lines.bad(m))? as usize;
 
-            let mut history = Vec::with_capacity(num_txs);
+            let mut history = Vec::with_capacity(num_txs.min(1 << 20));
             for _ in 0..num_txs {
-                let mut toks = lines
-                    .next()
-                    .ok_or_else(|| malformed("missing T line"))?
-                    .split_whitespace();
+                let mut toks = lines.next_line("T line")?.split_whitespace();
                 if toks.next() != Some("T") {
-                    return Err(malformed("expected T line"));
+                    return Err(lines.bad("expected T line"));
                 }
-                let txid = Txid(parse_u64(toks.next(), "txid")?);
-                let timestamp = parse_u64(toks.next(), "timestamp")?;
-                let n_in = parse_u64(toks.next(), "input count")? as usize;
-                let n_out = parse_u64(toks.next(), "output count")? as usize;
-                let mut inputs = Vec::with_capacity(n_in);
+                let txid = Txid(parse_u64(toks.next(), "txid").map_err(|m| lines.bad(m))?);
+                let timestamp = parse_u64(toks.next(), "timestamp").map_err(|m| lines.bad(m))?;
+                let n_in =
+                    parse_u64(toks.next(), "input count").map_err(|m| lines.bad(m))? as usize;
+                let n_out =
+                    parse_u64(toks.next(), "output count").map_err(|m| lines.bad(m))? as usize;
+                let mut inputs = Vec::with_capacity(n_in.min(1 << 16));
                 for _ in 0..n_in {
-                    inputs.push(parse_entry(
-                        toks.next().ok_or_else(|| malformed("missing input"))?,
-                    )?);
+                    inputs.push(
+                        parse_entry(toks.next().ok_or_else(|| lines.bad("missing input"))?)
+                            .map_err(|m| lines.bad(m))?,
+                    );
                 }
-                let mut outputs = Vec::with_capacity(n_out);
+                let mut outputs = Vec::with_capacity(n_out.min(1 << 16));
                 for _ in 0..n_out {
-                    outputs.push(parse_entry(
-                        toks.next().ok_or_else(|| malformed("missing output"))?,
-                    )?);
+                    outputs.push(
+                        parse_entry(toks.next().ok_or_else(|| lines.bad("missing output"))?)
+                            .map_err(|m| lines.bad(m))?,
+                    );
                 }
                 if toks.next().is_some() {
-                    return Err(malformed("trailing tokens on T line"));
+                    return Err(lines.bad("trailing tokens on T line"));
                 }
                 history.push(TxView {
                     txid,
@@ -286,8 +401,12 @@ impl Follower {
             }
             follower.restore_address(addr, history, label);
         }
-        if lines.next().is_some() {
-            return Err(malformed("trailing lines after last address"));
+        if lines.next_line("end of file").is_ok() {
+            return Err(malformed(format!(
+                "{} line {}: trailing garbage after the last address",
+                path.display(),
+                lines.line_no
+            )));
         }
         Ok(follower)
     }
@@ -372,7 +491,13 @@ mod tests {
             .err()
             .expect("restore must fail");
         match err {
-            SnapshotError::UnsupportedVersion(v) => assert_eq!(v, "BSTREAM v999"),
+            SnapshotError::UnsupportedVersion(v) => {
+                assert!(v.contains("BSTREAM v999"), "version in error: {v}");
+                assert!(
+                    v.contains(path.display().to_string().as_str()),
+                    "path in error: {v}"
+                );
+            }
             other => panic!("expected UnsupportedVersion, got {other:?}"),
         }
 
@@ -381,9 +506,121 @@ mod tests {
             .err()
             .expect("restore must fail");
         match err {
-            SnapshotError::Malformed(_) => {}
+            SnapshotError::Malformed(m) => {
+                assert!(m.contains(path.display().to_string().as_str()));
+            }
             other => panic!("expected Malformed, got {other:?}"),
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bitflip_fails_the_checksum_naming_the_path() {
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(test_sim(53, 15)) {
+            follower.step(&block);
+        }
+        let path = temp_path("bitflip");
+        follower.snapshot_to(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.lines().next_back().unwrap().starts_with("checksum "));
+        // Corrupt one digit deep inside the body (swap a '3' for a '4'
+        // somewhere after the header so the file still "parses").
+        let mid = text.len() / 2;
+        let pos = text[mid..]
+            .char_indices()
+            .find(|(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| mid + i)
+            .expect("snapshot body contains digits");
+        let mut corrupted = text.into_bytes();
+        corrupted[pos] = if corrupted[pos] == b'3' { b'4' } else { b'3' };
+        std::fs::write(&path, &corrupted).unwrap();
+
+        match Follower::restore(&artifact, FollowerConfig::default(), &path).err() {
+            Some(SnapshotError::Checksum(m)) => {
+                assert!(
+                    m.contains(path.display().to_string().as_str()),
+                    "path in error: {m}"
+                );
+            }
+            other => panic!("expected Checksum, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_snapshot_without_checksum_still_restores() {
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(test_sim(57, 12)) {
+            follower.step(&block);
+        }
+        let path = temp_path("legacy");
+        follower.snapshot_to(&path).unwrap();
+        // Strip the trailer: what a pre-checksum build would have written.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let stripped: String = text
+            .lines()
+            .filter(|l| !l.starts_with("checksum "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&path, stripped).unwrap();
+        let restored = Follower::restore(&artifact, FollowerConfig::default(), &path).unwrap();
+        assert_eq!(restored.labels(), follower.labels());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected_naming_path_and_line() {
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(test_sim(59, 10)) {
+            follower.step(&block);
+        }
+        let path = temp_path("garbage");
+        follower.snapshot_to(&path).unwrap();
+        // Splice junk between the body and the checksum line, recomputing
+        // the trailer so only the garbage check can catch it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let body: String = text
+            .lines()
+            .filter(|l| !l.starts_with("checksum "))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let with_garbage = format!("{body}this is not a snapshot line\n");
+        let trailer = format!("checksum {:08x}\n", crc32(with_garbage.as_bytes()));
+        std::fs::write(&path, format!("{with_garbage}{trailer}")).unwrap();
+
+        match Follower::restore(&artifact, FollowerConfig::default(), &path).err() {
+            Some(SnapshotError::Malformed(m)) => {
+                assert!(m.contains("trailing garbage"), "message: {m}");
+                assert!(
+                    m.contains(path.display().to_string().as_str()),
+                    "path in error: {m}"
+                );
+                assert!(m.contains("line "), "line number in error: {m}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn snapshot_height_reads_just_the_header() {
+        let artifact = test_artifact();
+        let mut follower = Follower::new(&artifact, FollowerConfig::default()).unwrap();
+        for block in BlockCursor::new(test_sim(61, 9)) {
+            follower.step(&block);
+        }
+        let path = temp_path("height");
+        follower.snapshot_to(&path).unwrap();
+        assert_eq!(snapshot_height(&path).unwrap(), follower.next_height());
+        std::fs::write(&path, "not a snapshot\n").unwrap();
+        assert!(matches!(
+            snapshot_height(&path),
+            Err(SnapshotError::UnsupportedVersion(_))
+        ));
         std::fs::remove_file(&path).ok();
     }
 
@@ -533,6 +770,12 @@ mod tests {
                 Some(ShardAssignment { index: i, count: 2 })
             );
             std::fs::remove_file(shard_path(i)).ok();
+            // Generation files from the repeated snapshots.
+            for g in 1..4 {
+                let mut name = shard_path(i).into_os_string();
+                name.push(format!(".g{g}"));
+                std::fs::remove_file(std::path::PathBuf::from(name)).ok();
+            }
         }
     }
 }

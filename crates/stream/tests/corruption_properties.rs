@@ -1,0 +1,196 @@
+//! Property-based crash-safety tests: *no* corruption of the durable
+//! artifacts — snapshot or journal, bit flips or truncations, at any
+//! offset — may ever panic recovery. Every corrupted input must come back
+//! as a clean success (quarantine + fallback + replay) or a descriptive
+//! error; the absence of a panic is the property under test.
+//!
+//! Pristine snapshot + journal bytes are built once from a real follower
+//! run; each case mutates its own private copies, so quarantine renames
+//! and journal truncation never leak between cases.
+
+use baclassifier::{BaClassifier, BacConfig, ModelArtifact};
+use bstream::{scan_journal, Follower, FollowerConfig};
+use btcsim::{Block, BlockCursor, SimConfig};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Freshly initialized weights exported through the NNIO stream — a valid
+/// fitted-state artifact without paying for `fit()`.
+fn test_artifact() -> ModelArtifact {
+    let cfg = BacConfig::fast();
+    let clf = BaClassifier::new(cfg.clone());
+    let path = std::env::temp_dir().join(format!(
+        "corruption_artifact_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    clf.save_weights(&path).unwrap();
+    let weights = numnet::read_matrices(&mut std::fs::File::open(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    ModelArtifact {
+        config: cfg,
+        weights,
+    }
+}
+
+struct Pristine {
+    artifact: ModelArtifact,
+    snapshot: Vec<u8>,
+    journal: Vec<u8>,
+}
+
+/// One real follower run with a mid-stream snapshot and a journal tail:
+/// the bytes every corruption case starts from.
+fn pristine() -> &'static Pristine {
+    static PRISTINE: OnceLock<Pristine> = OnceLock::new();
+    PRISTINE.get_or_init(|| {
+        let artifact = test_artifact();
+        let dir = std::env::temp_dir();
+        let snap = dir.join(format!("corruption_pristine_{}.bsnap", std::process::id()));
+        let journal = dir.join(format!("corruption_pristine_{}.bjrnl", std::process::id()));
+        let cfg = FollowerConfig {
+            snapshot_path: Some(snap.clone()),
+            journal_path: Some(journal.clone()),
+            snapshot_every: 9,
+            snapshot_generations: 1,
+            ..FollowerConfig::default()
+        };
+        // recover() on a clean slate = fresh follower with the journal
+        // attached for write-ahead appends.
+        let mut follower = Follower::recover(&artifact, cfg).unwrap().follower;
+        let blocks: Vec<Block> = BlockCursor::new(SimConfig {
+            blocks: 14,
+            ..SimConfig::tiny(83)
+        })
+        .collect();
+        for b in &blocks {
+            follower.step(b);
+        }
+        drop(follower);
+        let snapshot_bytes = std::fs::read(&snap).unwrap();
+        let journal_bytes = std::fs::read(&journal).unwrap();
+        std::fs::remove_file(&snap).ok();
+        std::fs::remove_file(&journal).ok();
+        assert!(!snapshot_bytes.is_empty() && !journal_bytes.is_empty());
+        Pristine {
+            artifact,
+            snapshot: snapshot_bytes,
+            journal: journal_bytes,
+        }
+    })
+}
+
+/// A private scratch directory per case: quarantine renames and tail
+/// truncation must not contaminate the next case's inputs.
+fn case_dir() -> PathBuf {
+    static CASE: AtomicUsize = AtomicUsize::new(0);
+    let n = CASE.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("corruption_case_{}_{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn flip_bit(bytes: &mut [u8], bit: u64) {
+    if bytes.is_empty() {
+        return;
+    }
+    let at = (bit % (bytes.len() as u64 * 8)) as usize;
+    bytes[at / 8] ^= 1 << (at % 8);
+}
+
+fn truncate(bytes: &mut Vec<u8>, cut: u64) {
+    if bytes.is_empty() {
+        return;
+    }
+    bytes.truncate((cut % bytes.len() as u64) as usize);
+}
+
+/// Recovery over the (possibly corrupted) snapshot + journal pair must
+/// not panic; scanning the journal directly must not either. The result
+/// values are irrelevant — both Ok and Err are acceptable outcomes.
+fn recovery_survives(snapshot: Vec<u8>, journal: Vec<u8>) {
+    let dir = case_dir();
+    let snap_path = dir.join("state.bsnap");
+    let journal_path = dir.join("state.bjrnl");
+    std::fs::write(&snap_path, snapshot).unwrap();
+    std::fs::write(&journal_path, journal).unwrap();
+
+    let _ = scan_journal(&journal_path);
+    let cfg = FollowerConfig {
+        snapshot_path: Some(snap_path),
+        journal_path: Some(journal_path),
+        snapshot_generations: 1,
+        ..FollowerConfig::default()
+    };
+    match Follower::recover(&pristine().artifact, cfg) {
+        Ok(recovery) => {
+            // Whatever survived must be a follower in a usable state.
+            assert!(recovery.follower.next_height() > 0 || recovery.follower.num_tracked() == 0);
+        }
+        Err(e) => {
+            // Errors must be descriptive, never silent.
+            assert!(!e.to_string().is_empty());
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // A single flipped bit anywhere in either artifact: the checksum (or
+    // parser) must catch it and recovery must degrade gracefully.
+    #[test]
+    fn bit_flips_never_panic_recovery(
+        snap_bit in any::<u64>(),
+        journal_bit in any::<u64>(),
+        corrupt_snapshot in any::<bool>(),
+        corrupt_journal in any::<bool>(),
+    ) {
+        let p = pristine();
+        let mut snapshot = p.snapshot.clone();
+        let mut journal = p.journal.clone();
+        if corrupt_snapshot {
+            flip_bit(&mut snapshot, snap_bit);
+        }
+        if corrupt_journal {
+            flip_bit(&mut journal, journal_bit);
+        }
+        recovery_survives(snapshot, journal);
+    }
+
+    // Truncation at any byte — torn writes, partial copies, full loss of
+    // either file: the journal heals its tail, the snapshot quarantines.
+    #[test]
+    fn truncations_never_panic_recovery(
+        snap_cut in any::<u64>(),
+        journal_cut in any::<u64>(),
+    ) {
+        let p = pristine();
+        let mut snapshot = p.snapshot.clone();
+        let mut journal = p.journal.clone();
+        truncate(&mut snapshot, snap_cut);
+        truncate(&mut journal, journal_cut);
+        recovery_survives(snapshot, journal);
+    }
+
+    // Both at once, with extra garbage appended — the worst disk a crash
+    // can leave behind.
+    #[test]
+    fn combined_corruption_never_panics_recovery(
+        snap_bit in any::<u64>(),
+        journal_cut in any::<u64>(),
+        garbage in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let p = pristine();
+        let mut snapshot = p.snapshot.clone();
+        let mut journal = p.journal.clone();
+        flip_bit(&mut snapshot, snap_bit);
+        truncate(&mut journal, journal_cut);
+        journal.extend_from_slice(&garbage);
+        snapshot.extend_from_slice(&garbage);
+        recovery_survives(snapshot, journal);
+    }
+}

@@ -1,0 +1,391 @@
+//! Crash-recovery acceptance: killing the ingestion pipeline mid-stream —
+//! a panicking shard worker, a wedged one, or the whole fleet dropped on
+//! the floor — must lose **zero** blocks and recover to state
+//! byte-identical to an uninterrupted run.
+//!
+//! Four properties:
+//!
+//! 1. **Worker kill** — a scripted panic takes a shard down mid-ingest at
+//!    shard counts 1 and 4; the supervisor respawns it from snapshot +
+//!    journal and the merged tip equals the unsharded reference.
+//! 2. **Fleet crash** — the whole `ShardedFollower` is dropped without
+//!    finishing; `ShardedFollower::recover` resumes from per-shard
+//!    snapshots plus the shared journal tail, again byte-identical.
+//! 3. **Corrupt snapshot fallback** — the crash left the newest snapshot
+//!    generation corrupted: recovery quarantines it, restores the
+//!    previous generation, and replays a longer journal tail to the same
+//!    final state.
+//! 4. **Degraded routing** — while a shard is down, a health-wired
+//!    `ShardRouter` answers its addresses immediately with an explicit
+//!    `degraded` response (or a clean error without a fallback) instead
+//!    of hanging.
+
+use baclassifier::{BaClassifier, BacConfig, ModelArtifact};
+use baserve::{
+    EngineConfig, EngineHooks, Fallback, FaultAction, FaultSpec, FeatureFallback,
+    ScriptedFaultPlan, ServeError,
+};
+use bashard::{
+    shard_snapshot_path, ShardHealth, ShardReport, ShardRouter, ShardedFollower, SpawnMode,
+    StreamHooks, SupervisionConfig,
+};
+use bstream::{quarantine_path, Follower, FollowerConfig};
+use btcsim::{Block, BlockCursor, Dataset, SimConfig, Simulator};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Freshly initialized weights exported through the NNIO stream — a valid
+/// fitted-state artifact without paying for `fit()`.
+fn test_artifact() -> Arc<ModelArtifact> {
+    let cfg = BacConfig::fast();
+    let clf = BaClassifier::new(cfg.clone());
+    let path = std::env::temp_dir().join(format!(
+        "crash_recovery_artifact_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    clf.save_weights(&path).unwrap();
+    let weights = numnet::read_matrices(&mut std::fs::File::open(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    Arc::new(ModelArtifact {
+        config: cfg,
+        weights,
+    })
+}
+
+fn sim_blocks(seed: u64, blocks: u64) -> Vec<Block> {
+    BlockCursor::new(SimConfig {
+        blocks,
+        ..SimConfig::tiny(seed)
+    })
+    .collect()
+}
+
+/// Reference state: an unsharded follower driven over `blocks` with a
+/// final reclassification.
+fn unsharded_tip(artifact: &ModelArtifact, blocks: &[Block]) -> Follower {
+    let mut follower = Follower::new(artifact, FollowerConfig::default()).unwrap();
+    for b in blocks {
+        follower.step(b);
+    }
+    follower.reclassify_dirty();
+    follower
+}
+
+/// Byte-identity between the merged shard reports and the reference:
+/// labels, history lengths, tracked set, heights, and every embedding
+/// sequence that was materialized (recovered workers rebuild embeddings
+/// lazily, so an untouched address may legitimately carry an empty cache).
+fn assert_recovered_matches(reports: Vec<ShardReport>, reference: &Follower, tag: &str) {
+    let merged = ShardReport::merge(reports);
+    assert_eq!(
+        merged.next_height,
+        reference.next_height(),
+        "{tag}: blocks were lost"
+    );
+    assert_eq!(
+        merged.num_tracked,
+        reference.num_tracked(),
+        "{tag}: tracked set diverged"
+    );
+    assert_eq!(&merged.labels, reference.labels(), "{tag}: labels diverged");
+    assert_eq!(
+        merged.history_lens,
+        reference.history_lens(),
+        "{tag}: histories diverged"
+    );
+    for (addr, embeds) in &merged.embeddings {
+        if embeds.is_empty() {
+            continue;
+        }
+        let want = reference
+            .embeddings(*addr)
+            .unwrap_or_else(|| panic!("{tag}: {addr:?} missing from reference"));
+        assert_eq!(embeds.len(), want.len(), "{tag}: slice count for {addr:?}");
+        for (got, want) in embeds.iter().zip(want) {
+            assert_eq!(
+                got.as_slice(),
+                want.as_slice(),
+                "{tag}: embedding bytes diverged for {addr:?}"
+            );
+        }
+    }
+}
+
+struct Scratch {
+    base: PathBuf,
+    journal: PathBuf,
+}
+
+fn scratch(tag: &str) -> Scratch {
+    let dir = std::env::temp_dir();
+    let base = dir.join(format!("crash_recovery_{tag}_{}.bsnap", std::process::id()));
+    let journal = dir.join(format!("crash_recovery_{tag}_{}.bjrnl", std::process::id()));
+    Scratch { base, journal }
+}
+
+impl Scratch {
+    fn cfg(&self, snapshot_every: u64) -> FollowerConfig {
+        FollowerConfig {
+            snapshot_every,
+            snapshot_path: Some(self.base.clone()),
+            journal_path: Some(self.journal.clone()),
+            ..FollowerConfig::default()
+        }
+    }
+
+    fn cleanup(&self, shards: u32) {
+        std::fs::remove_file(&self.journal).ok();
+        for i in 0..shards {
+            let shard_base = shard_snapshot_path(&self.base, i, shards);
+            for k in 0..4 {
+                let p = bstream::generation_path(&shard_base, k);
+                std::fs::remove_file(quarantine_path(&p)).ok();
+                std::fs::remove_file(p).ok();
+            }
+        }
+    }
+}
+
+#[test]
+fn killed_shard_worker_respawns_and_loses_nothing() {
+    let blocks = sim_blocks(311, 34);
+    let artifact = test_artifact();
+    let reference = unsharded_tip(&artifact, &blocks);
+    assert!(reference.num_tracked() > 20, "sim too small");
+
+    for shards in [1u32, 4] {
+        let s = scratch(&format!("kill{shards}"));
+        s.cleanup(shards);
+        let victim = (shards - 1) as usize; // last shard takes the hit
+        let plan = Arc::new(ScriptedFaultPlan::panics(victim, &[13]));
+        let hooks = StreamHooks {
+            fault_plan: Arc::clone(&plan) as Arc<dyn baserve::FaultPlan>,
+        };
+        let mut fleet = ShardedFollower::with_hooks(
+            Arc::clone(&artifact),
+            s.cfg(10),
+            shards,
+            hooks,
+            SupervisionConfig {
+                restart_backoff: Duration::from_millis(1),
+                ..SupervisionConfig::default()
+            },
+            SpawnMode::Fresh,
+        )
+        .unwrap();
+        let health = fleet.health();
+        for b in &blocks {
+            fleet.step(b.clone()).unwrap();
+        }
+        let reports = fleet.finish().unwrap();
+        assert_eq!(plan.injected(), 1, "the scripted panic must have fired");
+        assert_eq!(
+            health.respawns(victim as u32),
+            1,
+            "exactly one respawn expected"
+        );
+        assert_recovered_matches(reports, &reference, &format!("{shards}-shard kill"));
+        s.cleanup(shards);
+    }
+}
+
+#[test]
+fn wedged_shard_worker_is_fenced_and_replaced() {
+    let blocks = sim_blocks(313, 40);
+    let artifact = test_artifact();
+    let reference = unsharded_tip(&artifact, &blocks);
+
+    let shards = 2u32;
+    let s = scratch("wedge");
+    s.cleanup(shards);
+    // Shard 1 goes comatose for far longer than the wedge timeout while
+    // the driver keeps pushing blocks: queue fills, heartbeat goes stale,
+    // the worker is fenced off and a replacement recovers from the
+    // journal.
+    let plan = Arc::new(ScriptedFaultPlan::new(vec![FaultSpec {
+        worker: 1,
+        batch: 9,
+        action: FaultAction::Delay(Duration::from_millis(1500)),
+    }]));
+    let hooks = StreamHooks {
+        fault_plan: plan as Arc<dyn baserve::FaultPlan>,
+    };
+    let mut fleet = ShardedFollower::with_hooks(
+        Arc::clone(&artifact),
+        s.cfg(0),
+        shards,
+        hooks,
+        SupervisionConfig {
+            wedge_timeout: Duration::from_millis(100),
+            restart_backoff: Duration::from_millis(1),
+            ..SupervisionConfig::default()
+        },
+        SpawnMode::Fresh,
+    )
+    .unwrap();
+    let health = fleet.health();
+    for b in &blocks {
+        fleet.step(b.clone()).unwrap();
+    }
+    let reports = fleet.finish().unwrap();
+    assert_eq!(health.respawns(1), 1, "the wedged shard must be replaced");
+    assert_recovered_matches(reports, &reference, "wedged shard");
+    s.cleanup(shards);
+}
+
+#[test]
+fn dropped_fleet_recovers_byte_identically_at_counts_1_and_4() {
+    let blocks = sim_blocks(317, 36);
+    let artifact = test_artifact();
+    let reference = unsharded_tip(&artifact, &blocks);
+    let split = blocks.len() * 3 / 5;
+
+    for shards in [1u32, 4] {
+        let s = scratch(&format!("crash{shards}"));
+        s.cleanup(shards);
+        {
+            let mut fleet = ShardedFollower::new(Arc::clone(&artifact), s.cfg(7), shards).unwrap();
+            for b in &blocks[..split] {
+                fleet.step(b.clone()).unwrap();
+            }
+            // Quiesce the queues (so no detached worker races the next
+            // fleet on disk), then crash: no finish, no final snapshot —
+            // everything past each shard's last periodic snapshot exists
+            // only in the journal.
+            fleet.reclassify_dirty().unwrap();
+            drop(fleet);
+        }
+
+        let mut recovered =
+            ShardedFollower::recover(Arc::clone(&artifact), s.cfg(7), shards).unwrap();
+        for b in &blocks {
+            recovered.step(b.clone()).unwrap();
+        }
+        let reports = recovered.finish().unwrap();
+        assert_recovered_matches(reports, &reference, &format!("{shards}-shard crash"));
+        s.cleanup(shards);
+    }
+}
+
+#[test]
+fn corrupt_latest_snapshot_falls_back_a_generation_and_replays() {
+    let blocks = sim_blocks(331, 36);
+    let artifact = test_artifact();
+    let reference = unsharded_tip(&artifact, &blocks);
+    let split = blocks.len() * 3 / 5;
+
+    let shards = 2u32;
+    let s = scratch("fallback");
+    s.cleanup(shards);
+    {
+        let mut fleet = ShardedFollower::new(Arc::clone(&artifact), s.cfg(6), shards).unwrap();
+        for b in &blocks[..split] {
+            fleet.step(b.clone()).unwrap();
+        }
+        fleet.reclassify_dirty().unwrap();
+        drop(fleet);
+    }
+
+    // The crash "tore" shard 0's newest snapshot generation. The older
+    // generation must exist for fallback — the 6-block cadence over 60% of
+    // 37 blocks guarantees at least two snapshots.
+    let newest = shard_snapshot_path(&s.base, 0, shards);
+    let older = bstream::generation_path(&newest, 1);
+    assert!(
+        older.exists(),
+        "test needs a second generation at {older:?}"
+    );
+    let mut bytes = std::fs::read(&newest).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, bytes).unwrap();
+
+    let mut recovered = ShardedFollower::recover(Arc::clone(&artifact), s.cfg(6), shards).unwrap();
+    assert!(
+        quarantine_path(&newest).exists(),
+        "corrupt generation must be quarantined, not deleted"
+    );
+    for b in &blocks {
+        recovered.step(b.clone()).unwrap();
+    }
+    let reports = recovered.finish().unwrap();
+    assert_recovered_matches(reports, &reference, "generation fallback");
+    s.cleanup(shards);
+}
+
+#[test]
+fn degraded_routing_answers_downed_shards_without_hanging() {
+    let sim = Simulator::run_to_completion(SimConfig::tiny(347));
+    let dataset = Dataset::from_simulator(&sim, 3);
+    assert!(dataset.len() >= 10, "sim too small");
+    let artifact = test_artifact();
+    let shards = 2u32;
+
+    let fallback = Arc::new(FeatureFallback::fit(&dataset.records));
+    let hooks = EngineHooks {
+        fallback: Some(Arc::clone(&fallback) as Arc<dyn Fallback>),
+        ..EngineHooks::default()
+    };
+    let mut router = ShardRouter::with_hooks(
+        Arc::clone(&artifact),
+        EngineConfig::default(),
+        hooks,
+        shards,
+    )
+    .unwrap();
+    let health = Arc::new(ShardHealth::new(shards));
+    health.mark_up(0);
+    health.mark_up(1);
+    router.attach_health(Arc::clone(&health));
+    let map = router.map();
+
+    // Healthy fleet: nothing routes degraded.
+    for record in dataset.records.iter().take(8) {
+        let response = router.classify(record.clone()).unwrap();
+        assert!(!response.degraded);
+    }
+    assert_eq!(router.degraded_routed(), 0);
+
+    // Shard 1 goes down: its addresses answer instantly, explicitly
+    // degraded, with the fallback's label; shard 0 is untouched.
+    health.mark_down(1);
+    let mut hit_down = 0;
+    for record in &dataset.records {
+        let response = router.classify(record.clone()).unwrap();
+        if map.shard_of(record.address) == 1 {
+            assert!(response.degraded, "downed shard must answer degraded");
+            assert_eq!(response.label, fallback.classify(record));
+            hit_down += 1;
+        } else {
+            assert!(!response.degraded, "healthy shard must answer normally");
+        }
+    }
+    assert!(hit_down > 0, "sim produced no addresses on shard 1");
+    assert_eq!(router.degraded_routed(), hit_down);
+
+    // Back up: routing returns to normal.
+    health.mark_up(1);
+    for record in dataset.records.iter().take(8) {
+        assert!(!router.classify(record.clone()).unwrap().degraded);
+    }
+    router.shutdown();
+
+    // Without a fallback, a downed shard fails fast instead of hanging.
+    let mut bare =
+        ShardRouter::new(Arc::clone(&artifact), EngineConfig::default(), shards).unwrap();
+    bare.attach_health(Arc::clone(&health));
+    health.mark_down(0);
+    let on_down = dataset
+        .records
+        .iter()
+        .find(|r| map.shard_of(r.address) == 0)
+        .expect("some address on shard 0");
+    match bare.classify(on_down.clone()) {
+        Err(ServeError::WorkerFailed) => {}
+        other => panic!("expected WorkerFailed for downed shard, got {other:?}"),
+    }
+    health.mark_up(0);
+    bare.shutdown();
+}

@@ -115,7 +115,7 @@ fn sharded_followers_union_to_the_unsharded_state() {
     assert!(reference.num_tracked() > 20, "sim too small");
 
     for shards in [1u32, 2, 4] {
-        let sharded =
+        let mut sharded =
             ShardedFollower::new(Arc::clone(&artifact), FollowerConfig::default(), shards).unwrap();
         let feed = BlockFeed::from_blocks(blocks.clone());
         sharded.run(&feed).unwrap();
@@ -151,7 +151,7 @@ fn sharded_snapshot_restart_resume_is_byte_identical() {
         };
 
         // First half, then checkpoint every shard and tear the fleet down.
-        let first =
+        let mut first =
             ShardedFollower::new(Arc::clone(&artifact), follower_cfg.clone(), shards).unwrap();
         for b in &blocks[..split] {
             first.step(b.clone()).unwrap();
@@ -167,7 +167,7 @@ fn sharded_snapshot_restart_resume_is_byte_identical() {
 
         // Fresh workers restore from their own files and resume over the
         // whole chain — the overlapping prefix must be skipped.
-        let resumed =
+        let mut resumed =
             ShardedFollower::restore(Arc::clone(&artifact), follower_cfg, shards).unwrap();
         for b in &blocks {
             resumed.step(b.clone()).unwrap();
