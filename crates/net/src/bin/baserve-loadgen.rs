@@ -1,10 +1,11 @@
-//! Replay zipf-distributed query traffic against a serving engine and
-//! report throughput, latency, and cache behavior.
+//! Replay zipf-distributed query traffic against a serving engine — local
+//! or remote — and report throughput, latency, and cache behavior.
 //!
 //! ```text
 //! baserve-loadgen --artifact model.bart [--seed 42] [--min-txs 3]
 //!                 [--requests 2000] [--qps 0] [--zipf 1.1] [--traffic-seed 1]
-//!                 [--check] [--window N] [--retry N] [engine knobs]
+//!                 [--check] [--window N] [--retry N] [--connect HOST:PORT]
+//!                 [engine knobs]
 //! ```
 //!
 //! Queries pick addresses from the rebuilt dataset with a zipf(s) popularity
@@ -17,10 +18,18 @@
 //! `--retry N` resubmits a request up to N times when the engine sheds it
 //! (queue full or circuit breaker open), backing off exponentially with
 //! deterministic jitter between attempts.
+//!
+//! `--connect HOST:PORT` swaps the in-process engine for a BANET
+//! connection to a running server (`basharded --listen`, or a worker).
+//! Everything else — pacing, retries, the FIFO window, `--check`, the
+//! client-side percentiles — is identical, because both paths sit behind
+//! the same `ShardLane` surface; the client percentiles then include real
+//! network round-trips.
 
 use baclassifier::{BaClassifier, ModelArtifact};
+use banet::{HealthSink, RemoteShard, RemoteShardConfig};
 use baserve::cli::{engine_config_from_args, flag_parsed, flag_value, has_flag};
-use baserve::{splitmix64, Engine, ServeError, Ticket};
+use baserve::{splitmix64, Engine, ServeError, ShardLane, Ticket};
 use btcsim::dist::ZipfSampler;
 use btcsim::{Dataset, Label, SimConfig, Simulator};
 use rand::rngs::StdRng;
@@ -54,6 +63,7 @@ fn main() {
     let traffic_seed = flag_parsed(&args, "--traffic-seed", 1u64);
     let check = has_flag(&args, "--check");
     let retry_max = flag_parsed(&args, "--retry", 0u32);
+    let connect = flag_value(&args, "--connect");
     let config = engine_config_from_args(&args);
     let window = flag_parsed(&args, "--window", config.queue_depth.min(64)).max(1);
 
@@ -87,7 +97,27 @@ fn main() {
         None
     };
 
-    let engine = Engine::new(artifact, config).expect("engine starts from a valid artifact");
+    let lane: Box<dyn ShardLane> = match &connect {
+        Some(addr) => {
+            let remote = RemoteShard::connect(
+                addr,
+                RemoteShardConfig {
+                    max_in_flight: config.queue_depth.max(window),
+                    ..RemoteShardConfig::default()
+                },
+                HealthSink::noop(),
+            );
+            if !remote.wait_connected(Duration::from_secs(5)) {
+                eprintln!("error: could not connect to {addr} within 5s");
+                std::process::exit(1);
+            }
+            eprintln!("[loadgen] connected to {addr}");
+            Box::new(remote)
+        }
+        None => {
+            Box::new(Engine::new(artifact, config).expect("engine starts from a valid artifact"))
+        }
+    };
     let sampler = ZipfSampler::new(dataset.len(), zipf_s);
     let mut rng = StdRng::seed_from_u64(traffic_seed);
 
@@ -103,8 +133,9 @@ fn main() {
     let mut jitter_state = traffic_seed ^ 0x9e37_79b9_7f4a_7c15;
 
     // Client-observed latency (submit → response), in µs. This includes
-    // queue wait and ticket settling, so it upper-bounds the engine's own
-    // histogram and is what a remote caller would actually see.
+    // queue wait, ticket settling, and (with `--connect`) the network
+    // round-trip, so it upper-bounds the engine's own histogram and is
+    // what a remote caller actually sees.
     let settle = |batch: Vec<(usize, Ticket, Instant)>,
                   expected: &mut HashMap<usize, Label>,
                   mismatches: &mut usize,
@@ -157,7 +188,7 @@ fn main() {
         // backoff with deterministic jitter before counting as rejected.
         let mut attempt = 0u32;
         let outcome = loop {
-            match engine.submit(dataset.records[idx].clone()) {
+            match lane.submit(dataset.records[idx].clone()) {
                 Err(e @ (ServeError::QueueFull | ServeError::BreakerOpen))
                     if attempt < retry_max =>
                 {
@@ -201,8 +232,8 @@ fn main() {
     );
     let elapsed = start.elapsed();
 
-    let snapshot = engine.metrics();
-    engine.shutdown();
+    let snapshot = lane.metrics();
+    lane.shutdown_lane();
     println!(
         "served {served}/{requests} in {:.2}s ({:.0} req/s), {rejected} rejected, \
          {failed} failed, {retries} retries",

@@ -1,0 +1,814 @@
+//! The BANET v1 wire format: length-prefixed, CRC-framed messages.
+//!
+//! The framing mirrors the `bstream` journal (`BJRNL v1`): a magic string
+//! once per direction at stream start, then frames of
+//! `[u32 LE payload-len][u32 LE crc32(payload)][payload]`. The CRC is the
+//! same IEEE polynomial the journal uses ([`bstream::crc32`]), so a frame
+//! that survives the checksum is exactly as trustworthy as a journal
+//! record. Payloads are capped at [`MAX_FRAME_LEN`] — a corrupt or
+//! malicious length prefix is rejected before any allocation.
+//!
+//! The payload is `[u8 message-type][little-endian body]`; see [`Message`]
+//! for the catalogue. Two properties the fleet depends on:
+//!
+//! * **Self-describing errors, never panics.** Every decode failure is a
+//!   typed [`FrameError`]; the property tests in
+//!   `tests/frame_properties.rs` fuzz bit flips, truncations, and garbage
+//!   against this promise.
+//! * **Desync-free incremental reads.** [`FrameReader`] accumulates bytes
+//!   across short reads and read timeouts (`WouldBlock`/`TimedOut`), so a
+//!   socket with a poll-tick read deadline can park mid-frame and resume
+//!   without losing its place. After any *fatal* error the reader is
+//!   poisoned and refuses further reads — a stream that failed a CRC has
+//!   no trustworthy frame boundary left.
+
+use std::io::{ErrorKind, Read, Write};
+
+/// Stream preamble, sent once per direction before the first frame.
+pub const MAGIC: &[u8; 8] = b"BANET v1";
+
+/// Upper bound on a frame payload. Requests and replies are tiny; metrics
+/// JSON is the largest legitimate payload and sits well under 1 MiB.
+pub const MAX_FRAME_LEN: u32 = 1 << 20;
+
+/// Message-type discriminants (first payload byte).
+mod msg_type {
+    pub const HELLO: u8 = 1;
+    pub const CLASSIFY: u8 = 2;
+    pub const REPLY: u8 = 3;
+    pub const METRICS_REQ: u8 = 4;
+    pub const METRICS_REPLY: u8 = 5;
+    pub const PING: u8 = 6;
+    pub const PONG: u8 = 7;
+    pub const SHUTDOWN: u8 = 8;
+    pub const INVALIDATE: u8 = 9;
+    pub const INVALIDATE_REPLY: u8 = 10;
+}
+
+/// Who is on the other end of a connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A client (router, loadgen) that submits requests.
+    Frontend,
+    /// A shard worker process that answers them.
+    Worker,
+}
+
+impl Role {
+    fn to_byte(self) -> u8 {
+        match self {
+            Role::Frontend => 0,
+            Role::Worker => 1,
+        }
+    }
+
+    fn from_byte(b: u8) -> Result<Role, FrameError> {
+        match b {
+            0 => Ok(Role::Frontend),
+            1 => Ok(Role::Worker),
+            _ => Err(FrameError::Malformed("unknown role byte")),
+        }
+    }
+}
+
+/// The handshake frame each side sends right after its magic. Carries the
+/// sender's shard layout so a frontend can refuse to talk to a worker that
+/// owns the wrong slice of the address space (or hashes addresses with a
+/// different partition function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    pub role: Role,
+    /// Shard index this endpoint serves (0 for frontends and unsharded
+    /// servers).
+    pub shard_index: u32,
+    /// Fleet shard count (1 for unsharded).
+    pub shard_count: u32,
+    /// Must equal `bashard`'s `SHARD_HASH_VERSION`; a mismatch means the
+    /// two processes place addresses differently and must not pair up.
+    pub hash_version: u32,
+}
+
+/// Terminal outcome of a classify request, as carried on the wire.
+///
+/// Mirrors `Result<baserve::Response, ServeError>` closely enough that the
+/// client lane can reconstruct a `Response` byte-identical to an
+/// in-process one (labels are carried by index; the latency figure is the
+/// worker-side measurement).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyOutcome {
+    Ok {
+        label_index: u8,
+        cache_hit: bool,
+        degraded: bool,
+        latency_us: u64,
+    },
+    QueueFull,
+    ShuttingDown,
+    NotFitted,
+    EmptyHistory,
+    WorkerFailed,
+    DeadlineExceeded,
+    BreakerOpen,
+    /// Request refused before reaching an engine: unknown address, shard
+    /// ownership violation. Carries a human-readable reason.
+    Reject(String),
+}
+
+mod status {
+    pub const OK: u8 = 0;
+    pub const QUEUE_FULL: u8 = 1;
+    pub const SHUTTING_DOWN: u8 = 2;
+    pub const NOT_FITTED: u8 = 3;
+    pub const EMPTY_HISTORY: u8 = 4;
+    pub const WORKER_FAILED: u8 = 5;
+    pub const DEADLINE_EXCEEDED: u8 = 6;
+    pub const BREAKER_OPEN: u8 = 7;
+    pub const REJECT: u8 = 8;
+}
+
+/// Everything that can travel in a BANET frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// Layout handshake; first frame in each direction.
+    Hello(Hello),
+    /// Classify the address with this simulator id.
+    Classify { req_id: u64, address: u64 },
+    /// Outcome of a `Classify`.
+    Reply { req_id: u64, outcome: ReplyOutcome },
+    /// Request the server's metrics snapshot.
+    MetricsReq { req_id: u64 },
+    /// Metrics snapshot as the single-line JSON `MetricsSnapshot::to_json`
+    /// renders.
+    MetricsReply { req_id: u64, json: String },
+    /// Liveness probe.
+    Ping { nonce: u64 },
+    /// Probe answer; `processed` is the server's completed-request count,
+    /// which feeds the health board's progress beat.
+    Pong { nonce: u64, processed: u64 },
+    /// Ask the server to stop accepting and drain.
+    Shutdown,
+    /// Supersede cached embeddings for an address.
+    Invalidate { req_id: u64, address: u64 },
+    /// Invalidation acknowledged at this cache generation.
+    InvalidateReply { req_id: u64, generation: u64 },
+}
+
+/// Why a frame (or stream) could not be decoded.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Underlying transport failure.
+    Io(std::io::Error),
+    /// Stream preamble was not `BANET v1`.
+    BadMagic,
+    /// Length prefix exceeds [`MAX_FRAME_LEN`].
+    TooLarge(u32),
+    /// Stream ended mid-frame.
+    Truncated,
+    /// Payload failed its CRC.
+    Crc { expected: u32, actual: u32 },
+    /// Payload structure invalid (unknown type, short body, bad UTF-8…).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::BadMagic => write!(f, "bad stream magic (want BANET v1)"),
+            FrameError::TooLarge(n) => {
+                write!(f, "frame length {n} exceeds cap {MAX_FRAME_LEN}")
+            }
+            FrameError::Truncated => write!(f, "stream ended mid-frame"),
+            FrameError::Crc { expected, actual } => {
+                write!(
+                    f,
+                    "frame crc mismatch: stored {expected:08x}, computed {actual:08x}"
+                )
+            }
+            FrameError::Malformed(what) => write!(f, "malformed frame payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+impl FrameError {
+    /// Whether the error is a transient read timeout (poll tick) rather
+    /// than a real failure. Callers retry these; everything else poisons
+    /// the stream.
+    pub fn is_timeout(&self) -> bool {
+        matches!(
+            self,
+            FrameError::Io(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload encode/decode (pure, byte-level — the proptest target)
+// ---------------------------------------------------------------------------
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8]) -> Self {
+        Cursor { bytes, pos: 0 }
+    }
+
+    fn u8(&mut self) -> Result<u8, FrameError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or(FrameError::Malformed("payload body too short"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, FrameError> {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(self.take(4)?);
+        Ok(u32::from_le_bytes(raw))
+    }
+
+    fn u64(&mut self) -> Result<u64, FrameError> {
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(self.take(8)?);
+        Ok(u64::from_le_bytes(raw))
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], FrameError> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(FrameError::Malformed("payload body too short"))?;
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn string(&mut self) -> Result<String, FrameError> {
+        let len = self.u32()? as usize;
+        let raw = self.take(len)?;
+        String::from_utf8(raw.to_vec()).map_err(|_| FrameError::Malformed("string not utf-8"))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(FrameError::Malformed("trailing bytes after payload body"))
+        }
+    }
+}
+
+fn push_string(buf: &mut Vec<u8>, s: &str) {
+    push_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+impl Message {
+    /// Serialise to a frame payload (type byte + LE body).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(32);
+        match self {
+            Message::Hello(h) => {
+                buf.push(msg_type::HELLO);
+                buf.push(h.role.to_byte());
+                push_u32(&mut buf, h.shard_index);
+                push_u32(&mut buf, h.shard_count);
+                push_u32(&mut buf, h.hash_version);
+            }
+            Message::Classify { req_id, address } => {
+                buf.push(msg_type::CLASSIFY);
+                push_u64(&mut buf, *req_id);
+                push_u64(&mut buf, *address);
+            }
+            Message::Reply { req_id, outcome } => {
+                buf.push(msg_type::REPLY);
+                push_u64(&mut buf, *req_id);
+                match outcome {
+                    ReplyOutcome::Ok {
+                        label_index,
+                        cache_hit,
+                        degraded,
+                        latency_us,
+                    } => {
+                        buf.push(status::OK);
+                        buf.push(*label_index);
+                        let mut flags = 0u8;
+                        if *cache_hit {
+                            flags |= 1;
+                        }
+                        if *degraded {
+                            flags |= 2;
+                        }
+                        buf.push(flags);
+                        push_u64(&mut buf, *latency_us);
+                    }
+                    ReplyOutcome::QueueFull => buf.push(status::QUEUE_FULL),
+                    ReplyOutcome::ShuttingDown => buf.push(status::SHUTTING_DOWN),
+                    ReplyOutcome::NotFitted => buf.push(status::NOT_FITTED),
+                    ReplyOutcome::EmptyHistory => buf.push(status::EMPTY_HISTORY),
+                    ReplyOutcome::WorkerFailed => buf.push(status::WORKER_FAILED),
+                    ReplyOutcome::DeadlineExceeded => buf.push(status::DEADLINE_EXCEEDED),
+                    ReplyOutcome::BreakerOpen => buf.push(status::BREAKER_OPEN),
+                    ReplyOutcome::Reject(reason) => {
+                        buf.push(status::REJECT);
+                        push_string(&mut buf, reason);
+                    }
+                }
+            }
+            Message::MetricsReq { req_id } => {
+                buf.push(msg_type::METRICS_REQ);
+                push_u64(&mut buf, *req_id);
+            }
+            Message::MetricsReply { req_id, json } => {
+                buf.push(msg_type::METRICS_REPLY);
+                push_u64(&mut buf, *req_id);
+                push_string(&mut buf, json);
+            }
+            Message::Ping { nonce } => {
+                buf.push(msg_type::PING);
+                push_u64(&mut buf, *nonce);
+            }
+            Message::Pong { nonce, processed } => {
+                buf.push(msg_type::PONG);
+                push_u64(&mut buf, *nonce);
+                push_u64(&mut buf, *processed);
+            }
+            Message::Shutdown => buf.push(msg_type::SHUTDOWN),
+            Message::Invalidate { req_id, address } => {
+                buf.push(msg_type::INVALIDATE);
+                push_u64(&mut buf, *req_id);
+                push_u64(&mut buf, *address);
+            }
+            Message::InvalidateReply { req_id, generation } => {
+                buf.push(msg_type::INVALIDATE_REPLY);
+                push_u64(&mut buf, *req_id);
+                push_u64(&mut buf, *generation);
+            }
+        }
+        buf
+    }
+
+    /// Parse a frame payload. Total function over arbitrary bytes: every
+    /// failure is a [`FrameError::Malformed`], never a panic.
+    pub fn decode(payload: &[u8]) -> Result<Message, FrameError> {
+        let mut c = Cursor::new(payload);
+        let msg = match c.u8()? {
+            msg_type::HELLO => Message::Hello(Hello {
+                role: Role::from_byte(c.u8()?)?,
+                shard_index: c.u32()?,
+                shard_count: c.u32()?,
+                hash_version: c.u32()?,
+            }),
+            msg_type::CLASSIFY => Message::Classify {
+                req_id: c.u64()?,
+                address: c.u64()?,
+            },
+            msg_type::REPLY => {
+                let req_id = c.u64()?;
+                let outcome = match c.u8()? {
+                    status::OK => {
+                        let label_index = c.u8()?;
+                        let flags = c.u8()?;
+                        if flags & !3 != 0 {
+                            return Err(FrameError::Malformed("unknown reply flags"));
+                        }
+                        ReplyOutcome::Ok {
+                            label_index,
+                            cache_hit: flags & 1 != 0,
+                            degraded: flags & 2 != 0,
+                            latency_us: c.u64()?,
+                        }
+                    }
+                    status::QUEUE_FULL => ReplyOutcome::QueueFull,
+                    status::SHUTTING_DOWN => ReplyOutcome::ShuttingDown,
+                    status::NOT_FITTED => ReplyOutcome::NotFitted,
+                    status::EMPTY_HISTORY => ReplyOutcome::EmptyHistory,
+                    status::WORKER_FAILED => ReplyOutcome::WorkerFailed,
+                    status::DEADLINE_EXCEEDED => ReplyOutcome::DeadlineExceeded,
+                    status::BREAKER_OPEN => ReplyOutcome::BreakerOpen,
+                    status::REJECT => ReplyOutcome::Reject(c.string()?),
+                    _ => return Err(FrameError::Malformed("unknown reply status")),
+                };
+                Message::Reply { req_id, outcome }
+            }
+            msg_type::METRICS_REQ => Message::MetricsReq { req_id: c.u64()? },
+            msg_type::METRICS_REPLY => Message::MetricsReply {
+                req_id: c.u64()?,
+                json: c.string()?,
+            },
+            msg_type::PING => Message::Ping { nonce: c.u64()? },
+            msg_type::PONG => Message::Pong {
+                nonce: c.u64()?,
+                processed: c.u64()?,
+            },
+            msg_type::SHUTDOWN => Message::Shutdown,
+            msg_type::INVALIDATE => Message::Invalidate {
+                req_id: c.u64()?,
+                address: c.u64()?,
+            },
+            msg_type::INVALIDATE_REPLY => Message::InvalidateReply {
+                req_id: c.u64()?,
+                generation: c.u64()?,
+            },
+            _ => return Err(FrameError::Malformed("unknown message type")),
+        };
+        c.finish()?;
+        Ok(msg)
+    }
+}
+
+/// Serialise a message into a complete frame (header + payload), ready for
+/// a single `write_all`.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let payload = msg.encode();
+    let mut frame = Vec::with_capacity(8 + payload.len());
+    push_u32(&mut frame, payload.len() as u32);
+    push_u32(&mut frame, bstream::crc32(&payload));
+    frame.extend_from_slice(&payload);
+    frame
+}
+
+/// Decode one frame from the **start** of `bytes`.
+///
+/// Returns `Ok(None)` when the buffer holds a valid prefix of an
+/// incomplete frame (read more), `Ok(Some((msg, consumed)))` on success,
+/// and `Err` for any unrecoverable corruption.
+pub fn decode_frame(bytes: &[u8]) -> Result<Option<(Message, usize)>, FrameError> {
+    if bytes.len() < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::TooLarge(len));
+    }
+    let stored_crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let total = 8 + len as usize;
+    if bytes.len() < total {
+        return Ok(None);
+    }
+    let payload = &bytes[8..total];
+    let actual = bstream::crc32(payload);
+    if actual != stored_crc {
+        return Err(FrameError::Crc {
+            expected: stored_crc,
+            actual,
+        });
+    }
+    let msg = Message::decode(payload)?;
+    Ok(Some((msg, total)))
+}
+
+// ---------------------------------------------------------------------------
+// Stream adapters
+// ---------------------------------------------------------------------------
+
+/// Write the stream preamble.
+pub fn write_magic<W: Write>(w: &mut W) -> std::io::Result<()> {
+    w.write_all(MAGIC)
+}
+
+/// Write one framed message.
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> std::io::Result<()> {
+    w.write_all(&encode_frame(msg))
+}
+
+/// Incremental frame reader over a byte stream.
+///
+/// Short reads and read timeouts leave partial bytes buffered; the next
+/// [`FrameReader::read_message`] call resumes exactly where the stream
+/// paused, so a socket with `set_read_timeout` as a poll tick never
+/// desyncs. Fatal errors (bad magic, CRC, malformed payload, EOF
+/// mid-frame) poison the reader — there is no trustworthy frame boundary
+/// after corruption.
+pub struct FrameReader<R> {
+    inner: R,
+    buf: Vec<u8>,
+    /// Bytes of `buf` holding not-yet-consumed stream data.
+    filled: usize,
+    magic_seen: bool,
+    poisoned: bool,
+}
+
+impl<R: Read> FrameReader<R> {
+    pub fn new(inner: R) -> Self {
+        FrameReader {
+            inner,
+            buf: Vec::new(),
+            filled: 0,
+            magic_seen: false,
+            poisoned: false,
+        }
+    }
+
+    /// Pull more bytes from the stream into the buffer. `Ok(0)` is EOF.
+    fn fill(&mut self) -> std::io::Result<usize> {
+        let mut chunk = [0u8; 4096];
+        let n = self.inner.read(&mut chunk)?;
+        self.buf.truncate(self.filled);
+        self.buf.extend_from_slice(&chunk[..n]);
+        self.filled += n;
+        Ok(n)
+    }
+
+    fn consume(&mut self, n: usize) {
+        self.buf.drain(..n);
+        self.filled -= n;
+    }
+
+    /// Read the next message. `Ok(None)` is a clean EOF at a frame
+    /// boundary. Timeouts surface as `FrameError::Io` with
+    /// `is_timeout() == true` and do **not** poison the reader; every
+    /// other error does.
+    pub fn read_message(&mut self) -> Result<Option<Message>, FrameError> {
+        if self.poisoned {
+            return Err(FrameError::Malformed("reader poisoned by earlier error"));
+        }
+        loop {
+            if !self.magic_seen {
+                if self.filled >= MAGIC.len() {
+                    if &self.buf[..MAGIC.len()] != MAGIC {
+                        self.poisoned = true;
+                        return Err(FrameError::BadMagic);
+                    }
+                    self.consume(MAGIC.len());
+                    self.magic_seen = true;
+                    continue;
+                }
+            } else {
+                match decode_frame(&self.buf[..self.filled]) {
+                    Ok(Some((msg, consumed))) => {
+                        self.consume(consumed);
+                        return Ok(Some(msg));
+                    }
+                    Ok(None) => {}
+                    Err(e) => {
+                        self.poisoned = true;
+                        return Err(e);
+                    }
+                }
+            }
+            match self.fill() {
+                Ok(0) => {
+                    return if self.filled == 0 && self.magic_seen {
+                        Ok(None)
+                    } else {
+                        self.poisoned = true;
+                        Err(FrameError::Truncated)
+                    };
+                }
+                Ok(_) => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    // Poll tick: keep the partial frame buffered, resume on
+                    // the next call.
+                    return Err(FrameError::Io(e));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.poisoned = true;
+                    return Err(FrameError::Io(e));
+                }
+            }
+        }
+    }
+
+    /// Whether any bytes are parked mid-frame (used by deadline logic: a
+    /// stalled *partial* frame is a slow peer, an empty buffer is idle).
+    pub fn mid_frame(&self) -> bool {
+        self.filled > 0
+    }
+
+    pub fn get_ref(&self) -> &R {
+        &self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: Message) {
+        let payload = msg.encode();
+        assert_eq!(Message::decode(&payload).unwrap(), msg);
+        let frame = encode_frame(&msg);
+        let (decoded, consumed) = decode_frame(&frame).unwrap().unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(consumed, frame.len());
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        roundtrip(Message::Hello(Hello {
+            role: Role::Worker,
+            shard_index: 3,
+            shard_count: 8,
+            hash_version: 1,
+        }));
+        roundtrip(Message::Classify {
+            req_id: 42,
+            address: u64::MAX,
+        });
+        roundtrip(Message::Reply {
+            req_id: 42,
+            outcome: ReplyOutcome::Ok {
+                label_index: 2,
+                cache_hit: true,
+                degraded: false,
+                latency_us: 1234,
+            },
+        });
+        for outcome in [
+            ReplyOutcome::QueueFull,
+            ReplyOutcome::ShuttingDown,
+            ReplyOutcome::NotFitted,
+            ReplyOutcome::EmptyHistory,
+            ReplyOutcome::WorkerFailed,
+            ReplyOutcome::DeadlineExceeded,
+            ReplyOutcome::BreakerOpen,
+            ReplyOutcome::Reject("no such address 7".to_string()),
+        ] {
+            roundtrip(Message::Reply { req_id: 7, outcome });
+        }
+        roundtrip(Message::MetricsReq { req_id: 9 });
+        roundtrip(Message::MetricsReply {
+            req_id: 9,
+            json: "{\"submitted\":4}".to_string(),
+        });
+        roundtrip(Message::Ping { nonce: 77 });
+        roundtrip(Message::Pong {
+            nonce: 77,
+            processed: 123,
+        });
+        roundtrip(Message::Shutdown);
+        roundtrip(Message::Invalidate {
+            req_id: 5,
+            address: 11,
+        });
+        roundtrip(Message::InvalidateReply {
+            req_id: 5,
+            generation: 2,
+        });
+    }
+
+    #[test]
+    fn crc_flip_is_detected() {
+        let mut frame = encode_frame(&Message::Ping { nonce: 1 });
+        let last = frame.len() - 1;
+        frame[last] ^= 0x40;
+        assert!(matches!(decode_frame(&frame), Err(FrameError::Crc { .. })));
+    }
+
+    #[test]
+    fn oversized_length_rejected_before_allocation() {
+        let mut frame = Vec::new();
+        push_u32(&mut frame, MAX_FRAME_LEN + 1);
+        push_u32(&mut frame, 0);
+        frame.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(decode_frame(&frame), Err(FrameError::TooLarge(_))));
+    }
+
+    #[test]
+    fn incomplete_frame_asks_for_more() {
+        let frame = encode_frame(&Message::Shutdown);
+        for cut in 0..frame.len() {
+            assert!(decode_frame(&frame[..cut]).unwrap().is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_payload_bytes_are_malformed() {
+        let mut payload = Message::Ping { nonce: 1 }.encode();
+        payload.push(0);
+        assert!(matches!(
+            Message::decode(&payload),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn reader_survives_byte_at_a_time_delivery() {
+        struct Trickle {
+            bytes: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for Trickle {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.bytes.len() {
+                    return Ok(0);
+                }
+                out[0] = self.bytes[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut stream = Vec::new();
+        stream.extend_from_slice(MAGIC);
+        stream.extend_from_slice(&encode_frame(&Message::Ping { nonce: 7 }));
+        stream.extend_from_slice(&encode_frame(&Message::Shutdown));
+        let mut reader = FrameReader::new(Trickle {
+            bytes: stream,
+            pos: 0,
+        });
+        assert_eq!(
+            reader.read_message().unwrap(),
+            Some(Message::Ping { nonce: 7 })
+        );
+        assert_eq!(reader.read_message().unwrap(), Some(Message::Shutdown));
+        assert_eq!(reader.read_message().unwrap(), None);
+    }
+
+    #[test]
+    fn reader_resumes_across_timeouts_without_desync() {
+        /// Delivers one byte per read, interleaving a timeout before each.
+        struct Flaky {
+            bytes: Vec<u8>,
+            pos: usize,
+            tick: bool,
+        }
+        impl Read for Flaky {
+            fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+                self.tick = !self.tick;
+                if self.tick {
+                    return Err(std::io::Error::new(ErrorKind::WouldBlock, "tick"));
+                }
+                if self.pos >= self.bytes.len() {
+                    return Ok(0);
+                }
+                out[0] = self.bytes[self.pos];
+                self.pos += 1;
+                Ok(1)
+            }
+        }
+        let mut stream = Vec::new();
+        stream.extend_from_slice(MAGIC);
+        stream.extend_from_slice(&encode_frame(&Message::Classify {
+            req_id: 1,
+            address: 2,
+        }));
+        let mut reader = FrameReader::new(Flaky {
+            bytes: stream,
+            pos: 0,
+            tick: false,
+        });
+        let mut timeouts = 0;
+        let msg = loop {
+            match reader.read_message() {
+                Ok(Some(m)) => break m,
+                Ok(None) => panic!("unexpected eof"),
+                Err(e) if e.is_timeout() => timeouts += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        };
+        assert_eq!(
+            msg,
+            Message::Classify {
+                req_id: 1,
+                address: 2
+            }
+        );
+        assert!(timeouts > 0, "flaky stream should have timed out");
+    }
+
+    #[test]
+    fn truncated_stream_poisons_the_reader() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(MAGIC);
+        let frame = encode_frame(&Message::Ping { nonce: 1 });
+        stream.extend_from_slice(&frame[..frame.len() - 2]);
+        let mut reader = FrameReader::new(&stream[..]);
+        assert!(matches!(reader.read_message(), Err(FrameError::Truncated)));
+        assert!(matches!(
+            reader.read_message(),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(b"BJRNL v1"); // right length, wrong protocol
+        stream.extend_from_slice(&encode_frame(&Message::Shutdown));
+        let mut reader = FrameReader::new(&stream[..]);
+        assert!(matches!(reader.read_message(), Err(FrameError::BadMagic)));
+    }
+}

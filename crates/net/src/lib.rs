@@ -1,0 +1,40 @@
+//! # banet — the multi-process shard fleet transport
+//!
+//! `bashard` scales the serving engine across shards inside one process;
+//! `banet` cuts the process boundary: shard workers become independent
+//! processes reached over TCP, speaking a length-prefixed, CRC-framed
+//! protocol (**BANET v1**) that carries the same requests, responses, and
+//! metrics the in-process stack uses.
+//!
+//! Three pieces:
+//!
+//! * [`frame`] — the wire format: `BANET v1` magic per direction, then
+//!   `[len][crc32][payload]` frames (the `bstream` journal's framing
+//!   discipline applied to a socket). Corruption of any kind decodes to a
+//!   typed error, never a panic, and the incremental [`frame::FrameReader`]
+//!   survives short reads and poll-tick timeouts without desyncing.
+//! * [`server`] — [`server::NetServer`]: a bounded, deadline-enforcing TCP
+//!   front over a [`server::NetBackend`] (an engine + dataset, or a shard
+//!   worker). Honors the process SIGINT flag and remote `Shutdown` frames;
+//!   sheds connections beyond `max_connections`; cuts peers that stall
+//!   mid-frame.
+//! * [`client`] — [`client::RemoteShard`]: a `baserve::ShardLane` backed by
+//!   one multiplexed connection to a worker process, with fail-fast
+//!   submits, client-side deadlines, exponential-backoff reconnect, and
+//!   health probes feeding `bashard`'s shard health board. Because it is a
+//!   `ShardLane`, `bashard::ShardRouter` fans batches across remote
+//!   workers with the exact same placement and merge order as in-process
+//!   engines — responses stay byte-identical.
+//!
+//! The layout handshake (each side's first frame is a [`frame::Hello`])
+//! refuses to pair endpoints whose `SHARD_HASH_VERSION` or shard
+//! assignment disagree: a misconfigured fleet fails loudly at connect
+//! time, not silently at routing time.
+
+pub mod client;
+pub mod frame;
+pub mod server;
+
+pub use client::{HealthSink, RemoteShard, RemoteShardConfig};
+pub use frame::{FrameError, FrameReader, Hello, Message, ReplyOutcome, Role, MAX_FRAME_LEN};
+pub use server::{listen_reuse, EngineBackend, NetBackend, NetServer, NetServerConfig, WireError};

@@ -1,0 +1,519 @@
+//! The BANET server: a TCP front over a serving backend.
+//!
+//! [`NetServer`] owns a `TcpListener` and a [`NetBackend`] (an engine plus
+//! its address dataset, or a shard worker validating ownership) and serves
+//! the BANET v1 protocol: handshake, classify, metrics, health probes,
+//! cache invalidation, and remote shutdown.
+//!
+//! Structure per connection: the accept thread (nonblocking listener,
+//! 10 ms poll so the stop flag and the process SIGINT flag are honored)
+//! spawns one *reader* thread per connection, which handshakes and then
+//! decodes request frames; classify tickets are handed to a per-connection
+//! *writer* thread that waits on them in submission order, so slow
+//! inference never blocks frame decoding and control traffic (pings,
+//! metrics) answers immediately through a shared write-half mutex.
+//!
+//! Bounds and deadlines:
+//! * at most `max_connections` concurrent connections — excess accepts
+//!   are closed immediately (the kernel backlog stays bounded);
+//! * reads tick every `read_tick` so stop/SIGINT are observed; a peer
+//!   that stalls **mid-frame** longer than `stall_timeout` is cut off
+//!   (idle connections are fine — the client prober keeps live ones warm);
+//! * writes carry `write_timeout` so one dead client cannot wedge a
+//!   writer thread forever.
+//!
+//! A `Shutdown` frame stops this server only (its local flag), never the
+//! whole process — in-process test fleets must not contaminate each other.
+
+use crate::frame::{
+    write_magic, write_message, FrameError, FrameReader, Hello, Message, ReplyOutcome, Role,
+};
+use baclassifier::PredictError;
+use baserve::metrics::MetricsSnapshot;
+use baserve::shutdown;
+use baserve::{Engine, Response, ServeError, Ticket};
+use btcsim::{Address, AddressRecord};
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering::Relaxed};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Bind a listener with `SO_REUSEADDR`, so a respawned worker can reclaim
+/// a port whose previous generation's connections are still in TIME_WAIT
+/// (a plain [`TcpListener::bind`] gets `AddrInUse` for up to a minute
+/// after a server that actively closed its connections exits).
+///
+/// IPv4 only on unix — the fleet binds loopback/interface v4 addresses;
+/// anything else falls back to a plain bind.
+pub fn listen_reuse(addr: std::net::SocketAddr) -> std::io::Result<TcpListener> {
+    #[cfg(unix)]
+    {
+        if let std::net::SocketAddr::V4(v4) = addr {
+            return listen_reuse_v4(v4);
+        }
+    }
+    TcpListener::bind(addr)
+}
+
+#[cfg(unix)]
+fn listen_reuse_v4(addr: std::net::SocketAddrV4) -> std::io::Result<TcpListener> {
+    use std::os::unix::io::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+    const BACKLOG: i32 = 128;
+
+    #[repr(C)]
+    struct SockaddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(std::io::Error::last_os_error());
+        }
+        let fail = |fd: i32| {
+            let e = std::io::Error::last_os_error();
+            close(fd);
+            Err(e)
+        };
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) != 0 {
+            return fail(fd);
+        }
+        let sin = SockaddrIn {
+            family: AF_INET as u16,
+            port_be: addr.port().to_be(),
+            addr_be: u32::from(*addr.ip()).to_be(),
+            zero: [0; 8],
+        };
+        if bind(fd, &sin, std::mem::size_of::<SockaddrIn>() as u32) != 0 {
+            return fail(fd);
+        }
+        if listen(fd, BACKLOG) != 0 {
+            return fail(fd);
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+/// Why a request could not be admitted to the backend.
+pub enum WireError {
+    /// Engine-level failure; travels as the matching reply status.
+    Serve(ServeError),
+    /// Refused before any engine saw it (unknown address, shard ownership
+    /// violation); travels as `Reject(reason)`.
+    Reject(String),
+}
+
+/// What a [`NetServer`] serves: one shard's (or one engine's) worth of
+/// classification capacity.
+pub trait NetBackend: Send + Sync {
+    /// Admit the request for simulator address `id`. Must fail fast.
+    fn submit(&self, id: u64) -> Result<Ticket, WireError>;
+
+    /// Point-in-time metrics; the server overrides `connections_open`
+    /// with its live connection count before rendering.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Invalidate cached state for `id`; returns the new cache generation.
+    fn invalidate(&self, id: u64) -> u64;
+
+    /// Completed-request count — the progress beat carried on `Pong`.
+    fn processed(&self) -> u64;
+}
+
+/// The standard backend: an engine plus the id→record dataset it answers
+/// for. Unknown ids are rejected without touching the engine.
+pub struct EngineBackend {
+    engine: Engine,
+    by_id: HashMap<u64, AddressRecord>,
+}
+
+impl EngineBackend {
+    pub fn new(engine: Engine, by_id: HashMap<u64, AddressRecord>) -> Self {
+        EngineBackend { engine, by_id }
+    }
+
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Consume the backend and shut its engine down.
+    pub fn shutdown(self) {
+        self.engine.shutdown();
+    }
+}
+
+impl NetBackend for EngineBackend {
+    fn submit(&self, id: u64) -> Result<Ticket, WireError> {
+        let record = self
+            .by_id
+            .get(&id)
+            .ok_or_else(|| WireError::Reject(format!("no such address {id}")))?;
+        self.engine.submit(record.clone()).map_err(WireError::Serve)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.engine.metrics()
+    }
+
+    fn invalidate(&self, id: u64) -> u64 {
+        self.engine.invalidate_address(Address(id))
+    }
+
+    fn processed(&self) -> u64 {
+        // The beat must only advance when work actually finishes, so the
+        // health board can spot a wedged worker that still accepts.
+        let snap = self.engine.metrics();
+        snap.completed + snap.degraded
+    }
+}
+
+/// Knobs for a [`NetServer`].
+#[derive(Clone)]
+pub struct NetServerConfig {
+    /// The layout this server advertises (and whose `hash_version` the
+    /// peer must match).
+    pub hello: Hello,
+    pub max_connections: usize,
+    /// Read poll tick — latency bound on observing stop/SIGINT.
+    pub read_tick: Duration,
+    /// How long a peer may stall mid-frame before the connection is cut.
+    pub stall_timeout: Duration,
+    pub write_timeout: Duration,
+}
+
+impl NetServerConfig {
+    /// Config for a worker serving shard `index` of `count`.
+    pub fn for_shard(index: u32, count: u32) -> Self {
+        NetServerConfig {
+            hello: Hello {
+                role: Role::Worker,
+                shard_index: index,
+                shard_count: count,
+                hash_version: baclassifier::SHARD_HASH_VERSION,
+            },
+            max_connections: 64,
+            read_tick: Duration::from_millis(50),
+            stall_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Config for an unsharded server (shard 0 of 1).
+    pub fn unsharded() -> Self {
+        Self::for_shard(0, 1)
+    }
+}
+
+/// Translate an engine outcome to the wire.
+pub fn outcome_of(result: &Result<Response, ServeError>) -> ReplyOutcome {
+    match result {
+        Ok(r) => ReplyOutcome::Ok {
+            label_index: r.label.index() as u8,
+            cache_hit: r.cache_hit,
+            degraded: r.degraded,
+            latency_us: r.latency.as_micros() as u64,
+        },
+        Err(ServeError::QueueFull) => ReplyOutcome::QueueFull,
+        Err(ServeError::ShuttingDown) => ReplyOutcome::ShuttingDown,
+        Err(ServeError::Predict(PredictError::NotFitted)) => ReplyOutcome::NotFitted,
+        Err(ServeError::Predict(PredictError::EmptyHistory)) => ReplyOutcome::EmptyHistory,
+        Err(ServeError::WorkerFailed) => ReplyOutcome::WorkerFailed,
+        Err(ServeError::DeadlineExceeded) => ReplyOutcome::DeadlineExceeded,
+        Err(ServeError::BreakerOpen) => ReplyOutcome::BreakerOpen,
+    }
+}
+
+/// One unit handed from a connection's reader to its writer thread.
+enum WriteJob {
+    /// Wait on the ticket, then reply for `req_id`.
+    Settle(u64, Ticket),
+}
+
+struct ConnShared {
+    /// Write half, shared between the writer thread (classify replies) and
+    /// the reader thread (immediate control replies).
+    write: Mutex<TcpStream>,
+}
+
+impl ConnShared {
+    fn send(&self, msg: &Message) -> std::io::Result<()> {
+        let mut w = self.write.lock().unwrap_or_else(|p| p.into_inner());
+        write_message(&mut *w, msg)?;
+        w.flush()
+    }
+}
+
+/// A running BANET server. Dropping without [`NetServer::stop`] leaks the
+/// accept thread until process exit; daemons call `stop()`.
+pub struct NetServer {
+    local_addr: std::net::SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+}
+
+impl NetServer {
+    /// Start serving `backend` on `listener`.
+    pub fn spawn(
+        listener: TcpListener,
+        backend: Arc<dyn NetBackend>,
+        config: NetServerConfig,
+    ) -> std::io::Result<NetServer> {
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || accept_loop(listener, backend, config, stop))
+        };
+        Ok(NetServer {
+            local_addr,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether this server has been asked to stop (locally, remotely via a
+    /// `Shutdown` frame, or by process SIGINT).
+    pub fn stop_requested(&self) -> bool {
+        self.stop.load(Relaxed) || shutdown::shutdown_requested()
+    }
+
+    /// Stop accepting, drain connections, join all threads.
+    pub fn stop(mut self) {
+        self.stop.store(true, Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Block until the server stops on its own (remote `Shutdown` frame or
+    /// SIGINT), polling every 50 ms; then join.
+    pub fn run_to_stop(mut self) {
+        while !self.stop_requested() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        self.stop.store(true, Relaxed);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    backend: Arc<dyn NetBackend>,
+    config: NetServerConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let open = Arc::new(AtomicUsize::new(0));
+    let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !stop.load(Relaxed) && !shutdown::shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if open.load(Relaxed) >= config.max_connections {
+                    // Bounded backlog: shed the connection instead of
+                    // queueing unboundedly.
+                    drop(stream);
+                    continue;
+                }
+                open.fetch_add(1, Relaxed);
+                let backend = Arc::clone(&backend);
+                let config = config.clone();
+                let stop = Arc::clone(&stop);
+                let open = Arc::clone(&open);
+                conns.push(std::thread::spawn(move || {
+                    let _ = serve_connection(stream, backend, &config, &stop, &open);
+                    open.fetch_sub(1, Relaxed);
+                }));
+                // Reap finished connection threads so the vec stays small.
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+                conns.retain(|h| !h.is_finished());
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    stop.store(true, Relaxed); // propagate SIGINT-initiated stop to conns
+    for h in conns {
+        let _ = h.join();
+    }
+}
+
+fn serve_connection(
+    stream: TcpStream,
+    backend: Arc<dyn NetBackend>,
+    config: &NetServerConfig,
+    stop: &AtomicBool,
+    open: &AtomicUsize,
+) -> Result<(), FrameError> {
+    stream.set_read_timeout(Some(config.read_tick))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    stream.set_nodelay(true)?;
+    let write_half = stream.try_clone()?;
+    let shared = Arc::new(ConnShared {
+        write: Mutex::new(write_half),
+    });
+
+    // Our half of the handshake goes out first; the peer's magic + Hello
+    // must be the first thing we read.
+    {
+        let mut w = shared.write.lock().unwrap_or_else(|p| p.into_inner());
+        write_magic(&mut *w)?;
+        write_message(&mut *w, &Message::Hello(config.hello))?;
+        w.flush()?;
+    }
+    let mut reader = FrameReader::new(stream);
+    let peer_hello = loop {
+        match reader.read_message() {
+            Ok(Some(Message::Hello(h))) => break h,
+            Ok(Some(_)) => return Err(FrameError::Malformed("first frame must be hello")),
+            Ok(None) => return Err(FrameError::Truncated),
+            Err(e) if e.is_timeout() => {
+                if stop.load(Relaxed) || shutdown::shutdown_requested() {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    };
+    if peer_hello.hash_version != config.hello.hash_version {
+        // A peer that places addresses differently must not pair up with
+        // us; closing before serving anything is the rejection.
+        return Err(FrameError::Malformed("shard hash version mismatch"));
+    }
+
+    // Writer thread: settles classify tickets in submission order.
+    let (job_tx, job_rx) = mpsc::channel::<WriteJob>();
+    let writer = {
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || {
+            while let Ok(WriteJob::Settle(req_id, ticket)) = job_rx.recv() {
+                let outcome = outcome_of(&ticket.wait());
+                if shared.send(&Message::Reply { req_id, outcome }).is_err() {
+                    // Peer is gone; keep draining so tickets still resolve.
+                }
+            }
+        })
+    };
+
+    let mut stall_started: Option<Instant> = None;
+    let result = loop {
+        if stop.load(Relaxed) || shutdown::shutdown_requested() {
+            break Ok(());
+        }
+        let msg = match reader.read_message() {
+            Ok(Some(m)) => m,
+            Ok(None) => break Ok(()), // clean EOF
+            Err(e) if e.is_timeout() => {
+                // Only a *mid-frame* stall is hostile; idle is fine.
+                if reader.mid_frame() {
+                    let started = *stall_started.get_or_insert_with(Instant::now);
+                    if started.elapsed() > config.stall_timeout {
+                        break Err(FrameError::Truncated);
+                    }
+                } else {
+                    stall_started = None;
+                }
+                continue;
+            }
+            Err(e) => break Err(e),
+        };
+        stall_started = None;
+        match msg {
+            Message::Classify { req_id, address } => match backend.submit(address) {
+                Ok(ticket) => {
+                    if job_tx.send(WriteJob::Settle(req_id, ticket)).is_err() {
+                        break Ok(());
+                    }
+                }
+                Err(WireError::Serve(e)) => {
+                    let outcome = outcome_of(&Err(e));
+                    if shared.send(&Message::Reply { req_id, outcome }).is_err() {
+                        break Ok(());
+                    }
+                }
+                Err(WireError::Reject(reason)) => {
+                    let outcome = ReplyOutcome::Reject(reason);
+                    if shared.send(&Message::Reply { req_id, outcome }).is_err() {
+                        break Ok(());
+                    }
+                }
+            },
+            Message::MetricsReq { req_id } => {
+                let mut snap = backend.metrics();
+                snap.connections_open = open.load(Relaxed) as u64;
+                let reply = Message::MetricsReply {
+                    req_id,
+                    json: snap.to_json(),
+                };
+                if shared.send(&reply).is_err() {
+                    break Ok(());
+                }
+            }
+            Message::Ping { nonce } => {
+                let pong = Message::Pong {
+                    nonce,
+                    processed: backend.processed(),
+                };
+                if shared.send(&pong).is_err() {
+                    break Ok(());
+                }
+            }
+            Message::Invalidate { req_id, address } => {
+                let reply = Message::InvalidateReply {
+                    req_id,
+                    generation: backend.invalidate(address),
+                };
+                if shared.send(&reply).is_err() {
+                    break Ok(());
+                }
+            }
+            Message::Shutdown => {
+                // Stops *this server*, never the whole process: in-process
+                // test fleets share the process-wide SIGINT flag.
+                stop.store(true, Relaxed);
+                break Ok(());
+            }
+            Message::Hello(_) => {
+                break Err(FrameError::Malformed("unexpected mid-stream hello"));
+            }
+            // Server-bound streams never carry replies; a peer that sends
+            // one is confused.
+            Message::Reply { .. }
+            | Message::MetricsReply { .. }
+            | Message::Pong { .. }
+            | Message::InvalidateReply { .. } => {
+                break Err(FrameError::Malformed("reply frame on server stream"));
+            }
+        }
+    };
+    drop(job_tx);
+    let _ = writer.join();
+    result
+}

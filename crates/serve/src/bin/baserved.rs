@@ -13,37 +13,42 @@
 //! `baserve::protocol` for the grammar. Responses go to stdout, one line per
 //! request, **in request order** — up to `--window` requests are kept in
 //! flight so the engine can batch, and the window is drained FIFO. A final
-//! `metrics <json>` line is printed at EOF or `quit`.
+//! `metrics <json>` line is printed at EOF, `quit`, or SIGINT.
 //!
 //! The daemon is fault-tolerant by default: a malformed (or non-UTF-8, or
 //! oversized) request line gets an `err <reason>` response and the session
 //! keeps serving; worker panics are supervised by the engine; and unless
 //! `--no-fallback` is given, a nearest-centroid fallback fitted on the
 //! rebuilt dataset answers (tagged `degraded`) while the circuit breaker is
-//! open.
+//! open. The session machinery itself (reader thread, FIFO window, SIGINT
+//! drain) lives in [`baserve::session`].
 
 use baclassifier::ModelArtifact;
 use baserve::cli::{engine_config_from_args, flag_parsed, flag_value, has_flag};
-use baserve::{
-    format_error, format_response, parse_request_bytes, Engine, EngineHooks, Fallback,
-    FeatureFallback, Request, Ticket,
-};
-use btcsim::{AddressRecord, Dataset, SimConfig, Simulator};
-use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, Write};
+use baserve::session::{dataset_by_id, run_line_session};
+use baserve::{format_error, Engine, EngineHooks, Fallback, FeatureFallback, LineService, Ticket};
+use btcsim::AddressRecord;
+use std::collections::HashMap;
 use std::sync::Arc;
 
-/// One response slot, kept FIFO so output order matches request order even
-/// though the engine may finish requests out of order.
-enum Slot {
-    Pending(Ticket),
-    Done(String),
+struct EngineService {
+    engine: Engine,
+    by_id: HashMap<u64, AddressRecord>,
 }
 
-fn resolve(slot: Slot) -> String {
-    match slot {
-        Slot::Done(line) => line,
-        Slot::Pending(t) => format_response(&t.wait()),
+impl LineService for EngineService {
+    fn submit(&self, id: u64) -> Result<Ticket, String> {
+        match self.by_id.get(&id) {
+            Some(record) => self
+                .engine
+                .submit(record.clone())
+                .map_err(|e| format_error(&e.to_string())),
+            None => Err(format_error(&format!("no such address {id}"))),
+        }
+    }
+
+    fn metrics_lines(&self) -> Vec<String> {
+        vec![format!("metrics {}", self.engine.metrics().to_json())]
     }
 }
 
@@ -70,12 +75,12 @@ fn main() {
         artifact.weights.len()
     );
 
-    let sim = Simulator::run_to_completion(SimConfig::tiny(seed));
-    let dataset = Dataset::from_simulator(&sim, min_txs);
-    let hooks = if has_flag(&args, "--no-fallback") || dataset.is_empty() {
+    let by_id = dataset_by_id(seed, min_txs);
+    let hooks = if has_flag(&args, "--no-fallback") || by_id.is_empty() {
         EngineHooks::default()
     } else {
-        let fallback = FeatureFallback::fit(&dataset.records);
+        let records: Vec<AddressRecord> = by_id.values().cloned().collect();
+        let fallback = FeatureFallback::fit(&records);
         eprintln!(
             "[baserved] degraded-mode fallback ready ({})",
             fallback.name()
@@ -85,11 +90,6 @@ fn main() {
             ..EngineHooks::default()
         }
     };
-    let by_id: HashMap<u64, AddressRecord> = dataset
-        .records
-        .into_iter()
-        .map(|r| (r.address.0, r))
-        .collect();
     eprintln!(
         "[baserved] dataset rebuilt from seed {seed}: {} addresses",
         by_id.len()
@@ -114,80 +114,15 @@ fn main() {
         config.breaker_cooldown.as_millis()
     );
 
-    let stdin = std::io::stdin();
-    let mut reader: Box<dyn BufRead> = match flag_value(&args, "--input") {
-        Some(path) => match std::fs::File::open(&path) {
-            Ok(f) => Box::new(std::io::BufReader::new(f)),
-            Err(e) => {
-                eprintln!("error: could not open {path}: {e}");
-                std::process::exit(1);
-            }
-        },
-        None => Box::new(stdin.lock()),
-    };
-    let stdout = std::io::stdout();
-    let mut out = std::io::BufWriter::new(stdout.lock());
-
-    let mut pending: VecDeque<Slot> = VecDeque::new();
-    let mut raw = Vec::new();
-    'serve: loop {
-        raw.clear();
-        // Raw bytes, not `lines()`: a client sending invalid UTF-8 gets an
-        // `err` response for that request instead of killing the session.
-        match reader.read_until(b'\n', &mut raw) {
-            Ok(0) => break,
-            Ok(_) => {}
-            Err(e) => {
-                eprintln!("error: reading request stream: {e}");
-                break;
-            }
-        }
-        while matches!(raw.last(), Some(b'\n') | Some(b'\r')) {
-            raw.pop();
-        }
-        let request = match parse_request_bytes(&raw) {
-            Ok(Some(r)) => r,
-            Ok(None) => continue,
-            Err(e) => {
-                pending.push_back(Slot::Done(format_error(&e.0)));
-                continue;
-            }
-        };
-        match request {
-            Request::Classify(id) => {
-                let slot = match by_id.get(&id) {
-                    Some(record) => match engine.submit(record.clone()) {
-                        Ok(ticket) => Slot::Pending(ticket),
-                        Err(e) => Slot::Done(format_error(&e.to_string())),
-                    },
-                    None => Slot::Done(format_error(&format!("no such address {id}"))),
-                };
-                pending.push_back(slot);
-                if pending.len() >= window {
-                    let line = resolve(pending.pop_front().expect("window is non-empty"));
-                    writeln!(out, "{line}").expect("stdout");
-                }
-            }
-            Request::Metrics => {
-                // Drain first so the metrics line sits in request order.
-                for slot in pending.drain(..) {
-                    writeln!(out, "{}", resolve(slot)).expect("stdout");
-                }
-                writeln!(out, "metrics {}", engine.metrics().to_json()).expect("stdout");
-                out.flush().expect("stdout");
-            }
-            Request::Quit => break 'serve,
-        }
+    let service = EngineService { engine, by_id };
+    if let Err(e) = run_line_session("baserved", &service, flag_value(&args, "--input"), window) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-    for slot in pending.drain(..) {
-        writeln!(out, "{}", resolve(slot)).expect("stdout");
-    }
-    writeln!(out, "metrics {}", engine.metrics().to_json()).expect("stdout");
-    out.flush().expect("stdout");
     eprintln!(
         "[baserved] breaker {} at exit, {} live workers",
-        engine.breaker_state().name(),
-        engine.live_workers()
+        service.engine.breaker_state().name(),
+        service.engine.live_workers()
     );
-    engine.shutdown();
+    service.engine.shutdown();
 }

@@ -231,6 +231,17 @@ impl Ticket {
         let _ = tx.send(result);
         Ticket { rx }
     }
+
+    /// A ticket settled later by whoever holds the sender — the remote
+    /// lane's shape: a network reader thread resolves the ticket when the
+    /// shard worker's reply frame arrives (or the connection dies). The
+    /// channel holds one slot; the first send wins and the ticket's
+    /// `wait` observes exactly one terminal outcome, same as an engine
+    /// ticket.
+    pub fn pending() -> (SyncSender<Result<Response, ServeError>>, Ticket) {
+        let (tx, rx) = mpsc::sync_channel(1);
+        (tx, Ticket { rx })
+    }
 }
 
 /// Recover a possibly-poisoned lock result. The queue and cache are plain
@@ -456,9 +467,18 @@ impl Engine {
         generation
     }
 
+    /// Requests admitted but not yet picked up by a worker — the live
+    /// value behind the `queue_depth` gauge and the router's per-shard
+    /// admission view.
+    pub fn queue_len(&self) -> usize {
+        recover(self.shared.queue.lock()).jobs.len()
+    }
+
     /// Point-in-time copy of the service counters and histograms.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        let mut snap = self.shared.metrics.snapshot();
+        snap.queue_depth = self.queue_len() as u64;
+        snap
     }
 
     /// Current circuit-breaker state.

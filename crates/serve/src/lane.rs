@@ -1,0 +1,79 @@
+//! The shard-lane abstraction: one slot in a shard fan-out.
+//!
+//! A *lane* is whatever answers classification requests for the addresses
+//! one shard owns. The in-process lane is an [`Engine`]; `banet` adds a
+//! remote lane (`RemoteShard`) that forwards requests to a shard worker
+//! process over TCP. `bashard::ShardRouter` routes over `Box<dyn
+//! ShardLane>`, so a fleet of engines, a fleet of sockets, or a mix of
+//! both all share the same placement, degraded-routing, and in-order
+//! batch-merge code path — the byte-identity argument never changes.
+//!
+//! The trait lives here (not in `bashard`) because it only names `baserve`
+//! types, and putting it below both `bashard` and `banet` lets the remote
+//! lane implement it without a dependency cycle.
+
+use crate::engine::{Engine, ServeError, Ticket};
+use crate::metrics::MetricsSnapshot;
+use btcsim::{Address, AddressRecord};
+use std::time::Duration;
+
+/// One shard's serving surface: submit, observe, shut down.
+pub trait ShardLane: Send + Sync {
+    /// Enqueue one request under the lane's default deadline. Must fail
+    /// fast (e.g. [`ServeError::QueueFull`]) instead of queueing
+    /// unboundedly — per-lane admission is what keeps one slow shard from
+    /// stalling the fleet.
+    fn submit(&self, record: AddressRecord) -> Result<Ticket, ServeError>;
+
+    /// [`ShardLane::submit`] with an explicit per-request deadline.
+    fn submit_with_deadline(
+        &self,
+        record: AddressRecord,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError>;
+
+    /// Supersede any cached embeddings for `addr`; returns the new cache
+    /// generation (0 when the lane could not perform the invalidation).
+    fn invalidate_address(&self, addr: Address) -> u64;
+
+    /// Point-in-time service metrics for this lane.
+    fn metrics(&self) -> MetricsSnapshot;
+
+    /// Live serving capacity: worker replicas for an engine, 1/0 for a
+    /// connected/disconnected remote lane.
+    fn live_workers(&self) -> usize;
+
+    /// Stop the lane, joining its threads. Consumes the lane; routers call
+    /// this once per lane at fleet shutdown.
+    fn shutdown_lane(self: Box<Self>);
+}
+
+impl ShardLane for Engine {
+    fn submit(&self, record: AddressRecord) -> Result<Ticket, ServeError> {
+        Engine::submit(self, record)
+    }
+
+    fn submit_with_deadline(
+        &self,
+        record: AddressRecord,
+        deadline: Option<Duration>,
+    ) -> Result<Ticket, ServeError> {
+        Engine::submit_with_deadline(self, record, deadline)
+    }
+
+    fn invalidate_address(&self, addr: Address) -> u64 {
+        Engine::invalidate_address(self, addr)
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        Engine::metrics(self)
+    }
+
+    fn live_workers(&self) -> usize {
+        Engine::live_workers(self)
+    }
+
+    fn shutdown_lane(self: Box<Self>) {
+        (*self).shutdown();
+    }
+}

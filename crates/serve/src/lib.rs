@@ -52,8 +52,11 @@ pub mod cli;
 pub mod engine;
 pub mod fallback;
 pub mod fault;
+pub mod lane;
 pub mod metrics;
 pub mod protocol;
+pub mod session;
+pub mod shutdown;
 
 pub use breaker::{Admission, BreakerState, CircuitBreaker};
 pub use cache::LruCache;
@@ -63,7 +66,9 @@ pub use fault::{
     corrupt_bytes, garble_line, splitmix64, truncate_line, FaultAction, FaultPlan, FaultSpec,
     NoFaults, ScriptedFaultPlan,
 };
+pub use lane::ShardLane;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use protocol::{
     format_error, format_response, parse_request, parse_request_bytes, ProtocolError, Request,
 };
+pub use session::{run_line_session, LineService};

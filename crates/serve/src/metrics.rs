@@ -44,6 +44,13 @@ pub struct Metrics {
     /// any cached embeddings for the address).
     pub invalidations: AtomicU64,
     pub batches: AtomicU64,
+    /// Gauge: transport connections currently established (0/1 for a
+    /// single remote lane; summed across a fleet by `merge`). Engines
+    /// serve in-process and leave this 0.
+    pub connections_open: AtomicU64,
+    /// Connections re-established after a previous one was lost (the
+    /// first connect of a lane's life is not a reconnect).
+    pub reconnects_total: AtomicU64,
     latency_us: LatencyHistogram,
     batch_sizes: BatchHistogram,
 }
@@ -135,6 +142,12 @@ impl Metrics {
             cache_misses: misses,
             batch_dedup_hits: self.batch_dedup_hits.load(Relaxed),
             invalidations: self.invalidations.load(Relaxed),
+            connections_open: self.connections_open.load(Relaxed),
+            reconnects_total: self.reconnects_total.load(Relaxed),
+            // The queue is not owned by `Metrics`; holders of one (an
+            // engine's bounded queue, a remote lane's in-flight map)
+            // overwrite this gauge after snapshotting.
+            queue_depth: 0,
             cache_hit_rate: if hits + misses == 0 {
                 0.0
             } else {
@@ -198,6 +211,13 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     pub batch_dedup_hits: u64,
     pub invalidations: u64,
+    /// Gauge: transport connections currently open (see [`Metrics`]).
+    pub connections_open: u64,
+    pub reconnects_total: u64,
+    /// Gauge: requests admitted but not yet answered — an engine's queued
+    /// jobs, or a remote lane's in-flight requests. Per-shard snapshots
+    /// expose the per-shard admission budget in use; `merge` sums them.
+    pub queue_depth: u64,
     pub cache_hit_rate: f64,
     pub batches: u64,
     pub mean_batch_size: f64,
@@ -270,6 +290,11 @@ impl MetricsSnapshot {
             cache_misses,
             batch_dedup_hits: sum_u64(|s| s.batch_dedup_hits),
             invalidations: sum_u64(|s| s.invalidations),
+            // Gauges sum across shards: the fleet's open connections and
+            // total in-flight depth, not an average.
+            connections_open: sum_u64(|s| s.connections_open),
+            reconnects_total: sum_u64(|s| s.reconnects_total),
+            queue_depth: sum_u64(|s| s.queue_depth),
             cache_hit_rate: if cache_hits + cache_misses == 0 {
                 0.0
             } else {
@@ -319,6 +344,9 @@ impl MetricsSnapshot {
         push_kv_u64(&mut s, "cache_misses", self.cache_misses);
         push_kv_u64(&mut s, "batch_dedup_hits", self.batch_dedup_hits);
         push_kv_u64(&mut s, "invalidations", self.invalidations);
+        push_kv_u64(&mut s, "connections_open", self.connections_open);
+        push_kv_u64(&mut s, "reconnects_total", self.reconnects_total);
+        push_kv_u64(&mut s, "queue_depth", self.queue_depth);
         push_kv_f64(&mut s, "cache_hit_rate", self.cache_hit_rate);
         push_kv_u64(&mut s, "batches", self.batches);
         push_kv_f64(&mut s, "mean_batch_size", self.mean_batch_size);
@@ -464,6 +492,39 @@ mod tests {
         assert!((merged.mean_latency_us - (90.0 * 5.0 + 10.0 * 1500.0) / 100.0).abs() < 1e-6);
         assert_eq!(merged.max_batch_size, 6);
         assert!((merged.mean_batch_size - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauges_merge_by_summing_and_render_in_json() {
+        let a = Metrics::default();
+        a.connections_open.store(1, Relaxed);
+        a.reconnects_total.fetch_add(3, Relaxed);
+        let b = Metrics::default();
+        b.connections_open.store(1, Relaxed);
+        let mut sa = a.snapshot();
+        sa.queue_depth = 5; // lane overwrites the gauge post-snapshot
+        let mut sb = b.snapshot();
+        sb.queue_depth = 2;
+
+        let merged = MetricsSnapshot::merge(&[sa, sb]);
+        assert_eq!(merged.connections_open, 2);
+        assert_eq!(merged.reconnects_total, 3);
+        assert_eq!(merged.queue_depth, 7);
+        let json = merged.to_json();
+        assert!(json.contains("\"connections_open\":2"), "json: {json}");
+        assert!(json.contains("\"reconnects_total\":3"), "json: {json}");
+        assert!(json.contains("\"queue_depth\":7"), "json: {json}");
+
+        // Fresh metrics leave every gauge zero.
+        let empty = Metrics::default().snapshot();
+        assert_eq!(
+            (
+                empty.connections_open,
+                empty.reconnects_total,
+                empty.queue_depth
+            ),
+            (0, 0, 0)
+        );
     }
 
     #[test]

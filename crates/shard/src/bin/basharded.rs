@@ -1,12 +1,21 @@
-//! The sharded serving daemon: `baserved`'s line protocol, answered by a
-//! [`ShardRouter`] instead of a single engine.
+//! The sharded serving daemon: `baserved`'s line protocol answered by a
+//! [`ShardRouter`] — over in-process engines, remote TCP workers, or as a
+//! worker process itself.
 //!
 //! ```text
+//! # classic: N in-process shard engines, line protocol on stdin
 //! basharded --artifact model.bart [--shards N] [--seed 42] [--min-txs 3]
 //!           [--input FILE] [--window N] [--per-shard-metrics]
-//!           [engine knobs: --workers --max-batch --max-wait-ms
-//!            --queue-depth --cache --deadline-ms --breaker-threshold
-//!            --breaker-cooldown-ms --max-restarts --no-fallback]
+//!           [engine knobs]
+//!
+//! # shard worker process: serve shard I of N over TCP
+//! basharded --artifact model.bart --worker I --shards N --listen HOST:PORT
+//!
+//! # TCP frontend: serve the whole (in-process) router over BANET
+//! basharded --artifact model.bart --shards N --listen HOST:PORT
+//!
+//! # remote frontend: line protocol routed over TCP shard workers
+//! basharded --artifact model.bart --connect HOST:P0,HOST:P1[,…]
 //! ```
 //!
 //! The engine knobs describe the **total** resource budget; each of the
@@ -14,67 +23,102 @@
 //! `basharded --shards 4` costs what `baserved` does with the same flags.
 //! Requests fan out to the shard owning the queried address; responses
 //! print in request order (the FIFO window is drained oldest-first, same
-//! as `baserved`). The final `metrics` line is the fleet roll-up; with
-//! `--per-shard-metrics`, one `metrics shard=<i>` line per shard precedes
-//! it on stderr-free stdout.
+//! as `baserved`).
+//!
+//! Worker mode prints `listening <addr>` on stdout once bound (a parent
+//! spawning a fleet parses that line), retries a busy port for ~2 s (so a
+//! respawned worker can reclaim its old address), and exits on SIGINT or a
+//! remote `Shutdown` frame. In `--connect` mode a dead worker's addresses
+//! are answered degraded through the fallback until the connection and the
+//! health board recover — same behavior as in-process degraded routing.
 
-use baclassifier::ModelArtifact;
+use baclassifier::{ModelArtifact, ShardAssignment};
+use banet::{NetServer, NetServerConfig, RemoteShardConfig};
 use baserve::cli::{engine_config_from_args, flag_parsed, flag_value, has_flag};
-use baserve::{
-    format_error, format_response, parse_request_bytes, EngineHooks, Fallback, FeatureFallback,
-    Request, Ticket,
-};
-use bashard::ShardRouter;
-use btcsim::{AddressRecord, Dataset, SimConfig, Simulator};
-use std::collections::{HashMap, VecDeque};
-use std::io::{BufRead, Write};
-use std::sync::{mpsc, Arc};
-use std::time::Duration;
+use baserve::session::{dataset_by_id, metrics_lines_for, run_line_session};
+use baserve::{format_error, Engine, EngineHooks, Fallback, FeatureFallback, LineService, Ticket};
+use bashard::{RouterBackend, ShardRouter, WorkerBackend};
+use btcsim::AddressRecord;
+use std::collections::HashMap;
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// One response slot, kept FIFO so output order matches request order even
-/// though shards may finish requests out of order.
-enum Slot {
-    Pending(Ticket),
-    Done(String),
+struct RouterService<'a> {
+    router: &'a ShardRouter,
+    by_id: &'a HashMap<u64, AddressRecord>,
+    args: &'a [String],
 }
 
-fn resolve(slot: Slot) -> String {
-    match slot {
-        Slot::Done(line) => line,
-        Slot::Pending(t) => format_response(&t.wait()),
+impl LineService for RouterService<'_> {
+    fn submit(&self, id: u64) -> Result<Ticket, String> {
+        match self.by_id.get(&id) {
+            Some(record) => self
+                .router
+                .submit(record.clone())
+                .map_err(|e| format_error(&e.to_string())),
+            None => Err(format_error(&format!("no such address {id}"))),
+        }
+    }
+
+    fn metrics_lines(&self) -> Vec<String> {
+        metrics_lines_for(
+            self.args,
+            &self.router.per_shard_metrics(),
+            &self.router.metrics(),
+        )
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let Some(artifact_path) = flag_value(&args, "--artifact") else {
-        eprintln!("usage: basharded --artifact model.bart [--shards N] [--input FILE] …");
+/// Bind `addr` with `SO_REUSEADDR` (so a respawned worker reclaims a port
+/// still in TIME_WAIT), retrying `AddrInUse` for ~2 s in case the previous
+/// process is still listening while it drains.
+fn bind_with_retry(addr: &str) -> std::io::Result<TcpListener> {
+    use std::net::ToSocketAddrs;
+    let start = Instant::now();
+    loop {
+        let resolved = addr.to_socket_addrs()?.next().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("{addr} resolves to no address"),
+            )
+        })?;
+        match banet::listen_reuse(resolved) {
+            Ok(l) => return Ok(l),
+            Err(e) if e.kind() == std::io::ErrorKind::AddrInUse => {
+                if start.elapsed() > Duration::from_secs(2) {
+                    return Err(e);
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn load_artifact(args: &[String]) -> (Arc<ModelArtifact>, String) {
+    let Some(artifact_path) = flag_value(args, "--artifact") else {
+        eprintln!(
+            "usage: basharded --artifact model.bart [--shards N] [--input FILE] \
+             [--worker I --listen ADDR] [--connect ADDRS] …"
+        );
         std::process::exit(2);
     };
-    let shards = flag_parsed(&args, "--shards", 2u32).max(1);
-    let seed = flag_parsed(&args, "--seed", 42u64);
-    let min_txs = flag_parsed(&args, "--min-txs", 3usize);
-    let config = engine_config_from_args(&args);
-    let window = flag_parsed(&args, "--window", config.queue_depth.min(64)).max(1);
-
-    let artifact = match ModelArtifact::load(artifact_path.as_ref()) {
-        Ok(a) => Arc::new(a),
+    match ModelArtifact::load(artifact_path.as_ref()) {
+        Ok(a) => (Arc::new(a), artifact_path),
         Err(e) => {
             eprintln!("error: could not load artifact {artifact_path}: {e}");
             std::process::exit(1);
         }
-    };
-    eprintln!(
-        "[basharded] loaded {artifact_path} ({} weight tensors)",
-        artifact.weights.len()
-    );
+    }
+}
 
-    let sim = Simulator::run_to_completion(SimConfig::tiny(seed));
-    let dataset = Dataset::from_simulator(&sim, min_txs);
-    let hooks = if has_flag(&args, "--no-fallback") || dataset.is_empty() {
+fn hooks_for(args: &[String], by_id: &HashMap<u64, AddressRecord>) -> EngineHooks {
+    if has_flag(args, "--no-fallback") || by_id.is_empty() {
         EngineHooks::default()
     } else {
-        let fallback = FeatureFallback::fit(&dataset.records);
+        let records: Vec<AddressRecord> = by_id.values().cloned().collect();
+        let fallback = FeatureFallback::fit(&records);
         eprintln!(
             "[basharded] degraded-mode fallback ready ({})",
             fallback.name()
@@ -83,17 +127,130 @@ fn main() {
             fallback: Some(Arc::new(fallback) as Arc<dyn Fallback>),
             ..EngineHooks::default()
         }
-    };
-    let by_id: HashMap<u64, AddressRecord> = dataset
-        .records
-        .into_iter()
-        .map(|r| (r.address.0, r))
-        .collect();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let shards = flag_parsed(&args, "--shards", 2u32).max(1);
+    let seed = flag_parsed(&args, "--seed", 42u64);
+    let min_txs = flag_parsed(&args, "--min-txs", 3usize);
+    let config = engine_config_from_args(&args);
+    let window = flag_parsed(&args, "--window", config.queue_depth.min(64)).max(1);
+
+    let (artifact, artifact_path) = load_artifact(&args);
+    eprintln!(
+        "[basharded] loaded {artifact_path} ({} weight tensors)",
+        artifact.weights.len()
+    );
+    let by_id = dataset_by_id(seed, min_txs);
     eprintln!(
         "[basharded] dataset rebuilt from seed {seed}: {} addresses",
         by_id.len()
     );
 
+    let worker = flag_parsed(&args, "--worker", u32::MAX);
+    let listen = flag_value(&args, "--listen");
+    let connect = flag_value(&args, "--connect");
+
+    // --- worker mode: one shard engine behind a TCP listener -------------
+    if worker != u32::MAX {
+        let Some(listen) = listen else {
+            eprintln!("error: --worker requires --listen HOST:PORT");
+            std::process::exit(2);
+        };
+        if worker >= shards {
+            eprintln!("error: --worker {worker} out of range for --shards {shards}");
+            std::process::exit(2);
+        }
+        let hooks = hooks_for(&args, &by_id);
+        let per_shard = config.for_shard(shards as usize);
+        let engine = match Engine::with_hooks(artifact, per_shard, hooks) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("error: artifact does not match the model architecture: {e}");
+                std::process::exit(1);
+            }
+        };
+        let assignment = ShardAssignment {
+            index: worker,
+            count: shards,
+        };
+        let backend = Arc::new(WorkerBackend::new(engine, by_id, assignment));
+        let listener = match bind_with_retry(&listen) {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("error: could not bind {listen}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let bound = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        baserve::shutdown::install_sigint_handler();
+        let server = NetServer::spawn(
+            listener,
+            backend,
+            NetServerConfig::for_shard(worker, shards),
+        )
+        .expect("server spawns on a bound listener");
+        // A parent spawning the fleet parses this line for the bound port.
+        println!("listening {bound}");
+        use std::io::Write as _;
+        std::io::stdout().flush().expect("stdout");
+        eprintln!("[basharded] worker {worker}/{shards} serving on {bound}");
+        server.run_to_stop();
+        eprintln!("[basharded] worker {worker}/{shards} stopped");
+        return;
+    }
+
+    // --- remote frontend: line protocol over TCP workers -----------------
+    if let Some(connect) = connect {
+        let addrs: Vec<String> = connect
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if addrs.is_empty() {
+            eprintln!("error: --connect needs at least one HOST:PORT");
+            std::process::exit(2);
+        }
+        let hooks = hooks_for(&args, &by_id);
+        let (router, _health) = bashard::remote_router(
+            &addrs,
+            RemoteShardConfig {
+                max_in_flight: config.queue_depth.max(window),
+                ..RemoteShardConfig::default()
+            },
+            hooks.fallback,
+        );
+        eprintln!(
+            "[basharded] routing over {} remote workers: {}",
+            addrs.len(),
+            addrs.join(", ")
+        );
+        let service = RouterService {
+            router: &router,
+            by_id: &by_id,
+            args: &args,
+        };
+        if let Err(e) =
+            run_line_session("basharded", &service, flag_value(&args, "--input"), window)
+        {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+        eprintln!(
+            "[basharded] {} degraded-routed, {} connected lanes at exit",
+            router.degraded_routed(),
+            router.live_workers()
+        );
+        router.shutdown();
+        return;
+    }
+
+    // --- in-process router (classic), optionally behind a TCP listener ---
+    let hooks = hooks_for(&args, &by_id);
     let router = match ShardRouter::with_hooks(artifact, config.clone(), hooks, shards) {
         Ok(r) => r,
         Err(e) => {
@@ -115,123 +272,41 @@ fn main() {
         config.max_wait.as_millis(),
     );
 
-    let input_path = flag_value(&args, "--input");
-    if let Some(path) = &input_path {
-        // Fail fast on an unopenable input before any thread starts.
-        if let Err(e) = std::fs::File::open(path) {
-            eprintln!("error: could not open {path}: {e}");
-            std::process::exit(1);
-        }
-    }
-    let stdout = std::io::stdout();
-    let mut out = std::io::BufWriter::new(stdout.lock());
-
-    // Requests arrive via a dedicated reader thread so the serve loop can
-    // poll the SIGINT flag: a blocking stdin read would otherwise pin the
-    // process (libc `signal` restarts interrupted reads). On Ctrl-C the
-    // loop below drains every in-flight ticket and shuts the fleet down
-    // cleanly; EOF takes the same path via the dropped channel.
-    bstream::install_sigint_handler();
-    let (line_tx, line_rx) = mpsc::sync_channel::<Vec<u8>>(64);
-    std::thread::spawn(move || {
-        // Built on this thread: `StdinLock` is not `Send`.
-        let mut reader: Box<dyn BufRead> = match input_path {
-            Some(path) => match std::fs::File::open(&path) {
-                Ok(f) => Box::new(std::io::BufReader::new(f)),
-                Err(e) => {
-                    eprintln!("error: could not open {path}: {e}");
-                    return;
-                }
-            },
-            None => Box::new(std::io::stdin().lock()),
-        };
-        let mut raw = Vec::new();
-        loop {
-            raw.clear();
-            // Raw bytes, not `lines()`: a client sending invalid UTF-8
-            // gets an `err` response for that request instead of killing
-            // the session.
-            match reader.read_until(b'\n', &mut raw) {
-                Ok(0) => break,
-                Ok(_) => {
-                    if line_tx.send(raw.clone()).is_err() {
-                        break;
-                    }
-                }
-                Err(e) => {
-                    eprintln!("error: reading request stream: {e}");
-                    break;
-                }
-            }
-        }
-    });
-
-    let mut pending: VecDeque<Slot> = VecDeque::new();
-    'serve: loop {
-        if bstream::shutdown_requested() {
-            eprintln!(
-                "[basharded] SIGINT: draining {} pending responses and shutting down…",
-                pending.len()
-            );
-            break;
-        }
-        let mut raw = match line_rx.recv_timeout(Duration::from_millis(100)) {
-            Ok(raw) => raw,
-            Err(mpsc::RecvTimeoutError::Timeout) => continue,
-            Err(mpsc::RecvTimeoutError::Disconnected) => break, // EOF
-        };
-        while matches!(raw.last(), Some(b'\n') | Some(b'\r')) {
-            raw.pop();
-        }
-        let request = match parse_request_bytes(&raw) {
-            Ok(Some(r)) => r,
-            Ok(None) => continue,
+    if let Some(listen) = listen {
+        let backend = Arc::new(RouterBackend::new(router, by_id));
+        let listener = match bind_with_retry(&listen) {
+            Ok(l) => l,
             Err(e) => {
-                pending.push_back(Slot::Done(format_error(&e.0)));
-                continue;
+                eprintln!("error: could not bind {listen}: {e}");
+                std::process::exit(1);
             }
         };
-        match request {
-            Request::Classify(id) => {
-                let slot = match by_id.get(&id) {
-                    Some(record) => match router.submit(record.clone()) {
-                        Ok(ticket) => Slot::Pending(ticket),
-                        Err(e) => Slot::Done(format_error(&e.to_string())),
-                    },
-                    None => Slot::Done(format_error(&format!("no such address {id}"))),
-                };
-                pending.push_back(slot);
-                if pending.len() >= window {
-                    let line = resolve(pending.pop_front().expect("window is non-empty"));
-                    writeln!(out, "{line}").expect("stdout");
-                }
-            }
-            Request::Metrics => {
-                // Drain first so the metrics line sits in request order.
-                for slot in pending.drain(..) {
-                    writeln!(out, "{}", resolve(slot)).expect("stdout");
-                }
-                if has_flag(&args, "--per-shard-metrics") {
-                    for (i, snap) in router.per_shard_metrics().iter().enumerate() {
-                        writeln!(out, "metrics shard={i} {}", snap.to_json()).expect("stdout");
-                    }
-                }
-                writeln!(out, "metrics {}", router.metrics().to_json()).expect("stdout");
-                out.flush().expect("stdout");
-            }
-            Request::Quit => break 'serve,
-        }
+        let bound = listener
+            .local_addr()
+            .expect("bound listener has an address");
+        baserve::shutdown::install_sigint_handler();
+        let mut server_config = NetServerConfig::unsharded();
+        server_config.hello.role = banet::Role::Frontend;
+        let server = NetServer::spawn(listener, backend, server_config)
+            .expect("server spawns on a bound listener");
+        println!("listening {bound}");
+        use std::io::Write as _;
+        std::io::stdout().flush().expect("stdout");
+        eprintln!("[basharded] frontend serving BANET on {bound}");
+        server.run_to_stop();
+        eprintln!("[basharded] frontend stopped");
+        return;
     }
-    for slot in pending.drain(..) {
-        writeln!(out, "{}", resolve(slot)).expect("stdout");
+
+    let service = RouterService {
+        router: &router,
+        by_id: &by_id,
+        args: &args,
+    };
+    if let Err(e) = run_line_session("basharded", &service, flag_value(&args, "--input"), window) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
     }
-    if has_flag(&args, "--per-shard-metrics") {
-        for (i, snap) in router.per_shard_metrics().iter().enumerate() {
-            writeln!(out, "metrics shard={i} {}", snap.to_json()).expect("stdout");
-        }
-    }
-    writeln!(out, "metrics {}", router.metrics().to_json()).expect("stdout");
-    out.flush().expect("stdout");
     eprintln!("[basharded] {} live workers at exit", router.live_workers());
     router.shutdown();
 }

@@ -37,10 +37,14 @@
 //! over a router; `shard_bench` (bench crate) asserts the N-vs-1
 //! byte-identity end to end and records per-shard scaling curves.
 
+pub mod rebalance;
+pub mod remote;
 pub mod router;
 pub mod stream;
 
 pub use baclassifier::{ShardAssignment, ShardMap, SHARD_HASH_VERSION};
+pub use rebalance::{rebalance_snapshots, RebalanceError, RebalanceReport};
+pub use remote::{health_sink_for, remote_router, wait_fleet_up, RouterBackend, WorkerBackend};
 pub use router::ShardRouter;
 pub use stream::{
     shard_snapshot_path, MergedReport, ShardHealth, ShardReport, ShardStreamError, ShardedFollower,

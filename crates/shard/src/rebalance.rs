@@ -1,0 +1,498 @@
+//! Offline shard rebalancing: re-split `base.{i}of{N}` snapshot files to a
+//! new shard count without replaying the chain.
+//!
+//! The key property — and the reason this is ~text manipulation rather
+//! than a model-state migration — is that a snapshot's per-address section
+//! (`A` line plus its `T` lines) is a pure function of that address's
+//! transaction history and the frozen classifier. Which *file* a section
+//! lands in is decided by [`ShardMap`] alone. So rebalancing N→M is:
+//! verify and parse the N inputs, k-way merge their sections in ascending
+//! address order (each input is already sorted — followers iterate a
+//! `BTreeMap`), route every section through `ShardMap::new(M)`, and write
+//! M outputs with fresh headers and checksums, copying each section's
+//! bytes **verbatim**. The result is byte-identical to what a fresh
+//! M-shard fleet would have written after consuming the same chain —
+//! `bashard-rebalance` is the CLI, and the network acceptance test
+//! asserts the identity.
+//!
+//! Safety rails, in the same spirit as `Follower::restore`:
+//! * checksum trailers are verified before any parse (legacy files
+//!   without a trailer are accepted, like restore);
+//! * every input must carry the expected `shard i N` line with this
+//!   build's `SHARD_HASH_VERSION` (a single unsharded input stands in for
+//!   the 1-shard layout);
+//! * all inputs must agree on `height`;
+//! * every address must live in the file its old layout assigns it to —
+//!   a mis-assembled input set fails loudly instead of producing a
+//!   plausible-looking but misrouted output;
+//! * outputs are written atomically (`.tmp` + fsync + rename).
+
+use crate::stream::shard_snapshot_path;
+use baclassifier::{ShardMap, SHARD_HASH_VERSION};
+use bstream::crc32;
+use btcsim::Address;
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Why a rebalance run was refused.
+#[derive(Debug)]
+pub enum RebalanceError {
+    Io(std::io::Error),
+    /// A structural problem in an input file.
+    Malformed(String),
+    /// An input failed its checksum trailer.
+    Checksum(String),
+    /// Input set inconsistent: wrong shard lines, differing heights,
+    /// misplaced addresses.
+    Layout(String),
+}
+
+impl std::fmt::Display for RebalanceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RebalanceError::Io(e) => write!(f, "i/o error: {e}"),
+            RebalanceError::Malformed(m) => write!(f, "malformed snapshot: {m}"),
+            RebalanceError::Checksum(m) => write!(f, "checksum failure: {m}"),
+            RebalanceError::Layout(m) => write!(f, "layout error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RebalanceError {}
+
+impl From<std::io::Error> for RebalanceError {
+    fn from(e: std::io::Error) -> Self {
+        RebalanceError::Io(e)
+    }
+}
+
+/// What a rebalance run did.
+#[derive(Debug)]
+pub struct RebalanceReport {
+    pub height: u64,
+    pub addresses: usize,
+    pub old_count: u32,
+    pub new_count: u32,
+    pub outputs: Vec<PathBuf>,
+}
+
+/// One address's section of a snapshot, kept as verbatim text.
+struct Section {
+    addr: Address,
+    /// The `A` line and its `T` lines, newline-terminated, exactly as they
+    /// appeared in the input.
+    text: String,
+}
+
+/// One parsed input file: header facts plus its sections in file order.
+struct ParsedShard {
+    height: u64,
+    /// `(index, count)` from the shard line; `None` for a legacy
+    /// unsharded file.
+    shard: Option<(u32, u32)>,
+    sections: Vec<Section>,
+}
+
+fn malformed(path: &Path, what: impl std::fmt::Display) -> RebalanceError {
+    RebalanceError::Malformed(format!("{}: {what}", path.display()))
+}
+
+/// Parse one snapshot file, verifying its checksum and keeping each
+/// address section as verbatim bytes.
+fn parse_snapshot(path: &Path) -> Result<ParsedShard, RebalanceError> {
+    let text = std::fs::read_to_string(path)?;
+
+    // Checksum trailer first, exactly as `Follower::restore` does; files
+    // predating the trailer parse without an integrity check.
+    let body = match text.lines().next_back() {
+        Some(last) if last.starts_with("checksum ") => {
+            let covered = &text[..text.len() - last.len() - 1];
+            let stored = last["checksum ".len()..].trim();
+            let stored_val = u32::from_str_radix(stored, 16)
+                .map_err(|_| malformed(path, format!("unparseable checksum {stored:?}")))?;
+            let computed = crc32(covered.as_bytes());
+            if stored_val != computed {
+                return Err(RebalanceError::Checksum(format!(
+                    "{}: stored {stored_val:08x}, computed {computed:08x}",
+                    path.display()
+                )));
+            }
+            covered
+        }
+        _ => text.as_str(),
+    };
+
+    let mut lines = body.lines();
+    if lines.next() != Some("BSTREAM v1") {
+        return Err(malformed(path, "missing BSTREAM v1 header"));
+    }
+    let height_line = lines
+        .next()
+        .ok_or_else(|| malformed(path, "missing height line"))?;
+    let height = height_line
+        .strip_prefix("height ")
+        .and_then(|h| h.trim().parse::<u64>().ok())
+        .ok_or_else(|| malformed(path, format!("bad height line {height_line:?}")))?;
+
+    let mut rest = lines.peekable();
+    let shard = match rest.peek() {
+        Some(l) if l.starts_with("shard ") => {
+            let line = rest.next().expect("peeked");
+            let mut toks = line.split_whitespace().skip(1);
+            let index: u32 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| malformed(path, format!("bad shard line {line:?}")))?;
+            let count: u32 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| malformed(path, format!("bad shard line {line:?}")))?;
+            let ver: u32 = toks
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| malformed(path, format!("bad shard line {line:?}")))?;
+            if ver != SHARD_HASH_VERSION {
+                return Err(RebalanceError::Layout(format!(
+                    "{}: shard hash v{ver}, this build implements v{SHARD_HASH_VERSION}",
+                    path.display()
+                )));
+            }
+            if count == 0 || index >= count {
+                return Err(RebalanceError::Layout(format!(
+                    "{}: bad shard assignment {index}/{count}",
+                    path.display()
+                )));
+            }
+            Some((index, count))
+        }
+        _ => None,
+    };
+
+    let addr_line = rest
+        .next()
+        .ok_or_else(|| malformed(path, "missing addresses line"))?;
+    let num_addresses = addr_line
+        .strip_prefix("addresses ")
+        .and_then(|n| n.trim().parse::<usize>().ok())
+        .ok_or_else(|| malformed(path, format!("bad addresses line {addr_line:?}")))?;
+
+    let mut sections = Vec::with_capacity(num_addresses.min(1 << 20));
+    for _ in 0..num_addresses {
+        let a_line = rest
+            .next()
+            .ok_or_else(|| malformed(path, "truncated: expected A line"))?;
+        let mut toks = a_line.split_whitespace();
+        if toks.next() != Some("A") {
+            return Err(malformed(path, format!("expected A line, got {a_line:?}")));
+        }
+        let addr = toks
+            .next()
+            .and_then(|t| t.parse::<u64>().ok())
+            .map(Address)
+            .ok_or_else(|| malformed(path, format!("bad address in {a_line:?}")))?;
+        let num_txs = toks
+            .nth(1) // skip the label field
+            .and_then(|t| t.parse::<usize>().ok())
+            .ok_or_else(|| malformed(path, format!("bad tx count in {a_line:?}")))?;
+        let mut section = String::with_capacity(a_line.len() + 1);
+        section.push_str(a_line);
+        section.push('\n');
+        for _ in 0..num_txs {
+            let t_line = rest
+                .next()
+                .ok_or_else(|| malformed(path, "truncated: expected T line"))?;
+            if !t_line.starts_with("T ") {
+                return Err(malformed(path, format!("expected T line, got {t_line:?}")));
+            }
+            section.push_str(t_line);
+            section.push('\n');
+        }
+        sections.push(Section {
+            addr,
+            text: section,
+        });
+    }
+    if let Some(extra) = rest.next() {
+        return Err(malformed(
+            path,
+            format!("trailing content after last section: {extra:?}"),
+        ));
+    }
+    Ok(ParsedShard {
+        height,
+        shard,
+        sections,
+    })
+}
+
+/// Re-split the sharded snapshot set at `input_base` (old layout inferred
+/// and validated from the files) into `new_count` shards at `output_base`.
+///
+/// `old_count` names the input layout: files
+/// `input_base.0of{old_count}` … are read (for `old_count == 1`, a bare
+/// unsharded `input_base` file is accepted when the `.0of1` file is
+/// absent). Outputs land at `output_base.{j}of{new_count}`, each
+/// byte-identical to what a fresh `new_count`-shard run over the same
+/// chain would have checkpointed.
+pub fn rebalance_snapshots(
+    input_base: &Path,
+    old_count: u32,
+    output_base: &Path,
+    new_count: u32,
+) -> Result<RebalanceReport, RebalanceError> {
+    if old_count == 0 || new_count == 0 {
+        return Err(RebalanceError::Layout(
+            "shard counts must be at least 1".to_string(),
+        ));
+    }
+
+    // Read and validate every input under its claimed layout.
+    let mut inputs: Vec<(PathBuf, ParsedShard)> = Vec::with_capacity(old_count as usize);
+    for i in 0..old_count {
+        let sharded_path = shard_snapshot_path(input_base, i, old_count);
+        let path = if old_count == 1 && !sharded_path.exists() && input_base.exists() {
+            input_base.to_path_buf()
+        } else {
+            sharded_path
+        };
+        let parsed = parse_snapshot(&path)?;
+        match parsed.shard {
+            Some((index, count)) => {
+                if index != i || count != old_count {
+                    return Err(RebalanceError::Layout(format!(
+                        "{}: file claims shard {index}/{count}, expected {i}/{old_count}",
+                        path.display()
+                    )));
+                }
+            }
+            None if old_count == 1 => {} // legacy unsharded input
+            None => {
+                return Err(RebalanceError::Layout(format!(
+                    "{}: unsharded file in a {old_count}-shard input set",
+                    path.display()
+                )));
+            }
+        }
+        inputs.push((path, parsed));
+    }
+
+    let height = inputs[0].1.height;
+    for (path, parsed) in &inputs {
+        if parsed.height != height {
+            return Err(RebalanceError::Layout(format!(
+                "{}: height {} differs from {} — snapshot set is not a \
+                 consistent checkpoint",
+                path.display(),
+                parsed.height,
+                height
+            )));
+        }
+    }
+
+    // Ownership check under the old layout, and sortedness within each
+    // file (followers write `BTreeMap` order; anything else means the file
+    // was not produced by this pipeline).
+    let old_map = ShardMap::new(old_count);
+    for (i, (path, parsed)) in inputs.iter().enumerate() {
+        let mut prev: Option<Address> = None;
+        for section in &parsed.sections {
+            let owner = old_map.shard_of(section.addr);
+            if owner != i as u32 {
+                return Err(RebalanceError::Layout(format!(
+                    "{}: address {} belongs to shard {owner} of {old_count}, \
+                     found in shard {i}'s file",
+                    path.display(),
+                    section.addr.0
+                )));
+            }
+            if prev.is_some_and(|p| p >= section.addr) {
+                return Err(malformed(
+                    path.as_path(),
+                    format!("addresses out of order near {}", section.addr.0),
+                ));
+            }
+            prev = Some(section.addr);
+        }
+    }
+
+    // K-way merge in ascending address order (inputs are sorted and the
+    // partition is disjoint, so a plain merge-then-route reproduces the
+    // global BTreeMap order a fresh follower would iterate).
+    let mut merged: Vec<Section> = Vec::new();
+    for (_, parsed) in inputs {
+        merged.extend(parsed.sections);
+    }
+    merged.sort_by_key(|s| s.addr);
+    let addresses = merged.len();
+
+    // Route through the new layout and render each output.
+    let new_map = ShardMap::new(new_count);
+    let mut buckets: Vec<Vec<&Section>> = (0..new_count).map(|_| Vec::new()).collect();
+    for section in &merged {
+        buckets[new_map.shard_of(section.addr) as usize].push(section);
+    }
+
+    let mut outputs = Vec::with_capacity(new_count as usize);
+    for (j, bucket) in buckets.iter().enumerate() {
+        let mut out = String::new();
+        out.push_str("BSTREAM v1\n");
+        let _ = writeln!(out, "height {height}");
+        let _ = writeln!(out, "shard {j} {new_count} {SHARD_HASH_VERSION}");
+        let _ = writeln!(out, "addresses {}", bucket.len());
+        for section in bucket {
+            out.push_str(&section.text);
+        }
+        let _ = writeln!(out, "checksum {:08x}", crc32(out.as_bytes()));
+
+        let path = shard_snapshot_path(output_base, j as u32, new_count);
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(out.as_bytes())?;
+            f.sync_all()?;
+        }
+        if let Err(e) = std::fs::rename(&tmp, &path) {
+            std::fs::remove_file(&tmp).ok();
+            return Err(e.into());
+        }
+        outputs.push(path);
+    }
+
+    Ok(RebalanceReport {
+        height,
+        addresses,
+        old_count,
+        new_count,
+        outputs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_snapshot(path: &Path, shard: Option<(u32, u32)>, addrs: &[(u64, usize)]) {
+        let mut out = String::new();
+        out.push_str("BSTREAM v1\n");
+        out.push_str("height 7\n");
+        if let Some((i, n)) = shard {
+            let _ = writeln!(out, "shard {i} {n} {SHARD_HASH_VERSION}");
+        }
+        let _ = writeln!(out, "addresses {}", addrs.len());
+        for (addr, txs) in addrs {
+            let _ = writeln!(out, "A {addr} - {txs}");
+            for t in 0..*txs {
+                let _ = writeln!(out, "T {t} {t} 1 1 {addr}:100 {addr}:50");
+            }
+        }
+        let _ = writeln!(out, "checksum {:08x}", crc32(out.as_bytes()));
+        std::fs::write(path, out).unwrap();
+    }
+
+    /// Addresses 0..k bucketed by the frozen hash for a given count.
+    fn addrs_for(count: u32, shard: u32, universe: u64) -> Vec<(u64, usize)> {
+        let map = ShardMap::new(count);
+        (0..universe)
+            .filter(|a| map.shard_of(Address(*a)) == shard)
+            .map(|a| (a, 1 + (a % 3) as usize))
+            .collect()
+    }
+
+    #[test]
+    fn rebalance_2_to_4_routes_every_address_to_its_new_owner() {
+        let dir = std::env::temp_dir().join(format!("bashard-rebal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("snap.bstream");
+        for i in 0..2 {
+            write_snapshot(
+                &shard_snapshot_path(&base, i, 2),
+                Some((i, 2)),
+                &addrs_for(2, i, 64),
+            );
+        }
+        let out_base = dir.join("rebal.bstream");
+        let report = rebalance_snapshots(&base, 2, &out_base, 4).unwrap();
+        assert_eq!(report.addresses, 64);
+        assert_eq!(report.outputs.len(), 4);
+
+        // Each output must parse clean, carry its own layout, and be
+        // exactly the fresh-4-shard rendering of its slice.
+        for j in 0..4 {
+            let path = shard_snapshot_path(&out_base, j, 4);
+            let parsed = parse_snapshot(&path).unwrap();
+            assert_eq!(parsed.shard, Some((j, 4)));
+            assert_eq!(parsed.height, 7);
+            let expect = dir.join(format!("fresh-{j}.bstream"));
+            write_snapshot(&expect, Some((j, 4)), &addrs_for(4, j, 64));
+            assert_eq!(
+                std::fs::read(&path).unwrap(),
+                std::fs::read(&expect).unwrap(),
+                "shard {j} output differs from a fresh 4-shard write"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_checksum_is_refused() {
+        let dir = std::env::temp_dir().join(format!("bashard-rebal-crc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("snap.bstream");
+        let path = shard_snapshot_path(&base, 0, 1);
+        write_snapshot(&path, Some((0, 1)), &addrs_for(1, 0, 8));
+        let mut bytes = std::fs::read(&path).unwrap();
+        let flip = bytes.len() / 2;
+        bytes[flip] ^= 0x01;
+        std::fs::write(&path, bytes).unwrap();
+        let err = rebalance_snapshots(&base, 1, &dir.join("out.bstream"), 2).unwrap_err();
+        assert!(matches!(err, RebalanceError::Checksum(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn misplaced_address_is_refused() {
+        let dir = std::env::temp_dir().join(format!("bashard-rebal-own-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("snap.bstream");
+        // Put shard 1's addresses in shard 0's file.
+        write_snapshot(
+            &shard_snapshot_path(&base, 0, 2),
+            Some((0, 2)),
+            &addrs_for(2, 1, 32),
+        );
+        write_snapshot(
+            &shard_snapshot_path(&base, 1, 2),
+            Some((1, 2)),
+            &addrs_for(2, 1, 32),
+        );
+        let err = rebalance_snapshots(&base, 2, &dir.join("out.bstream"), 4).unwrap_err();
+        assert!(matches!(err, RebalanceError::Layout(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn differing_heights_are_refused() {
+        let dir = std::env::temp_dir().join(format!("bashard-rebal-h-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("snap.bstream");
+        write_snapshot(
+            &shard_snapshot_path(&base, 0, 2),
+            Some((0, 2)),
+            &addrs_for(2, 0, 16),
+        );
+        // Second shard at a different height.
+        let path1 = shard_snapshot_path(&base, 1, 2);
+        let mut out = String::new();
+        out.push_str("BSTREAM v1\nheight 9\n");
+        let _ = writeln!(out, "shard 1 2 {SHARD_HASH_VERSION}");
+        out.push_str("addresses 0\n");
+        let _ = writeln!(out, "checksum {:08x}", crc32(out.as_bytes()));
+        std::fs::write(&path1, out).unwrap();
+        let err = rebalance_snapshots(&base, 2, &dir.join("out.bstream"), 4).unwrap_err();
+        assert!(matches!(err, RebalanceError::Layout(_)), "got {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

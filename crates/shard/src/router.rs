@@ -1,16 +1,20 @@
-//! The serving-side shard fan-out: N independent engines behind one
+//! The serving-side shard fan-out: N independent shard lanes behind one
 //! submit/classify surface.
 //!
-//! Each shard is a complete [`Engine`] — its own worker pool, queue,
-//! embedding cache, and circuit breaker — built over the *same* model
-//! artifact, so any shard computes byte-identical answers for the
-//! addresses it owns. The router's only job is placement: route each
-//! request to the owner under the frozen [`ShardMap`], and when a caller
-//! hands over a whole batch, merge the responses back **in request
-//! order** — submit in index order, wait in index order, exactly the
-//! index-ordered reduction `baclassifier::parallel` uses for gradient
-//! merging. Shards never talk to each other; a slow or tripped shard
-//! degrades only its own addresses.
+//! A *lane* ([`baserve::ShardLane`]) is whatever answers for the
+//! addresses one shard owns. The classic lane is a complete in-process
+//! [`Engine`] — its own worker pool, queue, embedding cache, and circuit
+//! breaker — built over the *same* model artifact, so any shard computes
+//! byte-identical answers for the addresses it owns. `banet` adds a
+//! remote lane (`RemoteShard`) that forwards to a shard worker process
+//! over TCP; [`ShardRouter::from_lanes`] accepts any mix. The router's
+//! only job is placement: route each request to the owner under the
+//! frozen [`ShardMap`], and when a caller hands over a whole batch, merge
+//! the responses back **in request order** — submit in index order, wait
+//! in index order, exactly the index-ordered reduction
+//! `baclassifier::parallel` uses for gradient merging. Shards never talk
+//! to each other; a slow or tripped shard degrades only its own
+//! addresses.
 //!
 //! ## Degraded routing
 //!
@@ -25,17 +29,18 @@
 use crate::stream::ShardHealth;
 use baclassifier::{ArtifactError, ModelArtifact, ShardMap};
 use baserve::{
-    Engine, EngineConfig, EngineHooks, Fallback, MetricsSnapshot, Response, ServeError, Ticket,
+    Engine, EngineConfig, EngineHooks, Fallback, MetricsSnapshot, Response, ServeError, ShardLane,
+    Ticket,
 };
 use btcsim::{Address, AddressRecord};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// N shared-nothing serve engines behind one routing surface.
+/// N shared-nothing shard lanes behind one routing surface.
 pub struct ShardRouter {
     map: ShardMap,
-    engines: Vec<Engine>,
+    lanes: Vec<Box<dyn ShardLane>>,
     /// The same fallback the engines use for breaker-open degradation,
     /// kept by the router to answer for *downed* shards.
     fallback: Option<Arc<dyn Fallback>>,
@@ -71,16 +76,35 @@ impl ShardRouter {
         let map = ShardMap::new(shards);
         let per_shard = config.for_shard(shards as usize);
         let fallback = hooks.fallback.clone();
-        let engines = (0..shards)
-            .map(|_| Engine::with_hooks(Arc::clone(&artifact), per_shard.clone(), hooks.clone()))
+        let lanes = (0..shards)
+            .map(|_| {
+                Engine::with_hooks(Arc::clone(&artifact), per_shard.clone(), hooks.clone())
+                    .map(|e| Box::new(e) as Box<dyn ShardLane>)
+            })
             .collect::<Result<Vec<_>, _>>()?;
         Ok(Self {
             map,
-            engines,
+            lanes,
             fallback,
             health: None,
             degraded_routed: AtomicU64::new(0),
         })
+    }
+
+    /// Build a router over pre-built lanes — in-process engines, `banet`
+    /// remote shards, or a mix. Lane `i` must answer for shard `i` of
+    /// `lanes.len()` under the frozen partition hash (remote lanes enforce
+    /// this in their layout handshake). `fallback` answers for downed
+    /// lanes when a health board is attached.
+    pub fn from_lanes(lanes: Vec<Box<dyn ShardLane>>, fallback: Option<Arc<dyn Fallback>>) -> Self {
+        assert!(!lanes.is_empty(), "a router needs at least one lane");
+        Self {
+            map: ShardMap::new(lanes.len() as u32),
+            lanes,
+            fallback,
+            health: None,
+            degraded_routed: AtomicU64::new(0),
+        }
     }
 
     /// Wire this router to a streaming fleet's health board (shard counts
@@ -108,10 +132,9 @@ impl ShardRouter {
         self.degraded_routed.load(Ordering::Relaxed)
     }
 
-    /// The engine owning `addr` (for callers that need shard-local state
-    /// like breaker status).
-    pub fn engine_for(&self, addr: Address) -> &Engine {
-        &self.engines[self.map.shard_of(addr) as usize]
+    /// The lane owning `addr`.
+    fn lane_for(&self, addr: Address) -> &dyn ShardLane {
+        self.lanes[self.map.shard_of(addr) as usize].as_ref()
     }
 
     /// When the shard owning `record` is marked down, answer right now:
@@ -144,7 +167,7 @@ impl ShardRouter {
         if let Some(answered) = self.route_degraded(&record) {
             return answered;
         }
-        self.engine_for(record.address).submit(record)
+        self.lane_for(record.address).submit(record)
     }
 
     /// Submit with an explicit deadline to the owning shard.
@@ -156,7 +179,7 @@ impl ShardRouter {
         if let Some(answered) = self.route_degraded(&record) {
             return answered;
         }
-        self.engine_for(record.address)
+        self.lane_for(record.address)
             .submit_with_deadline(record, deadline)
     }
 
@@ -181,7 +204,7 @@ impl ShardRouter {
     /// Bump the owning shard's cache generation for `addr`. Returns the new
     /// generation.
     pub fn invalidate_address(&self, addr: Address) -> u64 {
-        self.engine_for(addr).invalidate_address(addr)
+        self.lane_for(addr).invalidate_address(addr)
     }
 
     /// Fleet-wide metrics: per-shard snapshots rolled up with
@@ -193,18 +216,18 @@ impl ShardRouter {
 
     /// One snapshot per shard, in shard order.
     pub fn per_shard_metrics(&self) -> Vec<MetricsSnapshot> {
-        self.engines.iter().map(|e| e.metrics()).collect()
+        self.lanes.iter().map(|l| l.metrics()).collect()
     }
 
     /// Live workers across every shard.
     pub fn live_workers(&self) -> usize {
-        self.engines.iter().map(|e| e.live_workers()).sum()
+        self.lanes.iter().map(|l| l.live_workers()).sum()
     }
 
-    /// Stop every shard engine, joining their workers.
+    /// Stop every shard lane, joining their workers.
     pub fn shutdown(self) {
-        for engine in self.engines {
-            engine.shutdown();
+        for lane in self.lanes {
+            lane.shutdown_lane();
         }
     }
 }

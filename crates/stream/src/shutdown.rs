@@ -1,73 +1,9 @@
-//! Cooperative SIGINT shutdown for the streaming daemons.
+//! Cooperative SIGINT shutdown — re-exported from `baserve::shutdown`.
 //!
-//! The bins (`bstream-follow`, `basharded`) poll
-//! [`shutdown_requested`] between units of work and, when it trips, flush
-//! the journal and write a final snapshot before exiting — a Ctrl-C is a
-//! clean checkpoint, not a crash (though thanks to the journal, a crash
-//! is recoverable too).
-//!
-//! The handler is registered through the raw C `signal` symbol that is
-//! already in every linked libc, keeping the workspace free of external
-//! crates. The handler body only stores to an `AtomicBool` —
-//! async-signal-safe by construction. EOF-driven shutdowns reuse the same
-//! flag via [`request_shutdown`].
+//! The flag originally lived here; it moved down to `baserve` so the
+//! serving daemons and the `banet` accept loop can share one process-wide
+//! shutdown signal without `baserve` depending on this crate. Everything
+//! that imported `bstream::shutdown_requested` keeps working unchanged —
+//! and keeps observing the *same* flag as the serve-side pollers.
 
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Once;
-
-static SHUTDOWN: AtomicBool = AtomicBool::new(false);
-static INSTALL: Once = Once::new();
-
-#[cfg(unix)]
-const SIGINT: i32 = 2;
-
-#[cfg(unix)]
-extern "C" {
-    fn signal(signum: i32, handler: usize) -> usize;
-}
-
-#[cfg(unix)]
-extern "C" fn on_sigint(_signum: i32) {
-    SHUTDOWN.store(true, Ordering::SeqCst);
-}
-
-/// Route SIGINT to the shutdown flag (idempotent; first call wins). On
-/// non-unix targets this is a no-op and only [`request_shutdown`] trips
-/// the flag.
-pub fn install_sigint_handler() {
-    INSTALL.call_once(|| {
-        #[cfg(unix)]
-        unsafe {
-            signal(SIGINT, on_sigint as *const () as usize);
-        }
-    });
-}
-
-/// Whether a shutdown (SIGINT or programmatic) has been requested.
-pub fn shutdown_requested() -> bool {
-    SHUTDOWN.load(Ordering::SeqCst)
-}
-
-/// Trip the shutdown flag programmatically (EOF on stdin, tests).
-pub fn request_shutdown() {
-    SHUTDOWN.store(true, Ordering::SeqCst);
-}
-
-#[cfg(all(test, unix))]
-mod tests {
-    use super::*;
-
-    extern "C" {
-        fn raise(signum: i32) -> i32;
-    }
-
-    #[test]
-    fn sigint_trips_the_flag() {
-        install_sigint_handler();
-        assert!(!shutdown_requested());
-        unsafe {
-            raise(SIGINT);
-        }
-        assert!(shutdown_requested());
-    }
-}
+pub use baserve::shutdown::{install_sigint_handler, request_shutdown, shutdown_requested};

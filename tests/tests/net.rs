@@ -1,0 +1,369 @@
+//! Network acceptance: a fleet of shard workers behind real TCP sockets
+//! must be indistinguishable from the in-process router it replaces —
+//! same labels in the same order — and must degrade (never hang) when a
+//! worker dies, then converge back once it returns.
+//!
+//! Four properties:
+//!
+//! 1. **Remote identity** — a `ShardRouter` whose lanes are `RemoteShard`
+//!    connections to N worker servers answers every classification with
+//!    the same label, in the same order, as the in-process N-shard router
+//!    and the unsharded engine.
+//! 2. **Kill / degrade / recover** — stopping a worker mid-traffic flips
+//!    its requests to explicit degraded fallback answers (bounded wait,
+//!    no hangs); restarting it on the same port reconnects with backoff
+//!    and the fleet converges back to full-fidelity answers.
+//! 3. **Offline rebalance** — `rebalance_snapshots` re-splitting a
+//!    2-shard checkpoint set to 4 shards produces files byte-identical to
+//!    what a fresh 4-shard follower run would have written.
+//! 4. **Layout handshake** — a client expecting the wrong shard index or
+//!    count never connects; misconfiguration is a refused handshake, not
+//!    a silently-misrouted fleet.
+
+use baclassifier::{BaClassifier, BacConfig, ModelArtifact, ShardAssignment, ShardMap};
+use banet::{listen_reuse, HealthSink, NetServer, NetServerConfig, RemoteShard, RemoteShardConfig};
+use baserve::{Engine, EngineConfig, Fallback, FeatureFallback, ServeError};
+use bashard::{
+    rebalance_snapshots, remote_router, shard_snapshot_path, wait_fleet_up, ShardRouter,
+    ShardedFollower, WorkerBackend,
+};
+use bstream::FollowerConfig;
+use btcsim::{AddressRecord, Block, BlockCursor, Dataset, SimConfig, Simulator};
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Freshly initialized weights exported through the NNIO stream — a valid
+/// fitted-state artifact without paying for `fit()`.
+fn test_artifact() -> Arc<ModelArtifact> {
+    let cfg = BacConfig::fast();
+    let clf = BaClassifier::new(cfg.clone());
+    let path = std::env::temp_dir().join(format!(
+        "net_artifact_{}_{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    clf.save_weights(&path).unwrap();
+    let weights = numnet::read_matrices(&mut std::fs::File::open(&path).unwrap()).unwrap();
+    std::fs::remove_file(&path).ok();
+    Arc::new(ModelArtifact {
+        config: cfg,
+        weights,
+    })
+}
+
+fn dataset(seed: u64) -> (Vec<AddressRecord>, HashMap<u64, AddressRecord>) {
+    let sim = Simulator::run_to_completion(SimConfig::tiny(seed));
+    let dataset = Dataset::from_simulator(&sim, 3);
+    assert!(dataset.len() >= 10, "sim too small: {}", dataset.len());
+    let by_id = dataset
+        .records
+        .iter()
+        .map(|r| (r.address.0, r.clone()))
+        .collect();
+    (dataset.records, by_id)
+}
+
+/// One in-process worker "process": shard `index` of `count` behind a
+/// real TCP listener. `addr` pins the port (respawn case); `None` binds
+/// an ephemeral one.
+fn spawn_worker(
+    artifact: &Arc<ModelArtifact>,
+    by_id: &HashMap<u64, AddressRecord>,
+    index: u32,
+    count: u32,
+    addr: Option<SocketAddr>,
+) -> (NetServer, SocketAddr) {
+    let config = EngineConfig::default().for_shard(count as usize);
+    let engine = Engine::new(Arc::clone(artifact), config).unwrap();
+    let backend = Arc::new(WorkerBackend::new(
+        engine,
+        by_id.clone(),
+        ShardAssignment { index, count },
+    ));
+    let listener = listen_reuse(addr.unwrap_or_else(|| "127.0.0.1:0".parse().unwrap())).unwrap();
+    let bound = listener.local_addr().unwrap();
+    let server = NetServer::spawn(listener, backend, NetServerConfig::for_shard(index, count))
+        .expect("worker server spawns");
+    (server, bound)
+}
+
+/// A remote-lane config tuned for tests: fast probes and short backoff so
+/// kill/recover converges in test time, and room for a whole batch in
+/// flight.
+fn fast_config() -> RemoteShardConfig {
+    RemoteShardConfig {
+        max_in_flight: 4096,
+        backoff: Duration::from_millis(20),
+        backoff_max: Duration::from_millis(200),
+        probe_interval: Duration::from_millis(25),
+        ..RemoteShardConfig::default()
+    }
+}
+
+#[test]
+fn remote_fleet_matches_in_process_router_and_single_engine() {
+    let artifact = test_artifact();
+    let (records, by_id) = dataset(227);
+
+    // Unsharded reference labels.
+    let single = Engine::new(Arc::clone(&artifact), EngineConfig::default()).unwrap();
+    let want: Vec<_> = records
+        .iter()
+        .map(|r| single.classify(r.clone()).unwrap().label)
+        .collect();
+    single.shutdown();
+
+    for shards in [2u32, 4] {
+        // In-process N-shard router.
+        let local =
+            ShardRouter::new(Arc::clone(&artifact), EngineConfig::default(), shards).unwrap();
+        let local_labels: Vec<_> = local
+            .classify_batch(&records)
+            .into_iter()
+            .map(|r| r.unwrap().label)
+            .collect();
+        local.shutdown();
+        assert_eq!(local_labels, want, "{shards}-shard in-process diverged");
+
+        // The same router shape over real TCP workers.
+        let fleet: Vec<_> = (0..shards)
+            .map(|i| spawn_worker(&artifact, &by_id, i, shards, None))
+            .collect();
+        let addrs: Vec<String> = fleet.iter().map(|(_, a)| a.to_string()).collect();
+        let (router, health) = remote_router(&addrs, fast_config(), None);
+        assert!(
+            wait_fleet_up(&health, Duration::from_secs(5)),
+            "fleet never converged"
+        );
+
+        let remote_labels: Vec<_> = router
+            .classify_batch(&records)
+            .into_iter()
+            .map(|r| r.expect("remote batch within admission budget").label)
+            .collect();
+        assert_eq!(remote_labels, want, "{shards}-shard remote fleet diverged");
+
+        let merged = router.metrics();
+        assert_eq!(merged.submitted, records.len() as u64);
+        assert_eq!(merged.completed + merged.degraded, merged.submitted);
+        assert_eq!(merged.connections_open, shards as u64);
+        assert_eq!(merged.reconnects_total, 0);
+
+        router.shutdown();
+        for (server, _) in fleet {
+            server.stop();
+        }
+    }
+}
+
+#[test]
+fn killed_worker_degrades_then_recovers_on_the_same_port() {
+    let artifact = test_artifact();
+    let (records, by_id) = dataset(229);
+    let shards = 2u32;
+    let map = ShardMap::new(shards);
+    let victim_shard = 1u32;
+    let victim_record = records
+        .iter()
+        .find(|r| map.shard_of(r.address) == victim_shard)
+        .expect("some address lands on shard 1")
+        .clone();
+
+    let fallback: Arc<dyn Fallback> = Arc::new(FeatureFallback::fit(&records));
+    let fleet: Vec<_> = (0..shards)
+        .map(|i| spawn_worker(&artifact, &by_id, i, shards, None))
+        .collect();
+    let addrs: Vec<String> = fleet.iter().map(|(_, a)| a.to_string()).collect();
+    let victim_addr: SocketAddr = addrs[victim_shard as usize].parse().unwrap();
+    let (router, health) = remote_router(&addrs, fast_config(), Some(fallback));
+    assert!(
+        wait_fleet_up(&health, Duration::from_secs(5)),
+        "fleet never converged"
+    );
+
+    // Healthy baseline for the victim's address.
+    let healthy = router
+        .submit(victim_record.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(!healthy.degraded);
+
+    // Kill the worker mid-traffic. Every subsequent request must settle in
+    // bounded time — degraded through the fallback once the health board
+    // notices, a clean error in the brief window before it does, but
+    // never a hang.
+    let mut fleet = fleet;
+    let (victim_server, _) = fleet.remove(victim_shard as usize);
+    victim_server.stop();
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "no degraded answer within 10s of the kill"
+        );
+        match router.submit(victim_record.clone()) {
+            Ok(ticket) => match ticket.wait() {
+                Ok(response) if response.degraded => break,
+                Ok(_) => {}
+                Err(ServeError::WorkerFailed | ServeError::DeadlineExceeded) => {}
+                Err(e) => panic!("unexpected error while worker down: {e}"),
+            },
+            // The admission window can reject while the lane flaps.
+            Err(ServeError::QueueFull | ServeError::WorkerFailed) => {}
+            Err(e) => panic!("unexpected admission error while worker down: {e}"),
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        router.degraded_routed() > 0,
+        "degraded routing never engaged"
+    );
+    assert!(!health.is_up(victim_shard), "health board missed the kill");
+
+    // The other shard keeps answering at full fidelity throughout.
+    let other = records
+        .iter()
+        .find(|r| map.shard_of(r.address) != victim_shard)
+        .unwrap();
+    let response = router.submit(other.clone()).unwrap().wait().unwrap();
+    assert!(!response.degraded, "healthy shard answered degraded");
+
+    // Respawn on the same port; the lane reconnects with backoff and the
+    // fleet converges back.
+    let (revived, bound) = spawn_worker(&artifact, &by_id, victim_shard, shards, Some(victim_addr));
+    assert_eq!(bound, victim_addr, "respawn moved ports");
+    assert!(
+        wait_fleet_up(&health, Duration::from_secs(10)),
+        "fleet never re-converged after respawn"
+    );
+
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        assert!(
+            Instant::now() < deadline,
+            "no full-fidelity answer within 10s of the respawn"
+        );
+        if let Ok(ticket) = router.submit(victim_record.clone()) {
+            if let Ok(response) = ticket.wait() {
+                if !response.degraded {
+                    break;
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(
+        router.metrics().reconnects_total >= 1,
+        "recovery did not count as a reconnect"
+    );
+
+    router.shutdown();
+    revived.stop();
+    for (server, _) in fleet {
+        server.stop();
+    }
+}
+
+#[test]
+fn rebalance_2_to_4_is_byte_identical_to_a_fresh_4_shard_run() {
+    let artifact = test_artifact();
+    let blocks: Vec<Block> = BlockCursor::new(SimConfig {
+        blocks: 36,
+        ..SimConfig::tiny(233)
+    })
+    .collect();
+    let dir = std::env::temp_dir().join(format!("net_rebalance_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Checkpoint the same chain at 2 and at 4 shards.
+    let snapshot_at = |shards: u32, base_name: &str| {
+        let base = dir.join(base_name);
+        let cfg = FollowerConfig {
+            snapshot_path: Some(base.clone()),
+            ..FollowerConfig::default()
+        };
+        let mut fleet = ShardedFollower::new(Arc::clone(&artifact), cfg, shards).unwrap();
+        for b in &blocks {
+            fleet.step(b.clone()).unwrap();
+        }
+        fleet.snapshot().unwrap();
+        fleet.finish().unwrap();
+        base
+    };
+    let two = snapshot_at(2, "two.bsnap");
+    let four = snapshot_at(4, "four.bsnap");
+
+    // Offline re-split 2 → 4 and compare against the fresh 4-shard files,
+    // byte for byte.
+    let rebased = dir.join("rebased.bsnap");
+    let report = rebalance_snapshots(&two, 2, &rebased, 4).unwrap();
+    assert_eq!(report.old_count, 2);
+    assert_eq!(report.new_count, 4);
+    assert_eq!(report.outputs.len(), 4);
+    for j in 0..4u32 {
+        let got = std::fs::read(shard_snapshot_path(&rebased, j, 4)).unwrap();
+        let fresh = std::fs::read(shard_snapshot_path(&four, j, 4)).unwrap();
+        assert_eq!(
+            got, fresh,
+            "rebalanced shard {j} differs from a fresh 4-shard run"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn layout_handshake_refuses_a_misconfigured_client() {
+    let artifact = test_artifact();
+    let (records, by_id) = dataset(239);
+    let (server, addr) = spawn_worker(&artifact, &by_id, 0, 2, None);
+    let addr = addr.to_string();
+
+    // Wrong shard index and wrong shard count both refuse to connect.
+    for expect in [
+        ShardAssignment { index: 1, count: 2 },
+        ShardAssignment { index: 0, count: 3 },
+    ] {
+        let lane = RemoteShard::connect(
+            &addr,
+            RemoteShardConfig {
+                expect: Some(expect),
+                ..fast_config()
+            },
+            HealthSink::noop(),
+        );
+        assert!(
+            !lane.wait_connected(Duration::from_millis(500)),
+            "client expecting shard {}/{} connected to worker 0/2",
+            expect.index,
+            expect.count
+        );
+        lane.shutdown();
+    }
+
+    // The correctly-configured client connects and classifies.
+    let lane = RemoteShard::connect(
+        &addr,
+        RemoteShardConfig {
+            expect: Some(ShardAssignment { index: 0, count: 2 }),
+            ..fast_config()
+        },
+        HealthSink::noop(),
+    );
+    assert!(lane.wait_connected(Duration::from_secs(5)));
+    let map = ShardMap::new(2);
+    let owned = records
+        .iter()
+        .find(|r| map.shard_of(r.address) == 0)
+        .unwrap();
+    let response = baserve::ShardLane::submit(&lane, owned.clone())
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(!response.degraded);
+    lane.shutdown();
+    server.stop();
+}
