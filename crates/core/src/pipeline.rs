@@ -108,6 +108,12 @@ impl BaClassifier {
         )
     }
 
+    /// A fresh classification head with this configuration's architecture —
+    /// the head-side replica skeleton (weights installed separately).
+    fn head_skeleton(model: &crate::config::ModelConfig) -> LstmMlp {
+        LstmMlp::new(model.embed_dim, model.lstm_hidden, model.seed ^ 0x5a)
+    }
+
     /// Train both stages on a labeled dataset.
     ///
     /// Runs on `cfg.threads` workers (see [`crate::config::resolve_threads`]):
@@ -238,33 +244,7 @@ impl BaClassifier {
     ) -> Vec<Matrix> {
         let max = self.cfg.model.max_slices.max(1);
         let start = graphs.len().saturating_sub(max);
-        let tail = &graphs[start..];
-        if threads <= 1 {
-            return tail
-                .iter()
-                .map(|g| {
-                    let prep = self.gfn.prepare(&graph_tensors(g));
-                    let tape = Tape::new();
-                    self.gfn.embed(&tape, &prep).value()
-                })
-                .collect();
-        }
-        let trained = param_values(&self.gfn.params());
-        let model_cfg = &self.cfg.model;
-        parallel_map(
-            threads,
-            tail,
-            || {
-                let gfn = Self::gfn_skeleton(model_cfg);
-                install_values(&gfn.params(), &trained);
-                gfn
-            },
-            |gfn, g| {
-                let prep = gfn.prepare(&graph_tensors(g));
-                let tape = Tape::new();
-                gfn.embed(&tape, &prep).value()
-            },
-        )
+        self.embed_graphs(&graphs[start..], threads)
     }
 
     /// The chronological embedding sequence of one address (the `rep_i` list
@@ -285,6 +265,38 @@ impl BaClassifier {
         let prep = self.gfn.prepare(&graph_tensors(graph));
         let tape = Tape::new();
         self.gfn.embed(&tape, &prep).value()
+    }
+
+    /// Embed a batch of slice graphs on `threads` replica workers,
+    /// preserving input order. Per-graph embedding is forward-only and
+    /// every replica holds byte-identical weights, so `embed_graphs(gs, n)`
+    /// equals mapping [`BaClassifier::embed_graph`] over `gs` bit for bit,
+    /// at any thread count. This is the batched re-embed stage streaming
+    /// reclassification fans its dirty slices through.
+    pub fn embed_graphs(
+        &self,
+        graphs: &[crate::construction::AddressGraph],
+        threads: usize,
+    ) -> Vec<Matrix> {
+        if threads <= 1 || graphs.len() < 2 {
+            return graphs.iter().map(|g| self.embed_graph(g)).collect();
+        }
+        let trained = param_values(&self.gfn.params());
+        let model_cfg = &self.cfg.model;
+        parallel_map(
+            threads,
+            graphs,
+            || {
+                let gfn = Self::gfn_skeleton(model_cfg);
+                install_values(&gfn.params(), &trained);
+                gfn
+            },
+            |gfn, g| {
+                let prep = gfn.prepare(&graph_tensors(g));
+                let tape = Tape::new();
+                gfn.embed(&tape, &prep).value()
+            },
+        )
     }
 
     /// Predict the behavior label of one address.
@@ -311,6 +323,70 @@ impl BaClassifier {
         }
         let idx = self.head.predict(seq);
         Ok(Label::from_index(idx).expect("head emits valid class indices"))
+    }
+
+    /// As [`BaClassifier::classify_embeddings`], but also return the label
+    /// margin: the winning logit minus the runner-up logit, ≥ 0. A small
+    /// margin means the address sat near a label boundary — streaming
+    /// reclassification uses it to re-embed boundary-adjacent addresses
+    /// first. The label is the same bits `classify_embeddings` returns
+    /// (identical forward pass, identical argmax).
+    pub fn classify_embeddings_scored(&self, seq: &[Matrix]) -> Result<(Label, f32), PredictError> {
+        if !self.fitted {
+            return Err(PredictError::NotFitted);
+        }
+        if seq.is_empty() {
+            return Err(PredictError::EmptyHistory);
+        }
+        let (idx, margin) = scored_logits(&self.head, seq);
+        Ok((
+            Label::from_index(idx).expect("head emits valid class indices"),
+            margin,
+        ))
+    }
+
+    /// Classify a batch of embedding sequences on `threads` head replicas,
+    /// preserving input order. The head forward pass is deterministic and
+    /// every replica holds byte-identical weights, so the output equals
+    /// mapping [`BaClassifier::classify_embeddings_scored`] over `seqs` bit
+    /// for bit, at any thread count. Errors if unfitted or any sequence is
+    /// empty (batch callers gate on history length first).
+    pub fn classify_embeddings_batch(
+        &self,
+        seqs: &[Vec<Matrix>],
+        threads: usize,
+    ) -> Result<Vec<(Label, f32)>, PredictError> {
+        if !self.fitted {
+            return Err(PredictError::NotFitted);
+        }
+        if seqs.iter().any(Vec::is_empty) {
+            return Err(PredictError::EmptyHistory);
+        }
+        let raw: Vec<(usize, f32)> = if threads <= 1 || seqs.len() < 2 {
+            seqs.iter().map(|s| scored_logits(&self.head, s)).collect()
+        } else {
+            let trained = param_values(&self.head.params());
+            let model_cfg = &self.cfg.model;
+            parallel_map(
+                threads,
+                seqs,
+                || {
+                    let head = Self::head_skeleton(model_cfg);
+                    install_values(&head.params(), &trained);
+                    head
+                },
+                |head, seq| scored_logits(head, seq),
+            )
+        };
+        Ok(raw
+            .into_iter()
+            .map(|(idx, margin)| {
+                (
+                    Label::from_index(idx).expect("head emits valid class indices"),
+                    margin,
+                )
+            })
+            .collect())
     }
 
     /// All trainable parameters (GFN then head), in stable order.
@@ -385,6 +461,23 @@ impl BaClassifier {
         report.skipped = skipped;
         report
     }
+}
+
+/// One head forward pass → (argmax class, margin). The argmax is the exact
+/// computation [`SequenceHead::predict`] performs (same logits, same
+/// `row_argmax`), so scored classification can never disagree with the
+/// unscored path on the label.
+fn scored_logits(head: &impl SequenceHead, seq: &[Matrix]) -> (usize, f32) {
+    let tape = Tape::new();
+    let logits = head.logits(&tape, seq).value();
+    let idx = logits.row_argmax(0);
+    let mut runner_up = f32::NEG_INFINITY;
+    for c in 0..NUM_CLASSES {
+        if c != idx {
+            runner_up = runner_up.max(logits[(0, c)]);
+        }
+    }
+    (idx, logits[(0, idx)] - runner_up)
 }
 
 #[cfg(test)]
@@ -588,6 +681,79 @@ mod tests {
         clf.fit(&train);
         let eval = clf.evaluate(&test);
         assert!(eval.weighted_f1 > 0.5, "weighted F1 {}", eval.weighted_f1);
+    }
+
+    #[test]
+    fn batched_graph_embedding_matches_per_graph_path() {
+        let (train, _) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        clf.fit(&train);
+        let (graphs, _) = construct_address_graphs(&train.records[0], &clf.config().construction);
+        let serial: Vec<Matrix> = graphs.iter().map(|g| clf.embed_graph(g)).collect();
+        for threads in [1, 4] {
+            let batched = clf.embed_graphs(&graphs, threads);
+            assert_eq!(serial.len(), batched.len());
+            for (a, b) in serial.iter().zip(&batched) {
+                assert_eq!(a.as_slice(), b.as_slice(), "threads={threads}");
+            }
+        }
+        assert!(clf.embed_graphs(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn scored_classification_agrees_with_unscored() {
+        let (train, test) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        clf.fit(&train);
+        for r in test.records.iter().take(10) {
+            let seq = clf.embed_record(r);
+            let plain = clf.classify_embeddings(&seq).unwrap();
+            let (scored, margin) = clf.classify_embeddings_scored(&seq).unwrap();
+            assert_eq!(plain, scored);
+            assert!(margin >= 0.0, "margin is winner minus runner-up");
+        }
+    }
+
+    #[test]
+    fn batched_classification_matches_scored_at_any_thread_count() {
+        let (train, test) = small_split();
+        let mut clf = BaClassifier::new(BacConfig::fast());
+        clf.fit(&train);
+        let seqs: Vec<Vec<Matrix>> = test
+            .records
+            .iter()
+            .take(12)
+            .map(|r| clf.embed_record(r))
+            .collect();
+        let reference: Vec<(Label, f32)> = seqs
+            .iter()
+            .map(|s| clf.classify_embeddings_scored(s).unwrap())
+            .collect();
+        for threads in [1, 4] {
+            let batched = clf.classify_embeddings_batch(&seqs, threads).unwrap();
+            assert_eq!(batched.len(), reference.len());
+            for ((l, m), (rl, rm)) in batched.iter().zip(&reference) {
+                assert_eq!(l, rl, "threads={threads}");
+                assert_eq!(m.to_bits(), rm.to_bits(), "threads={threads}");
+            }
+        }
+        assert_eq!(
+            clf.classify_embeddings_batch(&[Vec::new()], 2),
+            Err(PredictError::EmptyHistory)
+        );
+    }
+
+    #[test]
+    fn batch_apis_require_fit() {
+        let clf = BaClassifier::new(BacConfig::fast());
+        assert_eq!(
+            clf.classify_embeddings_scored(&[]),
+            Err(PredictError::NotFitted)
+        );
+        assert_eq!(
+            clf.classify_embeddings_batch(&[], 2),
+            Err(PredictError::NotFitted)
+        );
     }
 
     #[test]

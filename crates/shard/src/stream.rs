@@ -797,6 +797,13 @@ fn spawn_worker(
         .snapshot_path
         .as_ref()
         .map(|base| shard_snapshot_path(base, index, count));
+    // Each worker runs its own batched reclassification stage; slice the
+    // template's thread budget across the fleet (same resource-slicing
+    // idea as EngineConfig::for_shard) so N shards ticking at once don't
+    // oversubscribe N × cores. Identity is unaffected — the batched stage
+    // is byte-identical at any thread count.
+    let reclass_total = baclassifier::config::resolve_threads(template.reclass_threads);
+    shard_cfg.reclass_threads = (reclass_total / count.max(1) as usize).max(1);
     // The driver owns the write-ahead journal; workers only *read* it
     // during recovery and never append.
     let driver_journal = template.journal_path.clone();

@@ -8,8 +8,13 @@
 //!                [--snapshot follower.bsnap] [--snapshot-every 50]
 //!                [--generations 2] [--journal follower.bjrnl]
 //!                [--journal-sync-every 1] [--stall-timeout-ms 10000]
-//!                [--progress-every 25]
+//!                [--progress-every 25] [--reclass-threads 0]
+//!                [--reclass-batch 128]
 //! ```
+//!
+//! `--reclass-threads` sizes the batched reclassification stage (0 = all
+//! cores); any value produces byte-identical labels and embeddings.
+//! `--reclass-batch` caps addresses per re-embed micro-batch.
 //!
 //! Without `--artifact`, a quick model is fitted on a batch dataset built
 //! from the same simulation config before following starts. With
@@ -79,6 +84,8 @@ fn main() {
         journal_path: flag_value(&args, "--journal").map(PathBuf::from),
         journal_sync_every: flag_parsed(&args, "--journal-sync-every", 1u64),
         snapshot_generations: flag_parsed(&args, "--generations", 2usize),
+        reclass_threads: flag_parsed(&args, "--reclass-threads", 0usize),
+        reclass_batch: flag_parsed(&args, "--reclass-batch", 128usize),
     };
 
     // recover() handles every startup shape: fresh state, snapshot-only

@@ -20,7 +20,8 @@
 use crate::feed::BlockFeed;
 use crate::journal::BlockJournal;
 use crate::metrics::StreamMetrics;
-use baclassifier::construction::{FocusAggregates, IncrementalGraphs};
+use baclassifier::config::resolve_threads;
+use baclassifier::construction::{AddressGraph, FocusAggregates, IncrementalGraphs};
 use baclassifier::{ArtifactError, BaClassifier, ModelArtifact, ShardAssignment};
 use baserve::Engine;
 use btcsim::{Address, Block, Label, TxView};
@@ -65,6 +66,15 @@ pub struct FollowerConfig {
     /// Older generations are fallbacks when the newest snapshot is
     /// corrupt; at least 1 is always kept.
     pub snapshot_generations: usize,
+    /// Worker threads for the batched reclassification stage (0 = auto,
+    /// all cores; overridable via `BAC_THREADS`). Labels and embeddings
+    /// are byte-identical at any thread count — the stage runs on the
+    /// deterministic replica machinery of `baclassifier::parallel`.
+    pub reclass_threads: usize,
+    /// Maximum addresses per reclassification micro-batch (0 = one batch
+    /// for the whole dirty set). Smaller batches bound peak memory for the
+    /// gathered slice graphs; the batch split never changes any output.
+    pub reclass_batch: usize,
 }
 
 impl Default for FollowerConfig {
@@ -79,6 +89,8 @@ impl Default for FollowerConfig {
             journal_path: None,
             journal_sync_every: 1,
             snapshot_generations: 2,
+            reclass_threads: 0,
+            reclass_batch: 128,
         }
     }
 }
@@ -113,6 +125,11 @@ pub(crate) struct AddressState {
     pub(crate) embeds_clean: usize,
     /// Set when the history grew since the last classification.
     pub(crate) dirty: bool,
+    /// Label margin of the last classification (winning logit minus
+    /// runner-up) — small means near a label boundary. Drives priority
+    /// scheduling: boundary-adjacent addresses re-embed first. `None`
+    /// until first classified (highest priority of all).
+    pub(crate) margin: Option<f32>,
 }
 
 impl AddressState {
@@ -124,6 +141,7 @@ impl AddressState {
             embeds: Vec::new(),
             embeds_clean: 0,
             dirty: false,
+            margin: None,
         }
     }
 
@@ -317,10 +335,16 @@ impl Follower {
                 if !self.cfg.tracks(addr) {
                     continue;
                 }
-                self.states
+                let state = self
+                    .states
                     .entry(addr)
-                    .or_insert_with(|| AddressState::new(addr, construction.clone()))
-                    .apply(addr, &view);
+                    .or_insert_with(|| AddressState::new(addr, construction.clone()));
+                if state.dirty {
+                    // Already awaiting reclassification: this flip coalesces
+                    // into the one re-embed the next cadence tick performs.
+                    self.metrics.coalesced_flips += 1;
+                }
+                state.apply(addr, &view);
                 self.metrics.tx_applications += 1;
                 if let Some(engine) = &self.engine {
                     engine.invalidate_address(addr);
@@ -357,43 +381,117 @@ impl Follower {
 
     /// Re-derive, re-embed, and reclassify every dirty address with at
     /// least `min_txs` transactions. Returns how many were reclassified.
+    ///
+    /// The dirty set is processed as micro-batches on the deterministic
+    /// replica machinery of `baclassifier::parallel`: every flip of an
+    /// address since the last tick coalesces into one unit of work, the
+    /// stale slice graphs of a whole batch are embedded together across
+    /// `reclass_threads` replica workers, and the capped embedding
+    /// sequences go through the head replicas the same way. Labels and
+    /// embeddings are byte-identical to the per-address serial path at any
+    /// thread count. Addresses are queued boundary-first: the smaller an
+    /// address's last label margin, the earlier it re-embeds (unclassified
+    /// addresses come first of all).
+    ///
+    /// Addresses still under the `min_txs` threshold keep their dirty bit
+    /// — they are deferred, not dropped, so a later cadence (or a restore
+    /// with a lowered threshold) picks them up.
     pub fn reclassify_dirty(&mut self) -> usize {
         let start = Instant::now();
-        let dirty: Vec<Address> = self
-            .states
-            .iter()
-            .filter(|(_, s)| s.dirty)
-            .map(|(a, _)| *a)
-            .collect();
-        let max_slices = self.clf.config().model.max_slices.max(1);
-        let mut reclassified = 0;
-        for addr in dirty {
-            let state = self.states.get_mut(&addr).expect("dirty address tracked");
-            state.dirty = false;
-            if state.history.len() < self.cfg.min_txs {
+        let mut queue: Vec<(u64, Address)> = Vec::new();
+        for (addr, state) in &self.states {
+            if !state.dirty {
                 continue;
             }
-            let t0 = Instant::now();
-            let graphs = state.inc.graphs();
-            state.embeds.truncate(state.embeds_clean);
-            for g in &graphs[state.embeds_clean..] {
-                state.embeds.push(self.clf.embed_graph(g));
+            if state.history.len() < self.cfg.min_txs {
+                // Deferred, not dropped: the dirty bit survives the skip.
+                continue;
             }
-            state.embeds_clean = graphs.len();
+            queue.push((priority_key(state.margin), *addr));
+        }
+        // Smallest key first: never-classified, then ascending margin; the
+        // address id breaks ties so the order is fully deterministic.
+        queue.sort_unstable();
+        self.metrics.priority_depth = queue.len() as u64;
+        let threads = resolve_threads(self.cfg.reclass_threads);
+        let batch_cap = if self.cfg.reclass_batch == 0 {
+            queue.len().max(1)
+        } else {
+            self.cfg.reclass_batch
+        };
+        let max_slices = self.clf.config().model.max_slices.max(1);
+        let mut reclassified = 0;
+        for chunk in queue.chunks(batch_cap) {
+            reclassified += self.reclassify_batch(chunk, threads, max_slices);
+        }
+        self.metrics.reclass_time += start.elapsed();
+        reclassified
+    }
+
+    /// One micro-batch of the batched reclassification stage: gather every
+    /// member's stale slice graphs, embed them together on the replica
+    /// pool, scatter the embeddings back, then classify the capped
+    /// sequences together the same way.
+    fn reclassify_batch(
+        &mut self,
+        batch: &[(u64, Address)],
+        threads: usize,
+        max_slices: usize,
+    ) -> usize {
+        if batch.is_empty() {
+            return 0;
+        }
+        let t0 = Instant::now();
+        // Gather. Multiple flips of an address since the last tick appear
+        // here once: the dirty bit is level-triggered, and the stale range
+        // `embeds_clean..` covers every slice any of those flips touched.
+        let mut graphs: Vec<AddressGraph> = Vec::new();
+        let mut stale_counts: Vec<usize> = Vec::with_capacity(batch.len());
+        for &(_, addr) in batch {
+            let state = self.states.get_mut(&addr).expect("dirty address tracked");
+            state.dirty = false;
+            let all = state.inc.graphs();
+            let stale = &all[state.embeds_clean..];
+            stale_counts.push(stale.len());
+            graphs.extend_from_slice(stale);
+        }
+        let total_slices = graphs.len() as u64;
+
+        // Embed the whole batch across the replica workers, then scatter
+        // the results back in gather order and cut the classify sequences.
+        let mut embedded = self.clf.embed_graphs(&graphs, threads).into_iter();
+        let mut seqs: Vec<Vec<Matrix>> = Vec::with_capacity(batch.len());
+        for (&(_, addr), &n) in batch.iter().zip(&stale_counts) {
+            let state = self.states.get_mut(&addr).expect("dirty address tracked");
+            state.embeds.truncate(state.embeds_clean);
+            state.embeds.extend(embedded.by_ref().take(n));
+            state.embeds_clean = state.embeds.len();
             let seq_start = state.embeds.len().saturating_sub(max_slices);
-            let label = self
-                .clf
-                .classify_embeddings(&state.embeds[seq_start..])
-                .expect("non-empty sequence on a fitted classifier");
+            seqs.push(state.embeds[seq_start..].to_vec());
+        }
+
+        // Classify through the head replicas and install labels + margins.
+        let labeled = self
+            .clf
+            .classify_embeddings_batch(&seqs, threads)
+            .expect("non-empty sequences on a fitted classifier");
+        for (&(_, addr), (label, margin)) in batch.iter().zip(labeled) {
+            let state = self.states.get_mut(&addr).expect("dirty address tracked");
+            state.margin = Some(margin);
             let prev = self.labels.insert(addr, label);
             if prev.is_some() && prev != Some(label) {
                 self.metrics.label_flips += 1;
             }
-            self.metrics.record_reclass(t0.elapsed());
-            reclassified += 1;
         }
-        self.metrics.reclass_time += start.elapsed();
-        reclassified
+        self.metrics
+            .record_reclass_batch(batch.len() as u64, total_slices);
+        // Per-address latency samples are the amortized share of the batch
+        // — the number that matters for follow throughput.
+        let per = t0.elapsed() / batch.len() as u32;
+        for _ in 0..batch.len() {
+            self.metrics.record_reclass(per);
+        }
+        batch.len()
     }
 
     /// Append a new block to the write-ahead journal (if attached).
@@ -500,6 +598,18 @@ impl Follower {
         if let Err(e) = self.sync_journal() {
             eprintln!("bstream: final journal sync failed: {e}");
         }
+    }
+}
+
+/// Priority of a dirty address in the reclassification queue: smaller is
+/// sooner. Never-classified addresses map to 0 (first of all); classified
+/// ones order by ascending last-label margin. Margins are ≥ 0 and
+/// `f32::to_bits` is monotonic over non-negative floats, so bit order
+/// equals value order without any float comparison in the sort key.
+pub(crate) fn priority_key(margin: Option<f32>) -> u64 {
+    match margin {
+        None => 0,
+        Some(m) => u64::from(m.max(0.0).to_bits()) + 1,
     }
 }
 
@@ -702,6 +812,124 @@ pub(crate) mod tests {
         assert_eq!(m.cache_hits, 1);
         assert_eq!(m.invalidations, 1);
         engine.shutdown();
+    }
+
+    #[test]
+    fn under_threshold_addresses_keep_their_dirty_bit() {
+        // Regression: reclassify_dirty used to clear the dirty bit before
+        // the min_txs gate, so a skipped address silently lost its pending
+        // work and a later cadence (or a restore with a lowered threshold)
+        // never picked it up.
+        let cfg = test_sim(41, 20);
+        let artifact = test_artifact();
+        let follower_cfg = FollowerConfig {
+            min_txs: 10_000, // nothing qualifies
+            reclass_every: 0,
+            ..FollowerConfig::default()
+        };
+        let mut follower = Follower::new(&artifact, follower_cfg).unwrap();
+        for block in BlockCursor::new(cfg) {
+            follower.ingest_block(&block);
+        }
+        assert!(follower.num_tracked() > 0);
+        assert_eq!(follower.reclassify_dirty(), 0);
+        assert!(
+            follower.states.values().all(|s| s.dirty),
+            "skipped addresses must stay dirty"
+        );
+        // Lowering the threshold (as a restore with a smaller min_txs
+        // would) must pick the deferred addresses straight up, with no new
+        // transactions needed.
+        follower.cfg.min_txs = 1;
+        let reclassified = follower.reclassify_dirty();
+        assert_eq!(reclassified, follower.num_tracked());
+        assert!(follower.states.values().all(|s| !s.dirty));
+    }
+
+    #[test]
+    fn priority_orders_boundary_addresses_first() {
+        assert_eq!(priority_key(None), 0, "unclassified goes first");
+        let keys: Vec<u64> = [0.0f32, 0.01, 0.5, 2.0, 100.0]
+            .iter()
+            .map(|&m| priority_key(Some(m)))
+            .collect();
+        for pair in keys.windows(2) {
+            assert!(pair[0] < pair[1], "keys must ascend with margin");
+        }
+        assert!(priority_key(Some(0.0)) > priority_key(None));
+        // A negative margin cannot occur (winner minus runner-up), but the
+        // key must stay total just in case.
+        assert_eq!(priority_key(Some(-1.0)), priority_key(Some(0.0)));
+    }
+
+    #[test]
+    fn coalesced_flips_and_batch_metrics_are_counted() {
+        let cfg = test_sim(43, 30);
+        let artifact = test_artifact();
+        let follower_cfg = FollowerConfig {
+            reclass_every: 0, // manual ticks
+            ..FollowerConfig::default()
+        };
+        let mut follower = Follower::new(&artifact, follower_cfg).unwrap();
+        for block in BlockCursor::new(cfg) {
+            follower.ingest_block(&block);
+        }
+        // Every tracked address was touched at least once; busy ones were
+        // touched while already dirty, which must be coalesced.
+        let m = follower.metrics();
+        assert!(m.coalesced_flips > 0);
+        assert_eq!(
+            m.tx_applications,
+            m.coalesced_flips + follower.num_tracked() as u64,
+            "every application either dirtied a clean address or coalesced"
+        );
+        let n = follower.reclassify_dirty();
+        assert!(n > 0);
+        let m = follower.metrics();
+        assert!(m.reclass_batches > 0);
+        assert_eq!(m.reclass_batch_addrs, n as u64);
+        assert_eq!(m.priority_depth, n as u64);
+        assert!(m.reclass_batch_slices >= n as u64);
+    }
+
+    #[test]
+    fn batch_size_split_does_not_change_labels_or_embeddings() {
+        let cfg = test_sim(47, 25);
+        let artifact = test_artifact();
+        let mut one_batch = Follower::new(
+            &artifact,
+            FollowerConfig {
+                reclass_batch: 0, // whole dirty set at once
+                ..FollowerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut tiny_batches = Follower::new(
+            &artifact,
+            FollowerConfig {
+                reclass_batch: 3,
+                ..FollowerConfig::default()
+            },
+        )
+        .unwrap();
+        for block in BlockCursor::new(cfg) {
+            one_batch.step(&block);
+            tiny_batches.step(&block);
+        }
+        one_batch.reclassify_dirty();
+        tiny_batches.reclassify_dirty();
+        assert_eq!(one_batch.labels(), tiny_batches.labels());
+        let a = one_batch.export_embeddings();
+        let b = tiny_batches.export_embeddings();
+        assert_eq!(a.len(), b.len());
+        for (addr, embeds) in &a {
+            let other = &b[addr];
+            assert_eq!(embeds.len(), other.len());
+            for (x, y) in embeds.iter().zip(other) {
+                assert_eq!(x.as_slice(), y.as_slice(), "embeddings for {addr:?}");
+            }
+        }
+        assert!(tiny_batches.metrics().reclass_batches > one_batch.metrics().reclass_batches);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!                            Engine::invalidate_address◀┘──▶ label table
 //! ```
 //!
-//! Three properties make live labels trustworthy:
+//! These properties make live labels trustworthy:
 //!
 //! 1. **Byte-identity.** Per-address graphs are maintained by
 //!    `IncrementalGraphs::apply_tx`, asserted bit-identical to the batch
@@ -34,6 +34,12 @@
 //!    applied; [`Follower::recover`] restores the newest valid snapshot
 //!    generation (quarantining corrupt ones) and replays the journal
 //!    tail, yielding state byte-identical to an uninterrupted run.
+//! 5. **Timely labels.** Reclassification is micro-batched: each cadence
+//!    tick coalesces every flip of an address into one unit of work,
+//!    orders the queue boundary-nearest-first by last label margin, and
+//!    fans the batch's stale slice graphs (and then the capped embedding
+//!    sequences) across `reclass_threads` deterministic replica workers —
+//!    byte-identical to the per-address serial path at any thread count.
 //!
 //! The `bstream-follow` binary wires these together against a live
 //! simulation; `stream_bench` (in the bench crate) measures throughput,
@@ -52,7 +58,7 @@ pub mod snapshot;
 pub use feed::{BlockFeed, FeedSender, FeedStalled, Watermark};
 pub use follower::{Follower, FollowerConfig};
 pub use journal::{crc32, scan_journal, BlockJournal, JournalScan, TornFrame};
-pub use metrics::StreamMetrics;
+pub use metrics::{BoundedSamples, StreamMetrics, SAMPLE_CAP};
 pub use recovery::{generation_path, quarantine_path, Recovery};
 pub use shutdown::{install_sigint_handler, request_shutdown, shutdown_requested};
 pub use snapshot::{snapshot_height, SnapshotError};

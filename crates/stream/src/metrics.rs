@@ -2,8 +2,88 @@
 //! timing, per-address reclassification latency percentiles, and lag
 //! samples. Single-threaded by design — the follower owns its metrics and
 //! exposes snapshots; hand-rolled JSON like the rest of the workspace.
+//!
+//! Latency and lag samples live in fixed-capacity rings
+//! ([`BoundedSamples`]): a follower that runs for a week records millions
+//! of samples, and the old unbounded `Vec`s grew without limit. Below the
+//! cap the rings hold every sample, so p50/p99 stay exact; past it they
+//! keep the most recent [`SAMPLE_CAP`] — a sliding window, which is what a
+//! long-running follower's percentiles should describe anyway.
 
 use std::time::Duration;
+
+/// How many samples each metric ring retains before it starts evicting the
+/// oldest. Percentiles are exact until a series crosses this.
+pub const SAMPLE_CAP: usize = 4096;
+
+/// A fixed-capacity sample ring: records are kept in insertion order until
+/// the cap, then the oldest is overwritten. Memory is bounded by the cap
+/// forever.
+#[derive(Clone, Debug)]
+pub struct BoundedSamples {
+    buf: Vec<u64>,
+    /// Next overwrite slot once the ring is full — always the oldest entry.
+    next: usize,
+    cap: usize,
+    /// Every sample ever recorded, including evicted ones.
+    recorded: u64,
+}
+
+impl Default for BoundedSamples {
+    fn default() -> Self {
+        Self::with_cap(SAMPLE_CAP)
+    }
+}
+
+impl BoundedSamples {
+    pub fn with_cap(cap: usize) -> Self {
+        let cap = cap.max(1);
+        Self {
+            buf: Vec::new(),
+            next: 0,
+            cap,
+            recorded: 0,
+        }
+    }
+
+    pub fn record(&mut self, v: u64) {
+        if self.buf.len() < self.cap {
+            self.buf.push(v);
+        } else {
+            self.buf[self.next] = v;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.recorded += 1;
+    }
+
+    /// Samples currently retained (≤ cap).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Every sample ever recorded, including ones the ring has evicted.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Retained samples in unspecified order — fine for percentiles and
+    /// means, which are order-free.
+    pub fn values(&self) -> &[u64] {
+        &self.buf
+    }
+
+    /// Retained samples oldest-first (the ring unrolled).
+    pub fn chronological(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
 
 #[derive(Clone, Debug, Default)]
 pub struct StreamMetrics {
@@ -18,6 +98,19 @@ pub struct StreamMetrics {
     pub reclassifications: u64,
     /// Reclassifications whose label differed from the previous one.
     pub label_flips: u64,
+    /// Dirty flips coalesced: touches of an address that was already dirty,
+    /// absorbed into the one re-embed its cadence tick performs.
+    pub coalesced_flips: u64,
+    /// Micro-batches run by the batched reclassification stage.
+    pub reclass_batches: u64,
+    /// Addresses processed across those micro-batches (sum of batch sizes;
+    /// divide by `reclass_batches` for the mean batch size).
+    pub reclass_batch_addrs: u64,
+    /// Stale slice graphs re-embedded across those micro-batches.
+    pub reclass_batch_slices: u64,
+    /// Eligible dirty addresses queued at the start of the most recent
+    /// reclassification tick (priority-queue depth gauge).
+    pub priority_depth: u64,
     /// Serve-engine cache invalidations issued.
     pub invalidations: u64,
     /// Snapshots written successfully.
@@ -39,34 +132,64 @@ pub struct StreamMetrics {
     pub ingest_time: Duration,
     /// Wall time spent re-deriving, re-embedding, and classifying.
     pub reclass_time: Duration,
-    reclass_samples_us: Vec<u64>,
-    lag_samples: Vec<u64>,
+    reclass_samples_us: BoundedSamples,
+    lag_samples: BoundedSamples,
 }
 
 impl StreamMetrics {
     pub fn record_reclass(&mut self, elapsed: Duration) {
         self.reclassifications += 1;
-        self.reclass_samples_us.push(elapsed.as_micros() as u64);
+        self.reclass_samples_us.record(elapsed.as_micros() as u64);
     }
 
     pub fn record_lag(&mut self, lag: u64) {
-        self.lag_samples.push(lag);
+        self.lag_samples.record(lag);
+    }
+
+    /// One micro-batch of the batched reclassification stage finished.
+    pub fn record_reclass_batch(&mut self, addrs: u64, slices: u64) {
+        self.reclass_batches += 1;
+        self.reclass_batch_addrs += addrs;
+        self.reclass_batch_slices += slices;
+    }
+
+    /// Retained per-address reclassification latency samples (≤ [`SAMPLE_CAP`]).
+    pub fn reclass_sample_len(&self) -> usize {
+        self.reclass_samples_us.len()
+    }
+
+    /// Retained lag samples (≤ [`SAMPLE_CAP`]).
+    pub fn lag_sample_len(&self) -> usize {
+        self.lag_samples.len()
     }
 
     /// Per-address reclassification latency percentile (µs); 0 when empty.
     pub fn reclass_percentile_us(&self, q: f64) -> u64 {
-        percentile(&self.reclass_samples_us, q)
+        percentile(self.reclass_samples_us.values(), q)
     }
 
-    /// Mean lag (blocks behind tip) over every sample.
+    /// Mean batch size (addresses) of the batched reclassification stage;
+    /// 0.0 before the first batch.
+    pub fn mean_batch_addrs(&self) -> f64 {
+        if self.reclass_batches == 0 {
+            0.0
+        } else {
+            self.reclass_batch_addrs as f64 / self.reclass_batches as f64
+        }
+    }
+
+    /// Mean lag (blocks behind tip) over the retained samples; 0.0 when no
+    /// lag was ever recorded (a `step()`-driven follower never records lag,
+    /// and the JSON snapshot must stay parseable — never NaN).
     pub fn mean_lag(&self) -> f64 {
-        mean(&self.lag_samples)
+        mean(self.lag_samples.values())
     }
 
-    /// Mean lag over the last half of the samples — the steady state, after
-    /// warmup transients.
+    /// Mean lag over the most recent half of the retained samples — the
+    /// steady state, after warmup transients. 0.0 when empty (never NaN).
     pub fn steady_lag(&self) -> f64 {
-        mean(&self.lag_samples[self.lag_samples.len() / 2..])
+        let chron = self.lag_samples.chronological();
+        mean(&chron[chron.len() / 2..])
     }
 
     /// Ingest throughput in blocks per second of *ingest* time (excludes
@@ -80,13 +203,18 @@ impl StreamMetrics {
         }
     }
 
-    /// Single-line JSON, matching the serve/bench reporting idiom.
+    /// Single-line JSON, matching the serve/bench reporting idiom. Every
+    /// numeric field is finite by construction (empty sample sets report 0,
+    /// not NaN), so the output always parses.
     pub fn to_json(&self) -> String {
         format!(
             concat!(
                 "{{\"blocks_ingested\":{},\"txs_ingested\":{},",
                 "\"tx_applications\":{},\"reclassifications\":{},",
-                "\"label_flips\":{},\"invalidations\":{},",
+                "\"label_flips\":{},\"coalesced_flips\":{},",
+                "\"reclass_batches\":{},\"reclass_batch_addrs\":{},",
+                "\"reclass_batch_slices\":{},\"priority_depth\":{},",
+                "\"invalidations\":{},",
                 "\"snapshots_written\":{},\"snapshots_quarantined\":{},",
                 "\"journal_frames\":{},\"journal_bytes\":{},",
                 "\"journal_fsyncs\":{},\"journal_replayed\":{},",
@@ -100,6 +228,11 @@ impl StreamMetrics {
             self.tx_applications,
             self.reclassifications,
             self.label_flips,
+            self.coalesced_flips,
+            self.reclass_batches,
+            self.reclass_batch_addrs,
+            self.reclass_batch_slices,
+            self.priority_depth,
             self.invalidations,
             self.snapshots_written,
             self.snapshots_quarantined,
@@ -162,6 +295,96 @@ mod tests {
     }
 
     #[test]
+    fn sample_rings_stay_bounded_on_long_follows() {
+        // Regression: reclass/lag sample vectors used to grow without bound,
+        // leaking on a week-long follow. Past the cap the rings must hold
+        // exactly `SAMPLE_CAP` samples — the most recent ones.
+        let mut m = StreamMetrics::default();
+        let total = (SAMPLE_CAP as u64) * 3 + 17;
+        for i in 0..total {
+            m.record_lag(i);
+            m.record_reclass(Duration::from_micros(i));
+        }
+        assert_eq!(m.lag_sample_len(), SAMPLE_CAP);
+        assert_eq!(m.reclass_sample_len(), SAMPLE_CAP);
+        assert_eq!(m.reclassifications, total);
+        // The retained window is the most recent SAMPLE_CAP records.
+        let min_retained = total - SAMPLE_CAP as u64;
+        assert_eq!(m.reclass_percentile_us(1.0), total - 1);
+        assert!(m.mean_lag() >= min_retained as f64);
+    }
+
+    #[test]
+    fn ring_keeps_chronological_order_across_wraps() {
+        let mut r = BoundedSamples::with_cap(4);
+        for v in 0..6 {
+            r.record(v);
+        }
+        assert_eq!(r.chronological(), vec![2, 3, 4, 5]);
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.recorded(), 6);
+    }
+
+    #[test]
+    fn percentiles_stay_exact_below_the_cap() {
+        let mut m = StreamMetrics::default();
+        for i in 1..=100u64 {
+            m.record_reclass(Duration::from_micros(i));
+        }
+        assert_eq!(m.reclass_percentile_us(0.50), 50);
+        assert_eq!(m.reclass_percentile_us(0.99), 99);
+    }
+
+    /// Parse one flat hand-rolled JSON object (no nesting, no strings in
+    /// values), returning key → numeric value. Errors on anything a real
+    /// JSON parser would reject in this grammar — in particular `NaN`.
+    fn parse_flat_json(json: &str) -> Result<Vec<(String, f64)>, String> {
+        let inner = json
+            .strip_prefix('{')
+            .and_then(|s| s.strip_suffix('}'))
+            .ok_or("not an object")?;
+        let mut out = Vec::new();
+        for item in inner.split(',') {
+            let (k, v) = item.split_once(':').ok_or_else(|| format!("bad {item}"))?;
+            let key = k
+                .strip_prefix('"')
+                .and_then(|s| s.strip_suffix('"'))
+                .ok_or_else(|| format!("unquoted key {k}"))?;
+            // JSON numbers: optional minus, digits, optional fraction. NaN
+            // and infinity are not JSON.
+            if !v
+                .chars()
+                .all(|c| c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+')
+            {
+                return Err(format!("non-numeric value {v} for {key}"));
+            }
+            let value: f64 = v.parse().map_err(|_| format!("bad number {v}"))?;
+            if !value.is_finite() {
+                return Err(format!("non-finite value for {key}"));
+            }
+            out.push((key.to_string(), value));
+        }
+        Ok(out)
+    }
+
+    #[test]
+    fn empty_metrics_json_is_parseable() {
+        // Regression: a `step()`-driven follower records no lag samples;
+        // the snapshot must report 0.0, never NaN (which is not JSON).
+        let m = StreamMetrics::default();
+        assert_eq!(m.mean_lag(), 0.0);
+        assert_eq!(m.steady_lag(), 0.0);
+        let json = m.to_json();
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        let fields = parse_flat_json(&json).expect("empty-metrics JSON must parse");
+        for (key, value) in &fields {
+            assert_eq!(*value, 0.0, "{key} must be zero on empty metrics");
+        }
+        assert!(fields.iter().any(|(k, _)| k == "mean_lag"));
+        assert!(fields.iter().any(|(k, _)| k == "steady_lag"));
+    }
+
+    #[test]
     fn json_is_well_formed() {
         let mut m = StreamMetrics {
             blocks_ingested: 10,
@@ -169,10 +392,23 @@ mod tests {
         };
         m.record_reclass(Duration::from_micros(120));
         m.record_lag(2);
+        m.record_reclass_batch(1, 3);
         let json = m.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"blocks_ingested\":10"));
         assert!(json.contains("\"reclass_p99_us\":120"));
+        assert!(json.contains("\"reclass_batches\":1"));
+        assert!(json.contains("\"reclass_batch_slices\":3"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+        parse_flat_json(&json).expect("metrics JSON must parse");
+    }
+
+    #[test]
+    fn batch_means_guard_against_zero_batches() {
+        let mut m = StreamMetrics::default();
+        assert_eq!(m.mean_batch_addrs(), 0.0);
+        m.record_reclass_batch(4, 6);
+        m.record_reclass_batch(2, 2);
+        assert!((m.mean_batch_addrs() - 3.0).abs() < 1e-9);
     }
 }

@@ -13,6 +13,11 @@
 //! 3. **Cache coherence** — with a serving engine attached, a history that
 //!    grows through the follower bumps the address's cache generation, so
 //!    the engine re-embeds instead of serving the pre-growth entry.
+//! 4. **Batched determinism** — the micro-batched reclassification stage
+//!    produces labels and cached embeddings byte-identical to the serial
+//!    per-address path at any `reclass_threads`, and one cadence tick
+//!    re-embeds an address once no matter how many times it flipped dirty
+//!    since the last tick.
 
 use baclassifier::{BaClassifier, BacConfig, ModelArtifact};
 use baserve::{Engine, EngineConfig};
@@ -130,6 +135,104 @@ fn snapshot_restart_resume_reaches_the_continuous_state() {
             continuous.aggregates(record.address)
         );
     }
+}
+
+#[test]
+fn batched_reclassification_matches_serial_at_any_thread_count() {
+    let cfg = sim_cfg(113, 30);
+    let artifact = test_artifact();
+    let blocks: Vec<Block> = BlockCursor::new(cfg).collect();
+
+    let mut serial = Follower::new(
+        &artifact,
+        FollowerConfig {
+            reclass_threads: 1,
+            ..FollowerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut batched = Follower::new(
+        &artifact,
+        FollowerConfig {
+            reclass_threads: 4,
+            reclass_batch: 5, // force several micro-batches per tick
+            ..FollowerConfig::default()
+        },
+    )
+    .unwrap();
+    for b in &blocks {
+        serial.step(b);
+        batched.step(b);
+    }
+    serial.reclassify_dirty();
+    batched.reclassify_dirty();
+
+    assert_eq!(
+        serial.labels(),
+        batched.labels(),
+        "labels must not depend on reclass_threads or batch size"
+    );
+    let a = serial.export_embeddings();
+    let b = batched.export_embeddings();
+    assert_eq!(a.len(), b.len());
+    for (addr, embeds) in &a {
+        let other = &b[addr];
+        assert_eq!(embeds.len(), other.len(), "embedding count for {addr:?}");
+        for (x, y) in embeds.iter().zip(other) {
+            assert_eq!(
+                x.as_slice(),
+                y.as_slice(),
+                "embedding bytes diverged for {addr:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn cadence_tick_coalesces_repeated_flips_into_one_reembed() {
+    let cfg = sim_cfg(127, 30);
+    let artifact = test_artifact();
+    // Disable the automatic cadence so every tick is explicit.
+    let mut follower = Follower::new(
+        &artifact,
+        FollowerConfig {
+            reclass_every: 0,
+            min_txs: 1,
+            ..FollowerConfig::default()
+        },
+    )
+    .unwrap();
+    for block in BlockCursor::new(cfg) {
+        follower.step(&block);
+    }
+
+    let m = follower.metrics();
+    assert_eq!(m.reclassifications, 0, "no tick fired during ingest");
+    let tracked = follower.num_tracked() as u64;
+    assert!(
+        m.tx_applications > tracked,
+        "chain too quiet: every address was touched at most once"
+    );
+    // Every touch past an address's first while it sat dirty is a
+    // coalesced flip — the level-triggered dirty bit absorbs it.
+    assert_eq!(m.coalesced_flips, m.tx_applications - tracked);
+
+    // One explicit tick: each dirty address is re-embedded exactly once,
+    // no matter how many transactions touched it since the last tick.
+    let reclassified = follower.reclassify_dirty();
+    assert_eq!(reclassified, follower.num_tracked());
+    let m = follower.metrics();
+    assert_eq!(m.reclassifications, tracked);
+    assert!(
+        m.reclassifications < m.tx_applications,
+        "coalescing must re-embed fewer times than the per-tx worst case"
+    );
+    assert!(m.reclass_batches >= 1);
+    assert_eq!(m.reclass_batch_addrs, tracked);
+
+    // A second tick with nothing new is a no-op.
+    assert_eq!(follower.reclassify_dirty(), 0);
+    assert_eq!(follower.metrics().reclassifications, tracked);
 }
 
 #[test]
