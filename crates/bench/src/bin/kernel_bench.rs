@@ -20,7 +20,12 @@
 //! 3. **Fused LSTM gates** — per-sequence forward+backward time of the
 //!    fused `[W | b]` cell vs the four-matmul reference; final hidden
 //!    state asserted bitwise.
-//! 4. **Backward allocations** — gradient-buffer allocations per tape node
+//! 4. **Batched-sequence LSTM** — forward-only inference time of one
+//!    ragged-batch `forward_last_batch` pass vs `B` serial single-sequence
+//!    unrolls, at serving batch sizes. Every output row is asserted
+//!    bitwise identical to its serial counterpart; the ≥2x gate applies at
+//!    `B ≥ 8` in full mode on multi-core hosts.
+//! 5. **Backward allocations** — gradient-buffer allocations per tape node
 //!    for the GCN workload; the zero-clone backward must stay below one
 //!    allocation per node (always asserted, even under `--smoke`).
 
@@ -239,6 +244,38 @@ fn lstm_reference_pass(w: &[Param], b: &[Param], hidden: usize, seq: &[Matrix]) 
     out
 }
 
+/// Forward-only serial serving path: one tape and one unrolled pass per
+/// sequence — exactly what per-request classification did before batching.
+fn lstm_serial_last(cell: &LstmCell, seqs: &[Vec<Matrix>]) -> Vec<Matrix> {
+    seqs.iter()
+        .map(|seq| {
+            let tape = Tape::new();
+            let mut st = cell.zero_state(&tape, 1);
+            for m in seq {
+                st = cell.step(&tape, tape.constant(m.clone()), &st);
+            }
+            st.h.value()
+        })
+        .collect()
+}
+
+/// Ragged batch of `b` sequences with deterministic mixed lengths.
+fn ragged_seqs(b: usize, d: usize, max_len: usize) -> Vec<Vec<Matrix>> {
+    (0..b)
+        .map(|i| {
+            let len = 1 + (i * 17 + 3) % max_len;
+            (0..len).map(|t| test_matrix(1, d, i * 131 + t)).collect()
+        })
+        .collect()
+}
+
+struct LstmBatchedResult {
+    b: usize,
+    serial_ms: f64,
+    batched_ms: f64,
+    speedup: f64,
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = has_flag("--smoke");
@@ -351,7 +388,65 @@ fn main() {
         fused_s * 1e3
     );
 
-    // 4. Backward allocation count on the GCN workload.
+    // 4. Batched ragged-sequence LSTM inference vs B serial unrolls.
+    let max_len = if smoke { 12 } else { 40 };
+    let lstm_batched: Vec<LstmBatchedResult> = [1usize, 8, 32]
+        .iter()
+        .map(|&b| {
+            let seqs = ragged_seqs(b, d, max_len);
+            let serial = lstm_serial_last(&cell, &seqs);
+            let batched = {
+                let tape = Tape::new();
+                cell.forward_last_batch(&tape, &seqs).value()
+            };
+            for (i, s) in serial.iter().enumerate() {
+                assert!(
+                    s.as_slice()
+                        .iter()
+                        .zip(batched.row(i))
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "batched LSTM row {i} diverged from the serial pass at B={b}"
+                );
+            }
+            let serial_s = time_median(reps, || {
+                std::hint::black_box(lstm_serial_last(&cell, std::hint::black_box(&seqs)));
+            });
+            let batched_s = time_median(reps, || {
+                let tape = Tape::new();
+                std::hint::black_box(
+                    cell.forward_last_batch(&tape, std::hint::black_box(&seqs))
+                        .value(),
+                );
+            });
+            let r = LstmBatchedResult {
+                b,
+                serial_ms: serial_s * 1e3,
+                batched_ms: batched_s * 1e3,
+                speedup: serial_s / batched_s,
+            };
+            eprintln!(
+                "[kernel_bench] lstm_batched B={b}: serial {:.3}ms, batched {:.3}ms ({:.2}x)",
+                r.serial_ms, r.batched_ms, r.speedup
+            );
+            r
+        })
+        .collect();
+    if gated {
+        for r in lstm_batched.iter().filter(|r| r.b >= 8) {
+            assert!(
+                r.speedup >= min_speedup,
+                "batched LSTM must be >= {min_speedup:.1}x serial at B={} (got {:.2}x)",
+                r.b,
+                r.speedup
+            );
+        }
+    } else {
+        eprintln!(
+            "[kernel_bench] lstm_batched speedup gate skipped (smoke={smoke}, cores={cores})"
+        );
+    }
+
+    // 5. Backward allocation count on the GCN workload.
     let allocs;
     let nodes;
     {
@@ -396,6 +491,15 @@ fn main() {
             )
         })
         .collect();
+    let lstm_batched_json: Vec<String> = lstm_batched
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"b\":{},\"serial_ms\":{:.3},\"batched_ms\":{:.3},\"speedup\":{:.3}}}",
+                r.b, r.serial_ms, r.batched_ms, r.speedup
+            )
+        })
+        .collect();
     let json = format!(
         "{{\"smoke\":{smoke},\"cores\":{cores},\"speedup_gated\":{gated},\
          \"min_speedup\":{min_speedup},\"matmul\":[{}],\
@@ -403,6 +507,7 @@ fn main() {
          \"speedup\":{:.3}}},\
          \"lstm\":{{\"steps\":{steps},\"four_matmul_ms\":{:.3},\"fused_ms\":{:.3},\
          \"speedup\":{:.3},\"fused_step_us\":{:.2}}},\
+         \"lstm_batched\":[{}],\
          \"backward\":{{\"tape_nodes\":{nodes},\"grad_allocs\":{allocs},\
          \"allocs_per_node\":{allocs_per_node:.3}}},\"identity\":true}}",
         matmul_json.join(","),
@@ -413,6 +518,7 @@ fn main() {
         fused_s * 1e3,
         lstm_speedup,
         lstm_step_us,
+        lstm_batched_json.join(","),
     );
     bac_bench::write_results_atomic(&out, &json);
     println!("wrote {out}");

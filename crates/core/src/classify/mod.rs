@@ -19,6 +19,21 @@ pub trait SequenceHead {
     /// Panics on an empty sequence (an address always has ≥ 1 slice).
     fn logits<'t>(&self, tape: &'t Tape, seq: &[Matrix]) -> Var<'t>;
 
+    /// Class logits (`B x NUM_CLASSES`) for a batch of embedding sequences:
+    /// row `i` must be bitwise identical to `logits(tape, &seqs[i])`.
+    ///
+    /// The default implementation just stacks per-sequence calls; heads with
+    /// a genuinely batched formulation (the LSTM's per-timestep fused-gate
+    /// matmul over the still-active prefix) override it.
+    ///
+    /// # Panics
+    /// Panics on an empty batch or any empty sequence.
+    fn logits_batch<'t>(&self, tape: &'t Tape, seqs: &[Vec<Matrix>]) -> Var<'t> {
+        assert!(!seqs.is_empty(), "empty sequence batch");
+        let parts: Vec<Var<'t>> = seqs.iter().map(|s| self.logits(tape, s)).collect();
+        Var::concat_rows(&parts)
+    }
+
     fn params(&self) -> Vec<Param>;
 
     /// Predicted class of one sequence.
@@ -37,6 +52,9 @@ impl<H: SequenceHead + ?Sized> SequenceHead for &H {
     fn logits<'t>(&self, tape: &'t Tape, seq: &[Matrix]) -> Var<'t> {
         (**self).logits(tape, seq)
     }
+    fn logits_batch<'t>(&self, tape: &'t Tape, seqs: &[Vec<Matrix>]) -> Var<'t> {
+        (**self).logits_batch(tape, seqs)
+    }
     fn params(&self) -> Vec<Param> {
         (**self).params()
     }
@@ -48,6 +66,9 @@ impl<H: SequenceHead + ?Sized> SequenceHead for Box<H> {
     }
     fn logits<'t>(&self, tape: &'t Tape, seq: &[Matrix]) -> Var<'t> {
         (**self).logits(tape, seq)
+    }
+    fn logits_batch<'t>(&self, tape: &'t Tape, seqs: &[Vec<Matrix>]) -> Var<'t> {
+        (**self).logits_batch(tape, seqs)
     }
     fn params(&self) -> Vec<Param> {
         (**self).params()
@@ -88,6 +109,16 @@ impl SequenceHead for LstmMlp {
     fn logits<'t>(&self, tape: &'t Tape, seq: &[Matrix]) -> Var<'t> {
         let vars = seq_vars(tape, seq);
         let h = self.lstm.forward_last(tape, &vars);
+        self.mlp.forward(tape, h)
+    }
+
+    /// Genuinely batched: one fused-gate matmul per *timestep* across the
+    /// whole batch (`Lstm::forward_last_batch`), then the MLP over all B
+    /// final hidden rows at once. Every layer is row-independent, so row `i`
+    /// stays bitwise identical to the per-sequence `logits` path.
+    fn logits_batch<'t>(&self, tape: &'t Tape, seqs: &[Vec<Matrix>]) -> Var<'t> {
+        assert!(!seqs.is_empty(), "empty sequence batch");
+        let h = self.lstm.forward_last_batch(tape, seqs);
         self.mlp.forward(tape, h)
     }
 
@@ -312,6 +343,42 @@ mod tests {
             .map(|c| (a[(0, c)] - b[(0, c)]).abs())
             .sum();
         assert!(diff > 1e-6, "LSTM output should depend on order");
+    }
+
+    #[test]
+    fn logits_batch_rows_match_per_sequence_logits_bitwise() {
+        // Every head — the batched LSTM override and the stacking default —
+        // must produce batch rows bitwise identical to its single-sequence
+        // path, across ragged lengths.
+        let seqs: Vec<Vec<Matrix>> = [4usize, 1, 7, 2, 7]
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                (0..len)
+                    .map(|t| {
+                        Matrix::from_fn(1, 6, |_, c| ((i * 13 + t * 7 + c) as f32 * 0.23).sin())
+                    })
+                    .collect()
+            })
+            .collect();
+        for head in all_heads(6, 8, 11) {
+            let tape = Tape::new();
+            let batch = head.logits_batch(&tape, &seqs).value();
+            assert_eq!(batch.shape(), (seqs.len(), NUM_CLASSES), "{}", head.name());
+            for (i, seq) in seqs.iter().enumerate() {
+                let tape1 = Tape::new();
+                let single = head.logits(&tape1, seq).value();
+                let row = batch.slice_rows(i, i + 1);
+                assert!(
+                    row.as_slice()
+                        .iter()
+                        .zip(single.as_slice())
+                        .all(|(a, b)| a.to_bits() == b.to_bits()),
+                    "{} row {i} diverged from single-sequence logits",
+                    head.name()
+                );
+            }
+        }
     }
 
     #[test]

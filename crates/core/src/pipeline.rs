@@ -345,12 +345,17 @@ impl BaClassifier {
         ))
     }
 
-    /// Classify a batch of embedding sequences on `threads` head replicas,
-    /// preserving input order. The head forward pass is deterministic and
-    /// every replica holds byte-identical weights, so the output equals
+    /// Classify a batch of embedding sequences through the batched sequence
+    /// head ([`SequenceHead::logits_batch`]), preserving input order. Each
+    /// worker runs its whole contiguous chunk as one ragged-batch forward
+    /// pass — one fused-gate matmul per timestep over the still-active
+    /// sequences — instead of one tape per sequence. Every logit row of the
+    /// batched pass is bitwise identical to the single-sequence formulation
+    /// and every replica holds byte-identical weights, so the output equals
     /// mapping [`BaClassifier::classify_embeddings_scored`] over `seqs` bit
-    /// for bit, at any thread count. Errors if unfitted or any sequence is
-    /// empty (batch callers gate on history length first).
+    /// for bit, at any thread count and any batch split. Errors if unfitted
+    /// or any sequence is empty (batch callers gate on history length
+    /// first).
     pub fn classify_embeddings_batch(
         &self,
         seqs: &[Vec<Matrix>],
@@ -363,20 +368,22 @@ impl BaClassifier {
             return Err(PredictError::EmptyHistory);
         }
         let raw: Vec<(usize, f32)> = if threads <= 1 || seqs.len() < 2 {
-            seqs.iter().map(|s| scored_logits(&self.head, s)).collect()
+            scored_logits_batch(&self.head, seqs)
         } else {
             let trained = param_values(&self.head.params());
             let model_cfg = &self.cfg.model;
-            parallel_map(
+            let chunks: Vec<&[Vec<Matrix>]> = seqs.chunks(seqs.len().div_ceil(threads)).collect();
+            let per_chunk = parallel_map(
                 threads,
-                seqs,
+                &chunks,
                 || {
                     let head = Self::head_skeleton(model_cfg);
                     install_values(&head.params(), &trained);
                     head
                 },
-                |head, seq| scored_logits(head, seq),
-            )
+                |head, chunk| scored_logits_batch(head, chunk),
+            );
+            per_chunk.into_iter().flatten().collect()
         };
         Ok(raw
             .into_iter()
@@ -470,14 +477,32 @@ impl BaClassifier {
 fn scored_logits(head: &impl SequenceHead, seq: &[Matrix]) -> (usize, f32) {
     let tape = Tape::new();
     let logits = head.logits(&tape, seq).value();
-    let idx = logits.row_argmax(0);
+    score_row(&logits, 0)
+}
+
+/// One batched head forward pass → per-sequence (argmax class, margin).
+/// A single tape and a single [`SequenceHead::logits_batch`] call cover the
+/// whole chunk; because every logit row of the batched pass is bitwise
+/// identical to [`SequenceHead::logits`] on that sequence alone, each entry
+/// equals [`scored_logits`] on the same sequence bit for bit.
+fn scored_logits_batch(head: &impl SequenceHead, seqs: &[Vec<Matrix>]) -> Vec<(usize, f32)> {
+    if seqs.is_empty() {
+        return Vec::new();
+    }
+    let tape = Tape::new();
+    let logits = head.logits_batch(&tape, seqs).value();
+    (0..seqs.len()).map(|r| score_row(&logits, r)).collect()
+}
+
+fn score_row(logits: &Matrix, r: usize) -> (usize, f32) {
+    let idx = logits.row_argmax(r);
     let mut runner_up = f32::NEG_INFINITY;
     for c in 0..NUM_CLASSES {
         if c != idx {
-            runner_up = runner_up.max(logits[(0, c)]);
+            runner_up = runner_up.max(logits[(r, c)]);
         }
     }
-    (idx, logits[(0, idx)] - runner_up)
+    (idx, logits[(r, idx)] - runner_up)
 }
 
 #[cfg(test)]

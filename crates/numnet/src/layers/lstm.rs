@@ -103,6 +103,72 @@ impl LstmCell {
         LstmState { h, c }
     }
 
+    /// Batched final hidden states over `B` ragged sequences of `1 × input`
+    /// rows: one fused-gate matmul per *timestep* over the still-active
+    /// prefix instead of one per sequence per timestep.
+    ///
+    /// Sequences are sorted longest-first so that at step `t` the sequences
+    /// with `len > t` occupy rows `[0, Bt)` and the shared state shrinks via
+    /// zero-copy [`Var::rows_view`]. Final hidden rows are scattered back to
+    /// the original order with [`Var::stack_rows`], so row `i` of the result
+    /// belongs to `seqs[i]`.
+    ///
+    /// **Bitwise identity:** every op in the step — the gate matmul, bias
+    /// broadcast, activations, and the elementwise state update — computes
+    /// each output row from its own input row with the same ascending-k
+    /// summation order regardless of how many rows share the call, so row
+    /// `i` is bitwise identical to unrolling `seqs[i]` alone with
+    /// [`LstmCell::step`] at batch 1 (asserted by tests here and replayed at
+    /// every layer above; DESIGN.md §13).
+    ///
+    /// # Panics
+    /// Panics if the batch is empty, any sequence is empty, or any step is
+    /// not a `1 × input` row.
+    pub fn forward_last_batch<'t>(&self, tape: &'t Tape, seqs: &[Vec<Matrix>]) -> Var<'t> {
+        assert!(!seqs.is_empty(), "forward_last_batch: empty batch");
+        for (i, s) in seqs.iter().enumerate() {
+            assert!(!s.is_empty(), "forward_last_batch: empty sequence {i}");
+            for m in s {
+                assert_eq!(
+                    m.shape(),
+                    (1, self.input_dim),
+                    "forward_last_batch: sequence {i} step shape"
+                );
+            }
+        }
+        let mut order: Vec<usize> = (0..seqs.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(seqs[i].len()), i));
+        let max_len = seqs[order[0]].len();
+        let mut finals: Vec<Option<(Var<'t>, usize)>> = vec![None; seqs.len()];
+        let mut state = self.zero_state(tape, seqs.len());
+        let mut active = seqs.len();
+        for t in 0..max_len {
+            let bt = order.iter().take_while(|&&i| seqs[i].len() > t).count();
+            if bt < active {
+                state = LstmState {
+                    h: state.h.rows_view(0, bt),
+                    c: state.c.rows_view(0, bt),
+                };
+                active = bt;
+            }
+            let mut x = Matrix::zeros(bt, self.input_dim);
+            for (j, &i) in order[..bt].iter().enumerate() {
+                x.row_mut(j).copy_from_slice(seqs[i][t].row(0));
+            }
+            state = self.step(tape, tape.constant(x), &state);
+            for (j, &i) in order[..bt].iter().enumerate() {
+                if seqs[i].len() == t + 1 {
+                    finals[i] = Some((state.h, j));
+                }
+            }
+        }
+        let parts: Vec<(Var<'t>, usize)> = finals
+            .into_iter()
+            .map(|f| f.expect("every sequence records a final row"))
+            .collect();
+        Var::stack_rows(&parts)
+    }
+
     pub fn params(&self) -> Vec<Param> {
         vec![self.w.clone(), self.b.clone()]
     }
@@ -138,6 +204,14 @@ impl Lstm {
             state = self.cell.step(tape, x, &state);
         }
         state.h
+    }
+
+    /// Batched [`Lstm::forward_last`] over `B` ragged sequences of owned
+    /// `1 × input` rows, returning a `B × hidden` value whose row `i` is
+    /// bitwise identical to `forward_last` on `seqs[i]` alone (see
+    /// [`LstmCell::forward_last_batch`]).
+    pub fn forward_last_batch<'t>(&self, tape: &'t Tape, seqs: &[Vec<Matrix>]) -> Var<'t> {
+        self.cell.forward_last_batch(tape, seqs)
     }
 
     /// Run over the sequence returning every hidden state.
@@ -336,6 +410,48 @@ mod tests {
             let bg = fused[1].grad().slice_cols(g * h, (g + 1) * h);
             assert!(bits_eq(&bg, &b_ref[g].grad()), "b grad gate {g}");
         }
+    }
+
+    #[test]
+    fn forward_last_batch_matches_per_sequence_bitwise() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let lstm = Lstm::new(3, 5, &mut rng);
+        // Ragged lengths, deliberately unsorted, with ties.
+        let lens = [2usize, 5, 1, 5, 3];
+        let seqs: Vec<Vec<Matrix>> = lens
+            .iter()
+            .enumerate()
+            .map(|(i, &len)| {
+                (0..len)
+                    .map(|t| {
+                        Matrix::from_fn(1, 3, |_, c| ((i * 17 + t * 5 + c) as f32 * 0.13).sin())
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let tape = Tape::new();
+        let batched = lstm.forward_last_batch(&tape, &seqs);
+        assert_eq!(batched.shape(), (seqs.len(), 5));
+        let bv = batched.value();
+        for (i, seq) in seqs.iter().enumerate() {
+            let tape1 = Tape::new();
+            let vars: Vec<_> = seq.iter().map(|m| tape1.constant(m.clone())).collect();
+            let single = lstm.forward_last(&tape1, &vars).value();
+            assert!(
+                bits_eq(&bv.slice_rows(i, i + 1), &single),
+                "row {i} diverged from its single-sequence unroll"
+            );
+        }
+
+        // Gradients flow through the batched unroll into the fused params.
+        batched
+            .sum_rows()
+            .matmul(tape.constant(Matrix::col_vec(vec![1.0; 5])))
+            .backward();
+        let g = lstm.params()[0].grad().clone();
+        assert!(g.all_finite());
+        assert!(g.frobenius_norm() > 0.0, "no gradient reached the weights");
     }
 
     #[test]

@@ -53,5 +53,7 @@ pub mod layers {
 }
 
 pub use io::{assign_params, load_params, read_matrices, save_params, write_matrices, LoadError};
-pub use matrix::Matrix;
+pub use matrix::{
+    matmul_a_bt_views, matmul_at_b_views, matmul_views, Matrix, MatrixView, MatrixViewMut,
+};
 pub use tape::{backward_alloc_count, reset_backward_alloc_count, Param, SparseAdj, Tape, Var};

@@ -1,11 +1,15 @@
 //! Dense row-major `f32` matrix with the kernels the autograd layer needs.
 //!
-//! The matrix is deliberately minimal: no views, no strides, no BLAS. The
-//! three matmul kernels (`matmul`, `matmul_at_b`, `matmul_a_bt`) are
-//! cache-blocked and written so the autovectorizer can keep the inner loop
-//! branch-free, but they preserve the naive kernels' ascending-k summation
-//! order *per output element*, so results are bitwise identical to the
-//! textbook loops (see DESIGN.md §10 for the derivation).
+//! The owned [`Matrix`] is deliberately minimal — row-major, no BLAS — but
+//! the three matmul kernels (`matmul`, `matmul_at_b`, `matmul_a_bt`) also
+//! accept borrowed stride-aware views ([`MatrixView`]/[`MatrixViewMut`]), so
+//! a row block or a column block of a larger buffer multiplies without being
+//! copied out first. The kernels are cache-blocked and written so the
+//! autovectorizer can keep the inner loop branch-free, but they preserve the
+//! naive kernels' ascending-k summation order *per output element*, so
+//! results are bitwise identical to the textbook loops regardless of shape,
+//! stride, or the small-shape fast path (see DESIGN.md §10 and §13 for the
+//! derivation).
 
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -33,17 +37,28 @@ const J_TILE: usize = 64;
 /// order, so per-element summation order is unchanged.
 const K_CHUNK: usize = 128;
 
-/// Copy a `(ke - kb) x w` tile of `b` (row stride `n`, column offset `jt`)
-/// into a contiguous scratch buffer with row stride `w`. Packing defeats the
-/// L1 set-aliasing that power-of-two row strides cause (e.g. at n = 256 the
-/// tile's rows alias onto a quarter of the cache sets) and lets the fold
-/// loop stream the tile sequentially; copying values changes nothing about
-/// the arithmetic.
+/// Output-element count at or below which `matmul` skips rhs tile packing.
+///
+/// Packing copies a `k x J_TILE` tile per output strip; for a batch of a few
+/// lhs rows that copy dominates the folds it enables (the fused single-step
+/// LSTM gate product is `(B×(d+h))·((d+h)×4h)`, so a B ≤ 4 micro-batch at
+/// h = 64 lands at or under this threshold while B ≥ 8 amortizes the pack
+/// and goes tiled — measured crossover on the bench host). Below the
+/// threshold a plain i-k-j loop wins. The running sum round-trips through
+/// the output row once per k instead of living in a register across a chunk,
+/// but per element the k-terms are still separate rounded additions in
+/// ascending k-order, so the fast path is bitwise identical to the tiled one.
+const SMALL_MM_OUT: usize = 1024;
+
+/// Copy a `(ke - kb) x w` tile of `b` (column offset `jt`) into a contiguous
+/// scratch buffer with row stride `w`. Packing defeats the L1 set-aliasing
+/// that power-of-two row strides cause (e.g. at stride 256 the tile's rows
+/// alias onto a quarter of the cache sets) and lets the fold loop stream the
+/// tile sequentially; copying values changes nothing about the arithmetic.
 #[inline(always)]
 fn pack_tile(
     bpack: &mut [f32; K_CHUNK * J_TILE],
-    b: &[f32],
-    n: usize,
+    b: &MatrixView<'_>,
     jt: usize,
     w: usize,
     kb: usize,
@@ -51,7 +66,7 @@ fn pack_tile(
 ) {
     for k in kb..ke {
         let kc = k - kb;
-        bpack[kc * w..kc * w + w].copy_from_slice(&b[k * n + jt..k * n + jt + w]);
+        bpack[kc * w..kc * w + w].copy_from_slice(&b.row(k)[jt..jt + w]);
     }
 }
 
@@ -79,6 +94,504 @@ fn fold_chunk(out_row: &mut [f32], a_chunk: &[f32], bpack: &[f32; K_CHUNK * J_TI
         }
     }
     out_row.copy_from_slice(&acc[..w]);
+}
+
+/// A borrowed, stride-aware, read-only window into row-major `f32` storage.
+///
+/// Row `r` occupies `data[r * row_stride .. r * row_stride + cols]`; when
+/// `row_stride > cols` the view is a column block of a wider buffer and the
+/// rows are non-contiguous. Views are accepted by the same blocked matmul
+/// kernels as owned [`Matrix`] values ([`matmul_views`] and friends), so a
+/// row or column block multiplies without being copied out first. The kernels
+/// only ever read whole rows through [`MatrixView::row`], which is what makes
+/// them stride-oblivious: results are bitwise identical to copying the view
+/// into a fresh `Matrix` and multiplying that.
+#[derive(Clone, Copy)]
+pub struct MatrixView<'a> {
+    data: &'a [f32],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+}
+
+impl<'a> MatrixView<'a> {
+    /// Build a view over raw row-major storage.
+    ///
+    /// # Panics
+    /// Panics if `cols > row_stride` (rows would overlap) or if `data` is too
+    /// short to cover the last row.
+    pub fn from_parts(data: &'a [f32], rows: usize, cols: usize, row_stride: usize) -> Self {
+        assert!(
+            cols <= row_stride || cols == 0,
+            "MatrixView: cols {cols} exceeds row_stride {row_stride}"
+        );
+        let need = if rows == 0 || cols == 0 {
+            0
+        } else {
+            (rows - 1) * row_stride + cols
+        };
+        assert!(
+            data.len() >= need,
+            "MatrixView: {} floats cannot back {rows} rows of {cols} at stride {row_stride}",
+            data.len()
+        );
+        Self {
+            data,
+            rows,
+            cols,
+            row_stride,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Distance in floats between the starts of consecutive rows.
+    pub fn row_stride(&self) -> usize {
+        self.row_stride
+    }
+
+    /// True when rows are adjacent in memory (`row_stride == cols`).
+    pub fn is_contiguous(&self) -> bool {
+        self.row_stride == self.cols
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows, "row index out of bounds");
+        if self.cols == 0 {
+            return &[];
+        }
+        let off = r * self.row_stride;
+        &self.data[off..off + self.cols]
+    }
+
+    /// Single element.
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.row_stride + c]
+    }
+
+    /// Copy the viewed window into an owned contiguous matrix.
+    pub fn to_matrix(&self) -> Matrix {
+        let mut data = Vec::with_capacity(self.rows * self.cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+        }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Matrix product `self * rhs` (see [`matmul_views`]).
+    pub fn matmul(&self, rhs: &MatrixView<'_>) -> Matrix {
+        matmul_views(self, rhs)
+    }
+
+    /// `selfᵀ * rhs` (see [`matmul_at_b_views`]).
+    pub fn matmul_at_b(&self, rhs: &MatrixView<'_>) -> Matrix {
+        matmul_at_b_views(self, rhs)
+    }
+
+    /// `self * rhsᵀ` (see [`matmul_a_bt_views`]).
+    pub fn matmul_a_bt(&self, rhs: &MatrixView<'_>) -> Matrix {
+        matmul_a_bt_views(self, rhs)
+    }
+}
+
+impl fmt::Debug for MatrixView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MatrixView {}x{} (stride {})",
+            self.rows, self.cols, self.row_stride
+        )
+    }
+}
+
+/// The mutable counterpart of [`MatrixView`]: a stride-aware window used to
+/// scatter results back into a larger buffer in place (e.g. the row-block
+/// gradient accumulation of the `rows_view`/`stack_rows` tape ops).
+pub struct MatrixViewMut<'a> {
+    data: &'a mut [f32],
+    rows: usize,
+    cols: usize,
+    row_stride: usize,
+}
+
+impl<'a> MatrixViewMut<'a> {
+    /// Build a mutable view over raw row-major storage; same invariants as
+    /// [`MatrixView::from_parts`].
+    pub fn from_parts(data: &'a mut [f32], rows: usize, cols: usize, row_stride: usize) -> Self {
+        // Re-use the read-only validation.
+        let _ = MatrixView::from_parts(data, rows, cols, row_stride);
+        Self {
+            data,
+            rows,
+            cols,
+            row_stride,
+        }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Re-borrow as a read-only view.
+    pub fn as_view(&self) -> MatrixView<'_> {
+        MatrixView {
+            data: self.data,
+            rows: self.rows,
+            cols: self.cols,
+            row_stride: self.row_stride,
+        }
+    }
+
+    /// Borrow one row as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows, "row index out of bounds");
+        if self.cols == 0 {
+            return &[];
+        }
+        let off = r * self.row_stride;
+        &self.data[off..off + self.cols]
+    }
+
+    /// Borrow one row mutably.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows, "row index out of bounds");
+        if self.cols == 0 {
+            return &mut [];
+        }
+        let off = r * self.row_stride;
+        &mut self.data[off..off + self.cols]
+    }
+
+    /// Overwrite the window with `src` (same shape).
+    pub fn copy_from(&mut self, src: &MatrixView<'_>) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        for r in 0..self.rows {
+            self.row_mut(r).copy_from_slice(src.row(r));
+        }
+    }
+
+    /// In-place `self += src` (same shape).
+    pub fn add_assign_view(&mut self, src: &MatrixView<'_>) {
+        assert_eq!(self.shape(), src.shape(), "add_assign_view shape mismatch");
+        for r in 0..self.rows {
+            for (o, &v) in self.row_mut(r).iter_mut().zip(src.row(r)) {
+                *o += v;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for MatrixViewMut<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "MatrixViewMut {}x{} (stride {})",
+            self.rows, self.cols, self.row_stride
+        )
+    }
+}
+
+/// Matrix product `a * b` over borrowed stride-aware views.
+///
+/// Small outputs (`rows·cols ≤ SMALL_MM_OUT`) take a pack-free i-k-j fast
+/// path; larger ones use the blocked kernel. Both orders sum each output
+/// element's k-terms one at a time ascending, so the result is bitwise
+/// identical either way — and identical to `Matrix::matmul` on copied-out
+/// operands. On x86-64 hosts with AVX2 the same body is re-dispatched to a
+/// copy compiled with 256-bit vectors; vector width only changes how many
+/// *output columns* are computed per instruction — each element's ascending-k
+/// addition chain is untouched, and rustc never contracts `mul` + `add` into
+/// a fused multiply-add — so the wide path is bitwise identical to the
+/// portable one (property-tested in this module).
+///
+/// # Panics
+/// Panics on inner-dimension mismatch.
+pub fn matmul_views(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    assert_eq!(
+        a.cols, b.rows,
+        "matmul: {}x{} * {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    if a.rows * b.cols <= SMALL_MM_OUT {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 requirement is checked at runtime above.
+            return unsafe { matmul_views_small_avx2(a, b) };
+        }
+        return matmul_views_small_impl(a, b);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 requirement is checked at runtime above.
+        return unsafe { matmul_views_avx2(a, b) };
+    }
+    matmul_views_impl(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_views_avx2(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    matmul_views_impl(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_views_small_avx2(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    matmul_views_small_impl(a, b)
+}
+
+/// Pack-free i-k-j product for small outputs: the output row is re-loaded and
+/// re-stored per k-term instead of being held across a chunk, which changes
+/// nothing about f32 rounding (same ascending-k separate additions).
+#[inline(always)]
+fn matmul_views_small_impl(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    let n = b.cols;
+    let mut out = Matrix::zeros(a.rows, n);
+    for i in 0..a.rows {
+        let a_row = a.row(i);
+        let out_row = &mut out.data[i * n..(i + 1) * n];
+        for (k, &av) in a_row.iter().enumerate() {
+            for (o, &bv) in out_row.iter_mut().zip(b.row(k)) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
+}
+
+#[inline(always)]
+fn matmul_views_impl(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    let (kk, n) = (a.cols, b.cols);
+    let mut out = Matrix::zeros(a.rows, n);
+    let mut bpack = [0.0f32; K_CHUNK * J_TILE];
+    for jt in (0..n).step_by(J_TILE) {
+        let w = J_TILE.min(n - jt);
+        for kb in (0..kk).step_by(K_CHUNK) {
+            let ke = (kb + K_CHUNK).min(kk);
+            pack_tile(&mut bpack, b, jt, w, kb, ke);
+            for i in 0..a.rows {
+                let a_row = a.row(i);
+                let out_row = &mut out.data[i * n + jt..i * n + jt + w];
+                fold_chunk(out_row, &a_row[kb..ke], &bpack, w);
+            }
+        }
+    }
+    out
+}
+
+/// `aᵀ * b` over views, without materialising the transpose.
+///
+/// # Panics
+/// Panics on row-count mismatch.
+pub fn matmul_at_b_views(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    assert_eq!(
+        a.rows, b.rows,
+        "matmul_at_b: {}x{} ᵀ* {}x{}",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 requirement is checked at runtime above.
+        return unsafe { matmul_at_b_views_avx2(a, b) };
+    }
+    matmul_at_b_views_impl(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_at_b_views_avx2(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    matmul_at_b_views_impl(a, b)
+}
+
+#[inline(always)]
+fn matmul_at_b_views_impl(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    let (r, c, n) = (a.rows, a.cols, b.cols);
+    let mut out = Matrix::zeros(c, n);
+    let mut bpack = [0.0f32; K_CHUNK * J_TILE];
+    for jt in (0..n).step_by(J_TILE) {
+        let w = J_TILE.min(n - jt);
+        for kb in (0..r).step_by(K_CHUNK) {
+            let ke = (kb + K_CHUNK).min(r);
+            pack_tile(&mut bpack, b, jt, w, kb, ke);
+            for i in 0..c {
+                // The lhs column is gathered with the view's row stride into
+                // a contiguous chunk; the k-order per output element matches
+                // the naive k-outer loop.
+                let mut acol = [0.0f32; K_CHUNK];
+                for k in kb..ke {
+                    acol[k - kb] = a.data[k * a.row_stride + i];
+                }
+                let out_row = &mut out.data[i * n + jt..i * n + jt + w];
+                fold_chunk(out_row, &acol[..ke - kb], &bpack, w);
+            }
+        }
+    }
+    out
+}
+
+/// Below this many lhs rows, `a · bᵀ` keeps the scalar dot-product kernel:
+/// the tiled path's transposing pack touches every rhs element once, which
+/// only amortises when several lhs rows reuse each packed tile.
+const ABT_TILED_MIN_ROWS: usize = 4;
+
+/// `a * bᵀ` over views, without materialising the transpose.
+///
+/// With `ABT_TILED_MIN_ROWS` or more lhs rows this runs the same blocked
+/// kernel as [`matmul_views`] over a tile-transposed pack of `b`; thinner
+/// lhs keeps a scalar dot-product loop. Both paths (and the AVX2
+/// re-dispatches) accumulate every output element's k-terms one at a time in
+/// ascending order, so the result is bitwise identical regardless of which
+/// path runs.
+///
+/// # Panics
+/// Panics on column-count mismatch.
+pub fn matmul_a_bt_views(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    assert_eq!(
+        a.cols, b.cols,
+        "matmul_a_bt: {}x{} * {}x{}ᵀ",
+        a.rows, a.cols, b.rows, b.cols
+    );
+    if a.rows < ABT_TILED_MIN_ROWS {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 requirement is checked at runtime above.
+            return unsafe { matmul_a_bt_views_small_avx2(a, b) };
+        }
+        return matmul_a_bt_views_small_impl(a, b);
+    }
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 requirement is checked at runtime above.
+        return unsafe { matmul_a_bt_views_avx2(a, b) };
+    }
+    matmul_a_bt_views_impl(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_a_bt_views_avx2(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    matmul_a_bt_views_impl(a, b)
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn matmul_a_bt_views_small_avx2(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    matmul_a_bt_views_small_impl(a, b)
+}
+
+/// Pack one `(ke-kb) x w` tile of the *virtual* rhs `bᵀ` — element
+/// `(k, jt+u)` of `bᵀ` is `b[jt+u][k]` — into contiguous scratch, exactly
+/// the layout [`fold_chunk`] consumes. Reads are contiguous along each `b`
+/// row; the scatter into the scratch is what pays for the transpose, once
+/// per tile instead of once per lhs row.
+fn pack_tile_t(
+    bpack: &mut [f32; K_CHUNK * J_TILE],
+    b: &MatrixView<'_>,
+    jt: usize,
+    w: usize,
+    kb: usize,
+    ke: usize,
+) {
+    for u in 0..w {
+        let b_row = &b.row(jt + u)[kb..ke];
+        for (kc, &v) in b_row.iter().enumerate() {
+            bpack[kc * w + u] = v;
+        }
+    }
+}
+
+/// Blocked `a · bᵀ`: identical schedule to [`matmul_views_impl`] with the
+/// rhs tiles packed transposed, so each output element receives its k-terms
+/// in the same ascending order as the scalar dot product — bitwise
+/// identical, just vectorised across output columns.
+#[inline(always)]
+fn matmul_a_bt_views_impl(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    let (kk, n) = (a.cols, b.rows);
+    let mut out = Matrix::zeros(a.rows, n);
+    let mut bpack = [0.0f32; K_CHUNK * J_TILE];
+    for jt in (0..n).step_by(J_TILE) {
+        let w = J_TILE.min(n - jt);
+        for kb in (0..kk).step_by(K_CHUNK) {
+            let ke = (kb + K_CHUNK).min(kk);
+            pack_tile_t(&mut bpack, b, jt, w, kb, ke);
+            for i in 0..a.rows {
+                let a_row = a.row(i);
+                let out_row = &mut out.data[i * n + jt..i * n + jt + w];
+                fold_chunk(out_row, &a_row[kb..ke], &bpack, w);
+            }
+        }
+    }
+    out
+}
+
+/// Scalar `a · bᵀ` for thin lhs: four independent dot-product accumulators
+/// per pass over the rhs rows. Each accumulator sums its k-terms
+/// sequentially in ascending order, so every output is bitwise identical to
+/// the plain dot product (and to the tiled path above).
+#[inline(always)]
+fn matmul_a_bt_views_small_impl(a: &MatrixView<'_>, b: &MatrixView<'_>) -> Matrix {
+    let (c, p) = (a.cols, b.rows);
+    let mut out = Matrix::zeros(a.rows, p);
+    for i in 0..a.rows {
+        let a_row = a.row(i);
+        let out_row = &mut out.data[i * p..(i + 1) * p];
+        let mut j = 0;
+        while j + 4 <= p {
+            let b0 = b.row(j);
+            let b1 = b.row(j + 1);
+            let b2 = b.row(j + 2);
+            let b3 = b.row(j + 3);
+            let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+            for k in 0..c {
+                let av = a_row[k];
+                s0 += av * b0[k];
+                s1 += av * b1[k];
+                s2 += av * b2[k];
+                s3 += av * b3[k];
+            }
+            out_row[j] = s0;
+            out_row[j + 1] = s1;
+            out_row[j + 2] = s2;
+            out_row[j + 3] = s3;
+            j += 4;
+        }
+        while j < p {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for k in 0..c {
+                acc += a_row[k] * b_row[k];
+            }
+            out_row[j] = acc;
+            j += 1;
+        }
+    }
+    out
 }
 
 /// A dense row-major matrix of `f32`.
@@ -224,168 +737,96 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self * rhs`.
+    /// Borrow the whole matrix as a contiguous view.
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView {
+            data: &self.data,
+            rows: self.rows,
+            cols: self.cols,
+            row_stride: self.cols,
+        }
+    }
+
+    /// Borrow the whole matrix as a contiguous mutable view.
+    pub fn view_mut(&mut self) -> MatrixViewMut<'_> {
+        MatrixViewMut {
+            rows: self.rows,
+            cols: self.cols,
+            row_stride: self.cols,
+            data: &mut self.data,
+        }
+    }
+
+    /// Zero-copy view of rows `[start, end)`.
     ///
-    /// On x86-64 hosts with AVX2 the tiled kernel is re-dispatched to a copy
-    /// compiled with 256-bit vectors. Vector width only changes how many
-    /// *output columns* are computed per instruction — each element's
-    /// ascending-k addition chain is untouched, and rustc never contracts
-    /// `mul` + `add` into a fused multiply-add — so the wide path is bitwise
-    /// identical to the portable one (property-tested in this module).
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn rows_view(&self, start: usize, end: usize) -> MatrixView<'_> {
+        assert!(start <= end && end <= self.rows, "rows_view out of range");
+        MatrixView {
+            data: &self.data[start * self.cols..end * self.cols],
+            rows: end - start,
+            cols: self.cols,
+            row_stride: self.cols,
+        }
+    }
+
+    /// Zero-copy mutable view of rows `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn rows_view_mut(&mut self, start: usize, end: usize) -> MatrixViewMut<'_> {
+        assert!(start <= end && end <= self.rows, "rows_view out of range");
+        MatrixViewMut {
+            rows: end - start,
+            cols: self.cols,
+            row_stride: self.cols,
+            data: &mut self.data[start * self.cols..end * self.cols],
+        }
+    }
+
+    /// Zero-copy *strided* view of columns `[start, end)`: the view's rows
+    /// keep the parent's row stride, so they are non-contiguous whenever the
+    /// block is narrower than the matrix.
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn cols_view(&self, start: usize, end: usize) -> MatrixView<'_> {
+        assert!(start <= end && end <= self.cols, "cols_view out of range");
+        if self.rows == 0 || start == end {
+            return MatrixView {
+                data: &[],
+                rows: self.rows,
+                cols: 0,
+                row_stride: 0,
+            };
+        }
+        MatrixView {
+            data: &self.data[start..(self.rows - 1) * self.cols + end],
+            rows: self.rows,
+            cols: end - start,
+            row_stride: self.cols,
+        }
+    }
+
+    /// Matrix product `self * rhs` (delegates to [`matmul_views`], which
+    /// documents the tiled/small dispatch and the bitwise-identity
+    /// guarantee).
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul: {}x{} * {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: the avx2 requirement is checked at runtime above.
-            return unsafe { self.matmul_avx2(rhs) };
-        }
-        self.matmul_impl(rhs)
-    }
-
-    #[cfg(target_arch = "x86_64")]
-    #[target_feature(enable = "avx2")]
-    unsafe fn matmul_avx2(&self, rhs: &Matrix) -> Matrix {
-        self.matmul_impl(rhs)
-    }
-
-    #[inline(always)]
-    fn matmul_impl(&self, rhs: &Matrix) -> Matrix {
-        let (kk, n) = (self.cols, rhs.cols);
-        let mut out = Matrix::zeros(self.rows, n);
-        let mut bpack = [0.0f32; K_CHUNK * J_TILE];
-        for jt in (0..n).step_by(J_TILE) {
-            let w = J_TILE.min(n - jt);
-            for kb in (0..kk).step_by(K_CHUNK) {
-                let ke = (kb + K_CHUNK).min(kk);
-                pack_tile(&mut bpack, &rhs.data, n, jt, w, kb, ke);
-                for i in 0..self.rows {
-                    let a_row = self.row(i);
-                    let out_row = &mut out.data[i * n + jt..i * n + jt + w];
-                    fold_chunk(out_row, &a_row[kb..ke], &bpack, w);
-                }
-            }
-        }
-        out
+        matmul_views(&self.view(), &rhs.view())
     }
 
     /// `selfᵀ * rhs` without materialising the transpose.
     pub fn matmul_at_b(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, rhs.rows,
-            "matmul_at_b: {}x{} ᵀ* {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: the avx2 requirement is checked at runtime above.
-            return unsafe { self.matmul_at_b_avx2(rhs) };
-        }
-        self.matmul_at_b_impl(rhs)
-    }
-
-    #[cfg(target_arch = "x86_64")]
-    #[target_feature(enable = "avx2")]
-    unsafe fn matmul_at_b_avx2(&self, rhs: &Matrix) -> Matrix {
-        self.matmul_at_b_impl(rhs)
-    }
-
-    #[inline(always)]
-    fn matmul_at_b_impl(&self, rhs: &Matrix) -> Matrix {
-        let (r, c, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = Matrix::zeros(c, n);
-        let mut bpack = [0.0f32; K_CHUNK * J_TILE];
-        for jt in (0..n).step_by(J_TILE) {
-            let w = J_TILE.min(n - jt);
-            for kb in (0..r).step_by(K_CHUNK) {
-                let ke = (kb + K_CHUNK).min(r);
-                pack_tile(&mut bpack, &rhs.data, n, jt, w, kb, ke);
-                for i in 0..c {
-                    // The lhs column is gathered with stride `c` into a
-                    // contiguous chunk; the k-order per output element
-                    // matches the naive k-outer loop.
-                    let mut acol = [0.0f32; K_CHUNK];
-                    for k in kb..ke {
-                        acol[k - kb] = self.data[k * c + i];
-                    }
-                    let out_row = &mut out.data[i * n + jt..i * n + jt + w];
-                    fold_chunk(out_row, &acol[..ke - kb], &bpack, w);
-                }
-            }
-        }
-        out
+        matmul_at_b_views(&self.view(), &rhs.view())
     }
 
     /// `self * rhsᵀ` without materialising the transpose.
     pub fn matmul_a_bt(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.cols,
-            "matmul_a_bt: {}x{} * {}x{}ᵀ",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
-        #[cfg(target_arch = "x86_64")]
-        if std::arch::is_x86_feature_detected!("avx2") {
-            // SAFETY: the avx2 requirement is checked at runtime above.
-            return unsafe { self.matmul_a_bt_avx2(rhs) };
-        }
-        self.matmul_a_bt_impl(rhs)
-    }
-
-    #[cfg(target_arch = "x86_64")]
-    #[target_feature(enable = "avx2")]
-    unsafe fn matmul_a_bt_avx2(&self, rhs: &Matrix) -> Matrix {
-        self.matmul_a_bt_impl(rhs)
-    }
-
-    #[inline(always)]
-    fn matmul_a_bt_impl(&self, rhs: &Matrix) -> Matrix {
-        let (c, p) = (self.cols, rhs.rows);
-        let mut out = Matrix::zeros(self.rows, p);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * p..(i + 1) * p];
-            let mut j = 0;
-            // Four independent dot-product accumulators per pass: the lhs
-            // row is loaded once per four outputs and the chains provide
-            // ILP. Each accumulator still sums its k-terms sequentially in
-            // ascending order, so every output is bitwise identical to the
-            // plain dot product.
-            while j + 4 <= p {
-                let b0 = rhs.row(j);
-                let b1 = rhs.row(j + 1);
-                let b2 = rhs.row(j + 2);
-                let b3 = rhs.row(j + 3);
-                let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-                for k in 0..c {
-                    let a = a_row[k];
-                    s0 += a * b0[k];
-                    s1 += a * b1[k];
-                    s2 += a * b2[k];
-                    s3 += a * b3[k];
-                }
-                out_row[j] = s0;
-                out_row[j + 1] = s1;
-                out_row[j + 2] = s2;
-                out_row[j + 3] = s3;
-                j += 4;
-            }
-            while j < p {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0f32;
-                for k in 0..c {
-                    acc += a_row[k] * b_row[k];
-                }
-                out_row[j] = acc;
-                j += 1;
-            }
-        }
-        out
+        matmul_a_bt_views(&self.view(), &rhs.view())
     }
 
     /// Explicit transpose.
@@ -897,7 +1338,9 @@ mod tests {
 
     #[test]
     fn blocked_kernels_cross_panel_boundaries_bitwise() {
-        // Shapes straddling the J_TILE boundary, with ragged tails.
+        // Shapes straddling the J_TILE boundary, with ragged tails. The last
+        // two produce more than SMALL_MM_OUT output elements, so `matmul`
+        // takes the tiled kernel rather than the small-shape fast path.
         let pool: Vec<f32> = (0..97).map(|i| (i as f32 - 48.0) * 0.37).collect();
         for &(m, k, n) in &[
             (3, 130, 130),
@@ -905,6 +1348,8 @@ mod tests {
             (5, 5, 256),
             (1, 257, 3),
             (7, 4, 128),
+            (40, 130, 130),
+            (33, 260, 129),
         ] {
             let a = pooled(m, k, &pool);
             let b = pooled(k, n, &pool);
@@ -914,6 +1359,84 @@ mod tests {
             let bt = pooled(n, k, &pool);
             assert!(bitwise_eq(&a.matmul_a_bt(&bt), &naive_matmul_a_bt(&a, &bt)));
         }
+    }
+
+    #[test]
+    fn small_fast_path_matches_tiled_kernel_bitwise() {
+        // Both sides of the SMALL_MM_OUT dispatch, forced explicitly, must
+        // agree bit-for-bit (same ascending-k order, different scheduling).
+        let pool: Vec<f32> = (0..61).map(|i| (i as f32 - 30.0) * 0.61).collect();
+        for &(m, k, n) in &[(1, 128, 256), (8, 128, 256), (3, 300, 70), (5, 5, 256)] {
+            let a = pooled(m, k, &pool);
+            let b = pooled(k, n, &pool);
+            let small = matmul_views_small_impl(&a.view(), &b.view());
+            let tiled = matmul_views_impl(&a.view(), &b.view());
+            assert!(bitwise_eq(&small, &tiled), "{m}x{k}x{n} small vs tiled");
+            assert!(bitwise_eq(&a.matmul(&b), &tiled), "{m}x{k}x{n} dispatch");
+        }
+    }
+
+    #[test]
+    fn views_multiply_bitwise_like_copied_out_blocks() {
+        let pool: Vec<f32> = (0..89).map(|i| (i as f32 - 44.0) * 0.23).collect();
+        let parent = pooled(9, 150, &pool);
+        let rv = parent.rows_view(2, 7); // 5x150 contiguous
+        let cv = parent.cols_view(3, 131); // 9x128, row stride 150 (ragged)
+        assert!(rv.is_contiguous() && !cv.is_contiguous());
+        let b = pooled(150, 40, &pool);
+        assert!(bitwise_eq(
+            &rv.matmul(&b.view()),
+            &rv.to_matrix().matmul(&b)
+        ));
+        let b2 = pooled(9, 33, &pool);
+        assert!(bitwise_eq(
+            &cv.matmul_at_b(&b2.view()),
+            &cv.to_matrix().matmul_at_b(&b2)
+        ));
+        let a2 = pooled(4, 9, &pool);
+        assert!(bitwise_eq(
+            &matmul_views(&a2.view(), &cv),
+            &a2.matmul(&cv.to_matrix())
+        ));
+        let a3 = pooled(4, 128, &pool);
+        assert!(bitwise_eq(
+            &a3.view().matmul_a_bt(&cv),
+            &a3.matmul_a_bt(&cv.to_matrix())
+        ));
+    }
+
+    #[test]
+    fn view_matmul_propagates_nan_through_strided_rhs() {
+        let mut parent = Matrix::zeros(2, 3);
+        parent[(0, 1)] = f32::NAN;
+        let cv = parent.cols_view(1, 2); // 2x1 strided column holding the NaN
+        let a = Matrix::from_vec(1, 2, vec![0.0, 0.0]);
+        assert!(matmul_views(&a.view(), &cv)[(0, 0)].is_nan());
+        let at = Matrix::from_vec(2, 1, vec![0.0, 0.0]);
+        assert!(matmul_at_b_views(&at.view(), &cv)[(0, 0)].is_nan());
+    }
+
+    #[test]
+    fn mut_view_scatters_into_row_block() {
+        let mut m = Matrix::zeros(4, 3);
+        let src = Matrix::from_fn(2, 3, |r, c| (r * 3 + c) as f32 + 1.0);
+        m.rows_view_mut(1, 3).add_assign_view(&src.view());
+        m.rows_view_mut(1, 3).add_assign_view(&src.view());
+        assert_eq!(m.row(0), &[0., 0., 0.]);
+        assert_eq!(m.row(1), &[2., 4., 6.]);
+        assert_eq!(m.row(2), &[8., 10., 12.]);
+        assert_eq!(m.row(3), &[0., 0., 0.]);
+        let mut dst = Matrix::ones(4, 3);
+        dst.rows_view_mut(0, 2).copy_from(&src.view());
+        assert_eq!(dst.row(0), src.row(0));
+        assert_eq!(dst.row(2), &[1., 1., 1.]);
+    }
+
+    #[test]
+    #[should_panic(expected = "MatrixView")]
+    fn overlapping_view_rows_are_rejected() {
+        let data = vec![0.0f32; 8];
+        let _ = MatrixView::from_parts(&data, 2, 4, 3);
     }
 
     proptest! {
@@ -979,6 +1502,41 @@ mod tests {
             prop_assert!(bitwise_eq(&at.matmul_at_b(&b), &naive_matmul_at_b(&at, &b)));
             let bt = pooled(n, k, &pool);
             prop_assert!(bitwise_eq(&a.matmul_a_bt(&bt), &naive_matmul_a_bt(&a, &bt)));
+        }
+
+        // View matmuls vs copy-out-then-matmul references: random row and
+        // column blocks (the latter ragged whenever the block is narrower
+        // than the parent) must be bitwise identical to multiplying the
+        // copied-out block.
+        #[test]
+        fn prop_view_matmuls_bitwise_match_copy_out(
+            rows in 1usize..8,
+            cols in 1usize..10,
+            n in 0usize..6,
+            r0 in 0usize..8,
+            c0 in 0usize..10,
+            pool in proptest::collection::vec(-3.0f32..3.0, 24),
+        ) {
+            let parent = pooled(rows, cols, &pool);
+            let rv = parent.rows_view(r0.min(rows), rows);
+            let cv = parent.cols_view(c0.min(cols), cols);
+            let b = pooled(cols, n, &pool);
+            prop_assert!(bitwise_eq(&rv.matmul(&b.view()), &rv.to_matrix().matmul(&b)));
+            let b2 = pooled(rows, n, &pool);
+            prop_assert!(bitwise_eq(
+                &cv.matmul_at_b(&b2.view()),
+                &cv.to_matrix().matmul_at_b(&b2)
+            ));
+            let a2 = pooled(n, rows, &pool);
+            prop_assert!(bitwise_eq(
+                &matmul_views(&a2.view(), &cv),
+                &a2.matmul(&cv.to_matrix())
+            ));
+            let a3 = pooled(n, cv.cols(), &pool);
+            prop_assert!(bitwise_eq(
+                &a3.view().matmul_a_bt(&cv),
+                &a3.matmul_a_bt(&cv.to_matrix())
+            ));
         }
     }
 }

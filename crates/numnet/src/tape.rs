@@ -195,6 +195,15 @@ enum Op {
     ConcatRows(Vec<usize>),
     SliceRows(usize, usize, usize),
     SliceCols(usize, usize, usize),
+    /// Row block `[start, end)` with an in-place scatter backward: the
+    /// gradient adds straight into the parent's row block through a
+    /// `MatrixViewMut` instead of materialising a parent-sized scratch.
+    RowsView(usize, usize, usize),
+    /// One row gathered from each listed `(node, row)` pair; backward adds
+    /// each output row's gradient back into its source row (repeated
+    /// sources accumulate in reverse part order, matching the reverse-tape
+    /// walk of the dense concat-of-slices formulation).
+    StackRows(Vec<(usize, usize)>),
     /// Sparse·dense product `A · x` with a CSR operand.
     Spmm {
         x: usize,
@@ -411,6 +420,47 @@ impl<'t> Var<'t> {
     pub fn slice_cols(self, start: usize, end: usize) -> Var<'t> {
         let v = self.value().slice_cols(start, end);
         self.tape.push(Op::SliceCols(self.idx, start, end), v)
+    }
+
+    /// Row block `[start, end)`, like [`Var::slice_rows`] but built through
+    /// a borrowed [`crate::MatrixView`] (no intermediate parent clone) and
+    /// with an in-place scatter backward: when the parent already holds a
+    /// gradient the block adds straight into it through a mutable row view.
+    /// Values and gradients are bitwise identical to `slice_rows`.
+    pub fn rows_view(self, start: usize, end: usize) -> Var<'t> {
+        let v = {
+            let nodes = self.tape.nodes.borrow();
+            nodes[self.idx].value.rows_view(start, end).to_matrix()
+        };
+        self.tape.push(Op::RowsView(self.idx, start, end), v)
+    }
+
+    /// Gather one row from each `(var, row)` pair into a
+    /// `parts.len() × C` value. The backward pass scatters each output
+    /// row's gradient back into its source row, accumulating when the same
+    /// source row appears more than once. Row `p` of the result is bitwise
+    /// identical to `parts[p].0.value().row(parts[p].1)`, and its gradient
+    /// path matches the dense `concat_rows`-of-`slice_rows` formulation.
+    pub fn stack_rows(parts: &[(Var<'t>, usize)]) -> Var<'t> {
+        assert!(!parts.is_empty(), "stack_rows: empty input");
+        let tape = parts[0].0.tape;
+        let v = {
+            let nodes = tape.nodes.borrow();
+            let cols = nodes[parts[0].0.idx].value.cols();
+            let mut data = Vec::with_capacity(parts.len() * cols);
+            for (var, r) in parts {
+                debug_assert!(std::ptr::eq(tape, var.tape), "vars from different tapes");
+                let m = &nodes[var.idx].value;
+                assert_eq!(m.cols(), cols, "stack_rows: column mismatch");
+                assert!(*r < m.rows(), "stack_rows: row {r} out of range");
+                data.extend_from_slice(m.row(*r));
+            }
+            Matrix::from_vec(parts.len(), cols, data)
+        };
+        tape.push(
+            Op::StackRows(parts.iter().map(|(var, r)| (var.idx, *r)).collect()),
+            v,
+        )
     }
 
     /// Sparse·dense product `adj · self` where `adj` is an n×n CSR operand
@@ -704,6 +754,50 @@ impl<'t> Var<'t> {
                         }
                     }
                 }
+                Op::RowsView(a, start, end) => {
+                    if needs[*a] {
+                        // Same in-place policy as SliceCols, but on a row
+                        // block: add into the parent's grad rows when it has
+                        // one, otherwise install a fresh zero-padded scatter.
+                        let parent = &mut lower[*a];
+                        match &mut parent.grad {
+                            Some(existing) => existing
+                                .rows_view_mut(*start, *end)
+                                .add_assign_view(&grad.view()),
+                            slot @ None => {
+                                let mut g = counted(Matrix::zeros(
+                                    parent.value.rows(),
+                                    parent.value.cols(),
+                                ));
+                                g.rows_view_mut(*start, *end).copy_from(&grad.view());
+                                *slot = Some(g);
+                            }
+                        }
+                    }
+                }
+                Op::StackRows(parts) => {
+                    // Reverse part order: the dense concat-of-slices
+                    // formulation records one slice node per part and the
+                    // backward walk reaches later parts first, so a source
+                    // row picked more than once accumulates its terms last
+                    // part first. Matching that order keeps the scatter
+                    // bitwise identical to the dense reference.
+                    for (p, (src, row)) in parts.iter().enumerate().rev() {
+                        if needs[*src] {
+                            let parent = &mut lower[*src];
+                            if parent.grad.is_none() {
+                                parent.grad = Some(counted(Matrix::zeros(
+                                    parent.value.rows(),
+                                    parent.value.cols(),
+                                )));
+                            }
+                            let g = parent.grad.as_mut().expect("grad installed above");
+                            for (o, &v) in g.row_mut(*row).iter_mut().zip(grad.row(p)) {
+                                *o += v;
+                            }
+                        }
+                    }
+                }
                 Op::Spmm { x, adj } => {
                     if needs[*x] {
                         // dL/dx = Aᵀ · grad; the CSR transpose accumulates
@@ -752,12 +846,17 @@ impl<'t> Var<'t> {
                         // Per-gate contributions added in reverse gate order
                         // (o, c̃, i, f) to reproduce the accumulation order
                         // of four separate matmul nodes walked in reverse.
+                        // The gate blocks of W and of the pre-activation
+                        // gradient are borrowed as column views — the a·bᵀ
+                        // kernel is stride-oblivious, so nothing is copied
+                        // out and the products stay bitwise identical to
+                        // the sliced formulation.
                         let w_val = w.value();
                         let mut total: Option<Matrix> = None;
                         for gate in (0..4).rev() {
-                            let wg = w_val.slice_cols(gate * h, (gate + 1) * h);
-                            let gp = grad.slice_cols(gate * h, (gate + 1) * h);
-                            let contrib = gp.matmul_a_bt(&wg);
+                            let wg = w_val.cols_view(gate * h, (gate + 1) * h);
+                            let gp = grad.cols_view(gate * h, (gate + 1) * h);
+                            let contrib = crate::matrix::matmul_a_bt_views(&gp, &wg);
                             match &mut total {
                                 Some(t) => t.add_assign(&contrib),
                                 None => total = Some(counted(contrib)),
@@ -853,6 +952,7 @@ fn requires_grad(nodes: &[Node], upto: usize) -> Vec<bool> {
             | Op::Transpose(a)
             | Op::SliceRows(a, _, _)
             | Op::SliceCols(a, _, _)
+            | Op::RowsView(a, _, _)
             | Op::Spmm { x: a, .. }
             | Op::SpmmRight { x: a, .. }
             | Op::SumRows(a)
@@ -861,6 +961,7 @@ fn requires_grad(nodes: &[Node], upto: usize) -> Vec<bool> {
             | Op::SoftmaxRows(a)
             | Op::SoftmaxCrossEntropy(a, _) => needs[*a],
             Op::ConcatCols(parts) | Op::ConcatRows(parts) => parts.iter().any(|&p| needs[p]),
+            Op::StackRows(parts) => parts.iter().any(|&(p, _)| needs[p]),
         };
     }
     needs
@@ -1196,6 +1297,96 @@ mod tests {
             .matmul(tape.constant(Matrix::col_vec(vec![1.0; 4])))
             .backward();
         assert_eq!(a.grad().as_slice(), &[2., 2., 3., 3.]);
+    }
+
+    #[test]
+    fn rows_view_matches_slice_rows_bitwise() {
+        // Forward value and gradient must be bitwise identical to the
+        // existing SliceRows op, through both backward paths (fresh scatter
+        // and in-place add into an existing parent gradient).
+        let init = Matrix::from_fn(4, 3, |r, c| ((r * 3 + c) as f32 * 0.37).sin());
+        let weights = Matrix::from_fn(3, 1, |r, _| (r as f32 * 0.21).cos());
+
+        let run = |view: bool| -> Matrix {
+            let p = Param::new(init.clone());
+            let tape = Tape::new();
+            let pv = tape.param(&p);
+            // Two overlapping blocks so the second scatter finds a gradient
+            // already installed on the parent (the in-place path).
+            let top = if view {
+                pv.rows_view(0, 3)
+            } else {
+                pv.slice_rows(0, 3)
+            };
+            let bot = if view {
+                pv.rows_view(2, 4)
+            } else {
+                pv.slice_rows(2, 4)
+            };
+            let w = tape.constant(weights.clone());
+            let loss = top
+                .matmul(w)
+                .sum_rows()
+                .add(bot.matmul(w).sum_rows().scale(2.0));
+            loss.backward();
+            let g = p.grad().clone();
+            g
+        };
+        assert!(bits_eq(&run(true), &run(false)), "gradients diverged");
+
+        let tape = Tape::new();
+        let v = tape.constant(init.clone());
+        assert!(bits_eq(&v.rows_view(1, 3).value(), &init.slice_rows(1, 3)));
+    }
+
+    #[test]
+    fn stack_rows_backward_matches_dense_concat_backward() {
+        let a_init = Matrix::from_fn(3, 2, |r, c| ((r * 2 + c) as f32 * 0.43).sin());
+        let b_init = Matrix::from_fn(2, 2, |r, c| ((r + c) as f32 * 0.29).cos());
+        let weights = Matrix::col_vec(vec![0.7, -1.3]);
+        // Row 1 of `a` appears three times: the scatter must accumulate in
+        // the same order as the dense reference's reverse-tape walk. The
+        // per-row scale makes each repeat's gradient distinct, so a wrong
+        // accumulation order would change the rounded sum.
+        let picks: &[(usize, usize)] = &[(0, 2), (0, 1), (1, 0), (0, 1), (0, 1)];
+        let rowscale = Matrix::from_fn(picks.len(), 2, |r, c| {
+            ((r * 2 + c) as f32 * 0.71 - 1.9).exp()
+        });
+
+        let stacked = {
+            let a = Param::new(a_init.clone());
+            let b = Param::new(b_init.clone());
+            let tape = Tape::new();
+            let srcs = [tape.param(&a), tape.param(&b)];
+            let parts: Vec<(Var, usize)> = picks.iter().map(|&(s, r)| (srcs[s], r)).collect();
+            let out = Var::stack_rows(&parts);
+            out.mul_elem(tape.constant(rowscale.clone()))
+                .matmul(tape.constant(weights.clone()))
+                .sum_rows()
+                .backward();
+            let (ga, gb) = (a.grad().clone(), b.grad().clone());
+            (out.value(), ga, gb)
+        };
+        let dense = {
+            let a = Param::new(a_init.clone());
+            let b = Param::new(b_init.clone());
+            let tape = Tape::new();
+            let srcs = [tape.param(&a), tape.param(&b)];
+            let parts: Vec<Var> = picks
+                .iter()
+                .map(|&(s, r)| srcs[s].slice_rows(r, r + 1))
+                .collect();
+            let out = Var::concat_rows(&parts);
+            out.mul_elem(tape.constant(rowscale.clone()))
+                .matmul(tape.constant(weights.clone()))
+                .sum_rows()
+                .backward();
+            let (ga, gb) = (a.grad().clone(), b.grad().clone());
+            (out.value(), ga, gb)
+        };
+        assert!(bits_eq(&stacked.0, &dense.0), "forward diverged");
+        assert!(bits_eq(&stacked.1, &dense.1), "a grad diverged");
+        assert!(bits_eq(&stacked.2, &dense.2), "b grad diverged");
     }
 
     #[test]

@@ -18,9 +18,12 @@
 //! the embedding input, and [`Engine::invalidate_address`] bumps the
 //! generation to supersede cached entries when an upstream (e.g. a streaming
 //! chain follower) changes an address's history out from under the cache.
-//! Cache hits skip straight to the cheap LSTM+MLP head
-//! ([`BaClassifier::classify_embeddings`]), which the core crate guarantees
-//! is byte-identical to the unstaged `predict` path.
+//! Cache hits skip straight to the cheap LSTM+MLP head. The head runs once
+//! per micro-batch ([`BaClassifier::classify_embeddings_batch`]): the whole
+//! batch goes down as one ragged-batch LSTM forward pass, which the core
+//! crate guarantees is byte-identical per sequence to the unstaged
+//! `predict` path. `model_time_us_total` / `queue_wait_us_total` split each
+//! request's latency into model time and queue wait.
 //!
 //! # Fault tolerance
 //!
@@ -708,10 +711,16 @@ fn process_batch(
         }
         None => {}
     }
+    // Pass 1 — gather: resolve deadlines and assemble each live job's
+    // embedding sequence (intra-batch dedup, shared LRU, or a fresh GFN
+    // embed). Jobs whose history is empty have no sequence to batch and are
+    // answered individually here.
+    //
     // Embeddings computed (or fetched) earlier in this same batch; identical
     // requests reuse them without touching the shared cache again.
     let mut this_batch: HashMap<CacheKey, Arc<Vec<Matrix>>> = HashMap::new();
-    for slot in slots.iter_mut() {
+    let mut live: Vec<(usize, Arc<Vec<Matrix>>, bool)> = Vec::with_capacity(slots.len());
+    for (i, slot) in slots.iter_mut().enumerate() {
         let job_ref = slot.as_ref().expect("unprocessed slot holds a job");
         if let Some(deadline) = job_ref.deadline {
             if Instant::now() >= deadline {
@@ -744,15 +753,60 @@ fn process_batch(
                 }
             }
         };
-        let result = replica
-            .classify_embeddings(&seq)
-            .map(|label| Response {
-                label,
+        if seq.is_empty() {
+            let job = slot.take().expect("slot checked above");
+            shared.metrics.failed.fetch_add(1, Relaxed);
+            let _ = job
+                .reply
+                .send(Err(ServeError::Predict(PredictError::EmptyHistory)));
+            continue;
+        }
+        live.push((i, seq, hit));
+    }
+    if live.is_empty() {
+        return;
+    }
+    // Pass 2 — classify the whole micro-batch through the head in one
+    // ragged-batch forward pass. Every logit row is bitwise identical to
+    // the per-job `classify_embeddings` formulation, so responses are
+    // unchanged; only the arithmetic is batched.
+    let seqs: Vec<Vec<Matrix>> = live.iter().map(|(_, seq, _)| seq.to_vec()).collect();
+    let model_started = Instant::now();
+    let classified = replica.classify_embeddings_batch(&seqs, 1);
+    let model_us = model_started.elapsed().as_micros() as u64;
+    shared
+        .metrics
+        .model_time_us_total
+        .fetch_add(model_us, Relaxed);
+    shared
+        .metrics
+        .embed_batch_rows_total
+        .fetch_add(live.len() as u64, Relaxed);
+    let queue_wait_us: u64 = live
+        .iter()
+        .map(|&(i, _, _)| {
+            let job = slots[i].as_ref().expect("live slot holds a job");
+            model_started
+                .saturating_duration_since(job.enqueued)
+                .as_micros() as u64
+        })
+        .sum();
+    shared
+        .metrics
+        .queue_wait_us_total
+        .fetch_add(queue_wait_us, Relaxed);
+    // Scatter: one reply per live job, same accounting as the per-job path.
+    for (row, (i, _, hit)) in live.into_iter().enumerate() {
+        let job_ref = slots[i].as_ref().expect("live slot holds a job");
+        let result = match &classified {
+            Ok(labels) => Ok(Response {
+                label: labels[row].0,
                 cache_hit: hit,
                 degraded: false,
                 latency: job_ref.enqueued.elapsed(),
-            })
-            .map_err(ServeError::Predict);
+            }),
+            Err(e) => Err(ServeError::Predict(*e)),
+        };
         match &result {
             Ok(r) => {
                 shared.metrics.completed.fetch_add(1, Relaxed);
@@ -770,7 +824,7 @@ fn process_batch(
         }
         // The job leaves its slot only now that a reply exists for it; a
         // dropped Ticket is not an engine error, so ignore send failure.
-        let job = slot.take().expect("slot checked above");
+        let job = slots[i].take().expect("live slot checked above");
         let _ = job.reply.send(result);
     }
 }
@@ -840,6 +894,10 @@ mod tests {
         let snap = engine.metrics();
         assert_eq!(snap.completed, 12);
         assert_eq!(snap.failed, 0);
+        // Every served row went through the batched head path, and the
+        // latency split accounted real model time for it.
+        assert_eq!(snap.embed_batch_rows_total, 12);
+        assert!(snap.model_time_us_total > 0);
         assert_accounted(&snap);
     }
 

@@ -44,6 +44,17 @@ pub struct Metrics {
     /// any cached embeddings for the address).
     pub invalidations: AtomicU64,
     pub batches: AtomicU64,
+    /// Embedding-sequence rows classified through the batched head path
+    /// (one count per live job in each processed micro-batch). Together
+    /// with `batches` this gives the effective batch width the model saw.
+    pub embed_batch_rows_total: AtomicU64,
+    /// Cumulative wall time (µs) workers spent inside the batched model
+    /// forward pass, summed per batch — the "model time" half of the
+    /// latency split.
+    pub model_time_us_total: AtomicU64,
+    /// Cumulative time (µs) jobs waited between admission and the start of
+    /// the batch that served them — the "queue wait" half of the split.
+    pub queue_wait_us_total: AtomicU64,
     /// Gauge: transport connections currently established (0/1 for a
     /// single remote lane; summed across a fleet by `merge`). Engines
     /// serve in-process and leave this 0.
@@ -142,6 +153,9 @@ impl Metrics {
             cache_misses: misses,
             batch_dedup_hits: self.batch_dedup_hits.load(Relaxed),
             invalidations: self.invalidations.load(Relaxed),
+            embed_batch_rows_total: self.embed_batch_rows_total.load(Relaxed),
+            model_time_us_total: self.model_time_us_total.load(Relaxed),
+            queue_wait_us_total: self.queue_wait_us_total.load(Relaxed),
             connections_open: self.connections_open.load(Relaxed),
             reconnects_total: self.reconnects_total.load(Relaxed),
             // The queue is not owned by `Metrics`; holders of one (an
@@ -211,6 +225,12 @@ pub struct MetricsSnapshot {
     pub cache_misses: u64,
     pub batch_dedup_hits: u64,
     pub invalidations: u64,
+    /// Embedding-sequence rows classified through the batched head path.
+    pub embed_batch_rows_total: u64,
+    /// Cumulative model-forward time (µs) across processed batches.
+    pub model_time_us_total: u64,
+    /// Cumulative admission→batch-start wait (µs) across served jobs.
+    pub queue_wait_us_total: u64,
     /// Gauge: transport connections currently open (see [`Metrics`]).
     pub connections_open: u64,
     pub reconnects_total: u64,
@@ -290,6 +310,9 @@ impl MetricsSnapshot {
             cache_misses,
             batch_dedup_hits: sum_u64(|s| s.batch_dedup_hits),
             invalidations: sum_u64(|s| s.invalidations),
+            embed_batch_rows_total: sum_u64(|s| s.embed_batch_rows_total),
+            model_time_us_total: sum_u64(|s| s.model_time_us_total),
+            queue_wait_us_total: sum_u64(|s| s.queue_wait_us_total),
             // Gauges sum across shards: the fleet's open connections and
             // total in-flight depth, not an average.
             connections_open: sum_u64(|s| s.connections_open),
@@ -344,6 +367,13 @@ impl MetricsSnapshot {
         push_kv_u64(&mut s, "cache_misses", self.cache_misses);
         push_kv_u64(&mut s, "batch_dedup_hits", self.batch_dedup_hits);
         push_kv_u64(&mut s, "invalidations", self.invalidations);
+        push_kv_u64(
+            &mut s,
+            "embed_batch_rows_total",
+            self.embed_batch_rows_total,
+        );
+        push_kv_u64(&mut s, "model_time_us_total", self.model_time_us_total);
+        push_kv_u64(&mut s, "queue_wait_us_total", self.queue_wait_us_total);
         push_kv_u64(&mut s, "connections_open", self.connections_open);
         push_kv_u64(&mut s, "reconnects_total", self.reconnects_total);
         push_kv_u64(&mut s, "queue_depth", self.queue_depth);
@@ -525,6 +555,33 @@ mod tests {
             ),
             (0, 0, 0)
         );
+    }
+
+    #[test]
+    fn batched_model_time_split_merges_and_renders() {
+        let a = Metrics::default();
+        a.embed_batch_rows_total.fetch_add(12, Relaxed);
+        a.model_time_us_total.fetch_add(900, Relaxed);
+        a.queue_wait_us_total.fetch_add(300, Relaxed);
+        let b = Metrics::default();
+        b.embed_batch_rows_total.fetch_add(8, Relaxed);
+        b.model_time_us_total.fetch_add(100, Relaxed);
+        b.queue_wait_us_total.fetch_add(50, Relaxed);
+
+        let merged = MetricsSnapshot::merge(&[a.snapshot(), b.snapshot()]);
+        assert_eq!(merged.embed_batch_rows_total, 20);
+        assert_eq!(merged.model_time_us_total, 1000);
+        assert_eq!(merged.queue_wait_us_total, 350);
+        let json = merged.to_json();
+        assert!(
+            json.contains("\"embed_batch_rows_total\":20"),
+            "json: {json}"
+        );
+        assert!(
+            json.contains("\"model_time_us_total\":1000"),
+            "json: {json}"
+        );
+        assert!(json.contains("\"queue_wait_us_total\":350"), "json: {json}");
     }
 
     #[test]

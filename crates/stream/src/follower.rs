@@ -387,9 +387,11 @@ impl Follower {
     /// address since the last tick coalesces into one unit of work, the
     /// stale slice graphs of a whole batch are embedded together across
     /// `reclass_threads` replica workers, and the capped embedding
-    /// sequences go through the head replicas the same way. Labels and
-    /// embeddings are byte-identical to the per-address serial path at any
-    /// thread count. Addresses are queued boundary-first: the smaller an
+    /// sequences go through `classify_embeddings_batch` — each head
+    /// replica runs its chunk as one ragged-batch LSTM forward pass
+    /// (one fused-gate matmul per timestep over the still-active
+    /// sequences). Labels and embeddings are byte-identical to the
+    /// per-address serial path at any thread count. Addresses are queued boundary-first: the smaller an
     /// address's last label margin, the earlier it re-embeds (unclassified
     /// addresses come first of all).
     ///
